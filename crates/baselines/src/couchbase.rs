@@ -1,0 +1,268 @@
+//! Couchbase-style schema discovery: document *flavors*.
+//!
+//! The tutorial (§4.1): "Couchbase … is endowed with a schema discovery
+//! module which classifies the objects of a JSON collection based on both
+//! structural and semantic information. This module is meant to facilitate
+//! query formulation and select relevant indexes."
+//!
+//! [`discover_flavors`] reproduces that behaviour: documents are grouped
+//! into flavors by structure, with a *semantic* discriminator pass — when
+//! one low-cardinality string field (e.g. GitHub's `type`, a `kind` tag)
+//! explains the structural split, flavors are keyed and named by its
+//! values, exactly the "facilitate query formulation" output (`WHERE
+//! type = "PushEvent"`). Each flavor carries an inferred type and index
+//! suggestions (the always-present scalar paths).
+
+use jsonx_core::{infer_collection, Equivalence, JType};
+use jsonx_data::Value;
+use jsonx_skeleton::StructTree;
+use std::collections::BTreeMap;
+
+/// One discovered flavor of a collection.
+#[derive(Debug, Clone)]
+pub struct Flavor {
+    /// Human-readable name: the discriminator value when one exists
+    /// (`type=PushEvent`), otherwise `flavor-N`.
+    pub name: String,
+    /// Number of documents in the flavor.
+    pub count: u64,
+    /// The flavor's structure.
+    pub structure: StructTree,
+    /// K-inferred type of the flavor's documents.
+    pub inferred: JType,
+    /// Scalar paths present in every flavor document — index candidates.
+    pub index_candidates: Vec<String>,
+}
+
+/// The discovery report.
+#[derive(Debug, Clone)]
+pub struct FlavorReport {
+    /// Flavors, most populous first.
+    pub flavors: Vec<Flavor>,
+    /// The discriminator field, when one explains the flavors.
+    pub discriminator: Option<String>,
+    /// Total documents analysed.
+    pub total_docs: u64,
+}
+
+/// Discovers the flavors of a collection, keeping at most `max_flavors`
+/// (the long tail merges into the last flavor, as the Couchbase UI does).
+pub fn discover_flavors(docs: &[Value], max_flavors: usize) -> FlavorReport {
+    let max_flavors = max_flavors.max(1);
+    // 1. Structural grouping.
+    let mut groups: BTreeMap<StructTree, Vec<&Value>> = BTreeMap::new();
+    for doc in docs {
+        groups.entry(StructTree::of(doc)).or_default().push(doc);
+    }
+    let mut ranked: Vec<(StructTree, Vec<&Value>)> = groups.into_iter().collect();
+    ranked.sort_by_key(|(_, members)| std::cmp::Reverse(members.len()));
+
+    // 2. Semantic pass: find a low-cardinality string field whose value is
+    //    constant within each structural group but differs across groups.
+    let discriminator = find_discriminator(&ranked);
+
+    // 3. Merge the tail beyond the flavor budget.
+    if ranked.len() > max_flavors {
+        let tail: Vec<(StructTree, Vec<&Value>)> = ranked.split_off(max_flavors - 1);
+        let mut merged_members = Vec::new();
+        let mut merged_tree: Option<StructTree> = None;
+        for (tree, members) in tail {
+            merged_members.extend(members);
+            merged_tree = Some(match merged_tree {
+                Some(acc) => acc.merge(tree),
+                None => tree,
+            });
+        }
+        if let Some(tree) = merged_tree {
+            ranked.push((tree, merged_members));
+        }
+    }
+
+    // 4. Materialise flavors.
+    let flavors = ranked
+        .into_iter()
+        .enumerate()
+        .map(|(i, (structure, members))| {
+            let owned: Vec<Value> = members.iter().map(|v| (*v).clone()).collect();
+            let inferred = infer_collection(&owned, Equivalence::Kind);
+            let name = discriminator
+                .as_deref()
+                .and_then(|field| constant_string(&members, field))
+                .map(|v| format!("{}={v}", discriminator.as_deref().expect("checked")))
+                .unwrap_or_else(|| format!("flavor-{i}"));
+            let index_candidates = index_candidates(&inferred);
+            Flavor {
+                name,
+                count: members.len() as u64,
+                structure,
+                inferred,
+                index_candidates,
+            }
+        })
+        .collect();
+    FlavorReport {
+        flavors,
+        discriminator,
+        total_docs: docs.len() as u64,
+    }
+}
+
+/// A field is a discriminator when it is a top-level string, constant
+/// within every structural group, and takes ≥2 distinct values overall.
+fn find_discriminator(groups: &[(StructTree, Vec<&Value>)]) -> Option<String> {
+    let first_doc = groups.first()?.1.first()?;
+    let candidates: Vec<String> = first_doc
+        .as_object()?
+        .iter()
+        .filter(|(_, v)| v.as_str().is_some())
+        .map(|(k, _)| k.to_string())
+        .collect();
+    for field in candidates {
+        let mut values = std::collections::BTreeSet::new();
+        let mut ok = true;
+        for (_, members) in groups {
+            match constant_string(members, &field) {
+                Some(v) => {
+                    values.insert(v);
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && values.len() >= 2 {
+            return Some(field);
+        }
+    }
+    None
+}
+
+/// The single string value `field` takes across `members`, if constant.
+fn constant_string(members: &[&Value], field: &str) -> Option<String> {
+    let mut out: Option<&str> = None;
+    for doc in members {
+        let v = doc.get(field)?.as_str()?;
+        match out {
+            None => out = Some(v),
+            Some(seen) if seen == v => {}
+            Some(_) => return None,
+        }
+    }
+    out.map(str::to_string)
+}
+
+/// Always-present scalar paths of a flavor — plausible index keys.
+fn index_candidates(ty: &JType) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_paths(ty, String::new(), &mut out);
+    out
+}
+
+fn collect_paths(ty: &JType, prefix: String, out: &mut Vec<String>) {
+    if let JType::Record(rt) = ty {
+        for (name, field) in &rt.fields {
+            if field.presence < rt.count {
+                continue; // optional fields index poorly
+            }
+            let path = if prefix.is_empty() {
+                name.clone()
+            } else {
+                format!("{prefix}.{name}")
+            };
+            match &field.ty {
+                JType::Record(_) => collect_paths(&field.ty, path, out),
+                JType::Int { .. } | JType::Str { .. } | JType::Float { .. }
+                | JType::Bool { .. } => out.push(path),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    fn events() -> Vec<Value> {
+        (0..60)
+            .map(|i| match i % 3 {
+                0 => json!({"type": "push", "commits": [i], "repo": "r"}),
+                1 => json!({"type": "watch", "action": "started", "repo": "r"}),
+                _ => json!({"type": "fork", "forkee": {"id": (i as i64)}, "repo": "r"}),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flavors_follow_structure() {
+        let report = discover_flavors(&events(), 10);
+        assert_eq!(report.flavors.len(), 3);
+        assert_eq!(report.total_docs, 60);
+        assert_eq!(report.flavors[0].count, 20);
+    }
+
+    #[test]
+    fn discriminator_is_detected_and_names_flavors() {
+        let report = discover_flavors(&events(), 10);
+        assert_eq!(report.discriminator.as_deref(), Some("type"));
+        let names: Vec<&str> = report.flavors.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"type=push"));
+        assert!(names.contains(&"type=watch"));
+        assert!(names.contains(&"type=fork"));
+    }
+
+    #[test]
+    fn no_discriminator_when_fields_vary_within_groups() {
+        let docs: Vec<Value> = (0..20)
+            .map(|i| json!({"id": format!("u{i}"), "n": (i as i64)}))
+            .collect();
+        let report = discover_flavors(&docs, 5);
+        // One structure, and `id` varies inside it → no discriminator.
+        assert_eq!(report.flavors.len(), 1);
+        assert_eq!(report.discriminator, None);
+        assert_eq!(report.flavors[0].name, "flavor-0");
+    }
+
+    #[test]
+    fn tail_merges_into_flavor_budget() {
+        let report = discover_flavors(&events(), 2);
+        assert_eq!(report.flavors.len(), 2);
+        let total: u64 = report.flavors.iter().map(|f| f.count).sum();
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn index_candidates_are_mandatory_scalars() {
+        let report = discover_flavors(&events(), 10);
+        let push = report
+            .flavors
+            .iter()
+            .find(|f| f.name == "type=push")
+            .unwrap();
+        assert!(push.index_candidates.contains(&"repo".to_string()));
+        assert!(push.index_candidates.contains(&"type".to_string()));
+        // commits is an array → not an index candidate.
+        assert!(!push.index_candidates.iter().any(|p| p == "commits"));
+    }
+
+    #[test]
+    fn flavor_types_admit_their_members() {
+        let docs = events();
+        let report = discover_flavors(&docs, 10);
+        for doc in &docs {
+            assert!(
+                report.flavors.iter().any(|f| f.inferred.admits(doc)),
+                "no flavor admits {doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_collection() {
+        let report = discover_flavors(&[], 4);
+        assert!(report.flavors.is_empty());
+        assert_eq!(report.discriminator, None);
+    }
+}

@@ -1,0 +1,35 @@
+//! # jsonx-baselines
+//!
+//! Faithful re-implementations of the schema-inference tools the tutorial
+//! surveys in §4.1, each reproducing the *documented behaviour* (including
+//! the documented limitations) of its original:
+//!
+//! * [`spark`] — Spark Dataframe schema extraction: no union types;
+//!   conflicting types widen, ultimately to `String` ("resorts to Str on
+//!   strongly heterogeneous collections").
+//! * [`naive`] — Studio 3T-style per-document typing with **no merging**:
+//!   the schema is the list of distinct document types, with size
+//!   "comparable to that of the input data".
+//! * [`mongo`] — mongodb-schema-style streaming field profiler: concise
+//!   per-path statistics, but **no field-correlation information**.
+//! * [`skinfer`] — Skinfer-style JSON Schema inference whose merge is
+//!   "limited to record types only, and cannot be recursively applied to
+//!   objects nested inside arrays".
+//! * [`couchbase`] — Couchbase-style discovery: structural+semantic
+//!   document *flavors* with index suggestions.
+//!
+//! All four consume the same collections as `jsonx-core`'s parametric
+//! inference, so the benches can put them side by side (experiments E5,
+//! E7, E12).
+
+pub mod couchbase;
+pub mod mongo;
+pub mod naive;
+pub mod skinfer;
+pub mod spark;
+
+pub use couchbase::{discover_flavors, Flavor, FlavorReport};
+pub use mongo::{FieldProfile, MongoProfiler};
+pub use naive::{infer_naive, NaiveSchema};
+pub use skinfer::{infer_skinfer, skinfer_merge};
+pub use spark::{infer_spark, spark_type_size, SparkType};

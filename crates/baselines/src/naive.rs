@@ -1,0 +1,109 @@
+//! Studio 3T-style "no-merge" inference.
+//!
+//! The tutorial (§4.1) notes that Studio 3T "is not able to merge similar
+//! types, and the resulting schemas can have a huge size, which is
+//! comparable to that of the input data". This baseline reproduces that
+//! behaviour: every document is typed exactly, and the schema is the list
+//! of *distinct* document types with occurrence counts. Experiment E7
+//! plots its size against the merging inferrers'.
+
+use jsonx_core::{infer_value, type_size, Equivalence, JType};
+use jsonx_data::Value;
+
+/// A no-merge schema: distinct per-document types with multiplicities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveSchema {
+    /// Distinct exact document types, in first-seen order.
+    pub variants: Vec<(JType, u64)>,
+}
+
+impl NaiveSchema {
+    /// Number of distinct document shapes.
+    pub fn variant_count(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Total schema size: the sum of all variant sizes — the quantity that
+    /// grows with the data instead of converging.
+    pub fn size(&self) -> usize {
+        self.variants.iter().map(|(t, _)| type_size(t)).sum()
+    }
+
+    /// A value conforms when some variant admits it.
+    pub fn admits(&self, value: &Value) -> bool {
+        self.variants.iter().any(|(t, _)| t.admits(value))
+    }
+}
+
+/// Infers the no-merge schema of a collection.
+///
+/// Per-document types come from the same map step as parametric inference
+/// (all counters 1), so variants are comparable across tools; deduplication
+/// is by structural equality of the exact types.
+pub fn infer_naive(docs: &[Value]) -> NaiveSchema {
+    let mut variants: Vec<(JType, u64)> = Vec::new();
+    for doc in docs {
+        // The equivalence only affects fusion, which the map step applies
+        // inside arrays; Kind vs Label is irrelevant for exact documents
+        // with homogeneous arrays, and Kind matches Studio 3T's display.
+        let t = infer_value(doc, Equivalence::Kind);
+        match variants.iter_mut().find(|(v, _)| *v == t) {
+            Some((_, n)) => *n += 1,
+            None => variants.push((t, 1)),
+        }
+    }
+    NaiveSchema { variants }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    #[test]
+    fn duplicates_collapse_distinct_shapes_do_not() {
+        let docs = vec![
+            json!({"a": 1}),
+            json!({"a": 2}),
+            json!({"a": "s"}),
+            json!({"b": true}),
+        ];
+        let s = infer_naive(&docs);
+        assert_eq!(s.variant_count(), 3);
+        assert_eq!(s.variants[0].1, 2); // {"a": Int} seen twice
+    }
+
+    #[test]
+    fn size_grows_with_shape_diversity() {
+        // Every document distinct: size ~ data size.
+        let diverse: Vec<Value> = (0..50)
+            .map(|i| {
+                let key = format!("k{i}");
+                json!({ key: i })
+            })
+            .collect();
+        let s = infer_naive(&diverse);
+        assert_eq!(s.variant_count(), 50);
+        assert!(s.size() >= 150); // 3 nodes per variant
+        // Homogeneous collection: one variant no matter the count.
+        let uniform: Vec<Value> = (0..50).map(|i| json!({"k": i})).collect();
+        assert_eq!(infer_naive(&uniform).variant_count(), 1);
+    }
+
+    #[test]
+    fn admits_only_seen_shapes() {
+        let s = infer_naive(&[json!({"a": 1}), json!({"b": "x"})]);
+        assert!(s.admits(&json!({"a": 7})));
+        assert!(s.admits(&json!({"b": "y"})));
+        // Exact typing: the combined shape was never seen.
+        assert!(!s.admits(&json!({"a": 1, "b": "x"})));
+    }
+
+    #[test]
+    fn empty_collection() {
+        let s = infer_naive(&[]);
+        assert_eq!(s.variant_count(), 0);
+        assert_eq!(s.size(), 0);
+        assert!(!s.admits(&json!(null)));
+    }
+}

@@ -1,0 +1,260 @@
+//! Skinfer-style JSON Schema inference.
+//!
+//! The tutorial (§4.1): "Skinfer exploits two different functions for
+//! inferring a schema from an object and for merging two schemas; schema
+//! merging is limited to record types only, and cannot be recursively
+//! applied to objects nested inside arrays."
+//!
+//! We reproduce both functions and both limitations. Schemas are plain
+//! JSON Schema documents (as `Value`s), directly checkable with
+//! `jsonx-schema`:
+//!
+//! * [`infer_skinfer`]: folds a collection with [`skinfer_merge`].
+//! * [`skinfer_merge`]: merges `object` schemas recursively (properties
+//!   union, `required` intersection), merges scalar `type`s into type
+//!   arrays — but when two `array` schemas disagree on their `items`, it
+//!   *drops the items constraint entirely* instead of recursing
+//!   (the documented non-recursive-under-arrays behaviour that E12
+//!   measures).
+
+use jsonx_data::{json, Object, Value};
+
+/// Infers a JSON Schema for one document (Skinfer's `schema_from_object`).
+pub fn infer_one(value: &Value) -> Value {
+    match value {
+        Value::Null => json!({"type": "null"}),
+        Value::Bool(_) => json!({"type": "boolean"}),
+        Value::Num(n) if n.is_integer() => json!({"type": "integer"}),
+        Value::Num(_) => json!({"type": "number"}),
+        Value::Str(_) => json!({"type": "string"}),
+        Value::Arr(items) => {
+            let mut schema = Object::new();
+            schema.insert("type", Value::from("array"));
+            if let Some(first) = items.first() {
+                // Skinfer types array items from the elements of *one*
+                // document by merging them pairwise.
+                let merged = items
+                    .iter()
+                    .skip(1)
+                    .fold(infer_one(first), |acc, v| skinfer_merge(&acc, &infer_one(v)));
+                schema.insert("items", merged);
+            }
+            Value::Obj(schema)
+        }
+        Value::Obj(obj) => {
+            let mut properties = Object::new();
+            let mut required: Vec<Value> = Vec::new();
+            for (k, v) in obj.iter() {
+                properties.insert(k.to_string(), infer_one(v));
+                required.push(Value::from(k));
+            }
+            let mut schema = Object::new();
+            schema.insert("type", Value::from("object"));
+            schema.insert("properties", Value::Obj(properties));
+            if !required.is_empty() {
+                schema.insert("required", Value::Arr(required));
+            }
+            Value::Obj(schema)
+        }
+    }
+}
+
+/// Merges two Skinfer schemas (Skinfer's `merge_schema`).
+pub fn skinfer_merge(a: &Value, b: &Value) -> Value {
+    let (Some(ta), Some(tb)) = (type_of(a), type_of(b)) else {
+        // Unknown shape: give up and accept anything.
+        return json!({});
+    };
+    if ta == "object" && tb == "object" {
+        return merge_objects(a, b);
+    }
+    if ta == "array" && tb == "array" {
+        return merge_arrays(a, b);
+    }
+    // Scalar (or mixed-category) merge: union the type lists.
+    let mut types = type_list(a);
+    for t in type_list(b) {
+        if !types.contains(&t) {
+            types.push(t);
+        }
+    }
+    if types.len() == 1 {
+        let mut o = Object::new();
+        o.insert("type", Value::from(types.pop().expect("len checked")));
+        Value::Obj(o)
+    } else {
+        let mut o = Object::new();
+        o.insert(
+            "type",
+            Value::Arr(types.into_iter().map(Value::from).collect()),
+        );
+        Value::Obj(o)
+    }
+}
+
+fn type_of(schema: &Value) -> Option<String> {
+    match schema.get("type") {
+        Some(Value::Str(s)) => Some(s.clone()),
+        Some(Value::Arr(_)) => Some("mixed".to_string()),
+        _ => None,
+    }
+}
+
+fn type_list(schema: &Value) -> Vec<String> {
+    match schema.get("type") {
+        Some(Value::Str(s)) => vec![s.clone()],
+        Some(Value::Arr(items)) => items
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect(),
+        _ => vec![],
+    }
+}
+
+fn merge_objects(a: &Value, b: &Value) -> Value {
+    let empty = Object::new();
+    let props_a = a
+        .get("properties")
+        .and_then(Value::as_object)
+        .unwrap_or(&empty);
+    let props_b = b
+        .get("properties")
+        .and_then(Value::as_object)
+        .unwrap_or(&empty);
+    let mut properties = Object::new();
+    for (k, sa) in props_a.iter() {
+        match props_b.get(k) {
+            // Record merging *is* recursive — that part Skinfer does well.
+            Some(sb) => properties.insert(k.to_string(), skinfer_merge(sa, sb)),
+            None => properties.insert(k.to_string(), sa.clone()),
+        };
+    }
+    for (k, sb) in props_b.iter() {
+        if !properties.contains_key(k) {
+            properties.insert(k.to_string(), sb.clone());
+        }
+    }
+    // `required` is the intersection: a field mandatory in both stays so.
+    let req = |s: &Value| -> Vec<String> {
+        s.get("required")
+            .and_then(Value::as_array)
+            .map(|r| {
+                r.iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let ra = req(a);
+    let rb = req(b);
+    let required: Vec<Value> = ra
+        .iter()
+        .filter(|k| rb.contains(k))
+        .map(|k| Value::from(k.as_str()))
+        .collect();
+
+    let mut schema = Object::new();
+    schema.insert("type", Value::from("object"));
+    schema.insert("properties", Value::Obj(properties));
+    if !required.is_empty() {
+        schema.insert("required", Value::Arr(required));
+    }
+    Value::Obj(schema)
+}
+
+fn merge_arrays(a: &Value, b: &Value) -> Value {
+    match (a.get("items"), b.get("items")) {
+        (Some(ia), Some(ib)) if ia == ib => {
+            let mut schema = Object::new();
+            schema.insert("type", Value::from("array"));
+            schema.insert("items", ia.clone());
+            Value::Obj(schema)
+        }
+        (None, None) => json!({"type": "array"}),
+        // Differing item schemas: Skinfer does not recurse under arrays —
+        // the constraint is dropped and any items are accepted.
+        _ => json!({"type": "array"}),
+    }
+}
+
+/// Infers a schema for a whole collection by folding [`skinfer_merge`].
+pub fn infer_skinfer(docs: &[Value]) -> Value {
+    let mut iter = docs.iter();
+    let Some(first) = iter.next() else {
+        // No observations: the vacuous schema.
+        return json!({});
+    };
+    iter.fold(infer_one(first), |acc, d| skinfer_merge(&acc, &infer_one(d)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    #[test]
+    fn single_document_schema() {
+        let s = infer_one(&json!({"id": 1, "tags": ["a"]}));
+        assert_eq!(
+            s,
+            json!({
+                "type": "object",
+                "properties": {
+                    "id": {"type": "integer"},
+                    "tags": {"type": "array", "items": {"type": "string"}}
+                },
+                "required": ["id", "tags"]
+            })
+        );
+    }
+
+    #[test]
+    fn record_merge_is_recursive() {
+        let s = infer_skinfer(&[
+            json!({"u": {"a": 1}}),
+            json!({"u": {"a": 2, "b": "x"}}),
+        ]);
+        let u = s.get("properties").unwrap().get("u").unwrap();
+        assert!(u.get("properties").unwrap().get("b").is_some());
+        // `a` required in both, `b` only in one.
+        assert_eq!(u.get("required"), Some(&json!(["a"])));
+    }
+
+    #[test]
+    fn required_is_intersection() {
+        let s = infer_skinfer(&[json!({"a": 1, "b": 2}), json!({"a": 3})]);
+        assert_eq!(s.get("required"), Some(&json!(["a"])));
+    }
+
+    #[test]
+    fn scalar_merge_builds_type_arrays() {
+        let s = infer_skinfer(&[json!(1), json!("x")]);
+        assert_eq!(s, json!({"type": ["integer", "string"]}));
+        // Idempotent on the same type.
+        let s = infer_skinfer(&[json!(1), json!(2)]);
+        assert_eq!(s, json!({"type": "integer"}));
+    }
+
+    #[test]
+    fn array_merge_does_not_recurse() {
+        // The documented limitation: records nested inside arrays are not
+        // merged — the items constraint is dropped wholesale.
+        let s = infer_skinfer(&[
+            json!({"xs": [{"a": 1}]}),
+            json!({"xs": [{"a": 1, "b": 2}]}),
+        ]);
+        let xs = s.get("properties").unwrap().get("xs").unwrap();
+        assert_eq!(xs, &json!({"type": "array"})); // items gone
+    }
+
+    #[test]
+    fn identical_array_items_survive() {
+        let s = infer_skinfer(&[json!([1, 2]), json!([3])]);
+        assert_eq!(s, json!({"type": "array", "items": {"type": "integer"}}));
+    }
+
+    #[test]
+    fn empty_collection_gives_vacuous_schema() {
+        assert_eq!(infer_skinfer(&[]), json!({}));
+    }
+}

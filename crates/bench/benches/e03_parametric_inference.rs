@@ -1,0 +1,94 @@
+//! E3 — Parametric inference: precision vs succinctness (§4.1, [10–12]).
+//!
+//! Claim operationalised: K-equivalence yields compact schemas (one record
+//! with optional fields), L-equivalence yields precise ones (one union
+//! member per record shape); both stay far smaller than the data while
+//! admitting every input document. Prints the K/L table per corpus and
+//! benches inference throughput.
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use jsonx_bench::{banner, criterion};
+use jsonx_core::{
+    false_acceptance_rate, infer_collection, measure, Equivalence,
+};
+use jsonx_data::{text_size, Value};
+use jsonx_gen::{Corpus, DialedGenerator, GeneratorConfig};
+
+/// Probe documents for the precision metric: structurally perturbed
+/// variants never present in the corpus.
+fn perturbations(docs: &[Value], seed_shift: u64) -> Vec<Value> {
+    let config = GeneratorConfig {
+        seed: 999 + seed_shift,
+        type_noise: 1.0,
+        shape_variants: 4,
+        ..Default::default()
+    };
+    let mut probes = DialedGenerator::new(config).generate(docs.len().min(200));
+    // Also take real documents and break one field's kind: an object
+    // is never admissible at these scalar positions.
+    for d in docs.iter().take(100) {
+        if let Some(obj) = d.as_object() {
+            let mut broken = obj.clone();
+            if let Some(key) = obj.keys().next().map(str::to_string) {
+                broken.insert(key, jsonx_data::json!({"__corrupt": true}));
+                probes.push(Value::Obj(broken));
+            }
+        }
+    }
+    probes
+}
+
+fn main() {
+    banner(
+        "E3",
+        "K vs L: schema size, union width, precision per corpus (Baazizi et al.)",
+    );
+    println!(
+        "{:<12} {:>6} {:>11} {:>11} {:>11} {:>12} {:>10}",
+        "corpus", "equiv", "type nodes", "max union", "opt fields", "data bytes", "FAR"
+    );
+    for corpus in [
+        Corpus::Twitter,
+        Corpus::Github,
+        Corpus::Nytimes,
+        Corpus::Heterogeneous(40),
+    ] {
+        let docs = corpus.generate(1_000);
+        let data_bytes: usize = docs.iter().map(text_size).sum();
+        let probes = perturbations(&docs, corpus.name().len() as u64);
+        for equiv in [Equivalence::Kind, Equivalence::Label] {
+            let ty = infer_collection(&docs, equiv);
+            for d in &docs {
+                assert!(ty.admits(d), "soundness violated on {}", corpus.name());
+            }
+            let m = measure(&ty);
+            let far = false_acceptance_rate(&ty, &probes);
+            println!(
+                "{:<12} {:>6} {:>11} {:>11} {:>11} {:>12} {:>9.1}%",
+                corpus.name(),
+                equiv.name(),
+                m.size,
+                m.max_union_width,
+                m.optional_fields,
+                data_bytes,
+                far * 100.0
+            );
+        }
+    }
+    println!("\n(L never admits more than K; both stay orders of magnitude smaller than the data)");
+
+    let mut c: Criterion = criterion();
+    let mut group = c.benchmark_group("e03_inference");
+    let docs = Corpus::Github.generate(2_000);
+    let bytes: usize = docs.iter().map(text_size).sum();
+    group.throughput(Throughput::Bytes(bytes as u64));
+    for equiv in [Equivalence::Kind, Equivalence::Label] {
+        group.bench_with_input(
+            BenchmarkId::new("github_2k", equiv.name()),
+            &equiv,
+            |b, &e| b.iter(|| infer_collection(black_box(&docs), e)),
+        );
+    }
+    group.finish();
+    c.final_summary();
+}

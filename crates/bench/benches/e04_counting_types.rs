@@ -1,0 +1,95 @@
+//! E4 — Counting types (§4.1, [11] DBPL 2017).
+//!
+//! Claim operationalised: counting annotations (value counts, field
+//! presence counts, array populations) come with the inference at marginal
+//! cost, and the annotated type doubles as a statistical profile of the
+//! collection. Prints the counting profile of a drifting Twitter corpus
+//! and benches inference against the cost of the pure map step (the floor
+//! any inference pays).
+
+use criterion::{black_box, Criterion};
+use jsonx_bench::{banner, criterion};
+use jsonx_core::{
+    fuse, infer_collection, infer_value, print_type, Equivalence, JType, PrintOptions,
+};
+use jsonx_gen::{twitter, Corpus};
+
+fn main() {
+    banner(
+        "E4",
+        "counting types: the inferred schema is also a statistical profile",
+    );
+    let config = twitter::TwitterConfig {
+        extended_rate: 0.3,
+        geo_rate: 0.2,
+        ..Default::default()
+    };
+    let docs = twitter::tweets(&config, 2_000);
+    let ty = infer_collection(&docs, Equivalence::Kind);
+    let JType::Record(root) = &ty else { panic!() };
+    println!(
+        "{:<22} {:>10} {:>10} {:>9}",
+        "field", "presence", "of", "optional"
+    );
+    for (name, field) in &root.fields {
+        println!(
+            "{:<22} {:>10} {:>10} {:>9}",
+            name,
+            field.presence,
+            root.count,
+            if field.presence < root.count { "yes" } else { "" }
+        );
+    }
+    // The headline drift statistic: classic vs extended tweets.
+    let text_p = root.field("text").map_or(0, |f| f.presence);
+    let full_p = root.field("full_text").map_or(0, |f| f.presence);
+    println!(
+        "\nAPI drift visible in counters: text={text_p}, full_text={full_p} (sum = {})",
+        text_p + full_p
+    );
+    assert_eq!(text_p + full_p, root.count);
+
+    // Array population counters.
+    if let Some(entities) = root.field("entities") {
+        if let JType::Record(er) = &entities.ty {
+            if let Some(hashtags) = er.field("hashtags") {
+                if let JType::Array(at) = &hashtags.ty {
+                    println!(
+                        "hashtags arrays: {} arrays holding {} tags (avg {:.2}/tweet)",
+                        at.count,
+                        at.total_items,
+                        at.total_items as f64 / at.count as f64
+                    );
+                }
+            }
+        }
+    }
+    println!(
+        "\ncounting rendering (truncated):\n  {:.120}...",
+        print_type(&ty, PrintOptions::with_counts())
+    );
+
+    let mut c: Criterion = criterion();
+    let mut group = c.benchmark_group("e04_counting_overhead");
+    let sample = Corpus::Twitter.generate(1_000);
+    // The floor: map every document to its per-document type, no fusion.
+    group.bench_function("map_only", |b| {
+        b.iter(|| {
+            sample
+                .iter()
+                .map(|d| infer_value(black_box(d), Equivalence::Kind))
+                .fold(0usize, |acc, t| acc + usize::from(!matches!(t, JType::Bottom)))
+        })
+    });
+    // Full counting inference = map + counting fusion.
+    group.bench_function("map_plus_counting_fusion", |b| {
+        b.iter(|| {
+            sample
+                .iter()
+                .map(|d| infer_value(black_box(d), Equivalence::Kind))
+                .fold(JType::Bottom, |acc, t| fuse(acc, t, Equivalence::Kind))
+        })
+    });
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,131 @@
+//! E5 — Spark-style inference "resorts to Str on strongly heterogeneous
+//! collections" (§4.1, [7]).
+//!
+//! Claim operationalised: when a field's values mix two kinds (integers
+//! that are sometimes strings — the classic drifting-`id` case), the
+//! Spark-style inferrer widens the field to `string`, losing the kind
+//! set entirely: values of *never-observed* kinds (booleans, floats) now
+//! pass. K/L parametric inference keeps the exact `(Int + Str)` union and
+//! rejects them. The sweep raises the fraction of drifting fields; the
+//! false-acceptance rate (FAR) is measured on probes carrying the unseen
+//! kinds.
+
+use criterion::{black_box, Criterion};
+use jsonx_bench::{banner, criterion};
+use jsonx_baselines::{infer_spark, spark_type_size, SparkType};
+use jsonx_core::{false_acceptance_rate, infer_collection, type_size, Equivalence};
+use jsonx_data::{Number, Object, Value};
+use rand_like::Lcg;
+
+/// A tiny deterministic generator (keeps the bench self-contained).
+mod rand_like {
+    pub struct Lcg(pub u64);
+    impl Lcg {
+        pub fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+        pub fn chance(&mut self, percent: u8) -> bool {
+            (self.next() % 100) < u64::from(percent)
+        }
+    }
+}
+
+const WIDTH: usize = 8;
+
+/// Records whose fields are integers, except that a field *drifts* to a
+/// string representation with probability `noise`% — two kinds per field,
+/// never more.
+fn corpus(noise: u8, n: usize) -> Vec<Value> {
+    let mut rng = Lcg(42);
+    (0..n)
+        .map(|i| {
+            let mut obj = Object::with_capacity(WIDTH);
+            for f in 0..WIDTH {
+                let v = (i * WIDTH + f) as i64;
+                let value = if rng.chance(noise) {
+                    Value::Str(format!("{v}"))
+                } else {
+                    Value::Num(Number::Int(v))
+                };
+                obj.insert(format!("f{f}"), value);
+            }
+            Value::Obj(obj)
+        })
+        .collect()
+}
+
+/// Probes carrying kinds *no* document ever had at these fields:
+/// booleans and floats.
+fn probes(n: usize) -> Vec<Value> {
+    let mut rng = Lcg(7);
+    (0..n)
+        .map(|i| {
+            let mut obj = Object::with_capacity(WIDTH);
+            for f in 0..WIDTH {
+                let value = if rng.chance(50) {
+                    Value::Bool(i % 2 == 0)
+                } else {
+                    Value::Num(Number::Float(0.5 + f as f64))
+                };
+                obj.insert(format!("f{f}"), value);
+            }
+            Value::Obj(obj)
+        })
+        .collect()
+}
+
+fn string_fallbacks(spark: &SparkType) -> usize {
+    let SparkType::Struct(fields) = spark else { return 0 };
+    fields
+        .iter()
+        .filter(|(_, t)| *t == SparkType::String)
+        .count()
+}
+
+fn main() {
+    banner(
+        "E5",
+        "Spark-style inference collapses to Str under heterogeneity; K/L keep unions",
+    );
+    println!(
+        "{:>12} {:>15} {:>12} {:>10} {:>10} {:>12} {:>9}",
+        "drift rate", "str-fallbacks", "FAR spark", "FAR K", "FAR L", "spark size", "K size"
+    );
+    let probe_docs = probes(400);
+    for noise in [0u8, 5, 10, 25, 50, 75, 100] {
+        let docs = corpus(noise, 1_000);
+        let spark = infer_spark(&docs);
+        let far_spark = probe_docs.iter().filter(|p| spark.admits(p)).count() as f64
+            / probe_docs.len() as f64;
+        let k = infer_collection(&docs, Equivalence::Kind);
+        let l = infer_collection(&docs, Equivalence::Label);
+        for d in &docs {
+            assert!(k.admits(d) && l.admits(d), "inference must stay sound");
+        }
+        println!(
+            "{:>11}% {:>12}/{:<2} {:>11.1}% {:>9.1}% {:>9.1}% {:>12} {:>9}",
+            noise,
+            string_fallbacks(&spark),
+            WIDTH,
+            far_spark * 100.0,
+            false_acceptance_rate(&k, &probe_docs) * 100.0,
+            false_acceptance_rate(&l, &probe_docs) * 100.0,
+            spark_type_size(&spark),
+            type_size(&k)
+        );
+    }
+    println!("\n(the crossover: any drift collapses Spark's fields to string, which\n admits the never-seen kinds; K/L keep exact (Int + Str) unions, FAR 0)");
+
+    let mut c: Criterion = criterion();
+    let mut group = c.benchmark_group("e05_inference_cost");
+    let docs = corpus(50, 1_000);
+    group.bench_function("spark_style", |b| {
+        b.iter(|| infer_spark(black_box(&docs)))
+    });
+    group.bench_function("parametric_k", |b| {
+        b.iter(|| infer_collection(black_box(&docs), Equivalence::Kind))
+    });
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,88 @@
+//! E6 — Distributed/parallel inference scaling (§4.1, [10–12]).
+//!
+//! Claim operationalised: because fusion is a commutative monoid, the
+//! reduce distributes — inference throughput scales with workers, and the
+//! result is bit-identical to the sequential fold. Prints the scaling
+//! series and benches 1/2/4/8 workers.
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use jsonx_bench::{banner, criterion};
+use jsonx_core::{
+    infer_collection, infer_collection_parallel, Equivalence, ParallelOptions,
+};
+use jsonx_data::text_size;
+use jsonx_gen::Corpus;
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "E6",
+        "parallel inference: speedup over workers, identical results (map/reduce)",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("hardware parallelism available: {cores} core(s)");
+    if cores == 1 {
+        println!("NOTE: single-core substrate — the distributed-correctness property");
+        println!("(identical results at every worker count) is the measurable claim here;");
+        println!("wall-clock speedup requires multi-core hardware.\n");
+    }
+    let docs = Corpus::Github.generate(40_000);
+    let bytes: usize = docs.iter().map(text_size).sum();
+    println!(
+        "collection: {} documents, {:.1} MiB\n",
+        docs.len(),
+        bytes as f64 / (1024.0 * 1024.0)
+    );
+    // Warm up caches/allocator before the reference measurement.
+    let _ = infer_collection(&docs[..2_000], Equivalence::Kind);
+    let t = Instant::now();
+    let sequential = infer_collection(&docs, Equivalence::Kind);
+    let seq_time = t.elapsed();
+    println!("{:>8} {:>12} {:>9} {:>10}", "workers", "time", "speedup", "identical");
+    println!(
+        "{:>8} {:>12.2?} {:>8.2}x {:>10}",
+        "seq", seq_time, 1.0, "-"
+    );
+    for workers in [1usize, 2, 4, 8] {
+        let opts = ParallelOptions {
+            workers,
+            min_chunk: 64,
+        };
+        let t = Instant::now();
+        let parallel = infer_collection_parallel(&docs, Equivalence::Kind, opts);
+        let elapsed = t.elapsed();
+        println!(
+            "{:>8} {:>12.2?} {:>8.2}x {:>10}",
+            workers,
+            elapsed,
+            seq_time.as_secs_f64() / elapsed.as_secs_f64(),
+            parallel == sequential
+        );
+        assert_eq!(parallel, sequential, "parallel result must be identical");
+    }
+
+    let mut c: Criterion = criterion();
+    let mut group = c.benchmark_group("e06_parallel");
+    let small = Corpus::Github.generate(8_000);
+    let small_bytes: usize = small.iter().map(text_size).sum();
+    group.throughput(Throughput::Bytes(small_bytes as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &w| {
+                let opts = ParallelOptions {
+                    workers: w,
+                    min_chunk: 64,
+                };
+                b.iter(|| {
+                    infer_collection_parallel(black_box(&small), Equivalence::Kind, opts)
+                })
+            },
+        );
+    }
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,86 @@
+//! E7 — Schema size vs data size (§4.1, [19, 22]).
+//!
+//! Claim operationalised: tools that do not merge types (Studio 3T-style)
+//! produce schemas whose size grows with the input — "comparable to that
+//! of the input data" — while merging inferrers (parametric K/L,
+//! mongodb-schema-style) converge to a constant-size schema. Prints the
+//! growth series and benches the no-merge vs merging inference.
+
+use criterion::{black_box, Criterion};
+use jsonx_bench::{banner, criterion};
+use jsonx_baselines::{infer_naive, MongoProfiler};
+use jsonx_core::{infer_collection, type_size, Equivalence};
+use jsonx_data::text_size;
+use jsonx_gen::{DialedGenerator, GeneratorConfig};
+use jsonx_data::Value;
+
+/// A corpus with genuine shape diversity — enough optional fields and
+/// type variants that no-merge schemas keep growing, but a *bounded*
+/// shape vocabulary so the merging inferrers can converge: 2 optional
+/// fields (4 label sets), 5% type drift, flat records.
+fn corpus(n: usize) -> Vec<Value> {
+    let config = GeneratorConfig {
+        seed: 13,
+        record_width: 6,
+        optional_rate: 0.5,
+        optional_fraction: 0.33,
+        type_noise: 0.05,
+        nesting_depth: 0,
+        array_len: (0, 3),
+        ..Default::default()
+    };
+    DialedGenerator::new(config).generate(n)
+}
+
+fn main() {
+    banner(
+        "E7",
+        "no-merge schemas grow with the data; merging schemas converge",
+    );
+    println!(
+        "{:>8} {:>12} {:>14} {:>10} {:>10} {:>12}",
+        "docs", "data bytes", "naive nodes", "K nodes", "L nodes", "mongo paths"
+    );
+    for n in [10usize, 100, 1_000, 5_000, 20_000] {
+        let docs = corpus(n);
+        let data_bytes: usize = docs.iter().map(text_size).sum();
+        let naive = infer_naive(&docs);
+        let k = type_size(&infer_collection(&docs, Equivalence::Kind));
+        let l = type_size(&infer_collection(&docs, Equivalence::Label));
+        let mut mongo = MongoProfiler::default();
+        for d in &docs {
+            mongo.observe(d);
+        }
+        println!(
+            "{:>8} {:>12} {:>14} {:>10} {:>10} {:>12}",
+            n,
+            data_bytes,
+            naive.size(),
+            k,
+            l,
+            mongo.size()
+        );
+    }
+    println!("\n(naive grows with the collection; K converges immediately; L converges\n once every shape has been seen; mongo paths are bounded by the path set)");
+
+    let mut c: Criterion = criterion();
+    let mut group = c.benchmark_group("e07_schema_size");
+    let docs = corpus(2_000);
+    group.bench_function("naive_no_merge", |b| {
+        b.iter(|| infer_naive(black_box(&docs)).size())
+    });
+    group.bench_function("parametric_k", |b| {
+        b.iter(|| type_size(&infer_collection(black_box(&docs), Equivalence::Kind)))
+    });
+    group.bench_function("mongo_profile", |b| {
+        b.iter(|| {
+            let mut p = MongoProfiler::default();
+            for d in &docs {
+                p.observe(black_box(d));
+            }
+            p.size()
+        })
+    });
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,60 @@
+//! E8 — Skeleton coverage/size trade-off (§2, [24] Wang et al.).
+//!
+//! Claim operationalised: a skeleton mined at coverage θ keeps only the
+//! frequent structures — its size shrinks as θ drops, and paths unique to
+//! rare structures become unanswerable ("the skeleton may totally miss
+//! information about paths"). Prints the coverage sweep on the
+//! GitHub-events corpus (whose payload shapes have a skewed distribution)
+//! and benches mining.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use jsonx_bench::{banner, criterion};
+use jsonx_gen::Corpus;
+use jsonx_skeleton::Skeleton;
+
+fn main() {
+    banner(
+        "E8",
+        "skeleton size and path recall vs coverage threshold (Wang et al.)",
+    );
+    let docs = Corpus::Github.generate(5_000);
+    // Ground truth: every path in the full skeleton.
+    let full = Skeleton::mine(&docs, 1.0);
+    let all_paths: Vec<String> = full.paths().map(|p| p.display()).collect();
+    println!("corpus: {} events, {} distinct paths at full coverage\n", docs.len(), all_paths.len());
+    println!(
+        "{:>10} {:>12} {:>10} {:>10} {:>12} {:>14}",
+        "coverage", "structures", "nodes", "paths", "recall", "rare visible"
+    );
+    for theta in [1.0f64, 0.95, 0.9, 0.8, 0.6, 0.4] {
+        let sk = Skeleton::mine(&docs, theta);
+        let stats = sk.stats();
+        let recalled = all_paths.iter().filter(|p| sk.contains_path(p)).count();
+        println!(
+            "{:>10.2} {:>12} {:>10} {:>10} {:>11.1}% {:>14}",
+            theta,
+            stats.structures,
+            stats.size,
+            stats.paths,
+            recalled as f64 * 100.0 / all_paths.len() as f64,
+            if sk.contains_path("payload.forkee") {
+                "yes"
+            } else {
+                "no (dropped)"
+            }
+        );
+    }
+    println!("\n(payload.forkee belongs to the rarest event type and disappears first)");
+
+    let mut c: Criterion = criterion();
+    let mut group = c.benchmark_group("e08_skeleton_mining");
+    for &theta in &[1.0f64, 0.8] {
+        group.bench_with_input(
+            BenchmarkId::new("coverage", format!("{theta:.1}")),
+            &theta,
+            |b, &t| b.iter(|| Skeleton::mine(black_box(&docs), t)),
+        );
+    }
+    group.finish();
+    c.final_summary();
+}

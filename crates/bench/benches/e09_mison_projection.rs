@@ -1,0 +1,87 @@
+//! E9 — Mison projection pushdown (§4.2, [20] Li et al.).
+//!
+//! Claim operationalised: when an analytics task touches only a few fields
+//! of wide records, structural-index parsing with projection beats eager
+//! full parsing, and the advantage shrinks as the projected fraction grows
+//! (the paper's crossover). Prints the projection-ratio sweep on the
+//! NYTimes-like corpus, then benches full vs projected parsing.
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use jsonx_bench::{banner, criterion};
+use jsonx_gen::Corpus;
+use jsonx_mison::ProjectedParser;
+use jsonx_syntax::{parse_bytes, write_ndjson};
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "E9",
+        "projection pushdown: speedup vs number of projected fields (Mison)",
+    );
+    let docs = Corpus::Nytimes.generate(4_000);
+    let ndjson = write_ndjson(&docs);
+    let lines: Vec<&[u8]> = ndjson.lines().map(str::as_bytes).collect();
+    let total_fields = docs[0].as_object().unwrap().len();
+    let all_fields: Vec<String> = docs[0]
+        .as_object()
+        .unwrap()
+        .keys()
+        .map(str::to_string)
+        .collect();
+    println!(
+        "corpus: {} articles x {} top-level fields, {:.1} MiB\n",
+        docs.len(),
+        total_fields,
+        ndjson.len() as f64 / (1024.0 * 1024.0)
+    );
+
+    // Baseline: full parse.
+    let t = Instant::now();
+    for line in &lines {
+        black_box(parse_bytes(line).unwrap());
+    }
+    let full = t.elapsed();
+    println!("{:>10} {:>12} {:>9}", "fields", "time", "speedup");
+    println!("{:>10} {:>12.2?} {:>8.2}x", "all(full)", full, 1.0);
+
+    for k in [1usize, 2, 4, 8, total_fields] {
+        let projected: Vec<&str> = all_fields.iter().take(k).map(String::as_str).collect();
+        let parser = ProjectedParser::new(&projected).unwrap();
+        let t = Instant::now();
+        for line in &lines {
+            black_box(parser.parse(line).unwrap());
+        }
+        let elapsed = t.elapsed();
+        println!(
+            "{:>10} {:>12.2?} {:>8.2}x",
+            k,
+            elapsed,
+            full.as_secs_f64() / elapsed.as_secs_f64()
+        );
+    }
+    println!("\n(speedup is largest at 1-2 fields and decays toward ~1x at full width —\n the Mison crossover; absolute factors differ from the paper's AVX testbed)");
+
+    let mut c: Criterion = criterion();
+    let mut group = c.benchmark_group("e09_parsing");
+    group.throughput(Throughput::Bytes(ndjson.len() as u64));
+    group.bench_function("full_parse", |b| {
+        b.iter(|| {
+            for line in &lines {
+                black_box(parse_bytes(line).unwrap());
+            }
+        })
+    });
+    for k in [1usize, 4] {
+        let projected: Vec<&str> = all_fields.iter().take(k).map(String::as_str).collect();
+        let parser = ProjectedParser::new(&projected).unwrap();
+        group.bench_with_input(BenchmarkId::new("projected", k), &k, |b, _| {
+            b.iter(|| {
+                for line in &lines {
+                    black_box(parser.parse(line).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,113 @@
+//! E12 — Merging under arrays: Skinfer's limitation (§4.1, [23]).
+//!
+//! Claim operationalised: Skinfer's record-only merge "cannot be
+//! recursively applied to objects nested inside arrays" — when array
+//! element records drift, it drops the items constraint entirely, while
+//! parametric fusion keeps a precise item type at any depth. Prints the
+//! information-retention comparison as nesting deepens and benches both
+//! merges.
+
+use criterion::{black_box, Criterion};
+use jsonx_bench::{banner, criterion};
+use jsonx_baselines::infer_skinfer;
+use jsonx_core::{false_acceptance_rate, infer_collection, Equivalence};
+use jsonx_data::{json, Value};
+
+/// Documents with drifting records at `depth` levels under arrays.
+fn nested_corpus(depth: usize, n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            let mut leaf = if i % 2 == 0 {
+                json!({"a": (i as i64)})
+            } else {
+                json!({"a": (i as i64), "b": "extra"})
+            };
+            for _ in 0..depth {
+                leaf = json!([leaf]);
+            }
+            json!({"xs": leaf})
+        })
+        .collect()
+}
+
+/// Bad probes: wrong element type inside the nested arrays.
+fn bad_probes(depth: usize, n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            let mut leaf = json!({"a": format!("not-an-int-{i}")});
+            for _ in 0..depth {
+                leaf = json!([leaf]);
+            }
+            json!({"xs": leaf})
+        })
+        .collect()
+}
+
+/// Does the skinfer schema still constrain array items at the `xs` field?
+fn skinfer_retains_items(schema: &Value, depth: usize) -> bool {
+    let mut node = match schema.get("properties").and_then(|p| p.get("xs")) {
+        Some(n) => n,
+        None => return false,
+    };
+    for _ in 0..depth {
+        match node.get("items") {
+            Some(items) => node = items,
+            None => return false,
+        }
+    }
+    node.get("properties").is_some() || node.get("type").is_some()
+}
+
+fn main() {
+    banner(
+        "E12",
+        "merge-under-arrays: Skinfer drops item constraints, fusion keeps them",
+    );
+    println!(
+        "{:>6} {:>18} {:>16} {:>14} {:>14}",
+        "depth", "skinfer items?", "skinfer FAR", "K FAR", "L FAR"
+    );
+    for depth in [0usize, 1, 2, 3] {
+        let docs = nested_corpus(depth, 500);
+        let probes = bad_probes(depth, 200);
+        let skinfer = infer_skinfer(&docs);
+        let retains = skinfer_retains_items(&skinfer, depth);
+        // Skinfer FAR via jsonx-schema validation of its output schema.
+        let compiled = jsonx_schema::CompiledSchema::compile(&skinfer).unwrap();
+        let skinfer_far = probes.iter().filter(|p| compiled.is_valid(p)).count() as f64
+            / probes.len() as f64;
+        let k = infer_collection(&docs, Equivalence::Kind);
+        let l = infer_collection(&docs, Equivalence::Label);
+        println!(
+            "{:>6} {:>18} {:>15.1}% {:>13.1}% {:>13.1}%",
+            depth,
+            if depth == 0 {
+                "n/a (no array)"
+            } else if retains {
+                "kept"
+            } else {
+                "dropped"
+            },
+            skinfer_far * 100.0,
+            false_acceptance_rate(&k, &probes) * 100.0,
+            false_acceptance_rate(&l, &probes) * 100.0
+        );
+        // Fusion soundness at every depth.
+        for d in &docs {
+            assert!(k.admits(d) && l.admits(d));
+        }
+    }
+    println!("\n(at depth >= 1 the drifting element records make Skinfer drop `items`,\n admitting every malformed probe; parametric fusion keeps FAR at 0)");
+
+    let mut c: Criterion = criterion();
+    let mut group = c.benchmark_group("e12_merge");
+    let docs = nested_corpus(2, 500);
+    group.bench_function("skinfer_merge", |b| {
+        b.iter(|| infer_skinfer(black_box(&docs)))
+    });
+    group.bench_function("parametric_fusion_k", |b| {
+        b.iter(|| infer_collection(black_box(&docs), Equivalence::Kind))
+    });
+    group.finish();
+    c.final_summary();
+}

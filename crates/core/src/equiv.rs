@@ -1,0 +1,78 @@
+//! The equivalence parameter of parametric inference.
+
+use crate::types::RecordType;
+
+/// Decides when two record types collapse into one during fusion — the
+/// tunable knob of the parametric inference framework (VLDBJ 2019 calls
+/// these *equivalence relations on types*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Equivalence {
+    /// **K** — kind equivalence: any two records merge. Produces one record
+    /// type with optional fields; maximal succinctness, minimal precision.
+    Kind,
+    /// **L** — label equivalence: records merge only when their field-name
+    /// sets coincide. Keeps structurally distinct record shapes apart as
+    /// union members; maximal precision, larger schemas.
+    Label,
+}
+
+impl Equivalence {
+    /// Should these two record types be fused into one?
+    pub fn records_mergeable(&self, a: &RecordType, b: &RecordType) -> bool {
+        match self {
+            Equivalence::Kind => true,
+            Equivalence::Label => a.same_labels(b),
+        }
+    }
+
+    /// The name used in reports and benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Equivalence::Kind => "K",
+            Equivalence::Label => "L",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{FieldType, JType, RecordType};
+
+    fn rec(names: &[&str]) -> RecordType {
+        RecordType {
+            fields: names
+                .iter()
+                .map(|n| {
+                    (
+                        n.to_string(),
+                        FieldType {
+                            ty: JType::Null { count: 1 },
+                            presence: 1,
+                        },
+                    )
+                })
+                .collect(),
+            count: 1,
+        }
+    }
+
+    #[test]
+    fn kind_merges_everything() {
+        assert!(Equivalence::Kind.records_mergeable(&rec(&["a"]), &rec(&["b"])));
+        assert!(Equivalence::Kind.records_mergeable(&rec(&[]), &rec(&["x", "y"])));
+    }
+
+    #[test]
+    fn label_requires_same_names() {
+        assert!(Equivalence::Label.records_mergeable(&rec(&["a", "b"]), &rec(&["a", "b"])));
+        assert!(!Equivalence::Label.records_mergeable(&rec(&["a"]), &rec(&["a", "b"])));
+        assert!(!Equivalence::Label.records_mergeable(&rec(&["a"]), &rec(&["b"])));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Equivalence::Kind.name(), "K");
+        assert_eq!(Equivalence::Label.name(), "L");
+    }
+}

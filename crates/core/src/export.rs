@@ -1,0 +1,111 @@
+//! Exporting inferred types as JSON Schema documents.
+//!
+//! This is the bridge between the tutorial's two halves: §4.1's inferred
+//! types become §2's schema language, so a schemaless collection can be
+//! profiled and then *validated* against its own history. The integration
+//! tests assert the round-trip soundness: every document that fed an
+//! inference validates against the exported schema.
+
+use crate::types::{JType, RecordType};
+use jsonx_data::{json, Object, Value};
+
+/// Renders an inferred type as a JSON Schema document (draft-06 keywords).
+///
+/// Counting annotations have no schema counterpart and are dropped, except
+/// that field presence decides `required`.
+pub fn to_json_schema(ty: &JType) -> Value {
+    match ty {
+        // Bottom accepts nothing: the `false` schema.
+        JType::Bottom => Value::Bool(false),
+        JType::Null { .. } => json!({"type": "null"}),
+        JType::Bool { .. } => json!({"type": "boolean"}),
+        JType::Int { .. } => json!({"type": "integer"}),
+        JType::Float { .. } => json!({"type": "number"}),
+        JType::Str { .. } => json!({"type": "string"}),
+        JType::Array(at) => {
+            if matches!(*at.item, JType::Bottom) {
+                // All observed arrays were empty.
+                json!({"type": "array", "maxItems": 0})
+            } else {
+                let mut obj = Object::new();
+                obj.insert("type", Value::from("array"));
+                obj.insert("items", to_json_schema(&at.item));
+                Value::Obj(obj)
+            }
+        }
+        JType::Record(rt) => record_schema(rt),
+        JType::Union(members) => {
+            let branches: Vec<Value> = members.iter().map(to_json_schema).collect();
+            let mut obj = Object::new();
+            obj.insert("anyOf", Value::Arr(branches));
+            Value::Obj(obj)
+        }
+    }
+}
+
+fn record_schema(rt: &RecordType) -> Value {
+    let mut properties = Object::new();
+    let mut required: Vec<Value> = Vec::new();
+    for (name, field) in &rt.fields {
+        properties.insert(name.clone(), to_json_schema(&field.ty));
+        if field.presence == rt.count {
+            required.push(Value::from(name.as_str()));
+        }
+    }
+    let mut obj = Object::new();
+    obj.insert("type", Value::from("object"));
+    obj.insert("properties", Value::Obj(properties));
+    if !required.is_empty() {
+        obj.insert("required", Value::Arr(required));
+    }
+    // Inference observed a closed field set; the schema says so.
+    obj.insert("additionalProperties", Value::Bool(false));
+    Value::Obj(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::Equivalence;
+    use crate::infer::{infer_collection, infer_value};
+
+    #[test]
+    fn scalar_schemas() {
+        let t = infer_value(&json!(3), Equivalence::Kind);
+        assert_eq!(to_json_schema(&t), json!({"type": "integer"}));
+        assert_eq!(to_json_schema(&JType::Bottom), json!(false));
+    }
+
+    #[test]
+    fn record_schema_reflects_optionality() {
+        let t = infer_collection(
+            &[json!({"id": 1, "name": "a"}), json!({"id": 2})],
+            Equivalence::Kind,
+        );
+        let schema = to_json_schema(&t);
+        assert_eq!(
+            schema.get("required"),
+            Some(&json!(["id"]))
+        );
+        assert!(schema.get("properties").unwrap().get("name").is_some());
+    }
+
+    #[test]
+    fn unions_become_any_of() {
+        let t = infer_collection(&[json!(1), json!("s")], Equivalence::Kind);
+        let schema = to_json_schema(&t);
+        assert_eq!(
+            schema,
+            json!({"anyOf": [{"type": "integer"}, {"type": "string"}]})
+        );
+    }
+
+    #[test]
+    fn empty_arrays_export_max_items_zero() {
+        let t = infer_value(&json!([]), Equivalence::Kind);
+        assert_eq!(
+            to_json_schema(&t),
+            json!({"type": "array", "maxItems": 0})
+        );
+    }
+}

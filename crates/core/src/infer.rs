@@ -1,0 +1,145 @@
+//! The map step: abstracting one document into its type, and the
+//! sequential collection fold.
+
+use crate::equiv::Equivalence;
+use crate::fuse::{fuse, fuse_all};
+use crate::types::{ArrayType, FieldType, JType, RecordType};
+use jsonx_data::Value;
+
+/// Abstracts a single JSON value into its exact structural type, with all
+/// counters at 1. Array element types are fused immediately (the map step
+/// already applies the equivalence inside arrays, as in the papers).
+pub fn infer_value(value: &Value, equiv: Equivalence) -> JType {
+    match value {
+        Value::Null => JType::Null { count: 1 },
+        Value::Bool(_) => JType::Bool { count: 1 },
+        Value::Num(n) if n.is_integer() => JType::Int { count: 1 },
+        Value::Num(_) => JType::Float { count: 1 },
+        Value::Str(_) => JType::Str { count: 1 },
+        Value::Arr(items) => {
+            let item = fuse_all(items.iter().map(|v| infer_value(v, equiv)), equiv);
+            JType::Array(ArrayType {
+                item: Box::new(item),
+                count: 1,
+                total_items: items.len() as u64,
+            })
+        }
+        Value::Obj(obj) => {
+            let mut fields: Vec<(String, FieldType)> = obj
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.to_string(),
+                        FieldType {
+                            ty: infer_value(v, equiv),
+                            presence: 1,
+                        },
+                    )
+                })
+                .collect();
+            fields.sort_by(|(a, _), (b, _)| a.cmp(b));
+            JType::Record(RecordType { fields, count: 1 })
+        }
+    }
+}
+
+/// Infers the type of a whole collection: map then sequential reduce.
+pub fn infer_collection(docs: &[Value], equiv: Equivalence) -> JType {
+    docs.iter()
+        .map(|d| infer_value(d, equiv))
+        .fold(JType::Bottom, |acc, t| fuse(acc, t, equiv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    #[test]
+    fn scalar_abstraction() {
+        assert_eq!(
+            infer_value(&json!(null), Equivalence::Kind),
+            JType::Null { count: 1 }
+        );
+        assert_eq!(
+            infer_value(&json!(2.5), Equivalence::Kind),
+            JType::Float { count: 1 }
+        );
+        assert_eq!(
+            infer_value(&json!(2), Equivalence::Kind),
+            JType::Int { count: 1 }
+        );
+    }
+
+    #[test]
+    fn record_fields_are_sorted() {
+        let t = infer_value(&json!({"b": 1, "a": 2}), Equivalence::Kind);
+        let JType::Record(r) = t else { panic!() };
+        assert_eq!(r.labels().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_array_has_bottom_items() {
+        let t = infer_value(&json!([]), Equivalence::Kind);
+        let JType::Array(at) = t else { panic!() };
+        assert_eq!(*at.item, JType::Bottom);
+        assert_eq!(at.total_items, 0);
+    }
+
+    #[test]
+    fn heterogeneous_array_items_fuse() {
+        let t = infer_value(&json!([1, "a", 2, null]), Equivalence::Kind);
+        let JType::Array(at) = t else { panic!() };
+        let JType::Union(ms) = &*at.item else { panic!() };
+        assert_eq!(ms.len(), 3); // Null, Int, Str
+        assert_eq!(at.total_items, 4);
+    }
+
+    #[test]
+    fn collection_inference_counts() {
+        let docs = vec![
+            json!({"id": 1}),
+            json!({"id": 2, "tag": "x"}),
+            json!({"id": 3}),
+        ];
+        let JType::Record(r) = infer_collection(&docs, Equivalence::Kind) else {
+            panic!()
+        };
+        assert_eq!(r.count, 3);
+        assert_eq!(r.field("id").unwrap().presence, 3);
+        assert_eq!(r.field("tag").unwrap().presence, 1);
+    }
+
+    #[test]
+    fn every_input_is_admitted() {
+        let docs = vec![
+            json!({"a": [1, {"x": true}], "b": null}),
+            json!({"a": [], "c": "s"}),
+            json!({"a": [2.5], "b": null}),
+        ];
+        for equiv in [Equivalence::Kind, Equivalence::Label] {
+            let t = infer_collection(&docs, equiv);
+            for d in &docs {
+                assert!(t.admits(d), "{equiv:?} failed to admit {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_collection_is_bottom() {
+        assert_eq!(infer_collection(&[], Equivalence::Kind), JType::Bottom);
+    }
+
+    #[test]
+    fn label_inference_keeps_variants() {
+        let docs = vec![
+            json!({"kind": "a", "x": 1}),
+            json!({"kind": "b", "y": 2}),
+            json!({"kind": "a", "x": 3}),
+        ];
+        let t = infer_collection(&docs, Equivalence::Label);
+        let JType::Union(ms) = &t else { panic!("expected union, got {t:?}") };
+        assert_eq!(ms.len(), 2);
+        assert_eq!(t.count(), 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! Precision and succinctness metrics for inferred types.
+//!
+//! These are the measurement axes of the inference experiments (E3, E5,
+//! E7): how *big* is a schema, and how much does it *over-approximate* the
+//! data it was inferred from.
+
+use crate::types::JType;
+use jsonx_data::Value;
+
+/// Structural size of a type: number of nodes in the type AST (each scalar
+/// member, record, field, array and union node counts 1). The papers use
+/// this as the succinctness measure.
+pub fn type_size(ty: &JType) -> usize {
+    match ty {
+        JType::Bottom
+        | JType::Null { .. }
+        | JType::Bool { .. }
+        | JType::Int { .. }
+        | JType::Float { .. }
+        | JType::Str { .. } => 1,
+        JType::Array(at) => 1 + type_size(&at.item),
+        JType::Record(rt) => {
+            1 + rt
+                .fields
+                .iter()
+                .map(|(_, f)| 1 + type_size(&f.ty))
+                .sum::<usize>()
+        }
+        JType::Union(ms) => 1 + ms.iter().map(type_size).sum::<usize>(),
+    }
+}
+
+/// Summary metrics for one inferred type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeMetrics {
+    /// AST node count ([`type_size`]).
+    pub size: usize,
+    /// Maximum union width anywhere in the type.
+    pub max_union_width: usize,
+    /// Number of record fields marked optional.
+    pub optional_fields: usize,
+    /// Total number of record fields.
+    pub total_fields: usize,
+}
+
+/// Computes [`TypeMetrics`].
+pub fn measure(ty: &JType) -> TypeMetrics {
+    let mut m = TypeMetrics {
+        size: type_size(ty),
+        max_union_width: 0,
+        optional_fields: 0,
+        total_fields: 0,
+    };
+    walk(ty, &mut m);
+    m
+}
+
+fn walk(ty: &JType, m: &mut TypeMetrics) {
+    match ty {
+        JType::Array(at) => walk(&at.item, m),
+        JType::Record(rt) => {
+            for (_, f) in &rt.fields {
+                m.total_fields += 1;
+                if f.presence < rt.count {
+                    m.optional_fields += 1;
+                }
+                walk(&f.ty, m);
+            }
+        }
+        JType::Union(ms) => {
+            m.max_union_width = m.max_union_width.max(ms.len());
+            for member in ms {
+                walk(member, m);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Empirical precision: the fraction of `probes` (values *not* drawn from
+/// the original collection) that the type wrongly admits. Lower is more
+/// precise. This is the measurable stand-in for the papers' semantic
+/// precision comparisons — E5 uses it to show Spark-style inference
+/// (string-widened) admits nearly everything while K/L stay tight.
+pub fn false_acceptance_rate(ty: &JType, probes: &[Value]) -> f64 {
+    if probes.is_empty() {
+        return 0.0;
+    }
+    let admitted = probes.iter().filter(|p| ty.admits(p)).count();
+    admitted as f64 / probes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::Equivalence;
+    use crate::infer::infer_collection;
+    use jsonx_data::json;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(type_size(&JType::Bottom), 1);
+        let t = infer_collection(&[json!({"a": 1, "b": [true]})], Equivalence::Kind);
+        // record + (field a + Int) + (field b + array + Bool) = 6
+        assert_eq!(type_size(&t), 6);
+    }
+
+    #[test]
+    fn k_is_smaller_than_l_on_heterogeneous_data() {
+        let docs: Vec<_> = (0..20)
+            .map(|i| match i % 4 {
+                0 => json!({"a": 1}),
+                1 => json!({"a": 1, "b": 2}),
+                2 => json!({"b": 2, "c": 3}),
+                _ => json!({"c": 3}),
+            })
+            .collect();
+        let k = type_size(&infer_collection(&docs, Equivalence::Kind));
+        let l = type_size(&infer_collection(&docs, Equivalence::Label));
+        assert!(k < l, "K={k} should be smaller than L={l}");
+    }
+
+    #[test]
+    fn metrics_walk() {
+        let docs = vec![json!({"a": 1}), json!({"a": "s", "b": 2})];
+        let m = measure(&infer_collection(&docs, Equivalence::Kind));
+        assert_eq!(m.total_fields, 2);
+        assert_eq!(m.optional_fields, 1); // b
+        assert_eq!(m.max_union_width, 2); // a: Int + Str
+    }
+
+    #[test]
+    fn far_distinguishes_precision() {
+        let docs = vec![json!({"a": 1}), json!({"a": 2})];
+        let l = infer_collection(&docs, Equivalence::Label);
+        let probes = vec![json!({"a": "oops"}), json!({"a": 3}), json!({"b": 1})];
+        let far = false_acceptance_rate(&l, &probes);
+        // Only {"a": 3} is admitted.
+        assert!((far - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(false_acceptance_rate(&l, &[]), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Parallel inference over a crossbeam worker pool.
+//!
+//! The papers run the map/reduce on Spark; here the same algebra runs on
+//! threads. Each worker folds one contiguous partition of the collection
+//! (map + local reduce), then the per-partition types are fused in a final
+//! reduce. Because fusion is commutative and associative with `Bottom` as
+//! unit, the result equals the sequential fold — a property pinned in the
+//! crate's proptest suite.
+
+use crate::equiv::Equivalence;
+use crate::fuse::{fuse, fuse_all};
+use crate::infer::infer_value;
+use crate::types::JType;
+use jsonx_data::Value;
+
+/// Parallel execution settings.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelOptions {
+    /// Number of worker threads (0 = number of available CPUs).
+    pub workers: usize,
+    /// Minimum documents per partition; tiny collections run sequentially.
+    pub min_chunk: usize,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            workers: 0,
+            min_chunk: 256,
+        }
+    }
+}
+
+impl ParallelOptions {
+    /// A fixed worker count (used by the scalability experiment E6).
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelOptions {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Infers the type of `docs` using a pool of scoped worker threads.
+pub fn infer_collection_parallel(
+    docs: &[Value],
+    equiv: Equivalence,
+    opts: ParallelOptions,
+) -> JType {
+    let workers = opts.effective_workers().max(1);
+    if workers == 1 || docs.len() < opts.min_chunk.max(1) * 2 {
+        return crate::infer::infer_collection(docs, equiv);
+    }
+    let chunk = docs.len().div_ceil(workers).max(opts.min_chunk.max(1));
+    let partials: Vec<JType> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = docs
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move |_| {
+                    part.iter()
+                        .map(|d| infer_value(d, equiv))
+                        .fold(JType::Bottom, |acc, t| fuse(acc, t, equiv))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("inference worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+    fuse_all(partials, equiv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer_collection;
+    use jsonx_data::json;
+
+    fn corpus(n: usize) -> Vec<Value> {
+        (0..n)
+            .map(|i| match i % 4 {
+                0 => json!({"id": (i as i64), "name": "a"}),
+                1 => json!({"id": (i as i64)}),
+                2 => json!({"id": format!("s{i}"), "tags": [1, "x"]}),
+                _ => json!({"geo": {"lat": 1.5, "lon": -0.5}, "id": (i as i64)}),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let docs = corpus(2_000);
+        for equiv in [Equivalence::Kind, Equivalence::Label] {
+            let seq = infer_collection(&docs, equiv);
+            for workers in [1, 2, 3, 8] {
+                let par = infer_collection_parallel(
+                    &docs,
+                    equiv,
+                    ParallelOptions {
+                        workers,
+                        min_chunk: 16,
+                    },
+                );
+                assert_eq!(par, seq, "workers={workers} equiv={equiv:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_collections_fall_back_to_sequential() {
+        let docs = corpus(10);
+        let par = infer_collection_parallel(&docs, Equivalence::Kind, ParallelOptions::default());
+        assert_eq!(par, infer_collection(&docs, Equivalence::Kind));
+    }
+
+    #[test]
+    fn empty_collection() {
+        assert_eq!(
+            infer_collection_parallel(&[], Equivalence::Kind, ParallelOptions::default()),
+            JType::Bottom
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Rendering inferred types in the papers' concrete syntax.
+//!
+//! The grammar mirrors the EDBT/VLDBJ papers:
+//!
+//! ```text
+//! T ::= Null | Bool | Int | Num | Str
+//!     | { l: T, l?: T, … }        (record; ? marks optional fields)
+//!     | [ T ]                     (array; [] when all arrays were empty)
+//!     | (T + T + …)               (union)
+//! ```
+//!
+//! With [`PrintOptions::with_counts`], counting annotations are attached:
+//! `Str(12)`, `{… (7)}`, field presence `name: Str (5/7)`.
+
+use crate::types::{FieldType, JType, RecordType};
+
+/// Printer configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrintOptions {
+    /// Attach counting annotations.
+    pub counts: bool,
+}
+
+impl PrintOptions {
+    /// Plain structural types, no counters.
+    pub fn plain() -> Self {
+        PrintOptions { counts: false }
+    }
+
+    /// Counting types (DBPL 2017 style).
+    pub fn with_counts() -> Self {
+        PrintOptions { counts: true }
+    }
+}
+
+/// Renders a type.
+pub fn print_type(ty: &JType, opts: PrintOptions) -> String {
+    let mut out = String::new();
+    write_type(ty, opts, &mut out);
+    out
+}
+
+fn write_type(ty: &JType, opts: PrintOptions, out: &mut String) {
+    match ty {
+        JType::Bottom => out.push('⊥'),
+        JType::Null { count } => write_scalar("Null", *count, opts, out),
+        JType::Bool { count } => write_scalar("Bool", *count, opts, out),
+        JType::Int { count } => write_scalar("Int", *count, opts, out),
+        JType::Float { count } => write_scalar("Num", *count, opts, out),
+        JType::Str { count } => write_scalar("Str", *count, opts, out),
+        JType::Array(at) => {
+            out.push('[');
+            if !matches!(*at.item, JType::Bottom) {
+                write_type(&at.item, opts, out);
+            }
+            out.push(']');
+            if opts.counts {
+                out.push_str(&format!("({}#{})", at.count, at.total_items));
+            }
+        }
+        JType::Record(rt) => write_record(rt, opts, out),
+        JType::Union(members) => {
+            out.push('(');
+            for (i, m) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" + ");
+                }
+                write_type(m, opts, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn write_scalar(name: &str, count: u64, opts: PrintOptions, out: &mut String) {
+    out.push_str(name);
+    if opts.counts {
+        out.push_str(&format!("({count})"));
+    }
+}
+
+fn write_record(rt: &RecordType, opts: PrintOptions, out: &mut String) {
+    out.push('{');
+    for (i, (name, field)) in rt.fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_field(name, field, rt, opts, out);
+    }
+    out.push('}');
+    if opts.counts {
+        out.push_str(&format!("({})", rt.count));
+    }
+}
+
+fn write_field(name: &str, field: &FieldType, rt: &RecordType, opts: PrintOptions, out: &mut String) {
+    // Quote names that would not re-parse as identifiers.
+    if is_plain_ident(name) {
+        out.push_str(name);
+    } else {
+        out.push('"');
+        for c in name.chars() {
+            if c == '"' || c == '\\' {
+                out.push('\\');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    }
+    if field.presence < rt.count {
+        out.push('?');
+    }
+    out.push_str(": ");
+    write_type(&field.ty, opts, out);
+    if opts.counts {
+        out.push_str(&format!(" ({}/{})", field.presence, rt.count));
+    }
+}
+
+pub(crate) fn is_plain_ident(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::Equivalence;
+    use crate::infer::{infer_collection, infer_value};
+    use jsonx_data::json;
+
+    #[test]
+    fn scalar_rendering() {
+        let t = infer_value(&json!(1), Equivalence::Kind);
+        assert_eq!(print_type(&t, PrintOptions::plain()), "Int");
+        assert_eq!(print_type(&t, PrintOptions::with_counts()), "Int(1)");
+    }
+
+    #[test]
+    fn record_with_optional_fields() {
+        let t = infer_collection(
+            &[json!({"id": 1, "name": "a"}), json!({"id": 2})],
+            Equivalence::Kind,
+        );
+        assert_eq!(
+            print_type(&t, PrintOptions::plain()),
+            "{id: Int, name?: Str}"
+        );
+        assert_eq!(
+            print_type(&t, PrintOptions::with_counts()),
+            "{id: Int(2) (2/2), name?: Str(1) (1/2)}(2)"
+        );
+    }
+
+    #[test]
+    fn arrays_and_unions() {
+        let t = infer_value(&json!([1, "a"]), Equivalence::Kind);
+        assert_eq!(print_type(&t, PrintOptions::plain()), "[(Int + Str)]");
+        let t = infer_value(&json!([]), Equivalence::Kind);
+        assert_eq!(print_type(&t, PrintOptions::plain()), "[]");
+    }
+
+    #[test]
+    fn exotic_field_names_are_quoted() {
+        let t = infer_value(&json!({"a b": 1, "ok_1": 2}), Equivalence::Kind);
+        assert_eq!(
+            print_type(&t, PrintOptions::plain()),
+            "{\"a b\": Int, ok_1: Int}"
+        );
+    }
+
+    #[test]
+    fn bottom_renders() {
+        assert_eq!(print_type(&JType::Bottom, PrintOptions::plain()), "⊥");
+    }
+}

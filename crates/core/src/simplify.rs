@@ -1,0 +1,292 @@
+//! Post-inference abstractions: widening and union collapse.
+//!
+//! The VLDBJ paper frames schema inference as picking a point on a
+//! precision/succinctness spectrum. Fusion under **L** sits at the precise
+//! end; these operators move an inferred type toward succinctness without
+//! re-running inference:
+//!
+//! * [`widen_numeric`] — collapse `Int + Num` into `Num` (what Spark calls
+//!   numeric widening),
+//! * [`collapse_record_unions`] — forcibly merge all record members of
+//!   every union (turning an L-inferred type into its K abstraction),
+//! * [`bound_union_width`] — keep the most populous `k` members of each
+//!   union and merge the tail kind-wise, the "top-k + rest" abstraction.
+
+use crate::equiv::Equivalence;
+use crate::fuse::fuse_all;
+use crate::types::{ArrayType, FieldType, JType, RecordType};
+
+/// Rebuilds a type applying `f` bottom-up to every node.
+fn map_type(ty: JType, f: &impl Fn(JType) -> JType) -> JType {
+    let rebuilt = match ty {
+        JType::Record(rt) => JType::Record(RecordType {
+            fields: rt
+                .fields
+                .into_iter()
+                .map(|(name, field)| {
+                    (
+                        name,
+                        FieldType {
+                            ty: map_type(field.ty, f),
+                            presence: field.presence,
+                        },
+                    )
+                })
+                .collect(),
+            count: rt.count,
+        }),
+        JType::Array(at) => JType::Array(ArrayType {
+            item: Box::new(map_type(*at.item, f)),
+            count: at.count,
+            total_items: at.total_items,
+        }),
+        JType::Union(ms) => JType::Union(ms.into_iter().map(|m| map_type(m, f)).collect()),
+        scalar => scalar,
+    };
+    f(rebuilt)
+}
+
+/// Collapses `Int + Num` unions (anywhere in the type) into a single `Num`.
+pub fn widen_numeric(ty: JType) -> JType {
+    map_type(ty, &|t| match t {
+        JType::Union(ms) => {
+            let mut int_count = 0;
+            let mut float_count = 0;
+            let mut has_both = (false, false);
+            for m in &ms {
+                match m {
+                    JType::Int { count } => {
+                        int_count = *count;
+                        has_both.0 = true;
+                    }
+                    JType::Float { count } => {
+                        float_count = *count;
+                        has_both.1 = true;
+                    }
+                    _ => {}
+                }
+            }
+            if has_both.0 && has_both.1 {
+                let mut rest: Vec<JType> = ms
+                    .into_iter()
+                    .filter(|m| !matches!(m, JType::Int { .. } | JType::Float { .. }))
+                    .collect();
+                rest.push(JType::Float {
+                    count: int_count + float_count,
+                });
+                if rest.len() == 1 {
+                    rest.pop().expect("len checked")
+                } else {
+                    rest.sort_by_key(|a| a.rank());
+                    JType::Union(rest)
+                }
+            } else {
+                JType::Union(ms)
+            }
+        }
+        other => other,
+    })
+}
+
+/// Merges every group of record members inside each union — the K
+/// abstraction of an L-inferred type.
+pub fn collapse_record_unions(ty: JType) -> JType {
+    map_type(ty, &|t| match t {
+        JType::Union(ms) => {
+            let (records, mut rest): (Vec<JType>, Vec<JType>) = ms
+                .into_iter()
+                .partition(|m| matches!(m, JType::Record(_)));
+            if records.len() > 1 {
+                let merged = fuse_all(records, Equivalence::Kind);
+                rest.push(merged);
+                if rest.len() == 1 {
+                    rest.pop().expect("len checked")
+                } else {
+                    rest.sort_by_key(|a| a.rank());
+                    JType::Union(rest)
+                }
+            } else {
+                rest.extend(records);
+                if rest.len() == 1 {
+                    rest.pop().expect("len checked")
+                } else {
+                    rest.sort_by_key(|a| a.rank());
+                    JType::Union(rest)
+                }
+            }
+        }
+        other => other,
+    })
+}
+
+/// Applies the K abstraction only *below* `depth` record levels — the
+/// depth-bounded L(d) family between L (d = ∞) and K (d = 0): the top
+/// `depth` levels keep label-precise unions, deeper structure collapses
+/// to single records with optional fields.
+pub fn collapse_below_depth(ty: JType, depth: usize) -> JType {
+    if depth == 0 {
+        return collapse_record_unions(ty);
+    }
+    match ty {
+        JType::Record(rt) => JType::Record(RecordType {
+            fields: rt
+                .fields
+                .into_iter()
+                .map(|(name, field)| {
+                    (
+                        name,
+                        FieldType {
+                            ty: collapse_below_depth(field.ty, depth - 1),
+                            presence: field.presence,
+                        },
+                    )
+                })
+                .collect(),
+            count: rt.count,
+        }),
+        JType::Array(at) => JType::Array(ArrayType {
+            item: Box::new(collapse_below_depth(*at.item, depth - 1)),
+            count: at.count,
+            total_items: at.total_items,
+        }),
+        JType::Union(ms) => {
+            let members: Vec<JType> = ms
+                .into_iter()
+                .map(|m| collapse_below_depth(m, depth))
+                .collect();
+            JType::Union(members)
+        }
+        scalar => scalar,
+    }
+}
+
+/// Bounds every union to at most `k` members: the `k-1` most populous stay
+/// as-is, the rest are fused kind-wise into a single "rest" member.
+pub fn bound_union_width(ty: JType, k: usize) -> JType {
+    assert!(k >= 1, "union width bound must be at least 1");
+    map_type(ty, &|t| match t {
+        JType::Union(mut ms) if ms.len() > k => {
+            // Most populous first.
+            ms.sort_by_key(|m| std::cmp::Reverse(m.count()));
+            let tail = ms.split_off(k - 1);
+            let merged_tail = fuse_all(tail, Equivalence::Kind);
+            for m in merged_tail.members() {
+                ms.push(m.clone());
+            }
+            ms.sort_by_key(|a| a.rank());
+            if ms.len() == 1 {
+                ms.pop().expect("len checked")
+            } else {
+                JType::Union(ms)
+            }
+        }
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer_collection;
+    use jsonx_data::json;
+
+    #[test]
+    fn numeric_widening() {
+        let t = infer_collection(&[json!(1), json!(2.5), json!("s")], Equivalence::Kind);
+        let w = widen_numeric(t);
+        assert_eq!(
+            w,
+            JType::Union(vec![JType::Float { count: 2 }, JType::Str { count: 1 }])
+        );
+        // Idempotent and harmless when nothing to widen.
+        assert_eq!(widen_numeric(w.clone()), w);
+    }
+
+    #[test]
+    fn widening_reaches_nested_positions() {
+        let t = infer_collection(
+            &[json!({"x": [1, 2.5]}), json!({"x": [3]})],
+            Equivalence::Kind,
+        );
+        let w = widen_numeric(t);
+        let JType::Record(r) = w else { panic!() };
+        let JType::Array(at) = &r.field("x").unwrap().ty else {
+            panic!()
+        };
+        assert_eq!(*at.item.clone(), JType::Float { count: 3 });
+    }
+
+    #[test]
+    fn l_to_k_collapse() {
+        let docs = vec![
+            json!({"a": 1}),
+            json!({"b": "x"}),
+            json!({"a": 2, "b": "y"}),
+        ];
+        let l = infer_collection(&docs, Equivalence::Label);
+        assert!(matches!(&l, JType::Union(ms) if ms.len() == 3));
+        let collapsed = collapse_record_unions(l);
+        let k = infer_collection(&docs, Equivalence::Kind);
+        assert_eq!(collapsed, k);
+    }
+
+    #[test]
+    fn depth_bounded_collapse_interpolates() {
+        // Top-level shapes differ AND nested shapes differ.
+        let docs = vec![
+            json!({"a": {"x": 1}}),
+            json!({"a": {"y": 2}}),
+            json!({"b": {"x": 1}}),
+        ];
+        let l = infer_collection(&docs, Equivalence::Label);
+        // d = 0 equals full K.
+        assert_eq!(
+            collapse_below_depth(l.clone(), 0),
+            infer_collection(&docs, Equivalence::Kind)
+        );
+        // Large d is the identity (nothing deeper to collapse).
+        assert_eq!(collapse_below_depth(l.clone(), 10), l);
+        // d = 1: top-level union survives, nested records merge.
+        let d1 = collapse_below_depth(l.clone(), 1);
+        let JType::Union(ms) = &d1 else { panic!("top union expected") };
+        assert_eq!(ms.len(), 2);
+        for m in ms {
+            let JType::Record(r) = m else { panic!() };
+            for (_, f) in &r.fields {
+                assert!(
+                    !matches!(f.ty, JType::Union(_)),
+                    "nested unions must have collapsed"
+                );
+            }
+        }
+        // Soundness survives every depth.
+        for d in 0..3 {
+            let t = collapse_below_depth(l.clone(), d);
+            for doc in &docs {
+                assert!(t.admits(doc), "depth {d} lost {doc}");
+            }
+        }
+    }
+
+    #[test]
+    fn union_width_bounding() {
+        let docs: Vec<_> = (0..6)
+            .map(|i| {
+                let key = format!("k{i}");
+                json!({ key: i })
+            })
+            .collect();
+        let l = infer_collection(&docs, Equivalence::Label);
+        assert!(matches!(&l, JType::Union(ms) if ms.len() == 6));
+        let bounded = bound_union_width(l.clone(), 3);
+        let JType::Union(ms) = &bounded else { panic!() };
+        assert!(ms.len() <= 3);
+        // All six documents still admitted.
+        for d in &docs {
+            assert!(bounded.admits(d));
+        }
+        // k=1 collapses to a single type.
+        let single = bound_union_width(l, 1);
+        assert!(!matches!(single, JType::Union(_)));
+    }
+}

@@ -1,0 +1,391 @@
+//! Parser for the concrete type syntax emitted by [`crate::printer`].
+//!
+//! Round-tripping types through text matters operationally: the massive-
+//! inference papers exchange partial schemas between workers, and users
+//! want to store inferred schemas and re-load them. `parse_type` accepts
+//! both plain and counting renderings.
+
+use crate::types::{ArrayType, FieldType, JType, RecordType};
+use std::fmt;
+
+/// Field data accumulated during record parsing:
+/// (name, optional marker, type, optional `(presence/count)` annotation).
+type RawField = (String, bool, JType, Option<(u64, u64)>);
+
+/// A type-syntax parse error with a character offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeParseError {
+    /// Offset (in characters) where parsing failed.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TypeParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type syntax error at {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for TypeParseError {}
+
+/// Parses a type rendered by [`crate::print_type`].
+pub fn parse_type(text: &str) -> Result<JType, TypeParseError> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut p = P { chars, pos: 0 };
+    p.skip_ws();
+    let t = p.parse_type()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(t)
+}
+
+struct P {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl P {
+    fn err(&self, message: &str) -> TypeParseError {
+        TypeParseError {
+            at: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), TypeParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{c}'")))
+        }
+    }
+
+    fn parse_type(&mut self) -> Result<JType, TypeParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => self.parse_union(),
+            Some('[') => self.parse_array(),
+            Some('{') => self.parse_record(),
+            Some('⊥') => {
+                self.bump();
+                Ok(JType::Bottom)
+            }
+            Some(c) if c.is_ascii_alphabetic() => self.parse_scalar(),
+            _ => Err(self.err("expected a type")),
+        }
+    }
+
+    fn parse_union(&mut self) -> Result<JType, TypeParseError> {
+        self.expect('(')?;
+        let mut members = vec![self.parse_type()?];
+        loop {
+            self.skip_ws();
+            if self.eat('+') {
+                members.push(self.parse_type()?);
+            } else {
+                break;
+            }
+        }
+        self.skip_ws();
+        self.expect(')')?;
+        Ok(if members.len() == 1 {
+            // Parenthesised single type.
+            members.pop().expect("len checked")
+        } else {
+            JType::Union(members)
+        })
+    }
+
+    fn parse_array(&mut self) -> Result<JType, TypeParseError> {
+        self.expect('[')?;
+        self.skip_ws();
+        let item = if self.peek() == Some(']') {
+            JType::Bottom
+        } else {
+            self.parse_type()?
+        };
+        self.skip_ws();
+        self.expect(']')?;
+        let (count, total_items) = self.parse_array_counts()?.unwrap_or((1, 0));
+        Ok(JType::Array(ArrayType {
+            item: Box::new(item),
+            count,
+            total_items,
+        }))
+    }
+
+    /// Parses the optional `(count#items)` suffix of arrays.
+    fn parse_array_counts(&mut self) -> Result<Option<(u64, u64)>, TypeParseError> {
+        let save = self.pos;
+        if !self.eat('(') {
+            return Ok(None);
+        }
+        let Some(count) = self.parse_number() else {
+            self.pos = save;
+            return Ok(None);
+        };
+        if !self.eat('#') {
+            self.pos = save;
+            return Ok(None);
+        }
+        let total = self
+            .parse_number()
+            .ok_or_else(|| self.err("expected item count after '#'"))?;
+        self.expect(')')?;
+        Ok(Some((count, total)))
+    }
+
+    fn parse_scalar(&mut self) -> Result<JType, TypeParseError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        let name: String = self.chars[start..self.pos].iter().collect();
+        let count = self.parse_count_suffix().unwrap_or(1);
+        Ok(match name.as_str() {
+            "Null" => JType::Null { count },
+            "Bool" => JType::Bool { count },
+            "Int" => JType::Int { count },
+            "Num" => JType::Float { count },
+            "Str" => JType::Str { count },
+            other => {
+                return Err(TypeParseError {
+                    at: start,
+                    message: format!("unknown type name '{other}'"),
+                })
+            }
+        })
+    }
+
+    /// Parses an optional `(n)` counting suffix.
+    fn parse_count_suffix(&mut self) -> Option<u64> {
+        let save = self.pos;
+        if !self.eat('(') {
+            return None;
+        }
+        let Some(n) = self.parse_number() else {
+            self.pos = save;
+            return None;
+        };
+        if !self.eat(')') {
+            self.pos = save;
+            return None;
+        }
+        Some(n)
+    }
+
+    fn parse_number(&mut self) -> Option<u64> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return None;
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .ok()
+    }
+
+    fn parse_record(&mut self) -> Result<JType, TypeParseError> {
+        self.expect('{')?;
+        let mut raw_fields: Vec<RawField> = Vec::new();
+        self.skip_ws();
+        if !self.eat('}') {
+            loop {
+                self.skip_ws();
+                let name = self.parse_field_name()?;
+                let optional = self.eat('?');
+                self.skip_ws();
+                self.expect(':')?;
+                let ty = self.parse_type()?;
+                self.skip_ws();
+                let presence = self.parse_presence_suffix()?;
+                self.skip_ws();
+                raw_fields.push((name, optional, ty, presence));
+                if self.eat(',') {
+                    continue;
+                }
+                self.expect('}')?;
+                break;
+            }
+        }
+        let record_count = self.parse_count_suffix();
+
+        // Reconstruct counters. With explicit annotations we trust them;
+        // otherwise count=1 and optional fields get presence 0 (the plain
+        // rendering does not retain exact statistics).
+        let count = record_count
+            .or_else(|| raw_fields.iter().find_map(|(_, _, _, p)| p.map(|(_, c)| c)))
+            .unwrap_or(1);
+        let mut fields: Vec<(String, FieldType)> = raw_fields
+            .into_iter()
+            .map(|(name, optional, ty, presence)| {
+                let presence = match presence {
+                    Some((p, _)) => p,
+                    None if optional => count.saturating_sub(1),
+                    None => count,
+                };
+                (name, FieldType { ty, presence })
+            })
+            .collect();
+        fields.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Ok(JType::Record(RecordType { fields, count }))
+    }
+
+    /// Parses a `(presence/count)` suffix after a field type.
+    fn parse_presence_suffix(&mut self) -> Result<Option<(u64, u64)>, TypeParseError> {
+        let save = self.pos;
+        if !self.eat('(') {
+            return Ok(None);
+        }
+        let Some(p) = self.parse_number() else {
+            self.pos = save;
+            return Ok(None);
+        };
+        if !self.eat('/') {
+            self.pos = save;
+            return Ok(None);
+        }
+        let c = self
+            .parse_number()
+            .ok_or_else(|| self.err("expected total after '/'"))?;
+        self.expect(')')?;
+        Ok(Some((p, c)))
+    }
+
+    fn parse_field_name(&mut self) -> Result<String, TypeParseError> {
+        if self.eat('"') {
+            let mut out = String::new();
+            loop {
+                match self.bump() {
+                    Some('\\') => match self.bump() {
+                        Some(c) => out.push(c),
+                        None => return Err(self.err("unterminated field name")),
+                    },
+                    Some('"') => return Ok(out),
+                    Some(c) => out.push(c),
+                    None => return Err(self.err("unterminated field name")),
+                }
+            }
+        }
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a field name"));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::{print_type, PrintOptions};
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse_type("Int").unwrap(), JType::Int { count: 1 });
+        assert_eq!(parse_type("Str(7)").unwrap(), JType::Str { count: 7 });
+        assert_eq!(parse_type("Num").unwrap(), JType::Float { count: 1 });
+        assert!(parse_type("Widget").is_err());
+    }
+
+    #[test]
+    fn composites() {
+        let t = parse_type("[(Int + Str)]").unwrap();
+        let JType::Array(at) = t else { panic!() };
+        assert!(matches!(*at.item, JType::Union(_)));
+        let t = parse_type("{a: Int, b?: Str}").unwrap();
+        let JType::Record(r) = t else { panic!() };
+        assert!(r.is_optional("b"));
+        assert!(!r.is_optional("a"));
+    }
+
+    #[test]
+    fn quoted_field_names() {
+        let t = parse_type("{\"a b\": Int}").unwrap();
+        let JType::Record(r) = t else { panic!() };
+        assert!(r.field("a b").is_some());
+    }
+
+    #[test]
+    fn counting_round_trip_exact() {
+        use crate::equiv::Equivalence;
+        use crate::infer::infer_collection;
+        use jsonx_data::json;
+        let docs = vec![
+            json!({"id": 1, "tags": ["a", "b"], "geo": null}),
+            json!({"id": 2, "tags": []}),
+            json!({"id": "x", "tags": [1]}),
+        ];
+        for equiv in [Equivalence::Kind, Equivalence::Label] {
+            let t = infer_collection(&docs, equiv);
+            let text = print_type(&t, PrintOptions::with_counts());
+            let back = parse_type(&text).unwrap();
+            assert_eq!(back, t, "round-trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn plain_round_trip_is_stable() {
+        let text = "{id: (Int + Str), tags?: [Str]}";
+        let t = parse_type(text).unwrap();
+        assert_eq!(print_type(&t, PrintOptions::plain()), text);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_type("{a Int}").unwrap_err();
+        assert!(err.at > 0);
+        assert!(parse_type("(Int +").is_err());
+        assert!(parse_type("Int garbage").is_err());
+        assert!(parse_type("").is_err());
+    }
+
+    #[test]
+    fn bottom_and_empty_array() {
+        assert_eq!(parse_type("⊥").unwrap(), JType::Bottom);
+        let JType::Array(at) = parse_type("[]").unwrap() else {
+            panic!()
+        };
+        assert_eq!(*at.item, JType::Bottom);
+    }
+}

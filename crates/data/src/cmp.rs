@@ -1,0 +1,129 @@
+//! Canonical total order over JSON values.
+//!
+//! Several schema features need *set* semantics over arbitrary values —
+//! JSON Schema's `uniqueItems` and `enum`, skeleton deduplication, and the
+//! equivalence tests in the inference engine. [`canonical_cmp`] provides a
+//! total order: values are ranked by kind first, then compared structurally,
+//! with object fields compared in sorted key order so that key insertion
+//! order never affects the result.
+
+use crate::value::Value;
+use std::cmp::Ordering;
+
+fn kind_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Num(_) => 2,
+        Value::Str(_) => 3,
+        Value::Arr(_) => 4,
+        Value::Obj(_) => 5,
+    }
+}
+
+/// Compares two values in the canonical total order.
+pub fn canonical_cmp(a: &Value, b: &Value) -> Ordering {
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Num(x), Value::Num(y)) => x.cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Arr(x), Value::Arr(y)) => {
+            for (xi, yi) in x.iter().zip(y.iter()) {
+                let ord = canonical_cmp(xi, yi);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Obj(x), Value::Obj(y)) => {
+            let xs = x.sorted_entries();
+            let ys = y.sorted_entries();
+            for ((kx, vx), (ky, vy)) in xs.iter().zip(ys.iter()) {
+                let ord = kx.cmp(ky).then_with(|| canonical_cmp(vx, vy));
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            xs.len().cmp(&ys.len())
+        }
+        _ => kind_rank(a).cmp(&kind_rank(b)),
+    }
+}
+
+/// Equality under the canonical order (agrees with `PartialEq` on `Value`).
+pub fn canonical_eq(a: &Value, b: &Value) -> bool {
+    canonical_cmp(a, b) == Ordering::Equal
+}
+
+/// Sorts and deduplicates a set of values in canonical order.
+pub fn canonical_dedup(values: &mut Vec<Value>) {
+    values.sort_by(canonical_cmp);
+    values.dedup_by(|a, b| canonical_eq(a, b));
+}
+
+/// True when all elements of `values` are pairwise distinct
+/// (JSON Schema `uniqueItems`).
+pub fn all_unique(values: &[Value]) -> bool {
+    let mut sorted: Vec<&Value> = values.iter().collect();
+    sorted.sort_by(|a, b| canonical_cmp(a, b));
+    sorted.windows(2).all(|w| !canonical_eq(w[0], w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Object;
+
+    #[test]
+    fn kinds_rank_before_content() {
+        assert_eq!(
+            canonical_cmp(&Value::Null, &Value::from(false)),
+            Ordering::Less
+        );
+        assert_eq!(
+            canonical_cmp(&Value::from("z"), &Value::Arr(vec![])),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn arrays_compare_lexicographically() {
+        let a = Value::from(vec![1, 2]);
+        let b = Value::from(vec![1, 2, 0]);
+        let c = Value::from(vec![1, 3]);
+        assert_eq!(canonical_cmp(&a, &b), Ordering::Less);
+        assert_eq!(canonical_cmp(&b, &c), Ordering::Less);
+    }
+
+    #[test]
+    fn objects_compare_order_insensitively() {
+        let mut a = Object::new();
+        a.insert("x", Value::from(1));
+        a.insert("y", Value::from(2));
+        let mut b = Object::new();
+        b.insert("y", Value::from(2));
+        b.insert("x", Value::from(1));
+        assert_eq!(canonical_cmp(&Value::Obj(a), &Value::Obj(b)), Ordering::Equal);
+    }
+
+    #[test]
+    fn numeric_equality_across_variants() {
+        assert!(canonical_eq(&Value::from(2), &Value::from(2.0)));
+    }
+
+    #[test]
+    fn dedup_and_uniqueness() {
+        let mut v = vec![
+            Value::from(1),
+            Value::from(1.0),
+            Value::from("a"),
+            Value::Null,
+        ];
+        assert!(!all_unique(&v));
+        canonical_dedup(&mut v);
+        assert_eq!(v.len(), 3);
+        assert!(all_unique(&v));
+    }
+}

@@ -1,0 +1,94 @@
+//! The seven JSON kinds.
+//!
+//! "Kind" is the coarsest type abstraction the tutorial works with: it is the
+//! *K* (kind) equivalence of the parametric inference line, the `type`
+//! keyword vocabulary of JSON Schema, and the branch discriminator of every
+//! union type. `Integer` is split from `Number` because schema languages and
+//! the inference papers treat it as a distinct primitive.
+
+use std::fmt;
+
+/// The kind (top-level type) of a JSON value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Kind {
+    Null,
+    Boolean,
+    Integer,
+    Number,
+    String,
+    Array,
+    Object,
+}
+
+impl Kind {
+    /// All kinds in canonical order.
+    pub const ALL: [Kind; 7] = [
+        Kind::Null,
+        Kind::Boolean,
+        Kind::Integer,
+        Kind::Number,
+        Kind::String,
+        Kind::Array,
+        Kind::Object,
+    ];
+
+    /// The JSON Schema `type` keyword spelling of this kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kind::Null => "null",
+            Kind::Boolean => "boolean",
+            Kind::Integer => "integer",
+            Kind::Number => "number",
+            Kind::String => "string",
+            Kind::Array => "array",
+            Kind::Object => "object",
+        }
+    }
+
+    /// Parses a JSON Schema `type` keyword spelling.
+    pub fn from_name(name: &str) -> Option<Kind> {
+        Some(match name {
+            "null" => Kind::Null,
+            "boolean" => Kind::Boolean,
+            "integer" => Kind::Integer,
+            "number" => Kind::Number,
+            "string" => Kind::String,
+            "array" => Kind::Array,
+            "object" => Kind::Object,
+            _ => return None,
+        })
+    }
+
+    /// True when `self` accepts every value `other` accepts — only
+    /// `number ⊇ integer` beyond reflexivity.
+    pub fn subsumes(&self, other: Kind) -> bool {
+        *self == other || (*self == Kind::Number && other == Kind::Integer)
+    }
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for k in Kind::ALL {
+            assert_eq!(Kind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(Kind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn number_subsumes_integer() {
+        assert!(Kind::Number.subsumes(Kind::Integer));
+        assert!(!Kind::Integer.subsumes(Kind::Number));
+        assert!(Kind::String.subsumes(Kind::String));
+        assert!(!Kind::String.subsumes(Kind::Null));
+    }
+}

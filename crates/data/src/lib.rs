@@ -1,0 +1,38 @@
+//! # jsonx-data
+//!
+//! The JSON data model shared by every crate in the `jsonx` workspace.
+//!
+//! This crate deliberately contains *no* parsing or schema logic: it is the
+//! substrate that the tutorial's §1 ("JSON primer") describes — values built
+//! from the seven JSON kinds (null, true/false, numbers, strings, arrays,
+//! objects), plus the operations every schema/type tool needs:
+//!
+//! * [`Value`] — an owned JSON value with order-preserving objects,
+//! * [`Number`] — an exact number representation with canonical equality
+//!   across the integer/float boundary,
+//! * [`Object`] — an insertion-ordered string→value map,
+//! * [`Pointer`] — RFC 6901 JSON Pointers for addressing into values,
+//! * [`cmp::canonical_cmp`] — a total order on values used by
+//!   schema tools for deduplication and set semantics (`uniqueItems`,
+//!   `enum`),
+//! * [`metrics`] — structural size/depth/path statistics used by the
+//!   schema-size experiments (E7, E8).
+
+pub mod cmp;
+pub mod kind;
+pub mod metrics;
+pub mod number;
+pub mod object;
+pub mod pointer;
+pub mod value;
+
+#[macro_use]
+mod macros;
+
+pub use cmp::{all_unique, canonical_cmp, canonical_dedup, canonical_eq};
+pub use metrics::{label_paths, max_depth, node_count, text_size, LabelPath, LabelStep};
+pub use kind::Kind;
+pub use number::Number;
+pub use object::Object;
+pub use pointer::{Pointer, PointerParseError, Token};
+pub use value::Value;

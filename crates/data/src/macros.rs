@@ -1,0 +1,221 @@
+//! The [`json!`](crate::json) literal macro.
+//!
+//! A token-tree muncher in the style of `serde_json::json!`, so that
+//! arbitrary expressions — including negative literals and method calls —
+//! work in both key and value position.
+
+/// Builds a [`Value`](crate::Value) from JSON-like Rust syntax.
+///
+/// ```
+/// use jsonx_data::{json, Value};
+///
+/// let v = json!({
+///     "id": 7,
+///     "name": "ada",
+///     "delta": -1.5,
+///     "tags": ["a", "b"],
+///     "meta": { "active": true, "score": 1.5, "note": null },
+/// });
+/// assert_eq!(v.get("name").and_then(Value::as_str), Some("ada"));
+/// assert_eq!(v.get("delta").and_then(Value::as_f64), Some(-1.5));
+/// ```
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Implementation detail of [`json!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    //////////////////////////////////////////////////////////////////////
+    // Array munching: @array [built elements] remaining tokens
+    //////////////////////////////////////////////////////////////////////
+
+    // Done with trailing comma / no trailing comma.
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+
+    // Next element is a composite or keyword, followed by more.
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($arr)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($obj:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($obj)*})] $($rest)*)
+    };
+    // Next element is an expression followed by a comma.
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    // Last element is an expression with no trailing comma.
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    // Comma after the most recent element.
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    //////////////////////////////////////////////////////////////////////
+    // Object munching: @object $map (current key tokens) (value tokens)
+    //////////////////////////////////////////////////////////////////////
+
+    // Done.
+    (@object $object:ident () () ()) => {};
+
+    // Insert the current entry followed by trailing comma.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).to_string(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    // Insert the last entry without trailing comma.
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).to_string(), $value);
+    };
+
+    // Next value is a composite or keyword.
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    // Next value is an expression followed by comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    // Last value is an expression with no trailing comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+
+    // Key munching: accumulate tokens until `:`.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) $copy);
+    };
+    // Out of tokens while building a key (unbalanced input).
+    (@object $object:ident ($($key:tt)+) () $copy:tt) => {
+        compile_error!("missing value for object entry in json! macro");
+    };
+
+    //////////////////////////////////////////////////////////////////////
+    // Entry points
+    //////////////////////////////////////////////////////////////////////
+
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Arr(vec![]) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Arr($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => { $crate::Value::Obj($crate::Object::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Obj({
+            let mut object = $crate::Object::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Value;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(json!(3), Value::from(3));
+        assert_eq!(json!(2.5), Value::from(2.5));
+        assert_eq!(json!(-7), Value::from(-7));
+        assert_eq!(json!(-2.5), Value::from(-2.5));
+        assert_eq!(json!("hi"), Value::from("hi"));
+    }
+
+    #[test]
+    fn nested_composites() {
+        let v = json!({
+            "a": [1, {"b": null}, [true]],
+            "c": "x",
+        });
+        assert_eq!(
+            v.to_json_string(),
+            r#"{"a":[1,{"b":null},[true]],"c":"x"}"#
+        );
+    }
+
+    #[test]
+    fn negative_numbers_everywhere() {
+        let v = json!({"lon": -9.13, "xs": [-1, -2.5, 3]});
+        assert_eq!(v.get("lon").and_then(Value::as_f64), Some(-9.13));
+        assert_eq!(
+            v.get("xs").unwrap().get_index(1).and_then(Value::as_f64),
+            Some(-2.5)
+        );
+    }
+
+    #[test]
+    fn expression_values_and_keys() {
+        let n = 40 + 2;
+        let key = "answer";
+        #[allow(clippy::identity_op)] // force the expr-capture macro arm
+        let v = json!({ key: n + 0, "direct": n });
+        assert_eq!(v.get("answer").and_then(Value::as_i64), Some(42));
+        assert_eq!(v.get("direct").and_then(Value::as_i64), Some(42));
+    }
+
+    #[test]
+    fn trailing_commas_allowed() {
+        let v = json!([1, 2,]);
+        assert_eq!(v.as_array().unwrap().len(), 2);
+        let o = json!({"a": 1,});
+        assert_eq!(o.as_object().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_composites() {
+        assert_eq!(json!([]), Value::Arr(vec![]));
+        assert!(json!({}).as_object().unwrap().is_empty());
+        assert_eq!(json!([[], {}]).as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn deep_mixture() {
+        let v = json!({
+            "coords": {"type": "Point", "coordinates": [38.72, -9.13]},
+            "flags": [true, false, null],
+        });
+        assert_eq!(
+            v.get("coords").unwrap().get("coordinates").unwrap()
+                .get_index(1).and_then(Value::as_f64),
+            Some(-9.13)
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Structural metrics over JSON values.
+//!
+//! The schema-size experiments (E7: "no-merge tools produce schemas
+//! comparable to the size of the input data", E8: skeleton coverage) need a
+//! common measure of how big a value or a schema *is*. We use node counts
+//! and depths over the value tree, plus the set of distinct root-to-leaf
+//! label paths, which is the denominator of skeleton path coverage.
+
+use crate::pointer::{Pointer, Token};
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// Total number of nodes in the value tree (every scalar, array and object
+/// counts as one node).
+pub fn node_count(v: &Value) -> usize {
+    match v {
+        Value::Arr(items) => 1 + items.iter().map(node_count).sum::<usize>(),
+        Value::Obj(obj) => 1 + obj.values().map(node_count).sum::<usize>(),
+        _ => 1,
+    }
+}
+
+/// Maximum nesting depth; scalars have depth 1.
+pub fn max_depth(v: &Value) -> usize {
+    match v {
+        Value::Arr(items) => 1 + items.iter().map(max_depth).max().unwrap_or(0),
+        Value::Obj(obj) => 1 + obj.values().map(max_depth).max().unwrap_or(0),
+        _ => 1,
+    }
+}
+
+/// A *label path*: the sequence of field names from the root to a node,
+/// with array traversal collapsed to a `[]` marker (index-insensitive, the
+/// abstraction skeleton schemas and schema inference both use).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LabelPath(pub Vec<LabelStep>);
+
+/// One step of a [`LabelPath`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LabelStep {
+    /// Descend into object field `name`.
+    Field(String),
+    /// Descend into any array element.
+    AnyItem,
+}
+
+impl LabelPath {
+    /// Renders as a dotted path, e.g. `user.entities.urls[].expanded`.
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        for step in &self.0 {
+            match step {
+                LabelStep::Field(name) => {
+                    if !out.is_empty() {
+                        out.push('.');
+                    }
+                    out.push_str(name);
+                }
+                LabelStep::AnyItem => out.push_str("[]"),
+            }
+        }
+        out
+    }
+
+    /// Converts a concrete JSON Pointer into its label abstraction.
+    pub fn from_pointer(p: &Pointer) -> LabelPath {
+        LabelPath(
+            p.tokens()
+                .iter()
+                .map(|t| match t {
+                    Token::Key(k) => LabelStep::Field(k.clone()),
+                    Token::Index(_) => LabelStep::AnyItem,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Collects the set of distinct label paths to *every* node of the value
+/// (internal nodes included, root excluded).
+pub fn label_paths(v: &Value) -> BTreeSet<LabelPath> {
+    let mut out = BTreeSet::new();
+    collect_paths(v, &mut Vec::new(), &mut out);
+    out
+}
+
+fn collect_paths(v: &Value, prefix: &mut Vec<LabelStep>, out: &mut BTreeSet<LabelPath>) {
+    match v {
+        Value::Obj(obj) => {
+            for (k, child) in obj.iter() {
+                prefix.push(LabelStep::Field(k.to_string()));
+                out.insert(LabelPath(prefix.clone()));
+                collect_paths(child, prefix, out);
+                prefix.pop();
+            }
+        }
+        Value::Arr(items) => {
+            for child in items {
+                prefix.push(LabelStep::AnyItem);
+                out.insert(LabelPath(prefix.clone()));
+                collect_paths(child, prefix, out);
+                prefix.pop();
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Size of the serialized compact JSON text, in bytes — the "size of the
+/// input data" yardstick of E7.
+pub fn text_size(v: &Value) -> usize {
+    v.to_json_string().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Object;
+
+    fn doc() -> Value {
+        let mut inner = Object::new();
+        inner.insert("name", Value::from("a"));
+        let mut root = Object::new();
+        root.insert("id", Value::from(1));
+        root.insert(
+            "tags",
+            Value::Arr(vec![Value::Obj(inner.clone()), Value::Obj(inner)]),
+        );
+        Value::Obj(root)
+    }
+
+    #[test]
+    fn node_count_counts_every_node() {
+        // root obj + id + tags arr + 2 objs + 2 names = 7
+        assert_eq!(node_count(&doc()), 7);
+        assert_eq!(node_count(&Value::Null), 1);
+    }
+
+    #[test]
+    fn depth_of_nested_structures() {
+        assert_eq!(max_depth(&Value::from(3)), 1);
+        assert_eq!(max_depth(&doc()), 4); // obj -> arr -> obj -> scalar
+        assert_eq!(max_depth(&Value::Arr(vec![])), 1);
+    }
+
+    #[test]
+    fn label_paths_deduplicate_array_elements() {
+        let paths = label_paths(&doc());
+        let shown: Vec<_> = paths.iter().map(|p| p.display()).collect();
+        assert_eq!(shown, vec!["id", "tags", "tags[]", "tags[].name"]);
+    }
+
+    #[test]
+    fn pointer_abstraction() {
+        let p = Pointer::parse("/tags/0/name").unwrap();
+        assert_eq!(LabelPath::from_pointer(&p).display(), "tags[].name");
+    }
+
+    #[test]
+    fn text_size_matches_serialization() {
+        let v = Value::from(vec![1, 2, 3]);
+        assert_eq!(text_size(&v), "[1,2,3]".len());
+    }
+}

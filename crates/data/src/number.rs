@@ -1,0 +1,259 @@
+//! Exact JSON number representation.
+//!
+//! JSON has a single `number` production, but tools care about the
+//! integer/float distinction (schema languages have `integer` as a distinct
+//! primitive type, and the type-inference line of Baazizi et al. infers
+//! `Num` vs `Int` kinds). [`Number`] therefore keeps integers exact in an
+//! `i64` and everything else in a *finite* `f64`, while making equality,
+//! ordering and hashing agree across the two representations:
+//! `Number::from(1i64) == Number::from(1.0f64)`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A JSON number: either an exact 64-bit integer or a finite double.
+///
+/// Invariant: the `Float` variant is always finite (no NaN, no ±∞) — the
+/// constructors enforce this, which is what makes [`Eq`] and [`Ord`] total.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// An integer that fits `i64`, kept exact.
+    Int(i64),
+    /// Any other finite number.
+    Float(f64),
+}
+
+impl Number {
+    /// Builds a number from a finite `f64`; returns `None` for NaN or ±∞,
+    /// which JSON cannot represent.
+    pub fn from_f64(f: f64) -> Option<Self> {
+        f.is_finite().then_some(Number::Float(f))
+    }
+
+    /// True when the value is mathematically an integer (including floats
+    /// like `3.0`), the meaning JSON Schema gives the `integer` type.
+    pub fn is_integer(&self) -> bool {
+        match *self {
+            Number::Int(_) => true,
+            Number::Float(f) => f.fract() == 0.0,
+        }
+    }
+
+    /// The value as `f64` (lossy for integers above 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The value as `i64` when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(i) => Some(i),
+            Number::Float(f) => {
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+                    // `f <= i64::MAX as f64` admits 2^63 itself (rounding);
+                    // the cast saturates, so re-check by converting back.
+                    let i = f as i64;
+                    (i as f64 == f).then_some(i)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// True when the number is zero (of either representation).
+    pub fn is_zero(&self) -> bool {
+        match *self {
+            Number::Int(i) => i == 0,
+            Number::Float(f) => f == 0.0,
+        }
+    }
+
+    /// Checks divisibility for JSON Schema's `multipleOf` keyword.
+    ///
+    /// Integer/integer pairs are checked exactly; anything involving floats
+    /// uses an epsilon-free remainder test on `f64`.
+    pub fn is_multiple_of(&self, divisor: &Number) -> bool {
+        if divisor.is_zero() {
+            return false;
+        }
+        if let (Number::Int(a), Number::Int(b)) = (self, divisor) {
+            return a % b == 0;
+        }
+        let q = self.as_f64() / divisor.as_f64();
+        (q - q.round()).abs() < 1e-9
+    }
+}
+
+impl From<i64> for Number {
+    fn from(i: i64) -> Self {
+        Number::Int(i)
+    }
+}
+
+impl From<i32> for Number {
+    fn from(i: i32) -> Self {
+        Number::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Number {
+    fn from(i: u32) -> Self {
+        Number::Int(i64::from(i))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            (Number::Float(a), Number::Float(b)) => a == b,
+            (Number::Int(i), Number::Float(f)) | (Number::Float(f), Number::Int(i)) => {
+                Number::Float(*f).as_i64() == Some(*i)
+            }
+        }
+    }
+}
+
+impl Eq for Number {}
+
+impl Hash for Number {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must agree with `PartialEq`: integral floats hash as their i64.
+        match self.as_i64() {
+            Some(i) => i.hash(state),
+            None => self.as_f64().to_bits().hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Number {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Number {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a.cmp(b),
+            // Finite floats always compare; the invariant bans NaN.
+            _ => self
+                .as_f64()
+                .partial_cmp(&other.as_f64())
+                .expect("Number invariant: floats are finite"),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::Float(x) => {
+                // Keep a trailing `.0` so the text re-parses as a float,
+                // preserving the Int/Float distinction through round-trips.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(n: Number) -> u64 {
+        let mut h = DefaultHasher::new();
+        n.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_equality_is_canonical() {
+        assert_eq!(Number::Int(1), Number::Float(1.0));
+        assert_ne!(Number::Int(1), Number::Float(1.5));
+        assert_ne!(Number::Int(0), Number::Float(-0.5));
+        // -0.0 == 0 in IEEE and in our model.
+        assert_eq!(Number::Int(0), Number::Float(-0.0));
+    }
+
+    #[test]
+    fn equality_rejects_precision_loss() {
+        // 2^53 + 1 is not representable in f64; the nearest double is 2^53.
+        let big = (1i64 << 53) + 1;
+        assert_ne!(Number::Int(big), Number::Float((1i64 << 53) as f64));
+    }
+
+    #[test]
+    fn hash_agrees_with_eq() {
+        assert_eq!(hash_of(Number::Int(42)), hash_of(Number::Float(42.0)));
+        assert_eq!(hash_of(Number::Int(0)), hash_of(Number::Float(-0.0)));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut v = vec![
+            Number::Float(2.5),
+            Number::Int(-1),
+            Number::Int(3),
+            Number::Float(0.0),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Number::Int(-1),
+                Number::Float(0.0),
+                Number::Float(2.5),
+                Number::Int(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn from_f64_rejects_non_finite() {
+        assert!(Number::from_f64(f64::NAN).is_none());
+        assert!(Number::from_f64(f64::INFINITY).is_none());
+        assert!(Number::from_f64(1.25).is_some());
+    }
+
+    #[test]
+    fn integer_detection() {
+        assert!(Number::Int(7).is_integer());
+        assert!(Number::Float(7.0).is_integer());
+        assert!(!Number::Float(7.5).is_integer());
+    }
+
+    #[test]
+    fn as_i64_conversions() {
+        assert_eq!(Number::Float(3.0).as_i64(), Some(3));
+        assert_eq!(Number::Float(3.5).as_i64(), None);
+        assert_eq!(Number::Float(1e300).as_i64(), None);
+        assert_eq!(Number::Int(i64::MIN).as_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn multiple_of_semantics() {
+        assert!(Number::Int(10).is_multiple_of(&Number::Int(5)));
+        assert!(!Number::Int(10).is_multiple_of(&Number::Int(3)));
+        assert!(Number::Float(7.5).is_multiple_of(&Number::Float(2.5)));
+        assert!(!Number::Int(1).is_multiple_of(&Number::Int(0)));
+    }
+
+    #[test]
+    fn display_round_trip_distinction() {
+        assert_eq!(Number::Int(3).to_string(), "3");
+        assert_eq!(Number::Float(3.0).to_string(), "3.0");
+        assert_eq!(Number::Float(0.5).to_string(), "0.5");
+    }
+}

@@ -1,0 +1,227 @@
+//! Insertion-ordered JSON objects.
+//!
+//! JSON objects are unordered in theory, but every tool the tutorial surveys
+//! (schema inferrers, structural-index parsers, columnar translators)
+//! benefits from preserving the order fields appear in on the wire: Mison's
+//! speculative pattern trees key on physical field order, and inferred record
+//! types print more readably in source order. [`Object`] therefore keeps
+//! first-insertion order while still treating objects with the same
+//! key→value mapping as equal regardless of order.
+
+use crate::value::Value;
+use std::fmt;
+
+/// An insertion-ordered map from field names to JSON values.
+///
+/// Inserting an existing key overwrites the value in place (last-wins, the
+/// de-facto duplicate-key semantics of JSON parsers) without moving the key.
+#[derive(Clone, Default)]
+pub struct Object {
+    entries: Vec<(String, Value)>,
+}
+
+impl Object {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Object { entries: Vec::new() }
+    }
+
+    /// Creates an empty object with room for `cap` fields.
+    pub fn with_capacity(cap: usize) -> Self {
+        Object { entries: Vec::with_capacity(cap) }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the object has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks a field up by name.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup by name.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// True when the field exists.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts a field, returning the previous value if the key existed.
+    /// An existing key keeps its position; a new key is appended.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => Some(std::mem::replace(v, value)),
+            None => {
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// Removes a field by name, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterates fields in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates fields mutably in insertion order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&str, &mut Value)> {
+        self.entries.iter_mut().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates field names in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Iterates field values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Field at a physical position (used by order-sensitive tools).
+    pub fn get_index(&self, idx: usize) -> Option<(&str, &Value)> {
+        self.entries.get(idx).map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Returns the fields sorted by name, for canonical processing.
+    pub fn sorted_entries(&self) -> Vec<(&str, &Value)> {
+        let mut v: Vec<_> = self.iter().collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+}
+
+impl PartialEq for Object {
+    /// Order-insensitive equality: same key set, equal values per key.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self
+                .iter()
+                .all(|(k, v)| other.get(k).is_some_and(|w| v == w))
+    }
+}
+
+impl fmt::Debug for Object {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<(String, Value)> for Object {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut obj = Object::new();
+        for (k, v) in iter {
+            obj.insert(k, v);
+        }
+        obj
+    }
+}
+
+impl IntoIterator for Object {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Object {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_preserves_first_seen_order() {
+        let mut o = Object::new();
+        o.insert("b", Value::from(1));
+        o.insert("a", Value::from(2));
+        o.insert("b", Value::from(3)); // overwrite, keeps position
+        let keys: Vec<_> = o.keys().collect();
+        assert_eq!(keys, vec!["b", "a"]);
+        assert_eq!(o.get("b"), Some(&Value::from(3)));
+        assert_eq!(o.len(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_order() {
+        let mut a = Object::new();
+        a.insert("x", Value::from(1));
+        a.insert("y", Value::from(2));
+        let mut b = Object::new();
+        b.insert("y", Value::from(2));
+        b.insert("x", Value::from(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inequality_on_differing_values() {
+        let mut a = Object::new();
+        a.insert("x", Value::from(1));
+        let mut b = Object::new();
+        b.insert("x", Value::from(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn remove_shifts_remaining() {
+        let mut o = Object::new();
+        o.insert("a", Value::Null);
+        o.insert("b", Value::from(true));
+        assert_eq!(o.remove("a"), Some(Value::Null));
+        assert_eq!(o.remove("a"), None);
+        assert_eq!(o.keys().collect::<Vec<_>>(), vec!["b"]);
+    }
+
+    #[test]
+    fn sorted_entries_are_by_key() {
+        let mut o = Object::new();
+        o.insert("z", Value::from(1));
+        o.insert("a", Value::from(2));
+        let sorted: Vec<_> = o.sorted_entries().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(sorted, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn from_iterator_applies_last_wins() {
+        let o: Object = vec![
+            ("k".to_string(), Value::from(1)),
+            ("k".to_string(), Value::from(2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.get("k"), Some(&Value::from(2)));
+    }
+}

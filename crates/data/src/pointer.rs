@@ -1,0 +1,275 @@
+//! RFC 6901 JSON Pointers.
+//!
+//! Pointers are the addressing scheme JSON Schema uses for `$ref`
+//! (`#/definitions/foo`) and that our validators use to report *where* in a
+//! document a violation occurred. A pointer is a sequence of [`Token`]s, each
+//! naming either an object field or an array index.
+
+use crate::value::Value;
+use std::fmt;
+
+/// One step of a JSON Pointer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Token {
+    /// An object field name (unescaped).
+    Key(String),
+    /// An array index.
+    Index(usize),
+}
+
+impl Token {
+    /// Renders the token with RFC 6901 escaping (`~` → `~0`, `/` → `~1`).
+    fn write_escaped(&self, out: &mut String) {
+        match self {
+            Token::Key(k) => {
+                for c in k.chars() {
+                    match c {
+                        '~' => out.push_str("~0"),
+                        '/' => out.push_str("~1"),
+                        c => out.push(c),
+                    }
+                }
+            }
+            Token::Index(i) => out.push_str(&i.to_string()),
+        }
+    }
+}
+
+/// A parsed JSON Pointer: a (possibly empty) path from the document root.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Pointer {
+    tokens: Vec<Token>,
+}
+
+/// Errors from [`Pointer::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointerParseError {
+    /// A non-empty pointer must start with `/`.
+    MissingLeadingSlash,
+    /// `~` was followed by something other than `0` or `1`.
+    BadEscape { segment: String },
+}
+
+impl fmt::Display for PointerParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointerParseError::MissingLeadingSlash => {
+                write!(f, "non-empty JSON Pointer must begin with '/'")
+            }
+            PointerParseError::BadEscape { segment } => {
+                write!(f, "invalid ~-escape in pointer segment {segment:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PointerParseError {}
+
+impl Pointer {
+    /// The root pointer (empty path).
+    pub fn root() -> Self {
+        Pointer::default()
+    }
+
+    /// Parses RFC 6901 text such as `"/store/books/0/title"`.
+    ///
+    /// Numeric segments are kept as [`Token::Index`]; when resolved against
+    /// an object they fall back to key lookup, matching the RFC's
+    /// interpretation that tokens are names first.
+    pub fn parse(text: &str) -> Result<Self, PointerParseError> {
+        if text.is_empty() {
+            return Ok(Pointer::root());
+        }
+        let rest = text
+            .strip_prefix('/')
+            .ok_or(PointerParseError::MissingLeadingSlash)?;
+        let mut tokens = Vec::new();
+        for raw in rest.split('/') {
+            tokens.push(parse_segment(raw)?);
+        }
+        Ok(Pointer { tokens })
+    }
+
+    /// The tokens of this pointer, root first.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True for the root pointer.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Returns a new pointer extended by an object key.
+    pub fn push_key(&self, key: impl Into<String>) -> Pointer {
+        let mut tokens = self.tokens.clone();
+        tokens.push(Token::Key(key.into()));
+        Pointer { tokens }
+    }
+
+    /// Returns a new pointer extended by an array index.
+    pub fn push_index(&self, idx: usize) -> Pointer {
+        let mut tokens = self.tokens.clone();
+        tokens.push(Token::Index(idx));
+        Pointer { tokens }
+    }
+
+    /// Resolves the pointer against a value, returning the addressed
+    /// sub-value if every step exists.
+    pub fn resolve<'v>(&self, root: &'v Value) -> Option<&'v Value> {
+        let mut cur = root;
+        for tok in &self.tokens {
+            cur = match (tok, cur) {
+                (Token::Key(k), Value::Obj(o)) => o.get(k)?,
+                (Token::Index(i), Value::Arr(a)) => a.get(*i)?,
+                // A numeric token can still address an object field "0".
+                (Token::Index(i), Value::Obj(o)) => o.get(&i.to_string())?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+}
+
+fn parse_segment(raw: &str) -> Result<Token, PointerParseError> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c == '~' {
+            match chars.next() {
+                Some('0') => out.push('~'),
+                Some('1') => out.push('/'),
+                _ => {
+                    return Err(PointerParseError::BadEscape {
+                        segment: raw.to_string(),
+                    })
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    // Pure decimal segments (no leading zeros except "0" itself) are
+    // candidate array indices.
+    let numeric = !out.is_empty()
+        && out.bytes().all(|b| b.is_ascii_digit())
+        && (out == "0" || !out.starts_with('0'));
+    if numeric {
+        if let Ok(i) = out.parse::<usize>() {
+            return Ok(Token::Index(i));
+        }
+    }
+    Ok(Token::Key(out))
+}
+
+impl fmt::Display for Pointer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        for tok in &self.tokens {
+            out.push('/');
+            tok.write_escaped(&mut out);
+        }
+        f.write_str(&out)
+    }
+}
+
+impl FromIterator<Token> for Pointer {
+    fn from_iter<I: IntoIterator<Item = Token>>(iter: I) -> Self {
+        Pointer {
+            tokens: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Object;
+
+    fn sample() -> Value {
+        let mut inner = Object::new();
+        inner.insert("a/b", Value::from(1));
+        inner.insert("m~n", Value::from(2));
+        let mut root = Object::new();
+        root.insert("obj", Value::Obj(inner));
+        root.insert(
+            "arr",
+            Value::Arr(vec![Value::from(10), Value::from(20), Value::from(30)]),
+        );
+        Value::Obj(root)
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for text in ["", "/a", "/a/0/b", "/a~1b", "/m~0n", "/"] {
+            let p = Pointer::parse(text).unwrap();
+            assert_eq!(p.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn escaping_resolves() {
+        let v = sample();
+        assert_eq!(
+            Pointer::parse("/obj/a~1b").unwrap().resolve(&v),
+            Some(&Value::from(1))
+        );
+        assert_eq!(
+            Pointer::parse("/obj/m~0n").unwrap().resolve(&v),
+            Some(&Value::from(2))
+        );
+    }
+
+    #[test]
+    fn array_indexing() {
+        let v = sample();
+        assert_eq!(
+            Pointer::parse("/arr/2").unwrap().resolve(&v),
+            Some(&Value::from(30))
+        );
+        assert_eq!(Pointer::parse("/arr/3").unwrap().resolve(&v), None);
+        // Leading zeros are field names, not indices.
+        assert_eq!(Pointer::parse("/arr/01").unwrap().resolve(&v), None);
+    }
+
+    #[test]
+    fn root_resolves_to_self() {
+        let v = sample();
+        assert_eq!(Pointer::root().resolve(&v), Some(&v));
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            Pointer::parse("a/b"),
+            Err(PointerParseError::MissingLeadingSlash)
+        );
+        assert!(matches!(
+            Pointer::parse("/bad~2escape"),
+            Err(PointerParseError::BadEscape { .. })
+        ));
+    }
+
+    #[test]
+    fn push_builders() {
+        let p = Pointer::root().push_key("arr").push_index(1);
+        assert_eq!(p.to_string(), "/arr/1");
+        assert_eq!(p.resolve(&sample()), Some(&Value::from(20)));
+    }
+
+    #[test]
+    fn numeric_token_falls_back_to_object_key() {
+        let mut o = Object::new();
+        o.insert("0", Value::from("zero"));
+        let v = Value::Obj(o);
+        assert_eq!(
+            Pointer::parse("/0").unwrap().resolve(&v),
+            Some(&Value::from("zero"))
+        );
+    }
+}

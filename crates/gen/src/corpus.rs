@@ -1,0 +1,84 @@
+//! The corpus registry used by benches, examples and integration tests.
+
+use crate::github::{events, GithubConfig};
+use crate::nytimes::{articles, NytimesConfig};
+use crate::opendata::{datasets, OpendataConfig};
+use crate::param::{DialedGenerator, GeneratorConfig};
+use crate::twitter::{tweets, TwitterConfig};
+use jsonx_data::Value;
+
+/// A named, reproducible workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corpus {
+    /// Twitter-like tweets (nested records, null|object unions, drift).
+    Twitter,
+    /// GitHub-events-like (payload shape depends on event type).
+    Github,
+    /// NYTimes-article-like (wide flat records, long strings).
+    Nytimes,
+    /// data.gov-catalog-like (ragged optional metadata, nested publisher).
+    Opendata,
+    /// Dialed generator with `heterogeneity`% type noise (0–100).
+    Heterogeneous(u8),
+}
+
+impl Corpus {
+    /// Generates `n` documents of this corpus (always the same `n`
+    /// documents for a given variant).
+    pub fn generate(&self, n: usize) -> Vec<Value> {
+        match self {
+            Corpus::Twitter => tweets(&TwitterConfig::default(), n),
+            Corpus::Github => events(&GithubConfig::default(), n),
+            Corpus::Nytimes => articles(&NytimesConfig::default(), n),
+            Corpus::Opendata => datasets(&OpendataConfig::default(), n),
+            Corpus::Heterogeneous(noise) => {
+                let config = GeneratorConfig {
+                    type_noise: f64::from(*noise) / 100.0,
+                    shape_variants: 1,
+                    ..Default::default()
+                };
+                DialedGenerator::new(config).generate(n)
+            }
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Corpus::Twitter => "twitter".to_string(),
+            Corpus::Github => "github".to_string(),
+            Corpus::Nytimes => "nytimes".to_string(),
+            Corpus::Opendata => "opendata".to_string(),
+            Corpus::Heterogeneous(h) => format!("dialed-h{h}"),
+        }
+    }
+
+    /// All fixed-shape corpora.
+    pub const FIXED: [Corpus; 4] = [
+        Corpus::Twitter,
+        Corpus::Github,
+        Corpus::Nytimes,
+        Corpus::Opendata,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_corpora_generate() {
+        for c in Corpus::FIXED {
+            let docs = c.generate(10);
+            assert_eq!(docs.len(), 10);
+            assert!(docs.iter().all(|d| d.as_object().is_some()));
+        }
+        assert_eq!(Corpus::Heterogeneous(50).generate(5).len(), 5);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Corpus::Twitter.name(), "twitter");
+        assert_eq!(Corpus::Heterogeneous(25).name(), "dialed-h25");
+    }
+}

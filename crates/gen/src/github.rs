@@ -1,0 +1,168 @@
+//! GitHub-events-like corpus.
+//!
+//! Models the GitHub public events feed: an envelope (`id`, `type`,
+//! `actor`, `repo`, `created_at`) whose `payload` shape **depends on the
+//! event type** — the canonical value-dependent / label-distinct structure
+//! that L-equivalence inference, skeleton mining and Joi's `when`
+//! conditionals are all built for.
+
+use jsonx_data::{json, Object, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The event types generated, with their weights.
+pub const EVENT_TYPES: [&str; 4] = ["PushEvent", "IssuesEvent", "WatchEvent", "ForkEvent"];
+
+/// GitHub generator configuration.
+#[derive(Debug, Clone)]
+pub struct GithubConfig {
+    pub seed: u64,
+    /// Weights over [`EVENT_TYPES`] (normalised internally).
+    pub type_weights: [f64; 4],
+}
+
+impl Default for GithubConfig {
+    fn default() -> Self {
+        GithubConfig {
+            seed: 11,
+            // Pushes dominate real feeds.
+            type_weights: [0.55, 0.2, 0.15, 0.1],
+        }
+    }
+}
+
+/// Generates `n` events.
+pub fn events(config: &GithubConfig, n: usize) -> Vec<Value> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let total: f64 = config.type_weights.iter().sum();
+    (0..n)
+        .map(|i| {
+            let mut x: f64 = rng.gen::<f64>() * total;
+            let mut which = 0;
+            for (k, w) in config.type_weights.iter().enumerate() {
+                if x < *w {
+                    which = k;
+                    break;
+                }
+                x -= w;
+            }
+            event(&mut rng, i as i64, EVENT_TYPES[which])
+        })
+        .collect()
+}
+
+fn event(rng: &mut SmallRng, id: i64, event_type: &str) -> Value {
+    let mut obj = Object::new();
+    obj.insert("id", Value::Str(format!("{}", 9_000_000_000i64 + id)));
+    obj.insert("type", Value::from(event_type));
+    obj.insert(
+        "actor",
+        json!({
+            "id": (rng.gen_range(1..500_000i64)),
+            "login": format!("dev{}", rng.gen_range(1..10_000u32)),
+            "gravatar_id": ""
+        }),
+    );
+    obj.insert(
+        "repo",
+        json!({
+            "id": (rng.gen_range(1..2_000_000i64)),
+            "name": format!("org{}/repo{}", rng.gen_range(1..100u32), rng.gen_range(1..1000u32)),
+            "url": format!("https://api.github.com/repos/r{}", rng.gen_range(1..1000u32))
+        }),
+    );
+    obj.insert("payload", payload(rng, event_type));
+    obj.insert("public", Value::Bool(true));
+    obj.insert(
+        "created_at",
+        Value::Str(format!(
+            "2019-03-{:02}T{:02}:{:02}:{:02}Z",
+            rng.gen_range(1..29),
+            rng.gen_range(0..24),
+            rng.gen_range(0..60),
+            rng.gen_range(0..60)
+        )),
+    );
+    Value::Obj(obj)
+}
+
+/// Payload shape depends on the event type — distinct label sets per type.
+fn payload(rng: &mut SmallRng, event_type: &str) -> Value {
+    match event_type {
+        "PushEvent" => {
+            let commits: Vec<Value> = (0..rng.gen_range(1..4usize))
+                .map(|c| {
+                    json!({
+                        "sha": format!("{:040x}", rng.gen::<u64>()),
+                        "message": format!("commit {c}"),
+                        "distinct": true
+                    })
+                })
+                .collect();
+            json!({
+                "push_id": (rng.gen_range(1..9_000_000i64)),
+                "size": (commits.len() as i64),
+                "ref": "refs/heads/main",
+                "commits": commits
+            })
+        }
+        "IssuesEvent" => json!({
+            "action": if rng.gen() { "opened" } else { "closed" },
+            "issue": {
+                "number": (rng.gen_range(1..5000i64)),
+                "title": "schema drift observed",
+                "labels": [{"name": "bug", "color": "d73a4a"}],
+                "assignee": if rng.gen() {
+                    json!({"login": format!("dev{}", rng.gen_range(1..100u32))})
+                } else {
+                    Value::Null
+                }
+            }
+        }),
+        "WatchEvent" => json!({"action": "started"}),
+        _ => json!({"forkee": {
+            "id": (rng.gen_range(1..9_000_000i64)),
+            "full_name": format!("fork{}/copy", rng.gen_range(1..1000u32)),
+            "private": false
+        }}),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let c = GithubConfig::default();
+        assert_eq!(events(&c, 25), events(&c, 25));
+    }
+
+    #[test]
+    fn payload_tracks_event_type() {
+        let docs = events(&GithubConfig::default(), 300);
+        for d in &docs {
+            let t = d.get("type").unwrap().as_str().unwrap();
+            let payload = d.get("payload").unwrap();
+            match t {
+                "PushEvent" => assert!(payload.get("commits").is_some()),
+                "IssuesEvent" => assert!(payload.get("issue").is_some()),
+                "WatchEvent" => assert_eq!(payload.get("action"), Some(&Value::from("started"))),
+                "ForkEvent" => assert!(payload.get("forkee").is_some()),
+                other => panic!("unexpected type {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_types_appear() {
+        let docs = events(&GithubConfig::default(), 400);
+        for t in EVENT_TYPES {
+            assert!(
+                docs.iter()
+                    .any(|d| d.get("type").unwrap().as_str() == Some(t)),
+                "missing {t}"
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # jsonx-gen
+//!
+//! Deterministic, seeded generators for the JSON collections every
+//! experiment in this workspace consumes.
+//!
+//! The tutorial's examples "come from publicly available datasets"
+//! (Twitter and NYTimes API results, GitHub events, data.gov). Live pulls
+//! are neither reproducible nor available offline, so this crate generates
+//! *structurally equivalent* corpora instead: the shapes, optional-field
+//! patterns, nesting and heterogeneity of those feeds, behind explicit
+//! dials. Every structural claim the experiments measure (schema sizes,
+//! union widths, projection ratios, merge behaviour) depends only on those
+//! dials — which is what makes the substitution sound (see DESIGN.md §4).
+//!
+//! * [`param::DialedGenerator`] — fully parameterised generator: record
+//!   width, optional-field rate, type-noise rate, nesting, shape variants,
+//!   skew.
+//! * [`github`], [`twitter`], [`nytimes`], [`opendata`] — fixed-shape
+//!   corpora modelled on the public feeds the tutorial cites.
+//! * [`corpus::Corpus`] — a registry used by benches and examples to name
+//!   workloads.
+//!
+//! Everything is seeded: the same configuration always yields the same
+//! collection, byte for byte.
+
+pub mod corpus;
+pub mod github;
+pub mod nytimes;
+pub mod opendata;
+pub mod param;
+pub mod twitter;
+
+pub use corpus::Corpus;
+pub use param::{DialedGenerator, GeneratorConfig};

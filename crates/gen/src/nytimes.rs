@@ -1,0 +1,163 @@
+//! NYTimes-article-like corpus.
+//!
+//! Models the NYTimes Article Search API results the tutorial cites: wide,
+//! mostly-flat records with long text fields, a `headline` object, a
+//! `byline` that is an object or null, `multimedia` arrays that are often
+//! empty, and a `keywords` array of tagged name/value pairs. This corpus
+//! is the *wide-record* workload: many fields, few of them needed by any
+//! one analytics task — the setting where Mison-style projection shines
+//! (E9).
+
+use jsonx_data::{json, Object, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Article generator configuration.
+#[derive(Debug, Clone)]
+pub struct NytimesConfig {
+    pub seed: u64,
+    /// Fraction of articles with a null `byline`.
+    pub null_byline_rate: f64,
+    /// Fraction of articles with a non-empty `multimedia` array.
+    pub multimedia_rate: f64,
+}
+
+impl Default for NytimesConfig {
+    fn default() -> Self {
+        NytimesConfig {
+            seed: 23,
+            null_byline_rate: 0.15,
+            multimedia_rate: 0.4,
+        }
+    }
+}
+
+const SECTIONS: [&str; 6] = ["World", "Science", "Technology", "Opinion", "Arts", "Sports"];
+
+/// Generates `n` articles.
+pub fn articles(config: &NytimesConfig, n: usize) -> Vec<Value> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    (0..n).map(|i| article(&mut rng, config, i)).collect()
+}
+
+fn article(rng: &mut SmallRng, config: &NytimesConfig, idx: usize) -> Value {
+    let mut obj = Object::new();
+    obj.insert("_id", Value::Str(format!("nyt://article/{idx:08}")));
+    obj.insert(
+        "web_url",
+        Value::Str(format!("https://www.nytimes.com/2019/03/26/a{idx}.html")),
+    );
+    obj.insert(
+        "snippet",
+        Value::Str(format!("Snippet text for article {idx} about JSON schemas.")),
+    );
+    obj.insert(
+        "lead_paragraph",
+        Value::Str("Researchers presented a tutorial on schemas and types.".to_string()),
+    );
+    obj.insert("print_page", Value::from(rng.gen_range(1..40i64)));
+    obj.insert("source", Value::from("The New York Times"));
+    obj.insert(
+        "headline",
+        json!({
+            "main": format!("Headline {idx}"),
+            "kicker": if rng.gen_ratio(1, 3) { Value::from("Analysis") } else { Value::Null },
+            "print_headline": format!("Print headline {idx}")
+        }),
+    );
+    // byline: object or null (another real-world union).
+    if rng.gen::<f64>() < config.null_byline_rate {
+        obj.insert("byline", Value::Null);
+    } else {
+        obj.insert(
+            "byline",
+            json!({
+                "original": format!("By Reporter {}", rng.gen_range(1..50u32)),
+                "person": [{
+                    "firstname": "Alex",
+                    "lastname": format!("Writer{}", rng.gen_range(1..50u32)),
+                    "rank": 1
+                }]
+            }),
+        );
+    }
+    let multimedia: Vec<Value> = if rng.gen::<f64>() < config.multimedia_rate {
+        (0..rng.gen_range(1..4usize))
+            .map(|m| {
+                json!({
+                    "url": format!("images/2019/03/26/a{idx}/img{m}.jpg"),
+                    "height": (rng.gen_range(100..2000i64)),
+                    "width": (rng.gen_range(100..3000i64)),
+                    "type": "image"
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    obj.insert("multimedia", Value::Arr(multimedia));
+    let keywords: Vec<Value> = (0..rng.gen_range(0..5usize))
+        .map(|k| {
+            json!({
+                "name": "subject",
+                "value": format!("keyword-{k}"),
+                "rank": ((k + 1) as i64)
+            })
+        })
+        .collect();
+    obj.insert("keywords", Value::Arr(keywords));
+    obj.insert(
+        "pub_date",
+        Value::Str(format!(
+            "2019-03-{:02}T{:02}:00:00Z",
+            rng.gen_range(1..29),
+            rng.gen_range(0..24)
+        )),
+    );
+    obj.insert("document_type", Value::from("article"));
+    obj.insert(
+        "section_name",
+        Value::from(SECTIONS[rng.gen_range(0..SECTIONS.len())]),
+    );
+    obj.insert("word_count", Value::from(rng.gen_range(100..3000i64)));
+    Value::Obj(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let c = NytimesConfig::default();
+        assert_eq!(articles(&c, 10), articles(&c, 10));
+    }
+
+    #[test]
+    fn byline_union() {
+        let c = NytimesConfig {
+            null_byline_rate: 0.5,
+            ..Default::default()
+        };
+        let docs = articles(&c, 200);
+        let nulls = docs.iter().filter(|d| d.get("byline").unwrap().is_null()).count();
+        assert!(nulls > 50 && nulls < 150, "got {nulls}");
+    }
+
+    #[test]
+    fn records_are_wide() {
+        let docs = articles(&NytimesConfig::default(), 1);
+        assert!(docs[0].as_object().unwrap().len() >= 13);
+    }
+
+    #[test]
+    fn empty_multimedia_common() {
+        let c = NytimesConfig {
+            multimedia_rate: 0.0,
+            ..Default::default()
+        };
+        for d in articles(&c, 20) {
+            assert!(d.get("multimedia").unwrap().as_array().unwrap().is_empty());
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! data.gov-like open-data catalog corpus.
+//!
+//! The tutorial's §1 names "the U.S. Government's open data platform"
+//! among the JSON publishers. Catalog entries follow the DCAT/POD schema:
+//! dataset records with publisher hierarchies, contact points, a
+//! `distribution` array of downloadable resources, free-form `keyword`
+//! arrays, and the wild west of optional metadata fields — the most
+//! *ragged* of the four corpora (many optional fields, deeply uneven
+//! records), which is what exercises optionality counters and skeleton
+//! coverage.
+
+use jsonx_data::{json, Object, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Catalog generator configuration.
+#[derive(Debug, Clone)]
+pub struct OpendataConfig {
+    pub seed: u64,
+    /// Fraction of datasets carrying a `distribution` array.
+    pub distribution_rate: f64,
+    /// Fraction carrying the optional `temporal`/`spatial` coverage pair.
+    pub coverage_rate: f64,
+}
+
+impl Default for OpendataConfig {
+    fn default() -> Self {
+        OpendataConfig {
+            seed: 31,
+            distribution_rate: 0.8,
+            coverage_rate: 0.35,
+        }
+    }
+}
+
+const AGENCIES: [&str; 5] = [
+    "Department of Energy",
+    "Department of Transportation",
+    "National Oceanic and Atmospheric Administration",
+    "Census Bureau",
+    "General Services Administration",
+];
+
+const FORMATS: [(&str, &str); 4] = [
+    ("CSV", "text/csv"),
+    ("JSON", "application/json"),
+    ("XML", "application/xml"),
+    ("API", "application/json"),
+];
+
+/// Generates `n` catalog entries.
+pub fn datasets(config: &OpendataConfig, n: usize) -> Vec<Value> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    (0..n).map(|i| dataset(&mut rng, config, i)).collect()
+}
+
+fn dataset(rng: &mut SmallRng, config: &OpendataConfig, idx: usize) -> Value {
+    let agency = AGENCIES[rng.gen_range(0..AGENCIES.len())];
+    let mut obj = Object::new();
+    obj.insert("@type", Value::from("dcat:Dataset"));
+    obj.insert(
+        "identifier",
+        Value::Str(format!("https://data.example.gov/id/{idx:06}")),
+    );
+    obj.insert("title", Value::Str(format!("Dataset {idx}: {agency} records")));
+    obj.insert(
+        "description",
+        Value::Str(format!(
+            "Machine-readable records published by the {agency}."
+        )),
+    );
+    let keywords: Vec<Value> = (0..rng.gen_range(1..6usize))
+        .map(|k| Value::Str(format!("topic-{}", (idx + k) % 23)))
+        .collect();
+    obj.insert("keyword", Value::Arr(keywords));
+    obj.insert(
+        "modified",
+        Value::Str(format!(
+            "2019-{:02}-{:02}",
+            rng.gen_range(1..13),
+            rng.gen_range(1..29)
+        )),
+    );
+    obj.insert(
+        "publisher",
+        json!({
+            "@type": "org:Organization",
+            "name": agency,
+            "subOrganizationOf": {
+                "@type": "org:Organization",
+                "name": "U.S. Government"
+            }
+        }),
+    );
+    obj.insert(
+        "contactPoint",
+        json!({
+            "@type": "vcard:Contact",
+            "fn": format!("Data Steward {}", rng.gen_range(1..40u32)),
+            "hasEmail": format!("mailto:open{}@example.gov", rng.gen_range(1..40u32))
+        }),
+    );
+    obj.insert(
+        "accessLevel",
+        Value::from(if rng.gen_ratio(9, 10) { "public" } else { "restricted public" }),
+    );
+    // Ragged optionality: licence, coverage, bureau codes, distributions.
+    if rng.gen_ratio(2, 3) {
+        obj.insert(
+            "license",
+            Value::from("https://creativecommons.org/publicdomain/zero/1.0/"),
+        );
+    }
+    if rng.gen::<f64>() < config.coverage_rate {
+        obj.insert(
+            "temporal",
+            Value::Str(format!("2010-01-01/2019-0{}-01", rng.gen_range(1..10))),
+        );
+        obj.insert("spatial", Value::from("United States"));
+    }
+    if rng.gen_ratio(1, 2) {
+        obj.insert(
+            "bureauCode",
+            Value::Arr(vec![Value::Str(format!(
+                "{:03}:{:02}",
+                rng.gen_range(1..999),
+                rng.gen_range(1..99)
+            ))]),
+        );
+    }
+    if rng.gen::<f64>() < config.distribution_rate {
+        let dists: Vec<Value> = (0..rng.gen_range(1..4usize))
+            .map(|d| {
+                let (format, media) = FORMATS[rng.gen_range(0..FORMATS.len())];
+                let mut dist = Object::new();
+                dist.insert("@type", Value::from("dcat:Distribution"));
+                dist.insert("format", Value::from(format));
+                dist.insert("mediaType", Value::from(media));
+                if format == "API" {
+                    dist.insert(
+                        "accessURL",
+                        Value::Str(format!("https://api.example.gov/ds/{idx}/v{d}")),
+                    );
+                } else {
+                    dist.insert(
+                        "downloadURL",
+                        Value::Str(format!(
+                            "https://data.example.gov/files/{idx}/part{d}.{}",
+                            format.to_lowercase()
+                        )),
+                    );
+                }
+                Value::Obj(dist)
+            })
+            .collect();
+        obj.insert("distribution", Value::Arr(dists));
+    }
+    Value::Obj(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let c = OpendataConfig::default();
+        assert_eq!(datasets(&c, 15), datasets(&c, 15));
+    }
+
+    #[test]
+    fn distributions_are_format_dependent() {
+        let c = OpendataConfig {
+            distribution_rate: 1.0,
+            ..Default::default()
+        };
+        for d in datasets(&c, 100) {
+            for dist in d.get("distribution").unwrap().as_array().unwrap() {
+                let is_api = dist.get("format").unwrap().as_str() == Some("API");
+                assert_eq!(dist.get("accessURL").is_some(), is_api);
+                assert_eq!(dist.get("downloadURL").is_some(), !is_api);
+            }
+        }
+    }
+
+    #[test]
+    fn raggedness_produces_optional_fields() {
+        let docs = datasets(&OpendataConfig::default(), 300);
+        let with_license = docs.iter().filter(|d| d.get("license").is_some()).count();
+        let with_temporal = docs.iter().filter(|d| d.get("temporal").is_some()).count();
+        assert!(with_license > 100 && with_license < 300);
+        assert!(with_temporal > 40 && with_temporal < 200);
+        // temporal and spatial co-occur (a correlation mongodb-schema
+        // style profiles cannot express).
+        for d in &docs {
+            assert_eq!(d.get("temporal").is_some(), d.get("spatial").is_some());
+        }
+    }
+
+    #[test]
+    fn publisher_hierarchy_nests() {
+        let d = &datasets(&OpendataConfig::default(), 1)[0];
+        assert_eq!(
+            d.get("publisher")
+                .unwrap()
+                .get("subOrganizationOf")
+                .unwrap()
+                .get("name")
+                .unwrap()
+                .as_str(),
+            Some("U.S. Government")
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Twitter-like tweet corpus.
+//!
+//! Models the structure of the Twitter statuses API the tutorial cites:
+//! tweets with a nested `user`, optional `coordinates` (null or a GeoJSON
+//! point — a union type in the wild), `entities` with hashtag/url arrays,
+//! and optional retweet nesting. Heterogeneity knobs: `geo_rate` (how many
+//! tweets carry coordinates), `retweet_rate`, `extended_rate` (the
+//! 2016 API change that added `full_text` next to `text` — a real-world
+//! schema drift event).
+
+use jsonx_data::{json, Object, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tweet generator configuration.
+#[derive(Debug, Clone)]
+pub struct TwitterConfig {
+    pub seed: u64,
+    /// Fraction of tweets with non-null coordinates.
+    pub geo_rate: f64,
+    /// Fraction of tweets that embed a `retweeted_status`.
+    pub retweet_rate: f64,
+    /// Fraction of tweets in "extended" form (`full_text`, no `text`).
+    pub extended_rate: f64,
+}
+
+impl Default for TwitterConfig {
+    fn default() -> Self {
+        TwitterConfig {
+            seed: 7,
+            geo_rate: 0.2,
+            retweet_rate: 0.25,
+            extended_rate: 0.3,
+        }
+    }
+}
+
+const WORDS: [&str; 12] = [
+    "json", "schema", "types", "edbt", "lisbon", "data", "inference", "spark", "mison",
+    "tutorial", "union", "records",
+];
+
+/// Generates `n` tweets.
+pub fn tweets(config: &TwitterConfig, n: usize) -> Vec<Value> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    (0..n).map(|i| tweet(&mut rng, config, i as i64, true)).collect()
+}
+
+fn tweet(rng: &mut SmallRng, config: &TwitterConfig, id: i64, allow_retweet: bool) -> Value {
+    let mut obj = Object::new();
+    obj.insert("id", Value::from(id));
+    obj.insert(
+        "created_at",
+        Value::Str(format!(
+            "2019-03-{:02}T{:02}:{:02}:{:02}Z",
+            rng.gen_range(1..29),
+            rng.gen_range(0..24),
+            rng.gen_range(0..60),
+            rng.gen_range(0..60)
+        )),
+    );
+    let text = format!(
+        "{} {} #{}",
+        WORDS[rng.gen_range(0..WORDS.len())],
+        WORDS[rng.gen_range(0..WORDS.len())],
+        WORDS[rng.gen_range(0..WORDS.len())]
+    );
+    if rng.gen::<f64>() < config.extended_rate {
+        obj.insert("full_text", Value::Str(text));
+        obj.insert("display_text_range", json!([0, 42]));
+    } else {
+        obj.insert("text", Value::Str(text));
+    }
+    obj.insert("user", user(rng));
+    // `coordinates` is the canonical union-typed field: null | geo object.
+    if rng.gen::<f64>() < config.geo_rate {
+        obj.insert(
+            "coordinates",
+            json!({
+                "type": "Point",
+                "coordinates": [
+                    (rng.gen_range(-180.0..180.0f64)),
+                    (rng.gen_range(-90.0..90.0f64))
+                ]
+            }),
+        );
+    } else {
+        obj.insert("coordinates", Value::Null);
+    }
+    obj.insert("entities", entities(rng));
+    obj.insert("retweet_count", Value::from(rng.gen_range(0..5_000i64)));
+    obj.insert("favorite_count", Value::from(rng.gen_range(0..10_000i64)));
+    if allow_retweet && rng.gen::<f64>() < config.retweet_rate {
+        obj.insert(
+            "retweeted_status",
+            tweet(rng, config, id + 1_000_000, false),
+        );
+    }
+    Value::Obj(obj)
+}
+
+fn user(rng: &mut SmallRng) -> Value {
+    let uid = rng.gen_range(1..100_000i64);
+    let mut obj = Object::new();
+    obj.insert("id", Value::from(uid));
+    obj.insert("screen_name", Value::Str(format!("user_{uid}")));
+    obj.insert("verified", Value::Bool(rng.gen_ratio(1, 20)));
+    obj.insert("followers_count", Value::from(rng.gen_range(0..1_000_000i64)));
+    // `location` is free text or absent — optional string.
+    if rng.gen_ratio(2, 3) {
+        obj.insert("location", Value::Str("Lisbon, Portugal".to_string()));
+    }
+    Value::Obj(obj)
+}
+
+fn entities(rng: &mut SmallRng) -> Value {
+    let hashtags: Vec<Value> = (0..rng.gen_range(0..3usize))
+        .map(|_| {
+            json!({
+                "text": WORDS[rng.gen_range(0..WORDS.len())],
+                "indices": [(rng.gen_range(0..100i64)), (rng.gen_range(100..140i64))]
+            })
+        })
+        .collect();
+    let urls: Vec<Value> = (0..rng.gen_range(0..2usize))
+        .map(|i| {
+            json!({
+                "url": format!("https://t.co/x{i}"),
+                "expanded_url": format!("https://example.org/p/{i}")
+            })
+        })
+        .collect();
+    json!({"hashtags": hashtags, "urls": urls})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let c = TwitterConfig::default();
+        assert_eq!(tweets(&c, 20), tweets(&c, 20));
+    }
+
+    #[test]
+    fn geo_rate_controls_union() {
+        let none = TwitterConfig {
+            geo_rate: 0.0,
+            ..Default::default()
+        };
+        for t in tweets(&none, 50) {
+            assert!(t.get("coordinates").unwrap().is_null());
+        }
+        let all = TwitterConfig {
+            geo_rate: 1.0,
+            ..Default::default()
+        };
+        for t in tweets(&all, 50) {
+            assert!(t.get("coordinates").unwrap().as_object().is_some());
+        }
+    }
+
+    #[test]
+    fn extended_tweets_drift_schema() {
+        let c = TwitterConfig {
+            extended_rate: 0.5,
+            ..Default::default()
+        };
+        let docs = tweets(&c, 200);
+        let classic = docs.iter().filter(|d| d.get("text").is_some()).count();
+        let extended = docs.iter().filter(|d| d.get("full_text").is_some()).count();
+        assert_eq!(classic + extended, 200);
+        assert!(classic > 0 && extended > 0);
+    }
+
+    #[test]
+    fn retweets_nest_one_level() {
+        let c = TwitterConfig {
+            retweet_rate: 1.0,
+            ..Default::default()
+        };
+        let docs = tweets(&c, 10);
+        for d in &docs {
+            let rt = d.get("retweeted_status").expect("retweet forced");
+            assert!(rt.get("retweeted_status").is_none(), "no double nesting");
+        }
+    }
+}

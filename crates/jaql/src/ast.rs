@@ -1,0 +1,299 @@
+//! Pipeline and expression syntax.
+
+use jsonx_data::Value;
+use std::fmt;
+
+/// A row-level expression, evaluated against one document (`$`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `$` — the current document.
+    Input,
+    /// A constant.
+    Const(Value),
+    /// `e.name` — field access; `null` when absent or not an object.
+    Field(Box<Expr>, String),
+    /// `{ name: e, … }` — record construction.
+    Record(Vec<(String, Expr)>),
+    /// `[ e, … ]` — array construction.
+    Array(Vec<Expr>),
+    /// Binary operation with Jaql's null-propagating semantics.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Logical negation (`null` for non-boolean operands).
+    Not(Box<Expr>),
+    /// `exists(e)` — true when `e` is not `null`.
+    Exists(Box<Expr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+}
+
+/// One pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Keep documents where the predicate evaluates to `true`.
+    Filter(Expr),
+    /// Map every document through the expression.
+    Transform(Expr),
+    /// Evaluate to an array and emit one output per element
+    /// (non-arrays/null expand to nothing, per Jaql).
+    Expand(Expr),
+    /// Keep the first `n` documents.
+    Top(usize),
+}
+
+/// A query: a sequence of stages applied to a collection.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Pipeline {
+    /// The stages, in order.
+    pub ops: Vec<Op>,
+}
+
+impl Pipeline {
+    /// The empty pipeline (identity).
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Appends a filter stage.
+    pub fn filter(mut self, predicate: Expr) -> Pipeline {
+        self.ops.push(Op::Filter(predicate));
+        self
+    }
+
+    /// Appends a transform stage.
+    pub fn transform(mut self, projection: Expr) -> Pipeline {
+        self.ops.push(Op::Transform(projection));
+        self
+    }
+
+    /// Appends an expand stage.
+    pub fn expand(mut self, array_expr: Expr) -> Pipeline {
+        self.ops.push(Op::Expand(array_expr));
+        self
+    }
+
+    /// Appends a top-n stage.
+    pub fn top(mut self, n: usize) -> Pipeline {
+        self.ops.push(Op::Top(n));
+        self
+    }
+}
+
+// The fluent combinators intentionally mirror the query language's
+// operator names; they are builder methods, not trait impls.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    fn binary(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self == rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Eq, rhs)
+    }
+
+    /// `self != rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Ne, rhs)
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Lt, rhs)
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Le, rhs)
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Gt, rhs)
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Ge, rhs)
+    }
+
+    /// `self && rhs`.
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::And, rhs)
+    }
+
+    /// `self || rhs`.
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Or, rhs)
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Add, rhs)
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Sub, rhs)
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Mul, rhs)
+    }
+}
+
+/// Expression constructors (`expr::input()`, `expr::lit(…)`, …).
+pub mod expr {
+    use super::Expr;
+    use jsonx_data::Value;
+
+    /// `$`.
+    pub fn input() -> Expr {
+        Expr::Input
+    }
+
+    /// A literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// `base.name`.
+    pub fn field(base: Expr, name: impl Into<String>) -> Expr {
+        Expr::Field(Box::new(base), name.into())
+    }
+
+    /// Dotted-path sugar: `path("user.name")` = `$.user.name`.
+    pub fn path(dotted: &str) -> Expr {
+        dotted
+            .split('.')
+            .fold(Expr::Input, field)
+    }
+
+    /// `{ name: e, … }`.
+    pub fn record<'a, I: IntoIterator<Item = (&'a str, Expr)>>(fields: I) -> Expr {
+        Expr::Record(
+            fields
+                .into_iter()
+                .map(|(n, e)| (n.to_string(), e))
+                .collect(),
+        )
+    }
+
+    /// `[ e, … ]`.
+    pub fn array<I: IntoIterator<Item = Expr>>(items: I) -> Expr {
+        Expr::Array(items.into_iter().collect())
+    }
+
+    /// `!e`.
+    pub fn not(e: Expr) -> Expr {
+        Expr::Not(Box::new(e))
+    }
+
+    /// `exists(e)`.
+    pub fn exists(e: Expr) -> Expr {
+        Expr::Exists(Box::new(e))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Input => write!(f, "$"),
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Field(base, name) => write!(f, "{base}.{name}"),
+            Expr::Record(fields) => {
+                write!(f, "{{")?;
+                for (i, (n, e)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {e}")?;
+                }
+                write!(f, "}}")
+            }
+            Expr::Array(items) => {
+                write!(f, "[")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+            Expr::Binary(op, a, b) => {
+                let sym = match op {
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::And => "and",
+                    BinOp::Or => "or",
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+            Expr::Not(e) => write!(f, "not {e}"),
+            Expr::Exists(e) => write!(f, "exists({e})"),
+        }
+    }
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$input")?;
+        for op in &self.ops {
+            match op {
+                Op::Filter(e) => write!(f, " -> filter {e}")?,
+                Op::Transform(e) => write!(f, " -> transform {e}")?,
+                Op::Expand(e) => write!(f, " -> expand {e}")?,
+                Op::Top(n) => write!(f, " -> top {n}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let q = Pipeline::new()
+            .filter(expr::path("a.b").gt(expr::lit(1)))
+            .transform(expr::record([("x", expr::path("a"))]))
+            .top(5);
+        assert_eq!(q.ops.len(), 3);
+        assert_eq!(
+            q.to_string(),
+            "$input -> filter ($.a.b > 1) -> transform {x: $.a} -> top 5"
+        );
+    }
+
+    #[test]
+    fn path_sugar() {
+        assert_eq!(
+            expr::path("u.n"),
+            expr::field(expr::field(expr::input(), "u"), "n")
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! Pipeline evaluation with Jaql's total, null-propagating semantics.
+//!
+//! No expression errors: a missing field is `null`, an operation on
+//! unsuitable operands is `null`, and a filter predicate that is not
+//! literally `true` drops the document. That totality is what makes the
+//! static typing of [`crate::typing`] an over-approximation rather than an
+//! effect system.
+
+use crate::ast::{BinOp, Expr, Op, Pipeline};
+use jsonx_data::{canonical_cmp, Number, Object, Value};
+use std::cmp::Ordering;
+
+impl Pipeline {
+    /// Runs the pipeline over a collection.
+    pub fn eval(&self, docs: &[Value]) -> Vec<Value> {
+        let mut current: Vec<Value> = docs.to_vec();
+        for op in &self.ops {
+            current = match op {
+                Op::Filter(pred) => current
+                    .into_iter()
+                    .filter(|doc| eval_expr(pred, doc) == Value::Bool(true))
+                    .collect(),
+                Op::Transform(proj) => {
+                    current.iter().map(|doc| eval_expr(proj, doc)).collect()
+                }
+                Op::Expand(arr) => current
+                    .iter()
+                    .flat_map(|doc| match eval_expr(arr, doc) {
+                        Value::Arr(items) => items,
+                        // Jaql: expanding a non-array/null yields nothing.
+                        _ => Vec::new(),
+                    })
+                    .collect(),
+                Op::Top(n) => {
+                    current.truncate(*n);
+                    current
+                }
+            };
+        }
+        current
+    }
+}
+
+/// Evaluates one expression against one document.
+pub fn eval_expr(expr: &Expr, doc: &Value) -> Value {
+    // Pure `$`/field-chain expressions resolve by reference — without
+    // this, every `$.a.b` clones the whole document per step, which
+    // dominated query execution in the E13 profile.
+    if let Some(resolved) = try_path_ref(expr, doc) {
+        return resolved.cloned().unwrap_or(Value::Null);
+    }
+    match expr {
+        Expr::Input => doc.clone(),
+        Expr::Const(v) => v.clone(),
+        Expr::Field(base, name) => {
+            let base = eval_expr(base, doc);
+            base.get(name).cloned().unwrap_or(Value::Null)
+        }
+        Expr::Record(fields) => {
+            let mut obj = Object::with_capacity(fields.len());
+            for (name, e) in fields {
+                obj.insert(name.clone(), eval_expr(e, doc));
+            }
+            Value::Obj(obj)
+        }
+        Expr::Array(items) => {
+            Value::Arr(items.iter().map(|e| eval_expr(e, doc)).collect())
+        }
+        Expr::Binary(op, a, b) => {
+            eval_binary(*op, eval_expr(a, doc), eval_expr(b, doc))
+        }
+        Expr::Not(e) => match eval_expr(e, doc) {
+            Value::Bool(b) => Value::Bool(!b),
+            _ => Value::Null,
+        },
+        Expr::Exists(e) => Value::Bool(!eval_expr(e, doc).is_null()),
+    }
+}
+
+/// Resolves `$`-rooted field chains to a reference into the document.
+/// `Some(None)` means the path hit an absent field (evaluates to null);
+/// `None` means the expression is not a pure path.
+fn try_path_ref<'a>(expr: &Expr, doc: &'a Value) -> Option<Option<&'a Value>> {
+    match expr {
+        Expr::Input => Some(Some(doc)),
+        Expr::Field(base, name) => match try_path_ref(base, doc)? {
+            Some(v) => Some(v.get(name)),
+            None => Some(None),
+        },
+        _ => None,
+    }
+}
+
+fn eval_binary(op: BinOp, a: Value, b: Value) -> Value {
+    match op {
+        BinOp::Eq => Value::Bool(a == b),
+        BinOp::Ne => Value::Bool(a != b),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => compare(op, &a, &b),
+        BinOp::And | BinOp::Or => logic(op, &a, &b),
+        BinOp::Add | BinOp::Sub | BinOp::Mul => arith(op, &a, &b),
+    }
+}
+
+/// Ordering comparisons: defined for number/number and string/string
+/// pairs; anything else is `null` (incomparable).
+fn compare(op: BinOp, a: &Value, b: &Value) -> Value {
+    let ord: Ordering = match (a, b) {
+        (Value::Num(_), Value::Num(_)) | (Value::Str(_), Value::Str(_)) => {
+            canonical_cmp(a, b)
+        }
+        _ => return Value::Null,
+    };
+    let holds = match op {
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::Le => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::Ge => ord != Ordering::Less,
+        _ => unreachable!("compare only handles orderings"),
+    };
+    Value::Bool(holds)
+}
+
+/// Boolean connectives over booleans; `null` otherwise (no short-circuit
+/// truthiness — JSON has real booleans).
+fn logic(op: BinOp, a: &Value, b: &Value) -> Value {
+    match (a.as_bool(), b.as_bool()) {
+        (Some(x), Some(y)) => Value::Bool(match op {
+            BinOp::And => x && y,
+            BinOp::Or => x || y,
+            _ => unreachable!("logic only handles connectives"),
+        }),
+        _ => Value::Null,
+    }
+}
+
+/// Arithmetic over numbers; exact on integer pairs, `f64` otherwise.
+fn arith(op: BinOp, a: &Value, b: &Value) -> Value {
+    let (Value::Num(x), Value::Num(y)) = (a, b) else {
+        return Value::Null;
+    };
+    if let (Number::Int(i), Number::Int(j)) = (x, y) {
+        let exact = match op {
+            BinOp::Add => i.checked_add(*j),
+            BinOp::Sub => i.checked_sub(*j),
+            BinOp::Mul => i.checked_mul(*j),
+            _ => unreachable!("arith only handles + - *"),
+        };
+        if let Some(v) = exact {
+            return Value::Num(Number::Int(v));
+        }
+        // Overflow degrades to f64, like the integer parser does.
+    }
+    let (fx, fy) = (x.as_f64(), y.as_f64());
+    let out = match op {
+        BinOp::Add => fx + fy,
+        BinOp::Sub => fx - fy,
+        BinOp::Mul => fx * fy,
+        _ => unreachable!("arith only handles + - *"),
+    };
+    Number::from_f64(out).map(Value::Num).unwrap_or(Value::Null)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::expr;
+    use jsonx_data::json;
+
+    fn ev(e: &Expr, doc: Value) -> Value {
+        eval_expr(e, &doc)
+    }
+
+    #[test]
+    fn field_access_null_propagates() {
+        let doc = json!({"a": {"b": 7}});
+        assert_eq!(ev(&expr::path("a.b"), doc.clone()), json!(7));
+        assert_eq!(ev(&expr::path("a.zz"), doc.clone()), Value::Null);
+        assert_eq!(ev(&expr::path("a.zz.deeper"), doc.clone()), Value::Null);
+        assert_eq!(ev(&expr::path("a.b.c"), doc), Value::Null); // through scalar
+    }
+
+    #[test]
+    fn comparisons() {
+        let d = json!({"n": 5, "s": "abc"});
+        assert_eq!(ev(&expr::path("n").gt(expr::lit(3)), d.clone()), json!(true));
+        assert_eq!(ev(&expr::path("n").le(expr::lit(5)), d.clone()), json!(true));
+        assert_eq!(
+            ev(&expr::path("s").lt(expr::lit("abd")), d.clone()),
+            json!(true)
+        );
+        // Incomparable pair → null.
+        assert_eq!(ev(&expr::path("s").lt(expr::lit(1)), d), Value::Null);
+    }
+
+    #[test]
+    fn equality_is_total() {
+        let d = json!({"a": [1, {"k": 2}]});
+        assert_eq!(
+            ev(&expr::path("a").eq(expr::lit(json!([1, {"k": 2}]))), d.clone()),
+            json!(true)
+        );
+        assert_eq!(ev(&expr::path("a").eq(expr::lit(1)), d), json!(false));
+    }
+
+    #[test]
+    fn logic_and_not() {
+        let d = json!({"t": true, "f": false, "n": 3});
+        assert_eq!(
+            ev(&expr::path("t").and(expr::path("f")), d.clone()),
+            json!(false)
+        );
+        assert_eq!(
+            ev(&expr::path("t").or(expr::path("f")), d.clone()),
+            json!(true)
+        );
+        assert_eq!(ev(&expr::path("t").and(expr::path("n")), d.clone()), Value::Null);
+        assert_eq!(ev(&expr::not(expr::path("f")), d.clone()), json!(true));
+        assert_eq!(ev(&expr::not(expr::path("n")), d), Value::Null);
+    }
+
+    #[test]
+    fn arithmetic_exact_and_degrading() {
+        let d = json!({"i": 4, "f": 0.5});
+        assert_eq!(ev(&expr::path("i").add(expr::lit(3)), d.clone()), json!(7));
+        assert_eq!(ev(&expr::path("i").mul(expr::path("f")), d.clone()), json!(2.0));
+        assert_eq!(ev(&expr::path("f").sub(expr::lit("x")), d.clone()), Value::Null);
+        // i64 overflow degrades to float.
+        let big = json!({"x": i64::MAX});
+        assert_eq!(
+            ev(&expr::path("x").add(expr::lit(1)), big),
+            json!((i64::MAX as f64) + 1.0)
+        );
+        let _ = d;
+    }
+
+    #[test]
+    fn exists_probe() {
+        let d = json!({"a": null, "b": 1});
+        assert_eq!(ev(&expr::exists(expr::path("b")), d.clone()), json!(true));
+        // `a` is present but null — Jaql's exists sees null.
+        assert_eq!(ev(&expr::exists(expr::path("a")), d.clone()), json!(false));
+        assert_eq!(ev(&expr::exists(expr::path("zz")), d), json!(false));
+    }
+
+    #[test]
+    fn pipeline_stages() {
+        let docs = vec![
+            json!({"id": 1, "tags": ["a", "b"], "score": 10}),
+            json!({"id": 2, "tags": [], "score": 3}),
+            json!({"id": 3, "tags": ["c"], "score": 8}),
+        ];
+        // filter score >= 8 → expand tags
+        let q = Pipeline::new()
+            .filter(expr::path("score").ge(expr::lit(8)))
+            .expand(expr::path("tags"));
+        assert_eq!(q.eval(&docs), vec![json!("a"), json!("b"), json!("c")]);
+
+        // transform to flat records, then top 2
+        let q = Pipeline::new()
+            .transform(expr::record([
+                ("i", expr::path("id")),
+                ("n", expr::path("score").mul(expr::lit(2))),
+            ]))
+            .top(2);
+        assert_eq!(
+            q.eval(&docs),
+            vec![json!({"i": 1, "n": 20}), json!({"i": 2, "n": 6})]
+        );
+    }
+
+    #[test]
+    fn expand_of_non_arrays_yields_nothing() {
+        let docs = vec![json!({"x": 1}), json!({"x": [1, 2]}), json!({"y": 0})];
+        let q = Pipeline::new().expand(expr::path("x"));
+        assert_eq!(q.eval(&docs), vec![json!(1), json!(2)]);
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let docs = vec![json!(1), json!({"a": 2})];
+        assert_eq!(Pipeline::new().eval(&docs), docs);
+    }
+}

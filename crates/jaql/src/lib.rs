@@ -1,0 +1,48 @@
+//! # jsonx-jaql
+//!
+//! A Jaql-style transformation language over JSON collections, with the
+//! feature the tutorial singles out (§4.1, \[13\]): Jaql "exploit\[s\] schema
+//! information for inferring the **output schema of a query**". Here both
+//! halves are real:
+//!
+//! * [`Pipeline`] — `filter → transform → expand → top` pipelines built
+//!   from [`Expr`]essions with Jaql's null-propagating semantics
+//!   (accessing a missing field yields `null`, operations on unsuitable
+//!   operands yield `null`).
+//! * [`infer_output_type`] — **static typing**: given the input
+//!   collection's inferred [`JType`](jsonx_core::JType), compute the output type *without
+//!   running the query*. The soundness contract — every row the pipeline
+//!   produces is admitted by the statically inferred output type — is
+//!   property-tested across the corpora.
+//!
+//! ```
+//! use jsonx_data::json;
+//! use jsonx_core::{infer_collection, print_type, Equivalence, PrintOptions};
+//! use jsonx_jaql::{expr, Pipeline};
+//!
+//! // tweets -> filter(retweets > 10) -> {user: $.user.name, n: $.retweets}
+//! let q = Pipeline::new()
+//!     .filter(expr::field(expr::input(), "retweets").gt(expr::lit(10)))
+//!     .transform(expr::record([
+//!         ("user", expr::field(expr::field(expr::input(), "user"), "name")),
+//!         ("n", expr::field(expr::input(), "retweets")),
+//!     ]));
+//!
+//! let docs = vec![
+//!     json!({"user": {"name": "ada"},  "retweets": 25}),
+//!     json!({"user": {"name": "lin"},  "retweets": 3}),
+//! ];
+//! assert_eq!(q.eval(&docs), vec![json!({"user": "ada", "n": 25})]);
+//!
+//! // Static output schema, no evaluation:
+//! let input_ty = infer_collection(&docs, Equivalence::Kind);
+//! let out_ty = jsonx_jaql::infer_output_type(&q, &input_ty);
+//! assert_eq!(print_type(&out_ty, PrintOptions::plain()), "{n: Int, user: Str}");
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod typing;
+
+pub use ast::{expr, BinOp, Expr, Op, Pipeline};
+pub use typing::infer_output_type;

@@ -1,0 +1,301 @@
+//! Static output-schema inference — the Jaql feature the tutorial cites.
+//!
+//! Given the *input* collection's inferred [`JType`], compute a type that
+//! admits every possible pipeline output, without evaluating anything.
+//! The typing mirrors the evaluator's total semantics: optional fields
+//! contribute `Null` (that is what evaluation yields when they are
+//! absent), incomparable operands contribute `Null`, and arithmetic
+//! widens to `(Int + Num)` because integer overflow degrades to float.
+//!
+//! Soundness — `admits(infer_output_type(q, infer(docs)), row)` for every
+//! row of `q.eval(docs)` — is property-tested in
+//! `tests/prop_type_soundness.rs`. Precision is K-level: union members
+//! merge kind-wise, like the K equivalence of the inference engine.
+
+use crate::ast::{BinOp, Expr, Op, Pipeline};
+use jsonx_core::{fuse, fuse_all, infer_value, Equivalence, JType};
+use jsonx_core::{ArrayType, FieldType, RecordType};
+
+const EQ: Equivalence = Equivalence::Kind;
+
+/// Infers the output type of a pipeline applied to collections of
+/// `input` type.
+pub fn infer_output_type(pipeline: &Pipeline, input: &JType) -> JType {
+    let mut current = input.clone();
+    for op in &pipeline.ops {
+        if matches!(current, JType::Bottom) {
+            return JType::Bottom; // no documents can flow further
+        }
+        current = match op {
+            // Filtering refines the population; the input type stays a
+            // sound over-approximation.
+            Op::Filter(_) | Op::Top(_) => current,
+            Op::Transform(proj) => type_expr(proj, &current),
+            Op::Expand(arr) => {
+                let t = type_expr(arr, &current);
+                // Only array members produce output; everything else
+                // expands to nothing.
+                let items: Vec<JType> = t
+                    .members()
+                    .iter()
+                    .filter_map(|m| match m {
+                        JType::Array(at) => Some((*at.item).clone()),
+                        _ => None,
+                    })
+                    .collect();
+                fuse_all(items, EQ)
+            }
+        };
+    }
+    current
+}
+
+/// Types one expression against documents of type `input`.
+pub fn type_expr(expr: &Expr, input: &JType) -> JType {
+    if matches!(input, JType::Bottom) {
+        return JType::Bottom;
+    }
+    match expr {
+        Expr::Input => input.clone(),
+        Expr::Const(v) => infer_value(v, EQ),
+        Expr::Field(base, name) => field_type(&type_expr(base, input), name),
+        Expr::Record(fields) => {
+            let mut typed: Vec<(String, FieldType)> = fields
+                .iter()
+                .map(|(n, e)| {
+                    (
+                        n.clone(),
+                        FieldType {
+                            ty: type_expr(e, input),
+                            presence: 1,
+                        },
+                    )
+                })
+                .collect();
+            // Construction semantics: last duplicate wins, fields sorted.
+            // (A set-based retain, because duplicates need not be adjacent.)
+            let mut seen = std::collections::HashSet::new();
+            typed.reverse();
+            typed.retain(|(name, _)| seen.insert(name.clone()));
+            typed.sort_by(|(a, _), (b, _)| a.cmp(b));
+            JType::Record(RecordType {
+                fields: typed,
+                count: 1,
+            })
+        }
+        Expr::Array(items) => {
+            let item = fuse_all(items.iter().map(|e| type_expr(e, input)), EQ);
+            JType::Array(ArrayType {
+                item: Box::new(item),
+                count: 1,
+                total_items: items.len() as u64,
+            })
+        }
+        Expr::Binary(op, a, b) => {
+            let ta = type_expr(a, input);
+            let tb = type_expr(b, input);
+            type_binary(*op, &ta, &tb)
+        }
+        Expr::Not(e) => {
+            let t = type_expr(e, input);
+            if all_members(&t, is_bool) {
+                bool_t()
+            } else {
+                with_null(bool_t())
+            }
+        }
+        Expr::Exists(_) => bool_t(),
+    }
+}
+
+/// The type of `base.name` — the union over the base type's members.
+fn field_type(base: &JType, name: &str) -> JType {
+    if matches!(base, JType::Bottom) {
+        return JType::Bottom;
+    }
+    let mut contributions: Vec<JType> = Vec::new();
+    for member in base.members() {
+        match member {
+            JType::Record(rt) => match rt.field(name) {
+                Some(f) => {
+                    contributions.push(f.ty.clone());
+                    if f.presence < rt.count {
+                        contributions.push(null_t()); // may be absent
+                    }
+                }
+                None => contributions.push(null_t()),
+            },
+            // Field access on scalars/arrays evaluates to null.
+            _ => contributions.push(null_t()),
+        }
+    }
+    fuse_all(contributions, EQ)
+}
+
+fn type_binary(op: BinOp, a: &JType, b: &JType) -> JType {
+    match op {
+        BinOp::Eq | BinOp::Ne => bool_t(),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let comparable = (all_members(a, is_num) && all_members(b, is_num))
+                || (all_members(a, is_str) && all_members(b, is_str));
+            if comparable {
+                bool_t()
+            } else {
+                with_null(bool_t())
+            }
+        }
+        BinOp::And | BinOp::Or => {
+            if all_members(a, is_bool) && all_members(b, is_bool) {
+                bool_t()
+            } else {
+                with_null(bool_t())
+            }
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul => {
+            // Arithmetic yields a number (overflowing integer pairs
+            // degrade to float, so `(Int + Num)` even for Int × Int);
+            // non-numeric operands make null possible.
+            let numeric = num_t();
+            if all_members(a, is_num) && all_members(b, is_num) {
+                numeric
+            } else {
+                with_null(numeric)
+            }
+        }
+    }
+}
+
+// ---- small type constructors/predicates --------------------------------
+
+fn null_t() -> JType {
+    JType::Null { count: 1 }
+}
+
+fn bool_t() -> JType {
+    JType::Bool { count: 1 }
+}
+
+fn num_t() -> JType {
+    JType::Union(vec![JType::Int { count: 1 }, JType::Float { count: 1 }])
+}
+
+fn with_null(t: JType) -> JType {
+    fuse(t, null_t(), EQ)
+}
+
+fn all_members(t: &JType, pred: impl Fn(&JType) -> bool) -> bool {
+    !matches!(t, JType::Bottom) && t.members().iter().all(pred)
+}
+
+fn is_num(t: &JType) -> bool {
+    matches!(t, JType::Int { .. } | JType::Float { .. })
+}
+
+fn is_str(t: &JType) -> bool {
+    matches!(t, JType::Str { .. })
+}
+
+fn is_bool(t: &JType) -> bool {
+    matches!(t, JType::Bool { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::expr;
+    use jsonx_core::{infer_collection, print_type, PrintOptions};
+    use jsonx_data::json;
+
+    fn plain(t: &JType) -> String {
+        print_type(t, PrintOptions::plain())
+    }
+
+    fn input_ty() -> JType {
+        infer_collection(
+            &[
+                json!({"id": 1, "name": "a", "tags": ["x"], "geo": {"lat": 1.5}}),
+                json!({"id": 2, "tags": []}),
+            ],
+            Equivalence::Kind,
+        )
+    }
+
+    #[test]
+    fn field_access_types() {
+        let t = input_ty();
+        assert_eq!(plain(&type_expr(&expr::path("id"), &t)), "Int");
+        // `name` is optional → Null joins the type.
+        assert_eq!(plain(&type_expr(&expr::path("name"), &t)), "(Null + Str)");
+        // Unknown field → Null.
+        assert_eq!(plain(&type_expr(&expr::path("zzz"), &t)), "Null");
+        // Nested access through an optional record.
+        assert_eq!(
+            plain(&type_expr(&expr::path("geo.lat"), &t)),
+            "(Null + Num)"
+        );
+    }
+
+    #[test]
+    fn record_and_array_construction() {
+        let t = input_ty();
+        let e = expr::record([
+            ("a", expr::path("id")),
+            ("b", expr::array([expr::lit(1), expr::lit("s")])),
+        ]);
+        assert_eq!(plain(&type_expr(&e, &t)), "{a: Int, b: [(Int + Str)]}");
+    }
+
+    #[test]
+    fn binary_typing() {
+        let t = input_ty();
+        assert_eq!(
+            plain(&type_expr(&expr::path("id").gt(expr::lit(0)), &t)),
+            "Bool"
+        );
+        // Comparison against an optional field may be null.
+        assert_eq!(
+            plain(&type_expr(&expr::path("name").lt(expr::lit("m")), &t)),
+            "(Null + Bool)"
+        );
+        // Arithmetic on ints is a number (overflow degrades).
+        assert_eq!(
+            plain(&type_expr(&expr::path("id").add(expr::lit(1)), &t)),
+            "(Int + Num)"
+        );
+        assert_eq!(plain(&type_expr(&expr::exists(expr::path("x")), &t)), "Bool");
+    }
+
+    #[test]
+    fn pipeline_typing() {
+        let t = input_ty();
+        let q = Pipeline::new()
+            .filter(expr::path("id").gt(expr::lit(0)))
+            .transform(expr::record([("n", expr::path("id"))]));
+        assert_eq!(plain(&infer_output_type(&q, &t)), "{n: Int}");
+        // Expand types to the element type.
+        let q = Pipeline::new().expand(expr::path("tags"));
+        assert_eq!(plain(&infer_output_type(&q, &t)), "Str");
+        // Expanding a non-array is Bottom (no output possible).
+        let q = Pipeline::new().expand(expr::path("id"));
+        assert_eq!(infer_output_type(&q, &t), JType::Bottom);
+    }
+
+    #[test]
+    fn bottom_propagates() {
+        let q = Pipeline::new().transform(expr::record([("x", expr::lit(1))]));
+        assert_eq!(infer_output_type(&q, &JType::Bottom), JType::Bottom);
+    }
+
+    #[test]
+    fn duplicate_record_fields_last_wins() {
+        let t = input_ty();
+        let e = Expr::Record(vec![
+            ("k".to_string(), expr::lit(1)),
+            ("k".to_string(), expr::lit("s")),
+        ]);
+        assert_eq!(plain(&type_expr(&e, &t)), "{k: Str}");
+        // And evaluation agrees.
+        let out = crate::eval::eval_expr(&e, &json!({}));
+        assert_eq!(out, json!({"k": "s"}));
+    }
+}

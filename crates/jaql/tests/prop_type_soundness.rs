@@ -1,0 +1,154 @@
+//! The output-typing soundness contract: for any pipeline q and any
+//! collection D, every row of `q.eval(D)` is admitted by
+//! `infer_output_type(q, infer(D))` — under both K and L input typing.
+
+use jsonx_core::{infer_collection, Equivalence};
+use jsonx_data::{Number, Object, Value};
+use jsonx_jaql::{expr, infer_output_type, Expr, Pipeline};
+use jsonx_gen::Corpus;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-100i64..100).prop_map(|i| Value::Num(Number::Int(i))),
+        (-5.0f64..5.0).prop_map(|f| Value::Num(Number::from_f64(f).unwrap())),
+        "[ab]{0,3}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Value::Arr),
+            prop::collection::vec(("[a-d]", inner), 0..4)
+                .prop_map(|pairs| Value::Obj(pairs.into_iter().collect::<Object>())),
+        ]
+    })
+}
+
+/// Random expressions over a small field vocabulary a..d.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(expr::input()),
+        Just(expr::lit(1)),
+        Just(expr::lit("a")),
+        Just(expr::lit(true)),
+        Just(expr::path("a")),
+        Just(expr::path("b")),
+        Just(expr::path("a.b")),
+        Just(expr::path("c.d")),
+    ];
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), "[a-d]").prop_map(|(e, n)| expr::field(e, n)),
+            prop::collection::vec(("[a-d]", inner.clone()), 0..3)
+                .prop_map(|fs| Expr::Record(
+                    fs.into_iter().collect()
+                )),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(expr::array),
+            (inner.clone(), inner.clone(), 0usize..11).prop_map(|(a, b, k)| {
+                match k {
+                    0 => a.eq(b),
+                    1 => a.ne(b),
+                    2 => a.lt(b),
+                    3 => a.le(b),
+                    4 => a.gt(b),
+                    5 => a.ge(b),
+                    6 => a.and(b),
+                    7 => a.or(b),
+                    8 => a.add(b),
+                    9 => a.sub(b),
+                    _ => a.mul(b),
+                }
+            }),
+            inner.clone().prop_map(expr::not),
+            inner.prop_map(expr::exists),
+        ]
+    })
+}
+
+fn arb_pipeline() -> impl Strategy<Value = Pipeline> {
+    prop::collection::vec(
+        prop_oneof![
+            arb_expr().prop_map(PipeOp::Filter),
+            arb_expr().prop_map(PipeOp::Transform),
+            arb_expr().prop_map(PipeOp::Expand),
+            (0usize..5).prop_map(PipeOp::Top),
+        ],
+        0..4,
+    )
+    .prop_map(|ops| {
+        let mut p = Pipeline::new();
+        for op in ops {
+            p = match op {
+                PipeOp::Filter(e) => p.filter(e),
+                PipeOp::Transform(e) => p.transform(e),
+                PipeOp::Expand(e) => p.expand(e),
+                PipeOp::Top(n) => p.top(n),
+            };
+        }
+        p
+    })
+}
+
+#[derive(Debug, Clone)]
+enum PipeOp {
+    Filter(Expr),
+    Transform(Expr),
+    Expand(Expr),
+    Top(usize),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    #[test]
+    fn output_typing_is_sound(
+        docs in prop::collection::vec(arb_value(), 0..8),
+        q in arb_pipeline(),
+        equiv in prop_oneof![Just(Equivalence::Kind), Just(Equivalence::Label)],
+    ) {
+        let input_ty = infer_collection(&docs, equiv);
+        let output_ty = infer_output_type(&q, &input_ty);
+        for row in q.eval(&docs) {
+            prop_assert!(
+                output_ty.admits(&row),
+                "pipeline {} output {} not admitted by {:?}",
+                q, row, output_ty
+            );
+        }
+    }
+}
+
+#[test]
+fn output_typing_sound_on_corpora() {
+    let queries = vec![
+        Pipeline::new()
+            .filter(expr::path("public").eq(expr::lit(true)))
+            .transform(expr::record([
+                ("who", expr::path("actor.login")),
+                ("what", expr::path("type")),
+                ("size2", expr::path("payload.size").mul(expr::lit(2))),
+            ])),
+        Pipeline::new()
+            .expand(expr::path("payload.commits"))
+            .transform(expr::path("sha")),
+        Pipeline::new()
+            .filter(expr::exists(expr::path("payload.forkee")))
+            .top(10),
+    ];
+    let docs = Corpus::Github.generate(400);
+    for equiv in [Equivalence::Kind, Equivalence::Label] {
+        let input_ty = infer_collection(&docs, equiv);
+        for q in &queries {
+            let output_ty = infer_output_type(q, &input_ty);
+            let rows = q.eval(&docs);
+            assert!(!rows.is_empty(), "query {q} produced nothing");
+            for row in rows {
+                assert!(
+                    output_ty.admits(&row),
+                    "{equiv:?}: {q} output {row} escapes inferred type"
+                );
+            }
+        }
+    }
+}

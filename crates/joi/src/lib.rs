@@ -1,0 +1,42 @@
+//! # jsonx-joi
+//!
+//! A Joi-style schema DSL, after Walmart Labs' `joi` library the tutorial
+//! surveys in §2: schemas are built *in the host language* with fluent
+//! combinators rather than written as JSON documents, and objects support
+//! the constraint vocabulary Joi is known for — **co-occurrence** (`and`),
+//! **mutual exclusion** (`xor`, `nand`), conditional presence
+//! (`with`/`without`), unions (`alternatives`), and **value-dependent
+//! types** (`when`).
+//!
+//! ```
+//! use jsonx_data::json;
+//! use jsonx_joi::joi;
+//!
+//! // A payment object: card payments need a billing address, and exactly
+//! // one of `card` / `iban` must be present.
+//! let schema = joi::object()
+//!     .key("amount", joi::number().min(0.0).required())
+//!     .key("card", joi::string().pattern(r"^\d{16}$"))
+//!     .key("iban", joi::string().min_len(15))
+//!     .key("billing_address", joi::string())
+//!     .xor(["card", "iban"])
+//!     .with("card", ["billing_address"])
+//!     .build();
+//!
+//! assert!(schema.validate(&json!({
+//!     "amount": 9.5, "card": "4000123412341234", "billing_address": "x"
+//! })).is_ok());
+//! assert!(schema.validate(&json!({"amount": 9.5})).is_err());          // xor
+//! assert!(schema.validate(&json!({
+//!     "amount": 9.5, "card": "4000123412341234"
+//! })).is_err());                                                        // with
+//! ```
+
+pub mod report;
+pub mod schema;
+pub mod validate;
+pub mod when;
+
+pub use report::{JoiError, JoiErrorKind};
+pub use schema::{joi, JoiSchema, Presence};
+pub use when::When;

@@ -1,0 +1,71 @@
+//! Joi validation errors.
+
+use jsonx_data::Pointer;
+use std::fmt;
+
+/// The kind of a Joi validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoiErrorKind {
+    /// Value has the wrong base type.
+    WrongType { expected: &'static str },
+    /// Required key absent.
+    Required { key: String },
+    /// Forbidden key present.
+    Forbidden { key: String },
+    /// Undeclared key on a closed object.
+    UnknownKey { key: String },
+    /// Value not in the `valid` whitelist.
+    NotAllowed,
+    /// A string/number/array rule failed.
+    RuleFailed { rule: &'static str },
+    /// No alternative matched.
+    NoAlternative,
+    /// `and` group partially present.
+    AndGroup { group: Vec<String> },
+    /// `or` group entirely absent.
+    OrGroup { group: Vec<String> },
+    /// `xor` group with != 1 present.
+    XorGroup { group: Vec<String>, present: usize },
+    /// `nand` group entirely present.
+    NandGroup { group: Vec<String> },
+    /// `with` dependency unmet.
+    WithDep { key: String, missing: String },
+    /// `without` exclusion violated.
+    WithoutDep { key: String, conflicting: String },
+}
+
+/// One validation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoiError {
+    /// Path into the validated value.
+    pub path: Pointer,
+    /// Failure kind.
+    pub kind: JoiErrorKind,
+    /// Rendered message.
+    pub message: String,
+}
+
+impl fmt::Display for JoiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let path = self.path.to_string();
+        let shown = if path.is_empty() { "<root>" } else { &path };
+        write!(f, "{shown}: {}", self.message)
+    }
+}
+
+impl std::error::Error for JoiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = JoiError {
+            path: Pointer::root().push_key("card"),
+            kind: JoiErrorKind::Required { key: "card".into() },
+            message: "'card' is required".into(),
+        };
+        assert_eq!(e.to_string(), "/card: 'card' is required");
+    }
+}

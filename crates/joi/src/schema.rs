@@ -1,0 +1,414 @@
+//! Schema types and fluent builders.
+
+use crate::when::When;
+use jsonx_data::Value;
+use jsonx_regex::Regex;
+
+/// Presence mode of a schema (Joi's `optional`/`required`/`forbidden`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Presence {
+    /// May be absent (the Joi default).
+    #[default]
+    Optional,
+    /// Must be present.
+    Required,
+    /// Must be absent.
+    Forbidden,
+}
+
+/// A compiled Joi-style schema.
+#[derive(Debug, Clone)]
+pub struct JoiSchema {
+    /// The base type with its rules.
+    pub ty: JoiType,
+    /// Presence mode (meaningful for object keys).
+    pub presence: Presence,
+    /// Whitelist: when set, the value must equal one of these
+    /// (Joi's `valid(...)`).
+    pub valid: Option<Vec<Value>>,
+    /// Accept `null` in addition to the base type (Joi's `allow(null)`).
+    pub allow_null: bool,
+    /// Value-dependent refinement (Joi's `when`), applied at the enclosing
+    /// object.
+    pub condition: Option<Box<When>>,
+}
+
+/// The base type of a schema.
+#[derive(Debug, Clone)]
+pub enum JoiType {
+    /// Anything (Joi's `any()`).
+    Any,
+    /// Strings with rules.
+    Str(StrRules),
+    /// Numbers with rules.
+    Num(NumRules),
+    /// Booleans.
+    Bool,
+    /// Objects with keys and cross-field constraints.
+    Object(ObjectRules),
+    /// Arrays with an item schema and length bounds.
+    Array(ArrayRules),
+    /// Union: the first matching alternative wins (Joi's `alternatives`).
+    Alternatives(Vec<JoiSchema>),
+}
+
+/// String rules.
+#[derive(Debug, Clone, Default)]
+pub struct StrRules {
+    pub min_len: Option<usize>,
+    pub max_len: Option<usize>,
+    pub pattern: Option<Regex>,
+    /// Joi's `email()` flag.
+    pub email: bool,
+}
+
+/// Number rules.
+#[derive(Debug, Clone, Default)]
+pub struct NumRules {
+    pub min: Option<f64>,
+    pub max: Option<f64>,
+    /// Joi's `integer()` flag.
+    pub integer: bool,
+}
+
+/// Object rules: keys plus Joi's relational constraints.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectRules {
+    /// Declared keys.
+    pub keys: Vec<(String, JoiSchema)>,
+    /// Every group: all present or all absent.
+    pub and_groups: Vec<Vec<String>>,
+    /// Every group: at least one present.
+    pub or_groups: Vec<Vec<String>>,
+    /// Every group: exactly one present.
+    pub xor_groups: Vec<Vec<String>>,
+    /// Every group: not all simultaneously present.
+    pub nand_groups: Vec<Vec<String>>,
+    /// If key present, peers must be present.
+    pub with_deps: Vec<(String, Vec<String>)>,
+    /// If key present, peers must be absent.
+    pub without_deps: Vec<(String, Vec<String>)>,
+    /// Permit keys that are not declared (Joi's `unknown(true)`).
+    pub allow_unknown: bool,
+}
+
+/// Array rules.
+#[derive(Debug, Clone)]
+pub struct ArrayRules {
+    /// Item schema (None = any items).
+    pub items: Option<Box<JoiSchema>>,
+    pub min_items: Option<usize>,
+    pub max_items: Option<usize>,
+}
+
+impl JoiSchema {
+    fn with_type(ty: JoiType) -> JoiSchema {
+        JoiSchema {
+            ty,
+            presence: Presence::Optional,
+            valid: None,
+            allow_null: false,
+            condition: None,
+        }
+    }
+
+    /// Marks the schema required.
+    pub fn required(mut self) -> Self {
+        self.presence = Presence::Required;
+        self
+    }
+
+    /// Marks the schema forbidden.
+    pub fn forbidden(mut self) -> Self {
+        self.presence = Presence::Forbidden;
+        self
+    }
+
+    /// Allows `null` in addition to the base type.
+    pub fn allow_null(mut self) -> Self {
+        self.allow_null = true;
+        self
+    }
+
+    /// Restricts the value to a whitelist.
+    pub fn valid<I, V>(mut self, values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        self.valid = Some(values.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Attaches a `when` condition evaluated against the enclosing object.
+    pub fn when(mut self, condition: When) -> Self {
+        self.condition = Some(Box::new(condition));
+        self
+    }
+
+    // ---- string rules --------------------------------------------------
+    fn str_rules(&mut self) -> &mut StrRules {
+        match &mut self.ty {
+            JoiType::Str(r) => r,
+            _ => panic!("string rule applied to a non-string schema"),
+        }
+    }
+
+    /// Minimum string length (characters).
+    pub fn min_len(mut self, n: usize) -> Self {
+        self.str_rules().min_len = Some(n);
+        self
+    }
+
+    /// Maximum string length (characters).
+    pub fn max_len(mut self, n: usize) -> Self {
+        self.str_rules().max_len = Some(n);
+        self
+    }
+
+    /// Regex constraint (panics on an invalid pattern — schemas are code).
+    pub fn pattern(mut self, pattern: &str) -> Self {
+        self.str_rules().pattern =
+            Some(Regex::compile(pattern).expect("invalid pattern in joi schema"));
+        self
+    }
+
+    /// Email-shape constraint.
+    pub fn email(mut self) -> Self {
+        self.str_rules().email = true;
+        self
+    }
+
+    // ---- number rules ---------------------------------------------------
+    fn num_rules(&mut self) -> &mut NumRules {
+        match &mut self.ty {
+            JoiType::Num(r) => r,
+            _ => panic!("number rule applied to a non-number schema"),
+        }
+    }
+
+    /// Minimum (inclusive).
+    pub fn min(mut self, v: f64) -> Self {
+        self.num_rules().min = Some(v);
+        self
+    }
+
+    /// Maximum (inclusive).
+    pub fn max(mut self, v: f64) -> Self {
+        self.num_rules().max = Some(v);
+        self
+    }
+
+    // ---- array rules ---------------------------------------------------
+    fn array_rules(&mut self) -> &mut ArrayRules {
+        match &mut self.ty {
+            JoiType::Array(r) => r,
+            _ => panic!("array rule applied to a non-array schema"),
+        }
+    }
+
+    /// Item schema.
+    pub fn items(mut self, schema: JoiSchema) -> Self {
+        self.array_rules().items = Some(Box::new(schema));
+        self
+    }
+
+    /// Minimum number of items.
+    pub fn min_items(mut self, n: usize) -> Self {
+        self.array_rules().min_items = Some(n);
+        self
+    }
+
+    /// Maximum number of items.
+    pub fn max_items(mut self, n: usize) -> Self {
+        self.array_rules().max_items = Some(n);
+        self
+    }
+}
+
+/// Builder for object schemas (returned by [`joi::object`]).
+#[derive(Debug, Clone, Default)]
+pub struct ObjectBuilder {
+    rules: ObjectRules,
+    presence: Presence,
+}
+
+impl ObjectBuilder {
+    /// Declares a key.
+    pub fn key(mut self, name: impl Into<String>, schema: JoiSchema) -> Self {
+        self.rules.keys.push((name.into(), schema));
+        self
+    }
+
+    /// All-or-none co-occurrence group.
+    pub fn and<I: IntoIterator<Item = S>, S: Into<String>>(mut self, keys: I) -> Self {
+        self.rules
+            .and_groups
+            .push(keys.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// At-least-one group.
+    pub fn or<I: IntoIterator<Item = S>, S: Into<String>>(mut self, keys: I) -> Self {
+        self.rules
+            .or_groups
+            .push(keys.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Exactly-one group (mutual exclusion with obligation).
+    pub fn xor<I: IntoIterator<Item = S>, S: Into<String>>(mut self, keys: I) -> Self {
+        self.rules
+            .xor_groups
+            .push(keys.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Not-all group (mutual exclusion without obligation).
+    pub fn nand<I: IntoIterator<Item = S>, S: Into<String>>(mut self, keys: I) -> Self {
+        self.rules
+            .nand_groups
+            .push(keys.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// If `key` is present, `peers` must all be present.
+    pub fn with<I: IntoIterator<Item = S>, S: Into<String>>(
+        mut self,
+        key: impl Into<String>,
+        peers: I,
+    ) -> Self {
+        self.rules
+            .with_deps
+            .push((key.into(), peers.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// If `key` is present, `peers` must all be absent.
+    pub fn without<I: IntoIterator<Item = S>, S: Into<String>>(
+        mut self,
+        key: impl Into<String>,
+        peers: I,
+    ) -> Self {
+        self.rules
+            .without_deps
+            .push((key.into(), peers.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// Permits undeclared keys.
+    pub fn unknown(mut self, allow: bool) -> Self {
+        self.rules.allow_unknown = allow;
+        self
+    }
+
+    /// Marks the object itself required (for nesting).
+    pub fn required(mut self) -> Self {
+        self.presence = Presence::Required;
+        self
+    }
+
+    /// Finalises the object schema.
+    pub fn build(self) -> JoiSchema {
+        JoiSchema {
+            ty: JoiType::Object(self.rules),
+            presence: self.presence,
+            valid: None,
+            allow_null: false,
+            condition: None,
+        }
+    }
+}
+
+/// Entry points, mirroring the `joi.<type>()` API.
+pub mod joi {
+    use super::*;
+
+    /// `joi.any()`.
+    pub fn any() -> JoiSchema {
+        JoiSchema::with_type(JoiType::Any)
+    }
+
+    /// `joi.string()`.
+    pub fn string() -> JoiSchema {
+        JoiSchema::with_type(JoiType::Str(StrRules::default()))
+    }
+
+    /// `joi.number()`.
+    pub fn number() -> JoiSchema {
+        JoiSchema::with_type(JoiType::Num(NumRules::default()))
+    }
+
+    /// `joi.number().integer()`.
+    pub fn integer() -> JoiSchema {
+        JoiSchema::with_type(JoiType::Num(NumRules {
+            integer: true,
+            ..Default::default()
+        }))
+    }
+
+    /// `joi.boolean()`.
+    pub fn boolean() -> JoiSchema {
+        JoiSchema::with_type(JoiType::Bool)
+    }
+
+    /// `joi.array()`.
+    pub fn array() -> JoiSchema {
+        JoiSchema::with_type(JoiType::Array(ArrayRules {
+            items: None,
+            min_items: None,
+            max_items: None,
+        }))
+    }
+
+    /// `joi.object()` — returns the object builder.
+    pub fn object() -> ObjectBuilder {
+        ObjectBuilder::default()
+    }
+
+    /// `joi.alternatives().try(...)`.
+    pub fn alternatives<I: IntoIterator<Item = JoiSchema>>(options: I) -> JoiSchema {
+        JoiSchema::with_type(JoiType::Alternatives(options.into_iter().collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_rules() {
+        let s = joi::string().min_len(2).max_len(5).required();
+        let JoiType::Str(rules) = &s.ty else { panic!() };
+        assert_eq!(rules.min_len, Some(2));
+        assert_eq!(rules.max_len, Some(5));
+        assert_eq!(s.presence, Presence::Required);
+    }
+
+    #[test]
+    #[should_panic(expected = "string rule applied")]
+    fn wrong_rule_kind_panics() {
+        let _ = joi::number().min_len(3);
+    }
+
+    #[test]
+    fn object_builder_accumulates_constraints() {
+        let s = joi::object()
+            .key("a", joi::any())
+            .key("b", joi::any())
+            .xor(["a", "b"])
+            .with("a", ["c"])
+            .unknown(true)
+            .build();
+        let JoiType::Object(rules) = &s.ty else { panic!() };
+        assert_eq!(rules.keys.len(), 2);
+        assert_eq!(rules.xor_groups, vec![vec!["a".to_string(), "b".to_string()]]);
+        assert!(rules.allow_unknown);
+    }
+
+    #[test]
+    fn valid_whitelist() {
+        let s = joi::string().valid(["red", "green"]);
+        assert_eq!(s.valid.as_ref().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,593 @@
+//! The Joi validator.
+
+use crate::report::{JoiError, JoiErrorKind};
+use crate::schema::{ArrayRules, JoiSchema, JoiType, NumRules, ObjectRules, Presence, StrRules};
+use jsonx_data::{Pointer, Value};
+
+impl JoiSchema {
+    /// Validates a value, returning every violation.
+    pub fn validate(&self, value: &Value) -> Result<(), Vec<JoiError>> {
+        let mut errors = Vec::new();
+        check(self, value, None, &Pointer::root(), &mut errors);
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// True when the value conforms.
+    pub fn is_valid(&self, value: &Value) -> bool {
+        self.validate(value).is_ok()
+    }
+}
+
+fn emit(errors: &mut Vec<JoiError>, path: &Pointer, kind: JoiErrorKind, message: String) {
+    errors.push(JoiError {
+        path: path.clone(),
+        kind,
+        message,
+    });
+}
+
+/// Validates `value` against `schema`. `parent` is the enclosing object
+/// (needed by `when` conditions).
+fn check(
+    schema: &JoiSchema,
+    value: &Value,
+    parent: Option<&Value>,
+    path: &Pointer,
+    errors: &mut Vec<JoiError>,
+) {
+    // `when`: resolve the effective schema first.
+    if let Some(cond) = &schema.condition {
+        if let Some(parent) = parent {
+            let sibling = parent.get(&cond.field).cloned().unwrap_or(Value::Null);
+            let branch = if cond.is.is_valid(&sibling) {
+                Some(&cond.then)
+            } else {
+                cond.otherwise.as_ref()
+            };
+            if let Some(branch) = branch {
+                check(branch, value, Some(parent), path, errors);
+            }
+        }
+    }
+
+    if schema.allow_null && value.is_null() {
+        return;
+    }
+    if let Some(whitelist) = &schema.valid {
+        if !whitelist.iter().any(|w| w == value) {
+            emit(
+                errors,
+                path,
+                JoiErrorKind::NotAllowed,
+                format!("{value} is not an allowed value"),
+            );
+        }
+        // Joi semantics: `valid` replaces type checks.
+        return;
+    }
+
+    match &schema.ty {
+        JoiType::Any => {}
+        JoiType::Bool => {
+            if value.as_bool().is_none() {
+                emit(
+                    errors,
+                    path,
+                    JoiErrorKind::WrongType { expected: "boolean" },
+                    format!("expected a boolean, found {}", value.kind()),
+                );
+            }
+        }
+        JoiType::Str(rules) => check_string(rules, value, path, errors),
+        JoiType::Num(rules) => check_number(rules, value, path, errors),
+        JoiType::Array(rules) => check_array(rules, value, path, errors),
+        JoiType::Object(rules) => check_object(rules, value, path, errors),
+        JoiType::Alternatives(options) => {
+            let matched = options.iter().any(|opt| {
+                let mut scratch = Vec::new();
+                check(opt, value, parent, path, &mut scratch);
+                scratch.is_empty()
+            });
+            if !matched {
+                emit(
+                    errors,
+                    path,
+                    JoiErrorKind::NoAlternative,
+                    format!("{} alternatives, none matched", options.len()),
+                );
+            }
+        }
+    }
+}
+
+fn check_string(rules: &StrRules, value: &Value, path: &Pointer, errors: &mut Vec<JoiError>) {
+    let Some(s) = value.as_str() else {
+        emit(
+            errors,
+            path,
+            JoiErrorKind::WrongType { expected: "string" },
+            format!("expected a string, found {}", value.kind()),
+        );
+        return;
+    };
+    let len = s.chars().count();
+    if let Some(min) = rules.min_len {
+        if len < min {
+            emit(
+                errors,
+                path,
+                JoiErrorKind::RuleFailed { rule: "min_len" },
+                format!("length {len} < {min}"),
+            );
+        }
+    }
+    if let Some(max) = rules.max_len {
+        if len > max {
+            emit(
+                errors,
+                path,
+                JoiErrorKind::RuleFailed { rule: "max_len" },
+                format!("length {len} > {max}"),
+            );
+        }
+    }
+    if let Some(pattern) = &rules.pattern {
+        if !pattern.is_match(s) {
+            emit(
+                errors,
+                path,
+                JoiErrorKind::RuleFailed { rule: "pattern" },
+                format!("does not match /{}/", pattern.pattern()),
+            );
+        }
+    }
+    if rules.email && !is_email_shaped(s) {
+        emit(
+            errors,
+            path,
+            JoiErrorKind::RuleFailed { rule: "email" },
+            format!("'{s}' is not an email address"),
+        );
+    }
+}
+
+fn is_email_shaped(s: &str) -> bool {
+    match s.split_once('@') {
+        Some((local, domain)) => {
+            !local.is_empty() && domain.contains('.') && !domain.starts_with('.')
+        }
+        None => false,
+    }
+}
+
+fn check_number(rules: &NumRules, value: &Value, path: &Pointer, errors: &mut Vec<JoiError>) {
+    let Some(n) = value.as_number() else {
+        emit(
+            errors,
+            path,
+            JoiErrorKind::WrongType { expected: "number" },
+            format!("expected a number, found {}", value.kind()),
+        );
+        return;
+    };
+    if rules.integer && !n.is_integer() {
+        emit(
+            errors,
+            path,
+            JoiErrorKind::RuleFailed { rule: "integer" },
+            format!("{n} is not an integer"),
+        );
+    }
+    let v = n.as_f64();
+    if let Some(min) = rules.min {
+        if v < min {
+            emit(
+                errors,
+                path,
+                JoiErrorKind::RuleFailed { rule: "min" },
+                format!("{v} < {min}"),
+            );
+        }
+    }
+    if let Some(max) = rules.max {
+        if v > max {
+            emit(
+                errors,
+                path,
+                JoiErrorKind::RuleFailed { rule: "max" },
+                format!("{v} > {max}"),
+            );
+        }
+    }
+}
+
+fn check_array(rules: &ArrayRules, value: &Value, path: &Pointer, errors: &mut Vec<JoiError>) {
+    let Some(items) = value.as_array() else {
+        emit(
+            errors,
+            path,
+            JoiErrorKind::WrongType { expected: "array" },
+            format!("expected an array, found {}", value.kind()),
+        );
+        return;
+    };
+    if let Some(min) = rules.min_items {
+        if items.len() < min {
+            emit(
+                errors,
+                path,
+                JoiErrorKind::RuleFailed { rule: "min_items" },
+                format!("{} items < {min}", items.len()),
+            );
+        }
+    }
+    if let Some(max) = rules.max_items {
+        if items.len() > max {
+            emit(
+                errors,
+                path,
+                JoiErrorKind::RuleFailed { rule: "max_items" },
+                format!("{} items > {max}", items.len()),
+            );
+        }
+    }
+    if let Some(item_schema) = &rules.items {
+        for (i, item) in items.iter().enumerate() {
+            check(item_schema, item, None, &path.push_index(i), errors);
+        }
+    }
+}
+
+fn check_object(rules: &ObjectRules, value: &Value, path: &Pointer, errors: &mut Vec<JoiError>) {
+    let Some(obj) = value.as_object() else {
+        emit(
+            errors,
+            path,
+            JoiErrorKind::WrongType { expected: "object" },
+            format!("expected an object, found {}", value.kind()),
+        );
+        return;
+    };
+
+    // Keys: presence, then value validation with `value` as parent.
+    for (name, key_schema) in &rules.keys {
+        // `when` can change presence; resolve the effective schema for
+        // presence decisions.
+        let effective = effective_presence(key_schema, value);
+        match obj.get(name) {
+            Some(member) => {
+                if effective == Presence::Forbidden {
+                    emit(
+                        errors,
+                        &path.push_key(name),
+                        JoiErrorKind::Forbidden { key: name.clone() },
+                        format!("'{name}' is forbidden here"),
+                    );
+                } else {
+                    check(key_schema, member, Some(value), &path.push_key(name), errors);
+                }
+            }
+            None => {
+                if effective == Presence::Required {
+                    emit(
+                        errors,
+                        path,
+                        JoiErrorKind::Required { key: name.clone() },
+                        format!("'{name}' is required"),
+                    );
+                }
+            }
+        }
+    }
+    if !rules.allow_unknown {
+        for (key, _) in obj.iter() {
+            if !rules.keys.iter().any(|(name, _)| name == key) {
+                emit(
+                    errors,
+                    &path.push_key(key),
+                    JoiErrorKind::UnknownKey { key: key.to_string() },
+                    format!("'{key}' is not declared"),
+                );
+            }
+        }
+    }
+
+    let present = |k: &String| obj.contains_key(k);
+    for group in &rules.and_groups {
+        let n = group.iter().filter(|k| present(k)).count();
+        if n != 0 && n != group.len() {
+            emit(
+                errors,
+                path,
+                JoiErrorKind::AndGroup { group: group.clone() },
+                format!("fields {group:?} must appear together"),
+            );
+        }
+    }
+    for group in &rules.or_groups {
+        if !group.iter().any(present) {
+            emit(
+                errors,
+                path,
+                JoiErrorKind::OrGroup { group: group.clone() },
+                format!("at least one of {group:?} is required"),
+            );
+        }
+    }
+    for group in &rules.xor_groups {
+        let n = group.iter().filter(|k| present(k)).count();
+        if n != 1 {
+            emit(
+                errors,
+                path,
+                JoiErrorKind::XorGroup {
+                    group: group.clone(),
+                    present: n,
+                },
+                format!("exactly one of {group:?} is required, found {n}"),
+            );
+        }
+    }
+    for group in &rules.nand_groups {
+        if group.iter().all(present) {
+            emit(
+                errors,
+                path,
+                JoiErrorKind::NandGroup { group: group.clone() },
+                format!("fields {group:?} must not all be present"),
+            );
+        }
+    }
+    for (key, peers) in &rules.with_deps {
+        if present(key) {
+            for peer in peers {
+                if !present(peer) {
+                    emit(
+                        errors,
+                        path,
+                        JoiErrorKind::WithDep {
+                            key: key.clone(),
+                            missing: peer.clone(),
+                        },
+                        format!("'{key}' requires '{peer}'"),
+                    );
+                }
+            }
+        }
+    }
+    for (key, peers) in &rules.without_deps {
+        if present(key) {
+            for peer in peers {
+                if present(peer) {
+                    emit(
+                        errors,
+                        path,
+                        JoiErrorKind::WithoutDep {
+                            key: key.clone(),
+                            conflicting: peer.clone(),
+                        },
+                        format!("'{key}' conflicts with '{peer}'"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Resolves the presence mode a key schema has for this particular object
+/// (following its `when` chain).
+fn effective_presence(schema: &JoiSchema, parent: &Value) -> Presence {
+    if let Some(cond) = &schema.condition {
+        let sibling = parent.get(&cond.field).cloned().unwrap_or(Value::Null);
+        let branch: Option<&JoiSchema> = if cond.is.is_valid(&sibling) {
+            Some(&cond.then)
+        } else {
+            cond.otherwise.as_deref()
+        };
+        if let Some(branch) = branch {
+            // The branch presence (possibly itself conditional) wins when
+            // it says something stronger than Optional.
+            let p = effective_presence(branch, parent);
+            if p != Presence::Optional {
+                return p;
+            }
+        }
+    }
+    schema.presence
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::schema::joi;
+    use crate::when::When;
+    use jsonx_data::json;
+
+    #[test]
+    fn scalar_types_and_rules() {
+        assert!(joi::boolean().is_valid(&json!(true)));
+        assert!(!joi::boolean().is_valid(&json!(1)));
+        assert!(joi::integer().is_valid(&json!(3)));
+        assert!(!joi::integer().is_valid(&json!(3.5)));
+        assert!(joi::number().min(0.0).max(1.0).is_valid(&json!(0.5)));
+        assert!(!joi::number().min(0.0).is_valid(&json!(-1)));
+        assert!(joi::string().min_len(2).is_valid(&json!("ab")));
+        assert!(!joi::string().min_len(2).is_valid(&json!("a")));
+        assert!(joi::string().pattern("^[a-z]+$").is_valid(&json!("abc")));
+        assert!(!joi::string().pattern("^[a-z]+$").is_valid(&json!("Abc")));
+    }
+
+    #[test]
+    fn email_rule() {
+        assert!(joi::string().email().is_valid(&json!("a@b.com")));
+        assert!(!joi::string().email().is_valid(&json!("nope")));
+    }
+
+    #[test]
+    fn allow_null_and_valid() {
+        assert!(joi::string().allow_null().is_valid(&json!(null)));
+        assert!(!joi::string().is_valid(&json!(null)));
+        let s = joi::any().valid(["red", "green"]);
+        assert!(s.is_valid(&json!("red")));
+        assert!(!s.is_valid(&json!("blue")));
+    }
+
+    #[test]
+    fn arrays() {
+        let s = joi::array().items(joi::integer()).min_items(1).max_items(3);
+        assert!(s.is_valid(&json!([1, 2])));
+        assert!(!s.is_valid(&json!([])));
+        assert!(!s.is_valid(&json!([1, 2, 3, 4])));
+        let errs = s.validate(&json!([1, "x"])).unwrap_err();
+        assert_eq!(errs[0].path.to_string(), "/1");
+    }
+
+    #[test]
+    fn object_keys_and_unknown() {
+        let s = joi::object()
+            .key("a", joi::integer().required())
+            .build();
+        assert!(s.is_valid(&json!({"a": 1})));
+        assert!(!s.is_valid(&json!({})));
+        assert!(!s.is_valid(&json!({"a": 1, "zz": 2}))); // unknown closed
+        let open = joi::object()
+            .key("a", joi::integer().required())
+            .unknown(true)
+            .build();
+        assert!(open.is_valid(&json!({"a": 1, "zz": 2})));
+    }
+
+    #[test]
+    fn and_or_xor_nand() {
+        let s = joi::object()
+            .key("a", joi::any())
+            .key("b", joi::any())
+            .key("c", joi::any())
+            .and(["a", "b"])
+            .unknown(true)
+            .build();
+        assert!(s.is_valid(&json!({"a": 1, "b": 2})));
+        assert!(s.is_valid(&json!({"c": 1})));
+        assert!(!s.is_valid(&json!({"a": 1})));
+
+        let s = joi::object()
+            .key("x", joi::any())
+            .key("y", joi::any())
+            .or(["x", "y"])
+            .build();
+        assert!(s.is_valid(&json!({"x": 1})));
+        assert!(!s.is_valid(&json!({})));
+
+        let s = joi::object()
+            .key("x", joi::any())
+            .key("y", joi::any())
+            .xor(["x", "y"])
+            .build();
+        assert!(s.is_valid(&json!({"x": 1})));
+        assert!(!s.is_valid(&json!({"x": 1, "y": 2})));
+        assert!(!s.is_valid(&json!({})));
+
+        let s = joi::object()
+            .key("x", joi::any())
+            .key("y", joi::any())
+            .nand(["x", "y"])
+            .build();
+        assert!(s.is_valid(&json!({"x": 1})));
+        assert!(s.is_valid(&json!({})));
+        assert!(!s.is_valid(&json!({"x": 1, "y": 2})));
+    }
+
+    #[test]
+    fn with_and_without() {
+        let s = joi::object()
+            .key("card", joi::any())
+            .key("addr", joi::any())
+            .key("cash", joi::any())
+            .with("card", ["addr"])
+            .without("cash", ["card"])
+            .build();
+        assert!(s.is_valid(&json!({"card": 1, "addr": 2})));
+        assert!(!s.is_valid(&json!({"card": 1})));
+        assert!(s.is_valid(&json!({"cash": 1})));
+        assert!(!s.is_valid(&json!({"cash": 1, "card": 2, "addr": 3})));
+    }
+
+    #[test]
+    fn alternatives_union() {
+        let s = joi::alternatives([joi::string(), joi::integer()]);
+        assert!(s.is_valid(&json!("x")));
+        assert!(s.is_valid(&json!(3)));
+        assert!(!s.is_valid(&json!(3.5)));
+        assert!(!s.is_valid(&json!([])));
+    }
+
+    #[test]
+    fn when_changes_type_constraints() {
+        // `limit` must be a number ≥ 100 for premium accounts, ≤ 100 else.
+        let s = joi::object()
+            .key("kind", joi::string().valid(["basic", "premium"]).required())
+            .key(
+                "limit",
+                joi::any().when(
+                    When::is(
+                        "kind",
+                        joi::any().valid(["premium"]),
+                        joi::number().min(100.0),
+                    )
+                    .otherwise(joi::number().max(100.0)),
+                ),
+            )
+            .build();
+        assert!(s.is_valid(&json!({"kind": "premium", "limit": 500})));
+        assert!(!s.is_valid(&json!({"kind": "premium", "limit": 50})));
+        assert!(s.is_valid(&json!({"kind": "basic", "limit": 50})));
+        assert!(!s.is_valid(&json!({"kind": "basic", "limit": 500})));
+    }
+
+    #[test]
+    fn when_changes_presence() {
+        // `billing_address` becomes required when method == "card".
+        let s = joi::object()
+            .key("method", joi::string().required())
+            .key(
+                "billing_address",
+                joi::string().when(When::is(
+                    "method",
+                    joi::any().valid(["card"]),
+                    joi::string().required(),
+                )),
+            )
+            .build();
+        assert!(!s.is_valid(&json!({"method": "card"})));
+        assert!(s.is_valid(&json!({"method": "card", "billing_address": "x"})));
+        assert!(s.is_valid(&json!({"method": "cash"})));
+    }
+
+    #[test]
+    fn nested_objects_report_deep_paths() {
+        let s = joi::object()
+            .key(
+                "user",
+                joi::object()
+                    .key("name", joi::string().required())
+                    .build()
+                    .required(),
+            )
+            .build();
+        let errs = s.validate(&json!({"user": {"name": 3}})).unwrap_err();
+        assert_eq!(errs[0].path.to_string(), "/user/name");
+    }
+
+    #[test]
+    fn forbidden_keys() {
+        let s = joi::object()
+            .key("admin", joi::any().forbidden())
+            .key("name", joi::string())
+            .build();
+        assert!(s.is_valid(&json!({"name": "a"})));
+        assert!(!s.is_valid(&json!({"admin": true})));
+    }
+}

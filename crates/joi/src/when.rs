@@ -1,0 +1,50 @@
+//! Value-dependent schemas — Joi's `when(ref, { is, then, otherwise })`.
+
+use crate::schema::JoiSchema;
+
+/// A conditional refinement: look at a *sibling* field of the enclosing
+/// object; if it matches `is`, validate this value against `then`,
+/// otherwise against `otherwise` (when given).
+#[derive(Debug, Clone)]
+pub struct When {
+    /// The sibling field inspected.
+    pub field: String,
+    /// Condition on that field's value.
+    pub is: Box<JoiSchema>,
+    /// Schema applied when the condition holds.
+    pub then: Box<JoiSchema>,
+    /// Schema applied when it does not (None = no extra constraint).
+    pub otherwise: Option<Box<JoiSchema>>,
+}
+
+impl When {
+    /// Builds a condition with a `then` branch.
+    pub fn is(field: impl Into<String>, is: JoiSchema, then: JoiSchema) -> When {
+        When {
+            field: field.into(),
+            is: Box::new(is),
+            then: Box::new(then),
+            otherwise: None,
+        }
+    }
+
+    /// Adds the `otherwise` branch.
+    pub fn otherwise(mut self, schema: JoiSchema) -> When {
+        self.otherwise = Some(Box::new(schema));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::joi;
+
+    #[test]
+    fn builder_shape() {
+        let w = When::is("type", joi::string().valid(["card"]), joi::string().required())
+            .otherwise(joi::any());
+        assert_eq!(w.field, "type");
+        assert!(w.otherwise.is_some());
+    }
+}

@@ -1,0 +1,120 @@
+//! JSound schema AST.
+
+use std::fmt;
+
+/// JSound atomic types (the XML-Schema-flavoured names of the spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicType {
+    String,
+    Integer,
+    /// Any number (JSound's `decimal`/`double` collapse to this).
+    Decimal,
+    Boolean,
+    Null,
+    /// String with URI shape (validated loosely).
+    AnyUri,
+    /// String with RFC 3339 date-time shape.
+    DateTime,
+    /// String with RFC 3339 date shape.
+    Date,
+    /// Anything.
+    Any,
+}
+
+impl AtomicType {
+    /// Parses a JSound atomic type name.
+    pub fn from_name(name: &str) -> Option<AtomicType> {
+        Some(match name {
+            "string" => AtomicType::String,
+            "integer" => AtomicType::Integer,
+            "decimal" | "double" => AtomicType::Decimal,
+            "boolean" => AtomicType::Boolean,
+            "null" => AtomicType::Null,
+            "anyURI" => AtomicType::AnyUri,
+            "dateTime" => AtomicType::DateTime,
+            "date" => AtomicType::Date,
+            "any" => AtomicType::Any,
+            _ => return None,
+        })
+    }
+
+    /// The canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AtomicType::String => "string",
+            AtomicType::Integer => "integer",
+            AtomicType::Decimal => "decimal",
+            AtomicType::Boolean => "boolean",
+            AtomicType::Null => "null",
+            AtomicType::AnyUri => "anyURI",
+            AtomicType::DateTime => "dateTime",
+            AtomicType::Date => "date",
+            AtomicType::Any => "any",
+        }
+    }
+}
+
+/// A JSound type expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JSoundType {
+    /// An atomic type.
+    Atomic(AtomicType),
+    /// An array whose members all have the given type.
+    Array(Box<JSoundType>),
+    /// A record with (name, required, unique, type) fields.
+    Object(Vec<JSoundField>),
+}
+
+/// One declared field of a JSound object type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JSoundField {
+    /// Field name (markers stripped).
+    pub name: String,
+    /// `!`-prefixed in the compact syntax.
+    pub required: bool,
+    /// `@`-marked identifier field (unique within a collection).
+    pub unique: bool,
+    /// Declared type.
+    pub ty: JSoundType,
+}
+
+/// A schema-compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JSoundError {
+    /// Dotted path into the schema document.
+    pub path: String,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for JSoundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSound schema at '{}': {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for JSoundError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_names_round_trip() {
+        for t in [
+            AtomicType::String,
+            AtomicType::Integer,
+            AtomicType::Decimal,
+            AtomicType::Boolean,
+            AtomicType::Null,
+            AtomicType::AnyUri,
+            AtomicType::DateTime,
+            AtomicType::Date,
+            AtomicType::Any,
+        ] {
+            assert_eq!(AtomicType::from_name(t.name()), Some(t));
+        }
+        assert_eq!(AtomicType::from_name("double"), Some(AtomicType::Decimal));
+        assert_eq!(AtomicType::from_name("widget"), None);
+    }
+}

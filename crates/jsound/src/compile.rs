@@ -1,0 +1,97 @@
+//! Compiling JSound schemas into JSON Schema documents.
+//!
+//! The translation witnesses the expressiveness gap §2 of the tutorial
+//! discusses: everything JSound can say, JSON Schema can (the converse is
+//! false — JSound has no unions, negation, or numeric bounds).
+
+use crate::ast::{AtomicType, JSoundType};
+use crate::parse::JSoundSchema;
+use jsonx_data::{json, Object, Value};
+
+impl JSoundSchema {
+    /// Renders this schema as an equivalent JSON Schema document.
+    pub fn compile_to_json_schema(&self) -> Value {
+        to_schema(&self.root)
+    }
+}
+
+fn to_schema(ty: &JSoundType) -> Value {
+    match ty {
+        JSoundType::Atomic(atomic) => atomic_schema(*atomic),
+        JSoundType::Array(item) => {
+            let mut obj = Object::new();
+            obj.insert("type", Value::from("array"));
+            obj.insert("items", to_schema(item));
+            Value::Obj(obj)
+        }
+        JSoundType::Object(fields) => {
+            let mut properties = Object::new();
+            let mut required: Vec<Value> = Vec::new();
+            for field in fields {
+                properties.insert(field.name.clone(), to_schema(&field.ty));
+                if field.required {
+                    required.push(Value::from(field.name.as_str()));
+                }
+            }
+            let mut obj = Object::new();
+            obj.insert("type", Value::from("object"));
+            obj.insert("properties", Value::Obj(properties));
+            if !required.is_empty() {
+                required.sort_by(jsonx_data::canonical_cmp);
+                obj.insert("required", Value::Arr(required));
+            }
+            obj.insert("additionalProperties", Value::Bool(false));
+            Value::Obj(obj)
+        }
+    }
+}
+
+fn atomic_schema(atomic: AtomicType) -> Value {
+    match atomic {
+        AtomicType::Any => json!(true),
+        AtomicType::String => json!({"type": "string"}),
+        AtomicType::Integer => json!({"type": "integer"}),
+        AtomicType::Decimal => json!({"type": "number"}),
+        AtomicType::Boolean => json!({"type": "boolean"}),
+        AtomicType::Null => json!({"type": "null"}),
+        AtomicType::AnyUri => json!({"type": "string", "format": "uri"}),
+        AtomicType::DateTime => json!({"type": "string", "format": "date-time"}),
+        AtomicType::Date => json!({"type": "string", "format": "date"}),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_record_schema() {
+        let s = JSoundSchema::compile(&json!({
+            "!id": "integer",
+            "name": "string",
+            "tags": ["string"]
+        }))
+        .unwrap();
+        let schema = s.compile_to_json_schema();
+        assert_eq!(schema.get("type"), Some(&json!("object")));
+        assert_eq!(schema.get("required"), Some(&json!(["id"])));
+        assert_eq!(
+            schema.get("properties").unwrap().get("tags"),
+            Some(&json!({"type": "array", "items": {"type": "string"}}))
+        );
+        assert_eq!(
+            schema.get("additionalProperties"),
+            Some(&json!(false))
+        );
+    }
+
+    #[test]
+    fn formats_map_to_format_keyword() {
+        let s = JSoundSchema::compile(&json!({"when": "dateTime"})).unwrap();
+        let schema = s.compile_to_json_schema();
+        assert_eq!(
+            schema.get("properties").unwrap().get("when"),
+            Some(&json!({"type": "string", "format": "date-time"}))
+        );
+    }
+}

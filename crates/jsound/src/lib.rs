@@ -1,0 +1,40 @@
+//! # jsonx-jsound
+//!
+//! A JSound-style schema language, after the JSONiq JSound specification
+//! the tutorial surveys in §2 as "an alternative, but quite restrictive,
+//! schema language". JSound schemas are *schemas by example*: a schema is
+//! itself a JSON document whose shape mirrors the instances, written in
+//! the compact syntax —
+//!
+//! ```json
+//! {
+//!   "!id": "integer",
+//!   "name": "string",
+//!   "tags": ["string"],
+//!   "address": { "street": "string", "city": "string" }
+//! }
+//! ```
+//!
+//! * a field value is an **atomic type name** (`"string"`, `"integer"`,
+//!   `"decimal"`, `"boolean"`, `"null"`, `"anyURI"`, `"dateTime"`,
+//!   `"date"`, `"any"`), a nested **object** (record), or a
+//!   **one-element array** (array of that member type);
+//! * a key prefixed `!` is **required**; other keys are optional
+//!   (the compact-syntax marker);
+//! * `@` before a type name marks the field as unique identifier
+//!   (validated as the base type; uniqueness is per-collection);
+//! * there are **no union types** — that restrictiveness is the point the
+//!   tutorial makes, and what distinguishes it from JSON Schema (§2).
+//!
+//! [`JSoundSchema::compile_to_json_schema`] translates a JSound schema into
+//! the JSON Schema dialect of `jsonx-schema`, and the integration tests
+//! check both validators agree.
+
+pub mod ast;
+pub mod compile;
+pub mod parse;
+pub mod validate;
+
+pub use ast::{AtomicType, JSoundError, JSoundType};
+pub use parse::JSoundSchema;
+pub use validate::JSoundViolation;

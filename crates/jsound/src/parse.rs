@@ -1,0 +1,144 @@
+//! Parsing JSound schema documents (the compact syntax).
+
+use crate::ast::{AtomicType, JSoundError, JSoundField, JSoundType};
+use jsonx_data::Value;
+
+/// A compiled JSound schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JSoundSchema {
+    /// The root type.
+    pub root: JSoundType,
+}
+
+impl JSoundSchema {
+    /// Compiles a JSound schema document.
+    pub fn compile(document: &Value) -> Result<JSoundSchema, JSoundError> {
+        Ok(JSoundSchema {
+            root: compile_type(document, "$")?,
+        })
+    }
+}
+
+fn compile_type(value: &Value, path: &str) -> Result<JSoundType, JSoundError> {
+    match value {
+        Value::Str(name) => AtomicType::from_name(name)
+            .map(JSoundType::Atomic)
+            .ok_or_else(|| JSoundError {
+                path: path.to_string(),
+                message: format!("unknown atomic type '{name}'"),
+            }),
+        Value::Arr(items) => match items.len() {
+            1 => Ok(JSoundType::Array(Box::new(compile_type(
+                &items[0],
+                &format!("{path}[]"),
+            )?))),
+            n => Err(JSoundError {
+                path: path.to_string(),
+                message: format!("array types must have exactly one member type, found {n}"),
+            }),
+        },
+        Value::Obj(obj) => {
+            let mut fields = Vec::with_capacity(obj.len());
+            for (raw_name, member) in obj.iter() {
+                let (name, required, unique) = parse_markers(raw_name);
+                if name.is_empty() {
+                    return Err(JSoundError {
+                        path: path.to_string(),
+                        message: format!("empty field name in '{raw_name}'"),
+                    });
+                }
+                if fields.iter().any(|f: &JSoundField| f.name == name) {
+                    return Err(JSoundError {
+                        path: path.to_string(),
+                        message: format!("field '{name}' declared twice"),
+                    });
+                }
+                let ty = compile_type(member, &format!("{path}.{name}"))?;
+                fields.push(JSoundField {
+                    name,
+                    required,
+                    unique,
+                    ty,
+                });
+            }
+            Ok(JSoundType::Object(fields))
+        }
+        other => Err(JSoundError {
+            path: path.to_string(),
+            message: format!(
+                "a JSound type is a type name, an object, or a one-element array; found {}",
+                other.kind()
+            ),
+        }),
+    }
+}
+
+/// Strips the `!` (required) and `@` (unique id) markers off a field name.
+fn parse_markers(raw: &str) -> (String, bool, bool) {
+    let mut required = false;
+    let mut unique = false;
+    let mut rest = raw;
+    loop {
+        if let Some(r) = rest.strip_prefix('!') {
+            required = true;
+            rest = r;
+        } else if let Some(r) = rest.strip_prefix('@') {
+            unique = true;
+            required = true; // identifiers are implicitly required
+            rest = r;
+        } else {
+            break;
+        }
+    }
+    (rest.to_string(), required, unique)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    #[test]
+    fn atomic_and_array_types() {
+        let s = JSoundSchema::compile(&json!("string")).unwrap();
+        assert_eq!(s.root, JSoundType::Atomic(AtomicType::String));
+        let s = JSoundSchema::compile(&json!(["integer"])).unwrap();
+        assert_eq!(
+            s.root,
+            JSoundType::Array(Box::new(JSoundType::Atomic(AtomicType::Integer)))
+        );
+    }
+
+    #[test]
+    fn object_markers() {
+        let s = JSoundSchema::compile(&json!({
+            "@id": "integer",
+            "!name": "string",
+            "nick": "string"
+        }))
+        .unwrap();
+        let JSoundType::Object(fields) = &s.root else {
+            panic!()
+        };
+        let by_name = |n: &str| fields.iter().find(|f| f.name == n).unwrap();
+        assert!(by_name("id").unique && by_name("id").required);
+        assert!(by_name("name").required && !by_name("name").unique);
+        assert!(!by_name("nick").required);
+    }
+
+    #[test]
+    fn bad_schemas_rejected() {
+        assert!(JSoundSchema::compile(&json!("widget")).is_err());
+        assert!(JSoundSchema::compile(&json!(["string", "integer"])).is_err());
+        assert!(JSoundSchema::compile(&json!([])).is_err());
+        assert!(JSoundSchema::compile(&json!(3)).is_err());
+        assert!(JSoundSchema::compile(&json!({"!a": "string", "a": "integer"})).is_err());
+        assert!(JSoundSchema::compile(&json!({"!": "string"})).is_err());
+    }
+
+    #[test]
+    fn nested_error_paths() {
+        let err = JSoundSchema::compile(&json!({"a": {"b": "mystery"}})).unwrap_err();
+        assert_eq!(err.path, "$.a.b");
+    }
+}

@@ -1,0 +1,278 @@
+//! JSound validation, including per-collection uniqueness of `@` fields.
+
+use crate::ast::{AtomicType, JSoundType};
+use crate::parse::JSoundSchema;
+use jsonx_data::{canonical_cmp, Pointer, Value};
+use std::fmt;
+
+/// One JSound validation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JSoundViolation {
+    /// Path into the instance.
+    pub path: Pointer,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for JSoundViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.path.to_string();
+        write!(f, "{}: {}", if p.is_empty() { "<root>" } else { &p }, self.message)
+    }
+}
+
+impl std::error::Error for JSoundViolation {}
+
+impl JSoundSchema {
+    /// Validates one instance.
+    pub fn validate(&self, value: &Value) -> Result<(), Vec<JSoundViolation>> {
+        let mut errors = Vec::new();
+        check(&self.root, value, &Pointer::root(), &mut errors);
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// True when the instance conforms.
+    pub fn is_valid(&self, value: &Value) -> bool {
+        self.validate(value).is_ok()
+    }
+
+    /// Validates a whole collection, additionally enforcing that every
+    /// `@`-marked field takes pairwise-distinct values across documents.
+    pub fn validate_collection(&self, docs: &[Value]) -> Result<(), Vec<JSoundViolation>> {
+        let mut errors = Vec::new();
+        for (i, doc) in docs.iter().enumerate() {
+            if let Err(mut errs) = self.validate(doc) {
+                for e in &mut errs {
+                    // Prefix the document index.
+                    let mut tokens: Vec<jsonx_data::Token> =
+                        vec![jsonx_data::Token::Index(i)];
+                    tokens.extend(e.path.tokens().iter().cloned());
+                    e.path = tokens.into_iter().collect();
+                }
+                errors.extend(errs);
+            }
+        }
+        // Uniqueness of identifier fields (top-level objects only, as in
+        // JSound collections).
+        if let JSoundType::Object(fields) = &self.root {
+            for field in fields.iter().filter(|f| f.unique) {
+                let mut seen: Vec<(&Value, usize)> = Vec::new();
+                for (i, doc) in docs.iter().enumerate() {
+                    let Some(v) = doc.get(&field.name) else {
+                        continue;
+                    };
+                    if let Some((_, first)) = seen
+                        .iter()
+                        .find(|(w, _)| canonical_cmp(w, v) == std::cmp::Ordering::Equal)
+                    {
+                        errors.push(JSoundViolation {
+                            path: Pointer::root()
+                                .push_index(i)
+                                .push_key(&field.name),
+                            message: format!(
+                                "duplicate identifier value {v} (first seen in document {first})"
+                            ),
+                        });
+                    } else {
+                        seen.push((v, i));
+                    }
+                }
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+fn check(ty: &JSoundType, value: &Value, path: &Pointer, errors: &mut Vec<JSoundViolation>) {
+    match ty {
+        JSoundType::Atomic(atomic) => check_atomic(*atomic, value, path, errors),
+        JSoundType::Array(item) => match value.as_array() {
+            Some(items) => {
+                for (i, member) in items.iter().enumerate() {
+                    check(item, member, &path.push_index(i), errors);
+                }
+            }
+            None => errors.push(JSoundViolation {
+                path: path.clone(),
+                message: format!("expected an array, found {}", value.kind()),
+            }),
+        },
+        JSoundType::Object(fields) => match value.as_object() {
+            Some(obj) => {
+                for field in fields {
+                    match obj.get(&field.name) {
+                        Some(member) => {
+                            check(&field.ty, member, &path.push_key(&field.name), errors)
+                        }
+                        None if field.required => errors.push(JSoundViolation {
+                            path: path.clone(),
+                            message: format!("missing required field '{}'", field.name),
+                        }),
+                        None => {}
+                    }
+                }
+                // JSound objects are closed.
+                for (key, _) in obj.iter() {
+                    if !fields.iter().any(|f| f.name == key) {
+                        errors.push(JSoundViolation {
+                            path: path.push_key(key),
+                            message: format!("undeclared field '{key}'"),
+                        });
+                    }
+                }
+            }
+            None => errors.push(JSoundViolation {
+                path: path.clone(),
+                message: format!("expected an object, found {}", value.kind()),
+            }),
+        },
+    }
+}
+
+fn check_atomic(atomic: AtomicType, value: &Value, path: &Pointer, errors: &mut Vec<JSoundViolation>) {
+    let ok = match atomic {
+        AtomicType::Any => true,
+        AtomicType::String => value.as_str().is_some(),
+        AtomicType::Integer => value.as_number().is_some_and(|n| n.is_integer()),
+        AtomicType::Decimal => value.as_number().is_some(),
+        AtomicType::Boolean => value.as_bool().is_some(),
+        AtomicType::Null => value.is_null(),
+        AtomicType::AnyUri => value.as_str().is_some_and(uri_shaped),
+        AtomicType::DateTime => value.as_str().is_some_and(datetime_shaped),
+        AtomicType::Date => value.as_str().is_some_and(date_shaped),
+    };
+    if !ok {
+        errors.push(JSoundViolation {
+            path: path.clone(),
+            message: format!("expected {}, found {}", atomic.name(), value),
+        });
+    }
+}
+
+fn uri_shaped(s: &str) -> bool {
+    // RFC 3986 scheme: ALPHA *( ALPHA / DIGIT / "+" / "-" / "." ) — the
+    // leading-alpha rule matters (dates like 2019-03-26T10:00:00Z are not
+    // URIs; caught by the cross-validator property test).
+    s.split_once(':').is_some_and(|(scheme, _)| {
+        scheme.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+            && scheme
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "+-.".contains(c))
+    }) && !s.contains(' ')
+}
+
+fn date_shaped(s: &str) -> bool {
+    // XML Schema dates carry real month/day ranges (kept in agreement
+    // with jsonx-schema's `format: date`, property-tested in
+    // tests/prop_agreement.rs).
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3
+        || parts[0].len() != 4
+        || parts[1].len() != 2
+        || parts[2].len() != 2
+        || !parts.iter().all(|p| p.bytes().all(|b| b.is_ascii_digit()))
+    {
+        return false;
+    }
+    let year: u32 = parts[0].parse().unwrap_or(0);
+    let month: u32 = parts[1].parse().unwrap_or(0);
+    let day: u32 = parts[2].parse().unwrap_or(0);
+    let max_day = match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if year.is_multiple_of(4) && (!year.is_multiple_of(100) || year.is_multiple_of(400)) => 29,
+        2 => 28,
+        _ => return false,
+    };
+    (1..=max_day).contains(&day)
+}
+
+fn datetime_shaped(s: &str) -> bool {
+    match s.split_once('T') {
+        Some((d, t)) => date_shaped(d) && t.contains(':'),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    fn schema(doc: Value) -> JSoundSchema {
+        JSoundSchema::compile(&doc).unwrap()
+    }
+
+    #[test]
+    fn atomic_validation() {
+        let s = schema(json!("integer"));
+        assert!(s.is_valid(&json!(3)));
+        assert!(s.is_valid(&json!(3.0)));
+        assert!(!s.is_valid(&json!(3.5)));
+        assert!(!s.is_valid(&json!("3")));
+        assert!(schema(json!("any")).is_valid(&json!({"x": [1]})));
+    }
+
+    #[test]
+    fn lexical_atomics() {
+        let s = schema(json!("date"));
+        assert!(s.is_valid(&json!("2019-03-26")));
+        assert!(!s.is_valid(&json!("26/03/2019")));
+        let s = schema(json!("dateTime"));
+        assert!(s.is_valid(&json!("2019-03-26T10:00:00Z")));
+        assert!(!s.is_valid(&json!("2019-03-26")));
+        let s = schema(json!("anyURI"));
+        assert!(s.is_valid(&json!("https://openproceedings.org")));
+        assert!(!s.is_valid(&json!("not a uri")));
+    }
+
+    #[test]
+    fn objects_are_closed_and_marked() {
+        let s = schema(json!({"!id": "integer", "name": "string"}));
+        assert!(s.is_valid(&json!({"id": 1, "name": "a"})));
+        assert!(s.is_valid(&json!({"id": 1})));
+        assert!(!s.is_valid(&json!({"name": "a"}))); // missing required
+        assert!(!s.is_valid(&json!({"id": 1, "zz": 2}))); // undeclared
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let s = schema(json!({"tags": ["string"], "geo": {"lat": "decimal"}}));
+        assert!(s.is_valid(&json!({"tags": ["a", "b"], "geo": {"lat": 1.5}})));
+        let errs = s
+            .validate(&json!({"tags": ["a", 3], "geo": {"lat": "x"}}))
+            .unwrap_err();
+        let paths: Vec<String> = errs.iter().map(|e| e.path.to_string()).collect();
+        assert!(paths.contains(&"/tags/1".to_string()));
+        assert!(paths.contains(&"/geo/lat".to_string()));
+    }
+
+    #[test]
+    fn collection_uniqueness() {
+        let s = schema(json!({"@id": "integer", "name": "string"}));
+        let ok = vec![json!({"id": 1}), json!({"id": 2})];
+        assert!(s.validate_collection(&ok).is_ok());
+        let dup = vec![json!({"id": 1}), json!({"id": 2}), json!({"id": 1})];
+        let errs = s.validate_collection(&dup).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].path.to_string(), "/2/id");
+        assert!(errs[0].message.contains("duplicate identifier"));
+    }
+
+    #[test]
+    fn collection_errors_carry_document_index() {
+        let s = schema(json!({"!id": "integer"}));
+        let errs = s
+            .validate_collection(&[json!({"id": 1}), json!({"id": "x"})])
+            .unwrap_err();
+        assert_eq!(errs[0].path.to_string(), "/1/id");
+    }
+}

@@ -1,0 +1,203 @@
+//! The speculative encoder — the other half of Fad.js.
+//!
+//! Fad.js speculates on *encoding* too: "applications tend to serialise
+//! objects of the same shape over and over", so the encoder caches the
+//! constant skeleton of a shape (`{"id":` … `,"name":` … `}`) and only
+//! renders the values, deoptimising to the general serializer when the
+//! shape changes. [`SpeculativeEncoder`] keeps a shape-keyed template
+//! cache; its output is byte-identical to `jsonx_syntax::to_string` (a
+//! property the tests pin).
+
+use jsonx_data::Value;
+use jsonx_syntax::{append_compact, to_string};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Encoder statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EncoderStats {
+    /// Documents rendered from a cached shape template.
+    pub template_hits: u64,
+    /// Documents that fell back to the general serializer.
+    pub generic_encodes: u64,
+}
+
+/// One cached shape template: the constant byte chunks between value
+/// positions of a flat record shape.
+#[derive(Debug, Clone)]
+struct Template {
+    /// `chunks[i]` precedes value *i*; the final chunk closes the object.
+    chunks: Vec<String>,
+    /// Field names in physical order (the shape key, for verification).
+    keys: Vec<String>,
+}
+
+/// A shape-caching JSON encoder for record streams.
+#[derive(Debug, Default)]
+pub struct SpeculativeEncoder {
+    templates: Mutex<HashMap<u64, Template>>,
+    template_hits: AtomicU64,
+    generic_encodes: AtomicU64,
+}
+
+impl SpeculativeEncoder {
+    /// Creates an encoder with an empty template cache.
+    pub fn new() -> SpeculativeEncoder {
+        SpeculativeEncoder::default()
+    }
+
+    /// Encodes `value` to compact JSON text, using a cached shape template
+    /// when the top-level record shape has been seen before.
+    pub fn encode(&self, value: &Value) -> String {
+        let Some(obj) = value.as_object() else {
+            self.generic_encodes.fetch_add(1, Ordering::Relaxed);
+            return to_string(value);
+        };
+        let key = shape_hash(obj);
+        {
+            let templates = self.templates.lock();
+            if let Some(template) = templates.get(&key) {
+                if template.keys.len() == obj.len()
+                    && template
+                        .keys
+                        .iter()
+                        .zip(obj.keys())
+                        .all(|(a, b)| a == b)
+                {
+                    // Speculation hit: stitch values into the template.
+                    let mut out = String::with_capacity(template.chunks.len() * 8);
+                    for (chunk, (_, member)) in
+                        template.chunks.iter().zip(obj.iter())
+                    {
+                        out.push_str(chunk);
+                        append_compact(&mut out, member);
+                    }
+                    out.push_str(template.chunks.last().expect("closing chunk"));
+                    self.template_hits.fetch_add(1, Ordering::Relaxed);
+                    return out;
+                }
+            }
+        }
+        // Deoptimise: general serializer, then learn the shape.
+        self.generic_encodes.fetch_add(1, Ordering::Relaxed);
+        let rendered = to_string(value);
+        let template = Template {
+            chunks: build_chunks(obj),
+            keys: obj.keys().map(str::to_string).collect(),
+        };
+        self.templates.lock().insert(key, template);
+        rendered
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> EncoderStats {
+        EncoderStats {
+            template_hits: self.template_hits.load(Ordering::Relaxed),
+            generic_encodes: self.generic_encodes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached shape templates.
+    pub fn cached_shapes(&self) -> usize {
+        self.templates.lock().len()
+    }
+}
+
+/// Order-sensitive hash of the top-level key sequence.
+fn shape_hash(obj: &jsonx_data::Object) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for k in obj.keys() {
+        k.hash(&mut h);
+    }
+    obj.len().hash(&mut h);
+    h.finish()
+}
+
+/// The constant chunks around each value position:
+/// `{"k0":`, `,"k1":`, …, `}`.
+fn build_chunks(obj: &jsonx_data::Object) -> Vec<String> {
+    let mut chunks = Vec::with_capacity(obj.len() + 1);
+    for (i, (k, _)) in obj.iter().enumerate() {
+        let mut chunk = String::new();
+        chunk.push(if i == 0 { '{' } else { ',' });
+        chunk.push_str(&to_string(&Value::Str(k.to_string())));
+        chunk.push(':');
+        chunks.push(chunk);
+    }
+    if obj.is_empty() {
+        // Single chunk, no value positions.
+        chunks.push("{}".to_string());
+    } else {
+        chunks.push("}".to_string());
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    #[test]
+    fn byte_identical_to_general_serializer() {
+        let enc = SpeculativeEncoder::new();
+        let docs = vec![
+            json!({"id": 1, "name": "a", "geo": {"lat": 1.5}}),
+            json!({"id": 2, "name": "b", "geo": null}),
+            json!({"id": 3, "name": "c\n", "geo": {"lat": -2.0}}),
+            json!([1, 2]),
+            json!({}),
+            json!({"different": true}),
+        ];
+        for d in &docs {
+            assert_eq!(enc.encode(d), to_string(d), "mismatch on {d}");
+        }
+        // Same-shape docs after the first should have hit the template.
+        assert!(enc.stats().template_hits >= 2);
+    }
+
+    #[test]
+    fn stable_streams_hit_after_first() {
+        let enc = SpeculativeEncoder::new();
+        for i in 0..100i64 {
+            let d = json!({"id": i, "flag": (i % 2 == 0)});
+            assert_eq!(enc.encode(&d), to_string(&d));
+        }
+        let stats = enc.stats();
+        assert_eq!(stats.generic_encodes, 1);
+        assert_eq!(stats.template_hits, 99);
+        assert_eq!(enc.cached_shapes(), 1);
+    }
+
+    #[test]
+    fn shape_changes_deoptimise_and_learn() {
+        let enc = SpeculativeEncoder::new();
+        enc.encode(&json!({"a": 1}));
+        enc.encode(&json!({"b": 1})); // new shape: generic + learn
+        enc.encode(&json!({"a": 2})); // cached
+        enc.encode(&json!({"b": 2})); // cached
+        let stats = enc.stats();
+        assert_eq!(stats.generic_encodes, 2);
+        assert_eq!(stats.template_hits, 2);
+        assert_eq!(enc.cached_shapes(), 2);
+    }
+
+    #[test]
+    fn tricky_keys_render_correctly() {
+        let enc = SpeculativeEncoder::new();
+        let d = json!({"we\"ird": 1, "uni\u{e9}": "x"});
+        assert_eq!(enc.encode(&d), to_string(&d));
+        let d2 = json!({"we\"ird": 9, "uni\u{e9}": "y"});
+        assert_eq!(enc.encode(&d2), to_string(&d2)); // template path
+        assert_eq!(enc.stats().template_hits, 1);
+    }
+
+    #[test]
+    fn empty_object_shape() {
+        let enc = SpeculativeEncoder::new();
+        assert_eq!(enc.encode(&json!({})), "{}");
+        assert_eq!(enc.encode(&json!({})), "{}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Speculative field-position pattern trees.
+//!
+//! Mison observes that within one collection, a field usually appears at
+//! the same *physical* position: `"user"` is, say, almost always the 3rd
+//! top-level colon. The pattern tree remembers, per field, the colon
+//! ordinals where the field has been seen, ordered by hit count; probing
+//! checks those ordinals first (one key comparison each) and only falls
+//! back to scanning every colon when speculation misses.
+
+use std::collections::HashMap;
+
+/// Speculation statistics (exposed for E10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatternStats {
+    /// Probes answered by a remembered ordinal.
+    pub hits: u64,
+    /// Probes that fell back to scanning.
+    pub misses: u64,
+}
+
+impl PatternStats {
+    /// Hit ratio in \[0,1\]; 0 when nothing was probed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-field position predictor.
+#[derive(Debug, Clone, Default)]
+pub struct PatternTree {
+    /// field → [(colon ordinal, hits)] sorted by hits descending.
+    patterns: HashMap<String, Vec<(usize, u64)>>,
+    stats: PatternStats,
+    /// Cap on remembered ordinals per field (paper keeps trees small).
+    max_alternatives: usize,
+}
+
+impl PatternTree {
+    /// Creates a tree remembering at most `max_alternatives` positions
+    /// per field.
+    pub fn new(max_alternatives: usize) -> PatternTree {
+        PatternTree {
+            patterns: HashMap::new(),
+            stats: PatternStats::default(),
+            max_alternatives: max_alternatives.max(1),
+        }
+    }
+
+    /// The candidate ordinals for `field`, most likely first.
+    pub fn candidates(&self, field: &str) -> impl Iterator<Item = usize> + '_ {
+        self.patterns
+            .get(field)
+            .into_iter()
+            .flatten()
+            .map(|&(ordinal, _)| ordinal)
+    }
+
+    /// Looks `field` up among `keys` (the document's key list in physical
+    /// order), speculating on remembered ordinals before scanning.
+    /// Returns the ordinal where the field was found.
+    pub fn probe(&mut self, field: &str, keys: &[&str]) -> Option<usize> {
+        self.probe_lazy(field, keys.len(), |o| keys.get(o).copied())
+    }
+
+    /// Like [`probe`](Self::probe), but extracts keys on demand — a
+    /// speculation *hit* costs a single key extraction, which is the whole
+    /// point of the pattern tree (the eager variant would pay for every
+    /// key even when the first guess lands).
+    pub fn probe_lazy<'k>(
+        &mut self,
+        field: &str,
+        total: usize,
+        key_at: impl Fn(usize) -> Option<&'k str>,
+    ) -> Option<usize> {
+        // Speculation: try remembered ordinals.
+        if let Some(candidates) = self.patterns.get_mut(field) {
+            for slot in 0..candidates.len() {
+                let (ordinal, _) = candidates[slot];
+                if ordinal < total && key_at(ordinal) == Some(field) {
+                    candidates[slot].1 += 1;
+                    // Keep most-hit first.
+                    candidates.sort_by_key(|c| std::cmp::Reverse(c.1));
+                    self.stats.hits += 1;
+                    return Some(ordinal);
+                }
+            }
+        }
+        // Deoptimise: scan, then learn.
+        self.stats.misses += 1;
+        let found = (0..total).find(|&o| key_at(o) == Some(field));
+        if let Some(ordinal) = found {
+            self.learn(field, ordinal);
+        }
+        found
+    }
+
+    /// Records that `field` was seen at `ordinal`.
+    pub fn learn(&mut self, field: &str, ordinal: usize) {
+        let entry = self.patterns.entry(field.to_string()).or_default();
+        match entry.iter_mut().find(|(o, _)| *o == ordinal) {
+            Some((_, hits)) => *hits += 1,
+            None => {
+                entry.push((ordinal, 1));
+                entry.sort_by_key(|c| std::cmp::Reverse(c.1));
+                entry.truncate(self.max_alternatives);
+            }
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> PatternStats {
+        self.stats
+    }
+
+    /// Resets statistics (keeps the learned tree).
+    pub fn reset_stats(&mut self) {
+        self.stats = PatternStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_and_speculates() {
+        let mut tree = PatternTree::new(3);
+        let keys = ["id", "user", "text"];
+        // First probe scans (miss) and learns.
+        assert_eq!(tree.probe("user", &keys), Some(1));
+        assert_eq!(tree.stats(), PatternStats { hits: 0, misses: 1 });
+        // Second probe speculates successfully.
+        assert_eq!(tree.probe("user", &keys), Some(1));
+        assert_eq!(tree.stats(), PatternStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn deoptimises_on_layout_change() {
+        let mut tree = PatternTree::new(3);
+        let layout_a = ["id", "user", "text"];
+        let layout_b = ["user", "id", "text"];
+        tree.probe("user", &layout_a);
+        // Layout changed: speculation misses, falls back, learns both.
+        assert_eq!(tree.probe("user", &layout_b), Some(0));
+        assert_eq!(tree.stats().misses, 2);
+        // Now both ordinals are known: either layout hits.
+        assert_eq!(tree.probe("user", &layout_a), Some(1));
+        assert_eq!(tree.probe("user", &layout_b), Some(0));
+        assert_eq!(tree.stats().hits, 2);
+    }
+
+    #[test]
+    fn absent_fields_report_none() {
+        let mut tree = PatternTree::new(2);
+        assert_eq!(tree.probe("ghost", &["a", "b"]), None);
+        assert_eq!(tree.stats().misses, 1);
+    }
+
+    #[test]
+    fn alternative_cap_is_enforced() {
+        let mut tree = PatternTree::new(2);
+        for ordinal in 0..5 {
+            tree.learn("f", ordinal);
+        }
+        assert!(tree.candidates("f").count() <= 2);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut tree = PatternTree::new(2);
+        let keys = ["a", "b"];
+        tree.probe("a", &keys);
+        tree.probe("a", &keys);
+        tree.probe("a", &keys);
+        assert!((tree.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(PatternStats::default().hit_rate(), 0.0);
+    }
+}

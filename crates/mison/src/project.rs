@@ -1,0 +1,283 @@
+//! Projection pushdown: parse only the fields an analytics task needs.
+
+use crate::index::StructuralIndex;
+use jsonx_data::{Object, Value};
+use jsonx_syntax::{parse_bytes, ParseError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A tree of wanted fields, e.g. `["id", "user.name", "user.bio"]` becomes
+/// `{id: leaf, user: {name: leaf, bio: leaf}}`.
+#[derive(Debug, Clone, Default)]
+struct FieldTree {
+    children: BTreeMap<String, FieldTree>,
+}
+
+impl FieldTree {
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    fn depth(&self) -> usize {
+        1 + self
+            .children
+            .values()
+            .map(FieldTree::depth)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Errors from projected parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProjectError {
+    /// An empty or malformed field path was requested.
+    BadFieldPath(String),
+    /// The document is not an object at a level the projection descends.
+    NotAnObject,
+    /// A projected path descends into a field that is not an object.
+    NotAnObjectAt { field: String },
+    /// A projected value failed to parse.
+    Value(ParseError),
+}
+
+impl fmt::Display for ProjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProjectError::BadFieldPath(p) => write!(f, "bad field path '{p}'"),
+            ProjectError::NotAnObject => write!(f, "document is not an object"),
+            ProjectError::NotAnObjectAt { field } => {
+                write!(f, "cannot descend into '{field}': not an object")
+            }
+            ProjectError::Value(e) => write!(f, "projected value: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProjectError {}
+
+/// A reusable projected parser for a fixed field set.
+#[derive(Debug, Clone)]
+pub struct ProjectedParser {
+    fields: FieldTree,
+    /// Index depth needed = depth of the field tree.
+    levels: usize,
+}
+
+impl ProjectedParser {
+    /// Builds a parser for dotted field paths (`"user.name"`).
+    pub fn new(paths: &[&str]) -> Result<ProjectedParser, ProjectError> {
+        let mut root = FieldTree::default();
+        for path in paths {
+            if path.is_empty() {
+                return Err(ProjectError::BadFieldPath(path.to_string()));
+            }
+            let mut node = &mut root;
+            for seg in path.split('.') {
+                if seg.is_empty() {
+                    return Err(ProjectError::BadFieldPath(path.to_string()));
+                }
+                node = node.children.entry(seg.to_string()).or_default();
+            }
+        }
+        let levels = root.depth().saturating_sub(1).max(1);
+        Ok(ProjectedParser { fields: root, levels })
+    }
+
+    /// Index depth this projection builds.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Parses only the projected fields of `input`, returning an object
+    /// mirroring the requested structure.
+    pub fn parse(&self, input: &[u8]) -> Result<Object, ProjectError> {
+        let index = StructuralIndex::build(input, self.levels);
+        let root = index.root_span().ok_or(ProjectError::NotAnObject)?;
+        if input[root.start] != b'{' {
+            return Err(ProjectError::NotAnObject);
+        }
+        self.extract(input, &index, &self.fields, 1, root)
+    }
+
+    fn extract(
+        &self,
+        input: &[u8],
+        index: &StructuralIndex,
+        wanted: &FieldTree,
+        level: usize,
+        span: std::ops::Range<usize>,
+    ) -> Result<Object, ProjectError> {
+        let mut out = Object::new();
+        let mut remaining = wanted.children.len();
+        for &colon in index.colons_in(level, span.clone()) {
+            if remaining == 0 {
+                break; // all projected fields found — stop scanning
+            }
+            let colon = colon as usize;
+            // Only colons directly inside *this* object: a colon at this
+            // level but belonging to a sibling container cannot occur,
+            // because `span` bounds the object.
+            let Some(key_range) = index.key_before(colon) else {
+                continue;
+            };
+            let key = decode_key(&input[key_range]);
+            let Some(subtree) = wanted.children.get(key.as_ref()) else {
+                continue;
+            };
+            let end = index.value_end(level, colon, span.clone());
+            let raw = &input[colon + 1..end];
+            if subtree.is_leaf() {
+                let value = parse_bytes(trim(raw)).map_err(ProjectError::Value)?;
+                out.insert(key.into_owned(), value);
+            } else {
+                // Descend: the value must be an object; find its span.
+                let open = colon + 1 + leading_ws(raw);
+                if input.get(open) != Some(&b'{') {
+                    return Err(ProjectError::NotAnObjectAt {
+                        field: key.into_owned(),
+                    });
+                }
+                let child_span = index
+                    .container_span(open)
+                    .ok_or(ProjectError::NotAnObject)?;
+                let inner =
+                    self.extract(input, index, subtree, level + 1, child_span)?;
+                out.insert(key.into_owned(), Value::Obj(inner));
+            }
+            remaining -= 1;
+        }
+        Ok(out)
+    }
+}
+
+fn leading_ws(raw: &[u8]) -> usize {
+    raw.iter()
+        .take_while(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        .count()
+}
+
+fn trim(raw: &[u8]) -> &[u8] {
+    let start = leading_ws(raw);
+    let end = raw.len()
+        - raw
+            .iter()
+            .rev()
+            .take_while(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+            .count();
+    &raw[start..end.max(start)]
+}
+
+/// Decodes a key's escaped bytes (fast path: no backslash → borrowed).
+fn decode_key(escaped: &[u8]) -> std::borrow::Cow<'_, str> {
+    if !escaped.contains(&b'\\') {
+        return String::from_utf8_lossy(escaped);
+    }
+    // Rare path: run the real string scanner over a re-quoted slice.
+    let mut quoted = Vec::with_capacity(escaped.len() + 2);
+    quoted.push(b'"');
+    quoted.extend_from_slice(escaped);
+    quoted.push(b'"');
+    match parse_bytes(&quoted) {
+        Ok(Value::Str(s)) => std::borrow::Cow::Owned(s),
+        _ => String::from_utf8_lossy(escaped).into_owned().into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    const DOC: &[u8] =
+        br#"{"id": 7, "user": {"name": "ada", "bio": "long text, with: tricks"}, "big": [1,2,3,{"deep": true}], "flag": false}"#;
+
+    #[test]
+    fn top_level_projection() {
+        let p = ProjectedParser::new(&["id", "flag"]).unwrap();
+        let out = p.parse(DOC).unwrap();
+        assert_eq!(out.get("id"), Some(&json!(7)));
+        assert_eq!(out.get("flag"), Some(&json!(false)));
+        assert_eq!(out.len(), 2);
+        assert_eq!(p.levels(), 1);
+    }
+
+    #[test]
+    fn nested_projection() {
+        let p = ProjectedParser::new(&["user.name"]).unwrap();
+        let out = p.parse(DOC).unwrap();
+        assert_eq!(
+            Value::Obj(out),
+            json!({"user": {"name": "ada"}})
+        );
+    }
+
+    #[test]
+    fn mixed_depth_projection() {
+        let p = ProjectedParser::new(&["user.bio", "id"]).unwrap();
+        let out = p.parse(DOC).unwrap();
+        assert_eq!(out.get("id"), Some(&json!(7)));
+        assert_eq!(
+            out.get("user").unwrap().get("bio").unwrap(),
+            &json!("long text, with: tricks")
+        );
+    }
+
+    #[test]
+    fn whole_container_as_leaf() {
+        let p = ProjectedParser::new(&["big"]).unwrap();
+        let out = p.parse(DOC).unwrap();
+        assert_eq!(out.get("big"), Some(&json!([1, 2, 3, {"deep": true}])));
+    }
+
+    #[test]
+    fn missing_fields_are_absent() {
+        let p = ProjectedParser::new(&["nope", "id"]).unwrap();
+        let out = p.parse(DOC).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.get("nope").is_none());
+    }
+
+    #[test]
+    fn agrees_with_full_parser() {
+        let p = ProjectedParser::new(&["user.name", "id", "flag"]).unwrap();
+        let projected = p.parse(DOC).unwrap();
+        let full = parse_bytes(DOC).unwrap();
+        assert_eq!(projected.get("id"), full.get("id"));
+        assert_eq!(projected.get("flag"), full.get("flag"));
+        assert_eq!(
+            projected.get("user").unwrap().get("name"),
+            full.get("user").unwrap().get("name")
+        );
+    }
+
+    #[test]
+    fn tricky_keys_and_strings() {
+        let doc = br#"{"we:ird, key": 1, "k\"2": {"x": 2}}"#;
+        let p = ProjectedParser::new(&["we:ird, key"]).unwrap();
+        let out = p.parse(doc).unwrap();
+        assert_eq!(out.get("we:ird, key"), Some(&json!(1)));
+        let p = ProjectedParser::new(&["k\"2.x"]).unwrap();
+        let out = p.parse(doc).unwrap();
+        assert_eq!(out.get("k\"2").unwrap().get("x"), Some(&json!(2)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(ProjectedParser::new(&[""]).is_err());
+        assert!(ProjectedParser::new(&["a..b"]).is_err());
+        let p = ProjectedParser::new(&["a"]).unwrap();
+        assert!(p.parse(b"[1,2]").is_err()); // root not an object
+        let p = ProjectedParser::new(&["a.b"]).unwrap();
+        assert!(p.parse(br#"{"a": 3}"#).is_err()); // cannot descend scalar
+    }
+
+    #[test]
+    fn early_exit_does_not_skip_later_fields() {
+        // Fields are found regardless of physical order.
+        let doc = br#"{"z": 1, "a": 2}"#;
+        let p = ProjectedParser::new(&["a", "z"]).unwrap();
+        let out = p.parse(doc).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! The speculative decoder — Fad.js semantics as a library.
+//!
+//! Fad.js observes that "most applications never use all the fields of
+//! input objects" and makes the *decoder* access-pattern-driven: fields
+//! are materialised lazily, and a shared profile learned from earlier
+//! documents lets later ones decode their hot fields without scanning.
+//! Here the JIT machinery becomes an explicit [`PatternTree`] shared
+//! behind a lock (matching the runtime-wide caches of the original), with
+//! deoptimisation to the structural-index scan on misses.
+
+use crate::index::StructuralIndex;
+use crate::pattern::{PatternStats, PatternTree};
+use jsonx_data::Value;
+use jsonx_syntax::parse_bytes;
+use parking_lot::Mutex;
+
+/// Decoder statistics.
+pub type SpeculativeStats = PatternStats;
+
+/// A speculative, access-pattern-driven field decoder shared across the
+/// documents of one collection.
+#[derive(Debug)]
+pub struct SpeculativeDecoder {
+    profile: Mutex<PatternTree>,
+}
+
+impl Default for SpeculativeDecoder {
+    fn default() -> Self {
+        SpeculativeDecoder::new()
+    }
+}
+
+impl SpeculativeDecoder {
+    /// Creates a decoder with an empty profile.
+    pub fn new() -> SpeculativeDecoder {
+        SpeculativeDecoder {
+            profile: Mutex::new(PatternTree::new(4)),
+        }
+    }
+
+    /// Decodes one top-level field of `input`, parsing only that field's
+    /// bytes. Returns `None` when the field is absent.
+    pub fn get_field(&self, input: &[u8], field: &str) -> Option<Value> {
+        let index = StructuralIndex::build(input, 1);
+        let root = index.root_span()?;
+        if input[root.start] != b'{' {
+            return None;
+        }
+        let colons = index.colons_in(1, root.clone());
+        // Keys are extracted lazily: a speculation hit touches exactly one.
+        let key_at = |ordinal: usize| -> Option<&str> {
+            let &colon = colons.get(ordinal)?;
+            index
+                .key_before(colon as usize)
+                .and_then(|r| std::str::from_utf8(&input[r]).ok())
+        };
+        let ordinal = self
+            .profile
+            .lock()
+            .probe_lazy(field, colons.len(), key_at)?;
+        let colon = colons[ordinal] as usize;
+        let end = index.value_end(1, colon, root);
+        parse_bytes(trim(&input[colon + 1..end])).ok()
+    }
+
+    /// Accumulated speculation statistics.
+    pub fn stats(&self) -> SpeculativeStats {
+        self.profile.lock().stats()
+    }
+
+    /// Clears statistics but keeps the learned profile.
+    pub fn reset_stats(&self) {
+        self.profile.lock().reset_stats();
+    }
+}
+
+fn trim(raw: &[u8]) -> &[u8] {
+    let start = raw
+        .iter()
+        .take_while(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        .count();
+    let end = raw.len()
+        - raw
+            .iter()
+            .rev()
+            .take_while(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+            .count();
+    &raw[start..end.max(start)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    #[test]
+    fn decodes_single_fields() {
+        let d = SpeculativeDecoder::new();
+        let doc = br#"{"id": 1, "name": "ada", "nested": {"x": [1, 2]}}"#;
+        assert_eq!(d.get_field(doc, "id"), Some(json!(1)));
+        assert_eq!(d.get_field(doc, "name"), Some(json!("ada")));
+        assert_eq!(d.get_field(doc, "nested"), Some(json!({"x": [1, 2]})));
+        assert_eq!(d.get_field(doc, "ghost"), None);
+    }
+
+    #[test]
+    fn stable_collections_hit_after_warmup() {
+        let d = SpeculativeDecoder::new();
+        let docs: Vec<String> = (0..50)
+            .map(|i| format!(r#"{{"id": {i}, "name": "u{i}", "extra": [{i}]}}"#))
+            .collect();
+        for doc in &docs {
+            assert!(d.get_field(doc.as_bytes(), "name").is_some());
+        }
+        let stats = d.stats();
+        assert_eq!(stats.misses, 1); // only the first probe scanned
+        assert_eq!(stats.hits, 49);
+    }
+
+    #[test]
+    fn shifting_layouts_deoptimise() {
+        let d = SpeculativeDecoder::new();
+        // Alternating layouts: the profile ends up holding both ordinals,
+        // after which both layouts hit.
+        for i in 0..20 {
+            let doc = if i % 2 == 0 {
+                r#"{"a": 1, "name": "x"}"#
+            } else {
+                r#"{"name": "x", "a": 1}"#
+            };
+            assert_eq!(d.get_field(doc.as_bytes(), "name"), Some(json!("x")));
+        }
+        let stats = d.stats();
+        assert!(stats.misses >= 2);
+        assert!(stats.hits >= 16, "hits={}", stats.hits);
+    }
+
+    #[test]
+    fn non_object_documents() {
+        let d = SpeculativeDecoder::new();
+        assert_eq!(d.get_field(b"[1,2,3]", "x"), None);
+        assert_eq!(d.get_field(b"", "x"), None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property test: projection agrees with the full parser on arbitrary
+//! generated corpora — the correctness contract behind E9's speed claims.
+
+use jsonx_gen::{Corpus, DialedGenerator, GeneratorConfig};
+use jsonx_mison::{ProjectedParser, SpeculativeDecoder};
+use jsonx_syntax::to_string;
+use proptest::prelude::*;
+
+#[test]
+fn projection_agrees_on_fixed_corpora() {
+    for corpus in Corpus::FIXED {
+        let docs = corpus.generate(50);
+        // Project the first document's first two top-level fields.
+        let first = docs[0].as_object().unwrap();
+        let fields: Vec<&str> = first.keys().take(3).collect();
+        let parser = ProjectedParser::new(&fields).unwrap();
+        for doc in &docs {
+            let text = to_string(doc);
+            let projected = parser.parse(text.as_bytes()).unwrap();
+            for f in &fields {
+                assert_eq!(
+                    projected.get(f),
+                    doc.get(f),
+                    "corpus {} field {f} doc {text}",
+                    corpus.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn speculative_decoder_agrees_on_fixed_corpora() {
+    let docs = Corpus::Twitter.generate(100);
+    let decoder = SpeculativeDecoder::new();
+    for doc in &docs {
+        let text = to_string(doc);
+        for field in ["id", "user", "coordinates", "nonexistent_field"] {
+            assert_eq!(
+                decoder.get_field(text.as_bytes(), field),
+                doc.get(field).cloned(),
+                "field {field} doc {text}"
+            );
+        }
+    }
+    // Probes for the absent field always miss (they scan and find
+    // nothing to learn), capping the rate at 75%; the three real fields
+    // should hit almost always after warmup.
+    assert!(decoder.stats().hit_rate() > 0.6, "rate={}", decoder.stats().hit_rate());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn projection_agrees_on_dialed_corpora(seed in 0u64..5000, noise in 0u8..=100) {
+        let config = GeneratorConfig {
+            seed,
+            type_noise: f64::from(noise) / 100.0,
+            shape_variants: 1 + (seed % 3) as usize,
+            ..Default::default()
+        };
+        let docs = DialedGenerator::new(config).generate(5);
+        let parser = ProjectedParser::new(&["id", "f0", "f1", "nested.f2"]).unwrap();
+        for doc in &docs {
+            let text = to_string(doc);
+            match parser.parse(text.as_bytes()) {
+                Ok(projected) => {
+                    prop_assert_eq!(projected.get("id"), doc.get("id"));
+                    prop_assert_eq!(projected.get("f0"), doc.get("f0"));
+                    if let Some(nested) = projected.get("nested") {
+                        prop_assert_eq!(
+                            nested.get("f2"),
+                            doc.get("nested").and_then(|n| n.get("f2"))
+                        );
+                    }
+                }
+                Err(e) => {
+                    // Descending into a non-object is the only allowed error.
+                    prop_assert!(
+                        matches!(e, jsonx_mison::project::ProjectError::NotAnObject),
+                        "unexpected error {e} on {}", text
+                    );
+                }
+            }
+        }
+    }
+}

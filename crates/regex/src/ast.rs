@@ -1,0 +1,148 @@
+//! Regex abstract syntax.
+
+use std::fmt;
+
+/// A parsed regular expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// `.` — any character except `\n`.
+    AnyChar,
+    /// A character class `[...]` or a `\d`-family shorthand.
+    Class {
+        /// `[^...]`
+        negated: bool,
+        /// Members (singletons and ranges), unnormalised.
+        items: Vec<ClassItem>,
+    },
+    /// `^`
+    StartAnchor,
+    /// `$`
+    EndAnchor,
+    /// Sequence.
+    Concat(Vec<Ast>),
+    /// `a|b|c`.
+    Alternate(Vec<Ast>),
+    /// `e*`, `e+`, `e?`, `e{m,n}`.
+    Repeat {
+        /// The repeated node.
+        node: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions; `None` = unbounded.
+        max: Option<u32>,
+    },
+    /// `( e )` — grouping only (no capture semantics needed for matching).
+    Group(Box<Ast>),
+}
+
+/// One member of a character class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassItem {
+    /// A single character.
+    Single(char),
+    /// An inclusive range `a-z`.
+    Range(char, char),
+}
+
+/// Errors from parsing or compiling a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegexError {
+    /// Unexpected end of pattern.
+    UnexpectedEnd,
+    /// A character that cannot appear here.
+    Unexpected { at: usize, found: char },
+    /// Quantifier with nothing to repeat (e.g. leading `*`).
+    NothingToRepeat { at: usize },
+    /// `[z-a]` style reversed range.
+    InvalidRange { at: usize },
+    /// `{m,n}` with `m > n`.
+    InvalidCounts { at: usize },
+    /// Unknown `\x` escape.
+    UnknownEscape { at: usize, escape: char },
+    /// Unclosed `(` or `[`.
+    Unclosed { at: usize, what: char },
+    /// Counted repetition would expand the program beyond the size cap.
+    TooLarge,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegexError::UnexpectedEnd => write!(f, "unexpected end of pattern"),
+            RegexError::Unexpected { at, found } => {
+                write!(f, "unexpected character '{found}' at {at}")
+            }
+            RegexError::NothingToRepeat { at } => write!(f, "nothing to repeat at {at}"),
+            RegexError::InvalidRange { at } => write!(f, "invalid class range at {at}"),
+            RegexError::InvalidCounts { at } => write!(f, "invalid repetition counts at {at}"),
+            RegexError::UnknownEscape { at, escape } => {
+                write!(f, "unknown escape '\\{escape}' at {at}")
+            }
+            RegexError::Unclosed { at, what } => write!(f, "unclosed '{what}' opened at {at}"),
+            RegexError::TooLarge => write!(f, "pattern expands beyond the size limit"),
+        }
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+impl ClassItem {
+    /// True when `c` falls in this item.
+    pub fn contains(&self, c: char) -> bool {
+        match *self {
+            ClassItem::Single(s) => c == s,
+            ClassItem::Range(lo, hi) => lo <= c && c <= hi,
+        }
+    }
+}
+
+/// The `\d` shorthand as class items.
+pub fn digit_items() -> Vec<ClassItem> {
+    vec![ClassItem::Range('0', '9')]
+}
+
+/// The `\w` shorthand as class items.
+pub fn word_items() -> Vec<ClassItem> {
+    vec![
+        ClassItem::Range('a', 'z'),
+        ClassItem::Range('A', 'Z'),
+        ClassItem::Range('0', '9'),
+        ClassItem::Single('_'),
+    ]
+}
+
+/// The `\s` shorthand as class items.
+pub fn space_items() -> Vec<ClassItem> {
+    vec![
+        ClassItem::Single(' '),
+        ClassItem::Single('\t'),
+        ClassItem::Single('\n'),
+        ClassItem::Single('\r'),
+        ClassItem::Single('\u{0B}'),
+        ClassItem::Single('\u{0C}'),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_item_membership() {
+        assert!(ClassItem::Range('a', 'f').contains('c'));
+        assert!(!ClassItem::Range('a', 'f').contains('g'));
+        assert!(ClassItem::Single('-').contains('-'));
+    }
+
+    #[test]
+    fn shorthand_families() {
+        assert!(digit_items().iter().any(|i| i.contains('7')));
+        assert!(word_items().iter().any(|i| i.contains('_')));
+        assert!(space_items().iter().any(|i| i.contains('\t')));
+        assert!(!word_items().iter().any(|i| i.contains('-')));
+    }
+}

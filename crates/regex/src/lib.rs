@@ -1,0 +1,100 @@
+//! # jsonx-regex
+//!
+//! A small regular-expression engine supporting the subset of ECMA-262
+//! syntax that JSON Schema's `pattern` and `patternProperties` keywords use
+//! in practice: literals, `.`, character classes (with ranges, negation and
+//! the `\d \w \s` families), anchors `^ $`, alternation `|`, grouping
+//! `( )`, and the quantifiers `* + ? {m} {m,} {m,n}`.
+//!
+//! Matching is by Thompson/Pike NFA simulation — linear in
+//! `pattern × input`, with **no backtracking**, so adversarial schema
+//! patterns cannot blow up validation time (a property the formal JSON
+//! Schema study of Pezoa et al. relies on when bounding validation
+//! complexity).
+//!
+//! ```
+//! use jsonx_regex::Regex;
+//!
+//! let re = Regex::compile(r"^[a-z][a-z0-9_]{2,15}$").unwrap();
+//! assert!(re.is_match("user_42"));
+//! assert!(!re.is_match("9lives"));
+//!
+//! // JSON Schema `pattern` is an unanchored search:
+//! let re = Regex::compile(r"\d{4}-\d{2}").unwrap();
+//! assert!(re.is_match("posted 2019-03, Lisbon"));
+//! ```
+
+pub mod ast;
+pub mod nfa;
+pub mod parser;
+pub mod pike;
+pub mod sample;
+
+pub use ast::{Ast, ClassItem, RegexError};
+pub use nfa::Program;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    ast: Ast,
+    program: Program,
+}
+
+impl Regex {
+    /// Parses and compiles `pattern`.
+    pub fn compile(pattern: &str) -> Result<Regex, RegexError> {
+        let ast = parser::parse(pattern)?;
+        let program = nfa::compile(&ast)?;
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            ast,
+            program,
+        })
+    }
+
+    /// The parsed syntax tree.
+    pub fn ast(&self) -> &Ast {
+        &self.ast
+    }
+
+    /// Generates a string matched by this pattern (see [`sample::sample`]);
+    /// `None` for patterns with unsatisfiable classes like `[^\u{0}-\u{10FFFF}]`.
+    pub fn sample(&self, seed: u64) -> Option<String> {
+        sample::sample(&self.ast, seed)
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Unanchored search: true when the pattern matches anywhere in `text`
+    /// (ECMA `RegExp.prototype.test`, the JSON Schema `pattern` semantics).
+    pub fn is_match(&self, text: &str) -> bool {
+        pike::search(&self.program, text)
+    }
+
+    /// Anchored match of the whole input (as if wrapped in `^...$`).
+    pub fn is_full_match(&self, text: &str) -> bool {
+        pike::full_match(&self.program, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_search_vs_full() {
+        let re = Regex::compile("bc").unwrap();
+        assert!(re.is_match("abcd"));
+        assert!(!re.is_full_match("abcd"));
+        assert!(re.is_full_match("bc"));
+    }
+
+    #[test]
+    fn pattern_accessor() {
+        assert_eq!(Regex::compile("a+").unwrap().pattern(), "a+");
+    }
+}

@@ -1,0 +1,383 @@
+//! NFA compilation (Thompson construction over a flat instruction list).
+
+use crate::ast::{Ast, ClassItem, RegexError};
+
+/// Cap on compiled program size; counted repetitions expand by copying, so
+/// `a{1000}{1000}` style patterns must be rejected rather than compiled.
+const MAX_PROGRAM: usize = 1 << 16;
+
+/// A character matcher.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CharSpec {
+    /// One exact character.
+    Literal(char),
+    /// `.` — anything but `\n`.
+    AnyButNewline,
+    /// A (possibly negated) set of items.
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
+}
+
+impl CharSpec {
+    /// True when `c` is accepted.
+    pub fn matches(&self, c: char) -> bool {
+        match self {
+            CharSpec::Literal(l) => c == *l,
+            CharSpec::AnyButNewline => c != '\n',
+            CharSpec::Class { negated, items } => {
+                let inside = items.iter().any(|i| i.contains(c));
+                inside != *negated
+            }
+        }
+    }
+}
+
+/// One NFA instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// Consume a character matching the spec, then go to `next`.
+    Char { spec: CharSpec, next: usize },
+    /// Fork execution to both targets.
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jump(usize),
+    /// Zero-width: succeed only at input start.
+    AssertStart(usize),
+    /// Zero-width: succeed only at input end.
+    AssertEnd(usize),
+    /// Accept.
+    Match,
+}
+
+/// A compiled NFA program; entry point is instruction 0 … `start`.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Flat instruction list.
+    pub insts: Vec<Inst>,
+    /// Entry pc.
+    pub start: usize,
+}
+
+/// Compiles an AST to a [`Program`].
+pub fn compile(ast: &Ast) -> Result<Program, RegexError> {
+    let mut c = Compiler { insts: Vec::new() };
+    let start = c.reserve()?; // placeholder jump to the real start
+    let frag_start = c.emit_ast(ast)?;
+    let m = c.push(Inst::Match)?;
+    c.patch_dangling(frag_start.exits, m);
+    c.insts[start] = Inst::Jump(frag_start.entry);
+    Ok(Program {
+        insts: c.insts,
+        start,
+    })
+}
+
+/// A compiled fragment: entry pc and the pcs whose `next` still dangles.
+struct Frag {
+    entry: usize,
+    exits: Vec<DanglingEdge>,
+}
+
+/// A hole to patch: which instruction, and which of its out-edges.
+#[derive(Clone, Copy)]
+enum DanglingEdge {
+    Next(usize),
+    Split2(usize),
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+}
+
+impl Compiler {
+    fn reserve(&mut self) -> Result<usize, RegexError> {
+        self.push(Inst::Jump(usize::MAX))
+    }
+
+    fn push(&mut self, inst: Inst) -> Result<usize, RegexError> {
+        if self.insts.len() >= MAX_PROGRAM {
+            return Err(RegexError::TooLarge);
+        }
+        self.insts.push(inst);
+        Ok(self.insts.len() - 1)
+    }
+
+    fn patch_dangling(&mut self, exits: Vec<DanglingEdge>, target: usize) {
+        for e in exits {
+            match e {
+                DanglingEdge::Next(pc) => match &mut self.insts[pc] {
+                    Inst::Char { next, .. }
+                    | Inst::Jump(next)
+                    | Inst::AssertStart(next)
+                    | Inst::AssertEnd(next) => *next = target,
+                    other => unreachable!("bad patch target {other:?}"),
+                },
+                DanglingEdge::Split2(pc) => {
+                    if let Inst::Split(_, b) = &mut self.insts[pc] {
+                        *b = target;
+                    } else {
+                        unreachable!("split patch on non-split")
+                    }
+                }
+            }
+        }
+    }
+
+    fn emit_ast(&mut self, ast: &Ast) -> Result<Frag, RegexError> {
+        match ast {
+            Ast::Empty => {
+                let pc = self.push(Inst::Jump(usize::MAX))?;
+                Ok(Frag {
+                    entry: pc,
+                    exits: vec![DanglingEdge::Next(pc)],
+                })
+            }
+            Ast::Literal(c) => self.emit_char(CharSpec::Literal(*c)),
+            Ast::AnyChar => self.emit_char(CharSpec::AnyButNewline),
+            Ast::Class { negated, items } => self.emit_char(CharSpec::Class {
+                negated: *negated,
+                items: items.clone(),
+            }),
+            Ast::StartAnchor => {
+                let pc = self.push(Inst::AssertStart(usize::MAX))?;
+                Ok(Frag {
+                    entry: pc,
+                    exits: vec![DanglingEdge::Next(pc)],
+                })
+            }
+            Ast::EndAnchor => {
+                let pc = self.push(Inst::AssertEnd(usize::MAX))?;
+                Ok(Frag {
+                    entry: pc,
+                    exits: vec![DanglingEdge::Next(pc)],
+                })
+            }
+            Ast::Group(inner) => self.emit_ast(inner),
+            Ast::Concat(items) => {
+                let mut iter = items.iter();
+                let first = self.emit_ast(iter.next().expect("concat non-empty"))?;
+                let mut exits = first.exits;
+                for item in iter {
+                    let frag = self.emit_ast(item)?;
+                    self.patch_dangling(exits, frag.entry);
+                    exits = frag.exits;
+                }
+                Ok(Frag {
+                    entry: first.entry,
+                    exits,
+                })
+            }
+            Ast::Alternate(branches) => {
+                // Chain of splits: s1 -> (b1 | s2), s2 -> (b2 | s3), …
+                let mut exits = Vec::new();
+                let mut split_pcs = Vec::new();
+                for _ in 0..branches.len() - 1 {
+                    split_pcs.push(self.push(Inst::Split(usize::MAX, usize::MAX))?);
+                }
+                // Link split chain.
+                for w in 0..split_pcs.len().saturating_sub(1) {
+                    let next_split = split_pcs[w + 1];
+                    if let Inst::Split(_, b) = &mut self.insts[split_pcs[w]] {
+                        *b = next_split;
+                    }
+                }
+                for (i, branch) in branches.iter().enumerate() {
+                    let frag = self.emit_ast(branch)?;
+                    if i < split_pcs.len() {
+                        if let Inst::Split(a, _) = &mut self.insts[split_pcs[i]] {
+                            *a = frag.entry;
+                        }
+                    } else {
+                        // Last branch: the final split's second edge.
+                        let last = *split_pcs.last().expect("≥2 branches");
+                        if let Inst::Split(_, b) = &mut self.insts[last] {
+                            *b = frag.entry;
+                        }
+                    }
+                    exits.extend(frag.exits);
+                }
+                Ok(Frag {
+                    entry: split_pcs[0],
+                    exits,
+                })
+            }
+            Ast::Repeat { node, min, max } => self.emit_repeat(node, *min, *max),
+        }
+    }
+
+    fn emit_char(&mut self, spec: CharSpec) -> Result<Frag, RegexError> {
+        let pc = self.push(Inst::Char {
+            spec,
+            next: usize::MAX,
+        })?;
+        Ok(Frag {
+            entry: pc,
+            exits: vec![DanglingEdge::Next(pc)],
+        })
+    }
+
+    fn emit_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>) -> Result<Frag, RegexError> {
+        match (min, max) {
+            // e* : split(e-loop, out)
+            (0, None) => {
+                let split = self.push(Inst::Split(usize::MAX, usize::MAX))?;
+                let body = self.emit_ast(node)?;
+                if let Inst::Split(a, _) = &mut self.insts[split] {
+                    *a = body.entry;
+                }
+                self.patch_dangling(body.exits, split);
+                Ok(Frag {
+                    entry: split,
+                    exits: vec![DanglingEdge::Split2(split)],
+                })
+            }
+            // e+ : e, split(back-to-e, out)
+            (1, None) => {
+                let body = self.emit_ast(node)?;
+                let split = self.push(Inst::Split(usize::MAX, usize::MAX))?;
+                self.patch_dangling(body.exits, split);
+                if let Inst::Split(a, _) = &mut self.insts[split] {
+                    *a = body.entry;
+                }
+                Ok(Frag {
+                    entry: body.entry,
+                    exits: vec![DanglingEdge::Split2(split)],
+                })
+            }
+            // e? : split(e, out)
+            (0, Some(1)) => {
+                let split = self.push(Inst::Split(usize::MAX, usize::MAX))?;
+                let body = self.emit_ast(node)?;
+                if let Inst::Split(a, _) = &mut self.insts[split] {
+                    *a = body.entry;
+                }
+                let mut exits = body.exits;
+                exits.push(DanglingEdge::Split2(split));
+                Ok(Frag {
+                    entry: split,
+                    exits,
+                })
+            }
+            // e{m,n} / e{m,} : expand to m copies then (n-m) optionals or a
+            // trailing star.
+            (min, max) => {
+                let mut entry = None;
+                let mut exits: Vec<DanglingEdge> = Vec::new();
+                // Required copies.
+                for _ in 0..min {
+                    let frag = self.emit_ast(node)?;
+                    if entry.is_some() {
+                        self.patch_dangling(std::mem::take(&mut exits), frag.entry);
+                    } else {
+                        entry = Some(frag.entry);
+                    }
+                    exits = frag.exits;
+                }
+                match max {
+                    None => {
+                        // Trailing e*.
+                        let star = self.emit_repeat(node, 0, None)?;
+                        if entry.is_some() {
+                            self.patch_dangling(std::mem::take(&mut exits), star.entry);
+                        } else {
+                            entry = Some(star.entry);
+                        }
+                        exits = star.exits;
+                    }
+                    Some(max) => {
+                        // (max-min) optional copies; every split's out-edge
+                        // dangles to the overall exit.
+                        for _ in min..max {
+                            let opt = self.emit_repeat_optional(node)?;
+                            if entry.is_some() {
+                                self.patch_dangling(std::mem::take(&mut exits), opt.entry);
+                            } else {
+                                entry = Some(opt.entry);
+                            }
+                            exits = opt.body_exits;
+                            exits.push(opt.skip_exit);
+                        }
+                    }
+                }
+                match entry {
+                    Some(entry) => Ok(Frag { entry, exits }),
+                    None => {
+                        // e{0} — matches the empty string.
+                        let pc = self.push(Inst::Jump(usize::MAX))?;
+                        Ok(Frag {
+                            entry: pc,
+                            exits: vec![DanglingEdge::Next(pc)],
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits one `e?` where the skip edge must join the *final* exit rather
+    /// than the next copy (so `a{1,3}` accepts "a", "aa", "aaa").
+    fn emit_repeat_optional(&mut self, node: &Ast) -> Result<OptFrag, RegexError> {
+        let split = self.push(Inst::Split(usize::MAX, usize::MAX))?;
+        let body = self.emit_ast(node)?;
+        if let Inst::Split(a, _) = &mut self.insts[split] {
+            *a = body.entry;
+        }
+        Ok(OptFrag {
+            entry: split,
+            body_exits: body.exits,
+            skip_exit: DanglingEdge::Split2(split),
+        })
+    }
+}
+
+struct OptFrag {
+    entry: usize,
+    body_exits: Vec<DanglingEdge>,
+    skip_exit: DanglingEdge,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn prog(p: &str) -> Program {
+        compile(&parse(p).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn compiles_basic_forms() {
+        for p in ["", "a", "ab|cd", "a*", "a+", "a?", "a{2,4}", "[a-z]+$", "^x"] {
+            let program = prog(p);
+            assert!(matches!(program.insts.last(), Some(Inst::Match)));
+        }
+    }
+
+    #[test]
+    fn counted_repetition_expands() {
+        let p3 = prog("a{3}");
+        let p1 = prog("a");
+        assert!(p3.insts.len() > p1.insts.len());
+    }
+
+    #[test]
+    fn size_cap_enforced() {
+        // 60000 copies of a 2-inst fragment exceeds MAX_PROGRAM.
+        let ast = parse("(ab){40000}").unwrap();
+        assert!(matches!(compile(&ast), Err(RegexError::TooLarge)));
+    }
+
+    #[test]
+    fn charspec_matching() {
+        assert!(CharSpec::AnyButNewline.matches('x'));
+        assert!(!CharSpec::AnyButNewline.matches('\n'));
+        let cls = CharSpec::Class {
+            negated: true,
+            items: vec![ClassItem::Range('0', '9')],
+        };
+        assert!(cls.matches('a'));
+        assert!(!cls.matches('5'));
+    }
+}

@@ -1,0 +1,430 @@
+//! Pattern parser (recursive descent over the ECMA subset).
+
+use crate::ast::{digit_items, space_items, word_items, Ast, ClassItem, RegexError};
+
+/// Parses a pattern into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, RegexError> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = Parser { chars, pos: 0 };
+    let ast = p.parse_alternation()?;
+    if p.pos != p.chars.len() {
+        return Err(RegexError::Unexpected {
+            at: p.pos,
+            found: p.chars[p.pos],
+        });
+    }
+    Ok(ast)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alternation(&mut self) -> Result<Ast, RegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, RegexError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().expect("one item"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, RegexError> {
+        let at = self.pos;
+        let atom = self.parse_atom()?;
+        let mut node = atom;
+        loop {
+            let (min, max) = match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    (0, None)
+                }
+                Some('+') => {
+                    self.bump();
+                    (1, None)
+                }
+                Some('?') => {
+                    self.bump();
+                    (0, Some(1))
+                }
+                Some('{') => {
+                    if let Some(counts) = self.try_parse_counts()? {
+                        counts
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            };
+            if matches!(node, Ast::StartAnchor | Ast::EndAnchor | Ast::Empty) {
+                return Err(RegexError::NothingToRepeat { at });
+            }
+            node = Ast::Repeat {
+                node: Box::new(node),
+                min,
+                max,
+            };
+        }
+        Ok(node)
+    }
+
+    /// Parses `{m}`, `{m,}`, `{m,n}` after seeing `{`. A `{` that is not a
+    /// valid counted repetition is treated as a literal (ECMA behaviour),
+    /// signalled by returning `Ok(None)` without consuming.
+    fn try_parse_counts(&mut self) -> Result<Option<(u32, Option<u32>)>, RegexError> {
+        let start = self.pos;
+        debug_assert_eq!(self.peek(), Some('{'));
+        self.bump();
+        let min = self.parse_number();
+        let Some(min) = min else {
+            self.pos = start;
+            return Ok(None);
+        };
+        match self.peek() {
+            Some('}') => {
+                self.bump();
+                Ok(Some((min, Some(min))))
+            }
+            Some(',') => {
+                self.bump();
+                if self.peek() == Some('}') {
+                    self.bump();
+                    return Ok(Some((min, None)));
+                }
+                let Some(max) = self.parse_number() else {
+                    self.pos = start;
+                    return Ok(None);
+                };
+                if self.peek() != Some('}') {
+                    self.pos = start;
+                    return Ok(None);
+                }
+                self.bump();
+                if max < min {
+                    return Err(RegexError::InvalidCounts { at: start });
+                }
+                Ok(Some((min, Some(max))))
+            }
+            _ => {
+                self.pos = start;
+                Ok(None)
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<u32> {
+        let mut any = false;
+        let mut v: u32 = 0;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                any = true;
+                v = v.saturating_mul(10).saturating_add(d);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        any.then_some(v)
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, RegexError> {
+        let at = self.pos;
+        let Some(c) = self.bump() else {
+            return Err(RegexError::UnexpectedEnd);
+        };
+        match c {
+            '(' => {
+                // Support non-capturing group syntax transparently.
+                if self.peek() == Some('?') {
+                    let save = self.pos;
+                    self.bump();
+                    if self.peek() == Some(':') {
+                        self.bump();
+                    } else {
+                        self.pos = save;
+                    }
+                }
+                let inner = self.parse_alternation()?;
+                if self.bump() != Some(')') {
+                    return Err(RegexError::Unclosed { at, what: '(' });
+                }
+                Ok(Ast::Group(Box::new(inner)))
+            }
+            '[' => self.parse_class(at),
+            '.' => Ok(Ast::AnyChar),
+            '^' => Ok(Ast::StartAnchor),
+            '$' => Ok(Ast::EndAnchor),
+            '*' | '+' | '?' => Err(RegexError::NothingToRepeat { at }),
+            ')' => Err(RegexError::Unexpected { at, found: ')' }),
+            '\\' => self.parse_escape(at),
+            c => Ok(Ast::Literal(c)),
+        }
+    }
+
+    fn parse_escape(&mut self, at: usize) -> Result<Ast, RegexError> {
+        let Some(c) = self.bump() else {
+            return Err(RegexError::UnexpectedEnd);
+        };
+        let class = |negated, items| Ast::Class { negated, items };
+        Ok(match c {
+            'd' => class(false, digit_items()),
+            'D' => class(true, digit_items()),
+            'w' => class(false, word_items()),
+            'W' => class(true, word_items()),
+            's' => class(false, space_items()),
+            'S' => class(true, space_items()),
+            'n' => Ast::Literal('\n'),
+            't' => Ast::Literal('\t'),
+            'r' => Ast::Literal('\r'),
+            'f' => Ast::Literal('\u{0C}'),
+            'v' => Ast::Literal('\u{0B}'),
+            '0' => Ast::Literal('\0'),
+            'u' => Ast::Literal(self.parse_unicode_escape(at)?),
+            c if c.is_ascii_alphanumeric() => {
+                return Err(RegexError::UnknownEscape { at, escape: c })
+            }
+            // Any punctuation may be escaped to itself.
+            c => Ast::Literal(c),
+        })
+    }
+
+    fn parse_unicode_escape(&mut self, at: usize) -> Result<char, RegexError> {
+        let mut v: u32 = 0;
+        for _ in 0..4 {
+            let Some(c) = self.bump() else {
+                return Err(RegexError::UnexpectedEnd);
+            };
+            let Some(d) = c.to_digit(16) else {
+                return Err(RegexError::UnknownEscape { at, escape: 'u' });
+            };
+            v = v * 16 + d;
+        }
+        char::from_u32(v).ok_or(RegexError::UnknownEscape { at, escape: 'u' })
+    }
+
+    fn parse_class(&mut self, at: usize) -> Result<Ast, RegexError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        // `]` as the first member is a literal.
+        if self.peek() == Some(']') {
+            self.bump();
+            items.push(ClassItem::Single(']'));
+        }
+        loop {
+            let item_at = self.pos;
+            let Some(c) = self.bump() else {
+                return Err(RegexError::Unclosed { at, what: '[' });
+            };
+            if c == ']' {
+                return Ok(Ast::Class { negated, items });
+            }
+            let lo = if c == '\\' {
+                match self.class_escape(item_at)? {
+                    ClassMember::Char(c) => c,
+                    ClassMember::Items(mut shorthand) => {
+                        items.append(&mut shorthand);
+                        continue;
+                    }
+                }
+            } else {
+                c
+            };
+            // Possible range `lo-hi` (a trailing `-` is a literal).
+            if self.peek() == Some('-')
+                && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']')
+            {
+                self.bump(); // consume '-'
+                let hi_at = self.pos;
+                let Some(h) = self.bump() else {
+                    return Err(RegexError::Unclosed { at, what: '[' });
+                };
+                let hi = if h == '\\' {
+                    match self.class_escape(hi_at)? {
+                        ClassMember::Char(c) => c,
+                        ClassMember::Items(_) => {
+                            return Err(RegexError::InvalidRange { at: hi_at })
+                        }
+                    }
+                } else {
+                    h
+                };
+                if hi < lo {
+                    return Err(RegexError::InvalidRange { at: item_at });
+                }
+                items.push(ClassItem::Range(lo, hi));
+            } else {
+                items.push(ClassItem::Single(lo));
+            }
+        }
+    }
+
+    fn class_escape(&mut self, at: usize) -> Result<ClassMember, RegexError> {
+        let Some(c) = self.bump() else {
+            return Err(RegexError::UnexpectedEnd);
+        };
+        Ok(match c {
+            'd' => ClassMember::Items(digit_items()),
+            'w' => ClassMember::Items(word_items()),
+            's' => ClassMember::Items(space_items()),
+            'n' => ClassMember::Char('\n'),
+            't' => ClassMember::Char('\t'),
+            'r' => ClassMember::Char('\r'),
+            'f' => ClassMember::Char('\u{0C}'),
+            'v' => ClassMember::Char('\u{0B}'),
+            '0' => ClassMember::Char('\0'),
+            'u' => ClassMember::Char(self.parse_unicode_escape(at)?),
+            c if c.is_ascii_alphanumeric() => {
+                return Err(RegexError::UnknownEscape { at, escape: c })
+            }
+            c => ClassMember::Char(c),
+        })
+    }
+}
+
+enum ClassMember {
+    Char(char),
+    Items(Vec<ClassItem>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_concat() {
+        assert_eq!(
+            parse("ab").unwrap(),
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
+        assert_eq!(parse("a").unwrap(), Ast::Literal('a'));
+        assert_eq!(parse("").unwrap(), Ast::Empty);
+    }
+
+    #[test]
+    fn alternation_binds_loosest() {
+        let ast = parse("ab|c").unwrap();
+        match ast {
+            Ast::Alternate(branches) => assert_eq!(branches.len(), 2),
+            other => panic!("expected alternation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert_eq!(
+            parse("a*").unwrap(),
+            Ast::Repeat {
+                node: Box::new(Ast::Literal('a')),
+                min: 0,
+                max: None
+            }
+        );
+        assert!(matches!(parse("a{2,5}").unwrap(), Ast::Repeat { min: 2, max: Some(5), .. }));
+        assert!(matches!(parse("a{3}").unwrap(), Ast::Repeat { min: 3, max: Some(3), .. }));
+        assert!(matches!(parse("a{3,}").unwrap(), Ast::Repeat { min: 3, max: None, .. }));
+    }
+
+    #[test]
+    fn invalid_or_literal_braces() {
+        // Not a counted repetition → `{` is a literal (ECMA semantics).
+        assert!(parse("a{x}").is_ok());
+        assert!(parse("a{,3}").is_ok());
+        assert_eq!(parse("a{5,2}"), Err(RegexError::InvalidCounts { at: 1 }));
+    }
+
+    #[test]
+    fn dangling_quantifier_errors() {
+        assert!(matches!(parse("*a"), Err(RegexError::NothingToRepeat { .. })));
+        assert!(matches!(parse("^*"), Err(RegexError::NothingToRepeat { .. })));
+    }
+
+    #[test]
+    fn classes() {
+        let ast = parse("[a-z_]").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Class {
+                negated: false,
+                items: vec![ClassItem::Range('a', 'z'), ClassItem::Single('_')]
+            }
+        );
+        assert!(matches!(parse("[^0-9]").unwrap(), Ast::Class { negated: true, .. }));
+    }
+
+    #[test]
+    fn class_edge_cases() {
+        // Leading `]` is literal; trailing `-` is literal.
+        assert_eq!(
+            parse("[]-]").unwrap(),
+            Ast::Class {
+                negated: false,
+                items: vec![ClassItem::Single(']'), ClassItem::Single('-')]
+            }
+        );
+        assert!(matches!(parse("[z-a]"), Err(RegexError::InvalidRange { .. })));
+        assert!(matches!(parse("[abc"), Err(RegexError::Unclosed { .. })));
+    }
+
+    #[test]
+    fn shorthands_in_and_out_of_classes() {
+        assert!(matches!(parse(r"\d").unwrap(), Ast::Class { negated: false, .. }));
+        assert!(matches!(parse(r"\W").unwrap(), Ast::Class { negated: true, .. }));
+        let ast = parse(r"[\d_]").unwrap();
+        match ast {
+            Ast::Class { items, .. } => assert_eq!(items.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn groups_and_noncapturing() {
+        assert!(matches!(parse("(ab)+").unwrap(), Ast::Repeat { .. }));
+        assert!(matches!(parse("(?:ab)+").unwrap(), Ast::Repeat { .. }));
+        assert!(matches!(parse("(ab"), Err(RegexError::Unclosed { .. })));
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(parse(r"\.").unwrap(), Ast::Literal('.'));
+        assert_eq!(parse(r"A").unwrap(), Ast::Literal('A'));
+        assert!(matches!(parse(r"\q"), Err(RegexError::UnknownEscape { .. })));
+    }
+}

@@ -1,0 +1,247 @@
+//! Pike-VM NFA simulation (breadth-first, no backtracking).
+
+use crate::nfa::{Inst, Program};
+
+/// Unanchored search: does the pattern match any substring?
+pub fn search(prog: &Program, text: &str) -> bool {
+    run(prog, text, false)
+}
+
+/// Anchored full match: does the pattern match the entire input?
+pub fn full_match(prog: &Program, text: &str) -> bool {
+    run(prog, text, true)
+}
+
+/// A deduplicated set of live thread pcs.
+struct ThreadList {
+    dense: Vec<usize>,
+    seen: Vec<bool>,
+}
+
+impl ThreadList {
+    fn new(n: usize) -> Self {
+        ThreadList {
+            dense: Vec::with_capacity(n),
+            seen: vec![false; n],
+        }
+    }
+
+    fn clear(&mut self) {
+        // Zero-width instructions mark `seen` without entering `dense`, so
+        // the whole flag vector must be reset, not just the dense pcs.
+        self.seen.fill(false);
+        self.dense.clear();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.dense.is_empty()
+    }
+}
+
+/// Adds `pc` and transitively follows zero-width instructions.
+/// `at_start`/`at_end` describe the *current* input position.
+fn add_thread(
+    prog: &Program,
+    list: &mut ThreadList,
+    pc: usize,
+    at_start: bool,
+    at_end: bool,
+) -> bool {
+    if list.seen[pc] {
+        return false;
+    }
+    list.seen[pc] = true;
+    match prog.insts[pc] {
+        Inst::Jump(next) => add_thread(prog, list, next, at_start, at_end),
+        Inst::Split(a, b) => {
+            let m1 = add_thread(prog, list, a, at_start, at_end);
+            let m2 = add_thread(prog, list, b, at_start, at_end);
+            m1 || m2
+        }
+        Inst::AssertStart(next) => at_start && add_thread(prog, list, next, at_start, at_end),
+        Inst::AssertEnd(next) => at_end && add_thread(prog, list, next, at_start, at_end),
+        Inst::Match => true,
+        Inst::Char { .. } => {
+            list.dense.push(pc);
+            false
+        }
+    }
+}
+
+fn run(prog: &Program, text: &str, anchored: bool) -> bool {
+    let n = prog.insts.len();
+    let mut current = ThreadList::new(n);
+    let mut next = ThreadList::new(n);
+    let chars: Vec<char> = text.chars().collect();
+    let len = chars.len();
+
+    // Seed at position 0.
+    if add_thread(prog, &mut current, prog.start, true, len == 0) {
+        // Matched the empty string at the start.
+        if !anchored || len == 0 {
+            return true;
+        }
+        // Anchored: an empty-string match only counts at end of input,
+        // which `at_end` above already required.
+    }
+
+    for (i, &c) in chars.iter().enumerate() {
+        let at_end_after = i + 1 == len;
+        next.clear();
+        let mut matched = false;
+        for &pc in &current.dense {
+            if let Inst::Char { ref spec, next: nx } = prog.insts[pc] {
+                if spec.matches(c) {
+                    // Position after consuming c: start only if unanchored
+                    // re-seeding would say so; "start" assertion means
+                    // absolute input start, so it is false here.
+                    if add_thread(prog, &mut next, nx, false, at_end_after) {
+                        matched = true;
+                    }
+                }
+            }
+        }
+        if matched && (!anchored || at_end_after) {
+            // For unanchored search any match suffices; for anchored
+            // matching, a Match reached exactly at end of input suffices.
+            if !anchored {
+                return true;
+            }
+            if at_end_after {
+                return true;
+            }
+        }
+        std::mem::swap(&mut current, &mut next);
+        // Unanchored: re-seed a fresh attempt starting at position i+1.
+        if !anchored
+            && add_thread(prog, &mut current, prog.start, false, at_end_after || len == i + 1)
+        {
+            return true;
+        }
+        if current.is_empty() && anchored {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Regex;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::compile(pat).unwrap().is_match(text)
+    }
+
+    fn fm(pat: &str, text: &str) -> bool {
+        Regex::compile(pat).unwrap().is_full_match(text)
+    }
+
+    #[test]
+    fn literals() {
+        assert!(m("abc", "xxabcxx"));
+        assert!(!m("abc", "ab"));
+        assert!(m("", "anything")); // empty pattern matches everywhere
+        assert!(m("", ""));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^ab", "abc"));
+        assert!(!m("^ab", "xab"));
+        assert!(m("bc$", "abc"));
+        assert!(!m("bc$", "bcd"));
+        assert!(m("^abc$", "abc"));
+        assert!(!m("^abc$", "aabc"));
+        assert!(m("^$", ""));
+        assert!(!m("^$", "x"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("^a*$", ""));
+        assert!(m("^a*$", "aaaa"));
+        assert!(!m("^a+$", ""));
+        assert!(m("^a+$", "aa"));
+        assert!(m("^a?b$", "b"));
+        assert!(m("^a?b$", "ab"));
+        assert!(!m("^a?b$", "aab"));
+    }
+
+    #[test]
+    fn counted_repetition() {
+        assert!(fm("a{3}", "aaa"));
+        assert!(!fm("a{3}", "aa"));
+        assert!(!fm("a{3}", "aaaa"));
+        for n in 0..6 {
+            let s = "a".repeat(n);
+            assert_eq!(fm("a{2,4}", &s), (2..=4).contains(&n), "n={n}");
+            assert_eq!(fm("a{2,}", &s), n >= 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("^(cat|dog)$", "cat"));
+        assert!(m("^(cat|dog)$", "dog"));
+        assert!(!m("^(cat|dog)$", "cow"));
+        assert!(fm("(ab)+", "ababab"));
+        assert!(!fm("(ab)+", "aba"));
+        assert!(m("a(b|c)*d", "abcbcd"));
+    }
+
+    #[test]
+    fn classes_and_dot() {
+        assert!(m("^[a-c]+$", "abccba"));
+        assert!(!m("^[a-c]+$", "abd"));
+        assert!(m("^[^0-9]+$", "abc!"));
+        assert!(!m("^[^0-9]+$", "ab1"));
+        assert!(m("^.$", "x"));
+        assert!(!m("^.$", "\n"));
+    }
+
+    #[test]
+    fn shorthand_classes() {
+        assert!(fm(r"\d{4}-\d{2}-\d{2}", "2019-03-26"));
+        assert!(!fm(r"\d{4}-\d{2}-\d{2}", "2019-3-26"));
+        assert!(fm(r"\w+", "snake_case9"));
+        assert!(!fm(r"\w+", "with space"));
+        assert!(fm(r"\s*", "  \t "));
+        assert!(fm(r"\S+", "dense"));
+    }
+
+    #[test]
+    fn unicode_input() {
+        assert!(m("é+", "café"));
+        assert!(fm("^.{4}$", "日本語х"));
+        assert!(fm(r"é", "é"));
+    }
+
+    #[test]
+    fn pathological_patterns_stay_linear() {
+        // The classic backtracking bomb (a?^n a^n vs "a"*n) — a Pike VM
+        // handles this in polynomial time; just assert it terminates with
+        // the right answer.
+        let n = 20;
+        let pat = format!("^{}{}$", "a?".repeat(n), "a".repeat(n));
+        let text = "a".repeat(n);
+        assert!(m(&pat, &text));
+        let text_short = "a".repeat(n - 1);
+        assert!(!m(&pat, &text_short));
+    }
+
+    #[test]
+    fn schema_style_patterns() {
+        // Patterns of the sort JSON Schemas actually carry.
+        assert!(m(r"^[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+$", "a.b@example.com"));
+        assert!(fm(r"^#?([0-9a-fA-F]{6}|[0-9a-fA-F]{3})$", "#a1b2c3"));
+        assert!(fm(r"^(19|20)\d{2}$", "2019"));
+        assert!(!fm(r"^(19|20)\d{2}$", "1819"));
+    }
+
+    #[test]
+    fn empty_alternation_branch() {
+        assert!(fm("a(b|)c", "abc"));
+        assert!(fm("a(b|)c", "ac"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Generating strings *from* patterns.
+//!
+//! Walking the AST and making a random choice at every alternation/
+//! repetition yields a string the pattern matches — the generative dual of
+//! matching, used by the schema sampler to produce witnesses for `pattern`
+//! keywords.
+
+use crate::ast::{Ast, ClassItem};
+
+/// A tiny deterministic PRNG (split-mix-ish); the crate avoids external
+/// dependencies, and sampling only needs uncorrelated choices.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Cap on unbounded repetitions, so `a*` samples stay short.
+const MAX_UNBOUNDED: u32 = 4;
+
+/// Generates a string matching `ast`, or `None` when some required class
+/// is unsatisfiable. Anchors contribute nothing (the result matches both
+/// anchored and unanchored).
+pub fn sample(ast: &Ast, seed: u64) -> Option<String> {
+    let mut rng = Rng(seed ^ 0xD6E8_FEB8_6659_FD93);
+    let mut out = String::new();
+    emit(ast, &mut rng, &mut out)?;
+    Some(out)
+}
+
+fn emit(ast: &Ast, rng: &mut Rng, out: &mut String) -> Option<()> {
+    match ast {
+        Ast::Empty | Ast::StartAnchor | Ast::EndAnchor => Some(()),
+        Ast::Literal(c) => {
+            out.push(*c);
+            Some(())
+        }
+        Ast::AnyChar => {
+            // Printable ASCII keeps witnesses readable.
+            let c = (b' ' + rng.below(95) as u8) as char;
+            out.push(if c == '\n' { 'x' } else { c });
+            Some(())
+        }
+        Ast::Class { negated, items } => {
+            out.push(pick_class_char(*negated, items, rng)?);
+            Some(())
+        }
+        Ast::Group(inner) => emit(inner, rng, out),
+        Ast::Concat(parts) => {
+            for p in parts {
+                emit(p, rng, out)?;
+            }
+            Some(())
+        }
+        Ast::Alternate(branches) => {
+            // Try branches starting from a random one, in case some are
+            // unsatisfiable.
+            let start = rng.below(branches.len());
+            for i in 0..branches.len() {
+                let branch = &branches[(start + i) % branches.len()];
+                let mut attempt = String::new();
+                if emit(branch, rng, &mut attempt).is_some() {
+                    out.push_str(&attempt);
+                    return Some(());
+                }
+            }
+            None
+        }
+        Ast::Repeat { node, min, max } => {
+            let upper = max.unwrap_or(min + MAX_UNBOUNDED);
+            let count = min + rng.below((upper - min + 1) as usize) as u32;
+            for _ in 0..count {
+                emit(node, rng, out)?;
+            }
+            Some(())
+        }
+    }
+}
+
+fn pick_class_char(negated: bool, items: &[ClassItem], rng: &mut Rng) -> Option<char> {
+    if !negated {
+        if items.is_empty() {
+            return None;
+        }
+        let item = &items[rng.below(items.len())];
+        return Some(match *item {
+            ClassItem::Single(c) => c,
+            ClassItem::Range(lo, hi) => {
+                let span = (hi as u32).saturating_sub(lo as u32) + 1;
+                char::from_u32(lo as u32 + (rng.below(span as usize) as u32))
+                    .unwrap_or(lo)
+            }
+        });
+    }
+    // Negated class: try printable ASCII candidates.
+    for _ in 0..256 {
+        let c = (b' ' + rng.below(95) as u8) as char;
+        if !items.iter().any(|i| i.contains(c)) {
+            return Some(c);
+        }
+    }
+    // Fall back to scanning the whole printable range deterministically.
+    (' '..='~').find(|&c| !items.iter().any(|i| i.contains(c)))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Regex;
+
+    /// Every sample must match its own pattern.
+    fn check(pattern: &str) {
+        let re = Regex::compile(pattern).unwrap();
+        for seed in 0..50 {
+            let s = re
+                .sample(seed)
+                .unwrap_or_else(|| panic!("no sample for {pattern}"));
+            assert!(
+                re.is_full_match(&s) || re.is_match(&s),
+                "sample {s:?} does not match {pattern}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_match_their_patterns() {
+        for pattern in [
+            "abc",
+            "^[a-z]{3,8}$",
+            r"\d{4}-\d{2}-\d{2}",
+            "(cat|dog|cow)+",
+            "^#?([0-9a-fA-F]{6}|[0-9a-fA-F]{3})$",
+            "a*b+c?",
+            "[^0-9]{2}",
+            r"user_\w{1,10}",
+            "",
+        ] {
+            check(pattern);
+        }
+    }
+
+    #[test]
+    fn anchored_samples_full_match() {
+        let re = Regex::compile("^[a-c]{2}$").unwrap();
+        for seed in 0..20 {
+            assert!(re.is_full_match(&re.sample(seed).unwrap()));
+        }
+    }
+
+    #[test]
+    fn samples_vary_with_seed() {
+        let re = Regex::compile("[a-z]{8}").unwrap();
+        let a = re.sample(1).unwrap();
+        let b = re.sample(2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unbounded_repetition_is_capped() {
+        let re = Regex::compile("a*").unwrap();
+        for seed in 0..20 {
+            assert!(re.sample(seed).unwrap().len() <= 4);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests: the Pike VM agrees with a naive backtracking oracle on
+//! randomly generated small patterns and inputs.
+
+use jsonx_regex::{parser, Ast, Regex};
+use proptest::prelude::*;
+
+/// Exponential-time but obviously-correct matcher used as the oracle.
+/// Matches `ast` against `text[pos..]`, calling `k` with every end position.
+fn backtrack(ast: &Ast, chars: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match ast {
+        Ast::Empty => k(pos),
+        Ast::Literal(c) => {
+            if chars.get(pos) == Some(c) {
+                k(pos + 1)
+            } else {
+                false
+            }
+        }
+        Ast::AnyChar => {
+            if chars.get(pos).is_some_and(|&c| c != '\n') {
+                k(pos + 1)
+            } else {
+                false
+            }
+        }
+        Ast::Class { negated, items } => {
+            if let Some(&c) = chars.get(pos) {
+                let inside = items.iter().any(|i| i.contains(c));
+                if inside != *negated {
+                    return k(pos + 1);
+                }
+            }
+            false
+        }
+        Ast::StartAnchor => pos == 0 && k(pos),
+        Ast::EndAnchor => pos == chars.len() && k(pos),
+        Ast::Group(inner) => backtrack(inner, chars, pos, k),
+        Ast::Concat(items) => concat_bt(items, chars, pos, k),
+        Ast::Alternate(branches) => branches.iter().any(|b| backtrack(b, chars, pos, k)),
+        Ast::Repeat { node, min, max } => repeat_bt(node, *min, *max, chars, pos, k, 0),
+    }
+}
+
+fn concat_bt(items: &[Ast], chars: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match items.split_first() {
+        None => k(pos),
+        Some((head, rest)) => backtrack(head, chars, pos, &mut |p| concat_bt(rest, chars, p, k)),
+    }
+}
+
+fn repeat_bt(
+    node: &Ast,
+    min: u32,
+    max: Option<u32>,
+    chars: &[char],
+    pos: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+    done: u32,
+) -> bool {
+    let cap = max.unwrap_or(u32::MAX).min(chars.len() as u32 + 2 + done);
+    if done >= min && k(pos) {
+        return true;
+    }
+    if done >= cap {
+        return false;
+    }
+    backtrack(node, chars, pos, &mut |p| {
+        // Refuse zero-width progress to avoid infinite recursion on (a*)*.
+        if p == pos {
+            done + 1 >= min && k(p)
+        } else {
+            repeat_bt(node, min, max, chars, p, k, done + 1)
+        }
+    })
+}
+
+fn oracle_search(ast: &Ast, text: &str) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    (0..=chars.len()).any(|start| backtrack(ast, &chars, start, &mut |_| true))
+}
+
+fn oracle_full(ast: &Ast, text: &str) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    backtrack(ast, &chars, 0, &mut |end| end == chars.len())
+}
+
+/// Random patterns from a small alphabet, kept tiny so the oracle stays fast.
+fn arb_pattern() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        Just(".".to_string()),
+        Just("[ab]".to_string()),
+        Just("[^a]".to_string()),
+        Just("[a-c]".to_string()),
+    ];
+    let unit = (atom, prop_oneof![
+        Just(""),
+        Just("*"),
+        Just("+"),
+        Just("?"),
+        Just("{2}"),
+        Just("{1,2}"),
+    ])
+        .prop_map(|(a, q)| format!("{a}{q}"));
+    prop::collection::vec(unit, 1..5).prop_map(|units| units.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn pike_agrees_with_oracle_on_search(pat in arb_pattern(), text in "[abc]{0,8}") {
+        let ast = parser::parse(&pat).unwrap();
+        let re = Regex::compile(&pat).unwrap();
+        prop_assert_eq!(re.is_match(&text), oracle_search(&ast, &text),
+            "pattern={} text={}", pat, text);
+    }
+
+    #[test]
+    fn pike_agrees_with_oracle_on_full_match(pat in arb_pattern(), text in "[abc]{0,8}") {
+        let ast = parser::parse(&pat).unwrap();
+        let re = Regex::compile(&pat).unwrap();
+        prop_assert_eq!(re.is_full_match(&text), oracle_full(&ast, &text),
+            "pattern={} text={}", pat, text);
+    }
+
+    #[test]
+    fn alternations_agree(a in arb_pattern(), b in arb_pattern(), text in "[abc]{0,6}") {
+        let pat = format!("{a}|{b}");
+        let ast = parser::parse(&pat).unwrap();
+        let re = Regex::compile(&pat).unwrap();
+        prop_assert_eq!(re.is_match(&text), oracle_search(&ast, &text));
+    }
+
+    #[test]
+    fn compile_never_panics(pat in "\\PC{0,16}") {
+        let _ = Regex::compile(&pat);
+    }
+}

@@ -1,0 +1,231 @@
+//! The compiled JSON Schema AST.
+//!
+//! One [`SchemaNode`] carries every validation keyword of the draft-04/06
+//! core. Absent keywords impose no constraint, so the zero value of the
+//! node accepts everything — exactly the formal semantics' treatment of the
+//! empty schema `{}`.
+
+use jsonx_data::{Kind, Number, Value};
+use jsonx_regex::Regex;
+use std::sync::Arc;
+
+/// A compiled schema: the boolean schemas `true`/`false`, or a keyword node.
+///
+/// Cloning is cheap (`Arc`), which is what lets `$ref` targets be shared.
+#[derive(Debug, Clone)]
+pub enum Schema {
+    /// `true` or `{}` — accepts every value.
+    Any,
+    /// `false` — rejects every value.
+    Never,
+    /// A constraining schema object.
+    Node(Arc<SchemaNode>),
+}
+
+impl Schema {
+    /// Wraps a node.
+    pub fn node(node: SchemaNode) -> Schema {
+        Schema::Node(Arc::new(node))
+    }
+}
+
+/// A `pattern` keyword: the source text plus its compiled matcher.
+#[derive(Debug, Clone)]
+pub struct CompiledPattern {
+    /// The original pattern text (for error messages and printing).
+    pub source: String,
+    /// The compiled automaton.
+    pub regex: Regex,
+}
+
+/// The `items` keyword: a single schema for all elements, or a positional
+/// tuple of schemas.
+#[derive(Debug, Clone)]
+pub enum Items {
+    /// `"items": { … }` — every element must match.
+    All(Schema),
+    /// `"items": [ … ]` — element *i* must match schema *i*; extras fall to
+    /// `additionalItems`.
+    Tuple(Vec<Schema>),
+}
+
+/// One entry of the `dependencies` keyword.
+#[derive(Debug, Clone)]
+pub enum Dependency {
+    /// Property dependency: if the key is present, these keys must be too
+    /// (Joi's `with` constraint is the same idea).
+    Keys(Vec<String>),
+    /// Schema dependency: if the key is present, the whole object must also
+    /// match this schema.
+    Schema(Schema),
+}
+
+/// All validation keywords of one schema object.
+///
+/// `Default` is the unconstrained node (equivalent to [`Schema::Any`]).
+#[derive(Debug, Clone, Default)]
+pub struct SchemaNode {
+    // -- general ---------------------------------------------------------
+    /// `type`: admissible kinds (empty = unconstrained). `integer` and
+    /// `number` follow the spec: `number` admits integers.
+    pub types: Option<Vec<Kind>>,
+    /// `enum`: the value must equal one member (canonical equality).
+    pub enumeration: Option<Vec<Value>>,
+    /// `const`: the value must equal this (draft-06).
+    pub const_value: Option<Value>,
+
+    // -- combinators (the union/intersection/negation types of §2) --------
+    /// `allOf`: every subschema must accept.
+    pub all_of: Vec<Schema>,
+    /// `anyOf`: at least one subschema must accept (union type).
+    pub any_of: Vec<Schema>,
+    /// `oneOf`: exactly one subschema must accept.
+    pub one_of: Vec<Schema>,
+    /// `not`: the subschema must reject (negation type).
+    pub not: Option<Schema>,
+    /// `if`: condition for `then`/`else` (draft-07 conditional applicator).
+    pub if_schema: Option<Schema>,
+    /// `then`: applied when `if` accepts.
+    pub then_schema: Option<Schema>,
+    /// `else`: applied when `if` rejects.
+    pub else_schema: Option<Schema>,
+
+    // -- string ------------------------------------------------------------
+    /// `minLength` in Unicode scalar values.
+    pub min_length: Option<u64>,
+    /// `maxLength` in Unicode scalar values.
+    pub max_length: Option<u64>,
+    /// `pattern`: unanchored regex search.
+    pub pattern: Option<CompiledPattern>,
+    /// `format`: annotation; enforced only when the validator opts in.
+    pub format: Option<String>,
+
+    // -- number ------------------------------------------------------------
+    /// `minimum` (inclusive).
+    pub minimum: Option<Number>,
+    /// `maximum` (inclusive).
+    pub maximum: Option<Number>,
+    /// `exclusiveMinimum` (numeric, draft-06 form).
+    pub exclusive_minimum: Option<Number>,
+    /// `exclusiveMaximum` (numeric, draft-06 form).
+    pub exclusive_maximum: Option<Number>,
+    /// `multipleOf` (must be positive).
+    pub multiple_of: Option<Number>,
+
+    // -- array -------------------------------------------------------------
+    /// `items`.
+    pub items: Option<Items>,
+    /// `additionalItems` (only meaningful with tuple `items`).
+    pub additional_items: Option<Schema>,
+    /// `minItems`.
+    pub min_items: Option<u64>,
+    /// `maxItems`.
+    pub max_items: Option<u64>,
+    /// `uniqueItems`.
+    pub unique_items: bool,
+    /// `contains`: at least one element matches (draft-06).
+    pub contains: Option<Schema>,
+
+    // -- object ------------------------------------------------------------
+    /// `properties`.
+    pub properties: Vec<(String, Schema)>,
+    /// `patternProperties`.
+    pub pattern_properties: Vec<(CompiledPattern, Schema)>,
+    /// `additionalProperties`: schema for fields matched by neither
+    /// `properties` nor `patternProperties`.
+    pub additional_properties: Option<Schema>,
+    /// `required`.
+    pub required: Vec<String>,
+    /// `minProperties`.
+    pub min_properties: Option<u64>,
+    /// `maxProperties`.
+    pub max_properties: Option<u64>,
+    /// `propertyNames`: every key (as a string value) must match (draft-06).
+    pub property_names: Option<Schema>,
+    /// `dependencies` (the co-occurrence constraints Joi popularised).
+    pub dependencies: Vec<(String, Dependency)>,
+
+    // -- reference / metadata ----------------------------------------------
+    /// `$ref`: an intra-document JSON Pointer (`#`, `#/definitions/x`, …).
+    /// When present, the spec says sibling keywords are ignored.
+    pub reference: Option<String>,
+    /// `title` (annotation only).
+    pub title: Option<String>,
+    /// `description` (annotation only).
+    pub description: Option<String>,
+}
+
+impl SchemaNode {
+    /// True when the node constrains nothing (annotations aside).
+    pub fn is_unconstrained(&self) -> bool {
+        self.types.is_none()
+            && self.enumeration.is_none()
+            && self.const_value.is_none()
+            && self.all_of.is_empty()
+            && self.any_of.is_empty()
+            && self.one_of.is_empty()
+            && self.not.is_none()
+            && self.if_schema.is_none()
+            && self.then_schema.is_none()
+            && self.else_schema.is_none()
+            && self.min_length.is_none()
+            && self.max_length.is_none()
+            && self.pattern.is_none()
+            && self.format.is_none()
+            && self.minimum.is_none()
+            && self.maximum.is_none()
+            && self.exclusive_minimum.is_none()
+            && self.exclusive_maximum.is_none()
+            && self.multiple_of.is_none()
+            && self.items.is_none()
+            && self.additional_items.is_none()
+            && self.min_items.is_none()
+            && self.max_items.is_none()
+            && !self.unique_items
+            && self.contains.is_none()
+            && self.properties.is_empty()
+            && self.pattern_properties.is_empty()
+            && self.additional_properties.is_none()
+            && self.required.is_empty()
+            && self.min_properties.is_none()
+            && self.max_properties.is_none()
+            && self.property_names.is_none()
+            && self.dependencies.is_empty()
+            && self.reference.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_node_is_unconstrained() {
+        assert!(SchemaNode::default().is_unconstrained());
+    }
+
+    #[test]
+    fn any_keyword_breaks_unconstrained() {
+        let node = SchemaNode {
+            required: vec!["x".into()],
+            ..Default::default()
+        };
+        assert!(!node.is_unconstrained());
+        let node = SchemaNode {
+            unique_items: true,
+            ..Default::default()
+        };
+        assert!(!node.is_unconstrained());
+    }
+
+    #[test]
+    fn schema_clone_is_shallow() {
+        let s = Schema::node(SchemaNode::default());
+        let t = s.clone();
+        if let (Schema::Node(a), Schema::Node(b)) = (&s, &t) {
+            assert!(Arc::ptr_eq(a, b));
+        } else {
+            panic!("expected nodes");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! `format` keyword checkers.
+//!
+//! JSON Schema treats `format` as an annotation unless the validator opts
+//! in. These checkers cover the formats that appear throughout the
+//! tutorial's example datasets (timestamps in Twitter/GitHub feeds, URLs in
+//! NYTimes articles, identifiers everywhere). Unknown formats always pass,
+//! per spec.
+
+/// Checks `value` against a named format. Returns `true` for unknown
+/// formats (they are annotations, not constraints).
+pub fn check_format(format: &str, value: &str) -> bool {
+    match format {
+        "date-time" => is_date_time(value),
+        "date" => is_date(value),
+        "time" => is_time(value),
+        "email" => is_email(value),
+        "hostname" => is_hostname(value),
+        "ipv4" => is_ipv4(value),
+        "uri" => is_uri(value),
+        "uuid" => is_uuid(value),
+        _ => true,
+    }
+}
+
+/// The set of formats [`check_format`] actually enforces.
+pub const KNOWN_FORMATS: [&str; 8] = [
+    "date-time", "date", "time", "email", "hostname", "ipv4", "uri", "uuid",
+];
+
+fn digits(s: &str) -> bool {
+    !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit())
+}
+
+fn in_range(s: &str, lo: u32, hi: u32) -> bool {
+    digits(s) && s.parse::<u32>().map(|v| (lo..=hi).contains(&v)) == Ok(true)
+}
+
+/// RFC 3339 `full-date`: `YYYY-MM-DD` with real month/day ranges
+/// (including leap-year handling for February).
+pub fn is_date(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 || parts[0].len() != 4 || parts[1].len() != 2 || parts[2].len() != 2 {
+        return false;
+    }
+    if !digits(parts[0]) || !in_range(parts[1], 1, 12) {
+        return false;
+    }
+    let year: u32 = parts[0].parse().unwrap_or(0);
+    let month: u32 = parts[1].parse().unwrap_or(0);
+    let max_day = match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if year.is_multiple_of(4) && (!year.is_multiple_of(100) || year.is_multiple_of(400)) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => return false,
+    };
+    in_range(parts[2], 1, max_day)
+}
+
+/// RFC 3339 `full-time`: `HH:MM:SS[.fff](Z|±HH:MM)`.
+pub fn is_time(s: &str) -> bool {
+    // Split off the offset.
+    let (clock, offset_ok) = if let Some(stripped) = s.strip_suffix('Z').or_else(|| s.strip_suffix('z')) {
+        (stripped, true)
+    } else if let Some(idx) = s.rfind(['+', '-']) {
+        let (clock, off) = s.split_at(idx);
+        let off = &off[1..];
+        let parts: Vec<&str> = off.split(':').collect();
+        let ok = parts.len() == 2
+            && parts[0].len() == 2
+            && parts[1].len() == 2
+            && in_range(parts[0], 0, 23)
+            && in_range(parts[1], 0, 59);
+        (clock, ok)
+    } else {
+        return false;
+    };
+    if !offset_ok {
+        return false;
+    }
+    let (hms, frac_ok) = match clock.split_once('.') {
+        Some((hms, frac)) => (hms, digits(frac)),
+        None => (clock, true),
+    };
+    if !frac_ok {
+        return false;
+    }
+    let parts: Vec<&str> = hms.split(':').collect();
+    parts.len() == 3
+        && parts.iter().all(|p| p.len() == 2)
+        && in_range(parts[0], 0, 23)
+        && in_range(parts[1], 0, 59)
+        && in_range(parts[2], 0, 60) // leap second
+}
+
+/// RFC 3339 `date-time`: `<date>T<time>`.
+pub fn is_date_time(s: &str) -> bool {
+    match s.split_once(['T', 't']) {
+        Some((d, t)) => is_date(d) && is_time(t),
+        None => false,
+    }
+}
+
+/// A pragmatic email shape check (one `@`, non-empty local part, valid
+/// hostname domain) — the level of rigour real-world validators apply.
+pub fn is_email(s: &str) -> bool {
+    let Some((local, domain)) = s.rsplit_once('@') else {
+        return false;
+    };
+    !local.is_empty()
+        && local.len() <= 64
+        && !local.starts_with('.')
+        && !local.ends_with('.')
+        && !local.contains("..")
+        && local
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "!#$%&'*+-/=?^_`{|}~.".contains(c))
+        && is_hostname(domain)
+}
+
+/// RFC 1123 hostname.
+pub fn is_hostname(s: &str) -> bool {
+    if s.is_empty() || s.len() > 253 {
+        return false;
+    }
+    s.split('.').all(|label| {
+        !label.is_empty()
+            && label.len() <= 63
+            && !label.starts_with('-')
+            && !label.ends_with('-')
+            && label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
+    })
+}
+
+/// Dotted-quad IPv4.
+pub fn is_ipv4(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('.').collect();
+    parts.len() == 4
+        && parts.iter().all(|p| {
+            digits(p)
+                && p.len() <= 3
+                && (*p == "0" || !p.starts_with('0'))
+                && p.parse::<u32>().map(|v| v <= 255) == Ok(true)
+        })
+}
+
+/// A URI with a scheme (absolute URI per RFC 3986's coarse grammar).
+pub fn is_uri(s: &str) -> bool {
+    let Some((scheme, rest)) = s.split_once(':') else {
+        return false;
+    };
+    !scheme.is_empty()
+        && scheme.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+        && scheme
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "+-.".contains(c))
+        && !rest.contains(' ')
+}
+
+/// RFC 4122 textual UUID.
+pub fn is_uuid(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('-').collect();
+    let lens = [8, 4, 4, 4, 12];
+    parts.len() == 5
+        && parts
+            .iter()
+            .zip(lens)
+            .all(|(p, l)| p.len() == l && p.chars().all(|c| c.is_ascii_hexdigit()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dates() {
+        assert!(is_date("2019-03-26"));
+        assert!(is_date("2020-02-29")); // leap year
+        assert!(!is_date("2019-02-29"));
+        assert!(!is_date("2019-13-01"));
+        assert!(!is_date("2019-00-01"));
+        assert!(!is_date("19-03-26"));
+        assert!(!is_date("2019/03/26"));
+    }
+
+    #[test]
+    fn times() {
+        assert!(is_time("23:59:59Z"));
+        assert!(is_time("00:00:00.123Z"));
+        assert!(is_time("12:30:00+02:00"));
+        assert!(is_time("12:30:60Z")); // leap second allowed
+        assert!(!is_time("24:00:00Z"));
+        assert!(!is_time("12:30:00"));
+        assert!(!is_time("12:30:00+25:00"));
+    }
+
+    #[test]
+    fn date_times() {
+        assert!(is_date_time("2019-03-26T12:30:00Z"));
+        assert!(is_date_time("2019-03-26t12:30:00+01:00"));
+        assert!(!is_date_time("2019-03-26 12:30:00Z"));
+        assert!(!is_date_time("2019-03-26"));
+    }
+
+    #[test]
+    fn emails() {
+        assert!(is_email("a.b+c@example.com"));
+        assert!(!is_email("no-at-sign"));
+        assert!(!is_email("@example.com"));
+        assert!(!is_email("a..b@example.com"));
+        assert!(!is_email("a@-bad-.com"));
+    }
+
+    #[test]
+    fn hostnames_and_ips() {
+        assert!(is_hostname("api.twitter.com"));
+        assert!(!is_hostname("-leading.example"));
+        assert!(!is_hostname(""));
+        assert!(is_ipv4("192.168.0.1"));
+        assert!(!is_ipv4("256.0.0.1"));
+        assert!(!is_ipv4("01.2.3.4"));
+        assert!(!is_ipv4("1.2.3"));
+    }
+
+    #[test]
+    fn uris_and_uuids() {
+        assert!(is_uri("https://www.data.gov"));
+        assert!(is_uri("urn:isbn:978-3-89318-081-3"));
+        assert!(!is_uri("not a uri"));
+        assert!(!is_uri("://missing-scheme"));
+        assert!(is_uuid("123e4567-e89b-12d3-a456-426614174000"));
+        assert!(!is_uuid("123e4567e89b12d3a456426614174000"));
+    }
+
+    #[test]
+    fn unknown_formats_pass() {
+        assert!(check_format("regex", "anything"));
+        assert!(check_format("no-such-format", ""));
+    }
+
+    #[test]
+    fn dispatcher_routes() {
+        assert!(check_format("date", "2019-03-26"));
+        assert!(!check_format("date", "garbage"));
+        assert!(!check_format("uuid", "nope"));
+    }
+}

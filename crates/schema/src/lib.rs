@@ -1,0 +1,47 @@
+//! # jsonx-schema
+//!
+//! An implementation of the JSON Schema core the tutorial's §2 surveys,
+//! following the formal semantics of Pezoa et al. (*Foundations of JSON
+//! Schema*, WWW 2016): the draft-04/06 validation vocabulary including the
+//! boolean combinators (`allOf`, `anyOf`, `oneOf`, and **negation** via
+//! `not`), intra-document `$ref` with cycle detection, `definitions`,
+//! per-kind keyword sets, and `uniqueItems`/`enum`/`const` under canonical
+//! value equality.
+//!
+//! ```
+//! use jsonx_data::json;
+//! use jsonx_schema::CompiledSchema;
+//!
+//! let schema = CompiledSchema::compile(&json!({
+//!     "type": "object",
+//!     "properties": {
+//!         "name": { "type": "string", "minLength": 1 },
+//!         "age":  { "type": "integer", "minimum": 0 }
+//!     },
+//!     "required": ["name"]
+//! })).unwrap();
+//!
+//! assert!(schema.is_valid(&json!({ "name": "ada", "age": 36 })));
+//! assert!(!schema.is_valid(&json!({ "age": -1 })));
+//! ```
+//!
+//! Design notes:
+//! * Schemas compile once ([`CompiledSchema::compile`]) into an AST with
+//!   pre-compiled `pattern` regexes; validation allocates only on error.
+//! * `$ref` targets compile lazily and are memoized; unguarded reference
+//!   cycles (schemas that recurse without consuming input) are detected at
+//!   validation time and reported as [`ValidationErrorKind::RefCycle`].
+//! * `format` is an annotation by default (per spec); [`ValidatorOptions`]
+//!   can opt in to enforcing the formats this crate knows.
+
+pub mod ast;
+pub mod errors;
+pub mod formats;
+pub mod parse;
+pub mod sample;
+pub mod validate;
+
+pub use ast::{Dependency, Items, Schema, SchemaNode};
+pub use errors::{SchemaError, ValidationError, ValidationErrorKind};
+pub use parse::CompiledSchema;
+pub use validate::ValidatorOptions;

@@ -1,0 +1,426 @@
+//! Schema document compilation.
+//!
+//! [`CompiledSchema::compile`] turns a JSON value (the schema document)
+//! into the [`Schema`] AST, validating keyword shapes along the way and
+//! pre-compiling every `pattern` / `patternProperties` regex. `$ref`
+//! targets are compiled lazily on first use and memoized, which supports
+//! recursive schemas without a fixpoint pass.
+
+use crate::ast::{CompiledPattern, Dependency, Items, Schema, SchemaNode};
+use crate::errors::SchemaError;
+use jsonx_data::{Kind, Number, Pointer, Value};
+use jsonx_regex::Regex;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A compiled schema document, ready to validate instances.
+#[derive(Debug)]
+pub struct CompiledSchema {
+    /// Compiled root schema.
+    root: Schema,
+    /// The original document, kept for `$ref` target lookup.
+    source: Value,
+    /// Memoized `$ref` targets, keyed by normalized pointer text.
+    ref_cache: Mutex<HashMap<String, Schema>>,
+}
+
+impl CompiledSchema {
+    /// Compiles a schema document.
+    pub fn compile(document: &Value) -> Result<CompiledSchema, SchemaError> {
+        let root = compile_schema(document, "#")?;
+        Ok(CompiledSchema {
+            root,
+            source: document.clone(),
+            ref_cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The compiled root schema.
+    pub fn root(&self) -> &Schema {
+        &self.root
+    }
+
+    /// Resolves and compiles a `$ref` target (memoized). `reference` must
+    /// be an intra-document fragment: `#` or `#/<json-pointer>`.
+    pub fn resolve_ref(&self, reference: &str) -> Result<Schema, SchemaError> {
+        if let Some(hit) = self.ref_cache.lock().get(reference) {
+            return Ok(hit.clone());
+        }
+        let Some(fragment) = reference.strip_prefix('#') else {
+            return Err(SchemaError::new(
+                reference,
+                "only intra-document references ('#...') are supported",
+            ));
+        };
+        let pointer = percent_decode(fragment);
+        let target = if pointer.is_empty() {
+            self.source.clone()
+        } else {
+            let ptr = Pointer::parse(&pointer)
+                .map_err(|e| SchemaError::new(reference, format!("bad pointer: {e}")))?;
+            ptr.resolve(&self.source)
+                .ok_or_else(|| SchemaError::new(reference, "reference target not found"))?
+                .clone()
+        };
+        let compiled = compile_schema(&target, reference)?;
+        self.ref_cache
+            .lock()
+            .insert(reference.to_string(), compiled.clone());
+        Ok(compiled)
+    }
+}
+
+/// Decodes the small set of percent-escapes pointers in fragments need.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+            if let Some(v) = hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                out.push(v);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8(out).unwrap_or_else(|_| s.to_string())
+}
+
+/// Compiles one schema value (recursively).
+pub fn compile_schema(value: &Value, path: &str) -> Result<Schema, SchemaError> {
+    match value {
+        Value::Bool(true) => Ok(Schema::Any),
+        Value::Bool(false) => Ok(Schema::Never),
+        Value::Obj(obj) => {
+            let mut node = SchemaNode::default();
+            let sub = |key: &str| format!("{path}/{key}");
+
+            for (key, val) in obj.iter() {
+                match key {
+                    "type" => node.types = Some(parse_types(val, &sub(key))?),
+                    "enum" => {
+                        let arr = expect_array(val, &sub(key))?;
+                        if arr.is_empty() {
+                            return Err(SchemaError::new(sub(key), "enum must be non-empty"));
+                        }
+                        node.enumeration = Some(arr.to_vec());
+                    }
+                    "const" => node.const_value = Some(val.clone()),
+                    "allOf" => node.all_of = parse_schema_array(val, &sub(key))?,
+                    "anyOf" => node.any_of = parse_schema_array(val, &sub(key))?,
+                    "oneOf" => node.one_of = parse_schema_array(val, &sub(key))?,
+                    "not" => node.not = Some(compile_schema(val, &sub(key))?),
+                    "if" => node.if_schema = Some(compile_schema(val, &sub(key))?),
+                    "then" => node.then_schema = Some(compile_schema(val, &sub(key))?),
+                    "else" => node.else_schema = Some(compile_schema(val, &sub(key))?),
+                    "minLength" => node.min_length = Some(expect_count(val, &sub(key))?),
+                    "maxLength" => node.max_length = Some(expect_count(val, &sub(key))?),
+                    "pattern" => node.pattern = Some(compile_pattern(val, &sub(key))?),
+                    "format" => {
+                        node.format = Some(expect_string(val, &sub(key))?.to_string());
+                    }
+                    "minimum" => node.minimum = Some(expect_number(val, &sub(key))?),
+                    "maximum" => node.maximum = Some(expect_number(val, &sub(key))?),
+                    "exclusiveMinimum" => {
+                        node.exclusive_minimum = Some(expect_number(val, &sub(key))?)
+                    }
+                    "exclusiveMaximum" => {
+                        node.exclusive_maximum = Some(expect_number(val, &sub(key))?)
+                    }
+                    "multipleOf" => {
+                        let n = expect_number(val, &sub(key))?;
+                        if n.as_f64() <= 0.0 {
+                            return Err(SchemaError::new(sub(key), "multipleOf must be > 0"));
+                        }
+                        node.multiple_of = Some(n);
+                    }
+                    "items" => {
+                        node.items = Some(match val {
+                            Value::Arr(schemas) => {
+                                let mut tuple = Vec::with_capacity(schemas.len());
+                                for (i, s) in schemas.iter().enumerate() {
+                                    tuple.push(compile_schema(s, &format!("{path}/items/{i}"))?);
+                                }
+                                Items::Tuple(tuple)
+                            }
+                            other => Items::All(compile_schema(other, &sub(key))?),
+                        });
+                    }
+                    "additionalItems" => {
+                        node.additional_items = Some(compile_schema(val, &sub(key))?)
+                    }
+                    "minItems" => node.min_items = Some(expect_count(val, &sub(key))?),
+                    "maxItems" => node.max_items = Some(expect_count(val, &sub(key))?),
+                    "uniqueItems" => {
+                        node.unique_items = val
+                            .as_bool()
+                            .ok_or_else(|| SchemaError::new(sub(key), "expected a boolean"))?;
+                    }
+                    "contains" => node.contains = Some(compile_schema(val, &sub(key))?),
+                    "properties" => {
+                        let props = expect_object(val, &sub(key))?;
+                        for (name, s) in props.iter() {
+                            let compiled =
+                                compile_schema(s, &format!("{path}/properties/{name}"))?;
+                            node.properties.push((name.to_string(), compiled));
+                        }
+                    }
+                    "patternProperties" => {
+                        let props = expect_object(val, &sub(key))?;
+                        for (pat, s) in props.iter() {
+                            let compiled_pat = compile_pattern(
+                                &Value::Str(pat.to_string()),
+                                &format!("{path}/patternProperties/{pat}"),
+                            )?;
+                            let compiled = compile_schema(
+                                s,
+                                &format!("{path}/patternProperties/{pat}"),
+                            )?;
+                            node.pattern_properties.push((compiled_pat, compiled));
+                        }
+                    }
+                    "additionalProperties" => {
+                        node.additional_properties = Some(compile_schema(val, &sub(key))?)
+                    }
+                    "required" => {
+                        let arr = expect_array(val, &sub(key))?;
+                        let mut names = Vec::with_capacity(arr.len());
+                        for item in arr {
+                            names.push(expect_string(item, &sub(key))?.to_string());
+                        }
+                        node.required = names;
+                    }
+                    "minProperties" => node.min_properties = Some(expect_count(val, &sub(key))?),
+                    "maxProperties" => node.max_properties = Some(expect_count(val, &sub(key))?),
+                    "propertyNames" => {
+                        node.property_names = Some(compile_schema(val, &sub(key))?)
+                    }
+                    "dependencies" => {
+                        let deps = expect_object(val, &sub(key))?;
+                        for (name, spec) in deps.iter() {
+                            let dep = match spec {
+                                Value::Arr(keys) => {
+                                    let mut names = Vec::with_capacity(keys.len());
+                                    for k in keys {
+                                        names.push(
+                                            expect_string(k, &format!("{path}/dependencies/{name}"))?
+                                                .to_string(),
+                                        );
+                                    }
+                                    Dependency::Keys(names)
+                                }
+                                other => Dependency::Schema(compile_schema(
+                                    other,
+                                    &format!("{path}/dependencies/{name}"),
+                                )?),
+                            };
+                            node.dependencies.push((name.to_string(), dep));
+                        }
+                    }
+                    "$ref" => {
+                        node.reference = Some(expect_string(val, &sub(key))?.to_string());
+                    }
+                    "title" => node.title = Some(expect_string(val, &sub(key))?.to_string()),
+                    "description" => {
+                        node.description = Some(expect_string(val, &sub(key))?.to_string())
+                    }
+                    // `definitions`, `$schema`, `$id`, `default`, `examples`
+                    // and unknown keywords are non-validating; the raw
+                    // document stays available for `$ref` resolution.
+                    _ => {}
+                }
+            }
+            if node.is_unconstrained() {
+                Ok(Schema::Any)
+            } else {
+                Ok(Schema::node(node))
+            }
+        }
+        other => Err(SchemaError::new(
+            path,
+            format!("a schema must be an object or boolean, found {}", other.kind()),
+        )),
+    }
+}
+
+fn parse_types(val: &Value, path: &str) -> Result<Vec<Kind>, SchemaError> {
+    let parse_one = |v: &Value| -> Result<Kind, SchemaError> {
+        let name = v
+            .as_str()
+            .ok_or_else(|| SchemaError::new(path, "type must be a string"))?;
+        Kind::from_name(name)
+            .ok_or_else(|| SchemaError::new(path, format!("unknown type '{name}'")))
+    };
+    match val {
+        Value::Arr(items) => {
+            if items.is_empty() {
+                return Err(SchemaError::new(path, "type array must be non-empty"));
+            }
+            items.iter().map(parse_one).collect()
+        }
+        other => Ok(vec![parse_one(other)?]),
+    }
+}
+
+fn parse_schema_array(val: &Value, path: &str) -> Result<Vec<Schema>, SchemaError> {
+    let arr = expect_array(val, path)?;
+    if arr.is_empty() {
+        return Err(SchemaError::new(path, "must be a non-empty array of schemas"));
+    }
+    arr.iter()
+        .enumerate()
+        .map(|(i, s)| compile_schema(s, &format!("{path}/{i}")))
+        .collect()
+}
+
+fn compile_pattern(val: &Value, path: &str) -> Result<CompiledPattern, SchemaError> {
+    let source = expect_string(val, path)?;
+    let regex = Regex::compile(source)
+        .map_err(|e| SchemaError::new(path, format!("bad pattern: {e}")))?;
+    Ok(CompiledPattern {
+        source: source.to_string(),
+        regex,
+    })
+}
+
+fn expect_string<'v>(val: &'v Value, path: &str) -> Result<&'v str, SchemaError> {
+    val.as_str()
+        .ok_or_else(|| SchemaError::new(path, "expected a string"))
+}
+
+fn expect_array<'v>(val: &'v Value, path: &str) -> Result<&'v [Value], SchemaError> {
+    val.as_array()
+        .ok_or_else(|| SchemaError::new(path, "expected an array"))
+}
+
+fn expect_object<'v>(val: &'v Value, path: &str) -> Result<&'v jsonx_data::Object, SchemaError> {
+    val.as_object()
+        .ok_or_else(|| SchemaError::new(path, "expected an object"))
+}
+
+fn expect_number(val: &Value, path: &str) -> Result<Number, SchemaError> {
+    val.as_number()
+        .copied()
+        .ok_or_else(|| SchemaError::new(path, "expected a number"))
+}
+
+fn expect_count(val: &Value, path: &str) -> Result<u64, SchemaError> {
+    match val.as_i64() {
+        Some(i) if i >= 0 => Ok(i as u64),
+        _ => Err(SchemaError::new(path, "expected a non-negative integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    #[test]
+    fn boolean_schemas() {
+        assert!(matches!(
+            compile_schema(&json!(true), "#").unwrap(),
+            Schema::Any
+        ));
+        assert!(matches!(
+            compile_schema(&json!(false), "#").unwrap(),
+            Schema::Never
+        ));
+        assert!(matches!(compile_schema(&json!({}), "#").unwrap(), Schema::Any));
+    }
+
+    #[test]
+    fn non_schema_values_rejected() {
+        assert!(compile_schema(&json!(3), "#").is_err());
+        assert!(compile_schema(&json!("s"), "#").is_err());
+        assert!(compile_schema(&json!([1]), "#").is_err());
+    }
+
+    #[test]
+    fn keyword_shape_validation() {
+        for bad in [
+            json!({"type": "strang"}),
+            json!({"type": []}),
+            json!({"type": 3}),
+            json!({"minLength": -1}),
+            json!({"minLength": 1.5}),
+            json!({"enum": []}),
+            json!({"multipleOf": 0}),
+            json!({"allOf": []}),
+            json!({"required": [1]}),
+            json!({"uniqueItems": "yes"}),
+            json!({"pattern": "["}),
+            json!({"properties": []}),
+        ] {
+            assert!(
+                CompiledSchema::compile(&bad).is_err(),
+                "expected {bad} to be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn error_paths_are_pointers() {
+        let err = CompiledSchema::compile(&json!({
+            "properties": { "a": { "minimum": "x" } }
+        }))
+        .unwrap_err();
+        assert_eq!(err.schema_path, "#/properties/a/minimum");
+    }
+
+    #[test]
+    fn ref_resolution() {
+        let doc = json!({
+            "definitions": { "pos": { "type": "integer", "minimum": 1 } },
+            "$ref": "#/definitions/pos"
+        });
+        let compiled = CompiledSchema::compile(&doc).unwrap();
+        let target = compiled.resolve_ref("#/definitions/pos").unwrap();
+        assert!(matches!(target, Schema::Node(_)));
+        // Memoized: second resolution hits the cache.
+        let again = compiled.resolve_ref("#/definitions/pos").unwrap();
+        if let (Schema::Node(a), Schema::Node(b)) = (&target, &again) {
+            assert!(std::sync::Arc::ptr_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn ref_errors() {
+        let compiled = CompiledSchema::compile(&json!({"$ref": "#/nope"})).unwrap();
+        assert!(compiled.resolve_ref("#/nope").is_err());
+        assert!(compiled
+            .resolve_ref("http://elsewhere/schema.json")
+            .is_err());
+    }
+
+    #[test]
+    fn root_ref_resolves_to_whole_document() {
+        let compiled = CompiledSchema::compile(&json!({"type": "array"})).unwrap();
+        let target = compiled.resolve_ref("#").unwrap();
+        assert!(matches!(target, Schema::Node(_)));
+    }
+
+    #[test]
+    fn percent_encoded_pointer() {
+        let doc = json!({
+            "definitions": { "a b": { "type": "null" } }
+        });
+        let compiled = CompiledSchema::compile(&doc).unwrap();
+        assert!(compiled.resolve_ref("#/definitions/a%20b").is_ok());
+    }
+
+    #[test]
+    fn unknown_keywords_ignored() {
+        let s = CompiledSchema::compile(&json!({
+            "$schema": "http://json-schema.org/draft-06/schema#",
+            "x-vendor": {"anything": true},
+            "default": 3
+        }))
+        .unwrap();
+        assert!(matches!(s.root(), Schema::Any));
+    }
+}

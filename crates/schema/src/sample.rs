@@ -1,0 +1,387 @@
+//! Witness generation: producing values that *satisfy* a schema.
+//!
+//! The generative dual of validation — what tools like json-schema-faker
+//! do. The sampler builds a candidate from the schema's positive
+//! constraints (types, bounds, patterns, required fields), then runs the
+//! real validator; combinators (`not`, `oneOf`) are handled by retrying
+//! with fresh randomness. The guarantee is soundness, not completeness:
+//! `sample` may return `None` for satisfiable-but-contrived schemas, but
+//! every returned value validates (property-tested).
+
+use crate::ast::{Dependency, Items, Schema, SchemaNode};
+use crate::parse::CompiledSchema;
+use jsonx_data::{Number, Object, Value};
+
+/// How many candidate attempts before giving up on a schema node.
+const ATTEMPTS: u64 = 24;
+/// Recursion budget (guards `$ref` cycles and deep nesting).
+const MAX_DEPTH: usize = 24;
+
+impl CompiledSchema {
+    /// Generates a value that validates against this schema, or `None`
+    /// when the sampler's strategies don't find one.
+    pub fn sample(&self, seed: u64) -> Option<Value> {
+        for attempt in 0..ATTEMPTS {
+            let mut rng = Rng(seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)));
+            if let Some(candidate) = self.candidate(self.root(), &mut rng, MAX_DEPTH) {
+                if self.is_valid(&candidate) {
+                    return Some(candidate);
+                }
+            }
+        }
+        None
+    }
+
+    fn candidate(&self, schema: &Schema, rng: &mut Rng, depth: usize) -> Option<Value> {
+        if depth == 0 {
+            return None;
+        }
+        match schema {
+            Schema::Any => Some(simple_value(rng)),
+            Schema::Never => None,
+            Schema::Node(node) => self.candidate_node(node, rng, depth),
+        }
+    }
+
+    fn candidate_node(&self, node: &SchemaNode, rng: &mut Rng, depth: usize) -> Option<Value> {
+        if let Some(reference) = &node.reference {
+            let target = self.resolve_ref(reference).ok()?;
+            return self.candidate(&target, rng, depth - 1);
+        }
+        if let Some(v) = &node.const_value {
+            return Some(v.clone());
+        }
+        if let Some(options) = &node.enumeration {
+            return Some(options[rng.below(options.len())].clone());
+        }
+        // Combinators: defer to a branch (validation filters bad picks).
+        if !node.one_of.is_empty() {
+            let branch = &node.one_of[rng.below(node.one_of.len())];
+            return self.candidate(branch, rng, depth - 1);
+        }
+        if !node.any_of.is_empty() {
+            let branch = &node.any_of[rng.below(node.any_of.len())];
+            return self.candidate(branch, rng, depth - 1);
+        }
+        if let Some(first) = node.all_of.first() {
+            return self.candidate(first, rng, depth - 1);
+        }
+
+        // Pick a kind: declared `type`, or inferred from present keywords.
+        let kind = self.pick_kind(node, rng);
+        match kind {
+            "null" => Some(Value::Null),
+            "boolean" => Some(Value::Bool(rng.below(2) == 0)),
+            "integer" => Some(Value::Num(Number::Int(self.pick_integer(node, rng)))),
+            "number" => Some(Value::Num(self.pick_number(node, rng))),
+            "string" => Some(Value::Str(self.pick_string(node, rng))),
+            "array" => self.pick_array(node, rng, depth),
+            "object" => self.pick_object(node, rng, depth),
+            _ => Some(simple_value(rng)),
+        }
+    }
+
+    fn pick_kind(&self, node: &SchemaNode, rng: &mut Rng) -> &'static str {
+        if let Some(types) = &node.types {
+            let t = types[rng.below(types.len())];
+            return t.name();
+        }
+        if !node.properties.is_empty()
+            || !node.required.is_empty()
+            || node.min_properties.is_some()
+        {
+            return "object";
+        }
+        if node.items.is_some() || node.min_items.is_some() || node.contains.is_some() {
+            return "array";
+        }
+        if node.pattern.is_some() || node.min_length.is_some() || node.format.is_some() {
+            return "string";
+        }
+        if node.minimum.is_some()
+            || node.maximum.is_some()
+            || node.multiple_of.is_some()
+            || node.exclusive_minimum.is_some()
+            || node.exclusive_maximum.is_some()
+        {
+            return "number";
+        }
+        ["null", "boolean", "integer", "number", "string"][rng.below(5)]
+    }
+
+    fn pick_integer(&self, node: &SchemaNode, rng: &mut Rng) -> i64 {
+        // Widen to i128: schemas may carry bounds at the i64 extremes, and
+        // `hi - lo + 1` must not overflow (e.g. `maximum: i64::MAX`).
+        let lo: i128 = node
+            .minimum
+            .map(|n| n.as_f64().ceil() as i128)
+            .or(node
+                .exclusive_minimum
+                .map(|n| n.as_f64().floor() as i128 + 1))
+            .unwrap_or(0);
+        let hi: i128 = node
+            .maximum
+            .map(|n| n.as_f64().floor() as i128)
+            .or(node
+                .exclusive_maximum
+                .map(|n| n.as_f64().ceil() as i128 - 1))
+            .unwrap_or(lo + 100);
+        let base: i128 = if hi >= lo {
+            // Sample within a window of the lower bound; u32-sized windows
+            // keep `below` meaningful without giant ranges.
+            let span = (hi - lo + 1).min(1 << 31) as usize;
+            lo + rng.below(span) as i128
+        } else {
+            lo
+        };
+        let base = base.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64;
+        match node.multiple_of.and_then(|m| m.as_i64()) {
+            Some(m) if m > 0 => (base / m) * m,
+            _ => base,
+        }
+    }
+
+    fn pick_number(&self, node: &SchemaNode, rng: &mut Rng) -> Number {
+        // Integral candidates satisfy `number` and are easy to bound.
+        Number::Int(self.pick_integer(node, rng))
+    }
+
+    fn pick_string(&self, node: &SchemaNode, rng: &mut Rng) -> String {
+        if let Some(pattern) = &node.pattern {
+            if let Some(s) = pattern.regex.sample(rng.next()) {
+                return s;
+            }
+        }
+        if let Some(format) = node.format.as_deref() {
+            if let Some(s) = format_witness(format) {
+                return s.to_string();
+            }
+        }
+        let min = node.min_length.unwrap_or(0) as usize;
+        let max = node.max_length.map(|m| m as usize).unwrap_or(min + 8);
+        let len = min + rng.below(max.saturating_sub(min) + 1);
+        (0..len)
+            .map(|_| (b'a' + rng.below(26) as u8) as char)
+            .collect()
+    }
+
+    fn pick_array(&self, node: &SchemaNode, rng: &mut Rng, depth: usize) -> Option<Value> {
+        // Cap witness arrays: a schema demanding millions of items gets a
+        // `None` (via validation failure) instead of an allocation storm.
+        let min = (node.min_items.unwrap_or(0) as usize).min(4_096);
+        let max = node
+            .max_items
+            .map(|m| m as usize)
+            .unwrap_or(min.max(1) + 2);
+        let len = min + rng.below(max.saturating_sub(min) + 1);
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let item = match &node.items {
+                Some(Items::All(schema)) => self.candidate(schema, rng, depth - 1)?,
+                Some(Items::Tuple(schemas)) => match schemas.get(i) {
+                    Some(schema) => self.candidate(schema, rng, depth - 1)?,
+                    None => match &node.additional_items {
+                        Some(schema) => self.candidate(schema, rng, depth - 1)?,
+                        None => simple_value(rng),
+                    },
+                },
+                None => match &node.contains {
+                    Some(schema) => self.candidate(schema, rng, depth - 1)?,
+                    None => simple_value(rng),
+                },
+            };
+            out.push(item);
+        }
+        Some(Value::Arr(out))
+    }
+
+    fn pick_object(&self, node: &SchemaNode, rng: &mut Rng, depth: usize) -> Option<Value> {
+        let mut obj = Object::new();
+        for (name, schema) in &node.properties {
+            let required = node.required.iter().any(|r| r == name);
+            // Required fields always; optional ones half the time.
+            if required || rng.below(2) == 0 {
+                obj.insert(name.clone(), self.candidate(schema, rng, depth - 1)?);
+            }
+        }
+        // Required names without a property schema.
+        for name in &node.required {
+            if !obj.contains_key(name) {
+                obj.insert(name.clone(), simple_value(rng));
+            }
+        }
+        // Key dependencies: satisfy them by adding the needed fields.
+        for (trigger, dep) in &node.dependencies {
+            if obj.contains_key(trigger) {
+                if let Dependency::Keys(keys) = dep {
+                    for key in keys {
+                        if !obj.contains_key(key) {
+                            let schema = node
+                                .properties
+                                .iter()
+                                .find(|(n, _)| n == key)
+                                .map(|(_, s)| s);
+                            let v = match schema {
+                                Some(s) => self.candidate(s, rng, depth - 1)?,
+                                None => simple_value(rng),
+                            };
+                            obj.insert(key.clone(), v);
+                        }
+                    }
+                }
+            }
+        }
+        Some(Value::Obj(obj))
+    }
+}
+
+fn simple_value(rng: &mut Rng) -> Value {
+    match rng.below(5) {
+        0 => Value::Null,
+        1 => Value::Bool(true),
+        2 => Value::Num(Number::Int(rng.below(100) as i64)),
+        3 => Value::Str(format!("s{}", rng.below(1000))),
+        _ => Value::Num(Number::Int(-(rng.below(100) as i64))),
+    }
+}
+
+/// Known-good witnesses for the formats `formats.rs` enforces.
+fn format_witness(format: &str) -> Option<&'static str> {
+    Some(match format {
+        "date-time" => "2019-03-26T12:30:00Z",
+        "date" => "2019-03-26",
+        "time" => "12:30:00Z",
+        "email" => "attendee@edbt2019.example.org",
+        "hostname" => "openproceedings.org",
+        "ipv4" => "192.0.2.7",
+        "uri" => "https://openproceedings.org/2019/edbt",
+        "uuid" => "123e4567-e89b-12d3-a456-426614174000",
+        _ => return None,
+    })
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    fn assert_samples(doc: Value) {
+        let schema = CompiledSchema::compile(&doc).unwrap();
+        let mut produced = 0;
+        for seed in 0..20 {
+            if let Some(v) = schema.sample(seed) {
+                produced += 1;
+                assert!(schema.is_valid(&v), "sample {v} violates {doc}");
+            }
+        }
+        assert!(produced > 0, "no samples produced for {doc}");
+    }
+
+    #[test]
+    fn scalar_schemas() {
+        assert_samples(json!({"type": "integer", "minimum": 10, "maximum": 20}));
+        assert_samples(json!({"type": "string", "minLength": 3, "maxLength": 5}));
+        assert_samples(json!({"type": "string", "pattern": "^[A-Z]{3}-\\d{4}$"}));
+        assert_samples(json!({"enum": ["red", "green", 3]}));
+        assert_samples(json!({"const": {"nested": [1]}}));
+        assert_samples(json!({"type": "number", "exclusiveMinimum": 0, "maximum": 1}));
+        assert_samples(json!({"type": "integer", "multipleOf": 7, "minimum": 14}));
+    }
+
+    #[test]
+    fn object_schemas() {
+        assert_samples(json!({
+            "type": "object",
+            "required": ["id", "name"],
+            "properties": {
+                "id": {"type": "integer", "minimum": 1},
+                "name": {"type": "string", "minLength": 1},
+                "tags": {"type": "array", "items": {"type": "string"}}
+            },
+            "additionalProperties": false
+        }));
+        assert_samples(json!({
+            "type": "object",
+            "dependencies": {"a": ["b"]},
+            "properties": {"a": {"type": "integer"}, "b": {"type": "string"}},
+            "required": ["a"]
+        }));
+    }
+
+    #[test]
+    fn combinator_schemas() {
+        assert_samples(json!({"anyOf": [{"type": "string"}, {"type": "integer"}]}));
+        assert_samples(json!({"oneOf": [
+            {"type": "integer", "maximum": 4},
+            {"type": "integer", "minimum": 10}
+        ]}));
+        assert_samples(json!({"type": "integer", "not": {"const": 0}}));
+        assert_samples(json!({"allOf": [
+            {"type": "integer", "minimum": 5},
+            {"maximum": 10}
+        ]}));
+    }
+
+    #[test]
+    fn formats_and_refs() {
+        assert_samples(json!({"type": "string", "format": "date-time"}));
+        assert_samples(json!({
+            "definitions": {"pos": {"type": "integer", "minimum": 1}},
+            "type": "object",
+            "required": ["n"],
+            "properties": {"n": {"$ref": "#/definitions/pos"}}
+        }));
+    }
+
+    #[test]
+    fn recursive_schema_terminates() {
+        let schema = CompiledSchema::compile(&json!({
+            "definitions": {
+                "tree": {
+                    "type": "object",
+                    "required": ["v"],
+                    "properties": {
+                        "v": {"type": "integer"},
+                        "kids": {"type": "array", "items": {"$ref": "#/definitions/tree"}}
+                    }
+                }
+            },
+            "$ref": "#/definitions/tree"
+        }))
+        .unwrap();
+        // May or may not find a witness within budget, but must terminate
+        // and any witness must validate.
+        for seed in 0..10 {
+            if let Some(v) = schema.sample(seed) {
+                assert!(schema.is_valid(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn never_has_no_samples() {
+        let schema = CompiledSchema::compile(&json!(false)).unwrap();
+        assert_eq!(schema.sample(0), None);
+        let schema = CompiledSchema::compile(&json!({
+            "type": "integer", "minimum": 5, "maximum": 4
+        }))
+        .unwrap();
+        assert_eq!(schema.sample(0), None);
+    }
+}

@@ -1,0 +1,639 @@
+//! The validator: formal JSON Schema semantics over [`Schema`].
+
+use crate::ast::{Dependency, Items, Schema, SchemaNode};
+use crate::errors::{ValidationError, ValidationErrorKind};
+use crate::formats::check_format;
+use crate::parse::CompiledSchema;
+use jsonx_data::{all_unique, Pointer, Value};
+
+/// Validation options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValidatorOptions {
+    /// Enforce the `format` keyword for formats this crate knows
+    /// (annotation-only by default, per spec).
+    pub enforce_formats: bool,
+}
+
+impl CompiledSchema {
+    /// Validates `value`, returning every violation found.
+    pub fn validate(&self, value: &Value) -> Result<(), Vec<ValidationError>> {
+        self.validate_with(value, ValidatorOptions::default())
+    }
+
+    /// Validates with explicit options.
+    pub fn validate_with(
+        &self,
+        value: &Value,
+        options: ValidatorOptions,
+    ) -> Result<(), Vec<ValidationError>> {
+        let mut ctx = Ctx {
+            doc: self,
+            options,
+            errors: Vec::new(),
+            ref_stack: Vec::new(),
+        };
+        ctx.check(self.root(), value, &Pointer::root());
+        if ctx.errors.is_empty() {
+            Ok(())
+        } else {
+            Err(ctx.errors)
+        }
+    }
+
+    /// True when `value` conforms.
+    pub fn is_valid(&self, value: &Value) -> bool {
+        self.validate(value).is_ok()
+    }
+}
+
+struct Ctx<'a> {
+    doc: &'a CompiledSchema,
+    options: ValidatorOptions,
+    errors: Vec<ValidationError>,
+    /// Active `$ref` expansions: (reference, instance path) pairs, used to
+    /// detect unguarded recursion that would never consume input.
+    ref_stack: Vec<(String, Pointer)>,
+}
+
+impl<'a> Ctx<'a> {
+    fn emit(&mut self, path: &Pointer, kind: ValidationErrorKind, message: String) {
+        self.errors.push(ValidationError {
+            instance_path: path.clone(),
+            kind,
+            message,
+        });
+    }
+
+    /// Validates without recording errors; returns conformity.
+    fn probe(&mut self, schema: &Schema, value: &Value, path: &Pointer) -> bool {
+        let saved = std::mem::take(&mut self.errors);
+        self.check(schema, value, path);
+        let ok = self.errors.is_empty();
+        self.errors = saved;
+        ok
+    }
+
+    fn check(&mut self, schema: &Schema, value: &Value, path: &Pointer) {
+        match schema {
+            Schema::Any => {}
+            Schema::Never => self.emit(
+                path,
+                ValidationErrorKind::Never,
+                "schema 'false' accepts nothing".to_string(),
+            ),
+            Schema::Node(node) => self.check_node(node, value, path),
+        }
+    }
+
+    fn check_node(&mut self, node: &SchemaNode, value: &Value, path: &Pointer) {
+        // `$ref`: per draft-04/06, siblings of $ref are ignored.
+        if let Some(reference) = &node.reference {
+            self.check_ref(reference, value, path);
+            return;
+        }
+
+        self.check_general(node, value, path);
+        self.check_combinators(node, value, path);
+        match value {
+            Value::Str(s) => self.check_string(node, s, path),
+            Value::Num(_) => self.check_number(node, value, path),
+            Value::Arr(items) => self.check_array(node, items, path),
+            Value::Obj(_) => self.check_object(node, value, path),
+            _ => {}
+        }
+    }
+
+    fn check_ref(&mut self, reference: &str, value: &Value, path: &Pointer) {
+        let key = (reference.to_string(), path.clone());
+        if self.ref_stack.contains(&key) {
+            self.emit(
+                path,
+                ValidationErrorKind::RefCycle {
+                    reference: reference.to_string(),
+                },
+                format!("reference '{reference}' loops without consuming input"),
+            );
+            return;
+        }
+        match self.doc.resolve_ref(reference) {
+            Ok(target) => {
+                self.ref_stack.push(key);
+                self.check(&target, value, path);
+                self.ref_stack.pop();
+            }
+            Err(e) => self.emit(
+                path,
+                ValidationErrorKind::BadRef {
+                    reference: reference.to_string(),
+                },
+                e.to_string(),
+            ),
+        }
+    }
+
+    fn check_general(&mut self, node: &SchemaNode, value: &Value, path: &Pointer) {
+        if let Some(types) = &node.types {
+            let actual = value.kind();
+            if !types.iter().any(|t| t.subsumes(actual)) {
+                let names: Vec<&str> = types.iter().map(|t| t.name()).collect();
+                self.emit(
+                    path,
+                    ValidationErrorKind::Type,
+                    format!("expected {}, found {}", names.join(" or "), actual),
+                );
+            }
+        }
+        if let Some(options) = &node.enumeration {
+            if !options.iter().any(|o| o == value) {
+                self.emit(
+                    path,
+                    ValidationErrorKind::Enum,
+                    format!("{value} is not one of the permitted values"),
+                );
+            }
+        }
+        if let Some(expected) = &node.const_value {
+            if expected != value {
+                self.emit(
+                    path,
+                    ValidationErrorKind::Const,
+                    format!("expected {expected}, found {value}"),
+                );
+            }
+        }
+    }
+
+    fn check_combinators(&mut self, node: &SchemaNode, value: &Value, path: &Pointer) {
+        for (i, sub) in node.all_of.iter().enumerate() {
+            if !self.probe(sub, value, path) {
+                self.emit(
+                    path,
+                    ValidationErrorKind::AllOf,
+                    format!("does not satisfy allOf branch {i}"),
+                );
+            }
+        }
+        if !node.any_of.is_empty() {
+            let hit = node
+                .any_of
+                .iter()
+                .any(|sub| self.probe(sub, value, path));
+            if !hit {
+                self.emit(
+                    path,
+                    ValidationErrorKind::AnyOf,
+                    format!("matches none of the {} anyOf branches", node.any_of.len()),
+                );
+            }
+        }
+        if !node.one_of.is_empty() {
+            let matched = node
+                .one_of
+                .iter()
+                .filter(|sub| self.probe(sub, value, path))
+                .count();
+            if matched != 1 {
+                self.emit(
+                    path,
+                    ValidationErrorKind::OneOf { matched },
+                    format!("matches {matched} oneOf branches, expected exactly 1"),
+                );
+            }
+        }
+        if let Some(negated) = &node.not {
+            if self.probe(negated, value, path) {
+                self.emit(
+                    path,
+                    ValidationErrorKind::Not,
+                    "matches the negated schema".to_string(),
+                );
+            }
+        }
+        if let Some(condition) = &node.if_schema {
+            if self.probe(condition, value, path) {
+                if let Some(then_schema) = &node.then_schema {
+                    if !self.probe(then_schema, value, path) {
+                        self.emit(
+                            path,
+                            ValidationErrorKind::Conditional { then_branch: true },
+                            "matches 'if' but violates 'then'".to_string(),
+                        );
+                    }
+                }
+            } else if let Some(else_schema) = &node.else_schema {
+                if !self.probe(else_schema, value, path) {
+                    self.emit(
+                        path,
+                        ValidationErrorKind::Conditional { then_branch: false },
+                        "fails 'if' and violates 'else'".to_string(),
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_string(&mut self, node: &SchemaNode, s: &str, path: &Pointer) {
+        // Lengths count Unicode scalar values, not bytes, per spec.
+        let need_len = node.min_length.is_some() || node.max_length.is_some();
+        if need_len {
+            let len = s.chars().count() as u64;
+            if let Some(min) = node.min_length {
+                if len < min {
+                    self.emit(
+                        path,
+                        ValidationErrorKind::MinLength,
+                        format!("length {len} < minLength {min}"),
+                    );
+                }
+            }
+            if let Some(max) = node.max_length {
+                if len > max {
+                    self.emit(
+                        path,
+                        ValidationErrorKind::MaxLength,
+                        format!("length {len} > maxLength {max}"),
+                    );
+                }
+            }
+        }
+        if let Some(pattern) = &node.pattern {
+            if !pattern.regex.is_match(s) {
+                self.emit(
+                    path,
+                    ValidationErrorKind::Pattern,
+                    format!("does not match pattern '{}'", pattern.source),
+                );
+            }
+        }
+        if self.options.enforce_formats {
+            if let Some(format) = &node.format {
+                if !check_format(format, s) {
+                    self.emit(
+                        path,
+                        ValidationErrorKind::Format,
+                        format!("'{s}' is not a valid {format}"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_number(&mut self, node: &SchemaNode, value: &Value, path: &Pointer) {
+        let n = *value.as_number().expect("checked by caller");
+        if let Some(min) = node.minimum {
+            if n < min {
+                self.emit(
+                    path,
+                    ValidationErrorKind::Minimum,
+                    format!("{n} < minimum {min}"),
+                );
+            }
+        }
+        if let Some(max) = node.maximum {
+            if n > max {
+                self.emit(
+                    path,
+                    ValidationErrorKind::Maximum,
+                    format!("{n} > maximum {max}"),
+                );
+            }
+        }
+        if let Some(min) = node.exclusive_minimum {
+            if n <= min {
+                self.emit(
+                    path,
+                    ValidationErrorKind::ExclusiveMinimum,
+                    format!("{n} <= exclusiveMinimum {min}"),
+                );
+            }
+        }
+        if let Some(max) = node.exclusive_maximum {
+            if n >= max {
+                self.emit(
+                    path,
+                    ValidationErrorKind::ExclusiveMaximum,
+                    format!("{n} >= exclusiveMaximum {max}"),
+                );
+            }
+        }
+        if let Some(divisor) = node.multiple_of {
+            if !n.is_multiple_of(&divisor) {
+                self.emit(
+                    path,
+                    ValidationErrorKind::MultipleOf,
+                    format!("{n} is not a multiple of {divisor}"),
+                );
+            }
+        }
+    }
+
+    fn check_array(&mut self, node: &SchemaNode, items: &[Value], path: &Pointer) {
+        let len = items.len() as u64;
+        if let Some(min) = node.min_items {
+            if len < min {
+                self.emit(
+                    path,
+                    ValidationErrorKind::MinItems,
+                    format!("{len} items < minItems {min}"),
+                );
+            }
+        }
+        if let Some(max) = node.max_items {
+            if len > max {
+                self.emit(
+                    path,
+                    ValidationErrorKind::MaxItems,
+                    format!("{len} items > maxItems {max}"),
+                );
+            }
+        }
+        if node.unique_items && !all_unique(items) {
+            self.emit(
+                path,
+                ValidationErrorKind::UniqueItems,
+                "array items are not unique".to_string(),
+            );
+        }
+        match &node.items {
+            Some(Items::All(schema)) => {
+                for (i, item) in items.iter().enumerate() {
+                    let item_path = path.push_index(i);
+                    self.check(schema, item, &item_path);
+                }
+            }
+            Some(Items::Tuple(schemas)) => {
+                for (i, item) in items.iter().enumerate() {
+                    let item_path = path.push_index(i);
+                    match schemas.get(i) {
+                        Some(schema) => self.check(schema, item, &item_path),
+                        None => {
+                            if let Some(extra) = &node.additional_items {
+                                let before = self.errors.len();
+                                self.check(extra, item, &item_path);
+                                if self.errors.len() > before {
+                                    self.emit(
+                                        path,
+                                        ValidationErrorKind::AdditionalItems,
+                                        format!("item {i} violates additionalItems"),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            None => {}
+        }
+        if let Some(contains) = &node.contains {
+            let hit = items
+                .iter()
+                .enumerate()
+                .any(|(i, item)| self.probe(contains, item, &path.push_index(i)));
+            if !hit {
+                self.emit(
+                    path,
+                    ValidationErrorKind::Contains,
+                    "no element matches 'contains'".to_string(),
+                );
+            }
+        }
+    }
+
+    fn check_object(&mut self, node: &SchemaNode, value: &Value, path: &Pointer) {
+        let obj = value.as_object().expect("checked by caller");
+        let len = obj.len() as u64;
+        if let Some(min) = node.min_properties {
+            if len < min {
+                self.emit(
+                    path,
+                    ValidationErrorKind::MinProperties,
+                    format!("{len} properties < minProperties {min}"),
+                );
+            }
+        }
+        if let Some(max) = node.max_properties {
+            if len > max {
+                self.emit(
+                    path,
+                    ValidationErrorKind::MaxProperties,
+                    format!("{len} properties > maxProperties {max}"),
+                );
+            }
+        }
+        for required in &node.required {
+            if !obj.contains_key(required) {
+                self.emit(
+                    path,
+                    ValidationErrorKind::Required {
+                        missing: required.clone(),
+                    },
+                    format!("missing required property '{required}'"),
+                );
+            }
+        }
+        for (key, member) in obj.iter() {
+            let member_path = path.push_key(key);
+            let mut matched = false;
+            if let Some((_, schema)) = node.properties.iter().find(|(name, _)| name == key) {
+                matched = true;
+                self.check(schema, member, &member_path);
+            }
+            for (pattern, schema) in &node.pattern_properties {
+                if pattern.regex.is_match(key) {
+                    matched = true;
+                    self.check(schema, member, &member_path);
+                }
+            }
+            if !matched {
+                if let Some(additional) = &node.additional_properties {
+                    let before = self.errors.len();
+                    self.check(additional, member, &member_path);
+                    if self.errors.len() > before {
+                        // Make the offending key visible at the object level
+                        // too (matches the error shape real validators emit).
+                        self.emit(
+                            path,
+                            ValidationErrorKind::AdditionalProperties { key: key.to_string() },
+                            format!("property '{key}' violates additionalProperties"),
+                        );
+                    }
+                }
+            }
+            if let Some(name_schema) = &node.property_names {
+                if !self.probe(name_schema, &Value::Str(key.to_string()), &member_path) {
+                    self.emit(
+                        path,
+                        ValidationErrorKind::PropertyNames { key: key.to_string() },
+                        format!("property name '{key}' violates propertyNames"),
+                    );
+                }
+            }
+        }
+        for (trigger, dep) in &node.dependencies {
+            if !obj.contains_key(trigger) {
+                continue;
+            }
+            match dep {
+                Dependency::Keys(keys) => {
+                    for needed in keys {
+                        if !obj.contains_key(needed) {
+                            self.emit(
+                                path,
+                                ValidationErrorKind::Dependencies {
+                                    key: trigger.clone(),
+                                },
+                                format!("'{trigger}' requires '{needed}' to be present"),
+                            );
+                        }
+                    }
+                }
+                Dependency::Schema(schema) => {
+                    if !self.probe(schema, value, path) {
+                        self.emit(
+                            path,
+                            ValidationErrorKind::Dependencies {
+                                key: trigger.clone(),
+                            },
+                            format!("object violates the schema dependency of '{trigger}'"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: compile + validate in one call (for one-shot use; prefer
+/// [`CompiledSchema`] when validating many instances).
+pub fn validate_document(
+    schema_doc: &Value,
+    instance: &Value,
+) -> Result<Result<(), Vec<ValidationError>>, crate::SchemaError> {
+    let compiled = CompiledSchema::compile(schema_doc)?;
+    Ok(compiled.validate(instance))
+}
+
+// Integration-grade tests for the validator live in `tests/validator.rs`;
+// the unit tests here pin the subtle corners.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    fn compile(doc: Value) -> CompiledSchema {
+        CompiledSchema::compile(&doc).unwrap()
+    }
+
+    #[test]
+    fn integer_number_subsumption() {
+        let s = compile(json!({"type": "number"}));
+        assert!(s.is_valid(&json!(3)));
+        assert!(s.is_valid(&json!(3.5)));
+        let s = compile(json!({"type": "integer"}));
+        assert!(s.is_valid(&json!(3)));
+        assert!(s.is_valid(&json!(3.0))); // integral float is an integer
+        assert!(!s.is_valid(&json!(3.5)));
+    }
+
+    #[test]
+    fn negation_types() {
+        let s = compile(json!({"not": {"type": "string"}}));
+        assert!(s.is_valid(&json!(1)));
+        assert!(!s.is_valid(&json!("s")));
+        // Double negation.
+        let s = compile(json!({"not": {"not": {"type": "string"}}}));
+        assert!(s.is_valid(&json!("s")));
+        assert!(!s.is_valid(&json!(1)));
+    }
+
+    #[test]
+    fn one_of_counts_matches() {
+        let s = compile(json!({"oneOf": [
+            {"type": "integer"},
+            {"minimum": 5}
+        ]}));
+        assert!(s.is_valid(&json!(3))); // integer only
+        assert!(s.is_valid(&json!(5.5))); // minimum only
+        assert!(!s.is_valid(&json!(7))); // both → fails
+        let err = s.validate(&json!(7)).unwrap_err();
+        assert!(matches!(
+            err[0].kind,
+            ValidationErrorKind::OneOf { matched: 2 }
+        ));
+    }
+
+    #[test]
+    fn ref_cycle_detected() {
+        let s = compile(json!({"$ref": "#"}));
+        let err = s.validate(&json!(1)).unwrap_err();
+        assert!(matches!(err[0].kind, ValidationErrorKind::RefCycle { .. }));
+    }
+
+    #[test]
+    fn guarded_recursion_works() {
+        // A recursive tree schema: recursion consumes input, so no cycle.
+        let s = compile(json!({
+            "definitions": {
+                "tree": {
+                    "type": "object",
+                    "properties": {
+                        "value": {"type": "integer"},
+                        "children": {"type": "array", "items": {"$ref": "#/definitions/tree"}}
+                    },
+                    "required": ["value"]
+                }
+            },
+            "$ref": "#/definitions/tree"
+        }));
+        let ok = json!({"value": 1, "children": [
+            {"value": 2, "children": []},
+            {"value": 3, "children": [{"value": 4, "children": []}]}
+        ]});
+        assert!(s.is_valid(&ok));
+        let bad = json!({"value": 1, "children": [{"children": []}]});
+        let errs = s.validate(&bad).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.instance_path.to_string() == "/children/0"));
+    }
+
+    #[test]
+    fn error_paths_point_into_instance() {
+        let s = compile(json!({
+            "type": "object",
+            "properties": {"xs": {"type": "array", "items": {"type": "integer"}}}
+        }));
+        let errs = s.validate(&json!({"xs": [1, "two", 3]})).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].instance_path.to_string(), "/xs/1");
+    }
+
+    #[test]
+    fn formats_are_annotations_unless_enforced() {
+        let s = compile(json!({"format": "date"}));
+        assert!(s.is_valid(&json!("not a date")));
+        let opts = ValidatorOptions {
+            enforce_formats: true,
+        };
+        assert!(s.validate_with(&json!("not a date"), opts).is_err());
+        assert!(s.validate_with(&json!("2019-03-26"), opts).is_ok());
+    }
+
+    #[test]
+    fn multiple_errors_collected() {
+        let s = compile(json!({
+            "type": "object",
+            "properties": {"a": {"type": "integer"}, "b": {"type": "string"}},
+            "required": ["a", "b", "c"]
+        }));
+        let errs = s.validate(&json!({"a": "x", "b": 1})).unwrap_err();
+        assert_eq!(errs.len(), 3); // a wrong, b wrong, c missing
+    }
+
+    #[test]
+    fn validate_document_convenience() {
+        let ok = validate_document(&json!({"type": "null"}), &json!(null)).unwrap();
+        assert!(ok.is_ok());
+        assert!(validate_document(&json!(3), &json!(null)).is_err());
+    }
+}

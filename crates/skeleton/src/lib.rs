@@ -1,0 +1,27 @@
+//! # jsonx-skeleton
+//!
+//! Skeleton schemas, after Wang et al., *Schema Management for Document
+//! Stores* (VLDB 2015), which the tutorial surveys in §2: "a skeleton is a
+//! collection of trees describing structures that frequently appear in the
+//! objects of a JSON data collection. In particular, the skeleton may
+//! totally miss information about paths that can be traversed in some of
+//! the JSON objects."
+//!
+//! The pipeline:
+//!
+//! 1. every document is canonicalised into its [`StructTree`] (field
+//!    names and nesting only — values dropped, array elements merged);
+//! 2. distinct structures are counted ([`mine`](Skeleton::mine));
+//! 3. the skeleton keeps the most frequent structures until a target
+//!    *coverage* of the collection is reached — rare structures (and any
+//!    path unique to them) are deliberately dropped.
+//!
+//! [`Skeleton::contains_path`] answers the workload the original system
+//! targets — "does this path exist in (most of) the data?" — and the E8
+//! experiment measures the precision/size trade-off as coverage varies.
+
+pub mod mine;
+pub mod tree;
+
+pub use mine::{Skeleton, SkeletonStats};
+pub use tree::StructTree;

@@ -1,0 +1,179 @@
+//! Canonical structure trees.
+
+use jsonx_data::{LabelPath, LabelStep, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The *structure* of a JSON value: field names and nesting with values
+/// erased. Array elements are merged into a single child describing the
+/// union of their structures, and object fields are kept sorted, so two
+/// documents with the same shape canonicalise to the same tree.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StructTree {
+    /// Any scalar (null/bool/number/string).
+    Leaf,
+    /// An array; the child is the merged structure of all elements
+    /// (`None` for arrays observed only empty).
+    Array(Option<Box<StructTree>>),
+    /// An object with sorted, named children.
+    Object(Vec<(String, StructTree)>),
+}
+
+impl StructTree {
+    /// Extracts the structure of a value.
+    pub fn of(value: &Value) -> StructTree {
+        match value {
+            Value::Arr(items) => {
+                let merged = items
+                    .iter()
+                    .map(StructTree::of)
+                    .reduce(|a, b| a.merge(b))
+                    .map(Box::new);
+                StructTree::Array(merged)
+            }
+            Value::Obj(obj) => {
+                let mut children: Vec<(String, StructTree)> = obj
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), StructTree::of(v)))
+                    .collect();
+                children.sort_by(|(a, _), (b, _)| a.cmp(b));
+                StructTree::Object(children)
+            }
+            _ => StructTree::Leaf,
+        }
+    }
+
+    /// Structural merge: union of fields, recursive on shared ones.
+    /// Mixed shapes collapse to the "wider" structure (object > array >
+    /// leaf) — skeletons track structure frequency, not type unions.
+    pub fn merge(self, other: StructTree) -> StructTree {
+        match (self, other) {
+            (StructTree::Leaf, t) | (t, StructTree::Leaf) => t,
+            (StructTree::Array(a), StructTree::Array(b)) => match (a, b) {
+                (Some(x), Some(y)) => StructTree::Array(Some(Box::new(x.merge(*y)))),
+                (Some(x), None) | (None, Some(x)) => StructTree::Array(Some(x)),
+                (None, None) => StructTree::Array(None),
+            },
+            (StructTree::Object(xs), StructTree::Object(ys)) => {
+                let mut out: Vec<(String, StructTree)> = Vec::new();
+                let mut xi = xs.into_iter().peekable();
+                let mut yi = ys.into_iter().peekable();
+                loop {
+                    match (xi.peek(), yi.peek()) {
+                        (Some((xn, _)), Some((yn, _))) => {
+                            if xn == yn {
+                                let (name, xt) = xi.next().expect("peeked");
+                                let (_, yt) = yi.next().expect("peeked");
+                                out.push((name, xt.merge(yt)));
+                            } else if xn < yn {
+                                out.push(xi.next().expect("peeked"));
+                            } else {
+                                out.push(yi.next().expect("peeked"));
+                            }
+                        }
+                        (Some(_), None) => out.push(xi.next().expect("peeked")),
+                        (None, Some(_)) => out.push(yi.next().expect("peeked")),
+                        (None, None) => break,
+                    }
+                }
+                StructTree::Object(out)
+            }
+            (StructTree::Object(xs), StructTree::Array(_))
+            | (StructTree::Array(_), StructTree::Object(xs)) => StructTree::Object(xs),
+        }
+    }
+
+    /// All label paths present in this structure.
+    pub fn paths(&self) -> BTreeSet<LabelPath> {
+        let mut out = BTreeSet::new();
+        self.collect(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect(&self, prefix: &mut Vec<LabelStep>, out: &mut BTreeSet<LabelPath>) {
+        match self {
+            StructTree::Leaf => {}
+            StructTree::Array(child) => {
+                if let Some(child) = child {
+                    prefix.push(LabelStep::AnyItem);
+                    out.insert(LabelPath(prefix.clone()));
+                    child.collect(prefix, out);
+                    prefix.pop();
+                }
+            }
+            StructTree::Object(children) => {
+                for (name, child) in children {
+                    prefix.push(LabelStep::Field(name.clone()));
+                    out.insert(LabelPath(prefix.clone()));
+                    child.collect(prefix, out);
+                    prefix.pop();
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (skeleton size metric).
+    pub fn size(&self) -> usize {
+        match self {
+            StructTree::Leaf => 1,
+            StructTree::Array(child) => 1 + child.as_ref().map_or(0, |c| c.size()),
+            StructTree::Object(children) => {
+                1 + children.iter().map(|(_, c)| c.size()).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for StructTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructTree::Leaf => write!(f, "·"),
+            StructTree::Array(None) => write!(f, "[]"),
+            StructTree::Array(Some(child)) => write!(f, "[{child}]"),
+            StructTree::Object(children) => {
+                write!(f, "{{")?;
+                for (i, (name, child)) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{name}:{child}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    #[test]
+    fn values_are_erased() {
+        let a = StructTree::of(&json!({"x": 1, "y": "s"}));
+        let b = StructTree::of(&json!({"y": null, "x": true}));
+        assert_eq!(a, b); // same structure, different values and order
+    }
+
+    #[test]
+    fn array_elements_merge() {
+        let t = StructTree::of(&json!([{"a": 1}, {"b": 2}]));
+        assert_eq!(t.to_string(), "[{a:·,b:·}]");
+        let empty = StructTree::of(&json!([]));
+        assert_eq!(empty.to_string(), "[]");
+    }
+
+    #[test]
+    fn paths_enumeration() {
+        let t = StructTree::of(&json!({"u": {"n": 1}, "tags": ["a"]}));
+        let paths: Vec<String> = t.paths().iter().map(|p| p.display()).collect();
+        assert_eq!(paths, vec!["tags", "tags[]", "u", "u.n"]);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(StructTree::of(&json!(1)).size(), 1);
+        assert_eq!(StructTree::of(&json!({"a": [1]})).size(), 3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Parse errors with byte-precise positions.
+
+use std::fmt;
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended inside a value.
+    UnexpectedEof,
+    /// A byte that cannot start or continue any token.
+    UnexpectedByte(u8),
+    /// A token that is valid JSON but not valid *here* (e.g. `,` after `[`).
+    UnexpectedToken(&'static str),
+    /// Malformed number literal (leading zero, bare `-`, `1.`, `1e`, …).
+    BadNumber,
+    /// A number literal that parses but is not finite in `f64`.
+    NumberOutOfRange,
+    /// Malformed `\`-escape inside a string.
+    BadEscape,
+    /// `\uXXXX` with invalid hex digits.
+    BadUnicodeEscape,
+    /// A lone or mismatched UTF-16 surrogate in `\u` escapes.
+    LoneSurrogate,
+    /// Raw control character (U+0000..U+001F) inside a string.
+    ControlCharacterInString,
+    /// Input is not valid UTF-8.
+    InvalidUtf8,
+    /// Nesting exceeded [`ParserOptions::max_depth`](crate::ParserOptions).
+    TooDeep,
+    /// Valid value followed by non-whitespace garbage.
+    TrailingData,
+    /// A keyword prefix that is not `true`/`false`/`null`.
+    BadKeyword,
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseErrorKind::UnexpectedByte(b) => {
+                if b.is_ascii_graphic() {
+                    write!(f, "unexpected character '{}'", *b as char)
+                } else {
+                    write!(f, "unexpected byte 0x{b:02x}")
+                }
+            }
+            ParseErrorKind::UnexpectedToken(tok) => write!(f, "unexpected token {tok}"),
+            ParseErrorKind::BadNumber => write!(f, "malformed number literal"),
+            ParseErrorKind::NumberOutOfRange => write!(f, "number out of representable range"),
+            ParseErrorKind::BadEscape => write!(f, "invalid escape sequence"),
+            ParseErrorKind::BadUnicodeEscape => write!(f, "invalid \\u escape"),
+            ParseErrorKind::LoneSurrogate => write!(f, "lone UTF-16 surrogate in \\u escape"),
+            ParseErrorKind::ControlCharacterInString => {
+                write!(f, "raw control character inside string")
+            }
+            ParseErrorKind::InvalidUtf8 => write!(f, "input is not valid UTF-8"),
+            ParseErrorKind::TooDeep => write!(f, "nesting depth limit exceeded"),
+            ParseErrorKind::TrailingData => write!(f, "trailing data after JSON value"),
+            ParseErrorKind::BadKeyword => write!(f, "invalid keyword (expected true/false/null)"),
+        }
+    }
+}
+
+/// A parse error at a byte offset, with derived line/column (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (in bytes from the line start).
+    pub column: usize,
+}
+
+impl ParseError {
+    /// Builds an error, computing line/column from the input.
+    pub fn at(kind: ParseErrorKind, input: &[u8], offset: usize) -> Self {
+        let clamped = offset.min(input.len());
+        let mut line = 1;
+        let mut line_start = 0;
+        for (i, &b) in input[..clamped].iter().enumerate() {
+            if b == b'\n' {
+                line += 1;
+                line_start = i + 1;
+            }
+        }
+        ParseError {
+            kind,
+            offset,
+            line,
+            column: clamped - line_start + 1,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at line {}, column {} (byte {})",
+            self.kind, self.line, self.column, self.offset
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_are_one_based() {
+        let input = b"{\n  \"a\": x";
+        let err = ParseError::at(ParseErrorKind::UnexpectedByte(b'x'), input, 9);
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, 8);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn offset_past_end_is_clamped() {
+        let err = ParseError::at(ParseErrorKind::UnexpectedEof, b"ab", 99);
+        assert_eq!(err.line, 1);
+        assert_eq!(err.column, 3);
+    }
+}

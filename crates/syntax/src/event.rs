@@ -1,0 +1,384 @@
+//! Streaming (pull) event parser.
+//!
+//! The schema-inference tools the tutorial surveys (mongodb-schema, the
+//! distributed map/reduce inferrers) process collections too large to hold
+//! as DOMs. [`EventParser`] yields a well-formed event stream without
+//! building a tree: object/array boundaries, keys, and scalar values, with
+//! the same validation guarantees as the DOM parser.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::lexer::{Lexer, Token};
+use jsonx_data::Number;
+
+/// One event of the streaming parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    StartObject,
+    EndObject,
+    StartArray,
+    EndArray,
+    /// An object member key (always followed by that member's value events).
+    Key(String),
+    Null,
+    Bool(bool),
+    Num(Number),
+    Str(String),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Frame {
+    /// Inside an array; `expect_comma` when an element has been produced.
+    Array { expect_comma: bool },
+    /// Inside an object; `expect_comma` when a member has been produced.
+    Object { expect_comma: bool },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    /// Expecting the top-level value.
+    Start,
+    /// Expecting any value (after `[`, `,` in array, or `:`).
+    Value,
+    /// Between events: consult the stack.
+    Next,
+    /// Completed the top-level value.
+    Done,
+}
+
+/// A pull parser: call [`EventParser::next_event`] until it returns
+/// `Ok(None)`.
+pub struct EventParser<'a> {
+    lexer: Lexer<'a>,
+    stack: Vec<Frame>,
+    state: State,
+    max_depth: usize,
+}
+
+impl<'a> EventParser<'a> {
+    /// Creates an event parser over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        EventParser {
+            lexer: Lexer::new(input),
+            stack: Vec::new(),
+            state: State::Start,
+            max_depth: 128,
+        }
+    }
+
+    /// Overrides the nesting limit.
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError::at(kind, self.lexer.input(), self.lexer.offset())
+    }
+
+    /// Pulls the next event; `Ok(None)` signals a complete, valid document.
+    pub fn next_event(&mut self) -> Result<Option<Event>, ParseError> {
+        loop {
+            match self.state {
+                State::Done => {
+                    self.lexer.skip_ws();
+                    let tok = self.lexer.next_token()?;
+                    return if tok == Token::Eof {
+                        Ok(None)
+                    } else {
+                        Err(self.err(ParseErrorKind::TrailingData))
+                    };
+                }
+                State::Start | State::Value => {
+                    let tok = self.lexer.next_token()?;
+                    return self.value_event(tok).map(Some);
+                }
+                State::Next => {
+                    if let Some(ev) = self.advance()? {
+                        return Ok(Some(ev));
+                    }
+                    // `advance` changed state without an event; loop.
+                }
+            }
+        }
+    }
+
+    /// Handles a token in value position.
+    fn value_event(&mut self, tok: Token) -> Result<Event, ParseError> {
+        let ev = match tok {
+            Token::Null => Event::Null,
+            Token::True => Event::Bool(true),
+            Token::False => Event::Bool(false),
+            Token::Num(n) => Event::Num(n),
+            Token::Str(s) => Event::Str(s),
+            Token::LBracket => {
+                self.push(Frame::Array { expect_comma: false })?;
+                self.state = State::Next;
+                return Ok(Event::StartArray);
+            }
+            Token::LBrace => {
+                self.push(Frame::Object { expect_comma: false })?;
+                self.state = State::Next;
+                return Ok(Event::StartObject);
+            }
+            Token::RBracket if self.in_fresh_array() => {
+                self.stack.pop();
+                self.after_close();
+                return Ok(Event::EndArray);
+            }
+            Token::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            other => return Err(self.err(ParseErrorKind::UnexpectedToken(other.name()))),
+        };
+        self.after_scalar();
+        Ok(ev)
+    }
+
+    fn in_fresh_array(&self) -> bool {
+        matches!(
+            self.stack.last(),
+            Some(Frame::Array { expect_comma: false })
+        ) && self.state == State::Value
+    }
+
+    fn push(&mut self, frame: Frame) -> Result<(), ParseError> {
+        if self.stack.len() >= self.max_depth {
+            return Err(self.err(ParseErrorKind::TooDeep));
+        }
+        self.stack.push(frame);
+        Ok(())
+    }
+
+    fn after_scalar(&mut self) {
+        if self.stack.is_empty() {
+            self.state = State::Done;
+        } else {
+            self.mark_member_done();
+            self.state = State::Next;
+        }
+    }
+
+    fn after_close(&mut self) {
+        if self.stack.is_empty() {
+            self.state = State::Done;
+        } else {
+            self.mark_member_done();
+            self.state = State::Next;
+        }
+    }
+
+    fn mark_member_done(&mut self) {
+        match self.stack.last_mut() {
+            Some(Frame::Array { expect_comma }) | Some(Frame::Object { expect_comma }) => {
+                *expect_comma = true;
+            }
+            None => {}
+        }
+    }
+
+    /// Consumes separators/closers between members. Returns an event only
+    /// for container closes.
+    fn advance(&mut self) -> Result<Option<Event>, ParseError> {
+        let frame = *self.stack.last().expect("advance only runs inside containers");
+        let tok = self.lexer.next_token()?;
+        match frame {
+            Frame::Array { expect_comma } => match tok {
+                Token::RBracket => {
+                    self.stack.pop();
+                    self.after_close();
+                    Ok(Some(Event::EndArray))
+                }
+                Token::Comma if expect_comma => {
+                    self.state = State::Value;
+                    Ok(None)
+                }
+                _ if !expect_comma => {
+                    // First element: the token *is* the value.
+                    self.state = State::Value;
+                    self.value_event(tok).map(Some)
+                }
+                Token::Eof => Err(self.err(ParseErrorKind::UnexpectedEof)),
+                other => Err(self.err(ParseErrorKind::UnexpectedToken(other.name()))),
+            },
+            Frame::Object { expect_comma } => {
+                let key_tok = match tok {
+                    Token::RBrace => {
+                        self.stack.pop();
+                        self.after_close();
+                        return Ok(Some(Event::EndObject));
+                    }
+                    Token::Comma if expect_comma => self.lexer.next_token()?,
+                    t if !expect_comma => t,
+                    Token::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                    other => {
+                        return Err(self.err(ParseErrorKind::UnexpectedToken(other.name())))
+                    }
+                };
+                let key = match key_tok {
+                    Token::Str(s) => s,
+                    Token::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                    other => {
+                        return Err(self.err(ParseErrorKind::UnexpectedToken(other.name())))
+                    }
+                };
+                match self.lexer.next_token()? {
+                    Token::Colon => {}
+                    Token::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                    other => {
+                        return Err(self.err(ParseErrorKind::UnexpectedToken(other.name())))
+                    }
+                }
+                self.state = State::Value;
+                Ok(Some(Event::Key(key)))
+            }
+        }
+    }
+
+    /// Drains the remaining events, checking well-formedness.
+    pub fn finish(mut self) -> Result<(), ParseError> {
+        while self.next_event()?.is_some() {}
+        Ok(())
+    }
+}
+
+impl<'a> Iterator for EventParser<'a> {
+    type Item = Result<Event, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_event() {
+            Ok(Some(ev)) => Some(Ok(ev)),
+            Ok(None) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(s: &str) -> Result<Vec<Event>, ParseError> {
+        EventParser::new(s.as_bytes()).collect()
+    }
+
+    #[test]
+    fn scalar_document() {
+        assert_eq!(events("42").unwrap(), vec![Event::Num(Number::Int(42))]);
+    }
+
+    #[test]
+    fn object_stream() {
+        use Event::*;
+        assert_eq!(
+            events(r#"{"a": 1, "b": [true, null]}"#).unwrap(),
+            vec![
+                StartObject,
+                Key("a".into()),
+                Num(Number::Int(1)),
+                Key("b".into()),
+                StartArray,
+                Bool(true),
+                Null,
+                EndArray,
+                EndObject
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        use Event::*;
+        assert_eq!(events("[]").unwrap(), vec![StartArray, EndArray]);
+        assert_eq!(events("{}").unwrap(), vec![StartObject, EndObject]);
+        assert_eq!(
+            events("[{}]").unwrap(),
+            vec![StartArray, StartObject, EndObject, EndArray]
+        );
+    }
+
+    #[test]
+    fn nested_arrays() {
+        use Event::*;
+        assert_eq!(
+            events("[[1],[2]]").unwrap(),
+            vec![
+                StartArray,
+                StartArray,
+                Num(Number::Int(1)),
+                EndArray,
+                StartArray,
+                Num(Number::Int(2)),
+                EndArray,
+                EndArray
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_streams_error() {
+        for bad in ["[1,", "{\"a\"}", "[1,]", "{", "{\"a\":1,}", "1 2", "[}"] {
+            assert!(events(bad).is_err(), "expected {bad:?} to fail");
+        }
+    }
+
+    #[test]
+    fn agrees_with_dom_parser() {
+        let doc = r#"{"users":[{"id":1,"tags":["a"]},{"id":2,"tags":[]}],"total":2}"#;
+        // Rebuild a value from events and compare with the DOM parse.
+        let dom = crate::parser::parse(doc).unwrap();
+        let mut stack: Vec<jsonx_data::Value> = Vec::new();
+        let mut keys: Vec<Option<String>> = Vec::new();
+        let mut pending_key: Option<String> = None;
+        let mut result = None;
+        for ev in events(doc).unwrap() {
+            use jsonx_data::{Object, Value};
+            let done = |v: Value,
+                        stack: &mut Vec<Value>,
+                        pending_key: &mut Option<String>,
+                        result: &mut Option<Value>| {
+                if let Some(top) = stack.last_mut() {
+                    match top {
+                        Value::Arr(items) => items.push(v),
+                        Value::Obj(o) => {
+                            o.insert(pending_key.take().expect("key before value"), v);
+                        }
+                        _ => unreachable!(),
+                    }
+                } else {
+                    *result = Some(v);
+                }
+            };
+            match ev {
+                Event::StartObject => {
+                    stack.push(Value::Obj(Object::new()));
+                    keys.push(pending_key.take());
+                }
+                Event::StartArray => {
+                    stack.push(Value::Arr(vec![]));
+                    keys.push(pending_key.take());
+                }
+                Event::EndObject | Event::EndArray => {
+                    let v = stack.pop().unwrap();
+                    pending_key = keys.pop().unwrap();
+                    done(v, &mut stack, &mut pending_key, &mut result);
+                }
+                Event::Key(k) => pending_key = Some(k),
+                Event::Null => done(Value::Null, &mut stack, &mut pending_key, &mut result),
+                Event::Bool(b) => done(Value::Bool(b), &mut stack, &mut pending_key, &mut result),
+                Event::Num(n) => done(Value::Num(n), &mut stack, &mut pending_key, &mut result),
+                Event::Str(s) => done(Value::Str(s), &mut stack, &mut pending_key, &mut result),
+            }
+        }
+        assert_eq!(result.unwrap(), dom);
+    }
+
+    #[test]
+    fn depth_limit() {
+        let deep = "[".repeat(10) + &"]".repeat(10);
+        let p = EventParser::new(deep.as_bytes()).with_max_depth(5);
+        assert!(p.collect::<Result<Vec<_>, _>>().is_err());
+    }
+}

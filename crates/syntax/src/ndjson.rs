@@ -1,0 +1,69 @@
+//! Newline-delimited JSON collections.
+//!
+//! Every dataset in this workspace — the generated GitHub/Twitter/NYTimes
+//! corpora, the inference inputs, the Mison workloads — is a *collection* of
+//! JSON documents, stored one per line (the NDJSON convention that both
+//! Spark and the massive-inference papers assume).
+
+use crate::error::ParseError;
+use crate::parser::{parse_with, ParserOptions};
+use crate::serializer::to_string;
+use jsonx_data::Value;
+
+/// Parses an NDJSON text into a vector of documents.
+///
+/// Blank lines are skipped. The returned error carries the 0-based line
+/// index of the offending record alongside the inner parse error.
+pub fn parse_ndjson(text: &str) -> Result<Vec<Value>, (usize, ParseError)> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_with(line.as_bytes(), ParserOptions::default()).map_err(|e| (idx, e))?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Serializes a collection as NDJSON (one compact document per line, with a
+/// trailing newline when non-empty).
+pub fn write_ndjson(docs: &[Value]) -> String {
+    let mut out = String::new();
+    for doc in docs {
+        out.push_str(&to_string(doc));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    #[test]
+    fn round_trip() {
+        let docs = vec![json!({"a": 1}), json!([true, null]), json!("s")];
+        let text = write_ndjson(&docs);
+        assert_eq!(parse_ndjson(&text).unwrap(), docs);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let docs = parse_ndjson("{\"a\":1}\n\n  \n{\"b\":2}\n").unwrap();
+        assert_eq!(docs.len(), 2);
+    }
+
+    #[test]
+    fn error_carries_line_index() {
+        let err = parse_ndjson("{\"a\":1}\n{bad}\n").unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parse_ndjson("").unwrap().is_empty());
+        assert_eq!(write_ndjson(&[]), "");
+    }
+}

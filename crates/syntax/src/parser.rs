@@ -1,0 +1,208 @@
+//! Recursive-descent DOM parser.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::lexer::{Lexer, Token};
+use jsonx_data::{Object, Value};
+
+/// Parser configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParserOptions {
+    /// Maximum nesting depth of arrays/objects (guards against stack
+    /// exhaustion on adversarial inputs).
+    pub max_depth: usize,
+    /// When `false` (default), non-whitespace after the value is an error.
+    pub allow_trailing: bool,
+}
+
+impl Default for ParserOptions {
+    fn default() -> Self {
+        ParserOptions {
+            max_depth: 128,
+            allow_trailing: false,
+        }
+    }
+}
+
+/// Parses a complete JSON document from text.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    parse_bytes(text.as_bytes())
+}
+
+/// Parses a complete JSON document from bytes.
+pub fn parse_bytes(bytes: &[u8]) -> Result<Value, ParseError> {
+    parse_with(bytes, ParserOptions::default())
+}
+
+/// Parses with explicit [`ParserOptions`]. Returns the value and, when
+/// `allow_trailing` is set, ignores anything after it.
+pub fn parse_with(bytes: &[u8], opts: ParserOptions) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        lexer: Lexer::new(bytes),
+        opts,
+    };
+    let tok = p.lexer.next_token()?;
+    let value = p.parse_value(tok, 0)?;
+    if !opts.allow_trailing {
+        p.lexer.skip_ws();
+        if p.lexer.offset() != bytes.len() {
+            return Err(ParseError::at(
+                ParseErrorKind::TrailingData,
+                bytes,
+                p.lexer.offset(),
+            ));
+        }
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    opts: ParserOptions,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError::at(kind, self.lexer.input(), self.lexer.offset())
+    }
+
+    fn parse_value(&mut self, tok: Token, depth: usize) -> Result<Value, ParseError> {
+        match tok {
+            Token::Null => Ok(Value::Null),
+            Token::True => Ok(Value::Bool(true)),
+            Token::False => Ok(Value::Bool(false)),
+            Token::Num(n) => Ok(Value::Num(n)),
+            Token::Str(s) => Ok(Value::Str(s)),
+            Token::LBracket => self.parse_array(depth + 1),
+            Token::LBrace => self.parse_object(depth + 1),
+            Token::Eof => Err(self.err(ParseErrorKind::UnexpectedEof)),
+            other => Err(self.err(ParseErrorKind::UnexpectedToken(other.name()))),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > self.opts.max_depth {
+            return Err(self.err(ParseErrorKind::TooDeep));
+        }
+        let mut items = Vec::new();
+        let mut tok = self.lexer.next_token()?;
+        if tok == Token::RBracket {
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value(tok, depth)?);
+            match self.lexer.next_token()? {
+                Token::Comma => tok = self.lexer.next_token()?,
+                Token::RBracket => return Ok(Value::Arr(items)),
+                Token::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                other => return Err(self.err(ParseErrorKind::UnexpectedToken(other.name()))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > self.opts.max_depth {
+            return Err(self.err(ParseErrorKind::TooDeep));
+        }
+        let mut obj = Object::new();
+        let mut tok = self.lexer.next_token()?;
+        if tok == Token::RBrace {
+            return Ok(Value::Obj(obj));
+        }
+        loop {
+            let key = match tok {
+                Token::Str(s) => s,
+                Token::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                other => return Err(self.err(ParseErrorKind::UnexpectedToken(other.name()))),
+            };
+            match self.lexer.next_token()? {
+                Token::Colon => {}
+                Token::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                other => return Err(self.err(ParseErrorKind::UnexpectedToken(other.name()))),
+            }
+            let vtok = self.lexer.next_token()?;
+            let value = self.parse_value(vtok, depth)?;
+            obj.insert(key, value);
+            match self.lexer.next_token()? {
+                Token::Comma => tok = self.lexer.next_token()?,
+                Token::RBrace => return Ok(Value::Obj(obj)),
+                Token::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                other => return Err(self.err(ParseErrorKind::UnexpectedToken(other.name()))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("-3").unwrap(), Value::from(-3));
+        assert_eq!(parse("\"s\"").unwrap(), Value::from("s"));
+    }
+
+    #[test]
+    fn composites() {
+        let v = parse(r#"{"a": [1, {"b": null}], "c": false}"#).unwrap();
+        assert_eq!(v, json!({"a": [1, {"b": null}], "c": false}));
+    }
+
+    #[test]
+    fn empty_composites() {
+        assert_eq!(parse("[]").unwrap(), Value::Arr(vec![]));
+        assert_eq!(parse("{}").unwrap(), json!({}));
+        assert_eq!(parse("[[]]").unwrap(), json!([[]]));
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = parse(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(v.get("k"), Some(&Value::from(2)));
+        assert_eq!(v.as_object().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn syntax_errors() {
+        for bad in [
+            "", "[1,]", "{,}", "[1 2]", "{\"a\" 1}", "{\"a\":}", "{1:2}", "[",
+            "{\"a\":1,}", "]", ",", "[1]]",
+        ] {
+            assert!(parse(bad).is_err(), "expected {bad:?} to fail");
+        }
+    }
+
+    #[test]
+    fn trailing_data_policy() {
+        assert!(parse("1 2").is_err());
+        let opts = ParserOptions {
+            allow_trailing: true,
+            ..Default::default()
+        };
+        assert_eq!(parse_with(b"1 2", opts).unwrap(), Value::from(1));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = parse(&deep).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::TooDeep);
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn whitespace_everywhere() {
+        let v = parse(" \t\r\n{ \"a\" : [ 1 , 2 ] } \n").unwrap();
+        assert_eq!(v, json!({"a": [1, 2]}));
+    }
+
+    #[test]
+    fn error_position_is_meaningful() {
+        let err = parse("{\"a\": @}").unwrap_err();
+        assert_eq!(err.offset, 6);
+    }
+}

@@ -1,0 +1,510 @@
+//! An Avro-flavoured binary row codec.
+//!
+//! Implements the core of Avro's binary encoding against a writer schema
+//! derived from an inferred type: zig-zag varint integers, IEEE-754
+//! little-endian doubles, length-prefixed UTF-8 strings, arrays as counted
+//! blocks, records as field concatenation in schema order, and unions as a
+//! varint branch index followed by the branch encoding. Optional record
+//! fields become `union { null, T }`, exactly how Avro models missing
+//! values.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use jsonx_core::JType;
+use jsonx_data::{Number, Object, Value};
+use std::fmt;
+
+/// The Avro-style writer schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AvroSchema {
+    Null,
+    Boolean,
+    Long,
+    Double,
+    Str,
+    /// Array of one item schema.
+    Array(Box<AvroSchema>),
+    /// Record fields in declaration order.
+    Record(Vec<AvroField>),
+    /// Union branches (index-encoded).
+    Union(Vec<AvroSchema>),
+}
+
+/// One record field of an [`AvroSchema::Record`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvroField {
+    /// Field name.
+    pub name: String,
+    /// Field schema (already nullable when the field is optional).
+    pub schema: AvroSchema,
+    /// True when the `null` branch was introduced *only* to encode field
+    /// absence: decoding a null restores an absent field. When the data
+    /// itself contained nulls this is false and nulls decode as nulls
+    /// (absence becomes an explicit null — the lossy corner Avro itself
+    /// has).
+    pub null_means_absent: bool,
+}
+
+impl AvroSchema {
+    /// Derives a writer schema from an inferred type. Optional fields wrap
+    /// in `union { null, T }`; union types map to Avro unions; `Bottom`
+    /// (never observed) maps to `null`.
+    pub fn from_type(ty: &JType) -> AvroSchema {
+        match ty {
+            JType::Bottom | JType::Null { .. } => AvroSchema::Null,
+            JType::Bool { .. } => AvroSchema::Boolean,
+            JType::Int { .. } => AvroSchema::Long,
+            JType::Float { .. } => AvroSchema::Double,
+            JType::Str { .. } => AvroSchema::Str,
+            JType::Array(at) => AvroSchema::Array(Box::new(AvroSchema::from_type(&at.item))),
+            JType::Record(rt) => AvroSchema::Record(
+                rt.fields
+                    .iter()
+                    .map(|(name, field)| {
+                        let base = AvroSchema::from_type(&field.ty);
+                        let optional = field.presence < rt.count;
+                        let base_nullable = base.nullable();
+                        let schema = if optional && !base_nullable {
+                            match base {
+                                AvroSchema::Union(mut branches) => {
+                                    branches.insert(0, AvroSchema::Null);
+                                    AvroSchema::Union(branches)
+                                }
+                                other => AvroSchema::Union(vec![AvroSchema::Null, other]),
+                            }
+                        } else {
+                            base
+                        };
+                        AvroField {
+                            name: name.clone(),
+                            schema,
+                            null_means_absent: optional && !base_nullable,
+                        }
+                    })
+                    .collect(),
+            ),
+            JType::Union(members) => {
+                AvroSchema::Union(members.iter().map(AvroSchema::from_type).collect())
+            }
+        }
+    }
+
+    /// Which union branch encodes `value` (first match wins).
+    fn branch_for(&self, value: &Value) -> Option<usize> {
+        let AvroSchema::Union(branches) = self else {
+            return None;
+        };
+        branches.iter().position(|b| b.accepts(value))
+    }
+
+    fn accepts(&self, value: &Value) -> bool {
+        match (self, value) {
+            (AvroSchema::Null, Value::Null) => true,
+            (AvroSchema::Boolean, Value::Bool(_)) => true,
+            (AvroSchema::Long, Value::Num(n)) => n.as_i64().is_some(),
+            (AvroSchema::Double, Value::Num(_)) => true,
+            (AvroSchema::Str, Value::Str(_)) => true,
+            (AvroSchema::Array(item), Value::Arr(items)) => {
+                items.iter().all(|v| item.accepts_or_union(v))
+            }
+            (AvroSchema::Record(fields), Value::Obj(obj)) => {
+                // Every present key declared; every non-nullable field present.
+                obj.iter().all(|(k, _)| fields.iter().any(|f| f.name == *k))
+                    && fields.iter().all(|f| {
+                        obj.contains_key(&f.name) || f.schema.nullable()
+                    })
+            }
+            (AvroSchema::Union(_), v) => self.branch_for(v).is_some(),
+            _ => false,
+        }
+    }
+
+    fn accepts_or_union(&self, value: &Value) -> bool {
+        self.accepts(value)
+    }
+
+    fn nullable(&self) -> bool {
+        match self {
+            AvroSchema::Null => true,
+            AvroSchema::Union(branches) => branches.contains(&AvroSchema::Null),
+            _ => false,
+        }
+    }
+}
+
+/// Encode/decode errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AvroError {
+    /// The value does not conform to the writer schema.
+    SchemaMismatch { at: String },
+    /// Ran out of bytes, or a varint overflowed.
+    Corrupt { detail: &'static str },
+}
+
+impl fmt::Display for AvroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AvroError::SchemaMismatch { at } => write!(f, "value does not match schema at {at}"),
+            AvroError::Corrupt { detail } => write!(f, "corrupt encoding: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for AvroError {}
+
+/// A codec bound to one writer schema.
+#[derive(Debug, Clone)]
+pub struct AvroCodec {
+    schema: AvroSchema,
+}
+
+impl AvroCodec {
+    /// Creates a codec for a schema.
+    pub fn new(schema: AvroSchema) -> AvroCodec {
+        AvroCodec { schema }
+    }
+
+    /// The writer schema.
+    pub fn schema(&self) -> &AvroSchema {
+        &self.schema
+    }
+
+    /// Encodes one value.
+    pub fn encode(&self, value: &Value) -> Result<Bytes, AvroError> {
+        let mut buf = BytesMut::new();
+        encode_value(&self.schema, value, "$", &mut buf)?;
+        Ok(buf.freeze())
+    }
+
+    /// Decodes one value.
+    pub fn decode(&self, mut bytes: &[u8]) -> Result<Value, AvroError> {
+        let v = decode_value(&self.schema, &mut bytes)?;
+        if !bytes.is_empty() {
+            return Err(AvroError::Corrupt {
+                detail: "trailing bytes",
+            });
+        }
+        Ok(v)
+    }
+}
+
+fn zigzag(n: i64) -> u64 {
+    ((n << 1) ^ (n >> 63)) as u64
+}
+
+fn unzigzag(n: u64) -> i64 {
+    ((n >> 1) as i64) ^ -((n & 1) as i64)
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn put_long(buf: &mut BytesMut, n: i64) {
+    put_varint(buf, zigzag(n));
+}
+
+fn get_varint(bytes: &mut &[u8]) -> Result<u64, AvroError> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    loop {
+        if shift >= 64 {
+            return Err(AvroError::Corrupt {
+                detail: "varint too long",
+            });
+        }
+        let Some((&byte, rest)) = bytes.split_first() else {
+            return Err(AvroError::Corrupt {
+                detail: "truncated varint",
+            });
+        };
+        *bytes = rest;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn get_long(bytes: &mut &[u8]) -> Result<i64, AvroError> {
+    Ok(unzigzag(get_varint(bytes)?))
+}
+
+fn encode_value(
+    schema: &AvroSchema,
+    value: &Value,
+    at: &str,
+    buf: &mut BytesMut,
+) -> Result<(), AvroError> {
+    let mismatch = || AvroError::SchemaMismatch { at: at.to_string() };
+    match schema {
+        AvroSchema::Null => {
+            if value.is_null() {
+                Ok(())
+            } else {
+                Err(mismatch())
+            }
+        }
+        AvroSchema::Boolean => {
+            let b = value.as_bool().ok_or_else(mismatch)?;
+            buf.put_u8(u8::from(b));
+            Ok(())
+        }
+        AvroSchema::Long => {
+            let n = value.as_i64().ok_or_else(mismatch)?;
+            put_long(buf, n);
+            Ok(())
+        }
+        AvroSchema::Double => {
+            let f = value.as_f64().ok_or_else(mismatch)?;
+            buf.put_f64_le(f);
+            Ok(())
+        }
+        AvroSchema::Str => {
+            let s = value.as_str().ok_or_else(mismatch)?;
+            put_long(buf, s.len() as i64);
+            buf.put_slice(s.as_bytes());
+            Ok(())
+        }
+        AvroSchema::Array(item) => {
+            let items = value.as_array().ok_or_else(mismatch)?;
+            if !items.is_empty() {
+                put_long(buf, items.len() as i64);
+                for (i, member) in items.iter().enumerate() {
+                    encode_value(item, member, &format!("{at}[{i}]"), buf)?;
+                }
+            }
+            put_long(buf, 0); // end of blocks
+            Ok(())
+        }
+        AvroSchema::Record(fields) => {
+            let obj = value.as_object().ok_or_else(mismatch)?;
+            for field in fields {
+                let member = obj.get(&field.name).cloned().unwrap_or(Value::Null);
+                encode_value(&field.schema, &member, &format!("{at}.{}", field.name), buf)?;
+            }
+            Ok(())
+        }
+        AvroSchema::Union(branches) => {
+            let idx = schema.branch_for(value).ok_or_else(mismatch)?;
+            put_long(buf, idx as i64);
+            encode_value(&branches[idx], value, at, buf)
+        }
+    }
+}
+
+fn decode_value(schema: &AvroSchema, bytes: &mut &[u8]) -> Result<Value, AvroError> {
+    match schema {
+        AvroSchema::Null => Ok(Value::Null),
+        AvroSchema::Boolean => {
+            let Some((&b, rest)) = bytes.split_first() else {
+                return Err(AvroError::Corrupt {
+                    detail: "truncated boolean",
+                });
+            };
+            *bytes = rest;
+            Ok(Value::Bool(b != 0))
+        }
+        AvroSchema::Long => Ok(Value::Num(Number::Int(get_long(bytes)?))),
+        AvroSchema::Double => {
+            if bytes.len() < 8 {
+                return Err(AvroError::Corrupt {
+                    detail: "truncated double",
+                });
+            }
+            let f = (&bytes[..8]).get_f64_le();
+            *bytes = &bytes[8..];
+            Number::from_f64(f)
+                .map(Value::Num)
+                .ok_or(AvroError::Corrupt {
+                    detail: "non-finite double",
+                })
+        }
+        AvroSchema::Str => {
+            let len = get_long(bytes)?;
+            let len = usize::try_from(len).map_err(|_| AvroError::Corrupt {
+                detail: "negative string length",
+            })?;
+            if bytes.len() < len {
+                return Err(AvroError::Corrupt {
+                    detail: "truncated string",
+                });
+            }
+            let s = std::str::from_utf8(&bytes[..len]).map_err(|_| AvroError::Corrupt {
+                detail: "invalid UTF-8",
+            })?;
+            let v = Value::Str(s.to_string());
+            *bytes = &bytes[len..];
+            Ok(v)
+        }
+        AvroSchema::Array(item) => {
+            let mut out = Vec::new();
+            loop {
+                let count = get_long(bytes)?;
+                if count == 0 {
+                    return Ok(Value::Arr(out));
+                }
+                let count = usize::try_from(count).map_err(|_| AvroError::Corrupt {
+                    detail: "negative block count",
+                })?;
+                for _ in 0..count {
+                    out.push(decode_value(item, bytes)?);
+                }
+            }
+        }
+        AvroSchema::Record(fields) => {
+            let mut obj = Object::with_capacity(fields.len());
+            for field in fields {
+                let v = decode_value(&field.schema, bytes)?;
+                if v.is_null() && field.null_means_absent {
+                    continue; // the null branch encoded field absence
+                }
+                obj.insert(field.name.clone(), v);
+            }
+            Ok(Value::Obj(obj))
+        }
+        AvroSchema::Union(branches) => {
+            let idx = get_long(bytes)?;
+            let idx = usize::try_from(idx)
+                .ok()
+                .filter(|i| *i < branches.len())
+                .ok_or(AvroError::Corrupt {
+                    detail: "union branch out of range",
+                })?;
+            decode_value(&branches[idx], bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_core::{infer_collection, Equivalence};
+    use jsonx_data::json;
+
+    #[test]
+    fn zigzag_round_trip() {
+        for n in [0i64, -1, 1, 63, -64, i64::MAX, i64::MIN, 150, -150] {
+            assert_eq!(unzigzag(zigzag(n)), n);
+        }
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        for (schema, value) in [
+            (AvroSchema::Null, json!(null)),
+            (AvroSchema::Boolean, json!(true)),
+            (AvroSchema::Long, json!(-42)),
+            (AvroSchema::Double, json!(2.5)),
+            (AvroSchema::Str, json!("héllo")),
+        ] {
+            let codec = AvroCodec::new(schema);
+            let bytes = codec.encode(&value).unwrap();
+            assert_eq!(codec.decode(&bytes).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn record_round_trip_via_inferred_schema() {
+        let docs = vec![
+            json!({"id": 1, "name": "ada", "score": 1.5, "tags": ["a"]}),
+            json!({"id": 2, "score": -0.5, "tags": []}),
+        ];
+        let ty = infer_collection(&docs, Equivalence::Kind);
+        let codec = AvroCodec::new(AvroSchema::from_type(&ty));
+        for doc in &docs {
+            let bytes = codec.encode(doc).unwrap();
+            assert_eq!(&codec.decode(&bytes).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn optional_fields_become_nullable_unions() {
+        let docs = vec![json!({"a": 1, "b": "x"}), json!({"a": 2})];
+        let ty = infer_collection(&docs, Equivalence::Kind);
+        let schema = AvroSchema::from_type(&ty);
+        let AvroSchema::Record(fields) = &schema else {
+            panic!()
+        };
+        let b = fields.iter().find(|f| f.name == "b").unwrap();
+        assert_eq!(
+            b.schema,
+            AvroSchema::Union(vec![AvroSchema::Null, AvroSchema::Str])
+        );
+        assert!(b.null_means_absent);
+    }
+
+    #[test]
+    fn union_typed_fields_round_trip() {
+        let docs = vec![json!({"v": 1}), json!({"v": "s"}), json!({"v": null})];
+        let ty = infer_collection(&docs, Equivalence::Kind);
+        let codec = AvroCodec::new(AvroSchema::from_type(&ty));
+        for doc in &docs {
+            let bytes = codec.encode(doc).unwrap();
+            assert_eq!(&codec.decode(&bytes).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn nested_and_array_round_trips() {
+        let docs = vec![
+            json!({"u": {"id": 1, "tags": [1, 2, 3]}, "xs": [{"k": "a"}]}),
+            json!({"u": {"id": 2, "tags": []}, "xs": []}),
+        ];
+        let ty = infer_collection(&docs, Equivalence::Kind);
+        let codec = AvroCodec::new(AvroSchema::from_type(&ty));
+        for doc in &docs {
+            assert_eq!(&codec.decode(&codec.encode(doc).unwrap()).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn mismatches_are_reported_with_paths() {
+        let schema = AvroSchema::Record(vec![AvroField {
+            name: "n".to_string(),
+            schema: AvroSchema::Long,
+            null_means_absent: false,
+        }]);
+        let codec = AvroCodec::new(schema);
+        let err = codec.encode(&json!({"n": "not a long"})).unwrap_err();
+        assert_eq!(err, AvroError::SchemaMismatch { at: "$.n".into() });
+    }
+
+    #[test]
+    fn corrupt_input_detected() {
+        let codec = AvroCodec::new(AvroSchema::Str);
+        assert!(matches!(
+            codec.decode(&[0x05, b'a']),
+            Err(AvroError::Corrupt { .. })
+        ));
+        let codec = AvroCodec::new(AvroSchema::Long);
+        assert!(matches!(
+            codec.decode(&[0x80]),
+            Err(AvroError::Corrupt { .. })
+        ));
+        // Trailing garbage.
+        let codec = AvroCodec::new(AvroSchema::Boolean);
+        assert!(matches!(
+            codec.decode(&[1, 2]),
+            Err(AvroError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_is_compact() {
+        let docs = vec![json!({"id": 123456, "flag": true})];
+        let ty = infer_collection(&docs, Equivalence::Kind);
+        let codec = AvroCodec::new(AvroSchema::from_type(&ty));
+        let bytes = codec.encode(&docs[0]).unwrap();
+        // varint(123456)=3 bytes + bool=1 → 4 bytes total, no field names.
+        assert_eq!(bytes.len(), 4);
+    }
+}

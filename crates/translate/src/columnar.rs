@@ -1,0 +1,731 @@
+//! Columnar shredding (Arrow/Parquet-flavoured).
+//!
+//! A [`Shredder`] turns a stream of JSON records into a [`ColumnarBatch`]:
+//! one typed column per scalar leaf path, with a validity bitmap for
+//! optional/null positions. Nested records flatten into dotted paths;
+//! arrays and union-typed leaves spill into a JSON-text column (the same
+//! escape hatch production columnar stores use for "variant" data).
+//!
+//! The shredder has two constructions, which is exactly the E11 contrast:
+//!
+//! * [`Shredder::from_type`] — **schema-aware**: the column layout is
+//!   fixed up front from an inferred [`JType`], so each record dispatches
+//!   straight into pre-typed columns;
+//! * [`Shredder::discovering`] — **schema-blind**: columns are discovered
+//!   and retyped on the fly while scanning, the way a schema-less
+//!   converter must.
+
+use jsonx_core::JType;
+use jsonx_data::{Number, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A typed column's storage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Bools(Vec<bool>),
+    Ints(Vec<i64>),
+    Floats(Vec<f64>),
+    Strs(Vec<String>),
+    /// Spill column: compact JSON text (arrays, nested unions, mixed types).
+    Json(Vec<String>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Bools(v) => v.len(),
+            ColumnData::Ints(v) => v.len(),
+            ColumnData::Floats(v) => v.len(),
+            ColumnData::Strs(v) => v.len(),
+            ColumnData::Json(v) => v.len(),
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            ColumnData::Bools(_) => "bool",
+            ColumnData::Ints(_) => "int64",
+            ColumnData::Floats(_) => "float64",
+            ColumnData::Strs(_) => "utf8",
+            ColumnData::Json(_) => "json",
+        }
+    }
+}
+
+/// One column: dotted leaf path, values, validity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Dotted path from the record root (e.g. `user.name`).
+    pub path: String,
+    /// Dense values (one slot per *valid* row position).
+    pub data: ColumnData,
+    /// `validity[row]` — row has a value in this column.
+    pub validity: Vec<bool>,
+}
+
+/// A batch of shredded records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarBatch {
+    /// Columns in layout order.
+    pub columns: Vec<Column>,
+    /// Number of records shredded.
+    pub rows: usize,
+}
+
+impl ColumnarBatch {
+    /// Column lookup by path.
+    pub fn column(&self, path: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.path == path)
+    }
+
+    /// A schema line for reports: `path:type` pairs.
+    pub fn schema_string(&self) -> String {
+        self.columns
+            .iter()
+            .map(|c| format!("{}:{}", c.path, c.data.type_name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Shredding errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShredError {
+    /// A record was not a JSON object.
+    NotARecord { row: usize },
+}
+
+impl fmt::Display for ShredError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShredError::NotARecord { row } => write!(f, "row {row} is not an object"),
+        }
+    }
+}
+
+impl std::error::Error for ShredError {}
+
+/// Internal column type tags for layout planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Bool,
+    Int,
+    Float,
+    Str,
+    Json,
+}
+
+/// The shredder: fixed or discovering layout.
+#[derive(Debug, Clone)]
+pub struct Shredder {
+    /// Layout: (path, slot type); columns in order.
+    layout: Vec<(String, Slot)>,
+    /// path → layout index.
+    by_path: HashMap<String, usize>,
+    /// Paths that flatten further (proper prefixes of layout paths).
+    descend_paths: std::collections::HashSet<String>,
+    /// Schema-blind mode grows/retypes the layout on the fly.
+    discovering: bool,
+}
+
+/// Collects every proper dotted prefix of the layout paths.
+fn parent_prefixes(layout: &[(String, Slot)]) -> std::collections::HashSet<String> {
+    let mut out = std::collections::HashSet::new();
+    for (path, _) in layout {
+        let mut end = 0;
+        for (i, c) in path.char_indices() {
+            if c == '.' {
+                out.insert(path[..i].to_string());
+            }
+            end = i + c.len_utf8();
+        }
+        let _ = end;
+    }
+    out
+}
+
+impl Shredder {
+    /// Schema-aware construction: derive the column layout from an
+    /// inferred type (records flatten; arrays/unions become spill columns).
+    pub fn from_type(ty: &JType) -> Shredder {
+        let mut layout = Vec::new();
+        plan(ty, String::new(), &mut layout);
+        let by_path = layout
+            .iter()
+            .enumerate()
+            .map(|(i, (p, _))| (p.clone(), i))
+            .collect();
+        let descend_paths = parent_prefixes(&layout);
+        Shredder {
+            layout,
+            by_path,
+            descend_paths,
+            discovering: false,
+        }
+    }
+
+    /// Schema-blind construction: start empty, discover as you go.
+    pub fn discovering() -> Shredder {
+        Shredder {
+            layout: Vec::new(),
+            by_path: HashMap::new(),
+            descend_paths: std::collections::HashSet::new(),
+            discovering: true,
+        }
+    }
+
+    /// Number of planned columns.
+    pub fn column_count(&self) -> usize {
+        self.layout.len()
+    }
+
+    /// Shreds a collection into one batch.
+    ///
+    /// Dispatches on the construction: the schema-aware path writes
+    /// straight into typed column storage (the layout is fixed, so every
+    /// cell's destination type is known before the scan); the discovering
+    /// path must buffer generic cells because columns can appear and
+    /// retype mid-stream — that architectural difference is what E11
+    /// measures.
+    pub fn shred(&mut self, docs: &[Value]) -> Result<ColumnarBatch, ShredError> {
+        if !self.discovering {
+            return self.shred_typed(docs);
+        }
+        self.shred_generic(docs)
+    }
+
+    /// Schema-aware fast path: typed builders, no intermediate cells.
+    fn shred_typed(&self, docs: &[Value]) -> Result<ColumnarBatch, ShredError> {
+        let mut builders: Vec<TypedBuilder> = self
+            .layout
+            .iter()
+            .map(|(_, slot)| TypedBuilder::new(*slot))
+            .collect();
+        for (row, doc) in docs.iter().enumerate() {
+            let obj = doc.as_object().ok_or(ShredError::NotARecord { row })?;
+            self.typed_record(obj, None, row, &mut builders);
+        }
+        let columns = self
+            .layout
+            .iter()
+            .zip(builders)
+            .map(|((path, _), b)| b.finish(path, docs.len()))
+            .collect();
+        Ok(ColumnarBatch {
+            columns,
+            rows: docs.len(),
+        })
+    }
+
+    fn typed_record(
+        &self,
+        obj: &jsonx_data::Object,
+        prefix: Option<&str>,
+        row: usize,
+        builders: &mut [TypedBuilder],
+    ) {
+        let mut scratch = String::new();
+        for (key, value) in obj.iter() {
+            let path: &str = match prefix {
+                None => key,
+                Some(p) => {
+                    scratch.clear();
+                    scratch.push_str(p);
+                    scratch.push('.');
+                    scratch.push_str(key);
+                    &scratch
+                }
+            };
+            match value {
+                Value::Obj(inner) if self.descend_paths.contains(path) => {
+                    let owned = path.to_string();
+                    self.typed_record(inner, Some(&owned), row, builders);
+                }
+                other => {
+                    if let Some(&idx) = self.by_path.get(path) {
+                        builders[idx].write(row, other);
+                    }
+                    // Fields outside the planned layout are dropped.
+                }
+            }
+        }
+    }
+
+    /// Schema-blind path: generic cell buffering with on-the-fly layout
+    /// growth and retyping.
+    fn shred_generic(&mut self, docs: &[Value]) -> Result<ColumnarBatch, ShredError> {
+        // Cell buffer: per column, per row, an optional scalar.
+        let mut cells: Vec<Vec<Option<Value>>> = vec![Vec::new(); self.layout.len()];
+        for (row, doc) in docs.iter().enumerate() {
+            let obj = doc
+                .as_object()
+                .ok_or(ShredError::NotARecord { row })?;
+            let mut seen = vec![false; self.layout.len()];
+            self.shred_record(obj, String::new(), row, &mut cells, &mut seen);
+            // Pad unseen columns for this row.
+            for (i, seen) in seen.iter().enumerate() {
+                if !seen {
+                    pad_to(&mut cells[i], row + 1);
+                }
+            }
+            for column in &mut cells {
+                pad_to(column, row + 1);
+            }
+        }
+        // Materialise typed storage.
+        let mut columns = Vec::with_capacity(self.layout.len());
+        for (i, (path, slot)) in self.layout.iter().enumerate() {
+            let column_cells = &cells[i];
+            columns.push(materialize(path, *slot, column_cells, docs.len()));
+        }
+        Ok(ColumnarBatch {
+            columns,
+            rows: docs.len(),
+        })
+    }
+
+    fn shred_record(
+        &mut self,
+        obj: &jsonx_data::Object,
+        prefix: String,
+        row: usize,
+        cells: &mut Vec<Vec<Option<Value>>>,
+        seen: &mut Vec<bool>,
+    ) {
+        for (key, value) in obj.iter() {
+            let path = if prefix.is_empty() {
+                key.to_string()
+            } else {
+                format!("{prefix}.{key}")
+            };
+            match value {
+                Value::Obj(inner)
+                    if self.descends(&path) =>
+                {
+                    self.shred_record(inner, path, row, cells, seen);
+                }
+                other => self.write_cell(&path, other, row, cells, seen),
+            }
+        }
+    }
+
+    /// Whether this path is flattened further (true when the layout has
+    /// any column under it, or when discovering).
+    fn descends(&self, path: &str) -> bool {
+        self.discovering || self.descend_paths.contains(path)
+    }
+
+    fn write_cell(
+        &mut self,
+        path: &str,
+        value: &Value,
+        row: usize,
+        cells: &mut Vec<Vec<Option<Value>>>,
+        seen: &mut Vec<bool>,
+    ) {
+        let idx = match self.by_path.get(path) {
+            Some(&i) => i,
+            None if self.discovering => {
+                let slot = slot_of(value);
+                self.layout.push((path.to_string(), slot));
+                self.by_path.insert(path.to_string(), self.layout.len() - 1);
+                cells.push(Vec::new());
+                seen.push(false);
+                self.layout.len() - 1
+            }
+            // Schema-aware mode drops fields outside the planned layout
+            // (they were not in the inferred schema).
+            None => return,
+        };
+        if self.discovering {
+            // Retype the column when observations conflict (the cost of
+            // schema-blind conversion: every value re-checks the slot).
+            let slot = self.layout[idx].1;
+            let incoming = slot_of(value);
+            if slot != incoming && !value.is_null() {
+                self.layout[idx].1 = widen(slot, incoming);
+            }
+        }
+        if cells[idx].len() > row {
+            // A flattened path collided with a literal dotted key
+            // (e.g. `{"a.b": 1}` vs `{"a": {"b": 1}}`): first write wins.
+            return;
+        }
+        pad_to(&mut cells[idx], row);
+        cells[idx].push(Some(value.clone()));
+        if let Some(s) = seen.get_mut(idx) {
+            *s = true;
+        }
+    }
+}
+
+/// Direct typed column construction for the schema-aware path.
+#[derive(Debug)]
+struct TypedBuilder {
+    data: ColumnData,
+    validity: Vec<bool>,
+}
+
+impl TypedBuilder {
+    fn new(slot: Slot) -> TypedBuilder {
+        TypedBuilder {
+            data: match slot {
+                Slot::Bool => ColumnData::Bools(Vec::new()),
+                Slot::Int => ColumnData::Ints(Vec::new()),
+                Slot::Float => ColumnData::Floats(Vec::new()),
+                Slot::Str => ColumnData::Strs(Vec::new()),
+                Slot::Json => ColumnData::Json(Vec::new()),
+            },
+            validity: Vec::new(),
+        }
+    }
+
+    /// Appends `value` at `row`, null-padding skipped rows. Values that
+    /// do not fit the planned type (or literal-dotted-key collisions on
+    /// an already-written row) record as invalid/ignored.
+    fn write(&mut self, row: usize, value: &Value) {
+        if self.validity.len() > row {
+            return; // first write wins (dotted-key collision)
+        }
+        while self.validity.len() < row {
+            self.validity.push(false);
+        }
+        let ok = match &mut self.data {
+            ColumnData::Bools(v) => match value.as_bool() {
+                Some(b) => {
+                    v.push(b);
+                    true
+                }
+                None => false,
+            },
+            ColumnData::Ints(v) => match value.as_i64() {
+                Some(i) => {
+                    v.push(i);
+                    true
+                }
+                None => false,
+            },
+            ColumnData::Floats(v) => match value.as_f64() {
+                Some(f) => {
+                    v.push(f);
+                    true
+                }
+                None => false,
+            },
+            ColumnData::Strs(v) => match value.as_str() {
+                Some(s) => {
+                    v.push(s.to_string());
+                    true
+                }
+                None => false,
+            },
+            ColumnData::Json(v) => {
+                if value.is_null() {
+                    false
+                } else {
+                    v.push(value.to_json_string());
+                    true
+                }
+            }
+        };
+        self.validity.push(ok);
+    }
+
+    fn finish(mut self, path: &str, rows: usize) -> Column {
+        while self.validity.len() < rows {
+            self.validity.push(false);
+        }
+        Column {
+            path: path.to_string(),
+            data: self.data,
+            validity: self.validity,
+        }
+    }
+}
+
+fn pad_to(cells: &mut Vec<Option<Value>>, row: usize) {
+    while cells.len() < row {
+        cells.push(None);
+    }
+}
+
+fn slot_of(value: &Value) -> Slot {
+    match value {
+        Value::Bool(_) => Slot::Bool,
+        Value::Num(n) if n.is_integer() => Slot::Int,
+        Value::Num(_) => Slot::Float,
+        Value::Str(_) => Slot::Str,
+        _ => Slot::Json,
+    }
+}
+
+fn widen(a: Slot, b: Slot) -> Slot {
+    match (a, b) {
+        (Slot::Int, Slot::Float) | (Slot::Float, Slot::Int) => Slot::Float,
+        (x, y) if x == y => x,
+        _ => Slot::Json,
+    }
+}
+
+/// Plans columns from an inferred type.
+fn plan(ty: &JType, prefix: String, layout: &mut Vec<(String, Slot)>) {
+    match ty {
+        JType::Record(rt) => {
+            for (name, field) in &rt.fields {
+                let path = if prefix.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{prefix}.{name}")
+                };
+                plan(&field.ty, path, layout);
+            }
+        }
+        JType::Bool { .. } => layout.push((prefix, Slot::Bool)),
+        JType::Int { .. } => layout.push((prefix, Slot::Int)),
+        JType::Float { .. } => layout.push((prefix, Slot::Float)),
+        JType::Str { .. } => layout.push((prefix, Slot::Str)),
+        // Unions of Int+Float widen to Float; Null+T takes T (validity
+        // covers the nulls); everything else spills to JSON.
+        JType::Union(ms) => {
+            let non_null: Vec<&JType> = ms
+                .iter()
+                .filter(|m| !matches!(m, JType::Null { .. }))
+                .collect();
+            match non_null.as_slice() {
+                [single] => plan(single, prefix, layout),
+                [JType::Int { .. }, JType::Float { .. }]
+                | [JType::Float { .. }, JType::Int { .. }] => {
+                    layout.push((prefix, Slot::Float))
+                }
+                _ => layout.push((prefix, Slot::Json)),
+            }
+        }
+        // Arrays, bare nulls and Bottom: spill (validity handles nulls).
+        _ => layout.push((prefix, Slot::Json)),
+    }
+}
+
+fn materialize(path: &str, slot: Slot, cells: &[Option<Value>], rows: usize) -> Column {
+    let mut validity = Vec::with_capacity(rows);
+    let data = match slot {
+        Slot::Bool => {
+            let mut out = Vec::new();
+            for cell in cells {
+                match cell.as_ref().and_then(Value::as_bool) {
+                    Some(b) => {
+                        out.push(b);
+                        validity.push(true);
+                    }
+                    None => validity.push(false),
+                }
+            }
+            ColumnData::Bools(out)
+        }
+        Slot::Int => {
+            let mut out = Vec::new();
+            for cell in cells {
+                match cell.as_ref().and_then(Value::as_i64) {
+                    Some(i) => {
+                        out.push(i);
+                        validity.push(true);
+                    }
+                    None => validity.push(false),
+                }
+            }
+            ColumnData::Ints(out)
+        }
+        Slot::Float => {
+            let mut out = Vec::new();
+            for cell in cells {
+                match cell.as_ref().and_then(Value::as_f64) {
+                    Some(f) => {
+                        out.push(f);
+                        validity.push(true);
+                    }
+                    None => validity.push(false),
+                }
+            }
+            ColumnData::Floats(out)
+        }
+        Slot::Str => {
+            let mut out = Vec::new();
+            for cell in cells {
+                match cell.as_ref().and_then(Value::as_str) {
+                    Some(s) => {
+                        out.push(s.to_string());
+                        validity.push(true);
+                    }
+                    None => validity.push(false),
+                }
+            }
+            ColumnData::Strs(out)
+        }
+        Slot::Json => {
+            let mut out = Vec::new();
+            for cell in cells {
+                match cell {
+                    Some(v) if !v.is_null() => {
+                        out.push(v.to_json_string());
+                        validity.push(true);
+                    }
+                    _ => validity.push(false),
+                }
+            }
+            ColumnData::Json(out)
+        }
+    };
+    debug_assert_eq!(validity.len(), rows);
+    debug_assert_eq!(data.len(), validity.iter().filter(|v| **v).count());
+    Column {
+        path: path.to_string(),
+        data,
+        validity,
+    }
+}
+
+/// Rebuilds the scalar projection of row `row` from a batch (used by the
+/// round-trip tests; arrays/unions come back as JSON text).
+pub fn row_scalar(batch: &ColumnarBatch, path: &str, row: usize) -> Option<Number> {
+    let col = batch.column(path)?;
+    if !col.validity.get(row).copied().unwrap_or(false) {
+        return None;
+    }
+    let dense_idx = col.validity[..row].iter().filter(|v| **v).count();
+    match &col.data {
+        ColumnData::Ints(v) => Some(Number::Int(v[dense_idx])),
+        ColumnData::Floats(v) => Number::from_f64(v[dense_idx]),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_core::{infer_collection, Equivalence};
+    use jsonx_data::json;
+
+    fn docs() -> Vec<Value> {
+        vec![
+            json!({"id": 1, "name": "a", "geo": {"lat": 1.5}, "tags": [1]}),
+            json!({"id": 2, "geo": {"lat": 2.5}, "tags": []}),
+            json!({"id": 3, "name": "c", "geo": {"lat": -1.0}, "extra": true}),
+        ]
+    }
+
+    fn aware_batch() -> ColumnarBatch {
+        let ty = infer_collection(&docs(), Equivalence::Kind);
+        Shredder::from_type(&ty).shred(&docs()).unwrap()
+    }
+
+    #[test]
+    fn schema_aware_layout_flattens_records() {
+        let b = aware_batch();
+        let paths: Vec<&str> = b.columns.iter().map(|c| c.path.as_str()).collect();
+        assert!(paths.contains(&"id"));
+        assert!(paths.contains(&"geo.lat"));
+        assert!(paths.contains(&"tags")); // spill
+        assert_eq!(b.rows, 3);
+    }
+
+    #[test]
+    fn validity_tracks_optionality() {
+        let b = aware_batch();
+        let name = b.column("name").unwrap();
+        assert_eq!(name.validity, vec![true, false, true]);
+        assert_eq!(name.data, ColumnData::Strs(vec!["a".into(), "c".into()]));
+    }
+
+    #[test]
+    fn typed_columns() {
+        let b = aware_batch();
+        assert!(matches!(b.column("id").unwrap().data, ColumnData::Ints(_)));
+        assert!(matches!(
+            b.column("geo.lat").unwrap().data,
+            ColumnData::Floats(_)
+        ));
+        assert!(matches!(
+            b.column("extra").unwrap().data,
+            ColumnData::Bools(_)
+        ));
+        assert!(matches!(b.column("tags").unwrap().data, ColumnData::Json(_)));
+    }
+
+    #[test]
+    fn union_typed_fields_spill() {
+        let docs = vec![json!({"v": 1}), json!({"v": "s"})];
+        let ty = infer_collection(&docs, Equivalence::Kind);
+        let b = Shredder::from_type(&ty).shred(&docs).unwrap();
+        assert!(matches!(b.column("v").unwrap().data, ColumnData::Json(_)));
+        // Int+Float widens instead.
+        let docs = vec![json!({"v": 1}), json!({"v": 2.5})];
+        let ty = infer_collection(&docs, Equivalence::Kind);
+        let b = Shredder::from_type(&ty).shred(&docs).unwrap();
+        assert_eq!(
+            b.column("v").unwrap().data,
+            ColumnData::Floats(vec![1.0, 2.5])
+        );
+    }
+
+    #[test]
+    fn null_unions_use_validity() {
+        let docs = vec![json!({"v": null}), json!({"v": 7})];
+        let ty = infer_collection(&docs, Equivalence::Kind);
+        let b = Shredder::from_type(&ty).shred(&docs).unwrap();
+        let col = b.column("v").unwrap();
+        assert_eq!(col.data, ColumnData::Ints(vec![7]));
+        assert_eq!(col.validity, vec![false, true]);
+    }
+
+    #[test]
+    fn discovering_matches_aware_on_layout_paths() {
+        let aware = aware_batch();
+        let blind = Shredder::discovering().shred(&docs()).unwrap();
+        let mut a: Vec<&str> = aware.columns.iter().map(|c| c.path.as_str()).collect();
+        let mut d: Vec<&str> = blind.columns.iter().map(|c| c.path.as_str()).collect();
+        a.sort_unstable();
+        d.sort_unstable();
+        assert_eq!(a, d);
+        // Values agree column by column.
+        for col in &aware.columns {
+            let other = blind.column(&col.path).unwrap();
+            assert_eq!(col.validity, other.validity, "path {}", col.path);
+        }
+    }
+
+    #[test]
+    fn discovering_retypes_on_conflict() {
+        let docs = vec![json!({"v": 1}), json!({"v": 2.5}), json!({"v": 3})];
+        let b = Shredder::discovering().shred(&docs).unwrap();
+        assert_eq!(
+            b.column("v").unwrap().data,
+            ColumnData::Floats(vec![1.0, 2.5, 3.0])
+        );
+        let docs = vec![json!({"v": 1}), json!({"v": "s"})];
+        let b = Shredder::discovering().shred(&docs).unwrap();
+        assert!(matches!(b.column("v").unwrap().data, ColumnData::Json(_)));
+    }
+
+    #[test]
+    fn row_scalar_reads_back() {
+        let b = aware_batch();
+        assert_eq!(row_scalar(&b, "id", 1), Some(Number::Int(2)));
+        assert_eq!(row_scalar(&b, "geo.lat", 2), Number::from_f64(-1.0));
+        assert_eq!(row_scalar(&b, "name", 1), None); // invalid slot
+    }
+
+    #[test]
+    fn non_records_rejected() {
+        let mut s = Shredder::discovering();
+        let err = s.shred(&[json!([1])]).unwrap_err();
+        assert_eq!(err, ShredError::NotARecord { row: 0 });
+    }
+
+    #[test]
+    fn schema_string_renders() {
+        let b = aware_batch();
+        let s = b.schema_string();
+        assert!(s.contains("id:int64"));
+        assert!(s.contains("geo.lat:float64"));
+    }
+}

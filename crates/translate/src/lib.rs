@@ -1,0 +1,31 @@
+//! # jsonx-translate
+//!
+//! §5 of the tutorial ("Schema-Based Data Translation") as a working
+//! system: "while JSON is very frequently used for exchanging and
+//! publishing data, it is hardly used as internal data format in Big Data
+//! management tools, that, instead, usually rely on formats like Avro and
+//! Parquet. When input datasets are heterogeneous, schemas can improve the
+//! efficiency and the effectiveness of data format conversion."
+//!
+//! Three translation targets, all driven by the inferred types of
+//! `jsonx-core`:
+//!
+//! * [`columnar`] — Arrow/Parquet-flavoured column batches: records are
+//!   shredded into typed columns with validity bitmaps; the schema decides
+//!   the column layout up front (the *schema-aware* path E11 measures
+//!   against a schema-blind discovery path).
+//! * [`avro`] — an Avro-flavoured binary row format: zig-zag varints,
+//!   length-prefixed strings, union branch indices — encoded and decoded
+//!   against a writer schema derived from the inferred type.
+//! * [`relational`] — DiScala & Abadi-style normalization (§4.1 \[16\]):
+//!   nested documents become flat relations, arrays of records become
+//!   child tables with foreign keys, and functional dependencies split
+//!   out dimension tables.
+
+pub mod avro;
+pub mod columnar;
+pub mod relational;
+
+pub use avro::{AvroCodec, AvroError, AvroField, AvroSchema};
+pub use columnar::{ColumnData, ColumnarBatch, ShredError, Shredder};
+pub use relational::{normalize, Relation};

@@ -1,0 +1,418 @@
+//! Relational normalization, after DiScala & Abadi (SIGMOD 2016), which
+//! the tutorial surveys in §4.1: "automatically transforming denormalised,
+//! nested JSON data into normalised relational data … by means of a schema
+//! generation algorithm that learns the normalised, relational schema from
+//! data", using **functional dependencies among attribute values** rather
+//! than the original nesting.
+//!
+//! The pipeline here follows that recipe at laptop scale:
+//!
+//! 1. **Flatten**: every document becomes a row of the root relation;
+//!    nested records flatten into dotted columns; arrays of records become
+//!    child relations with a synthetic foreign key; arrays of scalars
+//!    become (parent_id, value) relations.
+//! 2. **Detect FDs**: for each pair of root columns, check whether the
+//!    value mapping A → B is functional across all rows.
+//! 3. **Decompose**: a column with ≥2 functional dependents (a "key-like"
+//!    attribute, e.g. `user.id` determining `user.name`, …) is split out
+//!    with its dependents into a dimension relation, deduplicated.
+
+use jsonx_data::Value;
+use std::collections::{BTreeMap, HashMap};
+
+/// A flat relation: named columns, rows of optional scalar values
+/// (rendered as canonical JSON text for hashing/grouping; `None` = NULL).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    /// Relation name (root collection name, or derived child/dim names).
+    pub name: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows, each aligned with `columns`.
+    pub rows: Vec<Vec<Option<Value>>>,
+}
+
+impl Relation {
+    /// Index of a column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Cell accessor.
+    pub fn cell(&self, row: usize, column: &str) -> Option<&Value> {
+        let idx = self.column_index(column)?;
+        self.rows.get(row)?.get(idx)?.as_ref()
+    }
+}
+
+/// Normalizes a collection of JSON documents into relations.
+///
+/// Returns the root relation first, then child relations (nested arrays),
+/// then FD-derived dimension relations.
+pub fn normalize(name: &str, docs: &[Value]) -> Vec<Relation> {
+    let mut flat = Flattener::new(name);
+    for (row_id, doc) in docs.iter().enumerate() {
+        flat.flatten_doc(row_id as i64, doc);
+    }
+    let (mut root, children) = flat.finish();
+    let dims = decompose_by_fds(&mut root);
+    let mut out = vec![root];
+    out.extend(children);
+    out.extend(dims);
+    out
+}
+
+struct Flattener {
+    name: String,
+    /// Root columns in first-seen order.
+    columns: Vec<String>,
+    by_name: HashMap<String, usize>,
+    rows: Vec<Vec<Option<Value>>>,
+    /// Child relations keyed by path.
+    children: BTreeMap<String, Relation>,
+}
+
+impl Flattener {
+    fn new(name: &str) -> Flattener {
+        Flattener {
+            name: name.to_string(),
+            columns: vec!["_row_id".to_string()],
+            by_name: HashMap::from([("_row_id".to_string(), 0)]),
+            rows: Vec::new(),
+            children: BTreeMap::new(),
+        }
+    }
+
+    fn column(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.by_name.get(name) {
+            return i;
+        }
+        self.columns.push(name.to_string());
+        self.by_name.insert(name.to_string(), self.columns.len() - 1);
+        self.columns.len() - 1
+    }
+
+    fn flatten_doc(&mut self, row_id: i64, doc: &Value) {
+        let mut row: Vec<Option<Value>> = vec![None; self.columns.len()];
+        row[0] = Some(Value::from(row_id));
+        if let Some(obj) = doc.as_object() {
+            self.flatten_into(row_id, obj, String::new(), &mut row);
+        }
+        // The row may have grown columns; normalise its length.
+        row.resize(self.columns.len(), None);
+        self.rows.push(row);
+    }
+
+    fn flatten_into(
+        &mut self,
+        row_id: i64,
+        obj: &jsonx_data::Object,
+        prefix: String,
+        row: &mut Vec<Option<Value>>,
+    ) {
+        for (key, value) in obj.iter() {
+            let path = if prefix.is_empty() {
+                key.to_string()
+            } else {
+                format!("{prefix}.{key}")
+            };
+            match value {
+                Value::Obj(inner) => {
+                    self.flatten_into(row_id, inner, path, row);
+                }
+                Value::Arr(items) => {
+                    self.child_rows(row_id, &path, items);
+                }
+                scalar => {
+                    let idx = self.column(&path);
+                    if idx >= row.len() {
+                        row.resize(self.columns.len(), None);
+                    }
+                    row[idx] = Some(scalar.clone());
+                }
+            }
+        }
+    }
+
+    fn child_rows(&mut self, row_id: i64, path: &str, items: &[Value]) {
+        if items.is_empty() {
+            return;
+        }
+        let name = format!("{}_{}", self.name, path.replace('.', "_"));
+        for (pos, item) in items.iter().enumerate() {
+            match item {
+                Value::Obj(obj) => {
+                    // Record element: one child row per element, columns
+                    // discovered on the fly.
+                    let rel = self.children.entry(name.clone()).or_insert_with(|| Relation {
+                        name: name.clone(),
+                        columns: vec!["_parent_id".to_string(), "_pos".to_string()],
+                        rows: Vec::new(),
+                    });
+                    let mut row: Vec<Option<Value>> = vec![None; rel.columns.len()];
+                    row[0] = Some(Value::from(row_id));
+                    row[1] = Some(Value::from(pos as i64));
+                    for (k, v) in obj.iter() {
+                        if v.as_object().is_some() || v.as_array().is_some() {
+                            // Deeper nesting inside arrays: keep as JSON
+                            // text (one level of normalization, as in the
+                            // paper's evaluation).
+                            let idx = child_column(rel, k);
+                            row.resize(rel.columns.len(), None);
+                            row[idx] = Some(Value::Str(v.to_json_string()));
+                        } else {
+                            let idx = child_column(rel, k);
+                            row.resize(rel.columns.len(), None);
+                            row[idx] = Some(v.clone());
+                        }
+                    }
+                    row.resize(rel.columns.len(), None);
+                    rel.rows.push(row);
+                }
+                scalar_or_array => {
+                    let rel = self.children.entry(name.clone()).or_insert_with(|| Relation {
+                        name: name.clone(),
+                        columns: vec![
+                            "_parent_id".to_string(),
+                            "_pos".to_string(),
+                            "value".to_string(),
+                        ],
+                        rows: Vec::new(),
+                    });
+                    let idx = child_column(rel, "value");
+                    let mut row: Vec<Option<Value>> = vec![None; rel.columns.len()];
+                    row[0] = Some(Value::from(row_id));
+                    row[1] = Some(Value::from(pos as i64));
+                    row[idx] = Some(match scalar_or_array {
+                        Value::Arr(_) => Value::Str(scalar_or_array.to_json_string()),
+                        v => v.clone(),
+                    });
+                    rel.rows.push(row);
+                }
+            }
+        }
+        // Align all child rows to the final column count.
+        if let Some(rel) = self.children.get_mut(&name) {
+            let width = rel.columns.len();
+            for row in &mut rel.rows {
+                row.resize(width, None);
+            }
+        }
+    }
+
+    fn finish(self) -> (Relation, Vec<Relation>) {
+        let mut root = Relation {
+            name: self.name,
+            columns: self.columns,
+            rows: self.rows,
+        };
+        let width = root.columns.len();
+        for row in &mut root.rows {
+            row.resize(width, None);
+        }
+        (root, self.children.into_values().collect())
+    }
+}
+
+fn child_column(rel: &mut Relation, name: &str) -> usize {
+    match rel.columns.iter().position(|c| c == name) {
+        Some(i) => i,
+        None => {
+            rel.columns.push(name.to_string());
+            rel.columns.len() - 1
+        }
+    }
+}
+
+/// Detects functional dependencies among root columns and splits
+/// key-like attributes (≥2 dependents) into dimension relations.
+fn decompose_by_fds(root: &mut Relation) -> Vec<Relation> {
+    let n = root.columns.len();
+    // determinant → dependents
+    let mut dependents: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for a in 1..n {
+        // A determinant must *repeat* (distinct values < non-null rows):
+        // unique row keys trivially determine everything but compress
+        // nothing, and DiScala & Abadi's algorithm targets repeating
+        // entity attributes.
+        if !has_duplicates(root, a) {
+            continue;
+        }
+        for b in 1..n {
+            if a != b && is_fd(root, a, b) {
+                // 1:1 pairs appear under both determinants; the removal
+                // bookkeeping below splits each group only once.
+                dependents.entry(a).or_default().push(b);
+            }
+        }
+    }
+    let mut dims = Vec::new();
+    let mut removed: Vec<usize> = Vec::new();
+    for (det, deps) in dependents {
+        if deps.len() < 2 || removed.contains(&det) {
+            continue;
+        }
+        let deps: Vec<usize> = deps
+            .into_iter()
+            .filter(|d| !removed.contains(d))
+            .collect();
+        if deps.len() < 2 {
+            continue;
+        }
+        // Build the deduplicated dimension relation.
+        let mut dim = Relation {
+            name: format!("{}_dim_{}", root.name, root.columns[det].replace('.', "_")),
+            columns: std::iter::once(root.columns[det].clone())
+                .chain(deps.iter().map(|&d| root.columns[d].clone()))
+                .collect(),
+            rows: Vec::new(),
+        };
+        let mut seen: HashMap<String, ()> = HashMap::new();
+        for row in &root.rows {
+            let Some(key) = &row[det] else { continue };
+            let key_text = key.to_json_string();
+            if seen.insert(key_text, ()).is_none() {
+                dim.rows.push(
+                    std::iter::once(row[det].clone())
+                        .chain(deps.iter().map(|&d| row[d].clone()))
+                        .collect(),
+                );
+            }
+        }
+        removed.extend(&deps);
+        dims.push(dim);
+    }
+    // Drop dependent columns from the root (keep determinants as FKs).
+    if !removed.is_empty() {
+        removed.sort_unstable();
+        removed.dedup();
+        let keep: Vec<usize> = (0..n).filter(|i| !removed.contains(i)).collect();
+        root.columns = keep.iter().map(|&i| root.columns[i].clone()).collect();
+        for row in &mut root.rows {
+            *row = keep.iter().map(|&i| row[i].clone()).collect();
+        }
+    }
+    dims
+}
+
+/// Does column `a` repeat enough to be worth a dimension table?
+/// Requires at least 10% compression (distinct ≤ 0.9 × non-null), which
+/// keeps near-unique columns — where sample FDs hold by accident — from
+/// spawning spurious dimensions.
+fn has_duplicates(rel: &Relation, a: usize) -> bool {
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut non_null = 0usize;
+    for row in &rel.rows {
+        if let Some(v) = &row[a] {
+            non_null += 1;
+            seen.insert(v.to_json_string());
+        }
+    }
+    non_null > 0 && (seen.len() as f64) <= 0.9 * non_null as f64
+}
+
+/// Is `a → b` functional over the non-null rows?
+fn is_fd(rel: &Relation, a: usize, b: usize) -> bool {
+    let mut map: HashMap<String, &Option<Value>> = HashMap::new();
+    for row in &rel.rows {
+        let Some(av) = &row[a] else { continue };
+        let key = av.to_json_string();
+        match map.get(key.as_str()) {
+            Some(seen) => {
+                if *seen != &row[b] {
+                    return false;
+                }
+            }
+            None => {
+                map.insert(key, &row[b]);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    fn orders() -> Vec<Value> {
+        vec![
+            json!({"order": 1, "user": {"id": 10, "name": "ada", "city": "Lisbon"},
+                   "items": [{"sku": "a", "qty": 2}, {"sku": "b", "qty": 1}]}),
+            json!({"order": 2, "user": {"id": 11, "name": "lin", "city": "Pisa"},
+                   "items": [{"sku": "a", "qty": 5}]}),
+            json!({"order": 3, "user": {"id": 10, "name": "ada", "city": "Lisbon"},
+                   "items": []}),
+        ]
+    }
+
+    #[test]
+    fn flattening_produces_root_and_child() {
+        let rels = normalize("orders", &orders());
+        let root = &rels[0];
+        assert_eq!(root.name, "orders");
+        assert!(root.columns.contains(&"order".to_string()));
+        let items = rels.iter().find(|r| r.name == "orders_items").unwrap();
+        assert_eq!(items.rows.len(), 3); // 2 + 1 + 0
+        assert_eq!(items.cell(0, "sku"), Some(&json!("a")));
+        assert_eq!(items.cell(2, "_parent_id"), Some(&json!(1)));
+    }
+
+    #[test]
+    fn fd_decomposition_builds_user_dimension() {
+        let rels = normalize("orders", &orders());
+        // user.id determines user.name and user.city → dimension table.
+        let dim = rels
+            .iter()
+            .find(|r| r.name.contains("dim_user_id"))
+            .unwrap_or_else(|| panic!("no dimension found in {:?}",
+                rels.iter().map(|r| &r.name).collect::<Vec<_>>()));
+        assert_eq!(dim.rows.len(), 2); // deduplicated: ada, lin
+        assert_eq!(dim.columns[0], "user.id");
+        assert!(dim.columns.contains(&"user.name".to_string()));
+        // Root no longer carries the dependent columns, but keeps the key.
+        let root = &rels[0];
+        assert!(root.columns.contains(&"user.id".to_string()));
+        assert!(!root.columns.contains(&"user.name".to_string()));
+    }
+
+    #[test]
+    fn scalar_arrays_become_value_relations() {
+        let docs = vec![json!({"id": 1, "tags": ["x", "y"]}), json!({"id": 2, "tags": []})];
+        let rels = normalize("t", &docs);
+        let tags = rels.iter().find(|r| r.name == "t_tags").unwrap();
+        assert_eq!(tags.columns, vec!["_parent_id", "_pos", "value"]);
+        assert_eq!(tags.rows.len(), 2);
+        assert_eq!(tags.cell(1, "value"), Some(&json!("y")));
+    }
+
+    #[test]
+    fn ragged_documents_null_pad() {
+        let docs = vec![json!({"a": 1}), json!({"b": 2})];
+        let rels = normalize("r", &docs);
+        let root = &rels[0];
+        assert_eq!(root.rows[0].len(), root.columns.len());
+        assert_eq!(root.cell(0, "b"), None);
+        assert_eq!(root.cell(1, "b"), Some(&json!(2)));
+    }
+
+    #[test]
+    fn no_spurious_fds_on_independent_columns() {
+        let docs = vec![
+            json!({"a": 1, "b": 1}),
+            json!({"a": 1, "b": 2}), // a !→ b
+            json!({"a": 2, "b": 1}), // b !→ a
+        ];
+        let rels = normalize("x", &docs);
+        assert_eq!(rels.len(), 1); // no dimensions
+        assert_eq!(rels[0].columns.len(), 3); // _row_id, a, b
+    }
+
+    #[test]
+    fn empty_collection() {
+        let rels = normalize("e", &[]);
+        assert_eq!(rels.len(), 1);
+        assert!(rels[0].rows.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Checked decoding — Swift `Codable` semantics over [`Ty`].
+//!
+//! Swift's `JSONDecoder` fails with a typed error naming the coding path;
+//! [`decode`] does the same. Unlike schema validation (which collects all
+//! violations), decoding fails fast on the first error — that is how
+//! `Codable` behaves and is the §3 contrast the tutorial draws between
+//! language type systems and schema validators.
+
+use crate::types::Ty;
+use jsonx_data::{Pointer, Value};
+use std::fmt;
+
+/// A decoding failure, Swift-style: what was expected, where.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeError {
+    /// Coding path to the failing position.
+    pub path: Pointer,
+    /// What the type demanded.
+    pub expected: String,
+    /// What the value provided.
+    pub found: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.path.to_string();
+        write!(
+            f,
+            "decoding failed at {}: expected {}, found {}",
+            if p.is_empty() { "<root>" } else { &p },
+            self.expected,
+            self.found
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes `value` against `ty`; `Ok(())` means the value is usable at
+/// that type (fail-fast on the first mismatch).
+pub fn decode(ty: &Ty, value: &Value) -> Result<(), DecodeError> {
+    go(ty, value, &Pointer::root())
+}
+
+fn fail(ty: &Ty, value: &Value, path: &Pointer) -> Result<(), DecodeError> {
+    Err(DecodeError {
+        path: path.clone(),
+        expected: ty.to_string(),
+        found: value.kind().to_string(),
+    })
+}
+
+fn go(ty: &Ty, value: &Value, path: &Pointer) -> Result<(), DecodeError> {
+    match (ty, value) {
+        (Ty::Any, _) => Ok(()),
+        (Ty::Never, _) => fail(ty, value, path),
+        (Ty::Null, Value::Null) => Ok(()),
+        (Ty::Bool, Value::Bool(_)) => Ok(()),
+        (Ty::Number, Value::Num(_)) => Ok(()),
+        (Ty::Str, Value::Str(_)) => Ok(()),
+        (Ty::Literal(expected), v) => {
+            if expected == v {
+                Ok(())
+            } else {
+                Err(DecodeError {
+                    path: path.clone(),
+                    expected: format!("literal {expected}"),
+                    found: v.to_json_string(),
+                })
+            }
+        }
+        (Ty::Array(item), Value::Arr(items)) => {
+            for (i, member) in items.iter().enumerate() {
+                go(item, member, &path.push_index(i))?;
+            }
+            Ok(())
+        }
+        (Ty::Tuple(types), Value::Arr(items)) => {
+            if types.len() != items.len() {
+                return Err(DecodeError {
+                    path: path.clone(),
+                    expected: format!("tuple of {} elements", types.len()),
+                    found: format!("array of {} elements", items.len()),
+                });
+            }
+            for (i, (t, member)) in types.iter().zip(items).enumerate() {
+                go(t, member, &path.push_index(i))?;
+            }
+            Ok(())
+        }
+        (Ty::Record(fields), Value::Obj(obj)) => {
+            for field in fields {
+                match obj.get(&field.name) {
+                    Some(member) => go(&field.ty, member, &path.push_key(&field.name))?,
+                    None if field.optional => {}
+                    None => {
+                        return Err(DecodeError {
+                            path: path.clone(),
+                            expected: format!("key '{}'", field.name),
+                            found: "no value".to_string(),
+                        })
+                    }
+                }
+            }
+            // Codable ignores unknown keys; so does TS structural typing.
+            Ok(())
+        }
+        (Ty::Union(members), v) => {
+            for m in members {
+                if go(m, v, path).is_ok() {
+                    return Ok(());
+                }
+            }
+            fail(ty, value, path)
+        }
+        _ => fail(ty, value, path),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ty;
+    use jsonx_data::json;
+
+    #[test]
+    fn scalars() {
+        assert!(decode(&ty::number(), &json!(3.5)).is_ok());
+        assert!(decode(&ty::string(), &json!("x")).is_ok());
+        assert!(decode(&ty::null(), &json!(null)).is_ok());
+        assert!(decode(&ty::number(), &json!("3")).is_err());
+        assert!(decode(&ty::never(), &json!(null)).is_err());
+    }
+
+    #[test]
+    fn record_decoding_ignores_unknown_keys() {
+        let t = ty::record([("id", ty::number())]);
+        assert!(decode(&t, &json!({"id": 1, "extra": true})).is_ok());
+    }
+
+    #[test]
+    fn missing_key_names_the_key() {
+        let t = ty::record([("id", ty::number())]);
+        let err = decode(&t, &json!({})).unwrap_err();
+        assert!(err.expected.contains("'id'"));
+    }
+
+    #[test]
+    fn error_paths_are_coding_paths() {
+        let t = ty::record([("xs", ty::array(ty::number()))]);
+        let err = decode(&t, &json!({"xs": [1, "two"]})).unwrap_err();
+        assert_eq!(err.path.to_string(), "/xs/1");
+    }
+
+    #[test]
+    fn unions_try_each_member() {
+        let t = ty::union([ty::string(), ty::record([("lat", ty::number())])]);
+        assert!(decode(&t, &json!("Lisbon")).is_ok());
+        assert!(decode(&t, &json!({"lat": 38.7})).is_ok());
+        assert!(decode(&t, &json!(7)).is_err());
+    }
+
+    #[test]
+    fn tuples_are_exact_arity() {
+        let t = ty::tuple([ty::number(), ty::number()]);
+        assert!(decode(&t, &json!([38.72, -9.13])).is_ok());
+        assert!(decode(&t, &json!([38.72])).is_err());
+        assert!(decode(&t, &json!([38.72, -9.13, 0.0])).is_err());
+    }
+
+    #[test]
+    fn literals_and_discriminants() {
+        let point = ty::record([("type", ty::literal("Point"))]);
+        assert!(decode(&point, &json!({"type": "Point"})).is_ok());
+        let err = decode(&point, &json!({"type": "Polygon"})).unwrap_err();
+        assert!(err.expected.contains("literal"));
+    }
+
+    #[test]
+    fn optional_fields_may_be_absent_but_not_mistyped() {
+        let t = ty::record([("id", ty::number())]).with_optional("tag", ty::string());
+        assert!(decode(&t, &json!({"id": 1})).is_ok());
+        assert!(decode(&t, &json!({"id": 1, "tag": "x"})).is_ok());
+        assert!(decode(&t, &json!({"id": 1, "tag": 9})).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Exporting language types as JSON Schema documents — §3's comparison
+//! between programming-language types and schema languages, as code.
+//!
+//! The translation is semantics-preserving for [`decode`](crate::decode):
+//! a value decodes at `ty` iff it validates against `to_schema(ty)`
+//! (property-tested in `tests/prop_schema_agreement.rs` at the workspace
+//! level).
+
+use crate::types::Ty;
+use jsonx_data::{json, Object, Value};
+
+/// Renders a [`Ty`] as an equivalent JSON Schema document.
+pub fn to_schema(ty: &Ty) -> Value {
+    match ty {
+        Ty::Any => Value::Bool(true),
+        Ty::Never => Value::Bool(false),
+        Ty::Null => json!({"type": "null"}),
+        Ty::Bool => json!({"type": "boolean"}),
+        Ty::Number => json!({"type": "number"}),
+        Ty::Str => json!({"type": "string"}),
+        Ty::Literal(v) => {
+            let mut o = Object::new();
+            o.insert("const", v.clone());
+            Value::Obj(o)
+        }
+        Ty::Array(item) => {
+            let mut o = Object::new();
+            o.insert("type", Value::from("array"));
+            o.insert("items", to_schema(item));
+            Value::Obj(o)
+        }
+        Ty::Tuple(items) => {
+            let mut o = Object::new();
+            o.insert("type", Value::from("array"));
+            o.insert(
+                "items",
+                Value::Arr(items.iter().map(to_schema).collect()),
+            );
+            o.insert("minItems", Value::from(items.len() as i64));
+            o.insert("maxItems", Value::from(items.len() as i64));
+            Value::Obj(o)
+        }
+        Ty::Record(fields) => {
+            let mut properties = Object::new();
+            let mut required: Vec<Value> = Vec::new();
+            for field in fields {
+                properties.insert(field.name.clone(), to_schema(&field.ty));
+                if !field.optional {
+                    required.push(Value::from(field.name.as_str()));
+                }
+            }
+            let mut o = Object::new();
+            o.insert("type", Value::from("object"));
+            o.insert("properties", Value::Obj(properties));
+            if !required.is_empty() {
+                o.insert("required", Value::Arr(required));
+            }
+            // TS structural typing and Codable both ignore unknown keys —
+            // additionalProperties stays open.
+            Value::Obj(o)
+        }
+        Ty::Union(members) => {
+            let mut o = Object::new();
+            o.insert(
+                "anyOf",
+                Value::Arr(members.iter().map(to_schema).collect()),
+            );
+            Value::Obj(o)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ty;
+
+    #[test]
+    fn scalar_exports() {
+        assert_eq!(to_schema(&ty::any()), Value::Bool(true));
+        assert_eq!(to_schema(&ty::never()), Value::Bool(false));
+        assert_eq!(to_schema(&ty::number()), json!({"type": "number"}));
+        assert_eq!(to_schema(&ty::literal("x")), json!({"const": "x"}));
+    }
+
+    #[test]
+    fn record_optionality_maps_to_required() {
+        let t = ty::record([("a", ty::number())]).with_optional("b", ty::string());
+        let schema = to_schema(&t);
+        assert_eq!(schema.get("required"), Some(&json!(["a"])));
+    }
+
+    #[test]
+    fn tuple_pins_arity() {
+        let schema = to_schema(&ty::tuple([ty::number(), ty::string()]));
+        assert_eq!(schema.get("minItems"), Some(&json!(2)));
+        assert_eq!(schema.get("maxItems"), Some(&json!(2)));
+    }
+
+    #[test]
+    fn union_becomes_any_of() {
+        let schema = to_schema(&ty::union([ty::null(), ty::string()]));
+        assert_eq!(
+            schema,
+            json!({"anyOf": [{"type": "null"}, {"type": "string"}]})
+        );
+    }
+}

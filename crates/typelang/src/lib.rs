@@ -1,0 +1,49 @@
+//! # jsonx-typelang
+//!
+//! §3 of the tutorial as code: the record/sequence/union triad a
+//! programming language needs "to directly and naturally manage JSON
+//! data", modelled on TypeScript's structural types and Swift's `Codable`
+//! decoding.
+//!
+//! * [`Ty`] — a structural type language with records, sequences, tuples,
+//!   **union types** (the rare ingredient the tutorial highlights),
+//!   optionals, literal types (TS string/number literals) and `Any`.
+//! * [`subtype`] — TypeScript-style structural subtyping (width + depth
+//!   for records, covariant arrays, union introduction/elimination).
+//! * [`decode`] — Swift-`Codable`-style checked decoding of a
+//!   [`Value`](jsonx_data::Value) against a type, with `DecodingError`
+//!   paths like Swift's.
+//! * [`narrow`] — TypeScript-style flow narrowing: `typeof`-tests and
+//!   discriminated unions.
+//!
+//! ```
+//! use jsonx_data::json;
+//! use jsonx_typelang::{ty, decode, subtype};
+//!
+//! // type Tweet = { id: number, text: string, geo?: { lat: number } }
+//! let tweet = ty::record([
+//!     ("id", ty::number()),
+//!     ("text", ty::string()),
+//! ]).with_optional("geo", ty::record([("lat", ty::number())]));
+//!
+//! assert!(decode(&tweet, &json!({"id": 1, "text": "hi"})).is_ok());
+//! assert!(decode(&tweet, &json!({"id": 1})).is_err()); // text missing
+//!
+//! // Width subtyping: a wider record is a subtype.
+//! let wide = ty::record([("id", ty::number()), ("text", ty::string()),
+//!                        ("extra", ty::boolean())]);
+//! assert!(subtype(&wide, &tweet));
+//! ```
+
+pub mod decode;
+pub mod export;
+pub mod narrow;
+pub mod subtype;
+pub mod types;
+
+pub use decode::{decode, DecodeError};
+pub use export::to_schema;
+pub use narrow::{narrow_by_discriminant, narrow_by_kind};
+pub use subtype::subtype;
+pub use types::ty;
+pub use types::{Field, Ty};

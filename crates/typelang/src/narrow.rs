@@ -1,0 +1,137 @@
+//! Flow narrowing — the `typeof x === "string"` and discriminated-union
+//! idioms TypeScript uses to make union types ergonomic (§3).
+
+use crate::types::Ty;
+use jsonx_data::{Kind, Value};
+
+/// Narrows a type by a runtime kind test: the members that could have the
+/// given kind survive (TS `typeof` narrowing; `Never` when none survive).
+pub fn narrow_by_kind(ty: &Ty, kind: Kind) -> Ty {
+    let members: Vec<Ty> = ty_members(ty)
+        .iter()
+        .filter(|m| member_matches_kind(m, kind))
+        .cloned()
+        .collect();
+    rebuild(members)
+}
+
+/// Narrows a union of records by a discriminant field value (TS
+/// discriminated unions, e.g. `if (shape.type === "Point")`).
+pub fn narrow_by_discriminant(ty: &Ty, field: &str, value: &Value) -> Ty {
+    let members: Vec<Ty> = ty_members(ty)
+        .iter()
+        .filter(|m| match m.field(field) {
+            Some(f) => match &f.ty {
+                Ty::Literal(lit) => lit == value,
+                // A non-literal discriminant could hold any value of its
+                // base type; keep the member when the value fits it.
+                other => crate::decode::decode(other, value).is_ok(),
+            },
+            None => false,
+        })
+        .cloned()
+        .collect();
+    rebuild(members)
+}
+
+fn ty_members(ty: &Ty) -> Vec<Ty> {
+    match ty {
+        Ty::Union(ms) => ms.clone(),
+        other => vec![other.clone()],
+    }
+}
+
+fn rebuild(mut members: Vec<Ty>) -> Ty {
+    match members.len() {
+        0 => Ty::Never,
+        1 => members.pop().expect("len checked"),
+        _ => Ty::Union(members),
+    }
+}
+
+fn member_matches_kind(ty: &Ty, kind: Kind) -> bool {
+    match ty {
+        Ty::Any => true,
+        Ty::Never => false,
+        Ty::Null => kind == Kind::Null,
+        Ty::Bool => kind == Kind::Boolean,
+        Ty::Number => kind == Kind::Number || kind == Kind::Integer,
+        Ty::Str => kind == Kind::String,
+        Ty::Literal(v) => {
+            let k = v.kind();
+            k == kind || (k == Kind::Integer && kind == Kind::Number)
+        }
+        Ty::Array(_) | Ty::Tuple(_) => kind == Kind::Array,
+        Ty::Record(_) => kind == Kind::Object,
+        Ty::Union(ms) => ms.iter().any(|m| member_matches_kind(m, kind)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ty;
+    use jsonx_data::json;
+
+    #[test]
+    fn typeof_narrowing() {
+        // coordinates: null | { lat: number } — the tweet geo union.
+        let geo = ty::union([ty::null(), ty::record([("lat", ty::number())])]);
+        assert_eq!(narrow_by_kind(&geo, Kind::Null), Ty::Null);
+        assert_eq!(
+            narrow_by_kind(&geo, Kind::Object),
+            ty::record([("lat", ty::number())])
+        );
+        assert_eq!(narrow_by_kind(&geo, Kind::String), Ty::Never);
+    }
+
+    #[test]
+    fn non_union_narrows_to_self_or_never() {
+        assert_eq!(narrow_by_kind(&ty::string(), Kind::String), ty::string());
+        assert_eq!(narrow_by_kind(&ty::string(), Kind::Boolean), Ty::Never);
+    }
+
+    #[test]
+    fn discriminated_unions() {
+        // type Shape = {type: "Point", xy: [number, number]}
+        //            | {type: "Circle", r: number}
+        let point = ty::record([
+            ("type", ty::literal("Point")),
+            ("xy", ty::tuple([ty::number(), ty::number()])),
+        ]);
+        let circle = ty::record([("type", ty::literal("Circle")), ("r", ty::number())]);
+        let shape = ty::union([point.clone(), circle.clone()]);
+        assert_eq!(
+            narrow_by_discriminant(&shape, "type", &json!("Point")),
+            point
+        );
+        assert_eq!(
+            narrow_by_discriminant(&shape, "type", &json!("Circle")),
+            circle
+        );
+        assert_eq!(
+            narrow_by_discriminant(&shape, "type", &json!("Square")),
+            Ty::Never
+        );
+        assert_eq!(
+            narrow_by_discriminant(&shape, "missing", &json!("x")),
+            Ty::Never
+        );
+    }
+
+    #[test]
+    fn non_literal_discriminants_narrow_by_fit() {
+        let a = ty::record([("v", ty::number())]);
+        let b = ty::record([("v", ty::string())]);
+        let u = ty::union([a.clone(), b.clone()]);
+        assert_eq!(narrow_by_discriminant(&u, "v", &json!(3)), a);
+        assert_eq!(narrow_by_discriminant(&u, "v", &json!("s")), b);
+    }
+
+    #[test]
+    fn multiple_survivors_stay_union() {
+        let u = ty::union([ty::string(), ty::literal("x"), ty::number()]);
+        let narrowed = narrow_by_kind(&u, Kind::String);
+        assert_eq!(narrowed, ty::union([ty::string(), ty::literal("x")]));
+    }
+}

@@ -1,0 +1,151 @@
+//! Structural subtyping, TypeScript-style.
+//!
+//! `subtype(s, t)` ⇔ every value of type `s` is usable where `t` is
+//! expected: records use width + depth subtyping, arrays and tuples are
+//! covariant (as in TS), literals are subtypes of their base type, unions
+//! follow introduction (`s <: t_i` for some i) on the right and
+//! elimination (every member fits) on the left.
+
+use crate::types::Ty;
+use jsonx_data::Value;
+
+/// Is `s` a subtype of `t`?
+pub fn subtype(s: &Ty, t: &Ty) -> bool {
+    match (s, t) {
+        (_, Ty::Any) => true,
+        (Ty::Never, _) => true,
+        (Ty::Any, _) => false, // TS would need a cast; we are strict
+        // Union on the left: every member must fit.
+        (Ty::Union(ms), t) => ms.iter().all(|m| subtype(m, t)),
+        // Union on the right: some member accommodates s.
+        (s, Ty::Union(ms)) => ms.iter().any(|m| subtype(s, m)),
+        (Ty::Null, Ty::Null) => true,
+        (Ty::Bool, Ty::Bool) => true,
+        (Ty::Number, Ty::Number) => true,
+        (Ty::Str, Ty::Str) => true,
+        (Ty::Literal(a), Ty::Literal(b)) => a == b,
+        (Ty::Literal(v), base) => literal_base(v, base),
+        (Ty::Array(a), Ty::Array(b)) => subtype(a, b),
+        (Ty::Tuple(xs), Ty::Tuple(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| subtype(x, y))
+        }
+        // A tuple is usable as an array of the member-type union.
+        (Ty::Tuple(xs), Ty::Array(b)) => xs.iter().all(|x| subtype(x, b)),
+        (Ty::Record(sub), Ty::Record(sup)) => sup.iter().all(|want| {
+            match sub.iter().find(|f| f.name == want.name) {
+                Some(have) => {
+                    // A required field satisfies an optional or required
+                    // one; an optional field only satisfies optional.
+                    (want.optional || !have.optional) && subtype(&have.ty, &want.ty)
+                }
+                None => want.optional,
+            }
+        }),
+        _ => false,
+    }
+}
+
+fn literal_base(v: &Value, base: &Ty) -> bool {
+    matches!(
+        (v, base),
+        (Value::Str(_), Ty::Str)
+            | (Value::Num(_), Ty::Number)
+            | (Value::Bool(_), Ty::Bool)
+            | (Value::Null, Ty::Null)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ty;
+
+    #[test]
+    fn primitives_and_top_bottom() {
+        assert!(subtype(&ty::number(), &ty::number()));
+        assert!(!subtype(&ty::number(), &ty::string()));
+        assert!(subtype(&ty::string(), &ty::any()));
+        assert!(subtype(&ty::never(), &ty::string()));
+        assert!(!subtype(&ty::any(), &ty::string()));
+    }
+
+    #[test]
+    fn literal_types() {
+        assert!(subtype(&ty::literal("a"), &ty::string()));
+        assert!(subtype(&ty::literal(3), &ty::number()));
+        assert!(!subtype(&ty::literal("a"), &ty::number()));
+        assert!(subtype(&ty::literal("a"), &ty::literal("a")));
+        assert!(!subtype(&ty::literal("a"), &ty::literal("b")));
+        assert!(!subtype(&ty::string(), &ty::literal("a")));
+    }
+
+    #[test]
+    fn union_rules() {
+        let s_or_n = ty::union([ty::string(), ty::number()]);
+        assert!(subtype(&ty::string(), &s_or_n));
+        assert!(subtype(&s_or_n, &ty::union([ty::string(), ty::number(), ty::null()])));
+        assert!(!subtype(&s_or_n, &ty::string()));
+        assert!(subtype(
+            &ty::union([ty::literal("a"), ty::literal("b")]),
+            &ty::string()
+        ));
+    }
+
+    #[test]
+    fn record_width_and_depth() {
+        let point = ty::record([("x", ty::number()), ("y", ty::number())]);
+        let labeled = ty::record([
+            ("x", ty::number()),
+            ("y", ty::number()),
+            ("label", ty::string()),
+        ]);
+        assert!(subtype(&labeled, &point)); // width
+        assert!(!subtype(&point, &labeled));
+        let precise = ty::record([("x", ty::literal(0)), ("y", ty::number())]);
+        assert!(subtype(&precise, &point)); // depth
+    }
+
+    #[test]
+    fn optional_fields() {
+        let opt = ty::record([("a", ty::number())]).with_optional("b", ty::string());
+        let req = ty::record([("a", ty::number()), ("b", ty::string())]);
+        assert!(subtype(&req, &opt)); // required satisfies optional
+        assert!(!subtype(&opt, &req)); // optional does not satisfy required
+        let empty = ty::record([]);
+        assert!(subtype(&empty, &ty::record([]).with_optional("z", ty::any())));
+    }
+
+    #[test]
+    fn arrays_and_tuples() {
+        assert!(subtype(
+            &ty::array(ty::literal(1)),
+            &ty::array(ty::number())
+        ));
+        assert!(subtype(
+            &ty::tuple([ty::number(), ty::string()]),
+            &ty::tuple([ty::number(), ty::string()])
+        ));
+        assert!(!subtype(
+            &ty::tuple([ty::number()]),
+            &ty::tuple([ty::number(), ty::string()])
+        ));
+        // Tuple-as-array.
+        assert!(subtype(
+            &ty::tuple([ty::number(), ty::number()]),
+            &ty::array(ty::number())
+        ));
+        assert!(!subtype(
+            &ty::tuple([ty::number(), ty::string()]),
+            &ty::array(ty::number())
+        ));
+    }
+
+    #[test]
+    fn reflexive_on_compound() {
+        let t = ty::record([
+            ("u", ty::record([("id", ty::number())])),
+            ("tags", ty::array(ty::union([ty::string(), ty::number()]))),
+        ]);
+        assert!(subtype(&t, &t));
+    }
+}

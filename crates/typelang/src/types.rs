@@ -1,0 +1,221 @@
+//! The structural type language.
+
+use jsonx_data::Value;
+use std::fmt;
+
+/// A structural type in the TypeScript/Swift mould.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ty {
+    /// `any` — top.
+    Any,
+    /// `never` — bottom (TS), useful for exhaustiveness.
+    Never,
+    /// `null`.
+    Null,
+    /// `boolean`.
+    Bool,
+    /// `number` (both languages use doubles for JSON numbers).
+    Number,
+    /// `string`.
+    Str,
+    /// A literal type, e.g. `"Point"` or `42` (TS literal types / Swift
+    /// enum raw values).
+    Literal(Value),
+    /// `T[]` / `[T]`.
+    Array(Box<Ty>),
+    /// Fixed-arity tuple `[T1, T2, …]`.
+    Tuple(Vec<Ty>),
+    /// `{ name: T, other?: U }` — fields sorted by name.
+    Record(Vec<Field>),
+    /// `T | U | …`.
+    Union(Vec<Ty>),
+}
+
+/// One record field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    pub name: String,
+    pub ty: Ty,
+    /// `?`-marked in TS; decoded as `Optional` in Swift.
+    pub optional: bool,
+}
+
+impl Ty {
+    /// Record field lookup.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        match self {
+            Ty::Record(fields) => fields.iter().find(|f| f.name == name),
+            _ => None,
+        }
+    }
+
+    /// Adds an optional field to a record type (builder sugar).
+    pub fn with_optional(self, name: impl Into<String>, ty: Ty) -> Ty {
+        self.add_field(name, ty, true)
+    }
+
+    /// Adds a required field to a record type (builder sugar).
+    pub fn with_field(self, name: impl Into<String>, ty: Ty) -> Ty {
+        self.add_field(name, ty, false)
+    }
+
+    fn add_field(self, name: impl Into<String>, ty: Ty, optional: bool) -> Ty {
+        let Ty::Record(mut fields) = self else {
+            panic!("with_field on a non-record type")
+        };
+        fields.push(Field {
+            name: name.into(),
+            ty,
+            optional,
+        });
+        fields.sort_by(|a, b| a.name.cmp(&b.name));
+        Ty::Record(fields)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Any => write!(f, "any"),
+            Ty::Never => write!(f, "never"),
+            Ty::Null => write!(f, "null"),
+            Ty::Bool => write!(f, "boolean"),
+            Ty::Number => write!(f, "number"),
+            Ty::Str => write!(f, "string"),
+            Ty::Literal(v) => write!(f, "{v}"),
+            Ty::Array(t) => write!(f, "{t}[]"),
+            Ty::Tuple(ts) => {
+                write!(f, "[")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "]")
+            }
+            Ty::Record(fields) => {
+                write!(f, "{{")?;
+                for (i, field) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(
+                        f,
+                        "{}{}: {}",
+                        field.name,
+                        if field.optional { "?" } else { "" },
+                        field.ty
+                    )?;
+                }
+                write!(f, "}}")
+            }
+            Ty::Union(ts) => {
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    // Parenthesise nested unions for readability.
+                    write!(f, "{t}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Constructor helpers (TS-ish spelling).
+pub mod ty {
+    use super::{Field, Ty};
+    use jsonx_data::Value;
+
+    pub fn any() -> Ty {
+        Ty::Any
+    }
+    pub fn never() -> Ty {
+        Ty::Never
+    }
+    pub fn null() -> Ty {
+        Ty::Null
+    }
+    pub fn boolean() -> Ty {
+        Ty::Bool
+    }
+    pub fn number() -> Ty {
+        Ty::Number
+    }
+    pub fn string() -> Ty {
+        Ty::Str
+    }
+
+    /// A literal type, e.g. `literal("Point")`.
+    pub fn literal(v: impl Into<Value>) -> Ty {
+        Ty::Literal(v.into())
+    }
+
+    /// `T[]`.
+    pub fn array(item: Ty) -> Ty {
+        Ty::Array(Box::new(item))
+    }
+
+    /// `[T1, T2, …]`.
+    pub fn tuple<I: IntoIterator<Item = Ty>>(items: I) -> Ty {
+        Ty::Tuple(items.into_iter().collect())
+    }
+
+    /// `{ a: T, b: U }` (all required; chain `.with_optional` for `?`).
+    pub fn record<'a, I: IntoIterator<Item = (&'a str, Ty)>>(fields: I) -> Ty {
+        let mut fs: Vec<Field> = fields
+            .into_iter()
+            .map(|(name, ty)| Field {
+                name: name.to_string(),
+                ty,
+                optional: false,
+            })
+            .collect();
+        fs.sort_by(|a, b| a.name.cmp(&b.name));
+        Ty::Record(fs)
+    }
+
+    /// `T | U | …`.
+    pub fn union<I: IntoIterator<Item = Ty>>(members: I) -> Ty {
+        Ty::Union(members.into_iter().collect())
+    }
+
+    /// `T | undefined`-ish: optional value position (`T | null`).
+    pub fn optional(t: Ty) -> Ty {
+        Ty::Union(vec![t, Ty::Null])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ty;
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let t = ty::record([("id", ty::number())])
+            .with_optional("geo", ty::union([ty::null(), ty::string()]));
+        assert_eq!(t.to_string(), "{geo?: null | string, id: number}");
+        assert_eq!(ty::array(ty::string()).to_string(), "string[]");
+        assert_eq!(
+            ty::tuple([ty::number(), ty::string()]).to_string(),
+            "[number, string]"
+        );
+        assert_eq!(ty::literal("Point").to_string(), "\"Point\"");
+    }
+
+    #[test]
+    fn record_fields_sorted() {
+        let t = ty::record([("z", ty::any()), ("a", ty::any())]);
+        let Ty::Record(fields) = &t else { panic!() };
+        assert_eq!(fields[0].name, "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-record")]
+    fn with_field_on_scalar_panics() {
+        let _ = ty::number().with_field("x", ty::any());
+    }
+}

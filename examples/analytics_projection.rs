@@ -1,0 +1,92 @@
+//! Mison-style analytics: run a field-projecting scan over a large
+//! NDJSON collection and compare full parsing, projected parsing, and
+//! speculative decoding (§4.2).
+//!
+//! ```sh
+//! cargo run --release --example analytics_projection
+//! ```
+
+use jsonx::gen::Corpus;
+use jsonx::mison::{ProjectedParser, SpeculativeDecoder};
+use jsonx::syntax::{parse, write_ndjson};
+use std::time::Instant;
+
+fn main() {
+    let n = 5_000;
+    let docs = Corpus::Nytimes.generate(n);
+    let ndjson = write_ndjson(&docs);
+    let lines: Vec<&str> = ndjson.lines().collect();
+    println!(
+        "workload: {} wide articles, {:.1} MiB of JSON text\n",
+        n,
+        ndjson.len() as f64 / (1024.0 * 1024.0)
+    );
+
+    // The analytics task: average word count per section — 2 of ~15 fields.
+    let fields = ["section_name", "word_count"];
+
+    // 1. Conventional eager parsing.
+    let t = Instant::now();
+    let mut sum = 0i64;
+    let mut count = 0i64;
+    for line in &lines {
+        let doc = parse(line).unwrap();
+        if doc.get("section_name").and_then(|v| v.as_str()) == Some("Science") {
+            sum += doc.get("word_count").and_then(|v| v.as_i64()).unwrap_or(0);
+            count += 1;
+        }
+    }
+    let full_time = t.elapsed();
+    println!(
+        "full parse:        {:>8.2?}  (avg Science words: {})",
+        full_time,
+        if count > 0 { sum / count } else { 0 }
+    );
+
+    // 2. Mison-style projection pushdown.
+    let parser = ProjectedParser::new(&fields).unwrap();
+    let t = Instant::now();
+    let mut psum = 0i64;
+    let mut pcount = 0i64;
+    for line in &lines {
+        let projected = parser.parse(line.as_bytes()).unwrap();
+        if projected.get("section_name").and_then(|v| v.as_str()) == Some("Science") {
+            psum += projected
+                .get("word_count")
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0);
+            pcount += 1;
+        }
+    }
+    let projected_time = t.elapsed();
+    assert_eq!((sum, count), (psum, pcount), "projection must agree");
+    println!(
+        "projected parse:   {:>8.2?}  ({:.2}x speedup)",
+        projected_time,
+        full_time.as_secs_f64() / projected_time.as_secs_f64()
+    );
+
+    // 3. Fad.js-style speculative decoding (stable field layout).
+    let decoder = SpeculativeDecoder::new();
+    let t = Instant::now();
+    let mut ssum = 0i64;
+    let mut scount = 0i64;
+    for line in &lines {
+        let section = decoder.get_field(line.as_bytes(), "section_name");
+        if section.as_ref().and_then(|v| v.as_str()) == Some("Science") {
+            ssum += decoder
+                .get_field(line.as_bytes(), "word_count")
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0);
+            scount += 1;
+        }
+    }
+    let speculative_time = t.elapsed();
+    assert_eq!((sum, count), (ssum, scount), "speculation must agree");
+    println!(
+        "speculative:       {:>8.2?}  ({:.2}x speedup, {:.1}% pattern hits)",
+        speculative_time,
+        full_time.as_secs_f64() / speculative_time.as_secs_f64(),
+        decoder.stats().hit_rate() * 100.0
+    );
+}

@@ -1,0 +1,118 @@
+//! Validating API payloads with all three schema languages (§2) and
+//! decoding them with language-style types (§3).
+//!
+//! ```sh
+//! cargo run --example api_validation
+//! ```
+
+use jsonx::joi::{joi, When};
+use jsonx::json;
+use jsonx::jsound::JSoundSchema;
+use jsonx::schema::{CompiledSchema, ValidatorOptions};
+use jsonx::typelang::{decode, narrow_by_discriminant, ty};
+
+fn main() {
+    let payment = json!({
+        "amount": 120.50,
+        "currency": "EUR",
+        "method": "card",
+        "card_number": "4000123412341234",
+        "billing_address": "Av. da Liberdade 1, Lisboa",
+        "captured_at": "2019-03-26T14:30:00Z"
+    });
+    let broken = json!({
+        "amount": -3,
+        "currency": "euros",
+        "method": "card"
+    });
+
+    // -- JSON Schema: declarative, with formats enforced --------------------
+    let schema = CompiledSchema::compile(&json!({
+        "type": "object",
+        "required": ["amount", "currency", "method"],
+        "properties": {
+            "amount": {"type": "number", "exclusiveMinimum": 0},
+            "currency": {"type": "string", "pattern": "^[A-Z]{3}$"},
+            "method": {"enum": ["card", "cash", "transfer"]},
+            "card_number": {"type": "string", "pattern": "^\\d{16}$"},
+            "billing_address": {"type": "string", "minLength": 5},
+            "captured_at": {"type": "string", "format": "date-time"}
+        },
+        "dependencies": {"card_number": ["billing_address"]},
+        "additionalProperties": false
+    }))
+    .unwrap();
+    let opts = ValidatorOptions {
+        enforce_formats: true,
+    };
+    println!("JSON Schema:");
+    println!("  good payload valid: {}", schema.validate_with(&payment, opts).is_ok());
+    for e in schema.validate_with(&broken, opts).unwrap_err() {
+        println!("  ✗ {e}");
+    }
+
+    // -- Joi: the same policy as fluent combinators -------------------------
+    let joi_schema = joi::object()
+        .key("amount", joi::number().min(f64::MIN_POSITIVE).required())
+        .key("currency", joi::string().pattern("^[A-Z]{3}$").required())
+        .key("method", joi::string().valid(["card", "cash", "transfer"]).required())
+        .key(
+            "card_number",
+            joi::string().pattern(r"^\d{16}$").when(When::is(
+                "method",
+                joi::any().valid(["card"]),
+                joi::string().required(),
+            )),
+        )
+        .key("billing_address", joi::string().min_len(5))
+        .key("captured_at", joi::string())
+        .with("card_number", ["billing_address"])
+        .build();
+    println!("\nJoi:");
+    println!("  good payload valid: {}", joi_schema.is_valid(&payment));
+    for e in joi_schema.validate(&broken).unwrap_err() {
+        println!("  ✗ {e}");
+    }
+
+    // -- JSound: the restrictive schema-by-example view ----------------------
+    let jsound = JSoundSchema::compile(&json!({
+        "!amount": "decimal",
+        "!currency": "string",
+        "!method": "string",
+        "card_number": "string",
+        "billing_address": "string",
+        "captured_at": "dateTime"
+    }))
+    .unwrap();
+    println!("\nJSound:");
+    println!("  good payload valid: {}", jsound.is_valid(&payment));
+    println!(
+        "  (note: JSound cannot express the ranges, patterns or\n   co-occurrence rules above — §2's restrictiveness point)"
+    );
+
+    // -- typed decoding, TS/Swift style --------------------------------------
+    let payment_ty = ty::record([
+        ("amount", ty::number()),
+        ("currency", ty::string()),
+        ("method", ty::union([
+            ty::literal("card"),
+            ty::literal("cash"),
+            ty::literal("transfer"),
+        ])),
+    ])
+    .with_optional("card_number", ty::string())
+    .with_optional("billing_address", ty::string())
+    .with_optional("captured_at", ty::string());
+    println!("\ntypelang decode:");
+    println!("  payment: {:?}", decode(&payment_ty, &payment).is_ok());
+    if let Err(e) = decode(&payment_ty, &json!({"amount": "x"})) {
+        println!("  ✗ {e}");
+    }
+
+    // Discriminated-union narrowing, the TS idiom.
+    let card = ty::record([("method", ty::literal("card")), ("card_number", ty::string())]);
+    let cash = ty::record([("method", ty::literal("cash"))]);
+    let request = ty::union([card, cash]);
+    let narrowed = narrow_by_discriminant(&request, "method", &json!("card"));
+    println!("  narrowed by method=card: {narrowed}");
+}

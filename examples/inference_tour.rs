@@ -1,0 +1,105 @@
+//! A tour of the schema-inference landscape the tutorial surveys (§4.1):
+//! parametric K/L inference side by side with the Spark-style,
+//! Studio3T-naive, mongodb-schema-style and Skinfer-style baselines, on a
+//! GitHub-events-like corpus.
+//!
+//! ```sh
+//! cargo run --example inference_tour
+//! ```
+
+use jsonx::baselines::{infer_naive, infer_spark, spark_type_size, MongoProfiler};
+use jsonx::core::{
+    infer_collection, measure, print_type, type_size, Equivalence, PrintOptions,
+};
+use jsonx::gen::Corpus;
+
+fn main() {
+    let docs = Corpus::Github.generate(500);
+    println!("corpus: {} documents of {}\n", docs.len(), Corpus::Github.name());
+
+    // -- parametric inference (the tutorial authors' line of work) -------
+    for equiv in [Equivalence::Kind, Equivalence::Label] {
+        let ty = infer_collection(&docs, equiv);
+        let m = measure(&ty);
+        println!(
+            "parametric [{}]: size={} nodes, max union width={}, optional fields={}/{}",
+            equiv.name(),
+            m.size,
+            m.max_union_width,
+            m.optional_fields,
+            m.total_fields
+        );
+    }
+    let l_type = infer_collection(&docs, Equivalence::Label);
+    println!(
+        "\nL-inferred payload variants (per event type):\n{}\n",
+        indent(&print_type(
+            &field_of(&l_type, "payload"),
+            PrintOptions::plain()
+        ))
+    );
+
+    // -- Spark-style -------------------------------------------------------
+    let spark = infer_spark(&docs);
+    println!(
+        "spark-style: size={} nodes (no unions; conflicts widen to string)",
+        spark_type_size(&spark)
+    );
+
+    // -- Studio3T-naive (no merging) ---------------------------------------
+    let naive = infer_naive(&docs);
+    println!(
+        "naive (no merge): {} distinct document types, total size {} nodes",
+        naive.variant_count(),
+        naive.size()
+    );
+
+    // -- mongodb-schema-style streaming profile ----------------------------
+    let mut profiler = MongoProfiler::default();
+    for d in &docs {
+        profiler.observe(d);
+    }
+    println!(
+        "mongodb-schema-style: {} profiled paths; sample:",
+        profiler.size()
+    );
+    for line in profiler.report().lines().take(8) {
+        println!("  {line}");
+    }
+    println!("  ...");
+
+    // -- skinfer-style ------------------------------------------------------
+    let skinfer = jsonx::baselines::infer_skinfer(&docs);
+    let rendered = jsonx::syntax::to_string(&skinfer);
+    println!(
+        "\nskinfer-style JSON Schema: {} bytes{}",
+        rendered.len(),
+        if rendered.contains(r#""payload":{"type":"object""#) {
+            " (payload merged as one record — unions unavailable)"
+        } else {
+            ""
+        }
+    );
+}
+
+/// Extracts a field's type from a union of records (for display).
+fn field_of(ty: &jsonx::core::JType, name: &str) -> jsonx::core::JType {
+    use jsonx::core::JType;
+    let mut members = Vec::new();
+    for m in ty.members() {
+        if let JType::Record(r) = m {
+            if let Some(f) = r.field(name) {
+                members.extend(f.ty.members().iter().cloned());
+            }
+        }
+    }
+    match members.len() {
+        0 => JType::Bottom,
+        1 => members.pop().expect("len checked"),
+        _ => JType::Union(members),
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.replace(" + ", "\n  + ")
+}

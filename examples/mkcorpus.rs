@@ -1,0 +1,16 @@
+//! Emits a seeded GitHub-events-like corpus as NDJSON on stdout — handy
+//! for feeding the `jsonx` CLI:
+//!
+//! ```sh
+//! cargo run --release --example mkcorpus > /tmp/github.ndjson
+//! jsonx infer /tmp/github.ndjson
+//! ```
+
+fn main() {
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    let docs = jsonx::gen::Corpus::Github.generate(n);
+    print!("{}", jsonx::syntax::write_ndjson(&docs));
+}

@@ -1,0 +1,72 @@
+//! Jaql-style querying with static output-schema inference (§4.1, [13]):
+//! "systems like Jaql exploit schema information for inferring the output
+//! schema of a query". Runs analytics pipelines over the GitHub-events
+//! corpus and shows the output schema computed *before* execution, then
+//! checks it against the actual output.
+//!
+//! ```sh
+//! cargo run --example query_typing
+//! ```
+
+use jsonx::core::{infer_collection, print_type, Equivalence, PrintOptions};
+use jsonx::jaql::{expr, infer_output_type, Pipeline};
+use jsonx::gen::Corpus;
+
+fn main() {
+    let docs = Corpus::Github.generate(1_000);
+    let input_ty = infer_collection(&docs, Equivalence::Kind);
+    println!(
+        "input: {} GitHub events\ninferred input type:\n  {:.120}...\n",
+        docs.len(),
+        print_type(&input_ty, PrintOptions::plain())
+    );
+
+    let queries = vec![
+        (
+            "push summary",
+            Pipeline::new()
+                .filter(expr::path("type").eq(expr::lit("PushEvent")))
+                .transform(expr::record([
+                    ("who", expr::path("actor.login")),
+                    ("repo", expr::path("repo.name")),
+                    ("commits", expr::path("payload.size")),
+                ])),
+        ),
+        (
+            "all commit shas",
+            Pipeline::new()
+                .expand(expr::path("payload.commits"))
+                .transform(expr::path("sha")),
+        ),
+        (
+            "engagement score",
+            Pipeline::new().transform(expr::record([
+                ("id", expr::path("id")),
+                (
+                    "busy",
+                    expr::path("payload.size").ge(expr::lit(2)),
+                ),
+            ])),
+        ),
+    ];
+
+    for (name, q) in queries {
+        let out_ty = infer_output_type(&q, &input_ty);
+        let rows = q.eval(&docs);
+        let all_admitted = rows.iter().all(|r| out_ty.admits(r));
+        println!("query: {name}\n  {q}");
+        println!(
+            "  static output type: {}",
+            print_type(&out_ty, PrintOptions::plain())
+        );
+        println!(
+            "  executed: {} rows, sample: {}",
+            rows.len(),
+            rows.first().map(ToString::to_string).unwrap_or_default()
+        );
+        println!(
+            "  every row admitted by the static type: {all_admitted}\n"
+        );
+        assert!(all_admitted);
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: parse a JSON collection, infer its schema, validate new
+//! documents against it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use jsonx::core::{infer_collection, print_type, to_json_schema, Equivalence, PrintOptions};
+use jsonx::schema::CompiledSchema;
+use jsonx::syntax::{parse_ndjson, to_string_pretty};
+
+fn main() {
+    // A small schemaless collection, as it would arrive over the wire.
+    let ndjson = r#"
+{"id": 1, "name": "ada", "langs": ["rust", "ml"], "geo": null}
+{"id": 2, "name": "grace", "langs": []}
+{"id": "u3", "langs": ["cobol"], "geo": {"lat": 38.72, "lon": -9.13}}
+"#;
+    let docs = parse_ndjson(ndjson).expect("valid NDJSON");
+    println!("parsed {} documents\n", docs.len());
+
+    // 1. Infer a type, under both equivalences of parametric inference.
+    for equiv in [Equivalence::Kind, Equivalence::Label] {
+        let ty = infer_collection(&docs, equiv);
+        println!(
+            "{} equivalence:\n  {}\n",
+            equiv.name(),
+            print_type(&ty, PrintOptions::plain())
+        );
+    }
+
+    // 2. Counting types: the same inference doubles as a profile.
+    let ty = infer_collection(&docs, Equivalence::Kind);
+    println!(
+        "counting annotations:\n  {}\n",
+        print_type(&ty, PrintOptions::with_counts())
+    );
+
+    // 3. Export to JSON Schema and validate new documents.
+    let schema_doc = to_json_schema(&ty);
+    println!("exported JSON Schema:\n{}\n", to_string_pretty(&schema_doc));
+    let schema = CompiledSchema::compile(&schema_doc).expect("exported schema compiles");
+
+    let good = jsonx::json!({"id": 4, "name": "lin", "langs": ["sql"]});
+    let bad = jsonx::json!({"id": 5, "langs": "not-an-array"});
+    println!("validate {good}: {}", schema.is_valid(&good));
+    match schema.validate(&bad) {
+        Ok(()) => unreachable!(),
+        Err(errors) => {
+            println!("validate {bad}:");
+            for e in errors {
+                println!("  ✗ {e}");
+            }
+        }
+    }
+}

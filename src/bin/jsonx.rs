@@ -1,0 +1,373 @@
+//! `jsonx` — command-line front end for the workspace.
+//!
+//! ```text
+//! jsonx infer    [--equiv K|L] [--counts] [--schema] [FILE]
+//! jsonx validate --schema SCHEMA.json [--formats] [FILE]
+//! jsonx profile  [FILE]
+//! jsonx skeleton [--coverage 0.9] [FILE]
+//! jsonx project  --fields a,b.c [FILE]
+//! jsonx convert  --to avro|columnar|relational [FILE]
+//! jsonx query    [--where-exists p] [--expand p] [--project a,b.c] [--top n] [FILE]
+//! ```
+//!
+//! `FILE` is newline-delimited JSON; `-` or no file reads stdin.
+
+use jsonx::baselines::MongoProfiler;
+use jsonx::core::{
+    infer_collection, print_type, to_json_schema, Equivalence, PrintOptions,
+};
+use jsonx::mison::ProjectedParser;
+use jsonx::schema::{CompiledSchema, ValidatorOptions};
+use jsonx::skeleton::Skeleton;
+use jsonx::syntax::{parse, parse_ndjson, to_string, to_string_pretty};
+use jsonx::translate::{normalize, AvroCodec, AvroSchema, Shredder};
+use jsonx::Value;
+use std::io::Read;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: jsonx <command> [options] [FILE]
+
+commands:
+  infer     infer a schema for an NDJSON collection
+              --equiv K|L     equivalence (default K)
+              --counts        show counting annotations
+              --schema        emit JSON Schema instead of type syntax
+  validate  validate documents against a JSON Schema
+              --schema FILE   schema document (required)
+              --formats       enforce the `format` keyword
+  profile   mongodb-schema-style streaming field profile
+  skeleton  mine the frequent-structure skeleton
+              --coverage F    coverage threshold in (0,1] (default 0.9)
+  project   parse only selected fields (Mison-style)
+              --fields a,b.c  dotted field paths (required)
+  convert   translate the collection
+              --to TARGET     avro | columnar | relational (required)
+  query     run a Jaql-style pipeline and show its inferred output schema
+              --where-exists P   keep documents where path P is non-null
+              --expand P         flatten the array at path P
+              --project a,b.c    transform to a record of the given paths
+              --top N            keep the first N results
+            (stages apply in the order above)
+
+FILE is newline-delimited JSON; '-' or absent reads stdin.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("jsonx: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(format!("missing command\n{USAGE}"));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "infer" => cmd_infer(rest),
+        "validate" => cmd_validate(rest),
+        "profile" => cmd_profile(rest),
+        "skeleton" => cmd_skeleton(rest),
+        "project" => cmd_project(rest),
+        "convert" => cmd_convert(rest),
+        "query" => cmd_query(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+/// Splits flags (with optional values) from the positional FILE argument.
+struct Opts {
+    flags: Vec<(String, Option<String>)>,
+    file: Option<String>,
+}
+
+/// Flags that take a value.
+const VALUED: [&str; 9] = [
+    "--equiv",
+    "--schema",
+    "--coverage",
+    "--fields",
+    "--to",
+    "--where-exists",
+    "--expand",
+    "--project",
+    "--top",
+];
+
+fn parse_opts(
+    args: &[String],
+    allow_schema_value: bool,
+    known: &[&str],
+) -> Result<Opts, String> {
+    let mut flags = Vec::new();
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if !known.contains(&name) {
+                return Err(format!("unknown flag --{name} (see `jsonx help`)"));
+            }
+            let takes_value =
+                VALUED.contains(&a.as_str()) && (a != "--schema" || allow_schema_value);
+            if takes_value {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.push((name.to_string(), Some(v.clone())));
+                i += 2;
+            } else {
+                flags.push((name.to_string(), None));
+                i += 1;
+            }
+        } else {
+            if file.is_some() {
+                return Err(format!("unexpected extra argument '{a}'"));
+            }
+            file = Some(a.clone());
+            i += 1;
+        }
+    }
+    Ok(Opts { flags, file })
+}
+
+impl Opts {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn read_collection(file: Option<&str>) -> Result<Vec<Value>, String> {
+    let text = match file {
+        None | Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            buf
+        }
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+        }
+    };
+    parse_ndjson(&text).map_err(|(line, e)| format!("line {}: {e}", line + 1))
+}
+
+fn cmd_infer(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, false, &["equiv", "counts", "schema"])?;
+    let docs = read_collection(opts.file.as_deref())?;
+    let equiv = match opts.get("equiv").unwrap_or("K") {
+        "K" | "k" | "kind" => Equivalence::Kind,
+        "L" | "l" | "label" => Equivalence::Label,
+        other => return Err(format!("unknown equivalence '{other}' (use K or L)")),
+    };
+    let ty = infer_collection(&docs, equiv);
+    if opts.has("schema") {
+        println!("{}", to_string_pretty(&to_json_schema(&ty)));
+    } else {
+        let popts = if opts.has("counts") {
+            PrintOptions::with_counts()
+        } else {
+            PrintOptions::plain()
+        };
+        println!("{}", print_type(&ty, popts));
+    }
+    eprintln!(
+        "» {} documents, equivalence {}, type size {} nodes",
+        docs.len(),
+        equiv.name(),
+        jsonx::core::type_size(&ty)
+    );
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, true, &["schema", "formats"])?;
+    let schema_path = opts
+        .get("schema")
+        .ok_or("validate needs --schema SCHEMA.json")?;
+    let schema_text = std::fs::read_to_string(schema_path)
+        .map_err(|e| format!("reading {schema_path}: {e}"))?;
+    let schema_doc = parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
+    let schema = CompiledSchema::compile(&schema_doc).map_err(|e| e.to_string())?;
+    let vopts = ValidatorOptions {
+        enforce_formats: opts.has("formats"),
+    };
+    let docs = read_collection(opts.file.as_deref())?;
+    let mut invalid = 0usize;
+    for (i, doc) in docs.iter().enumerate() {
+        if let Err(errors) = schema.validate_with(doc, vopts) {
+            invalid += 1;
+            for e in errors {
+                println!("doc {i}: {e}");
+            }
+        }
+    }
+    eprintln!(
+        "» {}/{} documents valid",
+        docs.len() - invalid,
+        docs.len()
+    );
+    if invalid > 0 {
+        return Err(format!("{invalid} invalid documents"));
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, false, &[])?;
+    let docs = read_collection(opts.file.as_deref())?;
+    let mut profiler = MongoProfiler::default();
+    for d in &docs {
+        profiler.observe(d);
+    }
+    print!("{}", profiler.report());
+    eprintln!("» {} documents, {} paths", docs.len(), profiler.size());
+    Ok(())
+}
+
+fn cmd_skeleton(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, false, &["coverage"])?;
+    let coverage: f64 = opts
+        .get("coverage")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad --coverage: {e}"))?
+        .unwrap_or(0.9);
+    let docs = read_collection(opts.file.as_deref())?;
+    let sk = Skeleton::mine(&docs, coverage);
+    for (tree, count) in &sk.structures {
+        println!("{count:>8}  {tree}");
+    }
+    let stats = sk.stats();
+    eprintln!(
+        "» {} structures, {:.1}% coverage, {} queryable paths",
+        stats.structures,
+        stats.coverage * 100.0,
+        stats.paths
+    );
+    Ok(())
+}
+
+fn cmd_project(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, false, &["fields"])?;
+    let fields_arg = opts.get("fields").ok_or("project needs --fields a,b.c")?;
+    let fields: Vec<&str> = fields_arg.split(',').collect();
+    let parser = ProjectedParser::new(&fields).map_err(|e| e.to_string())?;
+    let docs_text = match opts.file.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| e.to_string())?;
+            buf
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| e.to_string())?,
+    };
+    for line in docs_text.lines().filter(|l| !l.trim().is_empty()) {
+        let projected = parser.parse(line.as_bytes()).map_err(|e| {
+            let prefix: String = line.chars().take(60).collect();
+            format!("{e} in document starting {prefix}...")
+        })?;
+        println!("{}", to_string(&Value::Obj(projected)));
+    }
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, false, &["to"])?;
+    let target = opts.get("to").ok_or("convert needs --to avro|columnar|relational")?;
+    let docs = read_collection(opts.file.as_deref())?;
+    let ty = infer_collection(&docs, Equivalence::Kind);
+    match target {
+        "avro" => {
+            let codec = AvroCodec::new(AvroSchema::from_type(&ty));
+            let mut total = 0usize;
+            for doc in &docs {
+                total += codec.encode(doc).map_err(|e| e.to_string())?.len();
+            }
+            eprintln!(
+                "» {} documents encoded: {} bytes binary (schema derived from inference)",
+                docs.len(),
+                total
+            );
+        }
+        "columnar" => {
+            let batch = Shredder::from_type(&ty)
+                .shred(&docs)
+                .map_err(|e| e.to_string())?;
+            println!("{}", batch.schema_string());
+            eprintln!("» {} columns x {} rows", batch.columns.len(), batch.rows);
+        }
+        "relational" => {
+            for rel in normalize("root", &docs) {
+                println!(
+                    "{}({})  -- {} rows",
+                    rel.name,
+                    rel.columns.join(", "),
+                    rel.rows.len()
+                );
+            }
+        }
+        other => return Err(format!("unknown target '{other}'")),
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    use jsonx::jaql::{expr, infer_output_type, Pipeline};
+    let opts = parse_opts(
+        args,
+        false,
+        &["where-exists", "expand", "project", "top"],
+    )?;
+    let mut q = Pipeline::new();
+    if let Some(path) = opts.get("where-exists") {
+        q = q.filter(expr::exists(expr::path(path)));
+    }
+    if let Some(path) = opts.get("expand") {
+        q = q.expand(expr::path(path));
+    }
+    if let Some(projection) = opts.get("project") {
+        let fields: Vec<(&str, jsonx::jaql::Expr)> = projection
+            .split(',')
+            .map(|p| {
+                let name = p.rsplit('.').next().unwrap_or(p);
+                (name, expr::path(p))
+            })
+            .collect();
+        q = q.transform(expr::record(fields));
+    }
+    if let Some(n) = opts.get("top") {
+        let n: usize = n.parse().map_err(|e| format!("bad --top: {e}"))?;
+        q = q.top(n);
+    }
+    let docs = read_collection(opts.file.as_deref())?;
+    // Static output schema first — the Jaql §4.1 feature.
+    let input_ty = infer_collection(&docs, Equivalence::Kind);
+    let output_ty = infer_output_type(&q, &input_ty);
+    eprintln!("» pipeline: {q}");
+    eprintln!(
+        "» inferred output type: {}",
+        print_type(&output_ty, PrintOptions::plain())
+    );
+    for row in q.eval(&docs) {
+        println!("{}", to_string(&row));
+    }
+    Ok(())
+}

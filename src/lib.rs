@@ -1,0 +1,47 @@
+//! # jsonx — Schemas And Types For JSON Data
+//!
+//! Facade crate re-exporting the whole `jsonx` workspace: a Rust toolkit for
+//! JSON schema languages, structural type inference, structural-index
+//! parsing, and schema-driven translation, reproducing the system landscape
+//! of the EDBT 2019 tutorial *"Schemas And Types For JSON Data"* (Baazizi,
+//! Colazzo, Ghelli, Sartiani).
+//!
+//! Sub-crates (also usable directly):
+//!
+//! * [`data`] — JSON value model, pointers, canonical comparison.
+//! * [`syntax`] — from-scratch JSON lexer/parser/serializer and streaming.
+//! * [`regex`] — the small regex engine behind schema `pattern` keywords.
+//! * [`schema`] — JSON Schema (Pezoa et al. formal core) validator.
+//! * [`joi`] — Joi-style object schema DSL with co-occurrence constraints.
+//! * [`jsound`] — JSound-style compact schema-by-example language.
+//! * [`skeleton`] — Wang et al. skeleton schemas (frequent-structure mining).
+//! * [`core`] — the type algebra and parametric schema inference (K/L
+//!   equivalences, counting types, parallel fusion).
+//! * [`baselines`] — Spark-style, Studio3T-naive, mongodb-schema-style and
+//!   Skinfer-style inference baselines.
+//! * [`typelang`] — a miniature TypeScript/Swift-flavoured structural type
+//!   system with typed decoding.
+//! * [`mison`] — Mison-style structural-index parser with projection
+//!   pushdown and a Fad.js-style speculative decoder.
+//! * [`translate`] — schema-driven translation to columnar batches and an
+//!   Avro-like binary row format.
+//! * [`gen`] — seeded synthetic dataset generators with heterogeneity dials.
+
+pub mod streaming;
+
+pub use jsonx_baselines as baselines;
+pub use jsonx_core as core;
+pub use jsonx_data as data;
+pub use jsonx_gen as gen;
+pub use jsonx_jaql as jaql;
+pub use jsonx_joi as joi;
+pub use jsonx_jsound as jsound;
+pub use jsonx_mison as mison;
+pub use jsonx_regex as regex;
+pub use jsonx_schema as schema;
+pub use jsonx_skeleton as skeleton;
+pub use jsonx_syntax as syntax;
+pub use jsonx_translate as translate;
+pub use jsonx_typelang as typelang;
+
+pub use jsonx_data::{json, Kind, Number, Object, Pointer, Value};

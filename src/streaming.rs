@@ -1,0 +1,153 @@
+//! Streaming schema inference: typing documents straight off the event
+//! stream, without materialising a DOM.
+//!
+//! The massive-collection setting of §4.1 is exactly where building a
+//! [`Value`](jsonx_data::Value) per document hurts: the map step only
+//! needs the *types*. [`infer_streaming`] fuses each document's type
+//! directly from [`EventParser`] events, with
+//! memory bounded by document depth rather than document size.
+
+use jsonx_core::{fuse, Equivalence, JType};
+use jsonx_core::{ArrayType, FieldType, RecordType};
+use jsonx_syntax::{Event, EventParser, ParseError};
+
+/// Infers the collection type of NDJSON text without building DOMs.
+///
+/// Equivalent to parsing every line and running
+/// [`infer_collection`](jsonx_core::infer_collection) — property-tested in
+/// `tests/streaming_inference.rs` — but allocation stays proportional to
+/// nesting depth.
+pub fn infer_streaming(ndjson: &str, equiv: Equivalence) -> Result<JType, (usize, ParseError)> {
+    let mut acc = JType::Bottom;
+    for (idx, line) in ndjson.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ty = infer_document_events(line.as_bytes(), equiv).map_err(|e| (idx, e))?;
+        acc = fuse(acc, ty, equiv);
+    }
+    Ok(acc)
+}
+
+/// Types one document from its event stream.
+pub fn infer_document_events(input: &[u8], equiv: Equivalence) -> Result<JType, ParseError> {
+    let mut parser = EventParser::new(input);
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut result: Option<JType> = None;
+
+    while let Some(event) = parser.next_event()? {
+        match event {
+            Event::StartObject => stack.push(Frame::Record {
+                fields: Vec::new(),
+                pending_key: None,
+            }),
+            Event::StartArray => stack.push(Frame::Array {
+                item: JType::Bottom,
+                len: 0,
+            }),
+            Event::EndObject | Event::EndArray => {
+                let frame = stack.pop().expect("balanced events");
+                let ty = frame.finish();
+                attach(&mut stack, &mut result, ty, equiv);
+            }
+            Event::Key(k) => {
+                if let Some(Frame::Record { pending_key, .. }) = stack.last_mut() {
+                    *pending_key = Some(k);
+                }
+            }
+            Event::Null => attach(&mut stack, &mut result, JType::Null { count: 1 }, equiv),
+            Event::Bool(_) => attach(&mut stack, &mut result, JType::Bool { count: 1 }, equiv),
+            Event::Num(n) if n.is_integer() => {
+                attach(&mut stack, &mut result, JType::Int { count: 1 }, equiv)
+            }
+            Event::Num(_) => attach(&mut stack, &mut result, JType::Float { count: 1 }, equiv),
+            Event::Str(_) => attach(&mut stack, &mut result, JType::Str { count: 1 }, equiv),
+        }
+    }
+    Ok(result.unwrap_or(JType::Bottom))
+}
+
+enum Frame {
+    Record {
+        fields: Vec<(String, FieldType)>,
+        pending_key: Option<String>,
+    },
+    Array {
+        item: JType,
+        len: u64,
+    },
+}
+
+impl Frame {
+    fn finish(self) -> JType {
+        match self {
+            Frame::Record { mut fields, .. } => {
+                fields.sort_by(|(a, _), (b, _)| a.cmp(b));
+                JType::Record(RecordType { fields, count: 1 })
+            }
+            Frame::Array { item, len } => JType::Array(ArrayType {
+                item: Box::new(item),
+                count: 1,
+                total_items: len,
+            }),
+        }
+    }
+}
+
+fn attach(stack: &mut [Frame], result: &mut Option<JType>, ty: JType, equiv: Equivalence) {
+    match stack.last_mut() {
+        Some(Frame::Record {
+            fields,
+            pending_key,
+        }) => {
+            let key = pending_key.take().expect("key precedes value");
+            // Duplicate keys: last wins, mirroring the DOM parser.
+            fields.retain(|(k, _)| *k != key);
+            fields.push((key, FieldType { ty, presence: 1 }));
+        }
+        Some(Frame::Array { item, len }) => {
+            let current = std::mem::replace(item, JType::Bottom);
+            *item = fuse(current, ty, equiv);
+            *len += 1;
+        }
+        None => *result = Some(ty),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_core::infer_collection;
+    use jsonx_syntax::parse_ndjson;
+
+    #[test]
+    fn matches_dom_inference_on_mixed_documents() {
+        let ndjson = r#"
+{"id": 1, "tags": ["a", 2], "geo": null}
+{"id": "x", "geo": {"lat": 1.5}, "tags": []}
+{"dup": 1, "dup": "last-wins"}
+42
+[1, {"k": true}]
+"#;
+        let docs = parse_ndjson(ndjson).unwrap();
+        for equiv in [Equivalence::Kind, Equivalence::Label] {
+            let dom = infer_collection(&docs, equiv);
+            let streamed = infer_streaming(ndjson, equiv).unwrap();
+            assert_eq!(streamed, dom, "equiv {equiv:?}");
+        }
+    }
+
+    #[test]
+    fn reports_line_of_malformed_document() {
+        let err = infer_streaming("{\"a\":1}\n{bad\n", Equivalence::Kind).unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+
+    #[test]
+    fn empty_input_is_bottom() {
+        assert_eq!(
+            infer_streaming("", Equivalence::Kind).unwrap(),
+            JType::Bottom
+        );
+    }
+}

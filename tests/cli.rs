@@ -1,0 +1,148 @@
+//! End-to-end tests of the `jsonx` CLI binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_jsonx");
+
+fn run(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn jsonx");
+    // A command that errors out before reading stdin closes the pipe;
+    // that's fine — ignore the resulting BrokenPipe.
+    let _ = child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes());
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+const SAMPLE: &str = r#"{"id":1,"name":"a","tags":["x"]}
+{"id":2,"geo":{"lat":3.5}}
+{"id":"s3","name":"b"}
+"#;
+
+#[test]
+fn infer_plain_and_counts() {
+    let (out, err, ok) = run(&["infer", "-"], SAMPLE);
+    assert!(ok, "stderr: {err}");
+    assert_eq!(
+        out.trim(),
+        "{geo?: {lat: Num}, id: (Int + Str), name?: Str, tags?: [Str]}"
+    );
+    assert!(err.contains("3 documents"));
+
+    let (out, _, ok) = run(&["infer", "--equiv", "L", "--counts", "-"], SAMPLE);
+    assert!(ok);
+    assert!(out.contains("(1/1)"), "counting annotations expected: {out}");
+}
+
+#[test]
+fn infer_schema_then_validate_roundtrip() {
+    let (schema, _, ok) = run(&["infer", "--schema", "-"], SAMPLE);
+    assert!(ok);
+    let dir = std::env::temp_dir().join("jsonx-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let schema_path = dir.join("schema.json");
+    std::fs::write(&schema_path, &schema).unwrap();
+
+    let (_, err, ok) = run(
+        &["validate", "--schema", schema_path.to_str().unwrap(), "-"],
+        SAMPLE,
+    );
+    assert!(ok, "validation should pass: {err}");
+    assert!(err.contains("3/3 documents valid"));
+
+    // A violating document fails with a nonzero exit.
+    let (out, _, ok) = run(
+        &["validate", "--schema", schema_path.to_str().unwrap(), "-"],
+        "{\"id\": true}\n",
+    );
+    assert!(!ok);
+    assert!(out.contains("doc 0"));
+}
+
+#[test]
+fn profile_and_skeleton() {
+    let (out, _, ok) = run(&["profile", "-"], SAMPLE);
+    assert!(ok);
+    assert!(out.contains("id p=1.00"));
+    assert!(out.contains("geo.lat p=0.33"));
+
+    let (out, err, ok) = run(&["skeleton", "--coverage", "1.0", "-"], SAMPLE);
+    assert!(ok);
+    assert!(out.contains("{id:·,name:·}"), "skeleton output: {out}");
+    assert!(err.contains("3 structures"));
+}
+
+#[test]
+fn project_fields() {
+    let (out, _, ok) = run(&["project", "--fields", "id,geo.lat", "-"], SAMPLE);
+    assert!(ok);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines[0], r#"{"id":1}"#);
+    assert_eq!(lines[1], r#"{"id":2,"geo":{"lat":3.5}}"#);
+    assert_eq!(lines[2], r#"{"id":"s3"}"#);
+}
+
+#[test]
+fn convert_targets() {
+    let (out, _, ok) = run(&["convert", "--to", "columnar", "-"], SAMPLE);
+    assert!(ok);
+    assert!(out.contains("id:json") || out.contains("id:int64"), "{out}");
+    let (out, _, ok) = run(&["convert", "--to", "relational", "-"], SAMPLE);
+    assert!(ok);
+    assert!(out.contains("root("));
+    let (_, err, ok) = run(&["convert", "--to", "avro", "-"], SAMPLE);
+    assert!(ok);
+    assert!(err.contains("3 documents encoded"));
+}
+
+#[test]
+fn errors_are_reported() {
+    let (_, err, ok) = run(&["nonsense"], "");
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+    let (_, err, ok) = run(&["infer", "-"], "{broken\n");
+    assert!(!ok);
+    assert!(err.contains("line 1"));
+    let (_, err, ok) = run(&["convert", "-"], "{}\n");
+    assert!(!ok);
+    assert!(err.contains("--to"));
+}
+
+#[test]
+fn query_pipeline_with_static_typing() {
+    let (out, err, ok) = run(
+        &["query", "--project", "id,geo.lat", "--top", "2", "-"],
+        SAMPLE,
+    );
+    assert!(ok, "stderr: {err}");
+    assert!(err.contains("inferred output type"), "{err}");
+    assert!(err.contains("lat: (Null + Num)"), "{err}");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert_eq!(lines[0], r#"{"id":1,"lat":null}"#);
+    assert_eq!(lines[1], r#"{"id":2,"lat":3.5}"#);
+
+    // expand + where-exists
+    let (out, _, ok) = run(&["query", "--where-exists", "tags", "--expand", "tags", "-"], SAMPLE);
+    assert!(ok);
+    assert_eq!(out.trim(), r#""x""#);
+
+    // bad --top
+    let (_, err, ok) = run(&["query", "--top", "many", "-"], SAMPLE);
+    assert!(!ok);
+    assert!(err.contains("bad --top"));
+}

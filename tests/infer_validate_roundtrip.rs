@@ -1,0 +1,84 @@
+//! Cross-crate integration: inference → JSON Schema export → validation.
+//!
+//! The central soundness contract of the workspace: for any collection,
+//! the schema exported from an inferred type must *validate every document
+//! the type was inferred from* — under both K and L equivalences, on every
+//! corpus, through the real validator (not the type's own `admits`).
+
+use jsonx::core::{infer_collection, to_json_schema, Equivalence};
+use jsonx::gen::Corpus;
+use jsonx::schema::CompiledSchema;
+
+fn assert_roundtrip(corpus: Corpus, n: usize) {
+    let docs = corpus.generate(n);
+    for equiv in [Equivalence::Kind, Equivalence::Label] {
+        let ty = infer_collection(&docs, equiv);
+        let schema_doc = to_json_schema(&ty);
+        let compiled = CompiledSchema::compile(&schema_doc).unwrap_or_else(|e| {
+            panic!("{}/{}: exported schema does not compile: {e}", corpus.name(), equiv.name())
+        });
+        for (i, doc) in docs.iter().enumerate() {
+            if let Err(errs) = compiled.validate(doc) {
+                panic!(
+                    "{}/{}: document {i} rejected by its own inferred schema:\n  doc: {doc}\n  errors: {}",
+                    corpus.name(),
+                    equiv.name(),
+                    errs.iter().map(ToString::to_string).collect::<Vec<_>>().join("; ")
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn twitter_corpus_roundtrips() {
+    assert_roundtrip(Corpus::Twitter, 150);
+}
+
+#[test]
+fn github_corpus_roundtrips() {
+    assert_roundtrip(Corpus::Github, 150);
+}
+
+#[test]
+fn nytimes_corpus_roundtrips() {
+    assert_roundtrip(Corpus::Nytimes, 150);
+}
+
+#[test]
+fn heterogeneous_corpora_roundtrip() {
+    for noise in [0, 25, 50, 100] {
+        assert_roundtrip(Corpus::Heterogeneous(noise), 100);
+    }
+}
+
+#[test]
+fn exported_schema_rejects_structural_violations() {
+    use jsonx::json;
+    let docs = vec![
+        json!({"id": 1, "name": "a"}),
+        json!({"id": 2}),
+    ];
+    let ty = infer_collection(&docs, Equivalence::Kind);
+    let compiled = CompiledSchema::compile(&to_json_schema(&ty)).unwrap();
+    // Wrong type for a seen field.
+    assert!(!compiled.is_valid(&json!({"id": "three"})));
+    // Missing mandatory field.
+    assert!(!compiled.is_valid(&json!({"name": "x"})));
+    // Unknown field (inference saw a closed field set).
+    assert!(!compiled.is_valid(&json!({"id": 3, "zzz": 1})));
+    // Conforming new document passes.
+    assert!(compiled.is_valid(&json!({"id": 3, "name": "new"})));
+}
+
+#[test]
+fn type_text_roundtrip_survives_export() {
+    use jsonx::core::{parse_type, print_type, PrintOptions};
+    let docs = Corpus::Github.generate(80);
+    let ty = infer_collection(&docs, Equivalence::Label);
+    let text = print_type(&ty, PrintOptions::with_counts());
+    let reparsed = parse_type(&text).expect("printed type must reparse");
+    assert_eq!(reparsed, ty);
+    // And the reparsed type exports the same schema.
+    assert_eq!(to_json_schema(&reparsed), to_json_schema(&ty));
+}

@@ -1,0 +1,78 @@
+//! Property test: typed decoding (jsonx-typelang) and JSON Schema
+//! validation (jsonx-schema) agree on every value, for the schema
+//! exported from a type — the §2/§3 comparison made machine-checkable.
+
+use jsonx::schema::CompiledSchema;
+use jsonx::typelang::{decode, to_schema, ty, Ty};
+use jsonx::{Number, Object, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-100i64..100).prop_map(|i| Value::Num(Number::Int(i))),
+        (-5.0f64..5.0).prop_map(|f| Value::Num(Number::from_f64(f).unwrap())),
+        "[ab]{0,3}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Value::Arr),
+            prop::collection::vec(("[ab]", inner), 0..3)
+                .prop_map(|pairs| Value::Obj(pairs.into_iter().collect::<Object>())),
+        ]
+    })
+}
+
+fn arb_ty() -> impl Strategy<Value = Ty> {
+    let leaf = prop_oneof![
+        Just(ty::any()),
+        Just(ty::null()),
+        Just(ty::boolean()),
+        Just(ty::number()),
+        Just(ty::string()),
+        Just(ty::literal("a")),
+        Just(ty::literal(1)),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(ty::array),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(ty::tuple),
+            prop::collection::vec(("[ab]", inner.clone(), any::<bool>()), 0..3).prop_map(
+                |fields| {
+                    let mut t = ty::record([]);
+                    let mut seen = std::collections::HashSet::new();
+                    for (name, fty, optional) in fields {
+                        if !seen.insert(name.clone()) {
+                            continue;
+                        }
+                        t = if optional {
+                            t.with_optional(name, fty)
+                        } else {
+                            t.with_field(name, fty)
+                        };
+                    }
+                    t
+                }
+            ),
+            prop::collection::vec(inner, 1..3).prop_map(ty::union),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn decode_agrees_with_exported_schema(t in arb_ty(), v in arb_value()) {
+        let schema_doc = to_schema(&t);
+        let schema = CompiledSchema::compile(&schema_doc)
+            .unwrap_or_else(|e| panic!("schema for {t} failed to compile: {e}"));
+        let decoded = decode(&t, &v).is_ok();
+        let validated = schema.is_valid(&v);
+        prop_assert_eq!(
+            decoded, validated,
+            "type {} and schema {} disagree on {}", t, schema_doc, v
+        );
+    }
+}
