@@ -166,13 +166,15 @@ fn collect_paths(ty: &JType, prefix: String, out: &mut Vec<String>) {
                 continue; // optional fields index poorly
             }
             let path = if prefix.is_empty() {
-                name.clone()
+                name.to_string()
             } else {
                 format!("{prefix}.{name}")
             };
             match &field.ty {
                 JType::Record(_) => collect_paths(&field.ty, path, out),
-                JType::Int { .. } | JType::Str { .. } | JType::Float { .. }
+                JType::Int { .. }
+                | JType::Str { .. }
+                | JType::Float { .. }
                 | JType::Bool { .. } => out.push(path),
                 _ => {}
             }

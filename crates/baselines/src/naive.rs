@@ -85,7 +85,7 @@ mod tests {
         let s = infer_naive(&diverse);
         assert_eq!(s.variant_count(), 50);
         assert!(s.size() >= 150); // 3 nodes per variant
-        // Homogeneous collection: one variant no matter the count.
+                                  // Homogeneous collection: one variant no matter the count.
         let uniform: Vec<Value> = (0..50).map(|i| json!({"k": i})).collect();
         assert_eq!(infer_naive(&uniform).variant_count(), 1);
     }

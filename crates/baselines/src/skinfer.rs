@@ -33,10 +33,9 @@ pub fn infer_one(value: &Value) -> Value {
             if let Some(first) = items.first() {
                 // Skinfer types array items from the elements of *one*
                 // document by merging them pairwise.
-                let merged = items
-                    .iter()
-                    .skip(1)
-                    .fold(infer_one(first), |acc, v| skinfer_merge(&acc, &infer_one(v)));
+                let merged = items.iter().skip(1).fold(infer_one(first), |acc, v| {
+                    skinfer_merge(&acc, &infer_one(v))
+                });
                 schema.insert("items", merged);
             }
             Value::Obj(schema)
@@ -184,7 +183,9 @@ pub fn infer_skinfer(docs: &[Value]) -> Value {
         // No observations: the vacuous schema.
         return json!({});
     };
-    iter.fold(infer_one(first), |acc, d| skinfer_merge(&acc, &infer_one(d)))
+    iter.fold(infer_one(first), |acc, d| {
+        skinfer_merge(&acc, &infer_one(d))
+    })
 }
 
 #[cfg(test)]
@@ -210,10 +211,7 @@ mod tests {
 
     #[test]
     fn record_merge_is_recursive() {
-        let s = infer_skinfer(&[
-            json!({"u": {"a": 1}}),
-            json!({"u": {"a": 2, "b": "x"}}),
-        ]);
+        let s = infer_skinfer(&[json!({"u": {"a": 1}}), json!({"u": {"a": 2, "b": "x"}})]);
         let u = s.get("properties").unwrap().get("u").unwrap();
         assert!(u.get("properties").unwrap().get("b").is_some());
         // `a` required in both, `b` only in one.
@@ -239,10 +237,7 @@ mod tests {
     fn array_merge_does_not_recurse() {
         // The documented limitation: records nested inside arrays are not
         // merged — the items constraint is dropped wholesale.
-        let s = infer_skinfer(&[
-            json!({"xs": [{"a": 1}]}),
-            json!({"xs": [{"a": 1, "b": 2}]}),
-        ]);
+        let s = infer_skinfer(&[json!({"xs": [{"a": 1}]}), json!({"xs": [{"a": 1, "b": 2}]})]);
         let xs = s.get("properties").unwrap().get("xs").unwrap();
         assert_eq!(xs, &json!({"type": "array"})); // items gone
     }

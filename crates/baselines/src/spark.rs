@@ -39,10 +39,7 @@ impl SparkType {
             Value::Num(_) => SparkType::Double,
             Value::Str(_) => SparkType::String,
             Value::Arr(items) => {
-                let item = items
-                    .iter()
-                    .map(SparkType::of)
-                    .fold(SparkType::Null, merge);
+                let item = items.iter().map(SparkType::of).fold(SparkType::Null, merge);
                 SparkType::Array(Box::new(item))
             }
             Value::Obj(obj) => {
@@ -67,9 +64,7 @@ impl SparkType {
             (SparkType::Long, Value::Num(n)) => n.is_integer(),
             (SparkType::Double, Value::Num(_)) => true,
             (SparkType::String, v) => !matches!(v, Value::Arr(_) | Value::Obj(_)),
-            (SparkType::Array(item), Value::Arr(items)) => {
-                items.iter().all(|v| item.admits(v))
-            }
+            (SparkType::Array(item), Value::Arr(items)) => items.iter().all(|v| item.admits(v)),
             (SparkType::Struct(fields), Value::Obj(obj)) => obj.iter().all(|(k, v)| {
                 fields
                     .iter()
@@ -123,9 +118,7 @@ pub fn merge(a: SparkType, b: SparkType) -> SparkType {
 
 /// Infers a Spark-style schema for a collection.
 pub fn infer_spark(docs: &[Value]) -> SparkType {
-    docs.iter()
-        .map(SparkType::of)
-        .fold(SparkType::Null, merge)
+    docs.iter().map(SparkType::of).fold(SparkType::Null, merge)
 }
 
 /// AST size, comparable to [`jsonx_core::type_size`].

@@ -41,7 +41,9 @@ fn union_width_ablation() {
             for b in &docs {
                 let (ka, kb) = (a.as_object().unwrap(), b.as_object().unwrap());
                 let label = |o: &jsonx_data::Object| {
-                    o.keys().find(|k| *k != "id" && *k != "items").map(str::to_string)
+                    o.keys()
+                        .find(|k| *k != "id" && *k != "items")
+                        .map(str::to_string)
                 };
                 if label(ka) != label(kb) {
                     let mut mixed = ka.clone();
@@ -69,7 +71,11 @@ fn union_width_ablation() {
         let sound = docs.iter().all(|d| bounded.admits(d));
         println!(
             "{:>6} {:>10} {:>7.1}% {:>10}",
-            if k == usize::MAX { "∞(L)".to_string() } else { k.to_string() },
+            if k == usize::MAX {
+                "∞(L)".to_string()
+            } else {
+                k.to_string()
+            },
             type_size(&bounded),
             false_acceptance_rate(&bounded, &probes) * 100.0,
             sound
@@ -168,7 +174,10 @@ fn streaming_inference_ablation(c: &mut Criterion) {
 }
 
 fn main() {
-    banner("A1", "ablations: union bounding, speculation capacity, index depth");
+    banner(
+        "A1",
+        "ablations: union bounding, speculation capacity, index depth",
+    );
     union_width_ablation();
     pattern_capacity_ablation();
     let mut c: Criterion = criterion();

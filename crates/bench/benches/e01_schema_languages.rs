@@ -59,7 +59,10 @@ fn tweet_joi_schema() -> JoiSchema {
                 .build()
                 .required(),
         )
-        .key("coordinates", joi::alternatives([joi::object().unknown(true).build()]).allow_null())
+        .key(
+            "coordinates",
+            joi::alternatives([joi::object().unknown(true).build()]).allow_null(),
+        )
         .key("entities", joi::object().unknown(true).build())
         .key("retweet_count", joi::integer())
         .key("favorite_count", joi::integer())
@@ -90,15 +93,18 @@ fn capability_matrix() {
         "schema-language capability matrix and validation agreement (§2)",
     );
     let rows: [(&str, [bool; 3]); 7] = [
-        ("record types",                 [true, true, true]),
-        ("union types (anyOf)",          [true, true, false]),
-        ("negation types (not)",         [true, false, false]),
-        ("regex patterns",               [true, true, false]),
-        ("co-occurrence (and/with)",     [true, true, false]),
-        ("mutual exclusion (xor)",       [false, true, false]),
+        ("record types", [true, true, true]),
+        ("union types (anyOf)", [true, true, false]),
+        ("negation types (not)", [true, false, false]),
+        ("regex patterns", [true, true, false]),
+        ("co-occurrence (and/with)", [true, true, false]),
+        ("mutual exclusion (xor)", [false, true, false]),
         ("value-dependent types (when)", [false, true, false]),
     ];
-    println!("{:<32} {:>12} {:>6} {:>8}", "capability", "JSON Schema", "Joi", "JSound");
+    println!(
+        "{:<32} {:>12} {:>6} {:>8}",
+        "capability", "JSON Schema", "Joi", "JSound"
+    );
     for (cap, [js, joi_, jsnd]) in rows {
         let m = |b: bool| if b { "yes" } else { "-" };
         println!("{:<32} {:>12} {:>6} {:>8}", cap, m(js), m(joi_), m(jsnd));

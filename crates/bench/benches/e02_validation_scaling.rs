@@ -17,7 +17,10 @@ use std::time::Instant;
 fn deep_schema(depth: usize, width: usize) -> Value {
     let mut properties = Object::new();
     for i in 0..width {
-        properties.insert(format!("s{i}"), json!({"type": "string", "pattern": "^[a-z0-9_]*$"}));
+        properties.insert(
+            format!("s{i}"),
+            json!({"type": "string", "pattern": "^[a-z0-9_]*$"}),
+        );
     }
     properties.insert(
         "v",

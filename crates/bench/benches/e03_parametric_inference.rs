@@ -8,9 +8,7 @@
 
 use criterion::{black_box, BenchmarkId, Criterion, Throughput};
 use jsonx_bench::{banner, criterion};
-use jsonx_core::{
-    false_acceptance_rate, infer_collection, measure, Equivalence,
-};
+use jsonx_core::{false_acceptance_rate, infer_collection, measure, Equivalence};
 use jsonx_data::{text_size, Value};
 use jsonx_gen::{Corpus, DialedGenerator, GeneratorConfig};
 

@@ -37,7 +37,11 @@ fn main() {
             name,
             field.presence,
             root.count,
-            if field.presence < root.count { "yes" } else { "" }
+            if field.presence < root.count {
+                "yes"
+            } else {
+                ""
+            }
         );
     }
     // The headline drift statistic: classic vs extended tweets.
@@ -78,7 +82,9 @@ fn main() {
             sample
                 .iter()
                 .map(|d| infer_value(black_box(d), Equivalence::Kind))
-                .fold(0usize, |acc, t| acc + usize::from(!matches!(t, JType::Bottom)))
+                .fold(0usize, |acc, t| {
+                    acc + usize::from(!matches!(t, JType::Bottom))
+                })
         })
     });
     // Full counting inference = map + counting fusion.

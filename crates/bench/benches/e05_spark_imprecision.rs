@@ -11,8 +11,8 @@
 //! kinds.
 
 use criterion::{black_box, Criterion};
-use jsonx_bench::{banner, criterion};
 use jsonx_baselines::{infer_spark, spark_type_size, SparkType};
+use jsonx_bench::{banner, criterion};
 use jsonx_core::{false_acceptance_rate, infer_collection, type_size, Equivalence};
 use jsonx_data::{Number, Object, Value};
 use rand_like::Lcg;
@@ -22,7 +22,10 @@ mod rand_like {
     pub struct Lcg(pub u64);
     impl Lcg {
         pub fn next(&mut self) -> u64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             self.0 >> 33
         }
         pub fn chance(&mut self, percent: u8) -> bool {
@@ -76,7 +79,9 @@ fn probes(n: usize) -> Vec<Value> {
 }
 
 fn string_fallbacks(spark: &SparkType) -> usize {
-    let SparkType::Struct(fields) = spark else { return 0 };
+    let SparkType::Struct(fields) = spark else {
+        return 0;
+    };
     fields
         .iter()
         .filter(|(_, t)| *t == SparkType::String)
@@ -96,8 +101,8 @@ fn main() {
     for noise in [0u8, 5, 10, 25, 50, 75, 100] {
         let docs = corpus(noise, 1_000);
         let spark = infer_spark(&docs);
-        let far_spark = probe_docs.iter().filter(|p| spark.admits(p)).count() as f64
-            / probe_docs.len() as f64;
+        let far_spark =
+            probe_docs.iter().filter(|p| spark.admits(p)).count() as f64 / probe_docs.len() as f64;
         let k = infer_collection(&docs, Equivalence::Kind);
         let l = infer_collection(&docs, Equivalence::Label);
         for d in &docs {
@@ -120,9 +125,7 @@ fn main() {
     let mut c: Criterion = criterion();
     let mut group = c.benchmark_group("e05_inference_cost");
     let docs = corpus(50, 1_000);
-    group.bench_function("spark_style", |b| {
-        b.iter(|| infer_spark(black_box(&docs)))
-    });
+    group.bench_function("spark_style", |b| b.iter(|| infer_spark(black_box(&docs))));
     group.bench_function("parametric_k", |b| {
         b.iter(|| infer_collection(black_box(&docs), Equivalence::Kind))
     });

@@ -7,9 +7,7 @@
 
 use criterion::{black_box, BenchmarkId, Criterion, Throughput};
 use jsonx_bench::{banner, criterion};
-use jsonx_core::{
-    infer_collection, infer_collection_parallel, Equivalence, ParallelOptions,
-};
+use jsonx_core::{infer_collection, infer_collection_parallel, Equivalence, ParallelOptions};
 use jsonx_data::text_size;
 use jsonx_gen::Corpus;
 use std::time::Instant;
@@ -40,11 +38,11 @@ fn main() {
     let t = Instant::now();
     let sequential = infer_collection(&docs, Equivalence::Kind);
     let seq_time = t.elapsed();
-    println!("{:>8} {:>12} {:>9} {:>10}", "workers", "time", "speedup", "identical");
     println!(
-        "{:>8} {:>12.2?} {:>8.2}x {:>10}",
-        "seq", seq_time, 1.0, "-"
+        "{:>8} {:>12} {:>9} {:>10}",
+        "workers", "time", "speedup", "identical"
     );
+    println!("{:>8} {:>12.2?} {:>8.2}x {:>10}", "seq", seq_time, 1.0, "-");
     for workers in [1usize, 2, 4, 8] {
         let opts = ParallelOptions {
             workers,
@@ -69,19 +67,13 @@ fn main() {
     let small_bytes: usize = small.iter().map(text_size).sum();
     group.throughput(Throughput::Bytes(small_bytes as u64));
     for workers in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("workers", workers),
-            &workers,
-            |b, &w| {
-                let opts = ParallelOptions {
-                    workers: w,
-                    min_chunk: 64,
-                };
-                b.iter(|| {
-                    infer_collection_parallel(black_box(&small), Equivalence::Kind, opts)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            let opts = ParallelOptions {
+                workers: w,
+                min_chunk: 64,
+            };
+            b.iter(|| infer_collection_parallel(black_box(&small), Equivalence::Kind, opts))
+        });
     }
     group.finish();
     c.final_summary();

@@ -7,12 +7,12 @@
 //! growth series and benches the no-merge vs merging inference.
 
 use criterion::{black_box, Criterion};
-use jsonx_bench::{banner, criterion};
 use jsonx_baselines::{infer_naive, MongoProfiler};
+use jsonx_bench::{banner, criterion};
 use jsonx_core::{infer_collection, type_size, Equivalence};
 use jsonx_data::text_size;
-use jsonx_gen::{DialedGenerator, GeneratorConfig};
 use jsonx_data::Value;
+use jsonx_gen::{DialedGenerator, GeneratorConfig};
 
 /// A corpus with genuine shape diversity — enough optional fields and
 /// type variants that no-merge schemas keep growing, but a *bounded*

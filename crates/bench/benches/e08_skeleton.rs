@@ -21,7 +21,11 @@ fn main() {
     // Ground truth: every path in the full skeleton.
     let full = Skeleton::mine(&docs, 1.0);
     let all_paths: Vec<String> = full.paths().map(|p| p.display()).collect();
-    println!("corpus: {} events, {} distinct paths at full coverage\n", docs.len(), all_paths.len());
+    println!(
+        "corpus: {} events, {} distinct paths at full coverage\n",
+        docs.len(),
+        all_paths.len()
+    );
     println!(
         "{:>10} {:>12} {:>10} {:>10} {:>12} {:>14}",
         "coverage", "structures", "nodes", "paths", "recall", "rare visible"

@@ -35,12 +35,7 @@ fn run_regime(name: &str, lines: &[String], field: &str) -> (f64, std::time::Dur
     }
     let elapsed = t.elapsed();
     let rate = decoder.stats().hit_rate();
-    println!(
-        "{:<22} {:>10.1}% {:>12.2?}",
-        name,
-        rate * 100.0,
-        elapsed
-    );
+    println!("{:<22} {:>10.1}% {:>12.2?}", name, rate * 100.0, elapsed);
     (rate, elapsed)
 }
 

@@ -40,7 +40,10 @@ fn main() {
     let t = Instant::now();
     let blind_batch = Shredder::discovering().shred(&docs).unwrap();
     let blind_time = t.elapsed();
-    println!("columnar shredding ({} columns):", aware_batch.columns.len());
+    println!(
+        "columnar shredding ({} columns):",
+        aware_batch.columns.len()
+    );
     println!("  schema-aware: {aware_time:>10.2?}  (+ {infer_time:.2?} one-off inference)");
     println!(
         "  schema-blind: {blind_time:>10.2?}  ({:.2}x slower, layout rediscovered per record)",
@@ -74,7 +77,10 @@ fn main() {
             .iter()
             .filter(|r| r.columns.first().map(String::as_str) == Some("_parent_id"))
             .count(),
-        relations.iter().filter(|r| r.name.contains("_dim_")).count()
+        relations
+            .iter()
+            .filter(|r| r.name.contains("_dim_"))
+            .count()
     );
 
     let mut c: Criterion = criterion();

@@ -8,8 +8,8 @@
 //! merges.
 
 use criterion::{black_box, Criterion};
-use jsonx_bench::{banner, criterion};
 use jsonx_baselines::infer_skinfer;
+use jsonx_bench::{banner, criterion};
 use jsonx_core::{false_acceptance_rate, infer_collection, Equivalence};
 use jsonx_data::{json, Value};
 
@@ -74,8 +74,8 @@ fn main() {
         let retains = skinfer_retains_items(&skinfer, depth);
         // Skinfer FAR via jsonx-schema validation of its output schema.
         let compiled = jsonx_schema::CompiledSchema::compile(&skinfer).unwrap();
-        let skinfer_far = probes.iter().filter(|p| compiled.is_valid(p)).count() as f64
-            / probes.len() as f64;
+        let skinfer_far =
+            probes.iter().filter(|p| compiled.is_valid(p)).count() as f64 / probes.len() as f64;
         let k = infer_collection(&docs, Equivalence::Kind);
         let l = infer_collection(&docs, Equivalence::Label);
         println!(

@@ -45,7 +45,7 @@ mod tests {
                 .iter()
                 .map(|n| {
                     (
-                        n.to_string(),
+                        crate::types::FieldName::from(*n),
                         FieldType {
                             ty: JType::Null { count: 1 },
                             presence: 1,

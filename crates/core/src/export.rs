@@ -47,9 +47,9 @@ fn record_schema(rt: &RecordType) -> Value {
     let mut properties = Object::new();
     let mut required: Vec<Value> = Vec::new();
     for (name, field) in &rt.fields {
-        properties.insert(name.clone(), to_json_schema(&field.ty));
+        properties.insert(name.to_string(), to_json_schema(&field.ty));
         if field.presence == rt.count {
-            required.push(Value::from(name.as_str()));
+            required.push(Value::from(&**name));
         }
     }
     let mut obj = Object::new();
@@ -83,10 +83,7 @@ mod tests {
             Equivalence::Kind,
         );
         let schema = to_json_schema(&t);
-        assert_eq!(
-            schema.get("required"),
-            Some(&json!(["id"]))
-        );
+        assert_eq!(schema.get("required"), Some(&json!(["id"])));
         assert!(schema.get("properties").unwrap().get("name").is_some());
     }
 
@@ -103,9 +100,6 @@ mod tests {
     #[test]
     fn empty_arrays_export_max_items_zero() {
         let t = infer_value(&json!([]), Equivalence::Kind);
-        assert_eq!(
-            to_json_schema(&t),
-            json!({"type": "array", "maxItems": 0})
-        );
+        assert_eq!(to_json_schema(&t), json!({"type": "array", "maxItems": 0}));
     }
 }

@@ -7,7 +7,7 @@
 //! correct.
 
 use crate::equiv::Equivalence;
-use crate::types::{ArrayType, FieldType, JType, RecordType};
+use crate::types::{ArrayType, FieldName, FieldType, JType, RecordType};
 
 /// Fuses two types under the given equivalence.
 pub fn fuse(a: JType, b: JType, equiv: Equivalence) -> JType {
@@ -98,7 +98,8 @@ fn fuse_arrays(a: ArrayType, b: ArrayType, equiv: Equivalence) -> ArrayType {
 /// Merges two record types: union of fields, fused field types, added
 /// presence counters.
 pub(crate) fn fuse_records(a: RecordType, b: RecordType, equiv: Equivalence) -> RecordType {
-    let mut fields: Vec<(String, FieldType)> = Vec::with_capacity(a.fields.len().max(b.fields.len()));
+    let mut fields: Vec<(FieldName, FieldType)> =
+        Vec::with_capacity(a.fields.len().max(b.fields.len()));
     let mut ai = a.fields.into_iter().peekable();
     let mut bi = b.fields.into_iter().peekable();
     // Both sides are sorted by name; merge like a sorted-list union.

@@ -3,7 +3,7 @@
 
 use crate::equiv::Equivalence;
 use crate::fuse::{fuse, fuse_all};
-use crate::types::{ArrayType, FieldType, JType, RecordType};
+use crate::types::{ArrayType, FieldName, FieldType, JType, RecordType};
 use jsonx_data::Value;
 
 /// Abstracts a single JSON value into its exact structural type, with all
@@ -25,11 +25,11 @@ pub fn infer_value(value: &Value, equiv: Equivalence) -> JType {
             })
         }
         Value::Obj(obj) => {
-            let mut fields: Vec<(String, FieldType)> = obj
+            let mut fields: Vec<(FieldName, FieldType)> = obj
                 .iter()
                 .map(|(k, v)| {
                     (
-                        k.to_string(),
+                        FieldName::from(k),
                         FieldType {
                             ty: infer_value(v, equiv),
                             presence: 1,
@@ -90,7 +90,9 @@ mod tests {
     fn heterogeneous_array_items_fuse() {
         let t = infer_value(&json!([1, "a", 2, null]), Equivalence::Kind);
         let JType::Array(at) = t else { panic!() };
-        let JType::Union(ms) = &*at.item else { panic!() };
+        let JType::Union(ms) = &*at.item else {
+            panic!()
+        };
         assert_eq!(ms.len(), 3); // Null, Int, Str
         assert_eq!(at.total_items, 4);
     }
@@ -138,7 +140,9 @@ mod tests {
             json!({"kind": "a", "x": 3}),
         ];
         let t = infer_collection(&docs, Equivalence::Label);
-        let JType::Union(ms) = &t else { panic!("expected union, got {t:?}") };
+        let JType::Union(ms) = &t else {
+            panic!("expected union, got {t:?}")
+        };
         assert_eq!(ms.len(), 2);
         assert_eq!(t.count(), 3);
     }

@@ -19,8 +19,8 @@
 //!
 //! Because fusion is a commutative monoid (with [`JType::Bottom`] as the
 //! unit), the reduce parallelises and distributes freely;
-//! [`infer_collection_parallel`] exploits that with a crossbeam worker
-//! pool, standing in for the papers' Spark deployment.
+//! [`infer_collection_parallel`] exploits that with scoped worker
+//! threads, standing in for the papers' Spark deployment.
 //!
 //! Types carry **counting annotations** (DBPL 2017): how many values were
 //! fused into each node and how often each record field was present, so the
@@ -58,6 +58,8 @@ pub use infer::{infer_collection, infer_value};
 pub use metrics::{false_acceptance_rate, measure, type_size, TypeMetrics};
 pub use parallel::{infer_collection_parallel, ParallelOptions};
 pub use printer::{print_type, PrintOptions};
-pub use simplify::{bound_union_width, collapse_below_depth, collapse_record_unions, widen_numeric};
+pub use simplify::{
+    bound_union_width, collapse_below_depth, collapse_record_unions, widen_numeric,
+};
 pub use type_parser::{parse_type, TypeParseError};
-pub use types::{ArrayType, FieldType, JType, RecordType};
+pub use types::{ArrayType, FieldName, FieldType, JType, RecordType};

@@ -1,4 +1,4 @@
-//! Parallel inference over a crossbeam worker pool.
+//! Parallel inference over scoped worker threads.
 //!
 //! The papers run the map/reduce on Spark; here the same algebra runs on
 //! threads. Each worker folds one contiguous partition of the collection
@@ -62,11 +62,11 @@ pub fn infer_collection_parallel(
         return crate::infer::infer_collection(docs, equiv);
     }
     let chunk = docs.len().div_ceil(workers).max(opts.min_chunk.max(1));
-    let partials: Vec<JType> = crossbeam::scope(|scope| {
+    let partials: Vec<JType> = std::thread::scope(|scope| {
         let handles: Vec<_> = docs
             .chunks(chunk)
             .map(|part| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     part.iter()
                         .map(|d| infer_value(d, equiv))
                         .fold(JType::Bottom, |acc, t| fuse(acc, t, equiv))
@@ -77,8 +77,7 @@ pub fn infer_collection_parallel(
             .into_iter()
             .map(|h| h.join().expect("inference worker panicked"))
             .collect()
-    })
-    .expect("crossbeam scope failed");
+    });
     fuse_all(partials, equiv)
 }
 

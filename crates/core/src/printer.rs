@@ -93,7 +93,13 @@ fn write_record(rt: &RecordType, opts: PrintOptions, out: &mut String) {
     }
 }
 
-fn write_field(name: &str, field: &FieldType, rt: &RecordType, opts: PrintOptions, out: &mut String) {
+fn write_field(
+    name: &str,
+    field: &FieldType,
+    rt: &RecordType,
+    opts: PrintOptions,
+    out: &mut String,
+) {
     // Quote names that would not re-parse as identifiers.
     if is_plain_ident(name) {
         out.push_str(name);
@@ -123,9 +129,7 @@ pub(crate) fn is_plain_ident(name: &str) -> bool {
             .chars()
             .next()
             .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
-        && name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
 #[cfg(test)]

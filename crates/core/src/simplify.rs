@@ -93,9 +93,8 @@ pub fn widen_numeric(ty: JType) -> JType {
 pub fn collapse_record_unions(ty: JType) -> JType {
     map_type(ty, &|t| match t {
         JType::Union(ms) => {
-            let (records, mut rest): (Vec<JType>, Vec<JType>) = ms
-                .into_iter()
-                .partition(|m| matches!(m, JType::Record(_)));
+            let (records, mut rest): (Vec<JType>, Vec<JType>) =
+                ms.into_iter().partition(|m| matches!(m, JType::Record(_)));
             if records.len() > 1 {
                 let merged = fuse_all(records, Equivalence::Kind);
                 rest.push(merged);
@@ -248,7 +247,9 @@ mod tests {
         assert_eq!(collapse_below_depth(l.clone(), 10), l);
         // d = 1: top-level union survives, nested records merge.
         let d1 = collapse_below_depth(l.clone(), 1);
-        let JType::Union(ms) = &d1 else { panic!("top union expected") };
+        let JType::Union(ms) = &d1 else {
+            panic!("top union expected")
+        };
         assert_eq!(ms.len(), 2);
         for m in ms {
             let JType::Record(r) = m else { panic!() };

@@ -5,7 +5,7 @@
 //! want to store inferred schemas and re-load them. `parse_type` accepts
 //! both plain and counting renderings.
 
-use crate::types::{ArrayType, FieldType, JType, RecordType};
+use crate::types::{ArrayType, FieldName, FieldType, JType, RecordType};
 use std::fmt;
 
 /// Field data accumulated during record parsing:
@@ -250,7 +250,7 @@ impl P {
         let count = record_count
             .or_else(|| raw_fields.iter().find_map(|(_, _, _, p)| p.map(|(_, c)| c)))
             .unwrap_or(1);
-        let mut fields: Vec<(String, FieldType)> = raw_fields
+        let mut fields: Vec<(FieldName, FieldType)> = raw_fields
             .into_iter()
             .map(|(name, optional, ty, presence)| {
                 let presence = match presence {
@@ -258,7 +258,7 @@ impl P {
                     None if optional => count.saturating_sub(1),
                     None => count,
                 };
-                (name, FieldType { ty, presence })
+                (FieldName::from(name.as_str()), FieldType { ty, presence })
             })
             .collect();
         fields.sort_by(|(a, _), (b, _)| a.cmp(b));

@@ -8,6 +8,14 @@
 
 use jsonx_data::Value;
 
+/// A shared, immutable record field name.
+///
+/// `Arc<str>` (rather than `String`) lets inference workers intern hot
+/// keys — every record mentioning a repeated field shares one allocation —
+/// and lets record types cross thread boundaries in parallel inference.
+/// `"x".into()` still produces one, so construction sites read as before.
+pub type FieldName = std::sync::Arc<str>;
+
 /// An inferred type with counting annotations.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JType {
@@ -42,7 +50,7 @@ pub enum JType {
 pub struct RecordType {
     /// Fields sorted by name. A field is *optional* when
     /// `presence < count`.
-    pub fields: Vec<(String, FieldType)>,
+    pub fields: Vec<(FieldName, FieldType)>,
     /// How many record values were fused into this type.
     pub count: u64,
 }
@@ -73,13 +81,13 @@ impl RecordType {
     pub fn field(&self, name: &str) -> Option<&FieldType> {
         self.fields
             .iter()
-            .find(|(n, _)| n == name)
+            .find(|(n, _)| &**n == name)
             .map(|(_, f)| f)
     }
 
     /// Field names in sorted order.
     pub fn labels(&self) -> impl Iterator<Item = &str> {
-        self.fields.iter().map(|(n, _)| n.as_str())
+        self.fields.iter().map(|(n, _)| &**n)
     }
 
     /// True when both records have exactly the same field-name set —
@@ -95,8 +103,7 @@ impl RecordType {
 
     /// True when the field may be absent.
     pub fn is_optional(&self, name: &str) -> bool {
-        self.field(name)
-            .is_some_and(|f| f.presence < self.count)
+        self.field(name).is_some_and(|f| f.presence < self.count)
     }
 }
 
@@ -153,19 +160,17 @@ impl JType {
             // stay sound (caught by the abstraction property tests).
             (JType::Float { .. }, Value::Num(_)) => true,
             (JType::Str { .. }, Value::Str(_)) => true,
-            (JType::Array(at), Value::Arr(items)) => {
-                items.iter().all(|item| at.item.admits(item))
-            }
+            (JType::Array(at), Value::Arr(items)) => items.iter().all(|item| at.item.admits(item)),
             (JType::Record(rt), Value::Obj(obj)) => {
                 // Every present field must be known and admitted; every
                 // mandatory field must be present.
-                obj.iter().all(|(k, v)| {
-                    rt.field(k).is_some_and(|f| f.ty.admits(v))
-                }) && rt
-                    .fields
-                    .iter()
-                    .filter(|(_, f)| f.presence == rt.count)
-                    .all(|(name, _)| obj.contains_key(name))
+                obj.iter()
+                    .all(|(k, v)| rt.field(k).is_some_and(|f| f.ty.admits(v)))
+                    && rt
+                        .fields
+                        .iter()
+                        .filter(|(_, f)| f.presence == rt.count)
+                        .all(|(name, _)| obj.contains_key(name))
             }
             (JType::Union(members), v) => members.iter().any(|m| m.admits(v)),
             _ => false,
@@ -201,20 +206,50 @@ mod tests {
     fn label_equivalence_checks_name_sets() {
         let a = RecordType {
             fields: vec![
-                ("a".into(), FieldType { ty: str_t(1), presence: 1 }),
-                ("b".into(), FieldType { ty: str_t(1), presence: 1 }),
+                (
+                    "a".into(),
+                    FieldType {
+                        ty: str_t(1),
+                        presence: 1,
+                    },
+                ),
+                (
+                    "b".into(),
+                    FieldType {
+                        ty: str_t(1),
+                        presence: 1,
+                    },
+                ),
             ],
             count: 1,
         };
         let b = RecordType {
             fields: vec![
-                ("a".into(), FieldType { ty: JType::Int { count: 1 }, presence: 1 }),
-                ("b".into(), FieldType { ty: str_t(1), presence: 1 }),
+                (
+                    "a".into(),
+                    FieldType {
+                        ty: JType::Int { count: 1 },
+                        presence: 1,
+                    },
+                ),
+                (
+                    "b".into(),
+                    FieldType {
+                        ty: str_t(1),
+                        presence: 1,
+                    },
+                ),
             ],
             count: 1,
         };
         let c = RecordType {
-            fields: vec![("a".into(), FieldType { ty: str_t(1), presence: 1 })],
+            fields: vec![(
+                "a".into(),
+                FieldType {
+                    ty: str_t(1),
+                    presence: 1,
+                },
+            )],
             count: 1,
         };
         assert!(a.same_labels(&b)); // types differ, labels agree
@@ -237,8 +272,20 @@ mod tests {
     fn admits_records_with_optionality() {
         let rt = JType::Record(RecordType {
             fields: vec![
-                ("id".into(), FieldType { ty: JType::Int { count: 2 }, presence: 2 }),
-                ("name".into(), FieldType { ty: str_t(1), presence: 1 }),
+                (
+                    "id".into(),
+                    FieldType {
+                        ty: JType::Int { count: 2 },
+                        presence: 2,
+                    },
+                ),
+                (
+                    "name".into(),
+                    FieldType {
+                        ty: str_t(1),
+                        presence: 1,
+                    },
+                ),
             ],
             count: 2,
         });
@@ -251,10 +298,7 @@ mod tests {
     #[test]
     fn admits_arrays() {
         let at = JType::Array(ArrayType {
-            item: Box::new(JType::Union(vec![
-                JType::Int { count: 2 },
-                str_t(1),
-            ])),
+            item: Box::new(JType::Union(vec![JType::Int { count: 2 }, str_t(1)])),
             count: 1,
             total_items: 3,
         });
@@ -266,7 +310,13 @@ mod tests {
     #[test]
     fn optionality_accessor() {
         let rt = RecordType {
-            fields: vec![("x".into(), FieldType { ty: str_t(1), presence: 1 })],
+            fields: vec![(
+                "x".into(),
+                FieldType {
+                    ty: str_t(1),
+                    presence: 1,
+                },
+            )],
             count: 3,
         };
         assert!(rt.is_optional("x"));

@@ -19,9 +19,8 @@ fn arb_value() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(3, 24, 5, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Arr),
-            prop::collection::vec(("[a-d]{1,2}", inner), 0..4).prop_map(|pairs| {
-                Value::Obj(pairs.into_iter().collect::<Object>())
-            }),
+            prop::collection::vec(("[a-d]{1,2}", inner), 0..4)
+                .prop_map(|pairs| { Value::Obj(pairs.into_iter().collect::<Object>()) }),
         ]
     })
 }

@@ -105,7 +105,10 @@ mod tests {
         let mut b = Object::new();
         b.insert("y", Value::from(2));
         b.insert("x", Value::from(1));
-        assert_eq!(canonical_cmp(&Value::Obj(a), &Value::Obj(b)), Ordering::Equal);
+        assert_eq!(
+            canonical_cmp(&Value::Obj(a), &Value::Obj(b)),
+            Ordering::Equal
+        );
     }
 
     #[test]

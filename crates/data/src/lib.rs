@@ -30,8 +30,8 @@ pub mod value;
 mod macros;
 
 pub use cmp::{all_unique, canonical_cmp, canonical_dedup, canonical_eq};
-pub use metrics::{label_paths, max_depth, node_count, text_size, LabelPath, LabelStep};
 pub use kind::Kind;
+pub use metrics::{label_paths, max_depth, node_count, text_size, LabelPath, LabelStep};
 pub use number::Number;
 pub use object::Object;
 pub use pointer::{Pointer, PointerParseError, Token};

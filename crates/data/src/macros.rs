@@ -165,10 +165,7 @@ mod tests {
             "a": [1, {"b": null}, [true]],
             "c": "x",
         });
-        assert_eq!(
-            v.to_json_string(),
-            r#"{"a":[1,{"b":null},[true]],"c":"x"}"#
-        );
+        assert_eq!(v.to_json_string(), r#"{"a":[1,{"b":null},[true]],"c":"x"}"#);
     }
 
     #[test]
@@ -213,8 +210,12 @@ mod tests {
             "flags": [true, false, null],
         });
         assert_eq!(
-            v.get("coords").unwrap().get("coordinates").unwrap()
-                .get_index(1).and_then(Value::as_f64),
+            v.get("coords")
+                .unwrap()
+                .get("coordinates")
+                .unwrap()
+                .get_index(1)
+                .and_then(Value::as_f64),
             Some(-9.13)
         );
     }

@@ -23,12 +23,16 @@ pub struct Object {
 impl Object {
     /// Creates an empty object.
     pub fn new() -> Self {
-        Object { entries: Vec::new() }
+        Object {
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty object with room for `cap` fields.
     pub fn with_capacity(cap: usize) -> Self {
-        Object { entries: Vec::with_capacity(cap) }
+        Object {
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of fields.

@@ -32,7 +32,14 @@ impl Default for NytimesConfig {
     }
 }
 
-const SECTIONS: [&str; 6] = ["World", "Science", "Technology", "Opinion", "Arts", "Sports"];
+const SECTIONS: [&str; 6] = [
+    "World",
+    "Science",
+    "Technology",
+    "Opinion",
+    "Arts",
+    "Sports",
+];
 
 /// Generates `n` articles.
 pub fn articles(config: &NytimesConfig, n: usize) -> Vec<Value> {
@@ -49,7 +56,9 @@ fn article(rng: &mut SmallRng, config: &NytimesConfig, idx: usize) -> Value {
     );
     obj.insert(
         "snippet",
-        Value::Str(format!("Snippet text for article {idx} about JSON schemas.")),
+        Value::Str(format!(
+            "Snippet text for article {idx} about JSON schemas."
+        )),
     );
     obj.insert(
         "lead_paragraph",
@@ -140,7 +149,10 @@ mod tests {
             ..Default::default()
         };
         let docs = articles(&c, 200);
-        let nulls = docs.iter().filter(|d| d.get("byline").unwrap().is_null()).count();
+        let nulls = docs
+            .iter()
+            .filter(|d| d.get("byline").unwrap().is_null())
+            .count();
         assert!(nulls > 50 && nulls < 150, "got {nulls}");
     }
 

@@ -62,7 +62,10 @@ fn dataset(rng: &mut SmallRng, config: &OpendataConfig, idx: usize) -> Value {
         "identifier",
         Value::Str(format!("https://data.example.gov/id/{idx:06}")),
     );
-    obj.insert("title", Value::Str(format!("Dataset {idx}: {agency} records")));
+    obj.insert(
+        "title",
+        Value::Str(format!("Dataset {idx}: {agency} records")),
+    );
     obj.insert(
         "description",
         Value::Str(format!(
@@ -102,7 +105,11 @@ fn dataset(rng: &mut SmallRng, config: &OpendataConfig, idx: usize) -> Value {
     );
     obj.insert(
         "accessLevel",
-        Value::from(if rng.gen_ratio(9, 10) { "public" } else { "restricted public" }),
+        Value::from(if rng.gen_ratio(9, 10) {
+            "public"
+        } else {
+            "restricted public"
+        }),
     );
     // Ragged optionality: licence, coverage, bureau codes, distributions.
     if rng.gen_ratio(2, 3) {

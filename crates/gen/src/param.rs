@@ -171,13 +171,7 @@ mod tests {
         let a = gen(c.clone(), 50);
         let b = gen(c.clone(), 50);
         assert_eq!(a, b);
-        let other = gen(
-            GeneratorConfig {
-                seed: 43,
-                ..c
-            },
-            50,
-        );
+        let other = gen(GeneratorConfig { seed: 43, ..c }, 50);
         assert_ne!(a, other);
     }
 
@@ -254,7 +248,12 @@ mod tests {
         // Shape 0 fields are named f0/f1; count its share.
         let shape0 = docs
             .iter()
-            .filter(|d| d.as_object().unwrap().keys().any(|k| k == "f0" || k == "f1"))
+            .filter(|d| {
+                d.as_object()
+                    .unwrap()
+                    .keys()
+                    .any(|k| k == "f0" || k == "f1")
+            })
             .count();
         assert!(shape0 > 500, "skewed head shape got {shape0}/1000");
     }

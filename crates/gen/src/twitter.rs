@@ -36,14 +36,26 @@ impl Default for TwitterConfig {
 }
 
 const WORDS: [&str; 12] = [
-    "json", "schema", "types", "edbt", "lisbon", "data", "inference", "spark", "mison",
-    "tutorial", "union", "records",
+    "json",
+    "schema",
+    "types",
+    "edbt",
+    "lisbon",
+    "data",
+    "inference",
+    "spark",
+    "mison",
+    "tutorial",
+    "union",
+    "records",
 ];
 
 /// Generates `n` tweets.
 pub fn tweets(config: &TwitterConfig, n: usize) -> Vec<Value> {
     let mut rng = SmallRng::seed_from_u64(config.seed);
-    (0..n).map(|i| tweet(&mut rng, config, i as i64, true)).collect()
+    (0..n)
+        .map(|i| tweet(&mut rng, config, i as i64, true))
+        .collect()
 }
 
 fn tweet(rng: &mut SmallRng, config: &TwitterConfig, id: i64, allow_retweet: bool) -> Value {
@@ -105,7 +117,10 @@ fn user(rng: &mut SmallRng) -> Value {
     obj.insert("id", Value::from(uid));
     obj.insert("screen_name", Value::Str(format!("user_{uid}")));
     obj.insert("verified", Value::Bool(rng.gen_ratio(1, 20)));
-    obj.insert("followers_count", Value::from(rng.gen_range(0..1_000_000i64)));
+    obj.insert(
+        "followers_count",
+        Value::from(rng.gen_range(0..1_000_000i64)),
+    );
     // `location` is free text or absent — optional string.
     if rng.gen_ratio(2, 3) {
         obj.insert("location", Value::Str("Lisbon, Portugal".to_string()));

@@ -178,9 +178,7 @@ pub mod expr {
 
     /// Dotted-path sugar: `path("user.name")` = `$.user.name`.
     pub fn path(dotted: &str) -> Expr {
-        dotted
-            .split('.')
-            .fold(Expr::Input, field)
+        dotted.split('.').fold(Expr::Input, field)
     }
 
     /// `{ name: e, … }`.

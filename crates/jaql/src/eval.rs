@@ -20,9 +20,7 @@ impl Pipeline {
                     .into_iter()
                     .filter(|doc| eval_expr(pred, doc) == Value::Bool(true))
                     .collect(),
-                Op::Transform(proj) => {
-                    current.iter().map(|doc| eval_expr(proj, doc)).collect()
-                }
+                Op::Transform(proj) => current.iter().map(|doc| eval_expr(proj, doc)).collect(),
                 Op::Expand(arr) => current
                     .iter()
                     .flat_map(|doc| match eval_expr(arr, doc) {
@@ -63,12 +61,8 @@ pub fn eval_expr(expr: &Expr, doc: &Value) -> Value {
             }
             Value::Obj(obj)
         }
-        Expr::Array(items) => {
-            Value::Arr(items.iter().map(|e| eval_expr(e, doc)).collect())
-        }
-        Expr::Binary(op, a, b) => {
-            eval_binary(*op, eval_expr(a, doc), eval_expr(b, doc))
-        }
+        Expr::Array(items) => Value::Arr(items.iter().map(|e| eval_expr(e, doc)).collect()),
+        Expr::Binary(op, a, b) => eval_binary(*op, eval_expr(a, doc), eval_expr(b, doc)),
         Expr::Not(e) => match eval_expr(e, doc) {
             Value::Bool(b) => Value::Bool(!b),
             _ => Value::Null,
@@ -105,9 +99,7 @@ fn eval_binary(op: BinOp, a: Value, b: Value) -> Value {
 /// pairs; anything else is `null` (incomparable).
 fn compare(op: BinOp, a: &Value, b: &Value) -> Value {
     let ord: Ordering = match (a, b) {
-        (Value::Num(_), Value::Num(_)) | (Value::Str(_), Value::Str(_)) => {
-            canonical_cmp(a, b)
-        }
+        (Value::Num(_), Value::Num(_)) | (Value::Str(_), Value::Str(_)) => canonical_cmp(a, b),
         _ => return Value::Null,
     };
     let holds = match op {
@@ -182,8 +174,14 @@ mod tests {
     #[test]
     fn comparisons() {
         let d = json!({"n": 5, "s": "abc"});
-        assert_eq!(ev(&expr::path("n").gt(expr::lit(3)), d.clone()), json!(true));
-        assert_eq!(ev(&expr::path("n").le(expr::lit(5)), d.clone()), json!(true));
+        assert_eq!(
+            ev(&expr::path("n").gt(expr::lit(3)), d.clone()),
+            json!(true)
+        );
+        assert_eq!(
+            ev(&expr::path("n").le(expr::lit(5)), d.clone()),
+            json!(true)
+        );
         assert_eq!(
             ev(&expr::path("s").lt(expr::lit("abd")), d.clone()),
             json!(true)
@@ -196,7 +194,10 @@ mod tests {
     fn equality_is_total() {
         let d = json!({"a": [1, {"k": 2}]});
         assert_eq!(
-            ev(&expr::path("a").eq(expr::lit(json!([1, {"k": 2}]))), d.clone()),
+            ev(
+                &expr::path("a").eq(expr::lit(json!([1, {"k": 2}]))),
+                d.clone()
+            ),
             json!(true)
         );
         assert_eq!(ev(&expr::path("a").eq(expr::lit(1)), d), json!(false));
@@ -213,7 +214,10 @@ mod tests {
             ev(&expr::path("t").or(expr::path("f")), d.clone()),
             json!(true)
         );
-        assert_eq!(ev(&expr::path("t").and(expr::path("n")), d.clone()), Value::Null);
+        assert_eq!(
+            ev(&expr::path("t").and(expr::path("n")), d.clone()),
+            Value::Null
+        );
         assert_eq!(ev(&expr::not(expr::path("f")), d.clone()), json!(true));
         assert_eq!(ev(&expr::not(expr::path("n")), d), Value::Null);
     }
@@ -222,8 +226,14 @@ mod tests {
     fn arithmetic_exact_and_degrading() {
         let d = json!({"i": 4, "f": 0.5});
         assert_eq!(ev(&expr::path("i").add(expr::lit(3)), d.clone()), json!(7));
-        assert_eq!(ev(&expr::path("i").mul(expr::path("f")), d.clone()), json!(2.0));
-        assert_eq!(ev(&expr::path("f").sub(expr::lit("x")), d.clone()), Value::Null);
+        assert_eq!(
+            ev(&expr::path("i").mul(expr::path("f")), d.clone()),
+            json!(2.0)
+        );
+        assert_eq!(
+            ev(&expr::path("f").sub(expr::lit("x")), d.clone()),
+            Value::Null
+        );
         // i64 overflow degrades to float.
         let big = json!({"x": i64::MAX});
         assert_eq!(

@@ -14,7 +14,7 @@
 
 use crate::ast::{BinOp, Expr, Op, Pipeline};
 use jsonx_core::{fuse, fuse_all, infer_value, Equivalence, JType};
-use jsonx_core::{ArrayType, FieldType, RecordType};
+use jsonx_core::{ArrayType, FieldName, FieldType, RecordType};
 
 const EQ: Equivalence = Equivalence::Kind;
 
@@ -60,11 +60,11 @@ pub fn type_expr(expr: &Expr, input: &JType) -> JType {
         Expr::Const(v) => infer_value(v, EQ),
         Expr::Field(base, name) => field_type(&type_expr(base, input), name),
         Expr::Record(fields) => {
-            let mut typed: Vec<(String, FieldType)> = fields
+            let mut typed: Vec<(FieldName, FieldType)> = fields
                 .iter()
                 .map(|(n, e)| {
                     (
-                        n.clone(),
+                        FieldName::from(n.as_str()),
                         FieldType {
                             ty: type_expr(e, input),
                             presence: 1,
@@ -262,7 +262,10 @@ mod tests {
             plain(&type_expr(&expr::path("id").add(expr::lit(1)), &t)),
             "(Int + Num)"
         );
-        assert_eq!(plain(&type_expr(&expr::exists(expr::path("x")), &t)), "Bool");
+        assert_eq!(
+            plain(&type_expr(&expr::exists(expr::path("x")), &t)),
+            "Bool"
+        );
     }
 
     #[test]

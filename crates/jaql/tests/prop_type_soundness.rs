@@ -4,8 +4,8 @@
 
 use jsonx_core::{infer_collection, Equivalence};
 use jsonx_data::{Number, Object, Value};
-use jsonx_jaql::{expr, infer_output_type, Expr, Pipeline};
 use jsonx_gen::Corpus;
+use jsonx_jaql::{expr, infer_output_type, Expr, Pipeline};
 use proptest::prelude::*;
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -41,9 +41,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
         prop_oneof![
             (inner.clone(), "[a-d]").prop_map(|(e, n)| expr::field(e, n)),
             prop::collection::vec(("[a-d]", inner.clone()), 0..3)
-                .prop_map(|fs| Expr::Record(
-                    fs.into_iter().collect()
-                )),
+                .prop_map(|fs| Expr::Record(fs.into_iter().collect())),
             prop::collection::vec(inner.clone(), 0..3).prop_map(expr::array),
             (inner.clone(), inner.clone(), 0usize..11).prop_map(|(a, b, k)| {
                 match k {

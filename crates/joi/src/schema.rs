@@ -400,9 +400,14 @@ mod tests {
             .with("a", ["c"])
             .unknown(true)
             .build();
-        let JoiType::Object(rules) = &s.ty else { panic!() };
+        let JoiType::Object(rules) = &s.ty else {
+            panic!()
+        };
         assert_eq!(rules.keys.len(), 2);
-        assert_eq!(rules.xor_groups, vec![vec!["a".to_string(), "b".to_string()]]);
+        assert_eq!(
+            rules.xor_groups,
+            vec![vec!["a".to_string(), "b".to_string()]]
+        );
         assert!(rules.allow_unknown);
     }
 

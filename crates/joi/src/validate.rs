@@ -77,7 +77,9 @@ fn check(
                 emit(
                     errors,
                     path,
-                    JoiErrorKind::WrongType { expected: "boolean" },
+                    JoiErrorKind::WrongType {
+                        expected: "boolean",
+                    },
                     format!("expected a boolean, found {}", value.kind()),
                 );
             }
@@ -268,7 +270,13 @@ fn check_object(rules: &ObjectRules, value: &Value, path: &Pointer, errors: &mut
                         format!("'{name}' is forbidden here"),
                     );
                 } else {
-                    check(key_schema, member, Some(value), &path.push_key(name), errors);
+                    check(
+                        key_schema,
+                        member,
+                        Some(value),
+                        &path.push_key(name),
+                        errors,
+                    );
                 }
             }
             None => {
@@ -289,7 +297,9 @@ fn check_object(rules: &ObjectRules, value: &Value, path: &Pointer, errors: &mut
                 emit(
                     errors,
                     &path.push_key(key),
-                    JoiErrorKind::UnknownKey { key: key.to_string() },
+                    JoiErrorKind::UnknownKey {
+                        key: key.to_string(),
+                    },
                     format!("'{key}' is not declared"),
                 );
             }
@@ -303,7 +313,9 @@ fn check_object(rules: &ObjectRules, value: &Value, path: &Pointer, errors: &mut
             emit(
                 errors,
                 path,
-                JoiErrorKind::AndGroup { group: group.clone() },
+                JoiErrorKind::AndGroup {
+                    group: group.clone(),
+                },
                 format!("fields {group:?} must appear together"),
             );
         }
@@ -313,7 +325,9 @@ fn check_object(rules: &ObjectRules, value: &Value, path: &Pointer, errors: &mut
             emit(
                 errors,
                 path,
-                JoiErrorKind::OrGroup { group: group.clone() },
+                JoiErrorKind::OrGroup {
+                    group: group.clone(),
+                },
                 format!("at least one of {group:?} is required"),
             );
         }
@@ -337,7 +351,9 @@ fn check_object(rules: &ObjectRules, value: &Value, path: &Pointer, errors: &mut
             emit(
                 errors,
                 path,
-                JoiErrorKind::NandGroup { group: group.clone() },
+                JoiErrorKind::NandGroup {
+                    group: group.clone(),
+                },
                 format!("fields {group:?} must not all be present"),
             );
         }
@@ -447,9 +463,7 @@ mod tests {
 
     #[test]
     fn object_keys_and_unknown() {
-        let s = joi::object()
-            .key("a", joi::integer().required())
-            .build();
+        let s = joi::object().key("a", joi::integer().required()).build();
         assert!(s.is_valid(&json!({"a": 1})));
         assert!(!s.is_valid(&json!({})));
         assert!(!s.is_valid(&json!({"a": 1, "zz": 2}))); // unknown closed

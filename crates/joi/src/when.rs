@@ -42,8 +42,12 @@ mod tests {
 
     #[test]
     fn builder_shape() {
-        let w = When::is("type", joi::string().valid(["card"]), joi::string().required())
-            .otherwise(joi::any());
+        let w = When::is(
+            "type",
+            joi::string().valid(["card"]),
+            joi::string().required(),
+        )
+        .otherwise(joi::any());
         assert_eq!(w.field, "type");
         assert!(w.otherwise.is_some());
     }

@@ -89,7 +89,11 @@ pub struct JSoundError {
 
 impl fmt::Display for JSoundError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid JSound schema at '{}': {}", self.path, self.message)
+        write!(
+            f,
+            "invalid JSound schema at '{}': {}",
+            self.path, self.message
+        )
     }
 }
 

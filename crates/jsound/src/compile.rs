@@ -79,10 +79,7 @@ mod tests {
             schema.get("properties").unwrap().get("tags"),
             Some(&json!({"type": "array", "items": {"type": "string"}}))
         );
-        assert_eq!(
-            schema.get("additionalProperties"),
-            Some(&json!(false))
-        );
+        assert_eq!(schema.get("additionalProperties"), Some(&json!(false)));
     }
 
     #[test]

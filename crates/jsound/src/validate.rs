@@ -17,7 +17,12 @@ pub struct JSoundViolation {
 impl fmt::Display for JSoundViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let p = self.path.to_string();
-        write!(f, "{}: {}", if p.is_empty() { "<root>" } else { &p }, self.message)
+        write!(
+            f,
+            "{}: {}",
+            if p.is_empty() { "<root>" } else { &p },
+            self.message
+        )
     }
 }
 
@@ -48,8 +53,7 @@ impl JSoundSchema {
             if let Err(mut errs) = self.validate(doc) {
                 for e in &mut errs {
                     // Prefix the document index.
-                    let mut tokens: Vec<jsonx_data::Token> =
-                        vec![jsonx_data::Token::Index(i)];
+                    let mut tokens: Vec<jsonx_data::Token> = vec![jsonx_data::Token::Index(i)];
                     tokens.extend(e.path.tokens().iter().cloned());
                     e.path = tokens.into_iter().collect();
                 }
@@ -70,9 +74,7 @@ impl JSoundSchema {
                         .find(|(w, _)| canonical_cmp(w, v) == std::cmp::Ordering::Equal)
                     {
                         errors.push(JSoundViolation {
-                            path: Pointer::root()
-                                .push_index(i)
-                                .push_key(&field.name),
+                            path: Pointer::root().push_index(i).push_key(&field.name),
                             message: format!(
                                 "duplicate identifier value {v} (first seen in document {first})"
                             ),
@@ -137,7 +139,12 @@ fn check(ty: &JSoundType, value: &Value, path: &Pointer, errors: &mut Vec<JSound
     }
 }
 
-fn check_atomic(atomic: AtomicType, value: &Value, path: &Pointer, errors: &mut Vec<JSoundViolation>) {
+fn check_atomic(
+    atomic: AtomicType,
+    value: &Value,
+    path: &Pointer,
+    errors: &mut Vec<JSoundViolation>,
+) {
     let ok = match atomic {
         AtomicType::Any => true,
         AtomicType::String => value.as_str().is_some(),
@@ -162,7 +169,10 @@ fn uri_shaped(s: &str) -> bool {
     // leading-alpha rule matters (dates like 2019-03-26T10:00:00Z are not
     // URIs; caught by the cross-validator property test).
     s.split_once(':').is_some_and(|(scheme, _)| {
-        scheme.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+        scheme
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic())
             && scheme
                 .chars()
                 .all(|c| c.is_ascii_alphanumeric() || "+-.".contains(c))
@@ -188,7 +198,9 @@ fn date_shaped(s: &str) -> bool {
     let max_day = match month {
         1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
         4 | 6 | 9 | 11 => 30,
-        2 if year.is_multiple_of(4) && (!year.is_multiple_of(100) || year.is_multiple_of(400)) => 29,
+        2 if year.is_multiple_of(4) && (!year.is_multiple_of(100) || year.is_multiple_of(400)) => {
+            29
+        }
         2 => 28,
         _ => return false,
     };

@@ -21,20 +21,14 @@ fn arb_jsound() -> impl Strategy<Value = Value> {
     atomic.prop_recursive(3, 12, 4, |inner| {
         prop_oneof![
             inner.clone().prop_map(|t| Value::Arr(vec![t])),
-            prop::collection::vec(("[a-c]", any::<bool>(), inner), 0..3).prop_map(
-                |fields| {
-                    let mut obj = Object::new();
-                    for (name, required, ty) in fields {
-                        let key = if required {
-                            format!("!{name}")
-                        } else {
-                            name
-                        };
-                        obj.insert(key, ty);
-                    }
-                    Value::Obj(obj)
+            prop::collection::vec(("[a-c]", any::<bool>(), inner), 0..3).prop_map(|fields| {
+                let mut obj = Object::new();
+                for (name, required, ty) in fields {
+                    let key = if required { format!("!{name}") } else { name };
+                    obj.insert(key, ty);
                 }
-            ),
+                Value::Obj(obj)
+            }),
         ]
     })
 }

@@ -1,5 +1,5 @@
 use jsonx_gen::Corpus;
-use jsonx_mison::{bitmap, StructuralIndex, ProjectedParser};
+use jsonx_mison::{bitmap, ProjectedParser, StructuralIndex};
 use jsonx_syntax::{parse_bytes, to_string};
 use std::time::Instant;
 
@@ -10,19 +10,27 @@ fn main() {
     println!("{} docs, {} bytes", lines.len(), total);
 
     let t = Instant::now();
-    for l in &lines { std::hint::black_box(parse_bytes(l.as_bytes()).unwrap()); }
+    for l in &lines {
+        std::hint::black_box(parse_bytes(l.as_bytes()).unwrap());
+    }
     println!("full parse      {:?}", t.elapsed());
 
     let t = Instant::now();
-    for l in &lines { std::hint::black_box(bitmap::build(l.as_bytes())); }
+    for l in &lines {
+        std::hint::black_box(bitmap::build(l.as_bytes()));
+    }
     println!("bitmaps only    {:?}", t.elapsed());
 
     let t = Instant::now();
-    for l in &lines { std::hint::black_box(StructuralIndex::build(l.as_bytes(), 1)); }
+    for l in &lines {
+        std::hint::black_box(StructuralIndex::build(l.as_bytes(), 1));
+    }
     println!("index lvl1      {:?}", t.elapsed());
 
     let p = ProjectedParser::new(&["_id"]).unwrap();
     let t = Instant::now();
-    for l in &lines { std::hint::black_box(p.parse(l.as_bytes()).unwrap()); }
+    for l in &lines {
+        std::hint::black_box(p.parse(l.as_bytes()).unwrap());
+    }
     println!("project 1 field {:?}", t.elapsed());
 }

@@ -276,9 +276,10 @@ pub fn build_scalar(input: &[u8]) -> Bitmaps {
 impl Bitmaps {
     /// Iterates the set-bit positions of one bitmap.
     pub fn positions(bitmap: &[u64]) -> impl Iterator<Item = usize> + '_ {
-        bitmap.iter().enumerate().flat_map(|(w, &word)| {
-            BitIter { word }.map(move |bit| w * 64 + bit)
-        })
+        bitmap
+            .iter()
+            .enumerate()
+            .flat_map(|(w, &word)| BitIter { word }.map(move |bit| w * 64 + bit))
     }
 
     /// True when the byte at `pos` lies inside a string literal.
@@ -329,9 +330,15 @@ mod tests {
         let s = r#"{"a": 1, "b": [2, 3]}"#;
         assert_eq!(colon_positions(s), vec![4, 12]);
         let b = build(s.as_bytes());
-        assert_eq!(Bitmaps::positions(&b.comma).collect::<Vec<_>>(), vec![7, 16]);
+        assert_eq!(
+            Bitmaps::positions(&b.comma).collect::<Vec<_>>(),
+            vec![7, 16]
+        );
         assert_eq!(Bitmaps::positions(&b.lbrace).collect::<Vec<_>>(), vec![0]);
-        assert_eq!(Bitmaps::positions(&b.lbracket).collect::<Vec<_>>(), vec![14]);
+        assert_eq!(
+            Bitmaps::positions(&b.lbracket).collect::<Vec<_>>(),
+            vec![14]
+        );
     }
 
     #[test]
@@ -365,7 +372,11 @@ mod tests {
         // word boundary.
         let long = format!(r#"{{"k": "{}", "x": 1}}"#, "a:".repeat(64));
         let cols = colon_positions(&long);
-        assert_eq!(cols.len(), 2, "colons inside the long string must be masked");
+        assert_eq!(
+            cols.len(),
+            2,
+            "colons inside the long string must be masked"
+        );
     }
 
     #[test]
@@ -401,7 +412,10 @@ mod tests {
             let slow = build_scalar(text.as_bytes());
             assert_eq!(fast.quote, slow.quote, "quotes differ on {text:?}");
             assert_eq!(fast.colon, slow.colon, "colons differ on {text:?}");
-            assert_eq!(fast.string_mask, slow.string_mask, "mask differs on {text:?}");
+            assert_eq!(
+                fast.string_mask, slow.string_mask,
+                "mask differs on {text:?}"
+            );
             assert_eq!(fast.lbrace, slow.lbrace);
             assert_eq!(fast.comma, slow.comma);
         }

@@ -59,17 +59,11 @@ impl SpeculativeEncoder {
             let templates = self.templates.lock();
             if let Some(template) = templates.get(&key) {
                 if template.keys.len() == obj.len()
-                    && template
-                        .keys
-                        .iter()
-                        .zip(obj.keys())
-                        .all(|(a, b)| a == b)
+                    && template.keys.iter().zip(obj.keys()).all(|(a, b)| a == b)
                 {
                     // Speculation hit: stitch values into the template.
                     let mut out = String::with_capacity(template.chunks.len() * 8);
-                    for (chunk, (_, member)) in
-                        template.chunks.iter().zip(obj.iter())
-                    {
+                    for (chunk, (_, member)) in template.chunks.iter().zip(obj.iter()) {
                         out.push_str(chunk);
                         append_compact(&mut out, member);
                     }

@@ -80,7 +80,12 @@ impl StructuralIndex {
     }
 
     /// The first comma at `level` strictly after `pos`, within `range`.
-    pub fn next_comma(&self, level: usize, pos: usize, range: std::ops::Range<usize>) -> Option<usize> {
+    pub fn next_comma(
+        &self,
+        level: usize,
+        pos: usize,
+        range: std::ops::Range<usize>,
+    ) -> Option<usize> {
         let commas = self.commas.get(level - 1)?;
         let start = commas.partition_point(|&c| (c as usize) <= pos);
         commas[start..]
@@ -194,7 +199,7 @@ mod tests {
         let root = index.root_span().unwrap();
         let cols = index.colons_in(1, root.clone());
         assert_eq!(cols.len(), 3); // id, user, n
-        // Their keys:
+                                   // Their keys:
         let keys: Vec<&str> = cols
             .iter()
             .map(|&c| {

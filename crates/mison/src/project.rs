@@ -81,7 +81,10 @@ impl ProjectedParser {
             }
         }
         let levels = root.depth().saturating_sub(1).max(1);
-        Ok(ProjectedParser { fields: root, levels })
+        Ok(ProjectedParser {
+            fields: root,
+            levels,
+        })
     }
 
     /// Index depth this projection builds.
@@ -141,8 +144,7 @@ impl ProjectedParser {
                 let child_span = index
                     .container_span(open)
                     .ok_or(ProjectError::NotAnObject)?;
-                let inner =
-                    self.extract(input, index, subtree, level + 1, child_span)?;
+                let inner = self.extract(input, index, subtree, level + 1, child_span)?;
                 out.insert(key.into_owned(), Value::Obj(inner));
             }
             remaining -= 1;
@@ -206,10 +208,7 @@ mod tests {
     fn nested_projection() {
         let p = ProjectedParser::new(&["user.name"]).unwrap();
         let out = p.parse(DOC).unwrap();
-        assert_eq!(
-            Value::Obj(out),
-            json!({"user": {"name": "ada"}})
-        );
+        assert_eq!(Value::Obj(out), json!({"user": {"name": "ada"}}));
     }
 
     #[test]

@@ -46,7 +46,11 @@ fn speculative_decoder_agrees_on_fixed_corpora() {
     // Probes for the absent field always miss (they scan and find
     // nothing to learn), capping the rate at 75%; the three real fields
     // should hit almost always after warmup.
-    assert!(decoder.stats().hit_rate() > 0.6, "rate={}", decoder.stats().hit_rate());
+    assert!(
+        decoder.stats().hit_rate() > 0.6,
+        "rate={}",
+        decoder.stats().hit_rate()
+    );
 }
 
 proptest! {

@@ -349,7 +349,9 @@ mod tests {
 
     #[test]
     fn compiles_basic_forms() {
-        for p in ["", "a", "ab|cd", "a*", "a+", "a?", "a{2,4}", "[a-z]+$", "^x"] {
+        for p in [
+            "", "a", "ab|cd", "a*", "a+", "a?", "a{2,4}", "[a-z]+$", "^x",
+        ] {
             let program = prog(p);
             assert!(matches!(program.insts.last(), Some(Inst::Match)));
         }

@@ -268,9 +268,7 @@ impl Parser {
                 c
             };
             // Possible range `lo-hi` (a trailing `-` is a literal).
-            if self.peek() == Some('-')
-                && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']')
-            {
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']') {
                 self.bump(); // consume '-'
                 let hi_at = self.pos;
                 let Some(h) = self.bump() else {
@@ -357,9 +355,30 @@ mod tests {
                 max: None
             }
         );
-        assert!(matches!(parse("a{2,5}").unwrap(), Ast::Repeat { min: 2, max: Some(5), .. }));
-        assert!(matches!(parse("a{3}").unwrap(), Ast::Repeat { min: 3, max: Some(3), .. }));
-        assert!(matches!(parse("a{3,}").unwrap(), Ast::Repeat { min: 3, max: None, .. }));
+        assert!(matches!(
+            parse("a{2,5}").unwrap(),
+            Ast::Repeat {
+                min: 2,
+                max: Some(5),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("a{3}").unwrap(),
+            Ast::Repeat {
+                min: 3,
+                max: Some(3),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("a{3,}").unwrap(),
+            Ast::Repeat {
+                min: 3,
+                max: None,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -372,8 +391,14 @@ mod tests {
 
     #[test]
     fn dangling_quantifier_errors() {
-        assert!(matches!(parse("*a"), Err(RegexError::NothingToRepeat { .. })));
-        assert!(matches!(parse("^*"), Err(RegexError::NothingToRepeat { .. })));
+        assert!(matches!(
+            parse("*a"),
+            Err(RegexError::NothingToRepeat { .. })
+        ));
+        assert!(matches!(
+            parse("^*"),
+            Err(RegexError::NothingToRepeat { .. })
+        ));
     }
 
     #[test]
@@ -386,7 +411,10 @@ mod tests {
                 items: vec![ClassItem::Range('a', 'z'), ClassItem::Single('_')]
             }
         );
-        assert!(matches!(parse("[^0-9]").unwrap(), Ast::Class { negated: true, .. }));
+        assert!(matches!(
+            parse("[^0-9]").unwrap(),
+            Ast::Class { negated: true, .. }
+        ));
     }
 
     #[test]
@@ -399,14 +427,23 @@ mod tests {
                 items: vec![ClassItem::Single(']'), ClassItem::Single('-')]
             }
         );
-        assert!(matches!(parse("[z-a]"), Err(RegexError::InvalidRange { .. })));
+        assert!(matches!(
+            parse("[z-a]"),
+            Err(RegexError::InvalidRange { .. })
+        ));
         assert!(matches!(parse("[abc"), Err(RegexError::Unclosed { .. })));
     }
 
     #[test]
     fn shorthands_in_and_out_of_classes() {
-        assert!(matches!(parse(r"\d").unwrap(), Ast::Class { negated: false, .. }));
-        assert!(matches!(parse(r"\W").unwrap(), Ast::Class { negated: true, .. }));
+        assert!(matches!(
+            parse(r"\d").unwrap(),
+            Ast::Class { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse(r"\W").unwrap(),
+            Ast::Class { negated: true, .. }
+        ));
         let ast = parse(r"[\d_]").unwrap();
         match ast {
             Ast::Class { items, .. } => assert_eq!(items.len(), 2),
@@ -425,6 +462,9 @@ mod tests {
     fn escapes() {
         assert_eq!(parse(r"\.").unwrap(), Ast::Literal('.'));
         assert_eq!(parse(r"A").unwrap(), Ast::Literal('A'));
-        assert!(matches!(parse(r"\q"), Err(RegexError::UnknownEscape { .. })));
+        assert!(matches!(
+            parse(r"\q"),
+            Err(RegexError::UnknownEscape { .. })
+        ));
     }
 }

@@ -114,7 +114,13 @@ fn run(prog: &Program, text: &str, anchored: bool) -> bool {
         std::mem::swap(&mut current, &mut next);
         // Unanchored: re-seed a fresh attempt starting at position i+1.
         if !anchored
-            && add_thread(prog, &mut current, prog.start, false, at_end_after || len == i + 1)
+            && add_thread(
+                prog,
+                &mut current,
+                prog.start,
+                false,
+                at_end_after || len == i + 1,
+            )
         {
             return true;
         }

@@ -97,8 +97,7 @@ fn pick_class_char(negated: bool, items: &[ClassItem], rng: &mut Rng) -> Option<
             ClassItem::Single(c) => c,
             ClassItem::Range(lo, hi) => {
                 let span = (hi as u32).saturating_sub(lo as u32) + 1;
-                char::from_u32(lo as u32 + (rng.below(span as usize) as u32))
-                    .unwrap_or(lo)
+                char::from_u32(lo as u32 + (rng.below(span as usize) as u32)).unwrap_or(lo)
             }
         });
     }

@@ -95,14 +95,17 @@ fn arb_pattern() -> impl Strategy<Value = String> {
         Just("[^a]".to_string()),
         Just("[a-c]".to_string()),
     ];
-    let unit = (atom, prop_oneof![
-        Just(""),
-        Just("*"),
-        Just("+"),
-        Just("?"),
-        Just("{2}"),
-        Just("{1,2}"),
-    ])
+    let unit = (
+        atom,
+        prop_oneof![
+            Just(""),
+            Just("*"),
+            Just("+"),
+            Just("?"),
+            Just("{2}"),
+            Just("{1,2}"),
+        ],
+    )
         .prop_map(|(a, q)| format!("{a}{q}"));
     prop::collection::vec(unit, 1..5).prop_map(|units| units.concat())
 }

@@ -23,7 +23,11 @@ impl SchemaError {
 
 impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid schema at '{}': {}", self.schema_path, self.message)
+        write!(
+            f,
+            "invalid schema at '{}': {}",
+            self.schema_path, self.message
+        )
     }
 }
 
@@ -37,10 +41,14 @@ pub enum ValidationErrorKind {
     Const,
     AllOf,
     AnyOf,
-    OneOf { matched: usize },
+    OneOf {
+        matched: usize,
+    },
     Not,
     /// `if`/`then`/`else` conditional failed.
-    Conditional { then_branch: bool },
+    Conditional {
+        then_branch: bool,
+    },
     MinLength,
     MaxLength,
     Pattern,
@@ -56,21 +64,33 @@ pub enum ValidationErrorKind {
     MaxItems,
     UniqueItems,
     Contains,
-    Required { missing: String },
+    Required {
+        missing: String,
+    },
     Properties,
     PatternProperties,
-    AdditionalProperties { key: String },
+    AdditionalProperties {
+        key: String,
+    },
     MinProperties,
     MaxProperties,
-    PropertyNames { key: String },
-    Dependencies { key: String },
+    PropertyNames {
+        key: String,
+    },
+    Dependencies {
+        key: String,
+    },
     /// `false` schema (or compiled `Never`) reached.
     Never,
     /// `$ref` target missing or not a valid schema.
-    BadRef { reference: String },
+    BadRef {
+        reference: String,
+    },
     /// Unguarded `$ref` recursion: the same reference re-entered on the
     /// same instance location without consuming input.
-    RefCycle { reference: String },
+    RefCycle {
+        reference: String,
+    },
 }
 
 impl ValidationErrorKind {

@@ -24,7 +24,14 @@ pub fn check_format(format: &str, value: &str) -> bool {
 
 /// The set of formats [`check_format`] actually enforces.
 pub const KNOWN_FORMATS: [&str; 8] = [
-    "date-time", "date", "time", "email", "hostname", "ipv4", "uri", "uuid",
+    "date-time",
+    "date",
+    "time",
+    "email",
+    "hostname",
+    "ipv4",
+    "uri",
+    "uuid",
 ];
 
 fn digits(s: &str) -> bool {
@@ -65,21 +72,22 @@ pub fn is_date(s: &str) -> bool {
 /// RFC 3339 `full-time`: `HH:MM:SS[.fff](Z|±HH:MM)`.
 pub fn is_time(s: &str) -> bool {
     // Split off the offset.
-    let (clock, offset_ok) = if let Some(stripped) = s.strip_suffix('Z').or_else(|| s.strip_suffix('z')) {
-        (stripped, true)
-    } else if let Some(idx) = s.rfind(['+', '-']) {
-        let (clock, off) = s.split_at(idx);
-        let off = &off[1..];
-        let parts: Vec<&str> = off.split(':').collect();
-        let ok = parts.len() == 2
-            && parts[0].len() == 2
-            && parts[1].len() == 2
-            && in_range(parts[0], 0, 23)
-            && in_range(parts[1], 0, 59);
-        (clock, ok)
-    } else {
-        return false;
-    };
+    let (clock, offset_ok) =
+        if let Some(stripped) = s.strip_suffix('Z').or_else(|| s.strip_suffix('z')) {
+            (stripped, true)
+        } else if let Some(idx) = s.rfind(['+', '-']) {
+            let (clock, off) = s.split_at(idx);
+            let off = &off[1..];
+            let parts: Vec<&str> = off.split(':').collect();
+            let ok = parts.len() == 2
+                && parts[0].len() == 2
+                && parts[1].len() == 2
+                && in_range(parts[0], 0, 23)
+                && in_range(parts[1], 0, 59);
+            (clock, ok)
+        } else {
+            return false;
+        };
     if !offset_ok {
         return false;
     }
@@ -155,7 +163,10 @@ pub fn is_uri(s: &str) -> bool {
         return false;
     };
     !scheme.is_empty()
-        && scheme.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+        && scheme
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic())
         && scheme
             .chars()
             .all(|c| c.is_ascii_alphanumeric() || "+-.".contains(c))

@@ -164,8 +164,7 @@ pub fn compile_schema(value: &Value, path: &str) -> Result<Schema, SchemaError> 
                     "properties" => {
                         let props = expect_object(val, &sub(key))?;
                         for (name, s) in props.iter() {
-                            let compiled =
-                                compile_schema(s, &format!("{path}/properties/{name}"))?;
+                            let compiled = compile_schema(s, &format!("{path}/properties/{name}"))?;
                             node.properties.push((name.to_string(), compiled));
                         }
                     }
@@ -176,10 +175,8 @@ pub fn compile_schema(value: &Value, path: &str) -> Result<Schema, SchemaError> 
                                 &Value::Str(pat.to_string()),
                                 &format!("{path}/patternProperties/{pat}"),
                             )?;
-                            let compiled = compile_schema(
-                                s,
-                                &format!("{path}/patternProperties/{pat}"),
-                            )?;
+                            let compiled =
+                                compile_schema(s, &format!("{path}/patternProperties/{pat}"))?;
                             node.pattern_properties.push((compiled_pat, compiled));
                         }
                     }
@@ -196,9 +193,7 @@ pub fn compile_schema(value: &Value, path: &str) -> Result<Schema, SchemaError> 
                     }
                     "minProperties" => node.min_properties = Some(expect_count(val, &sub(key))?),
                     "maxProperties" => node.max_properties = Some(expect_count(val, &sub(key))?),
-                    "propertyNames" => {
-                        node.property_names = Some(compile_schema(val, &sub(key))?)
-                    }
+                    "propertyNames" => node.property_names = Some(compile_schema(val, &sub(key))?),
                     "dependencies" => {
                         let deps = expect_object(val, &sub(key))?;
                         for (name, spec) in deps.iter() {
@@ -207,8 +202,11 @@ pub fn compile_schema(value: &Value, path: &str) -> Result<Schema, SchemaError> 
                                     let mut names = Vec::with_capacity(keys.len());
                                     for k in keys {
                                         names.push(
-                                            expect_string(k, &format!("{path}/dependencies/{name}"))?
-                                                .to_string(),
+                                            expect_string(
+                                                k,
+                                                &format!("{path}/dependencies/{name}"),
+                                            )?
+                                            .to_string(),
                                         );
                                     }
                                     Dependency::Keys(names)
@@ -242,7 +240,10 @@ pub fn compile_schema(value: &Value, path: &str) -> Result<Schema, SchemaError> 
         }
         other => Err(SchemaError::new(
             path,
-            format!("a schema must be an object or boolean, found {}", other.kind()),
+            format!(
+                "a schema must be an object or boolean, found {}",
+                other.kind()
+            ),
         )),
     }
 }
@@ -269,7 +270,10 @@ fn parse_types(val: &Value, path: &str) -> Result<Vec<Kind>, SchemaError> {
 fn parse_schema_array(val: &Value, path: &str) -> Result<Vec<Schema>, SchemaError> {
     let arr = expect_array(val, path)?;
     if arr.is_empty() {
-        return Err(SchemaError::new(path, "must be a non-empty array of schemas"));
+        return Err(SchemaError::new(
+            path,
+            "must be a non-empty array of schemas",
+        ));
     }
     arr.iter()
         .enumerate()
@@ -279,8 +283,8 @@ fn parse_schema_array(val: &Value, path: &str) -> Result<Vec<Schema>, SchemaErro
 
 fn compile_pattern(val: &Value, path: &str) -> Result<CompiledPattern, SchemaError> {
     let source = expect_string(val, path)?;
-    let regex = Regex::compile(source)
-        .map_err(|e| SchemaError::new(path, format!("bad pattern: {e}")))?;
+    let regex =
+        Regex::compile(source).map_err(|e| SchemaError::new(path, format!("bad pattern: {e}")))?;
     Ok(CompiledPattern {
         source: source.to_string(),
         regex,
@@ -330,7 +334,10 @@ mod tests {
             compile_schema(&json!(false), "#").unwrap(),
             Schema::Never
         ));
-        assert!(matches!(compile_schema(&json!({}), "#").unwrap(), Schema::Any));
+        assert!(matches!(
+            compile_schema(&json!({}), "#").unwrap(),
+            Schema::Any
+        ));
     }
 
     #[test]

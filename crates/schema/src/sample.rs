@@ -86,9 +86,7 @@ impl CompiledSchema {
             let t = types[rng.below(types.len())];
             return t.name();
         }
-        if !node.properties.is_empty()
-            || !node.required.is_empty()
-            || node.min_properties.is_some()
+        if !node.properties.is_empty() || !node.required.is_empty() || node.min_properties.is_some()
         {
             return "object";
         }
@@ -169,10 +167,7 @@ impl CompiledSchema {
         // Cap witness arrays: a schema demanding millions of items gets a
         // `None` (via validation failure) instead of an allocation storm.
         let min = (node.min_items.unwrap_or(0) as usize).min(4_096);
-        let max = node
-            .max_items
-            .map(|m| m as usize)
-            .unwrap_or(min.max(1) + 2);
+        let max = node.max_items.map(|m| m as usize).unwrap_or(min.max(1) + 2);
         let len = min + rng.below(max.saturating_sub(min) + 1);
         let mut out = Vec::with_capacity(len);
         for i in 0..len {

@@ -174,10 +174,7 @@ impl<'a> Ctx<'a> {
             }
         }
         if !node.any_of.is_empty() {
-            let hit = node
-                .any_of
-                .iter()
-                .any(|sub| self.probe(sub, value, path));
+            let hit = node.any_of.iter().any(|sub| self.probe(sub, value, path));
             if !hit {
                 self.emit(
                     path,
@@ -453,7 +450,9 @@ impl<'a> Ctx<'a> {
                         // too (matches the error shape real validators emit).
                         self.emit(
                             path,
-                            ValidationErrorKind::AdditionalProperties { key: key.to_string() },
+                            ValidationErrorKind::AdditionalProperties {
+                                key: key.to_string(),
+                            },
                             format!("property '{key}' violates additionalProperties"),
                         );
                     }
@@ -463,7 +462,9 @@ impl<'a> Ctx<'a> {
                 if !self.probe(name_schema, &Value::Str(key.to_string()), &member_path) {
                     self.emit(
                         path,
-                        ValidationErrorKind::PropertyNames { key: key.to_string() },
+                        ValidationErrorKind::PropertyNames {
+                            key: key.to_string(),
+                        },
                         format!("property name '{key}' violates propertyNames"),
                     );
                 }

@@ -103,11 +103,7 @@ fn numeric_constraints() {
     );
     check(
         json!({"exclusiveMinimum": 0, "exclusiveMaximum": 1}),
-        &[
-            (json!(0.5), true),
-            (json!(0), false),
-            (json!(1), false),
-        ],
+        &[(json!(0.5), true), (json!(0), false), (json!(1), false)],
     );
     check(
         json!({"multipleOf": 0.5}),
@@ -255,11 +251,7 @@ fn combinators() {
     );
     check(
         json!({"anyOf": [{"type": "string"}, {"minimum": 10}]}),
-        &[
-            (json!("x"), true),
-            (json!(12), true),
-            (json!(5), false),
-        ],
+        &[(json!("x"), true), (json!(12), true), (json!(5), false)],
     );
     // Union types for heterogeneous fields — the §2 motivating example.
     check(
@@ -310,10 +302,7 @@ fn definitions_with_refs() {
         schema,
         &[
             (json!({"name": "ada"}), true),
-            (
-                json!({"name": "ada", "friend": {"name": "grace"}}),
-                true,
-            ),
+            (json!({"name": "ada", "friend": {"name": "grace"}}), true),
             (json!({"name": ""}), false),
             (json!({"name": "ada", "friend": {"name": 3}}), false),
             (json!({"friend": {"name": "grace"}}), false),
@@ -454,10 +443,7 @@ fn if_without_branches_is_vacuous() {
         &[(json!("x"), true), (json!(1), true)],
     );
     // `then` without `if` is ignored per spec.
-    check(
-        json!({"then": {"type": "string"}}),
-        &[(json!(1), true)],
-    );
+    check(json!({"then": {"type": "string"}}), &[(json!(1), true)]);
 }
 
 #[test]

@@ -175,9 +175,11 @@ mod tests {
         // All four payload shapes are visible at full coverage.
         assert!(full.contains_path("payload.commits"));
         assert!(full.contains_path("payload.forkee"));
-        // ForkEvents are the rarest (10%); 80% coverage should drop them
-        // while keeping pushes.
-        let partial = Skeleton::mine(&docs, 0.8);
+        // ForkEvents are the rarest (10%). Issues payloads fragment into
+        // two structures (assignee null vs object), each landing near the
+        // fork count, so a 0.8 budget sits on a knife edge; 0.75 drops the
+        // forks with margin while keeping pushes.
+        let partial = Skeleton::mine(&docs, 0.75);
         assert!(partial.contains_path("payload.commits"));
         assert!(!partial.contains_path("payload.forkee"));
     }

@@ -2,15 +2,55 @@
 //!
 //! The schema-inference tools the tutorial surveys (mongodb-schema, the
 //! distributed map/reduce inferrers) process collections too large to hold
-//! as DOMs. [`EventParser`] yields a well-formed event stream without
+//! as DOMs. [`RawEventParser`] yields a well-formed event stream without
 //! building a tree: object/array boundaries, keys, and scalar values, with
-//! the same validation guarantees as the DOM parser.
+//! the same validation guarantees as the DOM parser. Its events borrow
+//! string data straight from the input whenever the literal is escape-free,
+//! so the common machine-generated document produces **zero per-token heap
+//! allocations**. [`EventParser`] is a thin adapter yielding the owned
+//! [`Event`] form for callers that need `'static` data.
 
 use crate::error::{ParseError, ParseErrorKind};
-use crate::lexer::{Lexer, Token};
+use crate::lexer::{Lexer, RawToken};
 use jsonx_data::Number;
+use std::borrow::Cow;
 
-/// One event of the streaming parse.
+/// One event of the streaming parse, borrowing from the input.
+///
+/// `Key`/`Str` payloads are `Cow::Borrowed` when the literal contains no
+/// escapes and `Cow::Owned` only when unescaping forced a buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawEvent<'a> {
+    StartObject,
+    EndObject,
+    StartArray,
+    EndArray,
+    /// An object member key (always followed by that member's value events).
+    Key(Cow<'a, str>),
+    Null,
+    Bool(bool),
+    Num(Number),
+    Str(Cow<'a, str>),
+}
+
+impl<'a> RawEvent<'a> {
+    /// Converts to the owned [`Event`], copying borrowed string data.
+    pub fn into_owned(self) -> Event {
+        match self {
+            RawEvent::StartObject => Event::StartObject,
+            RawEvent::EndObject => Event::EndObject,
+            RawEvent::StartArray => Event::StartArray,
+            RawEvent::EndArray => Event::EndArray,
+            RawEvent::Key(k) => Event::Key(k.into_owned()),
+            RawEvent::Null => Event::Null,
+            RawEvent::Bool(b) => Event::Bool(b),
+            RawEvent::Num(n) => Event::Num(n),
+            RawEvent::Str(s) => Event::Str(s.into_owned()),
+        }
+    }
+}
+
+/// One event of the streaming parse, with owned string data.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     StartObject,
@@ -45,19 +85,19 @@ enum State {
     Done,
 }
 
-/// A pull parser: call [`EventParser::next_event`] until it returns
-/// `Ok(None)`.
-pub struct EventParser<'a> {
+/// A pull parser with borrowed events: call
+/// [`RawEventParser::next_event`] until it returns `Ok(None)`.
+pub struct RawEventParser<'a> {
     lexer: Lexer<'a>,
     stack: Vec<Frame>,
     state: State,
     max_depth: usize,
 }
 
-impl<'a> EventParser<'a> {
+impl<'a> RawEventParser<'a> {
     /// Creates an event parser over `input`.
     pub fn new(input: &'a [u8]) -> Self {
-        EventParser {
+        RawEventParser {
             lexer: Lexer::new(input),
             stack: Vec::new(),
             state: State::Start,
@@ -81,20 +121,20 @@ impl<'a> EventParser<'a> {
     }
 
     /// Pulls the next event; `Ok(None)` signals a complete, valid document.
-    pub fn next_event(&mut self) -> Result<Option<Event>, ParseError> {
+    pub fn next_event(&mut self) -> Result<Option<RawEvent<'a>>, ParseError> {
         loop {
             match self.state {
                 State::Done => {
                     self.lexer.skip_ws();
-                    let tok = self.lexer.next_token()?;
-                    return if tok == Token::Eof {
+                    let tok = self.lexer.next_token_raw()?;
+                    return if tok == RawToken::Eof {
                         Ok(None)
                     } else {
                         Err(self.err(ParseErrorKind::TrailingData))
                     };
                 }
                 State::Start | State::Value => {
-                    let tok = self.lexer.next_token()?;
+                    let tok = self.lexer.next_token_raw()?;
                     return self.value_event(tok).map(Some);
                 }
                 State::Next => {
@@ -108,29 +148,33 @@ impl<'a> EventParser<'a> {
     }
 
     /// Handles a token in value position.
-    fn value_event(&mut self, tok: Token) -> Result<Event, ParseError> {
+    fn value_event(&mut self, tok: RawToken<'a>) -> Result<RawEvent<'a>, ParseError> {
         let ev = match tok {
-            Token::Null => Event::Null,
-            Token::True => Event::Bool(true),
-            Token::False => Event::Bool(false),
-            Token::Num(n) => Event::Num(n),
-            Token::Str(s) => Event::Str(s),
-            Token::LBracket => {
-                self.push(Frame::Array { expect_comma: false })?;
+            RawToken::Null => RawEvent::Null,
+            RawToken::True => RawEvent::Bool(true),
+            RawToken::False => RawEvent::Bool(false),
+            RawToken::Num(n) => RawEvent::Num(n),
+            RawToken::Str(s) => RawEvent::Str(s),
+            RawToken::LBracket => {
+                self.push(Frame::Array {
+                    expect_comma: false,
+                })?;
                 self.state = State::Next;
-                return Ok(Event::StartArray);
+                return Ok(RawEvent::StartArray);
             }
-            Token::LBrace => {
-                self.push(Frame::Object { expect_comma: false })?;
+            RawToken::LBrace => {
+                self.push(Frame::Object {
+                    expect_comma: false,
+                })?;
                 self.state = State::Next;
-                return Ok(Event::StartObject);
+                return Ok(RawEvent::StartObject);
             }
-            Token::RBracket if self.in_fresh_array() => {
+            RawToken::RBracket if self.in_fresh_array() => {
                 self.stack.pop();
                 self.after_close();
-                return Ok(Event::EndArray);
+                return Ok(RawEvent::EndArray);
             }
-            Token::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            RawToken::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
             other => return Err(self.err(ParseErrorKind::UnexpectedToken(other.name()))),
         };
         self.after_scalar();
@@ -140,7 +184,9 @@ impl<'a> EventParser<'a> {
     fn in_fresh_array(&self) -> bool {
         matches!(
             self.stack.last(),
-            Some(Frame::Array { expect_comma: false })
+            Some(Frame::Array {
+                expect_comma: false
+            })
         ) && self.state == State::Value
     }
 
@@ -181,17 +227,20 @@ impl<'a> EventParser<'a> {
 
     /// Consumes separators/closers between members. Returns an event only
     /// for container closes.
-    fn advance(&mut self) -> Result<Option<Event>, ParseError> {
-        let frame = *self.stack.last().expect("advance only runs inside containers");
-        let tok = self.lexer.next_token()?;
+    fn advance(&mut self) -> Result<Option<RawEvent<'a>>, ParseError> {
+        let frame = *self
+            .stack
+            .last()
+            .expect("advance only runs inside containers");
+        let tok = self.lexer.next_token_raw()?;
         match frame {
             Frame::Array { expect_comma } => match tok {
-                Token::RBracket => {
+                RawToken::RBracket => {
                     self.stack.pop();
                     self.after_close();
-                    Ok(Some(Event::EndArray))
+                    Ok(Some(RawEvent::EndArray))
                 }
-                Token::Comma if expect_comma => {
+                RawToken::Comma if expect_comma => {
                     self.state = State::Value;
                     Ok(None)
                 }
@@ -200,39 +249,33 @@ impl<'a> EventParser<'a> {
                     self.state = State::Value;
                     self.value_event(tok).map(Some)
                 }
-                Token::Eof => Err(self.err(ParseErrorKind::UnexpectedEof)),
+                RawToken::Eof => Err(self.err(ParseErrorKind::UnexpectedEof)),
                 other => Err(self.err(ParseErrorKind::UnexpectedToken(other.name()))),
             },
             Frame::Object { expect_comma } => {
                 let key_tok = match tok {
-                    Token::RBrace => {
+                    RawToken::RBrace => {
                         self.stack.pop();
                         self.after_close();
-                        return Ok(Some(Event::EndObject));
+                        return Ok(Some(RawEvent::EndObject));
                     }
-                    Token::Comma if expect_comma => self.lexer.next_token()?,
+                    RawToken::Comma if expect_comma => self.lexer.next_token_raw()?,
                     t if !expect_comma => t,
-                    Token::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
-                    other => {
-                        return Err(self.err(ParseErrorKind::UnexpectedToken(other.name())))
-                    }
+                    RawToken::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                    other => return Err(self.err(ParseErrorKind::UnexpectedToken(other.name()))),
                 };
                 let key = match key_tok {
-                    Token::Str(s) => s,
-                    Token::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
-                    other => {
-                        return Err(self.err(ParseErrorKind::UnexpectedToken(other.name())))
-                    }
+                    RawToken::Str(s) => s,
+                    RawToken::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                    other => return Err(self.err(ParseErrorKind::UnexpectedToken(other.name()))),
                 };
-                match self.lexer.next_token()? {
-                    Token::Colon => {}
-                    Token::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
-                    other => {
-                        return Err(self.err(ParseErrorKind::UnexpectedToken(other.name())))
-                    }
+                match self.lexer.next_token_raw()? {
+                    RawToken::Colon => {}
+                    RawToken::Eof => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                    other => return Err(self.err(ParseErrorKind::UnexpectedToken(other.name()))),
                 }
                 self.state = State::Value;
-                Ok(Some(Event::Key(key)))
+                Ok(Some(RawEvent::Key(key)))
             }
         }
     }
@@ -241,6 +284,55 @@ impl<'a> EventParser<'a> {
     pub fn finish(mut self) -> Result<(), ParseError> {
         while self.next_event()?.is_some() {}
         Ok(())
+    }
+}
+
+impl<'a> Iterator for RawEventParser<'a> {
+    type Item = Result<RawEvent<'a>, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_event() {
+            Ok(Some(ev)) => Some(Ok(ev)),
+            Ok(None) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+/// A pull parser yielding owned [`Event`]s: a thin adapter over
+/// [`RawEventParser`] for callers that keep events beyond the input's
+/// lifetime.
+pub struct EventParser<'a> {
+    inner: RawEventParser<'a>,
+}
+
+impl<'a> EventParser<'a> {
+    /// Creates an event parser over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        EventParser {
+            inner: RawEventParser::new(input),
+        }
+    }
+
+    /// Overrides the nesting limit.
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.inner = self.inner.with_max_depth(max_depth);
+        self
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.inner.depth()
+    }
+
+    /// Pulls the next event; `Ok(None)` signals a complete, valid document.
+    pub fn next_event(&mut self) -> Result<Option<Event>, ParseError> {
+        Ok(self.inner.next_event()?.map(RawEvent::into_owned))
+    }
+
+    /// Drains the remaining events, checking well-formedness.
+    pub fn finish(self) -> Result<(), ParseError> {
+        self.inner.finish()
     }
 }
 
@@ -322,6 +414,37 @@ mod tests {
         for bad in ["[1,", "{\"a\"}", "[1,]", "{", "{\"a\":1,}", "1 2", "[}"] {
             assert!(events(bad).is_err(), "expected {bad:?} to fail");
         }
+    }
+
+    #[test]
+    fn raw_events_borrow_escape_free_strings() {
+        let doc = r#"{"plain": "value", "esc\n": "a\tb"}"#;
+        let raw: Vec<RawEvent<'_>> = RawEventParser::new(doc.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let cows: Vec<&Cow<'_, str>> = raw
+            .iter()
+            .filter_map(|ev| match ev {
+                RawEvent::Key(c) | RawEvent::Str(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cows.len(), 4);
+        assert!(matches!(cows[0], Cow::Borrowed("plain")));
+        assert!(matches!(cows[1], Cow::Borrowed("value")));
+        assert!(matches!(cows[2], Cow::Owned(_)));
+        assert!(matches!(cows[3], Cow::Owned(_)));
+    }
+
+    #[test]
+    fn raw_and_owned_event_streams_agree() {
+        let doc = r#"{"users":[{"id":1,"tags":["aA"]},{"id":2}],"total":2}"#;
+        let raw: Vec<Event> = RawEventParser::new(doc.as_bytes())
+            .map(|r| r.map(RawEvent::into_owned))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let owned: Vec<Event> = events(doc).unwrap();
+        assert_eq!(raw, owned);
     }
 
     #[test]

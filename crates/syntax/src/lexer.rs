@@ -5,6 +5,67 @@
 
 use crate::error::{ParseError, ParseErrorKind};
 use jsonx_data::Number;
+use std::borrow::Cow;
+
+/// A lexical token whose string payload borrows from the input when the
+/// literal contains no escapes — the common case in machine-generated
+/// JSON — and owns an unescaped buffer otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawToken<'a> {
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Colon,
+    Comma,
+    /// A string literal: borrowed when escape-free, owned when unescaped.
+    Str(Cow<'a, str>),
+    /// A number literal.
+    Num(Number),
+    True,
+    False,
+    Null,
+    /// End of input.
+    Eof,
+}
+
+impl<'a> RawToken<'a> {
+    /// Converts to the owned [`Token`], copying borrowed string data.
+    pub fn into_owned(self) -> Token {
+        match self {
+            RawToken::LBrace => Token::LBrace,
+            RawToken::RBrace => Token::RBrace,
+            RawToken::LBracket => Token::LBracket,
+            RawToken::RBracket => Token::RBracket,
+            RawToken::Colon => Token::Colon,
+            RawToken::Comma => Token::Comma,
+            RawToken::Str(s) => Token::Str(s.into_owned()),
+            RawToken::Num(n) => Token::Num(n),
+            RawToken::True => Token::True,
+            RawToken::False => Token::False,
+            RawToken::Null => Token::Null,
+            RawToken::Eof => Token::Eof,
+        }
+    }
+
+    /// Short name used in error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RawToken::LBrace => "'{'",
+            RawToken::RBrace => "'}'",
+            RawToken::LBracket => "'['",
+            RawToken::RBracket => "']'",
+            RawToken::Colon => "':'",
+            RawToken::Comma => "','",
+            RawToken::Str(_) => "string",
+            RawToken::Num(_) => "number",
+            RawToken::True => "'true'",
+            RawToken::False => "'false'",
+            RawToken::Null => "'null'",
+            RawToken::Eof => "end of input",
+        }
+    }
+}
 
 /// A lexical token.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,53 +144,100 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    /// Scans the next token.
-    pub fn next_token(&mut self) -> Result<Token, ParseError> {
+    /// Scans the next token, borrowing string data when possible.
+    pub fn next_token_raw(&mut self) -> Result<RawToken<'a>, ParseError> {
         self.skip_ws();
         let Some(&b) = self.input.get(self.pos) else {
-            return Ok(Token::Eof);
+            return Ok(RawToken::Eof);
         };
         match b {
             b'{' => {
                 self.pos += 1;
-                Ok(Token::LBrace)
+                Ok(RawToken::LBrace)
             }
             b'}' => {
                 self.pos += 1;
-                Ok(Token::RBrace)
+                Ok(RawToken::RBrace)
             }
             b'[' => {
                 self.pos += 1;
-                Ok(Token::LBracket)
+                Ok(RawToken::LBracket)
             }
             b']' => {
                 self.pos += 1;
-                Ok(Token::RBracket)
+                Ok(RawToken::RBracket)
             }
             b':' => {
                 self.pos += 1;
-                Ok(Token::Colon)
+                Ok(RawToken::Colon)
             }
             b',' => {
                 self.pos += 1;
-                Ok(Token::Comma)
+                Ok(RawToken::Comma)
             }
-            b'"' => self.scan_string().map(Token::Str),
-            b'-' | b'0'..=b'9' => self.scan_number().map(Token::Num),
-            b't' => self.scan_keyword(b"true", Token::True),
-            b'f' => self.scan_keyword(b"false", Token::False),
-            b'n' => self.scan_keyword(b"null", Token::Null),
+            b'"' => self.scan_string_cow().map(RawToken::Str),
+            b'-' | b'0'..=b'9' => self.scan_number().map(RawToken::Num),
+            b't' => self.scan_keyword(b"true", RawToken::True),
+            b'f' => self.scan_keyword(b"false", RawToken::False),
+            b'n' => self.scan_keyword(b"null", RawToken::Null),
             other => Err(self.err(ParseErrorKind::UnexpectedByte(other), self.pos)),
         }
     }
 
-    fn scan_keyword(&mut self, word: &'static [u8], tok: Token) -> Result<Token, ParseError> {
+    /// Scans the next token into the owned [`Token`] form.
+    pub fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.next_token_raw().map(RawToken::into_owned)
+    }
+
+    fn scan_keyword(
+        &mut self,
+        word: &'static [u8],
+        tok: RawToken<'a>,
+    ) -> Result<RawToken<'a>, ParseError> {
         let end = self.pos + word.len();
         if self.input.len() >= end && &self.input[self.pos..end] == word {
             self.pos = end;
             Ok(tok)
         } else {
             Err(self.err(ParseErrorKind::BadKeyword, self.pos))
+        }
+    }
+
+    /// Scans a string literal (cursor on the opening quote), borrowing the
+    /// input slice when the literal contains no escapes.
+    ///
+    /// This is the zero-copy hot path: escape-free strings cost one UTF-8
+    /// validation pass and no heap allocation. Escaped strings fall back to
+    /// [`scan_string`](Self::scan_string), which builds the unescaped
+    /// buffer.
+    pub fn scan_string_cow(&mut self) -> Result<Cow<'a, str>, ParseError> {
+        debug_assert_eq!(self.input[self.pos], b'"');
+        let start = self.pos;
+        self.pos += 1;
+        let body_start = self.pos;
+        loop {
+            let Some(&b) = self.input.get(self.pos) else {
+                return Err(self.err(ParseErrorKind::UnexpectedEof, start));
+            };
+            match b {
+                b'"' => {
+                    let chunk = &self.input[body_start..self.pos];
+                    let s = std::str::from_utf8(chunk).map_err(|e| {
+                        self.err(ParseErrorKind::InvalidUtf8, body_start + e.valid_up_to())
+                    })?;
+                    self.pos += 1;
+                    return Ok(Cow::Borrowed(s));
+                }
+                b'\\' => {
+                    // Escape seen: rewind and take the owned slow path.
+                    self.pos = start;
+                    return self.scan_string().map(Cow::Owned);
+                }
+                0x00..=0x1F => {
+                    return Err(self.err(ParseErrorKind::ControlCharacterInString, self.pos));
+                }
+                _ => self.pos += 1,
+            }
         }
     }
 
@@ -365,10 +473,7 @@ mod tests {
 
     #[test]
     fn surrogate_pairs() {
-        assert_eq!(
-            lex_all(r#""😀""#).unwrap(),
-            vec![Token::Str("😀".into())]
-        );
+        assert_eq!(lex_all(r#""😀""#).unwrap(), vec![Token::Str("😀".into())]);
         assert!(lex_all(r#""\ud83d""#).is_err()); // lone high
         assert!(lex_all(r#""\ude00""#).is_err()); // lone low
         assert!(lex_all(r#""\ud83dx""#).is_err()); // high not followed by \u
@@ -376,7 +481,10 @@ mod tests {
 
     #[test]
     fn raw_utf8_passthrough() {
-        assert_eq!(lex_all("\"héllo→\"").unwrap(), vec![Token::Str("héllo→".into())]);
+        assert_eq!(
+            lex_all("\"héllo→\"").unwrap(),
+            vec![Token::Str("héllo→".into())]
+        );
     }
 
     #[test]
@@ -439,5 +547,61 @@ mod tests {
             lx.next_token().unwrap_err().kind,
             ParseErrorKind::InvalidUtf8
         );
+    }
+
+    #[test]
+    fn escape_free_strings_borrow_from_input() {
+        let input = r#""plain key" "héllo→😀""#;
+        let mut lx = Lexer::new(input.as_bytes());
+        for expected in ["plain key", "héllo→😀"] {
+            match lx.next_token_raw().unwrap() {
+                RawToken::Str(cow) => {
+                    assert!(
+                        matches!(cow, Cow::Borrowed(_)),
+                        "escape-free string must not allocate: {cow:?}"
+                    );
+                    assert_eq!(cow, expected);
+                }
+                other => panic!("expected string, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn escaped_strings_fall_back_to_owned() {
+        let mut lx = Lexer::new(br#""a\nb""#);
+        match lx.next_token_raw().unwrap() {
+            RawToken::Str(cow) => {
+                assert!(matches!(cow, Cow::Owned(_)));
+                assert_eq!(cow, "a\nb");
+            }
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn raw_and_owned_lexing_agree() {
+        let input = r#"{"k": ["a\t", 1, true, null, "z"]}"#;
+        let mut raw = Lexer::new(input.as_bytes());
+        let mut owned = Lexer::new(input.as_bytes());
+        loop {
+            let r = raw.next_token_raw().unwrap();
+            let o = owned.next_token().unwrap();
+            let done = r == RawToken::Eof;
+            assert_eq!(r.into_owned(), o);
+            if done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn cow_errors_match_owned_errors() {
+        for bad in [&b"\"a"[..], b"\"a\x01b\"", b"\"\xffz\""] {
+            let raw_err = Lexer::new(bad).next_token_raw().unwrap_err();
+            let owned_err = Lexer::new(bad).next_token().unwrap_err();
+            assert_eq!(raw_err.kind, owned_err.kind);
+            assert_eq!(raw_err.offset, owned_err.offset);
+        }
     }
 }

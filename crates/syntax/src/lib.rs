@@ -28,8 +28,11 @@ pub mod parser;
 pub mod serializer;
 
 pub use error::{ParseError, ParseErrorKind};
-pub use event::{Event, EventParser};
-pub use lexer::{Lexer, Token};
+pub use event::{Event, EventParser, RawEvent, RawEventParser};
+pub use lexer::{Lexer, RawToken, Token};
 pub use ndjson::{parse_ndjson, write_ndjson};
 pub use parser::{parse, parse_bytes, parse_with, ParserOptions};
-pub use serializer::{append_compact, to_string, to_string_pretty, write_ndjson_to, write_value, write_value_to, SerializeOptions};
+pub use serializer::{
+    append_compact, to_string, to_string_pretty, write_ndjson_to, write_value, write_value_to,
+    SerializeOptions,
+};

@@ -168,8 +168,18 @@ mod tests {
     #[test]
     fn syntax_errors() {
         for bad in [
-            "", "[1,]", "{,}", "[1 2]", "{\"a\" 1}", "{\"a\":}", "{1:2}", "[",
-            "{\"a\":1,}", "]", ",", "[1]]",
+            "",
+            "[1,]",
+            "{,}",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "{1:2}",
+            "[",
+            "{\"a\":1,}",
+            "]",
+            ",",
+            "[1]]",
         ] {
             assert!(parse(bad).is_err(), "expected {bad:?} to fail");
         }

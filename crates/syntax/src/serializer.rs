@@ -3,8 +3,7 @@
 use jsonx_data::{Number, Value};
 
 /// Serializer configuration.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SerializeOptions {
     /// `Some(n)`: pretty-print with `n`-space indentation; `None`: compact.
     pub indent: Option<usize>,
@@ -13,7 +12,6 @@ pub struct SerializeOptions {
     /// Emit object keys in sorted order (canonical form).
     pub sort_keys: bool,
 }
-
 
 impl SerializeOptions {
     /// Compact output (no whitespace).
@@ -204,10 +202,7 @@ mod tests {
     #[test]
     fn pretty_layout() {
         let v = json!({"a": [1, 2]});
-        assert_eq!(
-            to_string_pretty(&v),
-            "{\n  \"a\": [\n    1,\n    2\n  ]\n}"
-        );
+        assert_eq!(to_string_pretty(&v), "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
     }
 
     #[test]

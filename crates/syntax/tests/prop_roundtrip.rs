@@ -16,9 +16,8 @@ fn arb_value() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(4, 64, 8, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Arr),
-            prop::collection::vec(("[a-z]{0,6}", inner), 0..6).prop_map(|pairs| {
-                Value::Obj(pairs.into_iter().collect::<Object>())
-            }),
+            prop::collection::vec(("[a-z]{0,6}", inner), 0..6)
+                .prop_map(|pairs| { Value::Obj(pairs.into_iter().collect::<Object>()) }),
         ]
     })
 }

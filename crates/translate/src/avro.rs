@@ -75,7 +75,7 @@ impl AvroSchema {
                             base
                         };
                         AvroField {
-                            name: name.clone(),
+                            name: name.to_string(),
                             schema,
                             null_means_absent: optional && !base_nullable,
                         }
@@ -109,9 +109,9 @@ impl AvroSchema {
             (AvroSchema::Record(fields), Value::Obj(obj)) => {
                 // Every present key declared; every non-nullable field present.
                 obj.iter().all(|(k, _)| fields.iter().any(|f| f.name == *k))
-                    && fields.iter().all(|f| {
-                        obj.contains_key(&f.name) || f.schema.nullable()
-                    })
+                    && fields
+                        .iter()
+                        .all(|f| obj.contains_key(&f.name) || f.schema.nullable())
             }
             (AvroSchema::Union(_), v) => self.branch_for(v).is_some(),
             _ => false,

@@ -258,9 +258,7 @@ impl Shredder {
         // Cell buffer: per column, per row, an optional scalar.
         let mut cells: Vec<Vec<Option<Value>>> = vec![Vec::new(); self.layout.len()];
         for (row, doc) in docs.iter().enumerate() {
-            let obj = doc
-                .as_object()
-                .ok_or(ShredError::NotARecord { row })?;
+            let obj = doc.as_object().ok_or(ShredError::NotARecord { row })?;
             let mut seen = vec![false; self.layout.len()];
             self.shred_record(obj, String::new(), row, &mut cells, &mut seen);
             // Pad unseen columns for this row.
@@ -300,9 +298,7 @@ impl Shredder {
                 format!("{prefix}.{key}")
             };
             match value {
-                Value::Obj(inner)
-                    if self.descends(&path) =>
-                {
+                Value::Obj(inner) if self.descends(&path) => {
                     self.shred_record(inner, path, row, cells, seen);
                 }
                 other => self.write_cell(&path, other, row, cells, seen),
@@ -474,7 +470,7 @@ fn plan(ty: &JType, prefix: String, layout: &mut Vec<(String, Slot)>) {
         JType::Record(rt) => {
             for (name, field) in &rt.fields {
                 let path = if prefix.is_empty() {
-                    name.clone()
+                    name.to_string()
                 } else {
                     format!("{prefix}.{name}")
                 };
@@ -495,9 +491,7 @@ fn plan(ty: &JType, prefix: String, layout: &mut Vec<(String, Slot)>) {
             match non_null.as_slice() {
                 [single] => plan(single, prefix, layout),
                 [JType::Int { .. }, JType::Float { .. }]
-                | [JType::Float { .. }, JType::Int { .. }] => {
-                    layout.push((prefix, Slot::Float))
-                }
+                | [JType::Float { .. }, JType::Int { .. }] => layout.push((prefix, Slot::Float)),
                 _ => layout.push((prefix, Slot::Json)),
             }
         }
@@ -648,7 +642,10 @@ mod tests {
             b.column("extra").unwrap().data,
             ColumnData::Bools(_)
         ));
-        assert!(matches!(b.column("tags").unwrap().data, ColumnData::Json(_)));
+        assert!(matches!(
+            b.column("tags").unwrap().data,
+            ColumnData::Json(_)
+        ));
     }
 
     #[test]

@@ -88,7 +88,8 @@ impl Flattener {
             return i;
         }
         self.columns.push(name.to_string());
-        self.by_name.insert(name.to_string(), self.columns.len() - 1);
+        self.by_name
+            .insert(name.to_string(), self.columns.len() - 1);
         self.columns.len() - 1
     }
 
@@ -144,11 +145,14 @@ impl Flattener {
                 Value::Obj(obj) => {
                     // Record element: one child row per element, columns
                     // discovered on the fly.
-                    let rel = self.children.entry(name.clone()).or_insert_with(|| Relation {
-                        name: name.clone(),
-                        columns: vec!["_parent_id".to_string(), "_pos".to_string()],
-                        rows: Vec::new(),
-                    });
+                    let rel = self
+                        .children
+                        .entry(name.clone())
+                        .or_insert_with(|| Relation {
+                            name: name.clone(),
+                            columns: vec!["_parent_id".to_string(), "_pos".to_string()],
+                            rows: Vec::new(),
+                        });
                     let mut row: Vec<Option<Value>> = vec![None; rel.columns.len()];
                     row[0] = Some(Value::from(row_id));
                     row[1] = Some(Value::from(pos as i64));
@@ -170,15 +174,18 @@ impl Flattener {
                     rel.rows.push(row);
                 }
                 scalar_or_array => {
-                    let rel = self.children.entry(name.clone()).or_insert_with(|| Relation {
-                        name: name.clone(),
-                        columns: vec![
-                            "_parent_id".to_string(),
-                            "_pos".to_string(),
-                            "value".to_string(),
-                        ],
-                        rows: Vec::new(),
-                    });
+                    let rel = self
+                        .children
+                        .entry(name.clone())
+                        .or_insert_with(|| Relation {
+                            name: name.clone(),
+                            columns: vec![
+                                "_parent_id".to_string(),
+                                "_pos".to_string(),
+                                "value".to_string(),
+                            ],
+                            rows: Vec::new(),
+                        });
                     let idx = child_column(rel, "value");
                     let mut row: Vec<Option<Value>> = vec![None; rel.columns.len()];
                     row[0] = Some(Value::from(row_id));
@@ -252,10 +259,7 @@ fn decompose_by_fds(root: &mut Relation) -> Vec<Relation> {
         if deps.len() < 2 || removed.contains(&det) {
             continue;
         }
-        let deps: Vec<usize> = deps
-            .into_iter()
-            .filter(|d| !removed.contains(d))
-            .collect();
+        let deps: Vec<usize> = deps.into_iter().filter(|d| !removed.contains(d)).collect();
         if deps.len() < 2 {
             continue;
         }
@@ -366,8 +370,12 @@ mod tests {
         let dim = rels
             .iter()
             .find(|r| r.name.contains("dim_user_id"))
-            .unwrap_or_else(|| panic!("no dimension found in {:?}",
-                rels.iter().map(|r| &r.name).collect::<Vec<_>>()));
+            .unwrap_or_else(|| {
+                panic!(
+                    "no dimension found in {:?}",
+                    rels.iter().map(|r| &r.name).collect::<Vec<_>>()
+                )
+            });
         assert_eq!(dim.rows.len(), 2); // deduplicated: ada, lin
         assert_eq!(dim.columns[0], "user.id");
         assert!(dim.columns.contains(&"user.name".to_string()));
@@ -379,7 +387,10 @@ mod tests {
 
     #[test]
     fn scalar_arrays_become_value_relations() {
-        let docs = vec![json!({"id": 1, "tags": ["x", "y"]}), json!({"id": 2, "tags": []})];
+        let docs = vec![
+            json!({"id": 1, "tags": ["x", "y"]}),
+            json!({"id": 2, "tags": []}),
+        ];
         let rels = normalize("t", &docs);
         let tags = rels.iter().find(|r| r.name == "t_tags").unwrap();
         assert_eq!(tags.columns, vec!["_parent_id", "_pos", "value"]);

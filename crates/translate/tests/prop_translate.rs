@@ -41,15 +41,15 @@ fn equal_modulo_null_absence(doc: &Value, back: &Value) -> bool {
     match (doc, back) {
         (Value::Obj(a), Value::Obj(b)) => {
             // Every original field matches; every extra decoded field is null.
-            a.iter().all(|(k, v)| {
-                b.get(k).is_some_and(|w| equal_modulo_null_absence(v, w))
-            }) && b
-                .iter()
-                .all(|(k, w)| a.contains_key(k) || w.is_null())
+            a.iter()
+                .all(|(k, v)| b.get(k).is_some_and(|w| equal_modulo_null_absence(v, w)))
+                && b.iter().all(|(k, w)| a.contains_key(k) || w.is_null())
         }
         (Value::Arr(a), Value::Arr(b)) => {
             a.len() == b.len()
-                && a.iter().zip(b).all(|(v, w)| equal_modulo_null_absence(v, w))
+                && a.iter()
+                    .zip(b)
+                    .all(|(v, w)| equal_modulo_null_absence(v, w))
         }
         _ => doc == back,
     }

@@ -32,10 +32,7 @@ pub fn to_schema(ty: &Ty) -> Value {
         Ty::Tuple(items) => {
             let mut o = Object::new();
             o.insert("type", Value::from("array"));
-            o.insert(
-                "items",
-                Value::Arr(items.iter().map(to_schema).collect()),
-            );
+            o.insert("items", Value::Arr(items.iter().map(to_schema).collect()));
             o.insert("minItems", Value::from(items.len() as i64));
             o.insert("maxItems", Value::from(items.len() as i64));
             Value::Obj(o)
@@ -61,10 +58,7 @@ pub fn to_schema(ty: &Ty) -> Value {
         }
         Ty::Union(members) => {
             let mut o = Object::new();
-            o.insert(
-                "anyOf",
-                Value::Arr(members.iter().map(to_schema).collect()),
-            );
+            o.insert("anyOf", Value::Arr(members.iter().map(to_schema).collect()));
             Value::Obj(o)
         }
     }

@@ -83,7 +83,10 @@ mod tests {
     fn union_rules() {
         let s_or_n = ty::union([ty::string(), ty::number()]);
         assert!(subtype(&ty::string(), &s_or_n));
-        assert!(subtype(&s_or_n, &ty::union([ty::string(), ty::number(), ty::null()])));
+        assert!(subtype(
+            &s_or_n,
+            &ty::union([ty::string(), ty::number(), ty::null()])
+        ));
         assert!(!subtype(&s_or_n, &ty::string()));
         assert!(subtype(
             &ty::union([ty::literal("a"), ty::literal("b")]),
@@ -112,7 +115,10 @@ mod tests {
         assert!(subtype(&req, &opt)); // required satisfies optional
         assert!(!subtype(&opt, &req)); // optional does not satisfy required
         let empty = ty::record([]);
-        assert!(subtype(&empty, &ty::record([]).with_optional("z", ty::any())));
+        assert!(subtype(
+            &empty,
+            &ty::record([]).with_optional("z", ty::any())
+        ));
     }
 
     #[test]

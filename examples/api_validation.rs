@@ -46,7 +46,10 @@ fn main() {
         enforce_formats: true,
     };
     println!("JSON Schema:");
-    println!("  good payload valid: {}", schema.validate_with(&payment, opts).is_ok());
+    println!(
+        "  good payload valid: {}",
+        schema.validate_with(&payment, opts).is_ok()
+    );
     for e in schema.validate_with(&broken, opts).unwrap_err() {
         println!("  ✗ {e}");
     }
@@ -55,7 +58,10 @@ fn main() {
     let joi_schema = joi::object()
         .key("amount", joi::number().min(f64::MIN_POSITIVE).required())
         .key("currency", joi::string().pattern("^[A-Z]{3}$").required())
-        .key("method", joi::string().valid(["card", "cash", "transfer"]).required())
+        .key(
+            "method",
+            joi::string().valid(["card", "cash", "transfer"]).required(),
+        )
         .key(
             "card_number",
             joi::string().pattern(r"^\d{16}$").when(When::is(
@@ -94,11 +100,14 @@ fn main() {
     let payment_ty = ty::record([
         ("amount", ty::number()),
         ("currency", ty::string()),
-        ("method", ty::union([
-            ty::literal("card"),
-            ty::literal("cash"),
-            ty::literal("transfer"),
-        ])),
+        (
+            "method",
+            ty::union([
+                ty::literal("card"),
+                ty::literal("cash"),
+                ty::literal("transfer"),
+            ]),
+        ),
     ])
     .with_optional("card_number", ty::string())
     .with_optional("billing_address", ty::string())
@@ -110,7 +119,10 @@ fn main() {
     }
 
     // Discriminated-union narrowing, the TS idiom.
-    let card = ty::record([("method", ty::literal("card")), ("card_number", ty::string())]);
+    let card = ty::record([
+        ("method", ty::literal("card")),
+        ("card_number", ty::string()),
+    ]);
     let cash = ty::record([("method", ty::literal("cash"))]);
     let request = ty::union([card, cash]);
     let narrowed = narrow_by_discriminant(&request, "method", &json!("card"));

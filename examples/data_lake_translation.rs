@@ -25,7 +25,11 @@ fn main() {
 
     // -- columnar (Arrow/Parquet-flavoured) -------------------------------
     let batch = Shredder::from_type(&ty).shred(&docs).unwrap();
-    println!("columnar: {} columns x {} rows", batch.columns.len(), batch.rows);
+    println!(
+        "columnar: {} columns x {} rows",
+        batch.columns.len(),
+        batch.rows
+    );
     for col in batch.columns.iter().take(6) {
         let valid = col.validity.iter().filter(|v| **v).count();
         println!("  {:<28} {:>4}/{} valid", col.path, valid, batch.rows);

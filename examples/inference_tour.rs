@@ -8,14 +8,16 @@
 //! ```
 
 use jsonx::baselines::{infer_naive, infer_spark, spark_type_size, MongoProfiler};
-use jsonx::core::{
-    infer_collection, measure, print_type, type_size, Equivalence, PrintOptions,
-};
+use jsonx::core::{infer_collection, measure, print_type, Equivalence, PrintOptions};
 use jsonx::gen::Corpus;
 
 fn main() {
     let docs = Corpus::Github.generate(500);
-    println!("corpus: {} documents of {}\n", docs.len(), Corpus::Github.name());
+    println!(
+        "corpus: {} documents of {}\n",
+        docs.len(),
+        Corpus::Github.name()
+    );
 
     // -- parametric inference (the tutorial authors' line of work) -------
     for equiv in [Equivalence::Kind, Equivalence::Label] {

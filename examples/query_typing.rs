@@ -9,8 +9,8 @@
 //! ```
 
 use jsonx::core::{infer_collection, print_type, Equivalence, PrintOptions};
-use jsonx::jaql::{expr, infer_output_type, Pipeline};
 use jsonx::gen::Corpus;
+use jsonx::jaql::{expr, infer_output_type, Pipeline};
 
 fn main() {
     let docs = Corpus::Github.generate(1_000);
@@ -42,10 +42,7 @@ fn main() {
             "engagement score",
             Pipeline::new().transform(expr::record([
                 ("id", expr::path("id")),
-                (
-                    "busy",
-                    expr::path("payload.size").ge(expr::lit(2)),
-                ),
+                ("busy", expr::path("payload.size").ge(expr::lit(2))),
             ])),
         ),
     ];
@@ -64,9 +61,7 @@ fn main() {
             rows.len(),
             rows.first().map(ToString::to_string).unwrap_or_default()
         );
-        println!(
-            "  every row admitted by the static type: {all_admitted}\n"
-        );
+        println!("  every row admitted by the static type: {all_admitted}\n");
         assert!(all_admitted);
     }
 }

@@ -1,7 +1,7 @@
 //! `jsonx` — command-line front end for the workspace.
 //!
 //! ```text
-//! jsonx infer    [--equiv K|L] [--counts] [--schema] [FILE]
+//! jsonx infer    [--equiv K|L] [--counts] [--schema] [--streaming] [--workers N] [FILE]
 //! jsonx validate --schema SCHEMA.json [--formats] [FILE]
 //! jsonx profile  [FILE]
 //! jsonx skeleton [--coverage 0.9] [FILE]
@@ -13,15 +13,14 @@
 //! `FILE` is newline-delimited JSON; `-` or no file reads stdin.
 
 use jsonx::baselines::MongoProfiler;
-use jsonx::core::{
-    infer_collection, print_type, to_json_schema, Equivalence, PrintOptions,
-};
+use jsonx::core::{infer_collection, print_type, to_json_schema, Equivalence, PrintOptions};
 use jsonx::mison::ProjectedParser;
 use jsonx::schema::{CompiledSchema, ValidatorOptions};
 use jsonx::skeleton::Skeleton;
 use jsonx::syntax::{parse, parse_ndjson, to_string, to_string_pretty};
 use jsonx::translate::{normalize, AvroCodec, AvroSchema, Shredder};
 use jsonx::Value;
+use jsonx::{infer_streaming_parallel, StreamingOptions};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -32,6 +31,9 @@ commands:
               --equiv K|L     equivalence (default K)
               --counts        show counting annotations
               --schema        emit JSON Schema instead of type syntax
+              --streaming     type the event stream directly (no DOMs)
+              --workers N     shard across N threads (implies --streaming;
+                              0 = one per CPU)
   validate  validate documents against a JSON Schema
               --schema FILE   schema document (required)
               --formats       enforce the `format` keyword
@@ -90,8 +92,9 @@ struct Opts {
 }
 
 /// Flags that take a value.
-const VALUED: [&str; 9] = [
+const VALUED: [&str; 10] = [
     "--equiv",
+    "--workers",
     "--schema",
     "--coverage",
     "--fields",
@@ -102,11 +105,7 @@ const VALUED: [&str; 9] = [
     "--top",
 ];
 
-fn parse_opts(
-    args: &[String],
-    allow_schema_value: bool,
-    known: &[&str],
-) -> Result<Opts, String> {
+fn parse_opts(args: &[String], allow_schema_value: bool, known: &[&str]) -> Result<Opts, String> {
     let mut flags = Vec::new();
     let mut file = None;
     let mut i = 0;
@@ -152,31 +151,53 @@ impl Opts {
     }
 }
 
-fn read_collection(file: Option<&str>) -> Result<Vec<Value>, String> {
-    let text = match file {
+fn read_text(file: Option<&str>) -> Result<String, String> {
+    match file {
         None | Some("-") => {
             let mut buf = String::new();
             std::io::stdin()
                 .read_to_string(&mut buf)
                 .map_err(|e| format!("reading stdin: {e}"))?;
-            buf
+            Ok(buf)
         }
-        Some(path) => {
-            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
-        }
-    };
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}")),
+    }
+}
+
+fn read_collection(file: Option<&str>) -> Result<Vec<Value>, String> {
+    let text = read_text(file)?;
     parse_ndjson(&text).map_err(|(line, e)| format!("line {}: {e}", line + 1))
 }
 
 fn cmd_infer(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args, false, &["equiv", "counts", "schema"])?;
-    let docs = read_collection(opts.file.as_deref())?;
+    let opts = parse_opts(
+        args,
+        false,
+        &["equiv", "counts", "schema", "streaming", "workers"],
+    )?;
     let equiv = match opts.get("equiv").unwrap_or("K") {
         "K" | "k" | "kind" => Equivalence::Kind,
         "L" | "l" | "label" => Equivalence::Label,
         other => return Err(format!("unknown equivalence '{other}' (use K or L)")),
     };
-    let ty = infer_collection(&docs, equiv);
+    let workers: Option<usize> = opts
+        .get("workers")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad --workers: {e}"))?;
+    let (ty, n_docs, mode) = if opts.has("streaming") || workers.is_some() {
+        let text = read_text(opts.file.as_deref())?;
+        let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));
+        let ty = infer_streaming_parallel(&text, equiv, sopts)
+            .map_err(|(line, e)| format!("line {}: {e}", line + 1))?;
+        let n = text.lines().filter(|l| !l.trim().is_empty()).count();
+        (ty, n, "streaming")
+    } else {
+        let docs = read_collection(opts.file.as_deref())?;
+        let ty = infer_collection(&docs, equiv);
+        let n = docs.len();
+        (ty, n, "dom")
+    };
     if opts.has("schema") {
         println!("{}", to_string_pretty(&to_json_schema(&ty)));
     } else {
@@ -188,8 +209,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         println!("{}", print_type(&ty, popts));
     }
     eprintln!(
-        "» {} documents, equivalence {}, type size {} nodes",
-        docs.len(),
+        "» {n_docs} documents ({mode}), equivalence {}, type size {} nodes",
         equiv.name(),
         jsonx::core::type_size(&ty)
     );
@@ -201,8 +221,8 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     let schema_path = opts
         .get("schema")
         .ok_or("validate needs --schema SCHEMA.json")?;
-    let schema_text = std::fs::read_to_string(schema_path)
-        .map_err(|e| format!("reading {schema_path}: {e}"))?;
+    let schema_text =
+        std::fs::read_to_string(schema_path).map_err(|e| format!("reading {schema_path}: {e}"))?;
     let schema_doc = parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
     let schema = CompiledSchema::compile(&schema_doc).map_err(|e| e.to_string())?;
     let vopts = ValidatorOptions {
@@ -218,11 +238,7 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    eprintln!(
-        "» {}/{} documents valid",
-        docs.len() - invalid,
-        docs.len()
-    );
+    eprintln!("» {}/{} documents valid", docs.len() - invalid, docs.len());
     if invalid > 0 {
         return Err(format!("{invalid} invalid documents"));
     }
@@ -291,7 +307,9 @@ fn cmd_project(args: &[String]) -> Result<(), String> {
 
 fn cmd_convert(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args, false, &["to"])?;
-    let target = opts.get("to").ok_or("convert needs --to avro|columnar|relational")?;
+    let target = opts
+        .get("to")
+        .ok_or("convert needs --to avro|columnar|relational")?;
     let docs = read_collection(opts.file.as_deref())?;
     let ty = infer_collection(&docs, Equivalence::Kind);
     match target {
@@ -331,11 +349,7 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
     use jsonx::jaql::{expr, infer_output_type, Pipeline};
-    let opts = parse_opts(
-        args,
-        false,
-        &["where-exists", "expand", "project", "top"],
-    )?;
+    let opts = parse_opts(args, false, &["where-exists", "expand", "project", "top"])?;
     let mut q = Pipeline::new();
     if let Some(path) = opts.get("where-exists") {
         q = q.filter(expr::exists(expr::path(path)));

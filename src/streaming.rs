@@ -4,73 +4,191 @@
 //! The massive-collection setting of §4.1 is exactly where building a
 //! [`Value`](jsonx_data::Value) per document hurts: the map step only
 //! needs the *types*. [`infer_streaming`] fuses each document's type
-//! directly from [`EventParser`] events, with
-//! memory bounded by document depth rather than document size.
+//! directly from [`RawEventParser`] events, with memory bounded by
+//! document depth rather than document size, and
+//! [`infer_streaming_parallel`] shards NDJSON input at newline boundaries
+//! across scoped worker threads.
+//!
+//! Three things keep the per-document allocation budget near zero:
+//!
+//! - events borrow escape-free keys and strings from the input
+//!   ([`RawEvent`]'s `Cow` payloads), so scalar strings never allocate —
+//!   typing only needs their *kind*;
+//! - field names are interned per [`StreamTyper`]: a repeated key costs an
+//!   `Arc` refcount bump instead of a fresh `String`;
+//! - the container frame stack is reused across documents, so steady-state
+//!   typing of uniform documents performs no stack (re)allocation at all.
 
 use jsonx_core::{fuse, Equivalence, JType};
-use jsonx_core::{ArrayType, FieldType, RecordType};
-use jsonx_syntax::{Event, EventParser, ParseError};
+use jsonx_core::{ArrayType, FieldName, FieldType, RecordType};
+use jsonx_syntax::{ParseError, RawEvent, RawEventParser};
+use std::collections::HashSet;
 
-/// Infers the collection type of NDJSON text without building DOMs.
-///
-/// Equivalent to parsing every line and running
-/// [`infer_collection`](jsonx_core::infer_collection) — property-tested in
-/// `tests/streaming_inference.rs` — but allocation stays proportional to
-/// nesting depth.
-pub fn infer_streaming(ndjson: &str, equiv: Equivalence) -> Result<JType, (usize, ParseError)> {
-    let mut acc = JType::Bottom;
-    for (idx, line) in ndjson.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let ty = infer_document_events(line.as_bytes(), equiv).map_err(|e| (idx, e))?;
-        acc = fuse(acc, ty, equiv);
-    }
-    Ok(acc)
+/// Options for [`infer_streaming_parallel`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingOptions {
+    /// Number of worker threads (0 = number of available CPUs).
+    pub workers: usize,
+    /// Minimum shard size in bytes; smaller inputs run sequentially.
+    pub min_shard_bytes: usize,
 }
 
-/// Types one document from its event stream.
-pub fn infer_document_events(input: &[u8], equiv: Equivalence) -> Result<JType, ParseError> {
-    let mut parser = EventParser::new(input);
-    let mut stack: Vec<Frame> = Vec::new();
-    let mut result: Option<JType> = None;
-
-    while let Some(event) = parser.next_event()? {
-        match event {
-            Event::StartObject => stack.push(Frame::Record {
-                fields: Vec::new(),
-                pending_key: None,
-            }),
-            Event::StartArray => stack.push(Frame::Array {
-                item: JType::Bottom,
-                len: 0,
-            }),
-            Event::EndObject | Event::EndArray => {
-                let frame = stack.pop().expect("balanced events");
-                let ty = frame.finish();
-                attach(&mut stack, &mut result, ty, equiv);
-            }
-            Event::Key(k) => {
-                if let Some(Frame::Record { pending_key, .. }) = stack.last_mut() {
-                    *pending_key = Some(k);
-                }
-            }
-            Event::Null => attach(&mut stack, &mut result, JType::Null { count: 1 }, equiv),
-            Event::Bool(_) => attach(&mut stack, &mut result, JType::Bool { count: 1 }, equiv),
-            Event::Num(n) if n.is_integer() => {
-                attach(&mut stack, &mut result, JType::Int { count: 1 }, equiv)
-            }
-            Event::Num(_) => attach(&mut stack, &mut result, JType::Float { count: 1 }, equiv),
-            Event::Str(_) => attach(&mut stack, &mut result, JType::Str { count: 1 }, equiv),
+impl Default for StreamingOptions {
+    fn default() -> Self {
+        StreamingOptions {
+            workers: 0,
+            min_shard_bytes: 64 * 1024,
         }
     }
-    Ok(result.unwrap_or(JType::Bottom))
+}
+
+impl StreamingOptions {
+    /// A fixed worker count (used by the E14 bench and the CLI).
+    pub fn with_workers(workers: usize) -> Self {
+        StreamingOptions {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// A reusable event-stream typing engine.
+///
+/// One `StreamTyper` types many documents in sequence: its frame stack and
+/// field-name interner persist across [`type_document`](Self::type_document)
+/// calls. Workers in [`infer_streaming_parallel`] each own one.
+pub struct StreamTyper {
+    equiv: Equivalence,
+    stack: Vec<Frame>,
+    interner: HashSet<FieldName>,
+}
+
+impl StreamTyper {
+    /// Creates a typer for the given equivalence.
+    pub fn new(equiv: Equivalence) -> Self {
+        StreamTyper {
+            equiv,
+            stack: Vec::new(),
+            interner: HashSet::new(),
+        }
+    }
+
+    /// Returns the interned name for `key`, allocating only on first sight.
+    fn intern(&mut self, key: &str) -> FieldName {
+        match self.interner.get(key) {
+            Some(name) => name.clone(),
+            None => {
+                let name = FieldName::from(key);
+                self.interner.insert(name.clone());
+                name
+            }
+        }
+    }
+
+    /// Types one document from its event stream without building a DOM.
+    pub fn type_document(&mut self, input: &[u8]) -> Result<JType, ParseError> {
+        let mut parser = RawEventParser::new(input);
+        self.stack.clear();
+        let mut result: Option<JType> = None;
+
+        let outcome = loop {
+            let event = match parser.next_event() {
+                Ok(Some(ev)) => ev,
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e),
+            };
+            match event {
+                RawEvent::StartObject => self.stack.push(Frame::Record {
+                    fields: Vec::new(),
+                    pending_key: None,
+                }),
+                RawEvent::StartArray => self.stack.push(Frame::Array {
+                    item: JType::Bottom,
+                    len: 0,
+                }),
+                RawEvent::EndObject | RawEvent::EndArray => {
+                    let frame = self.stack.pop().expect("balanced events");
+                    let ty = frame.finish();
+                    self.attach(&mut result, ty);
+                }
+                RawEvent::Key(k) => {
+                    let name = self.intern(&k);
+                    if let Some(Frame::Record { pending_key, .. }) = self.stack.last_mut() {
+                        *pending_key = Some(name);
+                    }
+                }
+                RawEvent::Null => self.attach(&mut result, JType::Null { count: 1 }),
+                RawEvent::Bool(_) => self.attach(&mut result, JType::Bool { count: 1 }),
+                RawEvent::Num(n) if n.is_integer() => {
+                    self.attach(&mut result, JType::Int { count: 1 })
+                }
+                RawEvent::Num(_) => self.attach(&mut result, JType::Float { count: 1 }),
+                RawEvent::Str(_) => self.attach(&mut result, JType::Str { count: 1 }),
+            }
+        };
+        if let Err(e) = outcome {
+            // Leave the typer reusable after malformed input.
+            self.stack.clear();
+            return Err(e);
+        }
+        Ok(result.unwrap_or(JType::Bottom))
+    }
+
+    /// Types every non-blank line of `ndjson` and fuses the results. Errors
+    /// carry the zero-based line index, offset by `first_line`.
+    fn type_lines(
+        &mut self,
+        ndjson: &str,
+        first_line: usize,
+    ) -> Result<JType, (usize, ParseError)> {
+        let mut acc = JType::Bottom;
+        for (idx, line) in ndjson.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ty = self
+                .type_document(line.as_bytes())
+                .map_err(|e| (first_line + idx, e))?;
+            acc = fuse(acc, ty, self.equiv);
+        }
+        Ok(acc)
+    }
+
+    fn attach(&mut self, result: &mut Option<JType>, ty: JType) {
+        match self.stack.last_mut() {
+            Some(Frame::Record {
+                fields,
+                pending_key,
+            }) => {
+                let key = pending_key.take().expect("key precedes value");
+                // Duplicate keys resolve in `Frame::finish` (last wins);
+                // appending here keeps attachment O(1) per field.
+                fields.push((key, FieldType { ty, presence: 1 }));
+            }
+            Some(Frame::Array { item, len }) => {
+                let current = std::mem::replace(item, JType::Bottom);
+                *item = fuse(current, ty, self.equiv);
+                *len += 1;
+            }
+            None => *result = Some(ty),
+        }
+    }
 }
 
 enum Frame {
     Record {
-        fields: Vec<(String, FieldType)>,
-        pending_key: Option<String>,
+        fields: Vec<(FieldName, FieldType)>,
+        pending_key: Option<FieldName>,
     },
     Array {
         item: JType,
@@ -82,7 +200,19 @@ impl Frame {
     fn finish(self) -> JType {
         match self {
             Frame::Record { mut fields, .. } => {
+                // Sort is stable, so among equal names insertion order
+                // survives; dedup then keeps the *last* occurrence —
+                // mirroring the DOM parser — in one linear pass (the old
+                // per-key `retain` was quadratic in the duplicate case).
                 fields.sort_by(|(a, _), (b, _)| a.cmp(b));
+                fields.dedup_by(|next, prev| {
+                    if next.0 == prev.0 {
+                        std::mem::swap(next, prev);
+                        true
+                    } else {
+                        false
+                    }
+                });
                 JType::Record(RecordType { fields, count: 1 })
             }
             Frame::Array { item, len } => JType::Array(ArrayType {
@@ -94,24 +224,93 @@ impl Frame {
     }
 }
 
-fn attach(stack: &mut [Frame], result: &mut Option<JType>, ty: JType, equiv: Equivalence) {
-    match stack.last_mut() {
-        Some(Frame::Record {
-            fields,
-            pending_key,
-        }) => {
-            let key = pending_key.take().expect("key precedes value");
-            // Duplicate keys: last wins, mirroring the DOM parser.
-            fields.retain(|(k, _)| *k != key);
-            fields.push((key, FieldType { ty, presence: 1 }));
-        }
-        Some(Frame::Array { item, len }) => {
-            let current = std::mem::replace(item, JType::Bottom);
-            *item = fuse(current, ty, equiv);
-            *len += 1;
-        }
-        None => *result = Some(ty),
+/// Infers the collection type of NDJSON text without building DOMs.
+///
+/// Equivalent to parsing every line and running
+/// [`infer_collection`](jsonx_core::infer_collection) — property-tested in
+/// `tests/streaming_inference.rs` — but allocation stays proportional to
+/// nesting depth. Errors carry the zero-based line index.
+pub fn infer_streaming(ndjson: &str, equiv: Equivalence) -> Result<JType, (usize, ParseError)> {
+    StreamTyper::new(equiv).type_lines(ndjson, 0)
+}
+
+/// Types one document from its event stream.
+pub fn infer_document_events(input: &[u8], equiv: Equivalence) -> Result<JType, ParseError> {
+    StreamTyper::new(equiv).type_document(input)
+}
+
+/// Infers the collection type of NDJSON text on parallel workers.
+///
+/// The input is split into contiguous byte-range shards snapped to newline
+/// boundaries; each scoped worker types its shard with a private
+/// [`StreamTyper`], and the per-shard types are fused in shard order.
+/// Because fusion is commutative and associative with `Bottom` as unit,
+/// the result is identical to [`infer_streaming`] — and to the DOM path —
+/// for every worker count. On malformed input the reported line index
+/// matches the sequential path (the first bad line).
+pub fn infer_streaming_parallel(
+    ndjson: &str,
+    equiv: Equivalence,
+    opts: StreamingOptions,
+) -> Result<JType, (usize, ParseError)> {
+    let workers = opts.effective_workers().max(1);
+    if workers == 1 || ndjson.len() < opts.min_shard_bytes.saturating_mul(2) {
+        return infer_streaming(ndjson, equiv);
     }
+    let shards = shard_lines(ndjson, workers);
+    let partials: Vec<Result<JType, (usize, ParseError)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|&(first_line, shard)| {
+                scope.spawn(move || StreamTyper::new(equiv).type_lines(shard, first_line))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("streaming worker panicked"))
+            .collect()
+    });
+    // First (lowest-line) error wins, matching sequential behaviour even
+    // when a later shard also fails.
+    let mut acc = JType::Bottom;
+    let mut first_err: Option<(usize, ParseError)> = None;
+    for partial in partials {
+        match partial {
+            Ok(ty) => acc = fuse(acc, ty, equiv),
+            Err(e) => {
+                if first_err.as_ref().is_none_or(|f| e.0 < f.0) {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(acc),
+    }
+}
+
+/// Splits `ndjson` into up to `workers` contiguous shards whose boundaries
+/// sit just after a newline, tagging each with its starting line index.
+fn shard_lines(ndjson: &str, workers: usize) -> Vec<(usize, &str)> {
+    let bytes = ndjson.as_bytes();
+    let target = ndjson.len().div_ceil(workers).max(1);
+    let mut shards = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    let mut line = 0usize;
+    while start < bytes.len() {
+        let mut end = (start + target).min(bytes.len());
+        // Snap forward to just past the next newline so no document spans
+        // two shards.
+        while end < bytes.len() && bytes[end - 1] != b'\n' {
+            end += 1;
+        }
+        let shard = &ndjson[start..end];
+        shards.push((line, shard));
+        line += shard.bytes().filter(|&b| b == b'\n').count();
+        start = end;
+    }
+    shards
 }
 
 #[cfg(test)]
@@ -138,6 +337,21 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_keys_last_wins_like_dom() {
+        let doc = br#"{"a": 1, "b": true, "a": "s", "a": null}"#;
+        let streamed = infer_document_events(doc, Equivalence::Kind).unwrap();
+        let dom = jsonx_syntax::parse(std::str::from_utf8(doc).unwrap()).unwrap();
+        assert_eq!(streamed, jsonx_core::infer_value(&dom, Equivalence::Kind));
+        match streamed {
+            JType::Record(rt) => {
+                assert_eq!(rt.fields.len(), 2);
+                assert!(matches!(rt.field("a").unwrap().ty, JType::Null { .. }));
+            }
+            other => panic!("expected record, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn reports_line_of_malformed_document() {
         let err = infer_streaming("{\"a\":1}\n{bad\n", Equivalence::Kind).unwrap_err();
         assert_eq!(err.0, 1);
@@ -149,5 +363,112 @@ mod tests {
             infer_streaming("", Equivalence::Kind).unwrap(),
             JType::Bottom
         );
+    }
+
+    #[test]
+    fn typer_is_reusable_after_error() {
+        let mut typer = StreamTyper::new(Equivalence::Kind);
+        assert!(typer.type_document(b"{broken").is_err());
+        let ty = typer.type_document(br#"{"ok": 1}"#).unwrap();
+        assert!(matches!(ty, JType::Record(_)));
+    }
+
+    fn corpus_ndjson(n: usize) -> String {
+        let mut out = String::new();
+        for i in 0..n {
+            match i % 4 {
+                0 => out.push_str(&format!("{{\"id\": {i}, \"name\": \"a\"}}\n")),
+                1 => out.push_str(&format!("{{\"id\": {i}}}\n")),
+                2 => out.push_str(&format!("{{\"id\": \"s{i}\", \"tags\": [1, \"x\"]}}\n")),
+                _ => out.push_str(&format!(
+                    "{{\"geo\": {{\"lat\": 1.5, \"lon\": -0.5}}, \"id\": {i}}}\n"
+                )),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_equals_sequential_and_dom() {
+        let ndjson = corpus_ndjson(3_000);
+        let docs = parse_ndjson(&ndjson).unwrap();
+        for equiv in [Equivalence::Kind, Equivalence::Label] {
+            let dom = infer_collection(&docs, equiv);
+            let seq = infer_streaming(&ndjson, equiv).unwrap();
+            assert_eq!(seq, dom);
+            for workers in [1, 2, 3, 8] {
+                let par = infer_streaming_parallel(
+                    &ndjson,
+                    equiv,
+                    StreamingOptions {
+                        workers,
+                        min_shard_bytes: 256,
+                    },
+                )
+                .unwrap();
+                assert_eq!(par, dom, "workers={workers} equiv={equiv:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reports_first_error_line() {
+        let base = corpus_ndjson(500);
+        let total = base.lines().count();
+        // Corrupt two lines, one early and one late; the early one must win
+        // regardless of which shard fails first.
+        let mut corrupted: Vec<String> = base.lines().map(str::to_string).collect();
+        corrupted[40] = "{oops".to_string();
+        corrupted[total - 10] = "[1,".to_string();
+        let mut ndjson = corrupted.join("\n");
+        ndjson.push('\n');
+        let seq_err = infer_streaming(&ndjson, Equivalence::Kind).unwrap_err();
+        let par_err = infer_streaming_parallel(
+            &ndjson,
+            Equivalence::Kind,
+            StreamingOptions {
+                workers: 4,
+                min_shard_bytes: 64,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(seq_err.0, 40);
+        assert_eq!(par_err.0, seq_err.0);
+        assert_eq!(par_err.1.kind, seq_err.1.kind);
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_sequential() {
+        let ndjson = corpus_ndjson(10);
+        let par = infer_streaming_parallel(&ndjson, Equivalence::Kind, StreamingOptions::default())
+            .unwrap();
+        assert_eq!(par, infer_streaming(&ndjson, Equivalence::Kind).unwrap());
+    }
+
+    #[test]
+    fn shards_cover_input_without_splitting_lines() {
+        let ndjson = corpus_ndjson(100);
+        for workers in [1, 2, 3, 7, 16] {
+            let shards = shard_lines(&ndjson, workers);
+            let rejoined: String = shards.iter().map(|(_, s)| *s).collect();
+            assert_eq!(rejoined, ndjson, "workers={workers}");
+            let mut expected_line = 0;
+            for (first_line, shard) in &shards {
+                assert_eq!(*first_line, expected_line);
+                assert!(shard.ends_with('\n') || *shard == shards.last().unwrap().1);
+                expected_line += shard.bytes().filter(|&b| b == b'\n').count();
+            }
+        }
+    }
+
+    #[test]
+    fn interner_shares_repeated_keys() {
+        let mut typer = StreamTyper::new(Equivalence::Kind);
+        let a = typer.type_document(br#"{"hot": 1}"#).unwrap();
+        let b = typer.type_document(br#"{"hot": 2}"#).unwrap();
+        let (JType::Record(ra), JType::Record(rb)) = (a, b) else {
+            panic!("expected records");
+        };
+        assert!(FieldName::ptr_eq(&ra.fields[0].0, &rb.fields[0].0));
     }
 }

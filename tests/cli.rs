@@ -45,7 +45,30 @@ fn infer_plain_and_counts() {
 
     let (out, _, ok) = run(&["infer", "--equiv", "L", "--counts", "-"], SAMPLE);
     assert!(ok);
-    assert!(out.contains("(1/1)"), "counting annotations expected: {out}");
+    assert!(
+        out.contains("(1/1)"),
+        "counting annotations expected: {out}"
+    );
+}
+
+#[test]
+fn infer_streaming_matches_dom() {
+    let (dom_out, _, ok) = run(&["infer", "-"], SAMPLE);
+    assert!(ok);
+    let (stream_out, err, ok) = run(&["infer", "--streaming", "-"], SAMPLE);
+    assert!(ok, "stderr: {err}");
+    assert_eq!(stream_out, dom_out);
+    assert!(err.contains("3 documents (streaming)"), "{err}");
+
+    // --workers implies --streaming and still agrees with the DOM path.
+    let (par_out, err, ok) = run(&["infer", "--workers", "4", "-"], SAMPLE);
+    assert!(ok, "stderr: {err}");
+    assert_eq!(par_out, dom_out);
+
+    // Streaming errors carry the 1-based line number like the DOM path.
+    let (_, err, ok) = run(&["infer", "--streaming", "-"], "{\"a\":1}\n{broken\n");
+    assert!(!ok);
+    assert!(err.contains("line 2"), "{err}");
 }
 
 #[test]
@@ -137,7 +160,10 @@ fn query_pipeline_with_static_typing() {
     assert_eq!(lines[1], r#"{"id":2,"lat":3.5}"#);
 
     // expand + where-exists
-    let (out, _, ok) = run(&["query", "--where-exists", "tags", "--expand", "tags", "-"], SAMPLE);
+    let (out, _, ok) = run(
+        &["query", "--where-exists", "tags", "--expand", "tags", "-"],
+        SAMPLE,
+    );
     assert!(ok);
     assert_eq!(out.trim(), r#""x""#);
 

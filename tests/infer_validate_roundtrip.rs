@@ -15,7 +15,11 @@ fn assert_roundtrip(corpus: Corpus, n: usize) {
         let ty = infer_collection(&docs, equiv);
         let schema_doc = to_json_schema(&ty);
         let compiled = CompiledSchema::compile(&schema_doc).unwrap_or_else(|e| {
-            panic!("{}/{}: exported schema does not compile: {e}", corpus.name(), equiv.name())
+            panic!(
+                "{}/{}: exported schema does not compile: {e}",
+                corpus.name(),
+                equiv.name()
+            )
         });
         for (i, doc) in docs.iter().enumerate() {
             if let Err(errs) = compiled.validate(doc) {
@@ -55,10 +59,7 @@ fn heterogeneous_corpora_roundtrip() {
 #[test]
 fn exported_schema_rejects_structural_violations() {
     use jsonx::json;
-    let docs = vec![
-        json!({"id": 1, "name": "a"}),
-        json!({"id": 2}),
-    ];
+    let docs = vec![json!({"id": 1, "name": "a"}), json!({"id": 2})];
     let ty = infer_collection(&docs, Equivalence::Kind);
     let compiled = CompiledSchema::compile(&to_json_schema(&ty)).unwrap();
     // Wrong type for a seen field.

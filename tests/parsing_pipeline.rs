@@ -77,7 +77,9 @@ fn avro_round_trip_on_github_events() {
     let mut total_binary = 0usize;
     let mut total_text = 0usize;
     for doc in &docs {
-        let bytes = codec.encode(doc).unwrap_or_else(|e| panic!("encode {doc}: {e}"));
+        let bytes = codec
+            .encode(doc)
+            .unwrap_or_else(|e| panic!("encode {doc}: {e}"));
         total_binary += bytes.len();
         total_text += to_string(doc).len();
         assert_eq!(&codec.decode(&bytes).unwrap(), doc);

@@ -51,11 +51,11 @@ fn all_three_languages_agree_on_profiles() {
     let cases: Vec<(Value, bool)> = vec![
         (json!({"id": 1, "name": "a", "tags": ["x"]}), true),
         (json!({"id": 1}), true),
-        (json!({"name": "a"}), false),             // id required
-        (json!({"id": "1"}), false),               // wrong type
-        (json!({"id": 1, "tags": [2]}), false),    // item type
-        (json!({"id": 1, "zzz": true}), false),    // closed object
-        (json!([1]), false),                       // not an object
+        (json!({"name": "a"}), false),          // id required
+        (json!({"id": "1"}), false),            // wrong type
+        (json!({"id": 1, "tags": [2]}), false), // item type
+        (json!({"id": 1, "zzz": true}), false), // closed object
+        (json!([1]), false),                    // not an object
     ];
     for (instance, expected) in cases {
         assert_eq!(
@@ -126,10 +126,17 @@ fn joi_expresses_what_json_schema_needs_dependencies_for() {
         (json!({"card": "41", "billing_address": "x"}), true),
         (json!({"cash": true}), true),
         (json!({"card": "41"}), false),
-        (json!({"card": "41", "cash": true, "billing_address": "x"}), false),
+        (
+            json!({"card": "41", "cash": true, "billing_address": "x"}),
+            false,
+        ),
         (json!({}), false),
     ] {
-        assert_eq!(joi_schema.is_valid(&instance), expected, "joi on {instance}");
+        assert_eq!(
+            joi_schema.is_valid(&instance),
+            expected,
+            "joi on {instance}"
+        );
         assert_eq!(
             json_schema.is_valid(&instance),
             expected,
@@ -149,7 +156,11 @@ fn value_dependent_types_match_schema_conditionals() {
                 When::is(
                     "kind",
                     joi::any().valid(["point"]),
-                    joi::array().items(joi::number()).min_items(2).max_items(2).required(),
+                    joi::array()
+                        .items(joi::number())
+                        .min_items(2)
+                        .max_items(2)
+                        .required(),
                 )
                 .otherwise(joi::string().required()),
             ),
@@ -186,7 +197,11 @@ fn value_dependent_types_match_schema_conditionals() {
         (json!({"kind": "named", "payload": [1.0, 2.0]}), false),
         (json!({"kind": "point", "payload": [1.0]}), false),
     ] {
-        assert_eq!(joi_schema.is_valid(&instance), expected, "joi on {instance}");
+        assert_eq!(
+            joi_schema.is_valid(&instance),
+            expected,
+            "joi on {instance}"
+        );
         assert_eq!(
             json_schema.is_valid(&instance),
             expected,

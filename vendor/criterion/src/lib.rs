@@ -1,0 +1,362 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! A minimal wall-clock benchmarking harness with the API shape the
+//! workspace's `e*` benches use: benchmark groups, per-benchmark
+//! throughput, `black_box`, and `iter`-style measurement. Reports mean and
+//! median per-iteration times (and throughput when configured) to stdout.
+//! No statistical regression machinery — the workspace benches print their
+//! own experiment tables and use this for the timing numbers.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Measurement settings and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(800),
+            warm_up_time: Duration::from_millis(200),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (`<filter>` substring supported).
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        // `cargo bench -- <substring>`: run only matching benchmarks.
+        self.filter = args.into_iter().find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into_id();
+        run_benchmark(self, &id, None, &mut f);
+        self
+    }
+
+    /// Prints the closing summary (results are already reported per
+    /// benchmark as they run, so there is nothing left to emit).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A set of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure under `group/name`.
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into_id());
+        run_benchmark(self.criterion, &id, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks a closure with an input under `group/name`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        name: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, name.into_id());
+        run_benchmark(self.criterion, &id, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reports are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures to time the measured routine.
+pub struct Bencher {
+    /// Iterations to run in the current sample.
+    iters: u64,
+    /// Wall-clock time the sample took.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    config: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    if let Some(filter) = &config.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    // Warm-up: run single iterations until the warm-up window elapses,
+    // and estimate the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let mut per_iter = Duration::ZERO;
+    while warm_start.elapsed() < config.warm_up_time || warm_iters == 0 {
+        f(&mut bencher);
+        per_iter = bencher.elapsed;
+        warm_iters += 1;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+    // Size each sample so the whole measurement fits the configured window.
+    let per_sample = config.measurement_time.as_secs_f64() / config.sample_size as f64;
+    let est = per_iter.as_secs_f64().max(1e-9);
+    let iters_per_sample = (per_sample / est).clamp(1.0, 1e9) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        bencher.iters = iters_per_sample;
+        f(&mut bencher);
+        samples.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(bytes) => format!("  thrpt: {}/s", human_bytes(bytes as f64 / median)),
+        Throughput::Elements(n) => format!("  thrpt: {:.0} elem/s", n as f64 / median),
+    });
+    println!(
+        "{:<44} time: [median {}  mean {}]{}",
+        id,
+        human_time(median),
+        human_time(mean),
+        rate.unwrap_or_default()
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn human_bytes(bytes_per_sec: f64) -> String {
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+    const MIB: f64 = 1024.0 * 1024.0;
+    const KIB: f64 = 1024.0;
+    if bytes_per_sec >= GIB {
+        format!("{:.2} GiB", bytes_per_sec / GIB)
+    } else if bytes_per_sec >= MIB {
+        format!("{:.2} MiB", bytes_per_sec / MIB)
+    } else if bytes_per_sec >= KIB {
+        format!("{:.2} KiB", bytes_per_sec / KIB)
+    } else {
+        format!("{bytes_per_sec:.0} B")
+    }
+}
+
+/// Compatibility macro: bundles benchmark functions into a runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Compatibility macro: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Bytes(1024));
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran += 1;
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("match-me".to_string()),
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| 1);
+            ran = true;
+        });
+        assert!(!ran);
+        c.bench_function("match-me-please", |b| {
+            b.iter(|| 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

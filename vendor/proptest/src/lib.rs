@@ -1,0 +1,148 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Implements the strategy-combinator and macro subset this workspace's
+//! property suites use. Differences from real proptest, chosen for zero
+//! dependencies and full offline builds:
+//!
+//! - **No shrinking.** A failing case panics with its inputs' `Debug`
+//!   representation; the RNG is seeded from the test's fully qualified name,
+//!   so re-running the test replays the same cases.
+//! - **String strategies** support the regex subset the suites use
+//!   (character classes, `\PC`, literals, `{m,n}`/`*`/`+`/`?`).
+//! - **Strategies are plain generators** — `generate(&mut TestRng)` instead
+//!   of value trees.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespace mirror of real proptest's `prop::` module tree.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: each function body runs for `cases` random
+/// inputs drawn from the `arg in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(unreachable_code)]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // The closure gives `$body` a scope where `?` and early
+                // `return Err(..)` produce a `TestCaseResult`.
+                #[allow(clippy::redundant_closure_call)]
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        Ok(())
+                    })();
+                if let Err(err) = result {
+                    panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        err
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice between strategy arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts inside a property body (panics without shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn bindings_and_asserts(x in 0i64..100, s in "[ab]{1,3}", flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            let _ = flip;
+        }
+
+        #[test]
+        fn early_return_ok_paths_work(n in 0usize..10) {
+            if n > 4 {
+                return Ok(());
+            }
+            prop_assert!(n <= 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_and_oneof(v in prop::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 0usize..6)) {
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 2));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy picking uniformly from a fixed set of values.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+/// Picks uniformly from `items` (must be non-empty).
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select() needs at least one item");
+    Select { items }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_each_item() {
+        let mut rng = TestRng::from_seed(41);
+        let strat = select(b"abc".to_vec());
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

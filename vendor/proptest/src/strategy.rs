@@ -1,0 +1,258 @@
+//! The [`Strategy`] trait and core combinators.
+//!
+//! Unlike real proptest, strategies here are plain generators: no shrink
+//! trees. `generate` draws one value from the deterministic [`TestRng`].
+
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (cheaply cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds recursive structures: `self` is the leaf strategy, and
+    /// `recurse` wraps an inner strategy one level deeper. `depth` bounds
+    /// the nesting; the hint parameters of real proptest are accepted and
+    /// ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut strat = self.clone().boxed();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            // At each level: half leaves, half one-level-deeper structures.
+            strat = OneOf::new(vec![self.clone().boxed(), deeper]).boxed();
+        }
+        strat
+    }
+}
+
+/// A cheaply cloneable, type-erased strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between strategies (`prop_oneof!`).
+pub struct OneOf<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds a choice over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+}
+
+impl<V> Clone for OneOf<V> {
+    fn clone(&self) -> Self {
+        OneOf {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                (self.start as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128) - (lo as i128) + 1;
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_just() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let x = (3usize..7).generate(&mut rng);
+            assert!((3..7).contains(&x));
+            let y = (-2i64..3).generate(&mut rng);
+            assert!((-2..3).contains(&y));
+            let z = (0u8..=2).generate(&mut rng);
+            assert!(z <= 2);
+            let f = (-1.0f64..1.0).generate(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+        assert_eq!(Just(9).generate(&mut rng), 9);
+    }
+
+    #[test]
+    fn map_and_oneof_and_tuple() {
+        let mut rng = TestRng::from_seed(2);
+        let s = (0i64..10).prop_map(|i| i * 2);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut rng) % 2, 0);
+        }
+        let o = OneOf::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(o.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 2);
+        let t = (Just(1u8), 0i64..5).generate(&mut rng);
+        assert_eq!(t.0, 1);
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(Tree::Leaf).prop_recursive(3, 8, 2, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::from_seed(5);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 3);
+            saw_node |= matches!(t, Tree::Node(_));
+        }
+        assert!(saw_node, "recursion never produced a node");
+    }
+}

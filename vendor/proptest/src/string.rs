@@ -1,0 +1,220 @@
+//! String strategies from regex-like patterns.
+//!
+//! Real proptest compiles full regexes; this stand-in supports the pattern
+//! subset the workspace's suites use: sequences of atoms, where an atom is
+//! a character class `[a-z...]`, the printable-character escape `\PC`, or a
+//! literal character, optionally quantified by `{m}`, `{m,n}`, `*`, `+` or
+//! `?`. Unsupported syntax panics with a clear message so a new test that
+//! needs more immediately says so.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Characters `\PC` draws from: printable ASCII plus a few multi-byte code
+/// points so UTF-8 handling gets exercised.
+const PRINTABLE_EXTRA: &[char] = &['é', 'ü', 'Ж', '中', '→', 'π', '😀', '\u{2028}'];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Inclusive character ranges (singletons are `(c, c)`).
+    Class(Vec<(char, char)>),
+    /// `\PC`: any printable character.
+    Printable,
+    /// One literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32, // inclusive
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut items = Vec::new();
+                loop {
+                    let Some(c) = chars.next() else {
+                        panic!("unterminated character class in pattern {pattern:?}");
+                    };
+                    match c {
+                        ']' => break,
+                        '^' => panic!("negated classes unsupported in pattern {pattern:?}"),
+                        lo => {
+                            if chars.peek() == Some(&'-') {
+                                chars.next();
+                                let Some(hi) = chars.next() else {
+                                    panic!("dangling '-' in pattern {pattern:?}");
+                                };
+                                if hi == ']' {
+                                    items.push((lo, lo));
+                                    items.push(('-', '-'));
+                                    break;
+                                }
+                                assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                                items.push((lo, hi));
+                            } else {
+                                items.push((lo, lo));
+                            }
+                        }
+                    }
+                }
+                assert!(!items.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(items)
+            }
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // Only the complement-category form \PC is supported.
+                    match chars.next() {
+                        Some('C') => Atom::Printable,
+                        other => panic!("unsupported escape \\P{other:?} in {pattern:?}"),
+                    }
+                }
+                Some(lit @ ('\\' | '.' | '[' | ']' | '{' | '}' | '*' | '+' | '?' | '|')) => {
+                    Atom::Literal(lit)
+                }
+                Some('n') => Atom::Literal('\n'),
+                Some('t') => Atom::Literal('\t'),
+                other => panic!("unsupported escape \\{other:?} in {pattern:?}"),
+            },
+            '.' | '(' | ')' | '|' => panic!("unsupported regex syntax {c:?} in {pattern:?}"),
+            lit => Atom::Literal(lit),
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut digits = String::new();
+                let mut min = None;
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(',') => {
+                            min = Some(digits.parse::<u32>().unwrap_or_else(|_| {
+                                panic!("bad quantifier in pattern {pattern:?}")
+                            }));
+                            digits.clear();
+                        }
+                        Some(d) if d.is_ascii_digit() => digits.push(d),
+                        other => panic!("bad quantifier {other:?} in pattern {pattern:?}"),
+                    }
+                }
+                let last = digits
+                    .parse::<u32>()
+                    .unwrap_or_else(|_| panic!("bad quantifier in pattern {pattern:?}"));
+                match min {
+                    Some(m) => (m, last),
+                    None => (last, last),
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(items) => {
+            let idx = rng.below(items.len() as u64) as usize;
+            let (lo, hi) = items[idx];
+            let span = (hi as u32) - (lo as u32) + 1;
+            // Classes used in practice never straddle the surrogate gap.
+            char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32)
+                .expect("class range avoids surrogates")
+        }
+        Atom::Printable => {
+            // 7/8 printable ASCII, 1/8 multi-byte.
+            if rng.below(8) < 7 {
+                char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).expect("ASCII")
+            } else {
+                PRINTABLE_EXTRA[rng.below(PRINTABLE_EXTRA.len() as u64) as usize]
+            }
+        }
+    }
+}
+
+/// `&str` patterns are string strategies, as in real proptest.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = piece.min + rng.below(u64::from(piece.max - piece.min + 1)) as u32;
+            for _ in 0..n {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..300 {
+            let s = "[a-c]{0,4}".generate(&mut rng);
+            assert!(s.len() <= 4);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn bare_class_is_one_char() {
+        let mut rng = TestRng::from_seed(12);
+        for _ in 0..100 {
+            let s = "[ab]".generate(&mut rng);
+            assert_eq!(s.chars().count(), 1);
+        }
+    }
+
+    #[test]
+    fn printable_escape() {
+        let mut rng = TestRng::from_seed(13);
+        let mut saw_multibyte = false;
+        for _ in 0..300 {
+            let s = "\\PC{0,12}".generate(&mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            saw_multibyte |= s.chars().any(|c| c.len_utf8() > 1);
+        }
+        assert!(saw_multibyte, "\\PC should exercise multi-byte UTF-8");
+    }
+
+    #[test]
+    fn literals_and_star() {
+        let mut rng = TestRng::from_seed(14);
+        let s = "ab".generate(&mut rng);
+        assert_eq!(s, "ab");
+        for _ in 0..50 {
+            let s = "a*".generate(&mut rng);
+            assert!(s.chars().all(|c| c == 'a') && s.len() <= 8);
+        }
+    }
+}
