@@ -28,10 +28,13 @@ pub mod ast;
 pub mod nfa;
 pub mod parser;
 pub mod pike;
+pub mod plan;
 pub mod sample;
 
 pub use ast::{Ast, ClassItem, RegexError};
-pub use nfa::Program;
+pub use nfa::{CharSpec, Program};
+pub use pike::Matcher;
+pub use plan::MatchPlan;
 
 /// A compiled regular expression.
 #[derive(Debug, Clone)]
@@ -75,9 +78,27 @@ impl Regex {
         pike::search(&self.program, text)
     }
 
+    /// Unanchored search reusing caller-owned scratch buffers: the
+    /// allocation-free path for hot loops that test many inputs against
+    /// (possibly many) patterns, such as the schema validator's
+    /// precompiled pattern slots. One [`Matcher`] may be shared across
+    /// every `Regex` in play.
+    pub fn is_match_with(&self, matcher: &mut Matcher, text: &str) -> bool {
+        matcher.search(&self.program, text)
+    }
+
     /// Anchored match of the whole input (as if wrapped in `^...$`).
     pub fn is_full_match(&self, text: &str) -> bool {
         pike::full_match(&self.program, text)
+    }
+
+    /// Classifies this pattern into a specialised [`MatchPlan`] — a
+    /// branch-free matcher for the common schema-pattern shapes, or
+    /// [`MatchPlan::Vm`] as the general fallback. Analysis walks the AST
+    /// once, so callers with a compile step (the schema validator's IR
+    /// builder) plan each pattern slot up front and reuse the result.
+    pub fn plan(&self) -> MatchPlan {
+        MatchPlan::analyze(&self.ast)
     }
 }
 

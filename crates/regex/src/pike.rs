@@ -4,33 +4,85 @@ use crate::nfa::{Inst, Program};
 
 /// Unanchored search: does the pattern match any substring?
 pub fn search(prog: &Program, text: &str) -> bool {
-    run(prog, text, false)
+    run(prog, text, false, &mut Matcher::new())
 }
 
 /// Anchored full match: does the pattern match the entire input?
 pub fn full_match(prog: &Program, text: &str) -> bool {
-    run(prog, text, true)
+    run(prog, text, true, &mut Matcher::new())
+}
+
+/// Reusable simulation scratch: the two thread lists, persisted across
+/// calls so that steady-state matching (one matcher driving many inputs,
+/// as the schema validator's pattern slots do) allocates nothing.
+///
+/// One matcher may serve programs of different sizes; the lists grow to
+/// the largest program seen and stay there.
+#[derive(Debug, Default)]
+pub struct Matcher {
+    current: ThreadList,
+    next: ThreadList,
+}
+
+impl Matcher {
+    /// Creates an empty matcher (no allocation until first use).
+    pub fn new() -> Self {
+        Matcher::default()
+    }
+
+    /// Unanchored search reusing this matcher's buffers.
+    pub fn search(&mut self, prog: &Program, text: &str) -> bool {
+        run(prog, text, false, self)
+    }
+
+    /// Anchored full match reusing this matcher's buffers.
+    pub fn full_match(&mut self, prog: &Program, text: &str) -> bool {
+        run(prog, text, true, self)
+    }
 }
 
 /// A deduplicated set of live thread pcs.
+///
+/// Membership is tracked with generation stamps rather than booleans:
+/// clearing between input positions bumps `gen` in O(1) instead of
+/// rewriting a flag per instruction, which dominates simulation cost for
+/// long linear programs (counted repetitions) over short inputs.
+#[derive(Debug, Default)]
 struct ThreadList {
     dense: Vec<usize>,
-    seen: Vec<bool>,
+    marks: Vec<u32>,
+    gen: u32,
 }
 
 impl ThreadList {
-    fn new(n: usize) -> Self {
-        ThreadList {
-            dense: Vec::with_capacity(n),
-            seen: vec![false; n],
+    /// Clears the list and makes room for programs of `n` instructions.
+    fn reset(&mut self, n: usize) {
+        if self.marks.len() < n {
+            self.marks.resize(n, 0);
         }
+        self.clear();
     }
 
     fn clear(&mut self) {
-        // Zero-width instructions mark `seen` without entering `dense`, so
-        // the whole flag vector must be reset, not just the dense pcs.
-        self.seen.fill(false);
         self.dense.clear();
+        self.gen = match self.gen.checked_add(1) {
+            Some(g) => g,
+            None => {
+                // Stamp wrap-around: stale marks could alias the new
+                // generation, so reset them all once per 2^32 clears.
+                self.marks.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Marks `pc`; true when it was already a member.
+    fn test_and_set(&mut self, pc: usize) -> bool {
+        if self.marks[pc] == self.gen {
+            return true;
+        }
+        self.marks[pc] = self.gen;
+        false
     }
 
     fn is_empty(&self) -> bool {
@@ -47,10 +99,9 @@ fn add_thread(
     at_start: bool,
     at_end: bool,
 ) -> bool {
-    if list.seen[pc] {
+    if list.test_and_set(pc) {
         return false;
     }
-    list.seen[pc] = true;
     match prog.insts[pc] {
         Inst::Jump(next) => add_thread(prog, list, next, at_start, at_end),
         Inst::Split(a, b) => {
@@ -68,25 +119,28 @@ fn add_thread(
     }
 }
 
-fn run(prog: &Program, text: &str, anchored: bool) -> bool {
+fn run(prog: &Program, text: &str, anchored: bool, scratch: &mut Matcher) -> bool {
     let n = prog.insts.len();
-    let mut current = ThreadList::new(n);
-    let mut next = ThreadList::new(n);
-    let chars: Vec<char> = text.chars().collect();
-    let len = chars.len();
+    let Matcher { current, next } = scratch;
+    current.reset(n);
+    next.reset(n);
+
+    // Iterate without materialising a `Vec<char>`; the lookahead tells us
+    // whether the position after the current character is end-of-input.
+    let mut chars = text.chars().peekable();
 
     // Seed at position 0.
-    if add_thread(prog, &mut current, prog.start, true, len == 0) {
+    if add_thread(prog, current, prog.start, true, text.is_empty()) {
         // Matched the empty string at the start.
-        if !anchored || len == 0 {
+        if !anchored || text.is_empty() {
             return true;
         }
         // Anchored: an empty-string match only counts at end of input,
         // which `at_end` above already required.
     }
 
-    for (i, &c) in chars.iter().enumerate() {
-        let at_end_after = i + 1 == len;
+    while let Some(c) = chars.next() {
+        let at_end_after = chars.peek().is_none();
         next.clear();
         let mut matched = false;
         for &pc in &current.dense {
@@ -95,7 +149,7 @@ fn run(prog: &Program, text: &str, anchored: bool) -> bool {
                     // Position after consuming c: start only if unanchored
                     // re-seeding would say so; "start" assertion means
                     // absolute input start, so it is false here.
-                    if add_thread(prog, &mut next, nx, false, at_end_after) {
+                    if add_thread(prog, next, nx, false, at_end_after) {
                         matched = true;
                     }
                 }
@@ -104,24 +158,11 @@ fn run(prog: &Program, text: &str, anchored: bool) -> bool {
         if matched && (!anchored || at_end_after) {
             // For unanchored search any match suffices; for anchored
             // matching, a Match reached exactly at end of input suffices.
-            if !anchored {
-                return true;
-            }
-            if at_end_after {
-                return true;
-            }
+            return true;
         }
-        std::mem::swap(&mut current, &mut next);
-        // Unanchored: re-seed a fresh attempt starting at position i+1.
-        if !anchored
-            && add_thread(
-                prog,
-                &mut current,
-                prog.start,
-                false,
-                at_end_after || len == i + 1,
-            )
-        {
+        std::mem::swap(current, next);
+        // Unanchored: re-seed a fresh attempt starting at the next position.
+        if !anchored && add_thread(prog, current, prog.start, false, at_end_after) {
             return true;
         }
         if current.is_empty() && anchored {
@@ -249,5 +290,24 @@ mod tests {
     fn empty_alternation_branch() {
         assert!(fm("a(b|)c", "abc"));
         assert!(fm("a(b|)c", "ac"));
+    }
+
+    #[test]
+    fn matcher_reuse_across_patterns_and_inputs() {
+        // One matcher serves differently-sized programs back to back and
+        // agrees with the allocating entry points.
+        let pats = [r"^a+$", r"\d{4}-\d{2}", "x|y|z", "^$"];
+        let inputs = ["aaa", "2019-03", "only w here", "", "a1b2"];
+        let mut m = super::Matcher::new();
+        for p in pats {
+            let re = crate::Regex::compile(p).unwrap();
+            for text in inputs {
+                assert_eq!(
+                    re.is_match_with(&mut m, text),
+                    re.is_match(text),
+                    "pattern {p} input {text:?}"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,551 @@
+//! Compile-time match plans: specialised matchers for the pattern shapes
+//! JSON Schemas overwhelmingly use.
+//!
+//! The Pike VM ([`crate::pike`]) is the general engine — linear time,
+//! no backtracking — but it pays per-character thread-list bookkeeping
+//! even for patterns like `^https://` or `^[0-9a-f]{40}$` that need none
+//! of it. [`MatchPlan::analyze`] classifies a parsed pattern into one of
+//! three branch-free shapes (anchored literal, fixed class sequence,
+//! single-class repetition) or falls back to the VM. Plans implement the
+//! same *unanchored search* semantics as [`crate::Regex::is_match`]
+//! (ECMA `RegExp.prototype.test`, the JSON Schema `pattern` contract);
+//! agreement with the VM is asserted by the tests below and by the
+//! schema crate's IR property suite.
+//!
+//! Analysis costs one AST walk, so it belongs in a *compile* step — the
+//! schema validator's IR builder plans each pattern slot once and reuses
+//! the plan for every document probed.
+
+use crate::ast::Ast;
+use crate::nfa::CharSpec;
+
+/// A specialised matching strategy for one pattern.
+#[derive(Debug, Clone)]
+pub enum MatchPlan {
+    /// A plain character sequence, possibly anchored on either side:
+    /// `^https://`, `abc$`, `^started$`, `needle`.
+    Literal {
+        /// The literal text.
+        lit: String,
+        /// Pattern began with `^`.
+        at_start: bool,
+        /// Pattern ended with `$`.
+        at_end: bool,
+    },
+    /// A fixed-length sequence of single-character matchers:
+    /// `^[0-9a-f]{40}$`, `^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z$`.
+    FixedSeq {
+        /// One spec per input character, in order.
+        specs: Vec<CharSpec>,
+        /// Pattern began with `^`.
+        at_start: bool,
+        /// Pattern ended with `$`.
+        at_end: bool,
+    },
+    /// One character class repeated: `^[0-9]+$`, `^a*`, `[a-z]{2,8}$`.
+    RepeatClass {
+        /// The repeated spec.
+        spec: CharSpec,
+        /// Minimum run length.
+        min: usize,
+        /// Maximum run length (`None` = unbounded).
+        max: Option<usize>,
+        /// Pattern began with `^`.
+        at_start: bool,
+        /// Pattern ended with `$`.
+        at_end: bool,
+    },
+    /// An unbounded class repetition followed by a literal whose first
+    /// character the class rejects: `^[a-z0-9]+/`, `\d*px$`. The
+    /// disjointness makes greedy matching exact — the run must stop
+    /// precisely where the literal begins — so one linear scan decides.
+    RepeatThenLiteral {
+        /// The repeated spec.
+        spec: CharSpec,
+        /// Minimum run length.
+        min: usize,
+        /// The literal that follows the run (non-empty; its first char is
+        /// not matched by `spec`).
+        lit: String,
+        /// Pattern began with `^`.
+        at_start: bool,
+        /// Pattern ended with `$`.
+        at_end: bool,
+    },
+    /// Anything else — alternation, groups, mixed quantifiers — runs on
+    /// the Pike VM.
+    Vm,
+}
+
+impl MatchPlan {
+    /// Classifies a parsed pattern. Returns [`MatchPlan::Vm`] whenever the
+    /// shape is not one of the specialised forms.
+    pub fn analyze(ast: &Ast) -> MatchPlan {
+        let mut elems = Vec::new();
+        if !flatten(ast, &mut elems) {
+            return MatchPlan::Vm;
+        }
+        let at_start = matches!(elems.first(), Some(Ast::StartAnchor));
+        if at_start {
+            elems.remove(0);
+        }
+        let at_end = matches!(elems.last(), Some(Ast::EndAnchor));
+        if at_end {
+            elems.pop();
+        }
+        // Anchors anywhere else make the pattern unmatchable in ways the
+        // plans don't model; leave those to the VM.
+        if elems
+            .iter()
+            .any(|e| matches!(e, Ast::StartAnchor | Ast::EndAnchor))
+        {
+            return MatchPlan::Vm;
+        }
+
+        // `^[0-9]+$` shape: exactly one single-char repetition.
+        if elems.len() == 1 {
+            if let Ast::Repeat { node, min, max } = elems[0] {
+                if let Some(spec) = char_spec(node) {
+                    return MatchPlan::RepeatClass {
+                        spec,
+                        min: *min as usize,
+                        max: max.map(|m| m as usize),
+                        at_start,
+                        at_end,
+                    };
+                }
+            }
+        }
+
+        // `^[a-z0-9]+/…` shape: one unbounded repetition, then literals,
+        // with the class/literal boundary unambiguous.
+        if elems.len() >= 2 {
+            if let Ast::Repeat {
+                node,
+                min,
+                max: None,
+            } = elems[0]
+            {
+                if let Some(spec) = char_spec(node) {
+                    let lit: Option<String> = elems[1..]
+                        .iter()
+                        .map(|e| match e {
+                            Ast::Literal(c) => Some(*c),
+                            _ => None,
+                        })
+                        .collect();
+                    if let Some(lit) = lit {
+                        let first = lit.chars().next().expect("len >= 2 means non-empty");
+                        if !spec.matches(first) {
+                            return MatchPlan::RepeatThenLiteral {
+                                spec,
+                                min: *min as usize,
+                                lit,
+                                at_start,
+                                at_end,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+
+        // Fixed-length sequences (counted repetitions of single chars
+        // expand here, mirroring the NFA compiler).
+        let mut specs = Vec::new();
+        for elem in &elems {
+            match elem {
+                Ast::Repeat {
+                    node,
+                    min,
+                    max: Some(max),
+                } if min == max => match char_spec(node) {
+                    Some(spec) => {
+                        specs.extend(std::iter::repeat_n(spec, *min as usize));
+                    }
+                    None => return MatchPlan::Vm,
+                },
+                other => match char_spec(other) {
+                    Some(spec) => specs.push(spec),
+                    None => return MatchPlan::Vm,
+                },
+            }
+        }
+        if specs.iter().all(|s| matches!(s, CharSpec::Literal(_))) {
+            let lit: String = specs
+                .iter()
+                .map(|s| match s {
+                    CharSpec::Literal(c) => *c,
+                    _ => unreachable!(),
+                })
+                .collect();
+            return MatchPlan::Literal {
+                lit,
+                at_start,
+                at_end,
+            };
+        }
+        MatchPlan::FixedSeq {
+            specs,
+            at_start,
+            at_end,
+        }
+    }
+
+    /// Runs the plan as an unanchored search over `text`. Returns `None`
+    /// for [`MatchPlan::Vm`] — the caller falls back to the Pike VM.
+    #[inline]
+    pub fn eval(&self, text: &str) -> Option<bool> {
+        match self {
+            MatchPlan::Literal {
+                lit,
+                at_start,
+                at_end,
+            } => Some(match (at_start, at_end) {
+                (true, true) => text == lit,
+                (true, false) => text.starts_with(lit.as_str()),
+                (false, true) => text.ends_with(lit.as_str()),
+                (false, false) => text.contains(lit.as_str()),
+            }),
+            MatchPlan::FixedSeq {
+                specs,
+                at_start,
+                at_end,
+            } => Some(match (at_start, at_end) {
+                (true, true) => {
+                    let mut chars = text.chars();
+                    specs
+                        .iter()
+                        .all(|s| chars.next().is_some_and(|c| s.matches(c)))
+                        && chars.next().is_none()
+                }
+                (true, false) => {
+                    let mut chars = text.chars();
+                    specs
+                        .iter()
+                        .all(|s| chars.next().is_some_and(|c| s.matches(c)))
+                }
+                (false, true) => {
+                    let mut chars = text.chars().rev();
+                    specs
+                        .iter()
+                        .rev()
+                        .all(|s| chars.next().is_some_and(|c| s.matches(c)))
+                }
+                (false, false) => text.char_indices().any(|(i, _)| {
+                    let mut chars = text[i..].chars();
+                    specs
+                        .iter()
+                        .all(|s| chars.next().is_some_and(|c| s.matches(c)))
+                }),
+            }),
+            MatchPlan::RepeatClass {
+                spec,
+                min,
+                max,
+                at_start,
+                at_end,
+            } => Some(match (at_start, at_end) {
+                // The whole input is the run, so `max` binds; elsewhere a
+                // long run always contains a short-enough sub-run.
+                (true, true) => {
+                    let mut n = 0usize;
+                    for c in text.chars() {
+                        if !spec.matches(c) {
+                            return Some(false);
+                        }
+                        n += 1;
+                    }
+                    n >= *min && max.is_none_or(|m| n <= m)
+                }
+                (true, false) => text.chars().take_while(|&c| spec.matches(c)).count() >= *min,
+                (false, true) => {
+                    text.chars().rev().take_while(|&c| spec.matches(c)).count() >= *min
+                }
+                (false, false) => {
+                    if *min == 0 {
+                        return Some(true);
+                    }
+                    let mut run = 0usize;
+                    for c in text.chars() {
+                        if spec.matches(c) {
+                            run += 1;
+                            if run >= *min {
+                                return Some(true);
+                            }
+                        } else {
+                            run = 0;
+                        }
+                    }
+                    false
+                }
+            }),
+            MatchPlan::RepeatThenLiteral {
+                spec,
+                min,
+                lit,
+                at_start,
+                at_end,
+            } => Some(if *at_start {
+                let run: usize = text.chars().take_while(|&c| spec.matches(c)).count();
+                let split = text.char_indices().nth(run).map_or(text.len(), |(i, _)| i);
+                let rest = &text[split..];
+                run >= *min
+                    && if *at_end {
+                        rest == lit
+                    } else {
+                        rest.starts_with(lit.as_str())
+                    }
+            } else {
+                // Any occurrence of the literal sits at a run break
+                // (its first char leaves the class), so checking at every
+                // break position covers all candidate starts.
+                let mut run = 0usize;
+                for (i, c) in text.char_indices() {
+                    if spec.matches(c) {
+                        run += 1;
+                        continue;
+                    }
+                    if run >= *min {
+                        let rest = &text[i..];
+                        let hit = if *at_end {
+                            rest == lit
+                        } else {
+                            rest.starts_with(lit.as_str())
+                        };
+                        if hit {
+                            return Some(true);
+                        }
+                    }
+                    run = 0;
+                }
+                false
+            }),
+            MatchPlan::Vm => None,
+        }
+    }
+}
+
+/// The sequence elements of `ast`, with groups and concatenations
+/// flattened. Returns false for shapes (alternation) the plans never
+/// model, short-circuiting analysis.
+fn flatten<'a>(ast: &'a Ast, out: &mut Vec<&'a Ast>) -> bool {
+    match ast {
+        Ast::Concat(items) => items.iter().all(|i| flatten(i, out)),
+        Ast::Group(inner) => flatten(inner, out),
+        Ast::Empty => true,
+        Ast::Alternate(_) => false,
+        other => {
+            out.push(other);
+            true
+        }
+    }
+}
+
+/// The single-character matcher for `ast`, if it consumes exactly one char.
+fn char_spec(ast: &Ast) -> Option<CharSpec> {
+    match ast {
+        Ast::Literal(c) => Some(CharSpec::Literal(*c)),
+        Ast::AnyChar => Some(CharSpec::AnyButNewline),
+        Ast::Class { negated, items } => Some(CharSpec::Class {
+            negated: *negated,
+            items: items.clone(),
+        }),
+        Ast::Group(inner) => char_spec(inner),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Regex;
+
+    fn plan(p: &str) -> MatchPlan {
+        Regex::compile(p).unwrap().plan()
+    }
+
+    /// Every plan must agree with the VM on every input.
+    fn assert_agrees(pattern: &str, inputs: &[&str]) {
+        let re = Regex::compile(pattern).unwrap();
+        let plan = re.plan();
+        for text in inputs {
+            if let Some(fast) = plan.eval(text) {
+                assert_eq!(
+                    fast,
+                    re.is_match(text),
+                    "plan {plan:?} disagrees with VM on pattern {pattern:?} input {text:?}"
+                );
+            }
+        }
+    }
+
+    const INPUTS: &[&str] = &[
+        "",
+        "a",
+        "abc",
+        "xabcx",
+        "https://x",
+        "http://x",
+        "0123456789",
+        "12a34",
+        "é日本",
+        "2019-03-26T01:02:03Z",
+        "deadbeefdeadbeefdeadbeefdeadbeefdeadbeef",
+        "started",
+        "restarted",
+        "\n",
+        "aaaaaa",
+    ];
+
+    #[test]
+    fn classifies_schema_style_patterns() {
+        assert!(matches!(
+            plan("^https://"),
+            MatchPlan::Literal {
+                at_start: true,
+                at_end: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            plan("^started$"),
+            MatchPlan::Literal {
+                at_start: true,
+                at_end: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            plan("%"),
+            MatchPlan::Literal {
+                at_start: false,
+                at_end: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            plan("^[0-9a-f]{40}$"),
+            MatchPlan::RepeatClass {
+                min: 40,
+                max: Some(40),
+                at_start: true,
+                at_end: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            plan(r"^\d{4}-\d{2}-\d{2}$"),
+            MatchPlan::FixedSeq { .. }
+        ));
+        assert!(matches!(
+            plan("^[0-9]+$"),
+            MatchPlan::RepeatClass {
+                min: 1,
+                max: None,
+                ..
+            }
+        ));
+        assert!(matches!(plan("^a*"), MatchPlan::RepeatClass { min: 0, .. }));
+        assert!(matches!(
+            plan("[a-z]{2,8}$"),
+            MatchPlan::RepeatClass { max: Some(8), .. }
+        ));
+        assert!(matches!(
+            plan("^[a-z0-9]+/"),
+            MatchPlan::RepeatThenLiteral {
+                min: 1,
+                at_start: true,
+                at_end: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            plan(r"\d*px$"),
+            MatchPlan::RepeatThenLiteral {
+                min: 0,
+                at_end: true,
+                ..
+            }
+        ));
+        assert!(matches!(plan("^(cat|dog)$"), MatchPlan::Vm));
+        // The literal's first char is inside the class: greedy would be
+        // wrong, so the VM keeps it.
+        assert!(matches!(plan("[a-z]+z"), MatchPlan::Vm));
+        assert!(matches!(plan("a{2,4}b"), MatchPlan::Vm));
+    }
+
+    #[test]
+    fn repeat_then_literal_agrees_with_vm() {
+        for pattern in [
+            "^[a-z0-9]+/",
+            "^[a-z0-9]+/$",
+            "[a-z0-9]+/",
+            "[a-z0-9]+/$",
+            r"\d*px$",
+            r"\d+px",
+            "^a*-b",
+        ] {
+            assert_agrees(
+                pattern,
+                &[
+                    "",
+                    "/",
+                    "org1/repo2",
+                    "org1/",
+                    "ORG/repo",
+                    "a-b/",
+                    "12px",
+                    "px",
+                    "x12pxy",
+                    "12 px",
+                    "-b",
+                    "aa-b",
+                    "é/",
+                ],
+            );
+        }
+    }
+
+    #[test]
+    fn repeat_with_max_only_binds_when_fully_anchored() {
+        // `^[0-9]{1,3}$` rejects 4 digits; unanchored `[0-9]{1,3}` accepts
+        // any string containing a digit — both must match the VM.
+        assert!(matches!(
+            plan("^[0-9]{1,3}$"),
+            MatchPlan::RepeatClass { max: Some(3), .. }
+        ));
+        assert_agrees("^[0-9]{1,3}$", &["", "1", "123", "1234"]);
+    }
+
+    #[test]
+    fn plans_agree_with_vm() {
+        for pattern in [
+            "^https://",
+            "^started$",
+            "started",
+            "bc$",
+            "",
+            "^$",
+            "^[0-9a-f]{40}$",
+            r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z$",
+            r"\d{2}",
+            "^[0-9]+$",
+            "[0-9]+",
+            "^a*$",
+            "a*",
+            "^.{3}$",
+            "^[^0-9]+$",
+            r"^\w+$",
+            "[a-c]{2}",
+        ] {
+            assert_agrees(pattern, INPUTS);
+        }
+    }
+
+    #[test]
+    fn unicode_sequences() {
+        assert_agrees("^..$", &["日本", "日本語", "é", "ab"]);
+        assert_agrees("é", &["café", "cafe", ""]);
+    }
+}

@@ -1,0 +1,869 @@
+//! The flat validation IR and its fail-fast evaluator.
+//!
+//! [`CompiledSchema::compile`](crate::CompiledSchema::compile) lowers the
+//! boxed [`Schema`] AST into an arena of [`IrNode`]s where every subschema
+//! edge — combinator branches, `items`, `properties` values, and crucially
+//! `$ref` targets — is a plain `u32` index. Resolving a reference at
+//! validation time is therefore an array index instead of a pointer walk
+//! over the source document plus a compile; `properties` tables are sorted
+//! for binary search; `type` lists become a kind bitmask; and `pattern`
+//! regexes live in deduplicated slots, each analysed once into a
+//! specialised [`MatchPlan`](jsonx_regex::MatchPlan) (anchored literal,
+//! fixed class sequence, class repetition) with the Pike VM — driven by
+//! one reusable [`Matcher`](jsonx_regex::Matcher) — as fallback.
+//!
+//! [`FastValidator`] walks that arena and answers *boolean* conformance
+//! only: it short-circuits on the first violation, builds no instance
+//! paths and renders no messages, and in steady state (validator reused
+//! across documents) performs no allocation. Diagnostics stay on the
+//! tree-walking error-collecting path in [`crate::validate`]; the two
+//! paths agree verdict-for-verdict (property-tested in
+//! `tests/prop_ir_agreement.rs`), which is the fail-fast contract: use
+//! `is_valid` to filter at full speed, re-run `validate` on the rare
+//! rejects when you need to know *why*.
+
+use crate::ast::{CompiledPattern, Dependency, Items, Schema, SchemaNode};
+use crate::errors::SchemaError;
+use crate::formats::check_format;
+use crate::parse::{resolve_and_compile, CompiledSchema};
+use crate::validate::ValidatorOptions;
+use jsonx_data::{all_unique, Kind, Number, Value};
+use jsonx_regex::{MatchPlan, Matcher, Regex};
+use std::collections::HashMap;
+
+/// Arena index of the shared `Any` node.
+const ANY: u32 = 0;
+/// Arena index of the shared `Never` node.
+const NEVER: u32 = 1;
+
+/// The lowered schema document: every node of the (ref-expanded) schema
+/// graph, flat.
+#[derive(Debug)]
+pub(crate) struct Ir {
+    nodes: Vec<IrNode>,
+    patterns: Vec<IrPattern>,
+    root: u32,
+}
+
+/// One deduplicated pattern slot: the compiled automaton plus the
+/// specialised plan chosen for it at build time.
+#[derive(Debug)]
+struct IrPattern {
+    regex: Regex,
+    plan: MatchPlan,
+}
+
+impl IrPattern {
+    /// Unanchored search via the plan, falling back to the Pike VM.
+    #[inline]
+    fn is_match(&self, matcher: &mut Matcher, text: &str) -> bool {
+        match self.plan.eval(text) {
+            Some(hit) => hit,
+            None => self.regex.is_match_with(matcher, text),
+        }
+    }
+}
+
+/// One arena node.
+#[derive(Debug)]
+enum IrNode {
+    /// Accepts everything (`true`, `{}`).
+    Any,
+    /// Rejects everything (`false`).
+    Never,
+    /// A `$ref` site with its target pre-resolved to an arena index.
+    Ref { target: u32 },
+    /// A `$ref` whose target is missing or not a schema; always rejects
+    /// (the error-collecting path reports the details).
+    BadRef,
+    /// A constraining keyword node.
+    Node(Box<IrSchemaNode>),
+}
+
+/// [`SchemaNode`] with every subschema edge flattened to an arena index.
+#[derive(Debug, Default)]
+struct IrSchemaNode {
+    /// `type` as a bitmask over [`Kind`]s, subsumption pre-applied.
+    types: Option<u8>,
+    enumeration: Option<Vec<Value>>,
+    const_value: Option<Value>,
+
+    all_of: Vec<u32>,
+    any_of: Vec<u32>,
+    one_of: Vec<u32>,
+    not: Option<u32>,
+    if_schema: Option<u32>,
+    then_schema: Option<u32>,
+    else_schema: Option<u32>,
+
+    min_length: Option<u64>,
+    max_length: Option<u64>,
+    /// Index into the shared pattern slot table.
+    pattern: Option<u32>,
+    format: Option<String>,
+
+    minimum: Option<Number>,
+    maximum: Option<Number>,
+    exclusive_minimum: Option<Number>,
+    exclusive_maximum: Option<Number>,
+    multiple_of: Option<Number>,
+
+    items: Option<IrItems>,
+    additional_items: Option<u32>,
+    min_items: Option<u64>,
+    max_items: Option<u64>,
+    unique_items: bool,
+    contains: Option<u32>,
+
+    /// Sorted by name for binary search.
+    properties: Vec<(String, u32)>,
+    /// (pattern slot, schema index) pairs.
+    pattern_properties: Vec<(u32, u32)>,
+    additional_properties: Option<u32>,
+    required: Vec<String>,
+    min_properties: Option<u64>,
+    max_properties: Option<u64>,
+    property_names: Option<u32>,
+    dependencies: Vec<(String, IrDependency)>,
+}
+
+#[derive(Debug)]
+enum IrItems {
+    All(u32),
+    Tuple(Vec<u32>),
+}
+
+#[derive(Debug)]
+enum IrDependency {
+    Keys(Vec<String>),
+    Schema(u32),
+}
+
+/// The bit of one kind in a `type` mask.
+fn kind_bit(kind: Kind) -> u8 {
+    match kind {
+        Kind::Null => 1 << 0,
+        Kind::Boolean => 1 << 1,
+        Kind::Integer => 1 << 2,
+        Kind::Number => 1 << 3,
+        Kind::String => 1 << 4,
+        Kind::Array => 1 << 5,
+        Kind::Object => 1 << 6,
+    }
+}
+
+/// The set of kinds `declared` accepts, as a mask (`number ⊇ integer`).
+fn subsumed_bits(declared: Kind) -> u8 {
+    match declared {
+        Kind::Number => kind_bit(Kind::Number) | kind_bit(Kind::Integer),
+        other => kind_bit(other),
+    }
+}
+
+/// Lowers a compiled AST into the IR, resolving every reachable `$ref`
+/// against `source` exactly once. Returns the arena plus the table of
+/// resolved (or failed) reference targets, which
+/// [`CompiledSchema::resolve_ref`] serves lookups from.
+pub(crate) fn build(
+    root: &Schema,
+    source: &Value,
+) -> (Ir, HashMap<String, Result<Schema, SchemaError>>) {
+    let mut b = Builder {
+        source,
+        nodes: vec![IrNode::Any, IrNode::Never],
+        patterns: Vec::new(),
+        pattern_slots: HashMap::new(),
+        ref_slots: HashMap::new(),
+        ref_table: HashMap::new(),
+    };
+    let root_idx = b.lower(root);
+    (
+        Ir {
+            nodes: b.nodes,
+            patterns: b.patterns,
+            root: root_idx,
+        },
+        b.ref_table,
+    )
+}
+
+struct Builder<'a> {
+    source: &'a Value,
+    nodes: Vec<IrNode>,
+    patterns: Vec<IrPattern>,
+    /// Pattern source → slot, so identical patterns share one automaton.
+    pattern_slots: HashMap<String, u32>,
+    /// Reference text → arena slot of the compiled target body (or `Err`
+    /// for unresolvable references).
+    ref_slots: HashMap<String, Result<u32, ()>>,
+    ref_table: HashMap<String, Result<Schema, SchemaError>>,
+}
+
+impl<'a> Builder<'a> {
+    fn push(&mut self, node: IrNode) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(node);
+        idx
+    }
+
+    fn lower(&mut self, schema: &Schema) -> u32 {
+        match schema {
+            Schema::Any => ANY,
+            Schema::Never => NEVER,
+            Schema::Node(_) => {
+                let node = self.lower_value(schema);
+                self.push(node)
+            }
+        }
+    }
+
+    fn lower_value(&mut self, schema: &Schema) -> IrNode {
+        match schema {
+            Schema::Any => IrNode::Any,
+            Schema::Never => IrNode::Never,
+            Schema::Node(node) => {
+                // `$ref` siblings are ignored (draft-04/06), mirroring the
+                // interpreter.
+                if let Some(reference) = &node.reference {
+                    match self.ref_target(reference) {
+                        Ok(target) => IrNode::Ref { target },
+                        Err(()) => IrNode::BadRef,
+                    }
+                } else {
+                    IrNode::Node(Box::new(self.lower_fields(node)))
+                }
+            }
+        }
+    }
+
+    /// The arena slot of `reference`'s compiled body, compiling it on
+    /// first sight. A placeholder reserved *before* the recursive lowering
+    /// lets cyclic references close over their own slot.
+    fn ref_target(&mut self, reference: &str) -> Result<u32, ()> {
+        if let Some(slot) = self.ref_slots.get(reference) {
+            return *slot;
+        }
+        match resolve_and_compile(self.source, reference) {
+            Ok(ast) => {
+                let slot = self.nodes.len() as u32;
+                self.nodes.push(IrNode::Any); // placeholder
+                self.ref_slots.insert(reference.to_string(), Ok(slot));
+                self.ref_table
+                    .insert(reference.to_string(), Ok(ast.clone()));
+                let lowered = self.lower_value(&ast);
+                self.nodes[slot as usize] = lowered;
+                Ok(slot)
+            }
+            Err(e) => {
+                self.ref_slots.insert(reference.to_string(), Err(()));
+                self.ref_table.insert(reference.to_string(), Err(e));
+                Err(())
+            }
+        }
+    }
+
+    fn pattern_slot(&mut self, pattern: &CompiledPattern) -> u32 {
+        if let Some(&slot) = self.pattern_slots.get(&pattern.source) {
+            return slot;
+        }
+        let slot = self.patterns.len() as u32;
+        self.patterns.push(IrPattern {
+            plan: pattern.regex.plan(),
+            regex: pattern.regex.clone(),
+        });
+        self.pattern_slots.insert(pattern.source.clone(), slot);
+        slot
+    }
+
+    fn lower_opt(&mut self, schema: &Option<Schema>) -> Option<u32> {
+        schema.as_ref().map(|s| self.lower(s))
+    }
+
+    fn lower_all(&mut self, schemas: &[Schema]) -> Vec<u32> {
+        schemas.iter().map(|s| self.lower(s)).collect()
+    }
+
+    fn lower_fields(&mut self, node: &SchemaNode) -> IrSchemaNode {
+        let mut properties: Vec<(String, u32)> = node
+            .properties
+            .iter()
+            .map(|(name, s)| (name.clone(), self.lower(s)))
+            .collect();
+        properties.sort_by(|(a, _), (b, _)| a.cmp(b));
+        IrSchemaNode {
+            types: node
+                .types
+                .as_ref()
+                .map(|ts| ts.iter().fold(0u8, |m, t| m | subsumed_bits(*t))),
+            enumeration: node.enumeration.clone(),
+            const_value: node.const_value.clone(),
+            all_of: self.lower_all(&node.all_of),
+            any_of: self.lower_all(&node.any_of),
+            one_of: self.lower_all(&node.one_of),
+            not: self.lower_opt(&node.not),
+            if_schema: self.lower_opt(&node.if_schema),
+            then_schema: self.lower_opt(&node.then_schema),
+            else_schema: self.lower_opt(&node.else_schema),
+            min_length: node.min_length,
+            max_length: node.max_length,
+            pattern: node.pattern.as_ref().map(|p| self.pattern_slot(p)),
+            format: node.format.clone(),
+            minimum: node.minimum,
+            maximum: node.maximum,
+            exclusive_minimum: node.exclusive_minimum,
+            exclusive_maximum: node.exclusive_maximum,
+            multiple_of: node.multiple_of,
+            items: node.items.as_ref().map(|items| match items {
+                Items::All(s) => IrItems::All(self.lower(s)),
+                Items::Tuple(ss) => IrItems::Tuple(self.lower_all(ss)),
+            }),
+            additional_items: self.lower_opt(&node.additional_items),
+            min_items: node.min_items,
+            max_items: node.max_items,
+            unique_items: node.unique_items,
+            contains: self.lower_opt(&node.contains),
+            properties,
+            pattern_properties: node
+                .pattern_properties
+                .iter()
+                .map(|(p, s)| (self.pattern_slot(p), self.lower(s)))
+                .collect(),
+            additional_properties: self.lower_opt(&node.additional_properties),
+            required: node.required.clone(),
+            min_properties: node.min_properties,
+            max_properties: node.max_properties,
+            property_names: self.lower_opt(&node.property_names),
+            dependencies: node
+                .dependencies
+                .iter()
+                .map(|(name, dep)| {
+                    let dep = match dep {
+                        Dependency::Keys(keys) => IrDependency::Keys(keys.clone()),
+                        Dependency::Schema(s) => IrDependency::Schema(self.lower(s)),
+                    };
+                    (name.clone(), dep)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The reusable fail-fast validator.
+///
+/// Holds the mutable scratch the arena walk needs — the `$ref` expansion
+/// stack, one regex [`Matcher`], and a string buffer for `propertyNames`
+/// probes — so validating many documents through one `FastValidator`
+/// allocates nothing in steady state. Create one per worker thread; it is
+/// deliberately `!Sync` (cheap to construct, not to share).
+pub struct FastValidator<'s> {
+    ir: &'s Ir,
+    options: ValidatorOptions,
+    /// Active `$ref` expansions as (target slot, instance location). The
+    /// instance location is identified by address: within one document
+    /// walk, revisiting the same slot at the same address means the
+    /// reference recursed without consuming input — exactly the
+    /// (reference, instance path) cycle the interpreter detects.
+    ref_stack: Vec<(u32, *const Value)>,
+    matcher: Matcher,
+    /// Reused `Value::Str` for `propertyNames` probes.
+    key_scratch: Value,
+}
+
+impl CompiledSchema {
+    /// A fail-fast validator over this schema (default options).
+    pub fn fast_validator(&self) -> FastValidator<'_> {
+        self.fast_validator_with(ValidatorOptions::default())
+    }
+
+    /// A fail-fast validator with explicit options.
+    pub fn fast_validator_with(&self, options: ValidatorOptions) -> FastValidator<'_> {
+        FastValidator {
+            ir: self.ir(),
+            options,
+            ref_stack: Vec::new(),
+            matcher: Matcher::new(),
+            key_scratch: Value::Str(String::new()),
+        }
+    }
+}
+
+impl<'s> FastValidator<'s> {
+    /// True when `value` conforms. Verdict-identical to running the
+    /// error-collecting `validate` and checking for emptiness, but
+    /// short-circuiting and allocation-free.
+    pub fn is_valid(&mut self, value: &Value) -> bool {
+        self.ref_stack.clear();
+        let root = self.ir.root;
+        self.probe(root, value)
+    }
+
+    fn probe(&mut self, idx: u32, value: &Value) -> bool {
+        let ir = self.ir;
+        match &ir.nodes[idx as usize] {
+            IrNode::Any => true,
+            IrNode::Never => false,
+            IrNode::BadRef => false,
+            IrNode::Ref { target } => {
+                let key = (*target, value as *const Value);
+                if self.ref_stack.contains(&key) {
+                    // Unguarded recursion — the interpreter reports
+                    // RefCycle, i.e. invalid.
+                    return false;
+                }
+                self.ref_stack.push(key);
+                let ok = self.probe(*target, value);
+                self.ref_stack.pop();
+                ok
+            }
+            IrNode::Node(node) => self.probe_node(node, value),
+        }
+    }
+
+    fn probe_node(&mut self, node: &'s IrSchemaNode, value: &Value) -> bool {
+        if let Some(mask) = node.types {
+            if mask & kind_bit(value.kind()) == 0 {
+                return false;
+            }
+        }
+        if let Some(options) = &node.enumeration {
+            if !options.iter().any(|o| o == value) {
+                return false;
+            }
+        }
+        if let Some(expected) = &node.const_value {
+            if expected != value {
+                return false;
+            }
+        }
+        if !self.probe_combinators(node, value) {
+            return false;
+        }
+        match value {
+            Value::Str(s) => self.probe_string(node, s),
+            Value::Num(n) => probe_number(node, *n),
+            Value::Arr(items) => self.probe_array(node, items),
+            Value::Obj(_) => self.probe_object(node, value),
+            _ => true,
+        }
+    }
+
+    fn probe_combinators(&mut self, node: &'s IrSchemaNode, value: &Value) -> bool {
+        for &sub in &node.all_of {
+            if !self.probe(sub, value) {
+                return false;
+            }
+        }
+        if !node.any_of.is_empty() && !node.any_of.iter().any(|&sub| self.probe(sub, value)) {
+            return false;
+        }
+        if !node.one_of.is_empty() {
+            let mut matched = 0usize;
+            for &sub in &node.one_of {
+                if self.probe(sub, value) {
+                    matched += 1;
+                    if matched > 1 {
+                        return false;
+                    }
+                }
+            }
+            if matched != 1 {
+                return false;
+            }
+        }
+        if let Some(negated) = node.not {
+            if self.probe(negated, value) {
+                return false;
+            }
+        }
+        if let Some(condition) = node.if_schema {
+            if self.probe(condition, value) {
+                if let Some(then_schema) = node.then_schema {
+                    if !self.probe(then_schema, value) {
+                        return false;
+                    }
+                }
+            } else if let Some(else_schema) = node.else_schema {
+                if !self.probe(else_schema, value) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn probe_string(&mut self, node: &IrSchemaNode, s: &str) -> bool {
+        if node.min_length.is_some() || node.max_length.is_some() {
+            let len = s.chars().count() as u64;
+            if node.min_length.is_some_and(|min| len < min) {
+                return false;
+            }
+            if node.max_length.is_some_and(|max| len > max) {
+                return false;
+            }
+        }
+        if let Some(slot) = node.pattern {
+            let pattern = &self.ir.patterns[slot as usize];
+            if !pattern.is_match(&mut self.matcher, s) {
+                return false;
+            }
+        }
+        if self.options.enforce_formats {
+            if let Some(format) = &node.format {
+                if !check_format(format, s) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn probe_array(&mut self, node: &'s IrSchemaNode, items: &[Value]) -> bool {
+        let len = items.len() as u64;
+        if node.min_items.is_some_and(|min| len < min) {
+            return false;
+        }
+        if node.max_items.is_some_and(|max| len > max) {
+            return false;
+        }
+        if node.unique_items && !all_unique(items) {
+            return false;
+        }
+        match &node.items {
+            Some(IrItems::All(schema)) => {
+                for item in items {
+                    if !self.probe(*schema, item) {
+                        return false;
+                    }
+                }
+            }
+            Some(IrItems::Tuple(schemas)) => {
+                for (i, item) in items.iter().enumerate() {
+                    match schemas.get(i) {
+                        Some(&schema) => {
+                            if !self.probe(schema, item) {
+                                return false;
+                            }
+                        }
+                        None => {
+                            if let Some(extra) = node.additional_items {
+                                if !self.probe(extra, item) {
+                                    return false;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            None => {}
+        }
+        if let Some(contains) = node.contains {
+            if !items.iter().any(|item| self.probe(contains, item)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn probe_object(&mut self, node: &'s IrSchemaNode, value: &Value) -> bool {
+        let obj = value.as_object().expect("checked by caller");
+        let len = obj.len() as u64;
+        if node.min_properties.is_some_and(|min| len < min) {
+            return false;
+        }
+        if node.max_properties.is_some_and(|max| len > max) {
+            return false;
+        }
+        for required in &node.required {
+            if !obj.contains_key(required) {
+                return false;
+            }
+        }
+        for (key, member) in obj.iter() {
+            let mut matched = false;
+            if let Ok(pos) = node
+                .properties
+                .binary_search_by(|(name, _)| name.as_str().cmp(key))
+            {
+                matched = true;
+                if !self.probe(node.properties[pos].1, member) {
+                    return false;
+                }
+            }
+            for &(pattern, schema) in &node.pattern_properties {
+                let hit = self.ir.patterns[pattern as usize].is_match(&mut self.matcher, key);
+                if hit {
+                    matched = true;
+                    if !self.probe(schema, member) {
+                        return false;
+                    }
+                }
+            }
+            if !matched {
+                if let Some(additional) = node.additional_properties {
+                    if !self.probe(additional, member) {
+                        return false;
+                    }
+                }
+            }
+            if let Some(name_schema) = node.property_names {
+                if !self.probe_key(name_schema, key) {
+                    return false;
+                }
+            }
+        }
+        for (trigger, dep) in &node.dependencies {
+            if !obj.contains_key(trigger) {
+                continue;
+            }
+            match dep {
+                IrDependency::Keys(keys) => {
+                    if keys.iter().any(|needed| !obj.contains_key(needed)) {
+                        return false;
+                    }
+                }
+                IrDependency::Schema(schema) => {
+                    if !self.probe(*schema, value) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Probes a property name as a string value, reusing one scratch
+    /// buffer instead of allocating a `Value::Str` per key.
+    fn probe_key(&mut self, schema: u32, key: &str) -> bool {
+        let mut scratch = std::mem::take(&mut self.key_scratch);
+        match &mut scratch {
+            Value::Str(buf) => {
+                buf.clear();
+                buf.push_str(key);
+            }
+            _ => scratch = Value::Str(key.to_string()),
+        }
+        let ok = self.probe(schema, &scratch);
+        self.key_scratch = scratch;
+        ok
+    }
+}
+
+/// Numeric keyword checks (no scratch state needed).
+fn probe_number(node: &IrSchemaNode, n: Number) -> bool {
+    if node.minimum.is_some_and(|min| n < min) {
+        return false;
+    }
+    if node.maximum.is_some_and(|max| n > max) {
+        return false;
+    }
+    if node.exclusive_minimum.is_some_and(|min| n <= min) {
+        return false;
+    }
+    if node.exclusive_maximum.is_some_and(|max| n >= max) {
+        return false;
+    }
+    if let Some(divisor) = node.multiple_of {
+        if !n.is_multiple_of(&divisor) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_data::json;
+
+    fn compile(doc: Value) -> CompiledSchema {
+        CompiledSchema::compile(&doc).unwrap()
+    }
+
+    /// Both paths, asserted to agree; returns the verdict.
+    fn agree(schema: &CompiledSchema, value: &Value) -> bool {
+        let fast = schema.fast_validator().is_valid(value);
+        let slow = schema.validate(value).is_ok();
+        assert_eq!(fast, slow, "paths disagree on {value}");
+        fast
+    }
+
+    #[test]
+    fn refs_resolve_to_arena_indices() {
+        let s = compile(json!({
+            "definitions": {"pos": {"type": "integer", "minimum": 1}},
+            "properties": {
+                "a": {"$ref": "#/definitions/pos"},
+                "b": {"$ref": "#/definitions/pos"}
+            }
+        }));
+        // Both ref sites share one compiled target body.
+        let ref_targets: Vec<u32> = s
+            .ir()
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                IrNode::Ref { target } => Some(*target),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ref_targets.len(), 2);
+        assert_eq!(ref_targets[0], ref_targets[1]);
+        assert!(agree(&s, &json!({"a": 1, "b": 2})));
+        assert!(!agree(&s, &json!({"a": 0})));
+    }
+
+    #[test]
+    fn recursive_ref_closes_over_its_own_slot() {
+        let s = compile(json!({
+            "definitions": {
+                "tree": {
+                    "type": "object",
+                    "properties": {
+                        "value": {"type": "integer"},
+                        "children": {"type": "array", "items": {"$ref": "#/definitions/tree"}}
+                    },
+                    "required": ["value"]
+                }
+            },
+            "$ref": "#/definitions/tree"
+        }));
+        assert!(agree(
+            &s,
+            &json!({"value": 1, "children": [{"value": 2, "children": []}]})
+        ));
+        assert!(!agree(&s, &json!({"value": 1, "children": [{}]})));
+    }
+
+    #[test]
+    fn unguarded_cycle_rejects_like_interpreter() {
+        let s = compile(json!({"$ref": "#"}));
+        assert!(!agree(&s, &json!(1)));
+        // Mutual recursion without consuming input.
+        let s = compile(json!({
+            "definitions": {
+                "a": {"$ref": "#/definitions/b"},
+                "b": {"$ref": "#/definitions/a"}
+            },
+            "$ref": "#/definitions/a"
+        }));
+        assert!(!agree(&s, &json!("x")));
+    }
+
+    #[test]
+    fn bad_ref_rejects() {
+        let s = compile(json!({"$ref": "#/nope"}));
+        assert!(!agree(&s, &json!(null)));
+        let s = compile(json!({"$ref": "http://elsewhere"}));
+        assert!(!agree(&s, &json!(null)));
+    }
+
+    #[test]
+    fn identical_patterns_share_a_slot() {
+        let s = compile(json!({
+            "properties": {
+                "a": {"pattern": "^[a-z]+$"},
+                "b": {"pattern": "^[a-z]+$"},
+                "c": {"pattern": "^[0-9]+$"}
+            }
+        }));
+        assert_eq!(s.ir().patterns.len(), 2);
+        assert!(agree(&s, &json!({"a": "x", "b": "y", "c": "7"})));
+        assert!(!agree(&s, &json!({"b": "UPPER"})));
+    }
+
+    #[test]
+    fn type_mask_subsumption() {
+        let s = compile(json!({"type": "number"}));
+        assert!(agree(&s, &json!(3)));
+        assert!(agree(&s, &json!(3.5)));
+        assert!(!agree(&s, &json!("3")));
+        let s = compile(json!({"type": "integer"}));
+        assert!(agree(&s, &json!(3)));
+        assert!(agree(&s, &json!(3.0)));
+        assert!(!agree(&s, &json!(3.5)));
+        let s = compile(json!({"type": ["string", "null"]}));
+        assert!(agree(&s, &json!(null)));
+        assert!(agree(&s, &json!("s")));
+        assert!(!agree(&s, &json!(true)));
+    }
+
+    #[test]
+    fn one_of_short_circuits_at_two_matches() {
+        let s = compile(json!({"oneOf": [
+            {"type": "integer"},
+            {"minimum": 5},
+            {"maximum": 100}
+        ]}));
+        assert!(!agree(&s, &json!(7))); // matches all three
+        assert!(!agree(&s, &json!("s"))); // matches none
+        assert!(agree(&s, &json!(4.5))); // maximum only
+    }
+
+    #[test]
+    fn property_names_via_scratch_buffer() {
+        let s = compile(json!({"propertyNames": {"pattern": "^[a-z]+$", "maxLength": 3}}));
+        assert!(agree(&s, &json!({"ab": 1, "xyz": 2})));
+        assert!(!agree(&s, &json!({"toolong": 1})));
+        assert!(!agree(&s, &json!({"NOPE": 1})));
+    }
+
+    #[test]
+    fn tuple_items_and_additional() {
+        let s = compile(json!({
+            "items": [{"type": "integer"}, {"type": "string"}],
+            "additionalItems": {"type": "boolean"}
+        }));
+        assert!(agree(&s, &json!([1, "a", true, false])));
+        assert!(!agree(&s, &json!([1, "a", "not-bool"])));
+        // No additionalItems: extras are unconstrained.
+        let s = compile(json!({"items": [{"type": "integer"}]}));
+        assert!(agree(&s, &json!([1, "anything", null])));
+    }
+
+    #[test]
+    fn dependencies_both_forms() {
+        let s = compile(json!({
+            "dependencies": {
+                "a": ["b"],
+                "c": {"required": ["d"]}
+            }
+        }));
+        assert!(agree(&s, &json!({"a": 1, "b": 2})));
+        assert!(!agree(&s, &json!({"a": 1})));
+        assert!(!agree(&s, &json!({"c": 1})));
+        assert!(agree(&s, &json!({"c": 1, "d": 2})));
+        assert!(agree(&s, &json!({"x": 1})));
+    }
+
+    #[test]
+    fn formats_respected_when_enforced() {
+        let s = compile(json!({"format": "date"}));
+        assert!(s.fast_validator().is_valid(&json!("not a date")));
+        let opts = ValidatorOptions {
+            enforce_formats: true,
+        };
+        let mut fv = s.fast_validator_with(opts);
+        assert!(!fv.is_valid(&json!("not a date")));
+        assert!(fv.is_valid(&json!("2019-03-26")));
+        assert_eq!(
+            fv.is_valid(&json!("2019-03-26")),
+            s.validate_with(&json!("2019-03-26"), opts).is_ok()
+        );
+    }
+
+    #[test]
+    fn validator_reuse_across_documents() {
+        let s = compile(json!({
+            "definitions": {"leaf": {"type": "integer"}},
+            "type": "object",
+            "properties": {"xs": {"type": "array", "items": {"$ref": "#/definitions/leaf"}}},
+            "propertyNames": {"pattern": "^[a-z]+$"}
+        }));
+        let mut fv = s.fast_validator();
+        for i in 0..100 {
+            let ok = fv.is_valid(&json!({"xs": [i, i + 1]}));
+            assert!(ok);
+            assert!(!fv.is_valid(&json!({"xs": ["not int"]})));
+        }
+    }
+}

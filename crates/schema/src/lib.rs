@@ -27,21 +27,29 @@
 //!
 //! Design notes:
 //! * Schemas compile once ([`CompiledSchema::compile`]) into an AST with
-//!   pre-compiled `pattern` regexes; validation allocates only on error.
-//! * `$ref` targets compile lazily and are memoized; unguarded reference
-//!   cycles (schemas that recurse without consuming input) are detected at
-//!   validation time and reported as [`ValidationErrorKind::RefCycle`].
+//!   pre-compiled `pattern` regexes, then lower into a flat validation IR
+//!   ([`ir`]) with `$ref` targets pre-resolved to arena indices, sorted
+//!   `properties` tables, kind bitmasks, and deduplicated pattern slots.
+//! * Two validation paths share one verdict: the fail-fast boolean path
+//!   ([`CompiledSchema::is_valid`] / [`FastValidator`]) short-circuits
+//!   over the IR and allocates nothing; the error-collecting path
+//!   ([`CompiledSchema::validate`]) walks the AST and reports every
+//!   violation with instance paths. Unguarded reference cycles (schemas
+//!   that recurse without consuming input) are detected by both and
+//!   reported as [`ValidationErrorKind::RefCycle`].
 //! * `format` is an annotation by default (per spec); [`ValidatorOptions`]
 //!   can opt in to enforcing the formats this crate knows.
 
 pub mod ast;
 pub mod errors;
 pub mod formats;
+pub mod ir;
 pub mod parse;
 pub mod sample;
 pub mod validate;
 
 pub use ast::{Dependency, Items, Schema, SchemaNode};
 pub use errors::{SchemaError, ValidationError, ValidationErrorKind};
+pub use ir::FastValidator;
 pub use parse::CompiledSchema;
 pub use validate::ValidatorOptions;

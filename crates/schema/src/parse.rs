@@ -2,12 +2,16 @@
 //!
 //! [`CompiledSchema::compile`] turns a JSON value (the schema document)
 //! into the [`Schema`] AST, validating keyword shapes along the way and
-//! pre-compiling every `pattern` / `patternProperties` regex. `$ref`
-//! targets are compiled lazily on first use and memoized, which supports
-//! recursive schemas without a fixpoint pass.
+//! pre-compiling every `pattern` / `patternProperties` regex, then lowers
+//! the AST into the flat validation IR of [`crate::ir`]. Every `$ref`
+//! reachable from the root is resolved and compiled **at compile time**
+//! (recursive schemas included, via placeholder slots — no fixpoint
+//! pass); validation-time resolution is a plain table lookup, and the IR
+//! path skips even that by carrying arena indices.
 
 use crate::ast::{CompiledPattern, Dependency, Items, Schema, SchemaNode};
 use crate::errors::SchemaError;
+use crate::ir::{self, Ir};
 use jsonx_data::{Kind, Number, Pointer, Value};
 use jsonx_regex::Regex;
 use parking_lot::Mutex;
@@ -20,7 +24,15 @@ pub struct CompiledSchema {
     root: Schema,
     /// The original document, kept for `$ref` target lookup.
     source: Value,
-    /// Memoized `$ref` targets, keyed by normalized pointer text.
+    /// The flattened validation IR (pre-resolved refs, sorted property
+    /// tables, pattern slots) driving the fail-fast path.
+    ir: Ir,
+    /// Every reference reachable from the root, resolved at compile time —
+    /// including failed resolutions, so the error path never re-walks the
+    /// document for a reference already known to be bad.
+    ref_table: HashMap<String, Result<Schema, SchemaError>>,
+    /// Fallback memo for references *not* reachable from the root (only
+    /// hit through the public [`resolve_ref`](Self::resolve_ref) API).
     ref_cache: Mutex<HashMap<String, Schema>>,
 }
 
@@ -28,9 +40,12 @@ impl CompiledSchema {
     /// Compiles a schema document.
     pub fn compile(document: &Value) -> Result<CompiledSchema, SchemaError> {
         let root = compile_schema(document, "#")?;
+        let (ir, ref_table) = ir::build(&root, document);
         Ok(CompiledSchema {
             root,
             source: document.clone(),
+            ir,
+            ref_table,
             ref_cache: Mutex::new(HashMap::new()),
         })
     }
@@ -40,34 +55,52 @@ impl CompiledSchema {
         &self.root
     }
 
-    /// Resolves and compiles a `$ref` target (memoized). `reference` must
-    /// be an intra-document fragment: `#` or `#/<json-pointer>`.
+    /// The lowered validation IR.
+    pub(crate) fn ir(&self) -> &Ir {
+        &self.ir
+    }
+
+    /// Resolves and compiles a `$ref` target. `reference` must be an
+    /// intra-document fragment: `#` or `#/<json-pointer>`.
+    ///
+    /// References reachable from the root were resolved at compile time,
+    /// so this is a table lookup returning a cheap (`Arc`) clone; novel
+    /// references (possible only through this public API) fall back to
+    /// on-demand resolution with its own memo.
     pub fn resolve_ref(&self, reference: &str) -> Result<Schema, SchemaError> {
+        if let Some(resolved) = self.ref_table.get(reference) {
+            return resolved.clone();
+        }
         if let Some(hit) = self.ref_cache.lock().get(reference) {
             return Ok(hit.clone());
         }
-        let Some(fragment) = reference.strip_prefix('#') else {
-            return Err(SchemaError::new(
-                reference,
-                "only intra-document references ('#...') are supported",
-            ));
-        };
-        let pointer = percent_decode(fragment);
-        let target = if pointer.is_empty() {
-            self.source.clone()
-        } else {
-            let ptr = Pointer::parse(&pointer)
-                .map_err(|e| SchemaError::new(reference, format!("bad pointer: {e}")))?;
-            ptr.resolve(&self.source)
-                .ok_or_else(|| SchemaError::new(reference, "reference target not found"))?
-                .clone()
-        };
-        let compiled = compile_schema(&target, reference)?;
+        let compiled = resolve_and_compile(&self.source, reference)?;
         self.ref_cache
             .lock()
             .insert(reference.to_string(), compiled.clone());
         Ok(compiled)
     }
+}
+
+/// Resolves `reference` against `source` and compiles the target in
+/// place, without cloning the target subtree.
+pub(crate) fn resolve_and_compile(source: &Value, reference: &str) -> Result<Schema, SchemaError> {
+    let Some(fragment) = reference.strip_prefix('#') else {
+        return Err(SchemaError::new(
+            reference,
+            "only intra-document references ('#...') are supported",
+        ));
+    };
+    let pointer = percent_decode(fragment);
+    let target = if pointer.is_empty() {
+        source
+    } else {
+        let ptr = Pointer::parse(&pointer)
+            .map_err(|e| SchemaError::new(reference, format!("bad pointer: {e}")))?;
+        ptr.resolve(source)
+            .ok_or_else(|| SchemaError::new(reference, "reference target not found"))?
+    };
+    compile_schema(target, reference)
 }
 
 /// Decodes the small set of percent-escapes pointers in fragments need.

@@ -41,8 +41,19 @@ impl CompiledSchema {
     }
 
     /// True when `value` conforms.
+    ///
+    /// Runs the compiled fail-fast IR path (see [`crate::ir`]), which
+    /// short-circuits on the first violation and allocates nothing —
+    /// verdict-identical to `validate(value).is_ok()` but without paths,
+    /// messages, or per-reference resolution. For bulk validation prefer
+    /// a reused [`crate::FastValidator`].
     pub fn is_valid(&self, value: &Value) -> bool {
-        self.validate(value).is_ok()
+        self.fast_validator().is_valid(value)
+    }
+
+    /// True when `value` conforms under explicit options (fail-fast).
+    pub fn is_valid_with(&self, value: &Value, options: ValidatorOptions) -> bool {
+        self.fast_validator_with(options).is_valid(value)
     }
 }
 
@@ -104,8 +115,13 @@ impl<'a> Ctx<'a> {
     }
 
     fn check_ref(&mut self, reference: &str, value: &Value, path: &Pointer) {
-        let key = (reference.to_string(), path.clone());
-        if self.ref_stack.contains(&key) {
+        // Compare borrowed before owning: the cycle check itself must not
+        // allocate — only an actual expansion pays for the owned frame.
+        let cycles = self
+            .ref_stack
+            .iter()
+            .any(|(r, p)| r == reference && p == path);
+        if cycles {
             self.emit(
                 path,
                 ValidationErrorKind::RefCycle {
@@ -117,7 +133,7 @@ impl<'a> Ctx<'a> {
         }
         match self.doc.resolve_ref(reference) {
             Ok(target) => {
-                self.ref_stack.push(key);
+                self.ref_stack.push((reference.to_string(), path.clone()));
                 self.check(&target, value, path);
                 self.ref_stack.pop();
             }

@@ -1,0 +1,219 @@
+//! Property tests pinning the fail-fast contract: compiled-IR validation
+//! (`is_valid` / `FastValidator`) must be **verdict-identical** to the
+//! error-collecting interpreter (`validate`) for arbitrary schema/value
+//! pairs — including `$ref` chains, reference cycles and bad references —
+//! and the interpreter's error output (kinds and instance paths) must be
+//! deterministic across repeated runs and independent compilations, so
+//! compile-time reference memoization cannot change diagnostics.
+
+use jsonx_data::{json, Number, Object, Value};
+use jsonx_schema::{CompiledSchema, ValidatorOptions};
+use proptest::prelude::*;
+
+/// Arbitrary JSON instances. Object keys are drawn from a pool that
+/// overlaps the property names the schema strategy uses ("a", "b", …),
+/// so properties/required/dependencies keywords actually fire.
+fn arb_instance() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-20i64..20).prop_map(|i| Value::Num(Number::Int(i))),
+        (-20.0f64..20.0).prop_map(|f| Value::Num(Number::from_f64(f).unwrap())),
+        "[a-z]{0,6}".prop_map(Value::Str),
+        Just(Value::Str("2019-03-26".to_string())),
+    ];
+    leaf.prop_recursive(3, 24, 5, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Arr),
+            prop::collection::vec((arb_key(), inner), 0..4)
+                .prop_map(|pairs| Value::Obj(pairs.into_iter().collect::<Object>())),
+        ]
+    })
+}
+
+fn arb_key() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        "[a-z]{0,4}".prop_map(|s| s),
+    ]
+}
+
+/// Small pool of values for `enum` / `const`.
+fn arb_const() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(json!(1)),
+        Just(json!("a")),
+        Just(json!(null)),
+        Just(json!([1])),
+        Just(json!({"a": 1})),
+    ]
+}
+
+/// Leaf schemas: single keywords, boolean schemas, and references into
+/// the definitions pool (including the root and a dangling target).
+fn arb_leaf_schema() -> impl Strategy<Value = Value> + Clone {
+    prop_oneof![
+        Just(json!(true)),
+        Just(json!(false)),
+        Just(json!({})),
+        prop_oneof![
+            Just("null"),
+            Just("boolean"),
+            Just("integer"),
+            Just("number"),
+            Just("string"),
+            Just("array"),
+            Just("object")
+        ]
+        .prop_map(|t| json!({ "type": t })),
+        Just(json!({"type": ["integer", "string"]})),
+        (-10i64..10).prop_map(|n| json!({ "minimum": n })),
+        (-10i64..10).prop_map(|n| json!({ "maximum": n })),
+        (1i64..5).prop_map(|n| json!({ "multipleOf": n })),
+        (0i64..4).prop_map(|n| json!({ "minLength": n })),
+        (0i64..6).prop_map(|n| json!({ "maxLength": n })),
+        prop_oneof![Just("^[a-z]+$"), Just("\\d"), Just("^a")]
+            .prop_map(|p| json!({ "pattern": p })),
+        Just(json!({"format": "date"})),
+        prop::collection::vec(arb_const(), 1..4).prop_map(|vs| json!({ "enum": vs })),
+        arb_const().prop_map(|v| json!({ "const": v })),
+        prop::collection::vec(arb_key(), 1..3).prop_map(|ks| json!({ "required": ks })),
+        Just(json!({"uniqueItems": true})),
+        (0i64..3).prop_map(|n| json!({ "minItems": n })),
+        (0i64..3).prop_map(|n| json!({ "minProperties": n })),
+        prop_oneof![
+            Just("#/definitions/d0"),
+            Just("#/definitions/d1"),
+            Just("#/definitions/d2"),
+            Just("#"),
+            Just("#/definitions/missing")
+        ]
+        .prop_map(|r| json!({ "$ref": r })),
+    ]
+}
+
+/// Full schema strategy: leaves composed through every applicator.
+fn arb_schema() -> impl Strategy<Value = Value> {
+    arb_leaf_schema().prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|s| json!({ "items": s })),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| json!({"items": [a], "additionalItems": b})),
+            (arb_key(), inner.clone(), any::<bool>()).prop_map(|(k, s, req)| {
+                if req {
+                    json!({"properties": {k.clone(): s}, "required": [k]})
+                } else {
+                    json!({ "properties": { k: s } })
+                }
+            }),
+            inner
+                .clone()
+                .prop_map(|s| json!({"patternProperties": {"^[ab]$": s}})),
+            inner
+                .clone()
+                .prop_map(|s| json!({ "additionalProperties": s })),
+            inner.clone().prop_map(|s| json!({ "propertyNames": s })),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(|ss| json!({ "anyOf": ss })),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(|ss| json!({ "oneOf": ss })),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(|ss| json!({ "allOf": ss })),
+            inner.clone().prop_map(|s| json!({ "not": s })),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(i, t, e)| json!({"if": i, "then": t, "else": e})),
+            inner.clone().prop_map(|s| json!({ "contains": s })),
+            Just(json!({"dependencies": {"a": ["b"]}})),
+            inner
+                .clone()
+                .prop_map(|s| json!({"dependencies": {"a": s}})),
+        ]
+    })
+}
+
+/// A whole schema document: a root schema plus a definitions pool the
+/// `$ref` leaves point into. Definitions may reference each other (and
+/// the root), so guarded and unguarded cycles both occur.
+fn arb_schema_document() -> impl Strategy<Value = Value> {
+    (arb_schema(), arb_schema(), arb_schema(), arb_schema()).prop_map(|(root, d0, d1, d2)| {
+        match root {
+            Value::Obj(mut obj) => {
+                obj.insert("definitions", json!({"d0": d0, "d1": d1, "d2": d2}));
+                Value::Obj(obj)
+            }
+            // Boolean root schemas carry no refs; use them as-is.
+            other => other,
+        }
+    })
+}
+
+/// (kind keyword, instance path) pairs — the stable identity of an error.
+fn error_shape(result: &Result<(), Vec<jsonx_schema::ValidationError>>) -> Vec<(String, String)> {
+    match result {
+        Ok(()) => Vec::new(),
+        Err(errors) => errors
+            .iter()
+            .map(|e| (e.kind.keyword().to_string(), e.instance_path.to_string()))
+            .collect(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn compiled_ir_agrees_with_interpreter(
+        doc in arb_schema_document(),
+        instance in arb_instance(),
+    ) {
+        let compiled = CompiledSchema::compile(&doc)
+            .unwrap_or_else(|e| panic!("strategy produced uncompilable schema {doc}: {e}"));
+        let slow = compiled.validate(&instance);
+        let fast = compiled.is_valid(&instance);
+        prop_assert_eq!(
+            fast,
+            slow.is_ok(),
+            "verdict mismatch on schema {} instance {}",
+            doc,
+            instance
+        );
+
+        // Error-path determinism: same kinds and paths on repeat, and on a
+        // fresh compilation (memoized vs recomputed reference resolution).
+        let again = compiled.validate(&instance);
+        prop_assert_eq!(error_shape(&slow), error_shape(&again));
+        let recompiled = CompiledSchema::compile(&doc).unwrap();
+        prop_assert_eq!(error_shape(&slow), error_shape(&recompiled.validate(&instance)));
+    }
+
+    #[test]
+    fn agreement_holds_with_formats_enforced(
+        doc in arb_schema_document(),
+        instance in arb_instance(),
+    ) {
+        let opts = ValidatorOptions { enforce_formats: true };
+        let compiled = CompiledSchema::compile(&doc).unwrap();
+        prop_assert_eq!(
+            compiled.is_valid_with(&instance, opts),
+            compiled.validate_with(&instance, opts).is_ok(),
+            "format-enforcing verdict mismatch on schema {} instance {}",
+            doc,
+            instance
+        );
+    }
+
+    #[test]
+    fn reused_fast_validator_agrees_across_documents(
+        doc in arb_schema_document(),
+        instances in prop::collection::vec(arb_instance(), 1..8),
+    ) {
+        let compiled = CompiledSchema::compile(&doc).unwrap();
+        let mut fv = compiled.fast_validator();
+        for instance in &instances {
+            prop_assert_eq!(
+                fv.is_valid(instance),
+                compiled.validate(instance).is_ok(),
+                "reused-validator mismatch on schema {} instance {}",
+                doc,
+                instance
+            );
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! jsonx infer    [--equiv K|L] [--counts] [--schema] [--streaming] [--workers N] [FILE]
-//! jsonx validate --schema SCHEMA.json [--formats] [FILE]
+//! jsonx validate --schema SCHEMA.json [--formats] [--streaming] [--workers N] [FILE]
 //! jsonx profile  [FILE]
 //! jsonx skeleton [--coverage 0.9] [FILE]
 //! jsonx project  --fields a,b.c [FILE]
@@ -20,7 +20,7 @@ use jsonx::skeleton::Skeleton;
 use jsonx::syntax::{parse, parse_ndjson, to_string, to_string_pretty};
 use jsonx::translate::{normalize, AvroCodec, AvroSchema, Shredder};
 use jsonx::Value;
-use jsonx::{infer_streaming_parallel, StreamingOptions};
+use jsonx::{infer_streaming_parallel, validate_streaming_parallel, LineVerdict, StreamingOptions};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -37,6 +37,9 @@ commands:
   validate  validate documents against a JSON Schema
               --schema FILE   schema document (required)
               --formats       enforce the `format` keyword
+              --streaming     fail-fast per line, diagnostics on demand
+              --workers N     shard across N threads (implies --streaming;
+                              0 = one per CPU)
   profile   mongodb-schema-style streaming field profile
   skeleton  mine the frequent-structure skeleton
               --coverage F    coverage threshold in (0,1] (default 0.9)
@@ -217,7 +220,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_validate(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args, true, &["schema", "formats"])?;
+    let opts = parse_opts(args, true, &["schema", "formats", "streaming", "workers"])?;
     let schema_path = opts
         .get("schema")
         .ok_or("validate needs --schema SCHEMA.json")?;
@@ -228,6 +231,14 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     let vopts = ValidatorOptions {
         enforce_formats: opts.has("formats"),
     };
+    let workers: Option<usize> = opts
+        .get("workers")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad --workers: {e}"))?;
+    if opts.has("streaming") || workers.is_some() {
+        return validate_streaming_cli(&schema, vopts, workers.unwrap_or(0), opts.file.as_deref());
+    }
     let docs = read_collection(opts.file.as_deref())?;
     let mut invalid = 0usize;
     for (i, doc) in docs.iter().enumerate() {
@@ -239,6 +250,50 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         }
     }
     eprintln!("» {}/{} documents valid", docs.len() - invalid, docs.len());
+    if invalid > 0 {
+        return Err(format!("{invalid} invalid documents"));
+    }
+    Ok(())
+}
+
+/// Streaming validation path: fail-fast probe per line on shared workers,
+/// then the error-collecting interpreter re-runs on *just* the invalid
+/// lines so diagnostics match the DOM path exactly.
+fn validate_streaming_cli(
+    schema: &CompiledSchema,
+    vopts: ValidatorOptions,
+    workers: usize,
+    file: Option<&str>,
+) -> Result<(), String> {
+    let text = read_text(file)?;
+    let verdicts = validate_streaming_parallel(
+        &text,
+        schema,
+        vopts,
+        StreamingOptions::with_workers(workers),
+    );
+    let lines: Vec<&str> = text.lines().collect();
+    let mut invalid = 0usize;
+    for (line_no, verdict) in &verdicts {
+        match verdict {
+            LineVerdict::Valid => {}
+            LineVerdict::Invalid => {
+                invalid += 1;
+                let doc = parse(lines[*line_no]).expect("fail-fast path parsed this line");
+                if let Err(errors) = schema.validate_with(&doc, vopts) {
+                    for e in errors {
+                        println!("doc {line_no}: {e}");
+                    }
+                }
+            }
+            LineVerdict::Malformed(e) => return Err(format!("line {}: {e}", line_no + 1)),
+        }
+    }
+    eprintln!(
+        "» {}/{} documents valid (streaming)",
+        verdicts.len() - invalid,
+        verdicts.len()
+    );
     if invalid > 0 {
         return Err(format!("{invalid} invalid documents"));
     }

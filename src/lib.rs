@@ -46,5 +46,6 @@ pub use jsonx_typelang as typelang;
 
 pub use jsonx_data::{json, Kind, Number, Object, Pointer, Value};
 pub use streaming::{
-    infer_document_events, infer_streaming, infer_streaming_parallel, StreamTyper, StreamingOptions,
+    infer_document_events, infer_streaming, infer_streaming_parallel, validate_streaming,
+    validate_streaming_parallel, LineVerdict, StreamTyper, StreamingOptions,
 };

@@ -1,5 +1,9 @@
-//! Streaming schema inference: typing documents straight off the event
-//! stream, without materialising a DOM.
+//! Streaming schema inference and validation over NDJSON collections.
+//!
+//! Inference types documents straight off the event stream, without
+//! materialising a DOM; validation ([`validate_streaming`],
+//! [`validate_streaming_parallel`]) runs the compiled fail-fast probe
+//! per line, sharing the newline-boundary sharding machinery.
 //!
 //! The massive-collection setting of §4.1 is exactly where building a
 //! [`Value`](jsonx_data::Value) per document hurts: the map step only
@@ -21,6 +25,7 @@
 
 use jsonx_core::{fuse, Equivalence, JType};
 use jsonx_core::{ArrayType, FieldName, FieldType, RecordType};
+use jsonx_schema::{CompiledSchema, ValidatorOptions};
 use jsonx_syntax::{ParseError, RawEvent, RawEventParser};
 use std::collections::HashSet;
 
@@ -288,6 +293,109 @@ pub fn infer_streaming_parallel(
         Some(e) => Err(e),
         None => Ok(acc),
     }
+}
+
+/// Per-line outcome of streaming NDJSON validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineVerdict {
+    /// The line parsed and satisfies the schema.
+    Valid,
+    /// The line parsed but violates the schema.
+    Invalid,
+    /// The line is not well-formed JSON.
+    Malformed(ParseError),
+}
+
+impl LineVerdict {
+    /// True only for [`LineVerdict::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, LineVerdict::Valid)
+    }
+}
+
+/// Validates every non-blank line of `ndjson` against `schema` with one
+/// reused [`FastValidator`](jsonx_schema::FastValidator), returning
+/// `(line index, verdict)` pairs in input order.
+fn validate_lines(
+    ndjson: &str,
+    first_line: usize,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+) -> Vec<(usize, LineVerdict)> {
+    let mut validator = schema.fast_validator_with(options);
+    let mut out = Vec::new();
+    for (idx, line) in ndjson.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let verdict = match jsonx_syntax::parse(line) {
+            Ok(doc) => {
+                if validator.is_valid(&doc) {
+                    LineVerdict::Valid
+                } else {
+                    LineVerdict::Invalid
+                }
+            }
+            Err(e) => LineVerdict::Malformed(e),
+        };
+        out.push((first_line + idx, verdict));
+    }
+    out
+}
+
+/// Validates an NDJSON collection line by line on the fail-fast path.
+///
+/// Each non-blank line is parsed and probed with the compiled validation IR
+/// (the allocation-free boolean path behind
+/// [`CompiledSchema::is_valid`]); verdicts are **identical** to running the
+/// error-collecting interpreter per document — property-tested in
+/// `tests/streaming_validation.rs` — so callers wanting diagnostics can
+/// re-run [`CompiledSchema::validate`] on just the invalid lines.
+pub fn validate_streaming(
+    ndjson: &str,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+) -> Vec<(usize, LineVerdict)> {
+    validate_lines(ndjson, 0, schema, options)
+}
+
+/// Validates an NDJSON collection on parallel workers.
+///
+/// Reuses the newline-boundary sharding of
+/// [`infer_streaming_parallel`]: the input splits into contiguous shards
+/// snapped to newline boundaries, each scoped worker owns one fail-fast
+/// validator for its shard, and the per-shard verdict vectors concatenate
+/// in shard order — so the result is *positionally identical* to
+/// [`validate_streaming`] for every worker count. Small inputs (or
+/// `workers == 1`) fall back to the sequential path.
+pub fn validate_streaming_parallel(
+    ndjson: &str,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+    opts: StreamingOptions,
+) -> Vec<(usize, LineVerdict)> {
+    let workers = opts.effective_workers().max(1);
+    if workers == 1 || ndjson.len() < opts.min_shard_bytes.saturating_mul(2) {
+        return validate_streaming(ndjson, schema, options);
+    }
+    let shards = shard_lines(ndjson, workers);
+    let partials: Vec<Vec<(usize, LineVerdict)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|&(first_line, shard)| {
+                scope.spawn(move || validate_lines(shard, first_line, schema, options))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("validation worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(partials.iter().map(Vec::len).sum());
+    for partial in partials {
+        out.extend(partial);
+    }
+    out
 }
 
 /// Splits `ndjson` into up to `workers` contiguous shards whose boundaries
