@@ -1,53 +1,48 @@
-//! Parallel inference over scoped worker threads.
+//! Parallel inference as a `jsonx-pipeline` adapter.
 //!
 //! The papers run the map/reduce on Spark; here the same algebra runs on
-//! threads. Each worker folds one contiguous partition of the collection
-//! (map + local reduce), then the per-partition types are fused in a final
-//! reduce. Because fusion is commutative and associative with `Bottom` as
-//! unit, the result equals the sequential fold — a property pinned in the
-//! crate's proptest suite.
+//! the workspace's generic sharded engine. Each worker folds one
+//! contiguous partition of the collection (map + local reduce), then the
+//! per-partition types are fused in a final reduce. Because fusion is
+//! commutative and associative with `Bottom` as unit, the result equals
+//! the sequential fold — a property pinned in the crate's proptest suite.
 
 use crate::equiv::Equivalence;
-use crate::fuse::{fuse, fuse_all};
+use crate::fuse::fuse;
 use crate::infer::infer_value;
 use crate::types::JType;
 use jsonx_data::Value;
+use jsonx_pipeline::{run_slice, ShardFold};
 
-/// Parallel execution settings.
-#[derive(Debug, Clone, Copy)]
-pub struct ParallelOptions {
-    /// Number of worker threads (0 = number of available CPUs).
-    pub workers: usize,
-    /// Minimum documents per partition; tiny collections run sequentially.
-    pub min_chunk: usize,
+/// Parallel execution settings — the shared item-sharded options of
+/// `jsonx-pipeline`, kept under this crate's historical name.
+pub use jsonx_pipeline::SliceOptions as ParallelOptions;
+
+/// The inference fold: map each document to its type, fuse locally, fuse
+/// partitions.
+struct InferValueFold {
+    equiv: Equivalence,
 }
 
-impl Default for ParallelOptions {
-    fn default() -> Self {
-        ParallelOptions {
-            workers: 0,
-            min_chunk: 256,
-        }
-    }
-}
+impl ShardFold<Value> for InferValueFold {
+    type State = JType;
+    type Out = JType;
 
-impl ParallelOptions {
-    /// A fixed worker count (used by the scalability experiment E6).
-    pub fn with_workers(workers: usize) -> Self {
-        ParallelOptions {
-            workers,
-            ..Default::default()
-        }
+    fn init(&self) -> JType {
+        JType::Bottom
     }
 
-    fn effective_workers(&self) -> usize {
-        if self.workers > 0 {
-            self.workers
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
+    fn feed(&self, acc: &mut JType, doc: &Value, _index: usize) {
+        let current = std::mem::replace(acc, JType::Bottom);
+        *acc = fuse(current, infer_value(doc, self.equiv), self.equiv);
+    }
+
+    fn finish(&self, acc: JType) -> JType {
+        acc
+    }
+
+    fn merge(&self, left: JType, right: JType) -> JType {
+        fuse(left, right, self.equiv)
     }
 }
 
@@ -57,28 +52,7 @@ pub fn infer_collection_parallel(
     equiv: Equivalence,
     opts: ParallelOptions,
 ) -> JType {
-    let workers = opts.effective_workers().max(1);
-    if workers == 1 || docs.len() < opts.min_chunk.max(1) * 2 {
-        return crate::infer::infer_collection(docs, equiv);
-    }
-    let chunk = docs.len().div_ceil(workers).max(opts.min_chunk.max(1));
-    let partials: Vec<JType> = std::thread::scope(|scope| {
-        let handles: Vec<_> = docs
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move || {
-                    part.iter()
-                        .map(|d| infer_value(d, equiv))
-                        .fold(JType::Bottom, |acc, t| fuse(acc, t, equiv))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("inference worker panicked"))
-            .collect()
-    });
-    fuse_all(partials, equiv)
+    run_slice(docs, &InferValueFold { equiv }, opts)
 }
 
 #[cfg(test)]

@@ -1,0 +1,261 @@
+//! The fold/merge execution engine.
+
+use crate::options::{PipelineOptions, SliceOptions};
+use crate::shard::shard_lines;
+
+/// A sharded fold: the contract every pipeline stage implements.
+///
+/// The engine feeds one `Item` at a time (with its global index) into a
+/// per-worker `State`, finishes each worker's state into an `Out`, and
+/// fuses the `Out`s **in shard order** with [`merge`](Self::merge). When
+/// `merge` is commutative and associative (or when `Out` is
+/// order-sensitive but concatenation-shaped, like per-line verdicts), the
+/// sharded result is identical to the sequential fold for every worker
+/// count.
+///
+/// The fold value itself is shared immutably across workers (`Sync`), so
+/// it is the right home for per-stage configuration: an equivalence, a
+/// compiled schema, a column layout.
+pub trait ShardFold<Item: ?Sized>: Sync {
+    /// Per-worker scratch state (typers, validators, column builders).
+    type State;
+    /// Per-shard result, fused across shards.
+    type Out: Send;
+
+    /// Fresh state for one worker.
+    fn init(&self) -> Self::State;
+    /// Folds one item (an NDJSON line or a slice element) into the state.
+    /// `index` is the item's global position (line number / document
+    /// index); blank-line skipping is the fold's own business.
+    fn feed(&self, state: &mut Self::State, item: &Item, index: usize);
+    /// Converts a worker's final state into the shard result.
+    fn finish(&self, state: Self::State) -> Self::Out;
+    /// Fuses two shard results, left shard first.
+    fn merge(&self, left: Self::Out, right: Self::Out) -> Self::Out;
+}
+
+/// Runs `fold` over the lines of `input`, sharded at newline boundaries.
+///
+/// Every line — including blank ones — is fed with its global line index,
+/// exactly as a sequential `input.lines().enumerate()` would produce it.
+/// Inputs below the options' shard threshold (or a single worker) run
+/// sequentially on the caller's thread; results are identical either way.
+pub fn run_lines<F: ShardFold<str>>(input: &str, fold: &F, opts: PipelineOptions) -> F::Out {
+    if opts.sequential(input.len()) {
+        let mut state = fold.init();
+        for (i, line) in input.lines().enumerate() {
+            fold.feed(&mut state, line, i);
+        }
+        return fold.finish(state);
+    }
+    let shards = shard_lines(input, opts.effective_workers());
+    let outs: Vec<F::Out> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|&shard| {
+                scope.spawn(move || {
+                    let mut state = fold.init();
+                    for (i, line) in shard.text.lines().enumerate() {
+                        fold.feed(&mut state, line, shard.first_line + i);
+                    }
+                    fold.finish(state)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pipeline worker panicked"))
+            .collect()
+    });
+    fuse_outs(fold, outs)
+}
+
+/// Runs `fold` over `items`, sharded into contiguous chunks.
+///
+/// The chunking mirrors the historical DOM-inference path: chunks of
+/// `ceil(len / workers)` items, never smaller than `min_chunk`.
+pub fn run_slice<T: Sync, F: ShardFold<T>>(items: &[T], fold: &F, opts: SliceOptions) -> F::Out {
+    if opts.sequential(items.len()) {
+        let mut state = fold.init();
+        for (i, item) in items.iter().enumerate() {
+            fold.feed(&mut state, item, i);
+        }
+        return fold.finish(state);
+    }
+    let chunk = items
+        .len()
+        .div_ceil(opts.effective_workers())
+        .max(opts.min_chunk.max(1));
+    let outs: Vec<F::Out> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(part_no, part)| {
+                scope.spawn(move || {
+                    let mut state = fold.init();
+                    for (i, item) in part.iter().enumerate() {
+                        fold.feed(&mut state, item, part_no * chunk + i);
+                    }
+                    fold.finish(state)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pipeline worker panicked"))
+            .collect()
+    });
+    fuse_outs(fold, outs)
+}
+
+/// Shard-order fusion; an empty shard list folds an empty state so the
+/// engine returns the same value the sequential path gives empty input.
+fn fuse_outs<Item: ?Sized, F: ShardFold<Item>>(fold: &F, outs: Vec<F::Out>) -> F::Out {
+    outs.into_iter()
+        .reduce(|a, b| fold.merge(a, b))
+        .unwrap_or_else(|| fold.finish(fold.init()))
+}
+
+/// First-error-line selection for folds whose shard result is
+/// `Result<T, (line, E)>`: successful shards fuse with `merge_ok`, and
+/// among failing shards the **lowest line number** wins — the error a
+/// sequential scan would have hit first.
+pub fn merge_line_results<T, E>(
+    left: Result<T, (usize, E)>,
+    right: Result<T, (usize, E)>,
+    merge_ok: impl FnOnce(T, T) -> T,
+) -> Result<T, (usize, E)> {
+    match (left, right) {
+        (Ok(a), Ok(b)) => Ok(merge_ok(a, b)),
+        (Err(a), Err(b)) => Err(if b.0 < a.0 { b } else { a }),
+        (Err(a), Ok(_)) => Err(a),
+        (Ok(_), Err(b)) => Err(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy fold: sum of parsed integers, first bad line as error.
+    struct SumFold;
+
+    impl ShardFold<str> for SumFold {
+        type State = Result<i64, (usize, String)>;
+        type Out = Result<i64, (usize, String)>;
+
+        fn init(&self) -> Self::State {
+            Ok(0)
+        }
+
+        fn feed(&self, state: &mut Self::State, line: &str, index: usize) {
+            let Ok(acc) = state else { return };
+            if line.trim().is_empty() {
+                return;
+            }
+            match line.trim().parse::<i64>() {
+                Ok(n) => *acc += n,
+                Err(e) => *state = Err((index, e.to_string())),
+            }
+        }
+
+        fn finish(&self, state: Self::State) -> Self::Out {
+            state
+        }
+
+        fn merge(&self, left: Self::Out, right: Self::Out) -> Self::Out {
+            merge_line_results(left, right, |a, b| a + b)
+        }
+    }
+
+    fn opts(workers: usize) -> PipelineOptions {
+        PipelineOptions {
+            workers,
+            min_shard_bytes: 4,
+        }
+    }
+
+    #[test]
+    fn sharded_sum_equals_sequential_at_every_worker_count() {
+        let input: String = (1..=200).map(|i| format!("{i}\n")).collect();
+        let expected = run_lines(&input, &SumFold, opts(1));
+        assert_eq!(expected, Ok((1..=200i64).sum()));
+        for workers in [2, 3, 8, 16] {
+            assert_eq!(run_lines(&input, &SumFold, opts(workers)), expected);
+        }
+    }
+
+    #[test]
+    fn first_error_line_wins_across_shards() {
+        let mut lines: Vec<String> = (1..=100).map(|i| i.to_string()).collect();
+        lines[90] = "late-bad".into();
+        lines[7] = "early-bad".into();
+        let input = lines.join("\n");
+        for workers in [1, 2, 4, 8] {
+            let out = run_lines(&input, &SumFold, opts(workers));
+            assert_eq!(out.as_ref().unwrap_err().0, 7, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn blank_lines_and_missing_trailing_newline() {
+        let input = "1\n\n2\n\n3"; // blank lines, no trailing newline
+        for workers in [1, 2, 4] {
+            assert_eq!(run_lines(input, &SumFold, opts(workers)), Ok(6));
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_unit() {
+        assert_eq!(run_lines("", &SumFold, opts(4)), Ok(0));
+    }
+
+    /// Slice engine: concatenation-shaped fold keeps input order.
+    struct CollectFold;
+
+    impl ShardFold<i32> for CollectFold {
+        type State = Vec<(usize, i32)>;
+        type Out = Vec<(usize, i32)>;
+
+        fn init(&self) -> Self::State {
+            Vec::new()
+        }
+
+        fn feed(&self, state: &mut Self::State, item: &i32, index: usize) {
+            state.push((index, *item));
+        }
+
+        fn finish(&self, state: Self::State) -> Self::Out {
+            state
+        }
+
+        fn merge(&self, mut left: Self::Out, right: Self::Out) -> Self::Out {
+            left.extend(right);
+            left
+        }
+    }
+
+    #[test]
+    fn slice_engine_preserves_order_and_indices() {
+        let items: Vec<i32> = (0..500).collect();
+        let expected: Vec<(usize, i32)> = items.iter().map(|&v| (v as usize, v)).collect();
+        for workers in [1, 2, 3, 8] {
+            let out = run_slice(
+                &items,
+                &CollectFold,
+                SliceOptions {
+                    workers,
+                    min_chunk: 16,
+                },
+            );
+            assert_eq!(out, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn slice_engine_small_inputs_fall_back() {
+        let items = [1, 2, 3];
+        let out = run_slice(&items, &CollectFold, SliceOptions::default());
+        assert_eq!(out, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+}

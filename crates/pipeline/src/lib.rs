@@ -1,0 +1,39 @@
+//! # jsonx-pipeline
+//!
+//! The generic sharded execution engine behind every parallel workload in
+//! the workspace. §4.1's inference line is built on a per-shard fold plus a
+//! commutative, associative merge — exactly the algebra streaming
+//! validation (PR 2) and schema-driven translation (§5) need as well.
+//! Before this crate, each of those paths hand-rolled the same
+//! shard → scoped-spawn → ordered-merge machinery; now they are thin
+//! [`ShardFold`] adapters over one engine.
+//!
+//! The pieces:
+//!
+//! * [`ShardFold`] — the fold/merge contract: per-worker [`State`]
+//!   (`ShardFold::State`) fed one item at a time, finished into an
+//!   `Out`, and `Out`s fused **in shard order**. When `merge` is
+//!   commutative and associative the sharded result is identical to the
+//!   sequential fold for every worker count — the property all adapter
+//!   suites pin.
+//! * [`run_lines`] — NDJSON execution: newline-boundary sharding
+//!   ([`shard_lines`], which counts lines in the same scan that finds the
+//!   boundaries), scoped worker threads, shard-order merge.
+//! * [`run_slice`] — the same engine over an in-memory `&[T]` (the DOM
+//!   inference path), chunked by item count instead of bytes.
+//! * [`merge_line_results`] — first-error-line selection for folds whose
+//!   `Out` is `Result<T, (line, E)>`: the lowest failing line wins,
+//!   matching what a sequential scan would have reported first.
+//! * [`PipelineOptions`] / [`SliceOptions`] — the shared worker-count and
+//!   sequential-fallback knobs. Two thin structs remain only because the
+//!   byte-sharded and item-sharded engines measure "too small to shard"
+//!   in different units (bytes vs documents); the worker-resolution logic
+//!   ([`resolve_workers`]) and the fallback decisions live here once.
+
+mod engine;
+mod options;
+mod shard;
+
+pub use engine::{merge_line_results, run_lines, run_slice, ShardFold};
+pub use options::{resolve_workers, PipelineOptions, SliceOptions};
+pub use shard::{shard_lines, Shard};

@@ -1,0 +1,127 @@
+//! Worker-count and sequential-fallback options shared by every pipeline
+//! stage.
+
+/// Resolves a requested worker count: `0` means one worker per available
+/// CPU. This is the single source of truth the whole workspace uses.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Options for byte-sharded (NDJSON) pipeline stages — re-exported as
+/// `StreamingOptions` from the facade crate.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Number of worker threads (0 = number of available CPUs).
+    pub workers: usize,
+    /// Minimum shard size in bytes; smaller inputs run sequentially.
+    pub min_shard_bytes: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            workers: 0,
+            min_shard_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// A fixed worker count (used by the benches and the CLI).
+    pub fn with_workers(workers: usize) -> Self {
+        PipelineOptions {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    /// The resolved worker count (see [`resolve_workers`]).
+    pub fn effective_workers(&self) -> usize {
+        resolve_workers(self.workers)
+    }
+
+    /// Whether `input_len` bytes should run on the sequential path.
+    pub(crate) fn sequential(&self, input_len: usize) -> bool {
+        self.effective_workers().max(1) == 1 || input_len < self.min_shard_bytes.saturating_mul(2)
+    }
+}
+
+/// Options for item-sharded (`&[T]`) pipeline stages — re-exported as
+/// `ParallelOptions` from `jsonx-core`.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceOptions {
+    /// Number of worker threads (0 = number of available CPUs).
+    pub workers: usize,
+    /// Minimum items per partition; tiny collections run sequentially.
+    pub min_chunk: usize,
+}
+
+impl Default for SliceOptions {
+    fn default() -> Self {
+        SliceOptions {
+            workers: 0,
+            min_chunk: 256,
+        }
+    }
+}
+
+impl SliceOptions {
+    /// A fixed worker count (used by the scalability experiment E6).
+    pub fn with_workers(workers: usize) -> Self {
+        SliceOptions {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    /// The resolved worker count (see [`resolve_workers`]).
+    pub fn effective_workers(&self) -> usize {
+        resolve_workers(self.workers)
+    }
+
+    /// Whether `len` items should run on the sequential path.
+    pub(crate) fn sequential(&self, len: usize) -> bool {
+        self.effective_workers().max(1) == 1 || len < self.min_chunk.max(1) * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_workers_resolves_to_cpus() {
+        assert!(resolve_workers(0) >= 1);
+        assert_eq!(resolve_workers(5), 5);
+    }
+
+    #[test]
+    fn defaults_match_historical_values() {
+        let p = PipelineOptions::default();
+        assert_eq!((p.workers, p.min_shard_bytes), (0, 64 * 1024));
+        let s = SliceOptions::default();
+        assert_eq!((s.workers, s.min_chunk), (0, 256));
+    }
+
+    #[test]
+    fn small_inputs_are_sequential() {
+        let p = PipelineOptions {
+            workers: 4,
+            min_shard_bytes: 100,
+        };
+        assert!(p.sequential(199));
+        assert!(!p.sequential(200));
+        let s = SliceOptions {
+            workers: 4,
+            min_chunk: 10,
+        };
+        assert!(s.sequential(19));
+        assert!(!s.sequential(20));
+    }
+}

@@ -1,0 +1,105 @@
+//! Newline-boundary sharding.
+
+/// One contiguous shard of an NDJSON input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard<'a> {
+    /// Zero-based index of the shard's first line in the whole input.
+    pub first_line: usize,
+    /// Number of newline bytes in `text` (a final line without a trailing
+    /// newline is not counted; workers enumerate lines themselves).
+    pub lines: usize,
+    /// The shard's text, ending just after a newline except possibly for
+    /// the last shard.
+    pub text: &'a str,
+}
+
+/// Splits `input` into up to `max_shards` contiguous shards whose
+/// boundaries sit just after a newline, so no document spans two shards.
+///
+/// Line counts are computed in the same scan that finds the boundaries:
+/// each [`Shard`] carries its `first_line` offset and newline count, so
+/// callers never rescan shard bytes to recover line numbering.
+pub fn shard_lines(input: &str, max_shards: usize) -> Vec<Shard<'_>> {
+    let bytes = input.as_bytes();
+    let target = input.len().div_ceil(max_shards.max(1)).max(1);
+    let mut shards = Vec::with_capacity(max_shards.min(bytes.len()).max(1));
+    let mut start = 0usize;
+    let mut first_line = 0usize;
+    let mut lines = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'\n' {
+            continue;
+        }
+        lines += 1;
+        // A shard closes at the first newline at or past its byte target.
+        if i + 1 >= start + target {
+            shards.push(Shard {
+                first_line,
+                lines,
+                text: &input[start..i + 1],
+            });
+            first_line += lines;
+            lines = 0;
+            start = i + 1;
+        }
+    }
+    if start < bytes.len() {
+        shards.push(Shard {
+            first_line,
+            lines,
+            text: &input[start..],
+        });
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(n: usize) -> String {
+        (0..n).map(|i| format!("{{\"id\": {i}}}\n")).collect()
+    }
+
+    #[test]
+    fn shards_cover_input_without_splitting_lines() {
+        for input in [
+            corpus(100),
+            corpus(1),
+            "no trailing newline".to_string(),
+            "a\n\n\nb".to_string(),
+            String::new(),
+        ] {
+            for workers in [1, 2, 3, 7, 16] {
+                let shards = shard_lines(&input, workers);
+                let rejoined: String = shards.iter().map(|s| s.text).collect();
+                assert_eq!(rejoined, input, "workers={workers}");
+                assert!(shards.len() <= workers.max(1) || input.is_empty());
+                let mut expected_line = 0;
+                for (i, shard) in shards.iter().enumerate() {
+                    assert_eq!(shard.first_line, expected_line);
+                    assert_eq!(
+                        shard.lines,
+                        shard.text.bytes().filter(|&b| b == b'\n').count(),
+                        "single-scan line count must match a recount"
+                    );
+                    assert!(shard.text.ends_with('\n') || i == shards.len() - 1);
+                    expected_line += shard.lines;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_has_no_shards() {
+        assert!(shard_lines("", 4).is_empty());
+    }
+
+    #[test]
+    fn single_line_input_is_one_shard() {
+        let shards = shard_lines("{\"a\": 1}\n", 8);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].first_line, 0);
+        assert_eq!(shards[0].lines, 1);
+    }
+}

@@ -87,6 +87,44 @@ impl ColumnarBatch {
             .collect::<Vec<_>>()
             .join(", ")
     }
+
+    /// Appends another batch row-wise. Both batches must come from the
+    /// same fixed layout (the shard-merge case: per-shard batches built by
+    /// one [`Shredder`], fused in shard order), so column paths and
+    /// storage types line up position by position.
+    ///
+    /// The result is identical to shredding the concatenated record
+    /// sequence in one pass: every cell write is per-row independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the layouts disagree (different column count, path or
+    /// storage type) — that is a caller bug, not a data error.
+    pub fn append(&mut self, other: ColumnarBatch) {
+        assert_eq!(
+            self.columns.len(),
+            other.columns.len(),
+            "ColumnarBatch::append: column count mismatch"
+        );
+        for (a, b) in self.columns.iter_mut().zip(other.columns) {
+            assert_eq!(a.path, b.path, "ColumnarBatch::append: path mismatch");
+            a.validity.extend(b.validity);
+            match (&mut a.data, b.data) {
+                (ColumnData::Bools(x), ColumnData::Bools(y)) => x.extend(y),
+                (ColumnData::Ints(x), ColumnData::Ints(y)) => x.extend(y),
+                (ColumnData::Floats(x), ColumnData::Floats(y)) => x.extend(y),
+                (ColumnData::Strs(x), ColumnData::Strs(y)) => x.extend(y),
+                (ColumnData::Json(x), ColumnData::Json(y)) => x.extend(y),
+                (a_data, b_data) => panic!(
+                    "ColumnarBatch::append: storage mismatch at {} ({} vs {})",
+                    a.path,
+                    a_data.type_name(),
+                    b_data.type_name()
+                ),
+            }
+        }
+        self.rows += other.rows;
+    }
 }
 
 /// Shredding errors.
@@ -195,27 +233,42 @@ impl Shredder {
         self.shred_generic(docs)
     }
 
-    /// Schema-aware fast path: typed builders, no intermediate cells.
-    fn shred_typed(&self, docs: &[Value]) -> Result<ColumnarBatch, ShredError> {
-        let mut builders: Vec<TypedBuilder> = self
-            .layout
-            .iter()
-            .map(|(_, slot)| TypedBuilder::new(*slot))
-            .collect();
-        for (row, doc) in docs.iter().enumerate() {
-            let obj = doc.as_object().ok_or(ShredError::NotARecord { row })?;
-            self.typed_record(obj, None, row, &mut builders);
+    /// Begins incremental schema-aware shredding: records are pushed one
+    /// at a time and finished into a batch. This is the entry point the
+    /// streaming translation pipeline stage uses — each shard owns one
+    /// `ShredStream` and the per-shard batches concatenate with
+    /// [`ColumnarBatch::append`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a discovering shredder: a schema-blind layout can grow
+    /// and retype mid-stream, so it must scan the whole collection via
+    /// [`shred`](Self::shred).
+    pub fn stream(&self) -> ShredStream<'_> {
+        assert!(
+            !self.discovering,
+            "ShredStream requires a fixed layout (Shredder::from_type)"
+        );
+        ShredStream {
+            shredder: self,
+            builders: self
+                .layout
+                .iter()
+                .map(|(_, slot)| TypedBuilder::new(*slot))
+                .collect(),
+            rows: 0,
         }
-        let columns = self
-            .layout
-            .iter()
-            .zip(builders)
-            .map(|((path, _), b)| b.finish(path, docs.len()))
-            .collect();
-        Ok(ColumnarBatch {
-            columns,
-            rows: docs.len(),
-        })
+    }
+
+    /// Schema-aware fast path: typed builders, no intermediate cells.
+    /// One batch-sized [`ShredStream`] — the streaming stage uses the same
+    /// code path record by record.
+    fn shred_typed(&self, docs: &[Value]) -> Result<ColumnarBatch, ShredError> {
+        let mut stream = self.stream();
+        for doc in docs {
+            stream.push(doc)?;
+        }
+        Ok(stream.finish())
     }
 
     fn typed_record(
@@ -353,6 +406,51 @@ impl Shredder {
         if let Some(s) = seen.get_mut(idx) {
             *s = true;
         }
+    }
+}
+
+/// Incremental schema-aware shredding over a fixed layout.
+///
+/// Created by [`Shredder::stream`]; push records with
+/// [`push`](Self::push) and materialise the batch with
+/// [`finish`](Self::finish). `shred` over the same records produces an
+/// identical batch — pushing is per-row independent.
+#[derive(Debug)]
+pub struct ShredStream<'s> {
+    shredder: &'s Shredder,
+    builders: Vec<TypedBuilder>,
+    rows: usize,
+}
+
+impl ShredStream<'_> {
+    /// Shreds one record into the stream's columns. The error's `row` is
+    /// this stream's local row index (records pushed so far).
+    pub fn push(&mut self, doc: &Value) -> Result<(), ShredError> {
+        let obj = doc
+            .as_object()
+            .ok_or(ShredError::NotARecord { row: self.rows })?;
+        self.shredder
+            .typed_record(obj, None, self.rows, &mut self.builders);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Records pushed so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Materialises the batch, null-padding columns to the row count.
+    pub fn finish(self) -> ColumnarBatch {
+        let rows = self.rows;
+        let columns = self
+            .shredder
+            .layout
+            .iter()
+            .zip(self.builders)
+            .map(|((path, _), b)| b.finish(path, rows))
+            .collect();
+        ColumnarBatch { columns, rows }
     }
 }
 
@@ -716,6 +814,49 @@ mod tests {
         let mut s = Shredder::discovering();
         let err = s.shred(&[json!([1])]).unwrap_err();
         assert_eq!(err, ShredError::NotARecord { row: 0 });
+    }
+
+    #[test]
+    fn stream_push_equals_batch_shred() {
+        let ty = infer_collection(&docs(), Equivalence::Kind);
+        let shredder = Shredder::from_type(&ty);
+        let batch = shredder.clone().shred(&docs()).unwrap();
+        let mut stream = shredder.stream();
+        for doc in &docs() {
+            stream.push(doc).unwrap();
+        }
+        assert_eq!(stream.finish(), batch);
+    }
+
+    #[test]
+    fn append_equals_one_pass_shred() {
+        let ty = infer_collection(&docs(), Equivalence::Kind);
+        let shredder = Shredder::from_type(&ty);
+        let whole = shredder.clone().shred(&docs()).unwrap();
+        for split in 0..=docs().len() {
+            let all = docs();
+            let (a, b) = all.split_at(split);
+            let mut left = shredder.clone().shred(a).unwrap();
+            let right = shredder.clone().shred(b).unwrap();
+            left.append(right);
+            assert_eq!(left, whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn stream_reports_local_row_for_non_records() {
+        let ty = infer_collection(&docs(), Equivalence::Kind);
+        let shredder = Shredder::from_type(&ty);
+        let mut stream = shredder.stream();
+        stream.push(&docs()[0]).unwrap();
+        let err = stream.push(&json!([1])).unwrap_err();
+        assert_eq!(err, ShredError::NotARecord { row: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed layout")]
+    fn discovering_shredders_cannot_stream() {
+        let _ = Shredder::discovering().stream();
     }
 
     #[test]

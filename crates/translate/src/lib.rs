@@ -27,5 +27,5 @@ pub mod columnar;
 pub mod relational;
 
 pub use avro::{AvroCodec, AvroError, AvroField, AvroSchema};
-pub use columnar::{ColumnData, ColumnarBatch, ShredError, Shredder};
+pub use columnar::{ColumnData, ColumnarBatch, ShredError, ShredStream, Shredder};
 pub use relational::{normalize, Relation};

@@ -1,13 +1,15 @@
 //! `jsonx` — command-line front end for the workspace.
 //!
 //! ```text
-//! jsonx infer    [--equiv K|L] [--counts] [--schema] [--streaming] [--workers N] [FILE]
-//! jsonx validate --schema SCHEMA.json [--formats] [--streaming] [--workers N] [FILE]
-//! jsonx profile  [FILE]
-//! jsonx skeleton [--coverage 0.9] [FILE]
-//! jsonx project  --fields a,b.c [FILE]
-//! jsonx convert  --to avro|columnar|relational [FILE]
-//! jsonx query    [--where-exists p] [--expand p] [--project a,b.c] [--top n] [FILE]
+//! jsonx infer     [--equiv K|L] [--counts] [--schema] [--streaming] [--workers N]
+//!                 [--validate SCHEMA.json] [FILE]
+//! jsonx validate  --schema SCHEMA.json [--formats] [--streaming] [--workers N] [FILE]
+//! jsonx profile   [FILE]
+//! jsonx skeleton  [--coverage 0.9] [FILE]
+//! jsonx project   --fields a,b.c [FILE]
+//! jsonx convert   --to avro|columnar|relational [FILE]
+//! jsonx translate [--to avro|columnar|relational] [--streaming] [--workers N] [FILE]
+//! jsonx query     [--where-exists p] [--expand p] [--project a,b.c] [--top n] [FILE]
 //! ```
 //!
 //! `FILE` is newline-delimited JSON; `-` or no file reads stdin.
@@ -20,7 +22,10 @@ use jsonx::skeleton::Skeleton;
 use jsonx::syntax::{parse, parse_ndjson, to_string, to_string_pretty};
 use jsonx::translate::{normalize, AvroCodec, AvroSchema, Shredder};
 use jsonx::Value;
-use jsonx::{infer_streaming_parallel, validate_streaming_parallel, LineVerdict, StreamingOptions};
+use jsonx::{
+    infer_streaming_parallel, infer_validate_streaming_parallel, translate_streaming_parallel,
+    validate_streaming_parallel, LineVerdict, StreamingOptions,
+};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -34,6 +39,9 @@ commands:
               --streaming     type the event stream directly (no DOMs)
               --workers N     shard across N threads (implies --streaming;
                               0 = one per CPU)
+              --validate F    also validate against schema F in the same
+                              pass (one tokenisation per line; implies
+                              --streaming)
   validate  validate documents against a JSON Schema
               --schema FILE   schema document (required)
               --formats       enforce the `format` keyword
@@ -47,6 +55,13 @@ commands:
               --fields a,b.c  dotted field paths (required)
   convert   translate the collection
               --to TARGET     avro | columnar | relational (required)
+  translate schema-driven translation with a streaming columnar path
+              --to TARGET     avro | columnar | relational
+                              (default columnar)
+              --streaming     shred newline-bounded shards incrementally
+                              (columnar only)
+              --workers N     shard across N threads (implies --streaming;
+                              0 = one per CPU)
   query     run a Jaql-style pipeline and show its inferred output schema
               --where-exists P   keep documents where path P is non-null
               --expand P         flatten the array at path P
@@ -79,6 +94,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "skeleton" => cmd_skeleton(rest),
         "project" => cmd_project(rest),
         "convert" => cmd_convert(rest),
+        "translate" => cmd_translate(rest),
         "query" => cmd_query(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -95,13 +111,14 @@ struct Opts {
 }
 
 /// Flags that take a value.
-const VALUED: [&str; 10] = [
+const VALUED: [&str; 11] = [
     "--equiv",
     "--workers",
     "--schema",
     "--coverage",
     "--fields",
     "--to",
+    "--validate",
     "--where-exists",
     "--expand",
     "--project",
@@ -176,7 +193,14 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(
         args,
         false,
-        &["equiv", "counts", "schema", "streaming", "workers"],
+        &[
+            "equiv",
+            "counts",
+            "schema",
+            "streaming",
+            "workers",
+            "validate",
+        ],
     )?;
     let equiv = match opts.get("equiv").unwrap_or("K") {
         "K" | "k" | "kind" => Equivalence::Kind,
@@ -188,6 +212,9 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         .map(str::parse)
         .transpose()
         .map_err(|e| format!("bad --workers: {e}"))?;
+    if let Some(schema_path) = opts.get("validate") {
+        return infer_validate_cli(&opts, equiv, schema_path, workers.unwrap_or(0));
+    }
     let (ty, n_docs, mode) = if opts.has("streaming") || workers.is_some() {
         let text = read_text(opts.file.as_deref())?;
         let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));
@@ -201,18 +228,73 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         let n = docs.len();
         (ty, n, "dom")
     };
+    print_inferred_type(&opts, &ty);
+    eprintln!(
+        "» {n_docs} documents ({mode}), equivalence {}, type size {} nodes",
+        equiv.name(),
+        jsonx::core::type_size(&ty)
+    );
+    Ok(())
+}
+
+fn print_inferred_type(opts: &Opts, ty: &jsonx::core::JType) {
     if opts.has("schema") {
-        println!("{}", to_string_pretty(&to_json_schema(&ty)));
+        println!("{}", to_string_pretty(&to_json_schema(ty)));
     } else {
         let popts = if opts.has("counts") {
             PrintOptions::with_counts()
         } else {
             PrintOptions::plain()
         };
-        println!("{}", print_type(&ty, popts));
+        println!("{}", print_type(ty, popts));
     }
+}
+
+/// The combined single-pass path behind `infer --validate SCHEMA.json`:
+/// one tokenisation per line feeds both type fusion and the compiled
+/// fail-fast validator, with interpreter diagnostics re-run on just the
+/// invalid lines. Invalid documents are reported but don't fail the run —
+/// the primary output is still the inferred type.
+fn infer_validate_cli(
+    opts: &Opts,
+    equiv: Equivalence,
+    schema_path: &str,
+    workers: usize,
+) -> Result<(), String> {
+    let schema_text =
+        std::fs::read_to_string(schema_path).map_err(|e| format!("reading {schema_path}: {e}"))?;
+    let schema_doc = parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
+    let schema = CompiledSchema::compile(&schema_doc).map_err(|e| e.to_string())?;
+    let vopts = ValidatorOptions::default();
+    let text = read_text(opts.file.as_deref())?;
+    let outcome = infer_validate_streaming_parallel(
+        &text,
+        equiv,
+        &schema,
+        vopts,
+        StreamingOptions::with_workers(workers),
+    );
+    let ty = outcome
+        .ty
+        .map_err(|(line, e)| format!("line {}: {e}", line + 1))?;
+    let lines: Vec<&str> = text.lines().collect();
+    let mut invalid = 0usize;
+    for (line_no, verdict) in &outcome.verdicts {
+        if matches!(verdict, LineVerdict::Invalid) {
+            invalid += 1;
+            let doc = parse(lines[*line_no]).expect("combined pass parsed this line");
+            if let Err(errors) = schema.validate_with(&doc, vopts) {
+                for e in errors {
+                    println!("doc {line_no}: {e}");
+                }
+            }
+        }
+    }
+    print_inferred_type(opts, &ty);
     eprintln!(
-        "» {n_docs} documents ({mode}), equivalence {}, type size {} nodes",
+        "» {}/{} documents valid (combined pass), equivalence {}, type size {} nodes",
+        outcome.verdicts.len() - invalid,
+        outcome.verdicts.len(),
         equiv.name(),
         jsonx::core::type_size(&ty)
     );
@@ -366,12 +448,57 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
         .get("to")
         .ok_or("convert needs --to avro|columnar|relational")?;
     let docs = read_collection(opts.file.as_deref())?;
-    let ty = infer_collection(&docs, Equivalence::Kind);
+    convert_collection(target, &docs)
+}
+
+/// Schema-driven translation with a streaming columnar path.
+///
+/// `--streaming` (or `--workers`) shreds newline-bounded shards into
+/// per-worker columnar batches concatenated in shard order — the type is
+/// inferred from the same text by the streaming typer, so no DOM for the
+/// whole collection ever exists. Other targets fall back to the DOM path
+/// shared with `convert`.
+fn cmd_translate(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, false, &["to", "streaming", "workers"])?;
+    let target = opts.get("to").unwrap_or("columnar");
+    let workers: Option<usize> = opts
+        .get("workers")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad --workers: {e}"))?;
+    let streaming = opts.has("streaming") || workers.is_some();
+    if streaming && target != "columnar" {
+        return Err(format!(
+            "--streaming supports only columnar, not '{target}'"
+        ));
+    }
+    if !streaming {
+        let docs = read_collection(opts.file.as_deref())?;
+        return convert_collection(target, &docs);
+    }
+    let text = read_text(opts.file.as_deref())?;
+    let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));
+    let ty = infer_streaming_parallel(&text, Equivalence::Kind, sopts)
+        .map_err(|(line, e)| format!("line {}: {e}", line + 1))?;
+    let shredder = Shredder::from_type(&ty);
+    let batch = translate_streaming_parallel(&text, &shredder, sopts)
+        .map_err(|(line, e)| format!("line {}: {e}", line + 1))?;
+    println!("{}", batch.schema_string());
+    eprintln!(
+        "» {} columns x {} rows (streaming)",
+        batch.columns.len(),
+        batch.rows
+    );
+    Ok(())
+}
+
+fn convert_collection(target: &str, docs: &[Value]) -> Result<(), String> {
+    let ty = infer_collection(docs, Equivalence::Kind);
     match target {
         "avro" => {
             let codec = AvroCodec::new(AvroSchema::from_type(&ty));
             let mut total = 0usize;
-            for doc in &docs {
+            for doc in docs {
                 total += codec.encode(doc).map_err(|e| e.to_string())?.len();
             }
             eprintln!(
@@ -382,13 +509,13 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
         }
         "columnar" => {
             let batch = Shredder::from_type(&ty)
-                .shred(&docs)
+                .shred(docs)
                 .map_err(|e| e.to_string())?;
             println!("{}", batch.schema_string());
             eprintln!("» {} columns x {} rows", batch.columns.len(), batch.rows);
         }
         "relational" => {
-            for rel in normalize("root", &docs) {
+            for rel in normalize("root", docs) {
                 println!(
                     "{}({})  -- {} rows",
                     rel.name,

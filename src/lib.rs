@@ -23,6 +23,8 @@
 //!   system with typed decoding.
 //! * [`mison`] — Mison-style structural-index parser with projection
 //!   pushdown and a Fad.js-style speculative decoder.
+//! * [`pipeline`] — the generic sharded fold engine behind every parallel
+//!   entry point (newline sharding, scoped workers, shard-order fusion).
 //! * [`translate`] — schema-driven translation to columnar batches and an
 //!   Avro-like binary row format.
 //! * [`gen`] — seeded synthetic dataset generators with heterogeneity dials.
@@ -45,7 +47,10 @@ pub use jsonx_translate as translate;
 pub use jsonx_typelang as typelang;
 
 pub use jsonx_data::{json, Kind, Number, Object, Pointer, Value};
+pub use jsonx_pipeline as pipeline;
 pub use streaming::{
-    infer_document_events, infer_streaming, infer_streaming_parallel, validate_streaming,
-    validate_streaming_parallel, LineVerdict, StreamTyper, StreamingOptions,
+    infer_document_events, infer_streaming, infer_streaming_parallel, infer_validate_streaming,
+    infer_validate_streaming_parallel, translate_streaming, translate_streaming_parallel,
+    validate_streaming, validate_streaming_parallel, InferValidateOutcome, LineVerdict,
+    StreamTyper, StreamingOptions, TranslateLineError,
 };

@@ -1,19 +1,34 @@
-//! Streaming schema inference and validation over NDJSON collections.
+//! Streaming pipeline stages over NDJSON collections: inference,
+//! validation, combined infer+validate, and schema-driven translation.
 //!
-//! Inference types documents straight off the event stream, without
-//! materialising a DOM; validation ([`validate_streaming`],
-//! [`validate_streaming_parallel`]) runs the compiled fail-fast probe
-//! per line, sharing the newline-boundary sharding machinery.
+//! Every parallel entry point here is a thin [`ShardFold`] adapter over
+//! the generic sharded engine of [`jsonx_pipeline`]: newline-boundary
+//! sharding, scoped worker threads, shard-order fusion, first-error-line
+//! selection. The stages differ only in their per-worker state and merge:
+//!
+//! * [`infer_streaming_parallel`] — a [`StreamTyper`] per worker, types
+//!   fused with the §4.1 monoid (commutative + associative, `Bottom`
+//!   unit), so every worker count reproduces the sequential — and DOM —
+//!   result bit for bit.
+//! * [`validate_streaming_parallel`] — a compiled fail-fast
+//!   [`FastValidator`](jsonx_schema::FastValidator) per worker, per-line
+//!   verdict vectors concatenated in shard order.
+//! * [`infer_validate_streaming_parallel`] — the combined single pass:
+//!   **one tokenisation** per line feeds both the typer and the
+//!   validator ([`StreamTyper::type_and_build`] builds the DOM value for
+//!   the validator from the same raw-event walk that types the line).
+//! * [`translate_streaming_parallel`] — §5's schema-driven translation:
+//!   per-shard Arrow-like columnar batches
+//!   ([`ShredStream`](jsonx_translate::ShredStream)), concatenated in
+//!   shard order into the batch a DOM
+//!   [`Shredder::shred`](jsonx_translate::Shredder::shred) would build.
 //!
 //! The massive-collection setting of §4.1 is exactly where building a
 //! [`Value`](jsonx_data::Value) per document hurts: the map step only
 //! needs the *types*. [`infer_streaming`] fuses each document's type
 //! directly from [`RawEventParser`] events, with memory bounded by
-//! document depth rather than document size, and
-//! [`infer_streaming_parallel`] shards NDJSON input at newline boundaries
-//! across scoped worker threads.
-//!
-//! Three things keep the per-document allocation budget near zero:
+//! document depth rather than document size. Three things keep the
+//! per-document allocation budget near zero:
 //!
 //! - events borrow escape-free keys and strings from the input
 //!   ([`RawEvent`]'s `Cow` payloads), so scalar strings never allocate —
@@ -25,47 +40,17 @@
 
 use jsonx_core::{fuse, Equivalence, JType};
 use jsonx_core::{ArrayType, FieldName, FieldType, RecordType};
-use jsonx_schema::{CompiledSchema, ValidatorOptions};
+use jsonx_data::{Object, Value};
+use jsonx_pipeline::{merge_line_results, run_lines, ShardFold};
+use jsonx_schema::{CompiledSchema, FastValidator, ValidatorOptions};
 use jsonx_syntax::{ParseError, RawEvent, RawEventParser};
+use jsonx_translate::{ColumnarBatch, ShredError, ShredStream, Shredder};
 use std::collections::HashSet;
 
-/// Options for [`infer_streaming_parallel`].
-#[derive(Debug, Clone, Copy)]
-pub struct StreamingOptions {
-    /// Number of worker threads (0 = number of available CPUs).
-    pub workers: usize,
-    /// Minimum shard size in bytes; smaller inputs run sequentially.
-    pub min_shard_bytes: usize,
-}
-
-impl Default for StreamingOptions {
-    fn default() -> Self {
-        StreamingOptions {
-            workers: 0,
-            min_shard_bytes: 64 * 1024,
-        }
-    }
-}
-
-impl StreamingOptions {
-    /// A fixed worker count (used by the E14 bench and the CLI).
-    pub fn with_workers(workers: usize) -> Self {
-        StreamingOptions {
-            workers,
-            ..Default::default()
-        }
-    }
-
-    fn effective_workers(&self) -> usize {
-        if self.workers > 0 {
-            self.workers
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
-    }
-}
+/// Options for the byte-sharded streaming stages — the shared
+/// [`PipelineOptions`](jsonx_pipeline::PipelineOptions) of
+/// `jsonx-pipeline`, kept under this crate's historical name.
+pub use jsonx_pipeline::PipelineOptions as StreamingOptions;
 
 /// A reusable event-stream typing engine.
 ///
@@ -76,6 +61,70 @@ pub struct StreamTyper {
     equiv: Equivalence,
     stack: Vec<Frame>,
     interner: HashSet<FieldName>,
+}
+
+/// Observes the raw event stream alongside typing — the hook that lets
+/// [`StreamTyper::type_and_build`] reuse one tokenisation for both the
+/// type and the DOM value.
+trait EventSink {
+    fn event(&mut self, ev: &RawEvent<'_>);
+}
+
+/// The pure-typing sink: compiles to nothing.
+struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline(always)]
+    fn event(&mut self, _ev: &RawEvent<'_>) {}
+}
+
+/// Rebuilds the document [`Value`] from the event stream, mirroring the
+/// DOM parser exactly (insertion order, duplicate keys last-wins in
+/// place).
+#[derive(Default)]
+struct ValueSink {
+    stack: Vec<Value>,
+    keys: Vec<Option<String>>,
+    pending_key: Option<String>,
+    result: Option<Value>,
+}
+
+impl ValueSink {
+    fn attach(&mut self, v: Value) {
+        match self.stack.last_mut() {
+            Some(Value::Arr(items)) => items.push(v),
+            Some(Value::Obj(obj)) => {
+                let key = self.pending_key.take().expect("key precedes value");
+                obj.insert(key, v);
+            }
+            _ => self.result = Some(v),
+        }
+    }
+}
+
+impl EventSink for ValueSink {
+    fn event(&mut self, ev: &RawEvent<'_>) {
+        match ev {
+            RawEvent::StartObject => {
+                self.keys.push(self.pending_key.take());
+                self.stack.push(Value::Obj(Object::new()));
+            }
+            RawEvent::StartArray => {
+                self.keys.push(self.pending_key.take());
+                self.stack.push(Value::Arr(Vec::new()));
+            }
+            RawEvent::EndObject | RawEvent::EndArray => {
+                let v = self.stack.pop().expect("balanced events");
+                self.pending_key = self.keys.pop().expect("balanced events");
+                self.attach(v);
+            }
+            RawEvent::Key(k) => self.pending_key = Some(k.as_ref().to_owned()),
+            RawEvent::Null => self.attach(Value::Null),
+            RawEvent::Bool(b) => self.attach(Value::Bool(*b)),
+            RawEvent::Num(n) => self.attach(Value::Num(*n)),
+            RawEvent::Str(s) => self.attach(Value::Str(s.as_ref().to_owned())),
+        }
+    }
 }
 
 impl StreamTyper {
@@ -102,6 +151,24 @@ impl StreamTyper {
 
     /// Types one document from its event stream without building a DOM.
     pub fn type_document(&mut self, input: &[u8]) -> Result<JType, ParseError> {
+        self.drive(input, &mut NullSink)
+    }
+
+    /// Types one document **and** rebuilds its [`Value`] from the same
+    /// event walk — one tokenisation feeding two consumers. The built
+    /// value is identical to [`jsonx_syntax::parse`] on the same bytes,
+    /// which is what lets the combined infer+validate pass probe the
+    /// compiled validator without re-parsing.
+    pub fn type_and_build(&mut self, input: &[u8]) -> Result<(JType, Value), ParseError> {
+        let mut sink = ValueSink::default();
+        let ty = self.drive(input, &mut sink)?;
+        Ok((ty, sink.result.unwrap_or(Value::Null)))
+    }
+
+    /// The event loop shared by [`type_document`](Self::type_document) and
+    /// [`type_and_build`](Self::type_and_build); `NullSink` monomorphises
+    /// back to the pure typing loop.
+    fn drive<S: EventSink>(&mut self, input: &[u8], sink: &mut S) -> Result<JType, ParseError> {
         let mut parser = RawEventParser::new(input);
         self.stack.clear();
         let mut result: Option<JType> = None;
@@ -112,6 +179,7 @@ impl StreamTyper {
                 Ok(None) => break Ok(()),
                 Err(e) => break Err(e),
             };
+            sink.event(&event);
             match event {
                 RawEvent::StartObject => self.stack.push(Frame::Record {
                     fields: Vec::new(),
@@ -147,26 +215,6 @@ impl StreamTyper {
             return Err(e);
         }
         Ok(result.unwrap_or(JType::Bottom))
-    }
-
-    /// Types every non-blank line of `ndjson` and fuses the results. Errors
-    /// carry the zero-based line index, offset by `first_line`.
-    fn type_lines(
-        &mut self,
-        ndjson: &str,
-        first_line: usize,
-    ) -> Result<JType, (usize, ParseError)> {
-        let mut acc = JType::Bottom;
-        for (idx, line) in ndjson.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let ty = self
-                .type_document(line.as_bytes())
-                .map_err(|e| (first_line + idx, e))?;
-            acc = fuse(acc, ty, self.equiv);
-        }
-        Ok(acc)
     }
 
     fn attach(&mut self, result: &mut Option<JType>, ty: JType) {
@@ -229,6 +277,55 @@ impl Frame {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Inference stage
+// ---------------------------------------------------------------------------
+
+/// The inference stage: one [`StreamTyper`] per worker, first-error-line
+/// selection across shards.
+struct InferFold {
+    equiv: Equivalence,
+}
+
+struct InferState {
+    typer: StreamTyper,
+    acc: Result<JType, (usize, ParseError)>,
+}
+
+impl ShardFold<str> for InferFold {
+    type State = InferState;
+    type Out = Result<JType, (usize, ParseError)>;
+
+    fn init(&self) -> InferState {
+        InferState {
+            typer: StreamTyper::new(self.equiv),
+            acc: Ok(JType::Bottom),
+        }
+    }
+
+    fn feed(&self, state: &mut InferState, line: &str, line_no: usize) {
+        let Ok(acc) = &mut state.acc else { return };
+        if line.trim().is_empty() {
+            return;
+        }
+        match state.typer.type_document(line.as_bytes()) {
+            Ok(ty) => {
+                let current = std::mem::replace(acc, JType::Bottom);
+                *acc = fuse(current, ty, self.equiv);
+            }
+            Err(e) => state.acc = Err((line_no, e)),
+        }
+    }
+
+    fn finish(&self, state: InferState) -> Self::Out {
+        state.acc
+    }
+
+    fn merge(&self, left: Self::Out, right: Self::Out) -> Self::Out {
+        merge_line_results(left, right, |a, b| fuse(a, b, self.equiv))
+    }
+}
+
 /// Infers the collection type of NDJSON text without building DOMs.
 ///
 /// Equivalent to parsing every line and running
@@ -236,7 +333,11 @@ impl Frame {
 /// `tests/streaming_inference.rs` — but allocation stays proportional to
 /// nesting depth. Errors carry the zero-based line index.
 pub fn infer_streaming(ndjson: &str, equiv: Equivalence) -> Result<JType, (usize, ParseError)> {
-    StreamTyper::new(equiv).type_lines(ndjson, 0)
+    run_lines(
+        ndjson,
+        &InferFold { equiv },
+        StreamingOptions::with_workers(1),
+    )
 }
 
 /// Types one document from its event stream.
@@ -258,42 +359,12 @@ pub fn infer_streaming_parallel(
     equiv: Equivalence,
     opts: StreamingOptions,
 ) -> Result<JType, (usize, ParseError)> {
-    let workers = opts.effective_workers().max(1);
-    if workers == 1 || ndjson.len() < opts.min_shard_bytes.saturating_mul(2) {
-        return infer_streaming(ndjson, equiv);
-    }
-    let shards = shard_lines(ndjson, workers);
-    let partials: Vec<Result<JType, (usize, ParseError)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .iter()
-            .map(|&(first_line, shard)| {
-                scope.spawn(move || StreamTyper::new(equiv).type_lines(shard, first_line))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("streaming worker panicked"))
-            .collect()
-    });
-    // First (lowest-line) error wins, matching sequential behaviour even
-    // when a later shard also fails.
-    let mut acc = JType::Bottom;
-    let mut first_err: Option<(usize, ParseError)> = None;
-    for partial in partials {
-        match partial {
-            Ok(ty) => acc = fuse(acc, ty, equiv),
-            Err(e) => {
-                if first_err.as_ref().is_none_or(|f| e.0 < f.0) {
-                    first_err = Some(e);
-                }
-            }
-        }
-    }
-    match first_err {
-        Some(e) => Err(e),
-        None => Ok(acc),
-    }
+    run_lines(ndjson, &InferFold { equiv }, opts)
 }
+
+// ---------------------------------------------------------------------------
+// Validation stage
+// ---------------------------------------------------------------------------
 
 /// Per-line outcome of streaming NDJSON validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -313,24 +384,36 @@ impl LineVerdict {
     }
 }
 
-/// Validates every non-blank line of `ndjson` against `schema` with one
-/// reused [`FastValidator`](jsonx_schema::FastValidator), returning
-/// `(line index, verdict)` pairs in input order.
-fn validate_lines(
-    ndjson: &str,
-    first_line: usize,
-    schema: &CompiledSchema,
+/// The validation stage: one fail-fast [`FastValidator`] per worker,
+/// verdict vectors concatenated in shard order.
+struct ValidateFold<'s> {
+    schema: &'s CompiledSchema,
     options: ValidatorOptions,
-) -> Vec<(usize, LineVerdict)> {
-    let mut validator = schema.fast_validator_with(options);
-    let mut out = Vec::new();
-    for (idx, line) in ndjson.lines().enumerate() {
+}
+
+struct ValidateState<'s> {
+    validator: FastValidator<'s>,
+    verdicts: Vec<(usize, LineVerdict)>,
+}
+
+impl<'s> ShardFold<str> for ValidateFold<'s> {
+    type State = ValidateState<'s>;
+    type Out = Vec<(usize, LineVerdict)>;
+
+    fn init(&self) -> ValidateState<'s> {
+        ValidateState {
+            validator: self.schema.fast_validator_with(self.options),
+            verdicts: Vec::new(),
+        }
+    }
+
+    fn feed(&self, state: &mut ValidateState<'s>, line: &str, line_no: usize) {
         if line.trim().is_empty() {
-            continue;
+            return;
         }
         let verdict = match jsonx_syntax::parse(line) {
             Ok(doc) => {
-                if validator.is_valid(&doc) {
+                if state.validator.is_valid(&doc) {
                     LineVerdict::Valid
                 } else {
                     LineVerdict::Invalid
@@ -338,9 +421,17 @@ fn validate_lines(
             }
             Err(e) => LineVerdict::Malformed(e),
         };
-        out.push((first_line + idx, verdict));
+        state.verdicts.push((line_no, verdict));
     }
-    out
+
+    fn finish(&self, state: ValidateState<'s>) -> Self::Out {
+        state.verdicts
+    }
+
+    fn merge(&self, mut left: Self::Out, right: Self::Out) -> Self::Out {
+        left.extend(right);
+        left
+    }
 }
 
 /// Validates an NDJSON collection line by line on the fail-fast path.
@@ -356,7 +447,11 @@ pub fn validate_streaming(
     schema: &CompiledSchema,
     options: ValidatorOptions,
 ) -> Vec<(usize, LineVerdict)> {
-    validate_lines(ndjson, 0, schema, options)
+    run_lines(
+        ndjson,
+        &ValidateFold { schema, options },
+        StreamingOptions::with_workers(1),
+    )
 }
 
 /// Validates an NDJSON collection on parallel workers.
@@ -374,57 +469,256 @@ pub fn validate_streaming_parallel(
     options: ValidatorOptions,
     opts: StreamingOptions,
 ) -> Vec<(usize, LineVerdict)> {
-    let workers = opts.effective_workers().max(1);
-    if workers == 1 || ndjson.len() < opts.min_shard_bytes.saturating_mul(2) {
-        return validate_streaming(ndjson, schema, options);
-    }
-    let shards = shard_lines(ndjson, workers);
-    let partials: Vec<Vec<(usize, LineVerdict)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .iter()
-            .map(|&(first_line, shard)| {
-                scope.spawn(move || validate_lines(shard, first_line, schema, options))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("validation worker panicked"))
-            .collect()
-    });
-    let mut out = Vec::with_capacity(partials.iter().map(Vec::len).sum());
-    for partial in partials {
-        out.extend(partial);
-    }
-    out
+    run_lines(ndjson, &ValidateFold { schema, options }, opts)
 }
 
-/// Splits `ndjson` into up to `workers` contiguous shards whose boundaries
-/// sit just after a newline, tagging each with its starting line index.
-fn shard_lines(ndjson: &str, workers: usize) -> Vec<(usize, &str)> {
-    let bytes = ndjson.as_bytes();
-    let target = ndjson.len().div_ceil(workers).max(1);
-    let mut shards = Vec::with_capacity(workers);
-    let mut start = 0usize;
-    let mut line = 0usize;
-    while start < bytes.len() {
-        let mut end = (start + target).min(bytes.len());
-        // Snap forward to just past the next newline so no document spans
-        // two shards.
-        while end < bytes.len() && bytes[end - 1] != b'\n' {
-            end += 1;
+// ---------------------------------------------------------------------------
+// Combined infer + validate stage (single pass)
+// ---------------------------------------------------------------------------
+
+/// Result of the combined single-pass infer + validate stage.
+#[derive(Debug, Clone)]
+pub struct InferValidateOutcome {
+    /// The collection type — identical to what [`infer_streaming`] returns
+    /// on the same input.
+    pub ty: Result<JType, (usize, ParseError)>,
+    /// Per-line verdicts in input order — `is_valid`-identical to
+    /// [`validate_streaming`] on the same input.
+    pub verdicts: Vec<(usize, LineVerdict)>,
+}
+
+/// The combined stage: one tokenisation per line feeds both the typer and
+/// the compiled validator.
+struct InferValidateFold<'s> {
+    equiv: Equivalence,
+    schema: &'s CompiledSchema,
+    options: ValidatorOptions,
+}
+
+struct InferValidateState<'s> {
+    typer: StreamTyper,
+    validator: FastValidator<'s>,
+    acc: Result<JType, (usize, ParseError)>,
+    verdicts: Vec<(usize, LineVerdict)>,
+}
+
+impl<'s> ShardFold<str> for InferValidateFold<'s> {
+    type State = InferValidateState<'s>;
+    type Out = InferValidateOutcome;
+
+    fn init(&self) -> InferValidateState<'s> {
+        InferValidateState {
+            typer: StreamTyper::new(self.equiv),
+            validator: self.schema.fast_validator_with(self.options),
+            acc: Ok(JType::Bottom),
+            verdicts: Vec::new(),
         }
-        let shard = &ndjson[start..end];
-        shards.push((line, shard));
-        line += shard.bytes().filter(|&b| b == b'\n').count();
-        start = end;
     }
-    shards
+
+    fn feed(&self, state: &mut InferValidateState<'s>, line: &str, line_no: usize) {
+        if line.trim().is_empty() {
+            return;
+        }
+        match state.typer.type_and_build(line.as_bytes()) {
+            Ok((ty, doc)) => {
+                if let Ok(acc) = &mut state.acc {
+                    let current = std::mem::replace(acc, JType::Bottom);
+                    *acc = fuse(current, ty, self.equiv);
+                }
+                let verdict = if state.validator.is_valid(&doc) {
+                    LineVerdict::Valid
+                } else {
+                    LineVerdict::Invalid
+                };
+                state.verdicts.push((line_no, verdict));
+            }
+            Err(e) => {
+                if state.acc.is_ok() {
+                    state.acc = Err((line_no, e.clone()));
+                }
+                state.verdicts.push((line_no, LineVerdict::Malformed(e)));
+            }
+        }
+    }
+
+    fn finish(&self, state: InferValidateState<'s>) -> InferValidateOutcome {
+        InferValidateOutcome {
+            ty: state.acc,
+            verdicts: state.verdicts,
+        }
+    }
+
+    fn merge(&self, left: InferValidateOutcome, right: InferValidateOutcome) -> Self::Out {
+        let mut verdicts = left.verdicts;
+        verdicts.extend(right.verdicts);
+        InferValidateOutcome {
+            ty: merge_line_results(left.ty, right.ty, |a, b| fuse(a, b, self.equiv)),
+            verdicts,
+        }
+    }
+}
+
+/// Infers **and** validates an NDJSON collection in one sequential pass.
+///
+/// Each non-blank line is tokenised once
+/// ([`StreamTyper::type_and_build`]): the raw-event walk types the line
+/// for the fusion fold while rebuilding the document value for the
+/// compiled fail-fast validator. The outcome's type equals
+/// [`infer_streaming`] and its verdicts equal [`validate_streaming`] on
+/// the same input — pinned by `tests/pipeline_equivalence.rs` — for half the
+/// tokenisation work of running the two passes back to back.
+pub fn infer_validate_streaming(
+    ndjson: &str,
+    equiv: Equivalence,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+) -> InferValidateOutcome {
+    run_lines(
+        ndjson,
+        &InferValidateFold {
+            equiv,
+            schema,
+            options,
+        },
+        StreamingOptions::with_workers(1),
+    )
+}
+
+/// The combined single-pass stage on parallel workers: sharding and merge
+/// semantics of [`infer_streaming_parallel`] and
+/// [`validate_streaming_parallel`] at once, in one pass over the bytes.
+pub fn infer_validate_streaming_parallel(
+    ndjson: &str,
+    equiv: Equivalence,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+    opts: StreamingOptions,
+) -> InferValidateOutcome {
+    run_lines(
+        ndjson,
+        &InferValidateFold {
+            equiv,
+            schema,
+            options,
+        },
+        opts,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Schema-driven translation stage (§5)
+// ---------------------------------------------------------------------------
+
+/// Per-line failure of the streaming translation stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TranslateLineError {
+    /// The line is not well-formed JSON.
+    Malformed(ParseError),
+    /// The line parsed but is not a JSON object (columnar batches shred
+    /// records only — the streaming face of
+    /// [`ShredError::NotARecord`]).
+    NotARecord,
+}
+
+impl std::fmt::Display for TranslateLineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateLineError::Malformed(e) => write!(f, "{e}"),
+            TranslateLineError::NotARecord => write!(f, "not a JSON object"),
+        }
+    }
+}
+
+/// The translation stage: one [`ShredStream`] per worker over a shared
+/// fixed layout, per-shard batches concatenated in shard order.
+struct TranslateFold<'t> {
+    shredder: &'t Shredder,
+}
+
+struct TranslateState<'t> {
+    stream: ShredStream<'t>,
+    err: Option<(usize, TranslateLineError)>,
+}
+
+impl<'t> ShardFold<str> for TranslateFold<'t> {
+    type State = TranslateState<'t>;
+    type Out = Result<ColumnarBatch, (usize, TranslateLineError)>;
+
+    fn init(&self) -> TranslateState<'t> {
+        TranslateState {
+            stream: self.shredder.stream(),
+            err: None,
+        }
+    }
+
+    fn feed(&self, state: &mut TranslateState<'t>, line: &str, line_no: usize) {
+        if state.err.is_some() || line.trim().is_empty() {
+            return;
+        }
+        match jsonx_syntax::parse(line) {
+            Ok(doc) => {
+                if let Err(ShredError::NotARecord { .. }) = state.stream.push(&doc) {
+                    state.err = Some((line_no, TranslateLineError::NotARecord));
+                }
+            }
+            Err(e) => state.err = Some((line_no, TranslateLineError::Malformed(e))),
+        }
+    }
+
+    fn finish(&self, state: TranslateState<'t>) -> Self::Out {
+        match state.err {
+            Some(e) => Err(e),
+            None => Ok(state.stream.finish()),
+        }
+    }
+
+    fn merge(&self, left: Self::Out, right: Self::Out) -> Self::Out {
+        merge_line_results(left, right, |mut a, b| {
+            a.append(b);
+            a
+        })
+    }
+}
+
+/// Translates an NDJSON collection into one columnar batch, sequentially.
+///
+/// Schema-driven (§5): `shredder` must carry a fixed layout
+/// ([`Shredder::from_type`], typically over a type inferred by
+/// [`infer_streaming`]). The batch is identical to parsing every line and
+/// shredding the whole collection with
+/// [`Shredder::shred`](jsonx_translate::Shredder::shred) — property-tested
+/// in `tests/pipeline_equivalence.rs`. Errors carry the zero-based line index
+/// of the first offending line.
+pub fn translate_streaming(
+    ndjson: &str,
+    shredder: &Shredder,
+) -> Result<ColumnarBatch, (usize, TranslateLineError)> {
+    run_lines(
+        ndjson,
+        &TranslateFold { shredder },
+        StreamingOptions::with_workers(1),
+    )
+}
+
+/// Streaming schema-driven translation on parallel workers.
+///
+/// Each scoped worker shreds its newline-bounded shard into a private
+/// [`ShredStream`] over the shared layout; per-shard batches concatenate
+/// in shard order, so the batch is row-identical to [`translate_streaming`]
+/// — and to the DOM path — at every worker count.
+pub fn translate_streaming_parallel(
+    ndjson: &str,
+    shredder: &Shredder,
+    opts: StreamingOptions,
+) -> Result<ColumnarBatch, (usize, TranslateLineError)> {
+    run_lines(ndjson, &TranslateFold { shredder }, opts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use jsonx_core::infer_collection;
+    use jsonx_data::json;
     use jsonx_syntax::parse_ndjson;
 
     #[test]
@@ -456,6 +750,24 @@ mod tests {
                 assert!(matches!(rt.field("a").unwrap().ty, JType::Null { .. }));
             }
             other => panic!("expected record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_and_build_rebuilds_the_dom_value() {
+        let mut typer = StreamTyper::new(Equivalence::Kind);
+        for doc in [
+            r#"{"a": 1, "b": [true, null, {"c": "x\ny"}], "geo": {"lat": 1.5}}"#,
+            r#"{"dup": 1, "dup": "last-wins", "keep": 0}"#,
+            r#"[[], {}, [1, "s"]]"#,
+            "42",
+            "\"plain\"",
+            "null",
+        ] {
+            let (ty, built) = typer.type_and_build(doc.as_bytes()).unwrap();
+            let dom = jsonx_syntax::parse(doc).unwrap();
+            assert_eq!(built, dom, "doc {doc}");
+            assert_eq!(ty, jsonx_core::infer_value(&dom, Equivalence::Kind));
         }
     }
 
@@ -554,18 +866,98 @@ mod tests {
     }
 
     #[test]
-    fn shards_cover_input_without_splitting_lines() {
-        let ndjson = corpus_ndjson(100);
-        for workers in [1, 2, 3, 7, 16] {
-            let shards = shard_lines(&ndjson, workers);
-            let rejoined: String = shards.iter().map(|(_, s)| *s).collect();
-            assert_eq!(rejoined, ndjson, "workers={workers}");
-            let mut expected_line = 0;
-            for (first_line, shard) in &shards {
-                assert_eq!(*first_line, expected_line);
-                assert!(shard.ends_with('\n') || *shard == shards.last().unwrap().1);
-                expected_line += shard.bytes().filter(|&b| b == b'\n').count();
-            }
+    fn combined_pass_matches_two_passes() {
+        let schema_doc = json!({
+            "type": "object",
+            "properties": {"id": {"type": "integer"}},
+            "required": ["id"]
+        });
+        let schema = CompiledSchema::compile(&schema_doc).unwrap();
+        let vopts = ValidatorOptions::default();
+        let ndjson = corpus_ndjson(600);
+        let ty = infer_streaming(&ndjson, Equivalence::Kind).unwrap();
+        let verdicts = validate_streaming(&ndjson, &schema, vopts);
+        for workers in [1, 2, 3, 8] {
+            let combined = infer_validate_streaming_parallel(
+                &ndjson,
+                Equivalence::Kind,
+                &schema,
+                vopts,
+                StreamingOptions {
+                    workers,
+                    min_shard_bytes: 128,
+                },
+            );
+            assert_eq!(combined.ty.as_ref().unwrap(), &ty, "workers={workers}");
+            assert_eq!(combined.verdicts, verdicts, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn combined_pass_reports_first_error_and_malformed_verdicts() {
+        let schema = CompiledSchema::compile(&json!({"type": "object"})).unwrap();
+        let ndjson = "{\"a\": 1}\n{bad\nnot json\n{\"b\": 2}\n";
+        let outcome = infer_validate_streaming(
+            ndjson,
+            Equivalence::Kind,
+            &schema,
+            ValidatorOptions::default(),
+        );
+        assert_eq!(outcome.ty.unwrap_err().0, 1);
+        assert_eq!(outcome.verdicts.len(), 4);
+        assert!(outcome.verdicts[0].1.is_valid());
+        assert!(matches!(outcome.verdicts[1].1, LineVerdict::Malformed(_)));
+        assert!(matches!(outcome.verdicts[2].1, LineVerdict::Malformed(_)));
+        assert!(outcome.verdicts[3].1.is_valid());
+    }
+
+    #[test]
+    fn streaming_translation_matches_dom_shred() {
+        let ndjson = corpus_ndjson(500);
+        let docs = parse_ndjson(&ndjson).unwrap();
+        let ty = infer_collection(&docs, Equivalence::Kind);
+        let shredder = Shredder::from_type(&ty);
+        let dom = shredder.clone().shred(&docs).unwrap();
+        for workers in [1, 2, 3, 8] {
+            let streamed = translate_streaming_parallel(
+                &ndjson,
+                &shredder,
+                StreamingOptions {
+                    workers,
+                    min_shard_bytes: 128,
+                },
+            )
+            .unwrap();
+            assert_eq!(streamed, dom, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn streaming_translation_reports_first_bad_line() {
+        let mut lines: Vec<String> = corpus_ndjson(200).lines().map(str::to_string).collect();
+        lines[150] = "{oops".into();
+        lines[20] = "[1, 2]".into(); // well-formed but not a record
+        let ndjson = lines.join("\n") + "\n";
+        let docs_ty = infer_collection(
+            &parse_ndjson(&corpus_ndjson(10)).unwrap(),
+            Equivalence::Kind,
+        );
+        let shredder = Shredder::from_type(&docs_ty);
+        for workers in [1, 4] {
+            let err = translate_streaming_parallel(
+                &ndjson,
+                &shredder,
+                StreamingOptions {
+                    workers,
+                    min_shard_bytes: 64,
+                },
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                (20, TranslateLineError::NotARecord),
+                "workers={workers}"
+            );
         }
     }
 

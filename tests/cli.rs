@@ -133,6 +133,72 @@ fn convert_targets() {
 }
 
 #[test]
+fn translate_streaming_matches_convert() {
+    let (dom_out, _, ok) = run(&["convert", "--to", "columnar", "-"], SAMPLE);
+    assert!(ok);
+    // `translate` defaults to columnar and agrees with `convert` on the
+    // DOM path...
+    let (out, _, ok) = run(&["translate", "-"], SAMPLE);
+    assert!(ok);
+    assert_eq!(out, dom_out);
+    // ...and on the streaming path, at any worker count.
+    let (out, err, ok) = run(&["translate", "--streaming", "-"], SAMPLE);
+    assert!(ok, "stderr: {err}");
+    assert_eq!(out, dom_out);
+    assert!(err.contains("3 rows (streaming)"), "{err}");
+    let (out, _, ok) = run(&["translate", "--workers", "4", "-"], SAMPLE);
+    assert!(ok);
+    assert_eq!(out, dom_out);
+
+    // Streaming is columnar-only; errors carry 1-based line numbers.
+    let (_, err, ok) = run(&["translate", "--streaming", "--to", "avro", "-"], SAMPLE);
+    assert!(!ok);
+    assert!(err.contains("columnar"), "{err}");
+    let (_, err, ok) = run(&["translate", "--streaming", "-"], "{\"a\":1}\n[2]\n");
+    assert!(!ok);
+    assert!(err.contains("line 2"), "{err}");
+}
+
+#[test]
+fn infer_validate_combined_pass() {
+    let (schema, _, ok) = run(&["infer", "--schema", "-"], SAMPLE);
+    assert!(ok);
+    let dir = std::env::temp_dir().join("jsonx-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let schema_path = dir.join("combined-schema.json");
+    std::fs::write(&schema_path, &schema).unwrap();
+
+    let (dom_out, _, ok) = run(&["infer", "-"], SAMPLE);
+    assert!(ok);
+    let (out, err, ok) = run(
+        &["infer", "--validate", schema_path.to_str().unwrap(), "-"],
+        SAMPLE,
+    );
+    assert!(ok, "stderr: {err}");
+    assert_eq!(out, dom_out);
+    assert!(err.contains("3/3 documents valid (combined pass)"), "{err}");
+
+    // Invalid documents get interpreter diagnostics but the type still
+    // prints and the run still succeeds — inference is the primary output.
+    let mut mixed = SAMPLE.to_string();
+    mixed.push_str("{\"id\": true}\n");
+    let (out, err, ok) = run(
+        &[
+            "infer",
+            "--validate",
+            schema_path.to_str().unwrap(),
+            "--workers",
+            "2",
+            "-",
+        ],
+        &mixed,
+    );
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("doc 3"), "{out}");
+    assert!(err.contains("3/4 documents valid (combined pass)"), "{err}");
+}
+
+#[test]
 fn errors_are_reported() {
     let (_, err, ok) = run(&["nonsense"], "");
     assert!(!ok);
