@@ -52,7 +52,13 @@ pub fn infer_collection_parallel(
     equiv: Equivalence,
     opts: ParallelOptions,
 ) -> JType {
-    run_slice(docs, &InferValueFold { equiv }, opts)
+    // The inference fold contains no fallible code paths of its own, so a
+    // poisoned shard can only mean a bug — surface it loudly rather than
+    // returning a silently incomplete type.
+    match run_slice(docs, &InferValueFold { equiv }, opts) {
+        Ok(ty) => ty,
+        Err(panic) => panic!("inference {panic}"),
+    }
 }
 
 #[cfg(test)]

@@ -19,11 +19,14 @@
 //!   corpora modelled on the public feeds the tutorial cites.
 //! * [`corpus::Corpus`] — a registry used by benches and examples to name
 //!   workloads.
+//! * [`dirty`] — dirty NDJSON corpora (seeded corruption with ground
+//!   truth) for the fault-tolerance suites.
 //!
 //! Everything is seeded: the same configuration always yields the same
 //! collection, byte for byte.
 
 pub mod corpus;
+pub mod dirty;
 pub mod github;
 pub mod nytimes;
 pub mod opendata;
@@ -31,4 +34,5 @@ pub mod param;
 pub mod twitter;
 
 pub use corpus::Corpus;
+pub use dirty::{dirty_ndjson, DirtyConfig, DirtyNdjson};
 pub use param::{DialedGenerator, GeneratorConfig};

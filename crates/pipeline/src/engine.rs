@@ -1,7 +1,9 @@
 //! The fold/merge execution engine.
 
 use crate::options::{PipelineOptions, SliceOptions};
+use crate::report::ShardPanic;
 use crate::shard::shard_lines;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A sharded fold: the contract every pipeline stage implements.
 ///
@@ -34,78 +36,235 @@ pub trait ShardFold<Item: ?Sized>: Sync {
     fn merge(&self, left: Self::Out, right: Self::Out) -> Self::Out;
 }
 
-/// Runs `fold` over the lines of `input`, sharded at newline boundaries.
+/// What a caught (panic-isolated) run produced: the fused output of the
+/// surviving shards plus provenance for any shard whose worker panicked.
+///
+/// A poisoned shard's partial state is lost — its records simply do not
+/// contribute to `out` — but the remaining shards still merge in shard
+/// order, so the caller can decide whether a degraded result is usable.
+#[derive(Debug)]
+pub struct RunOutcome<Out> {
+    /// The shard-order fusion of every shard that completed.
+    pub out: Out,
+    /// How many shards the input was split into (1 on the sequential
+    /// path).
+    pub shards: usize,
+    /// Shards whose fold panicked, in shard order.
+    pub poisoned: Vec<ShardPanic>,
+}
+
+/// Extracts the human-readable payload of a caught panic.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `fold` over the lines of `input`, sharded at newline boundaries,
+/// isolating worker panics.
 ///
 /// Every line — including blank ones — is fed with its global line index,
 /// exactly as a sequential `input.lines().enumerate()` would produce it.
 /// Inputs below the options' shard threshold (or a single worker) run
 /// sequentially on the caller's thread; results are identical either way.
-pub fn run_lines<F: ShardFold<str>>(input: &str, fold: &F, opts: PipelineOptions) -> F::Out {
+/// Each shard's fold (the sequential path counts as one shard) runs under
+/// `catch_unwind`: a panic poisons only that shard, and the outcome
+/// records it instead of unwinding the caller.
+pub fn run_lines_caught<F: ShardFold<str>>(
+    input: &str,
+    fold: &F,
+    opts: PipelineOptions,
+) -> RunOutcome<F::Out> {
     if opts.sequential(input.len()) {
-        let mut state = fold.init();
-        for (i, line) in input.lines().enumerate() {
-            fold.feed(&mut state, line, i);
-        }
-        return fold.finish(state);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let mut state = fold.init();
+            for (i, line) in input.lines().enumerate() {
+                fold.feed(&mut state, line, i);
+            }
+            fold.finish(state)
+        }));
+        return match caught {
+            Ok(out) => RunOutcome {
+                out,
+                shards: 1,
+                poisoned: Vec::new(),
+            },
+            Err(payload) => RunOutcome {
+                out: fuse_outs(fold, Vec::new()),
+                shards: 1,
+                poisoned: vec![ShardPanic {
+                    shard: 0,
+                    first_record: 0,
+                    message: panic_message(payload.as_ref()),
+                }],
+            },
+        };
     }
     let shards = shard_lines(input, opts.effective_workers());
-    let outs: Vec<F::Out> = std::thread::scope(|scope| {
+    let shard_count = shards.len();
+    let results: Vec<Result<F::Out, ShardPanic>> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
-            .map(|&shard| {
-                scope.spawn(move || {
-                    let mut state = fold.init();
-                    for (i, line) in shard.text.lines().enumerate() {
-                        fold.feed(&mut state, line, shard.first_line + i);
-                    }
-                    fold.finish(state)
-                })
+            .enumerate()
+            .map(|(shard_no, &shard)| {
+                let handle = scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let mut state = fold.init();
+                        for (i, line) in shard.text.lines().enumerate() {
+                            fold.feed(&mut state, line, shard.first_line + i);
+                        }
+                        fold.finish(state)
+                    }))
+                });
+                (shard_no, shard.first_line, handle)
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("pipeline worker panicked"))
+            .map(|(shard_no, first_record, h)| {
+                // `join` only fails if a panic escaped `catch_unwind`
+                // (e.g. a panicking Drop of the payload); fold both
+                // failure shapes into the same per-shard error.
+                let caught = h.join().unwrap_or_else(Err);
+                caught.map_err(|payload| ShardPanic {
+                    shard: shard_no,
+                    first_record,
+                    message: panic_message(payload.as_ref()),
+                })
+            })
             .collect()
     });
-    fuse_outs(fold, outs)
+    collect_outcome(fold, shard_count, results)
 }
 
-/// Runs `fold` over `items`, sharded into contiguous chunks.
+/// Runs `fold` over `items`, sharded into contiguous chunks, isolating
+/// worker panics (see [`run_lines_caught`] for the panic contract).
 ///
 /// The chunking mirrors the historical DOM-inference path: chunks of
 /// `ceil(len / workers)` items, never smaller than `min_chunk`.
-pub fn run_slice<T: Sync, F: ShardFold<T>>(items: &[T], fold: &F, opts: SliceOptions) -> F::Out {
+pub fn run_slice_caught<T: Sync, F: ShardFold<T>>(
+    items: &[T],
+    fold: &F,
+    opts: SliceOptions,
+) -> RunOutcome<F::Out> {
     if opts.sequential(items.len()) {
-        let mut state = fold.init();
-        for (i, item) in items.iter().enumerate() {
-            fold.feed(&mut state, item, i);
-        }
-        return fold.finish(state);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let mut state = fold.init();
+            for (i, item) in items.iter().enumerate() {
+                fold.feed(&mut state, item, i);
+            }
+            fold.finish(state)
+        }));
+        return match caught {
+            Ok(out) => RunOutcome {
+                out,
+                shards: 1,
+                poisoned: Vec::new(),
+            },
+            Err(payload) => RunOutcome {
+                out: fuse_outs(fold, Vec::new()),
+                shards: 1,
+                poisoned: vec![ShardPanic {
+                    shard: 0,
+                    first_record: 0,
+                    message: panic_message(payload.as_ref()),
+                }],
+            },
+        };
     }
     let chunk = items
         .len()
         .div_ceil(opts.effective_workers())
         .max(opts.min_chunk.max(1));
-    let outs: Vec<F::Out> = std::thread::scope(|scope| {
+    let shard_count = items.len().div_ceil(chunk);
+    let results: Vec<Result<F::Out, ShardPanic>> = std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .enumerate()
             .map(|(part_no, part)| {
-                scope.spawn(move || {
-                    let mut state = fold.init();
-                    for (i, item) in part.iter().enumerate() {
-                        fold.feed(&mut state, item, part_no * chunk + i);
-                    }
-                    fold.finish(state)
-                })
+                let handle = scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let mut state = fold.init();
+                        for (i, item) in part.iter().enumerate() {
+                            fold.feed(&mut state, item, part_no * chunk + i);
+                        }
+                        fold.finish(state)
+                    }))
+                });
+                (part_no, part_no * chunk, handle)
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("pipeline worker panicked"))
+            .map(|(shard_no, first_record, h)| {
+                let caught = h.join().unwrap_or_else(Err);
+                caught.map_err(|payload| ShardPanic {
+                    shard: shard_no,
+                    first_record,
+                    message: panic_message(payload.as_ref()),
+                })
+            })
             .collect()
     });
-    fuse_outs(fold, outs)
+    collect_outcome(fold, shard_count, results)
+}
+
+/// Splits per-shard results into surviving outputs and panic provenance,
+/// fusing the survivors in shard order.
+fn collect_outcome<Item: ?Sized, F: ShardFold<Item>>(
+    fold: &F,
+    shards: usize,
+    results: Vec<Result<F::Out, ShardPanic>>,
+) -> RunOutcome<F::Out> {
+    let mut outs = Vec::with_capacity(results.len());
+    let mut poisoned = Vec::new();
+    for result in results {
+        match result {
+            Ok(out) => outs.push(out),
+            Err(panic) => poisoned.push(panic),
+        }
+    }
+    RunOutcome {
+        out: fuse_outs(fold, outs),
+        shards,
+        poisoned,
+    }
+}
+
+/// Runs `fold` over the lines of `input`, failing cleanly (with shard
+/// provenance) if any worker panics.
+///
+/// This is the fail-fast face of [`run_lines_caught`]: same sharding and
+/// fusion, but a poisoned shard turns the whole run into an `Err` instead
+/// of surfacing a degraded result.
+pub fn run_lines<F: ShardFold<str>>(
+    input: &str,
+    fold: &F,
+    opts: PipelineOptions,
+) -> Result<F::Out, ShardPanic> {
+    let outcome = run_lines_caught(input, fold, opts);
+    match outcome.poisoned.into_iter().next() {
+        None => Ok(outcome.out),
+        Some(first) => Err(first),
+    }
+}
+
+/// Runs `fold` over `items`, failing cleanly (with shard provenance) if
+/// any worker panics — the fail-fast face of [`run_slice_caught`].
+pub fn run_slice<T: Sync, F: ShardFold<T>>(
+    items: &[T],
+    fold: &F,
+    opts: SliceOptions,
+) -> Result<F::Out, ShardPanic> {
+    let outcome = run_slice_caught(items, fold, opts);
+    match outcome.poisoned.into_iter().next() {
+        None => Ok(outcome.out),
+        Some(first) => Err(first),
+    }
 }
 
 /// Shard-order fusion; an empty shard list folds an empty state so the
@@ -178,10 +337,13 @@ mod tests {
     #[test]
     fn sharded_sum_equals_sequential_at_every_worker_count() {
         let input: String = (1..=200).map(|i| format!("{i}\n")).collect();
-        let expected = run_lines(&input, &SumFold, opts(1));
+        let expected = run_lines(&input, &SumFold, opts(1)).unwrap();
         assert_eq!(expected, Ok((1..=200i64).sum()));
         for workers in [2, 3, 8, 16] {
-            assert_eq!(run_lines(&input, &SumFold, opts(workers)), expected);
+            assert_eq!(
+                run_lines(&input, &SumFold, opts(workers)).unwrap(),
+                expected
+            );
         }
     }
 
@@ -192,7 +354,7 @@ mod tests {
         lines[7] = "early-bad".into();
         let input = lines.join("\n");
         for workers in [1, 2, 4, 8] {
-            let out = run_lines(&input, &SumFold, opts(workers));
+            let out = run_lines(&input, &SumFold, opts(workers)).unwrap();
             assert_eq!(out.as_ref().unwrap_err().0, 7, "workers={workers}");
         }
     }
@@ -201,13 +363,13 @@ mod tests {
     fn blank_lines_and_missing_trailing_newline() {
         let input = "1\n\n2\n\n3"; // blank lines, no trailing newline
         for workers in [1, 2, 4] {
-            assert_eq!(run_lines(input, &SumFold, opts(workers)), Ok(6));
+            assert_eq!(run_lines(input, &SumFold, opts(workers)).unwrap(), Ok(6));
         }
     }
 
     #[test]
     fn empty_input_yields_unit() {
-        assert_eq!(run_lines("", &SumFold, opts(4)), Ok(0));
+        assert_eq!(run_lines("", &SumFold, opts(4)).unwrap(), Ok(0));
     }
 
     /// Slice engine: concatenation-shaped fold keeps input order.
@@ -247,7 +409,8 @@ mod tests {
                     workers,
                     min_chunk: 16,
                 },
-            );
+            )
+            .unwrap();
             assert_eq!(out, expected, "workers={workers}");
         }
     }
@@ -255,7 +418,115 @@ mod tests {
     #[test]
     fn slice_engine_small_inputs_fall_back() {
         let items = [1, 2, 3];
-        let out = run_slice(&items, &CollectFold, SliceOptions::default());
+        let out = run_slice(&items, &CollectFold, SliceOptions::default()).unwrap();
         assert_eq!(out, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    /// A fold that panics on a trigger line, for panic-isolation tests.
+    struct PanicOnFold;
+
+    impl ShardFold<str> for PanicOnFold {
+        type State = Vec<usize>;
+        type Out = Vec<usize>;
+
+        fn init(&self) -> Self::State {
+            Vec::new()
+        }
+
+        fn feed(&self, state: &mut Self::State, line: &str, index: usize) {
+            if line == "boom" {
+                panic!("injected fold panic at record {index}");
+            }
+            if !line.is_empty() {
+                state.push(index);
+            }
+        }
+
+        fn finish(&self, state: Self::State) -> Self::Out {
+            state
+        }
+
+        fn merge(&self, mut left: Self::Out, right: Self::Out) -> Self::Out {
+            left.extend(right);
+            left
+        }
+    }
+
+    #[test]
+    fn panicking_shard_is_isolated_and_named() {
+        // Enough lines that 4 workers shard; "boom" lands in one shard.
+        let mut lines: Vec<String> = (0..100).map(|i| format!("line-{i:04}")).collect();
+        lines[60] = "boom".into();
+        let input = lines.join("\n");
+        let outcome = run_lines_caught(&input, &PanicOnFold, opts(4));
+        assert!(outcome.shards > 1, "input must actually shard");
+        assert_eq!(outcome.poisoned.len(), 1);
+        let poisoned = &outcome.poisoned[0];
+        assert!(poisoned.message.contains("injected fold panic"));
+        assert!(poisoned.first_record <= 60);
+        // Surviving shards still merged: every record outside the
+        // poisoned shard is present and in order.
+        assert!(!outcome.out.is_empty());
+        assert!(outcome.out.windows(2).all(|w| w[0] < w[1]));
+        assert!(!outcome.out.contains(&60));
+    }
+
+    #[test]
+    fn run_lines_fails_cleanly_on_panic() {
+        let err = run_lines("boom", &PanicOnFold, opts(1)).unwrap_err();
+        assert_eq!(err.shard, 0);
+        assert!(err.message.contains("injected fold panic"));
+    }
+
+    #[test]
+    fn sequential_path_is_panic_isolated_too() {
+        let outcome = run_lines_caught("a\nboom\nb", &PanicOnFold, opts(1));
+        assert_eq!(outcome.shards, 1);
+        assert_eq!(outcome.poisoned.len(), 1);
+        assert!(outcome.out.is_empty(), "poisoned shard's output is lost");
+    }
+
+    #[test]
+    fn slice_panic_is_isolated() {
+        struct PanicOnNegative;
+        impl ShardFold<i32> for PanicOnNegative {
+            type State = i64;
+            type Out = i64;
+            fn init(&self) -> i64 {
+                0
+            }
+            fn feed(&self, acc: &mut i64, item: &i32, _index: usize) {
+                assert!(*item >= 0, "negative item");
+                *acc += i64::from(*item);
+            }
+            fn finish(&self, acc: i64) -> i64 {
+                acc
+            }
+            fn merge(&self, a: i64, b: i64) -> i64 {
+                a + b
+            }
+        }
+        let mut items: Vec<i32> = (0..400).collect();
+        items[350] = -1;
+        let outcome = run_slice_caught(
+            &items,
+            &PanicOnNegative,
+            SliceOptions {
+                workers: 4,
+                min_chunk: 16,
+            },
+        );
+        assert_eq!(outcome.poisoned.len(), 1);
+        assert!(outcome.poisoned[0].first_record <= 350);
+        let err = run_slice(
+            &items,
+            &PanicOnNegative,
+            SliceOptions {
+                workers: 4,
+                min_chunk: 16,
+            },
+        )
+        .unwrap_err();
+        assert!(err.message.contains("negative item"));
     }
 }

@@ -30,10 +30,28 @@
 //!   in different units (bytes vs documents); the worker-resolution logic
 //!   ([`resolve_workers`]) and the fallback decisions live here once.
 
+//! * [`run_lines_caught`] / [`run_slice_caught`] — the panic-isolated
+//!   engine underneath: each shard's fold runs under `catch_unwind`, and a
+//!   [`RunOutcome`] carries the surviving shards' fusion next to
+//!   [`ShardPanic`] provenance for the poisoned ones. [`run_lines`] /
+//!   [`run_slice`] are their fail-fast faces, returning `Err` on the
+//!   first poisoned shard.
+//! * [`ErrorPolicy`] / [`ErrorSummary`] / [`RunReport`] — the
+//!   fault-tolerance vocabulary tolerant stages fold per shard and merge
+//!   in shard order, so dirty collections degrade into an account of
+//!   rejected records instead of a dead run.
+
 mod engine;
 mod options;
+mod report;
 mod shard;
 
-pub use engine::{merge_line_results, run_lines, run_slice, ShardFold};
+pub use engine::{
+    merge_line_results, run_lines, run_lines_caught, run_slice, run_slice_caught, RunOutcome,
+    ShardFold,
+};
 pub use options::{resolve_workers, PipelineOptions, SliceOptions};
+pub use report::{
+    ErrorPolicy, ErrorSummary, RecordDiagnostic, RunReport, ShardPanic, DIAGNOSTIC_SAMPLES,
+};
 pub use shard::{shard_lines, Shard};

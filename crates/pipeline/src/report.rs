@@ -1,0 +1,256 @@
+//! Fault-tolerance vocabulary: error policies, per-shard error summaries,
+//! and the run report every tolerant entry point returns.
+//!
+//! Massive real-world NDJSON collections are dirty — truncated documents,
+//! stray bytes, nesting bombs — and an all-or-nothing pipeline turns one
+//! bad record into a dead run. The types here let a stage *account* for
+//! rejected records instead: each shard folds an [`ErrorSummary`] (counts
+//! by error kind plus the first few sample diagnostics), summaries merge
+//! in shard order exactly like stage outputs, and the caller receives a
+//! [`RunReport`] alongside the result. The engine's `catch_unwind` layer
+//! reports poisoned shards through the same report as [`ShardPanic`]s.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How many sample diagnostics a summary retains by default. Counts in
+/// [`ErrorSummary::by_kind`] are always exact; only the per-record samples
+/// are capped.
+pub const DIAGNOSTIC_SAMPLES: usize = 8;
+
+/// What to do when a record is rejected (malformed, over a limit, or not
+/// the shape the stage requires).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorPolicy {
+    /// Abort the run on the first rejected record (the historical
+    /// behaviour, and still the default).
+    #[default]
+    FailFast,
+    /// Skip rejected records and keep going; `max_errors` (when set)
+    /// bounds how many rejections the whole run tolerates before it fails
+    /// anyway.
+    Skip {
+        /// Abort once the *total* rejection count exceeds this.
+        max_errors: Option<usize>,
+    },
+    /// Like `Skip`, but the summary retains a diagnostic for every
+    /// rejected record (up to `max_errors`) rather than just the first
+    /// few samples.
+    Collect {
+        /// Abort once the total rejection count exceeds this.
+        max_errors: usize,
+    },
+}
+
+impl ErrorPolicy {
+    /// Whether rejected records are tolerated at all.
+    pub fn tolerates(&self) -> bool {
+        !matches!(self, ErrorPolicy::FailFast)
+    }
+
+    /// The total-rejection bound, if any.
+    pub fn max_errors(&self) -> Option<usize> {
+        match self {
+            ErrorPolicy::FailFast => None,
+            ErrorPolicy::Skip { max_errors } => *max_errors,
+            ErrorPolicy::Collect { max_errors } => Some(*max_errors),
+        }
+    }
+
+    /// How many per-record diagnostics a shard summary should retain
+    /// under this policy (ignoring any quarantine sink, which needs them
+    /// all).
+    pub fn sample_cap(&self) -> usize {
+        match self {
+            ErrorPolicy::FailFast => DIAGNOSTIC_SAMPLES,
+            ErrorPolicy::Skip { .. } => DIAGNOSTIC_SAMPLES,
+            ErrorPolicy::Collect { max_errors } => *max_errors,
+        }
+    }
+}
+
+/// One rejected record's diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordDiagnostic {
+    /// Global record index (0-based NDJSON line number).
+    pub record: usize,
+    /// Byte offset of the error within the record.
+    pub offset: usize,
+    /// Stable machine-readable error label (e.g. `"unexpected-eof"`).
+    pub kind: &'static str,
+    /// Human-readable error message.
+    pub message: String,
+    /// The raw rejected line, retained only when a quarantine sink needs
+    /// to write it back out.
+    pub raw: Option<String>,
+}
+
+/// Per-shard (and, after merging, per-run) account of rejected records.
+///
+/// `total` and `by_kind` are exact; `rejects` holds at most the retention
+/// cap the stage was configured with, with `dropped` counting the
+/// diagnostics that fell past it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ErrorSummary {
+    /// Exact number of rejected records.
+    pub total: usize,
+    /// Exact rejection counts grouped by stable error label.
+    pub by_kind: BTreeMap<&'static str, usize>,
+    /// Sample diagnostics, in record order after merging.
+    pub rejects: Vec<RecordDiagnostic>,
+    /// How many diagnostics were discarded past the retention cap.
+    pub dropped: usize,
+}
+
+impl ErrorSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one rejection, retaining its diagnostic only while under
+    /// `cap`.
+    pub fn push(&mut self, diag: RecordDiagnostic, cap: usize) {
+        self.total += 1;
+        *self.by_kind.entry(diag.kind).or_insert(0) += 1;
+        if self.rejects.len() < cap {
+            self.rejects.push(diag);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Merges `right` (the later shard) into `self`, re-applying the
+    /// retention cap so the merged sample set is the *earliest* `cap`
+    /// diagnostics — the ones a sequential run would have kept.
+    pub fn merge(&mut self, right: ErrorSummary, cap: usize) {
+        self.total += right.total;
+        for (kind, n) in right.by_kind {
+            *self.by_kind.entry(kind).or_insert(0) += n;
+        }
+        self.dropped += right.dropped;
+        for diag in right.rejects {
+            if self.rejects.len() < cap {
+                self.rejects.push(diag);
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Whether nothing was rejected.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+/// A worker panic caught by the engine, with shard provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPanic {
+    /// Shard number (in shard order).
+    pub shard: usize,
+    /// Global index of the shard's first record.
+    pub first_record: usize,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+impl fmt::Display for ShardPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "worker panicked in shard {} (first record {}): {}",
+            self.shard, self.first_record, self.message
+        )
+    }
+}
+
+impl std::error::Error for ShardPanic {}
+
+/// The account of one tolerant streaming run, returned alongside the
+/// stage result.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Number of non-blank records processed (accepted + rejected).
+    pub records: usize,
+    /// Number of shards the input was split into (1 on the sequential
+    /// path).
+    pub shards: usize,
+    /// The merged rejection account.
+    pub errors: ErrorSummary,
+    /// Shards whose worker panicked; their partial results are lost but
+    /// the remaining shards still merge.
+    pub poisoned: Vec<ShardPanic>,
+}
+
+impl RunReport {
+    /// Whether every record was accepted and no shard panicked.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty() && self.poisoned.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(record: usize, kind: &'static str) -> RecordDiagnostic {
+        RecordDiagnostic {
+            record,
+            offset: 0,
+            kind,
+            message: format!("boom at {record}"),
+            raw: None,
+        }
+    }
+
+    #[test]
+    fn push_caps_samples_but_counts_exactly() {
+        let mut s = ErrorSummary::new();
+        for i in 0..10 {
+            s.push(diag(i, if i % 2 == 0 { "even" } else { "odd" }), 3);
+        }
+        assert_eq!(s.total, 10);
+        assert_eq!(s.by_kind["even"], 5);
+        assert_eq!(s.by_kind["odd"], 5);
+        assert_eq!(s.rejects.len(), 3);
+        assert_eq!(s.dropped, 7);
+    }
+
+    #[test]
+    fn merge_keeps_earliest_samples_in_shard_order() {
+        let mut left = ErrorSummary::new();
+        left.push(diag(1, "a"), 4);
+        left.push(diag(3, "a"), 4);
+        let mut right = ErrorSummary::new();
+        right.push(diag(7, "b"), 4);
+        right.push(diag(9, "b"), 4);
+        right.push(diag(11, "b"), 4);
+        left.merge(right, 4);
+        assert_eq!(left.total, 5);
+        let records: Vec<usize> = left.rejects.iter().map(|d| d.record).collect();
+        assert_eq!(records, vec![1, 3, 7, 9]);
+        assert_eq!(left.dropped, 1);
+        assert_eq!(left.by_kind["a"], 2);
+        assert_eq!(left.by_kind["b"], 3);
+    }
+
+    #[test]
+    fn policy_helpers() {
+        assert!(!ErrorPolicy::FailFast.tolerates());
+        assert!(ErrorPolicy::Skip { max_errors: None }.tolerates());
+        assert_eq!(
+            ErrorPolicy::Skip {
+                max_errors: Some(5)
+            }
+            .max_errors(),
+            Some(5)
+        );
+        assert_eq!(
+            ErrorPolicy::Collect { max_errors: 9 }.sample_cap(),
+            9,
+            "collect retains up to max_errors diagnostics"
+        );
+        assert_eq!(ErrorPolicy::default(), ErrorPolicy::FailFast);
+    }
+}

@@ -2,6 +2,19 @@
 
 use std::fmt;
 
+/// Which resource limit a record blew through.
+///
+/// Depth violations keep their own kind
+/// ([`ParseErrorKind::TooDeep`]); this enum covers the byte-size guards
+/// added by [`ParseLimits`](crate::ParseLimits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordLimit {
+    /// The whole record exceeded `max_input_bytes`.
+    InputBytes,
+    /// A single string literal exceeded `max_string_bytes`.
+    StringBytes,
+}
+
 /// What went wrong while parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseErrorKind {
@@ -31,6 +44,37 @@ pub enum ParseErrorKind {
     TrailingData,
     /// A keyword prefix that is not `true`/`false`/`null`.
     BadKeyword,
+    /// A [`ParseLimits`](crate::ParseLimits) byte-size guard tripped.
+    LimitExceeded(RecordLimit),
+}
+
+impl ParseErrorKind {
+    /// A stable, machine-readable label for this error kind.
+    ///
+    /// Used as the grouping key in error summaries and as the `"kind"`
+    /// field of quarantine diagnostics, so the set of labels is part of the
+    /// quarantine file format.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ParseErrorKind::UnexpectedEof => "unexpected-eof",
+            ParseErrorKind::UnexpectedByte(_) => "unexpected-byte",
+            ParseErrorKind::UnexpectedToken(_) => "unexpected-token",
+            ParseErrorKind::BadNumber => "bad-number",
+            ParseErrorKind::NumberOutOfRange => "number-out-of-range",
+            ParseErrorKind::BadEscape => "bad-escape",
+            ParseErrorKind::BadUnicodeEscape => "bad-unicode-escape",
+            ParseErrorKind::LoneSurrogate => "lone-surrogate",
+            ParseErrorKind::ControlCharacterInString => "control-character-in-string",
+            ParseErrorKind::InvalidUtf8 => "invalid-utf8",
+            ParseErrorKind::TooDeep => "too-deep",
+            ParseErrorKind::TrailingData => "trailing-data",
+            ParseErrorKind::BadKeyword => "bad-keyword",
+            ParseErrorKind::LimitExceeded(RecordLimit::InputBytes) => "limit-exceeded-input-bytes",
+            ParseErrorKind::LimitExceeded(RecordLimit::StringBytes) => {
+                "limit-exceeded-string-bytes"
+            }
+        }
+    }
 }
 
 impl fmt::Display for ParseErrorKind {
@@ -57,6 +101,12 @@ impl fmt::Display for ParseErrorKind {
             ParseErrorKind::TooDeep => write!(f, "nesting depth limit exceeded"),
             ParseErrorKind::TrailingData => write!(f, "trailing data after JSON value"),
             ParseErrorKind::BadKeyword => write!(f, "invalid keyword (expected true/false/null)"),
+            ParseErrorKind::LimitExceeded(RecordLimit::InputBytes) => {
+                write!(f, "record exceeds the configured byte limit")
+            }
+            ParseErrorKind::LimitExceeded(RecordLimit::StringBytes) => {
+                write!(f, "string literal exceeds the configured byte limit")
+            }
         }
     }
 }

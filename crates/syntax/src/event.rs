@@ -10,8 +10,9 @@
 //! allocations**. [`EventParser`] is a thin adapter yielding the owned
 //! [`Event`] form for callers that need `'static` data.
 
-use crate::error::{ParseError, ParseErrorKind};
+use crate::error::{ParseError, ParseErrorKind, RecordLimit};
 use crate::lexer::{Lexer, RawToken};
+use crate::limits::ParseLimits;
 use jsonx_data::Number;
 use std::borrow::Cow;
 
@@ -91,24 +92,34 @@ pub struct RawEventParser<'a> {
     lexer: Lexer<'a>,
     stack: Vec<Frame>,
     state: State,
-    max_depth: usize,
+    limits: ParseLimits,
+    /// Whether the first-event input-size check has run.
+    started: bool,
 }
 
 impl<'a> RawEventParser<'a> {
-    /// Creates an event parser over `input`.
+    /// Creates an event parser over `input` with [`ParseLimits::default`].
     pub fn new(input: &'a [u8]) -> Self {
         RawEventParser {
             lexer: Lexer::new(input),
             stack: Vec::new(),
             state: State::Start,
-            max_depth: 128,
+            limits: ParseLimits::default(),
+            started: false,
         }
     }
 
-    /// Overrides the nesting limit.
-    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
-        self.max_depth = max_depth;
+    /// Replaces all resource limits.
+    pub fn with_limits(mut self, limits: ParseLimits) -> Self {
+        self.limits = limits;
+        self.lexer.set_max_string_bytes(limits.max_string_bytes);
         self
+    }
+
+    /// Overrides the nesting limit.
+    pub fn with_max_depth(self, max_depth: usize) -> Self {
+        let limits = self.limits.with_max_depth(max_depth);
+        self.with_limits(limits)
     }
 
     /// Current nesting depth.
@@ -122,6 +133,20 @@ impl<'a> RawEventParser<'a> {
 
     /// Pulls the next event; `Ok(None)` signals a complete, valid document.
     pub fn next_event(&mut self) -> Result<Option<RawEvent<'a>>, ParseError> {
+        if !self.started {
+            self.started = true;
+            if let Some(limit) = self.limits.max_input_bytes {
+                if self.lexer.input().len() > limit {
+                    // Reject before touching the body; the offset marks the
+                    // first byte past the allowance.
+                    return Err(ParseError::at(
+                        ParseErrorKind::LimitExceeded(RecordLimit::InputBytes),
+                        self.lexer.input(),
+                        limit,
+                    ));
+                }
+            }
+        }
         loop {
             match self.state {
                 State::Done => {
@@ -191,7 +216,7 @@ impl<'a> RawEventParser<'a> {
     }
 
     fn push(&mut self, frame: Frame) -> Result<(), ParseError> {
-        if self.stack.len() >= self.max_depth {
+        if self.stack.len() >= self.limits.max_depth {
             return Err(self.err(ParseErrorKind::TooDeep));
         }
         self.stack.push(frame);
@@ -312,6 +337,12 @@ impl<'a> EventParser<'a> {
         EventParser {
             inner: RawEventParser::new(input),
         }
+    }
+
+    /// Replaces all resource limits.
+    pub fn with_limits(mut self, limits: ParseLimits) -> Self {
+        self.inner = self.inner.with_limits(limits);
+        self
     }
 
     /// Overrides the nesting limit.
@@ -503,5 +534,34 @@ mod tests {
         let deep = "[".repeat(10) + &"]".repeat(10);
         let p = EventParser::new(deep.as_bytes()).with_max_depth(5);
         assert!(p.collect::<Result<Vec<_>, _>>().is_err());
+    }
+
+    #[test]
+    fn input_byte_limit_rejects_before_parsing() {
+        let doc = r#"{"a": [1, 2, 3]}"#;
+        let mut p = RawEventParser::new(doc.as_bytes())
+            .with_limits(ParseLimits::new().with_max_input_bytes(8));
+        let err = p.next_event().unwrap_err();
+        assert_eq!(
+            err.kind,
+            ParseErrorKind::LimitExceeded(RecordLimit::InputBytes)
+        );
+        assert_eq!(err.offset, 8);
+        // At the limit, parsing proceeds normally.
+        let p = RawEventParser::new(doc.as_bytes())
+            .with_limits(ParseLimits::new().with_max_input_bytes(doc.len()));
+        assert!(p.collect::<Result<Vec<_>, _>>().is_ok());
+    }
+
+    #[test]
+    fn string_byte_limit_threads_to_lexer() {
+        let doc = r#"{"k": "0123456789"}"#;
+        let p = RawEventParser::new(doc.as_bytes())
+            .with_limits(ParseLimits::new().with_max_string_bytes(4));
+        let err = p.collect::<Result<Vec<_>, _>>().unwrap_err();
+        assert_eq!(
+            err.kind,
+            ParseErrorKind::LimitExceeded(RecordLimit::StringBytes)
+        );
     }
 }

@@ -3,7 +3,7 @@
 //! Operates over raw bytes, validating UTF-8 only where it can appear
 //! (inside strings), so that pure-ASCII structural scanning stays cheap.
 
-use crate::error::{ParseError, ParseErrorKind};
+use crate::error::{ParseError, ParseErrorKind, RecordLimit};
 use jsonx_data::Number;
 use std::borrow::Cow;
 
@@ -111,12 +111,27 @@ impl Token {
 pub struct Lexer<'a> {
     input: &'a [u8],
     pos: usize,
+    /// Cap on one string literal's content bytes; `None` disables the guard.
+    max_string_bytes: Option<usize>,
 }
 
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `input`.
     pub fn new(input: &'a [u8]) -> Self {
-        Lexer { input, pos: 0 }
+        Lexer {
+            input,
+            pos: 0,
+            max_string_bytes: None,
+        }
+    }
+
+    /// Caps one string literal's content size in bytes.
+    ///
+    /// On the owned (escaped) path the check runs *before* the unescape
+    /// buffer grows, so an oversized literal is rejected without the
+    /// allocation it was trying to force.
+    pub fn set_max_string_bytes(&mut self, limit: Option<usize>) {
+        self.max_string_bytes = limit;
     }
 
     /// Current byte offset (start of the next token after whitespace).
@@ -222,6 +237,14 @@ impl<'a> Lexer<'a> {
             match b {
                 b'"' => {
                     let chunk = &self.input[body_start..self.pos];
+                    if let Some(limit) = self.max_string_bytes {
+                        if chunk.len() > limit {
+                            return Err(self.err(
+                                ParseErrorKind::LimitExceeded(RecordLimit::StringBytes),
+                                start,
+                            ));
+                        }
+                    }
                     let s = std::str::from_utf8(chunk).map_err(|e| {
                         self.err(ParseErrorKind::InvalidUtf8, body_start + e.valid_up_to())
                     })?;
@@ -276,6 +299,16 @@ impl<'a> Lexer<'a> {
     fn flush_run(&self, run_start: usize, out: &mut String) -> Result<(), ParseError> {
         if run_start < self.pos {
             let chunk = &self.input[run_start..self.pos];
+            if let Some(limit) = self.max_string_bytes {
+                // Checked before the buffer grows: the literal is rejected
+                // without paying for the allocation it would have forced.
+                if out.len() + chunk.len() > limit {
+                    return Err(self.err(
+                        ParseErrorKind::LimitExceeded(RecordLimit::StringBytes),
+                        run_start,
+                    ));
+                }
+            }
             let s = std::str::from_utf8(chunk)
                 .map_err(|e| self.err(ParseErrorKind::InvalidUtf8, run_start + e.valid_up_to()))?;
             out.push_str(s);
@@ -592,6 +625,30 @@ mod tests {
             if done {
                 break;
             }
+        }
+    }
+
+    #[test]
+    fn string_byte_limit_guards_both_paths() {
+        // Borrowed (escape-free) path.
+        let mut lx = Lexer::new(br#""abcdefgh""#);
+        lx.set_max_string_bytes(Some(4));
+        assert_eq!(
+            lx.next_token_raw().unwrap_err().kind,
+            ParseErrorKind::LimitExceeded(RecordLimit::StringBytes)
+        );
+        // Owned (escaped) path: rejected before the unescape buffer grows.
+        let mut lx = Lexer::new(br#""ab\ncdefgh""#);
+        lx.set_max_string_bytes(Some(4));
+        assert_eq!(
+            lx.next_token_raw().unwrap_err().kind,
+            ParseErrorKind::LimitExceeded(RecordLimit::StringBytes)
+        );
+        // At or under the limit both paths succeed.
+        for input in [&br#""abcd""#[..], br#""ab\ncd""#] {
+            let mut lx = Lexer::new(input);
+            lx.set_max_string_bytes(Some(6));
+            assert!(matches!(lx.next_token_raw().unwrap(), RawToken::Str(_)));
         }
     }
 

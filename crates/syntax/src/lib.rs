@@ -23,13 +23,15 @@
 pub mod error;
 pub mod event;
 pub mod lexer;
+pub mod limits;
 pub mod ndjson;
 pub mod parser;
 pub mod serializer;
 
-pub use error::{ParseError, ParseErrorKind};
+pub use error::{ParseError, ParseErrorKind, RecordLimit};
 pub use event::{Event, EventParser, RawEvent, RawEventParser};
 pub use lexer::{Lexer, RawToken, Token};
+pub use limits::{ParseLimits, DEFAULT_MAX_DEPTH};
 pub use ndjson::{parse_ndjson, write_ndjson};
 pub use parser::{parse, parse_bytes, parse_with, ParserOptions};
 pub use serializer::{

@@ -2,6 +2,7 @@
 
 use crate::error::{ParseError, ParseErrorKind};
 use crate::lexer::{Lexer, Token};
+use crate::limits::DEFAULT_MAX_DEPTH;
 use jsonx_data::{Object, Value};
 
 /// Parser configuration.
@@ -17,7 +18,7 @@ pub struct ParserOptions {
 impl Default for ParserOptions {
     fn default() -> Self {
         ParserOptions {
-            max_depth: 128,
+            max_depth: DEFAULT_MAX_DEPTH,
             allow_trailing: false,
         }
     }

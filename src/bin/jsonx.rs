@@ -23,8 +23,10 @@ use jsonx::syntax::{parse, parse_ndjson, to_string, to_string_pretty};
 use jsonx::translate::{normalize, AvroCodec, AvroSchema, Shredder};
 use jsonx::Value;
 use jsonx::{
-    infer_streaming_parallel, infer_validate_streaming_parallel, translate_streaming_parallel,
-    validate_streaming_parallel, LineVerdict, StreamingOptions,
+    infer_streaming_guarded, infer_streaming_parallel, infer_validate_streaming_guarded,
+    infer_validate_streaming_parallel, translate_streaming_guarded, translate_streaming_parallel,
+    validate_streaming_guarded, validate_streaming_parallel, write_quarantine_file, ErrorPolicy,
+    FaultOptions, LineVerdict, ParseLimits, RunReport, StreamingOptions,
 };
 use std::io::Read;
 use std::process::ExitCode;
@@ -42,12 +44,14 @@ commands:
               --validate F    also validate against schema F in the same
                               pass (one tokenisation per line; implies
                               --streaming)
+            (plus the fault-tolerance flags below)
   validate  validate documents against a JSON Schema
               --schema FILE   schema document (required)
               --formats       enforce the `format` keyword
               --streaming     fail-fast per line, diagnostics on demand
               --workers N     shard across N threads (implies --streaming;
                               0 = one per CPU)
+            (plus the fault-tolerance flags below)
   profile   mongodb-schema-style streaming field profile
   skeleton  mine the frequent-structure skeleton
               --coverage F    coverage threshold in (0,1] (default 0.9)
@@ -62,12 +66,27 @@ commands:
                               (columnar only)
               --workers N     shard across N threads (implies --streaming;
                               0 = one per CPU)
+            (plus the fault-tolerance flags below)
   query     run a Jaql-style pipeline and show its inferred output schema
               --where-exists P   keep documents where path P is non-null
               --expand P         flatten the array at path P
               --project a,b.c    transform to a record of the given paths
               --top N            keep the first N results
             (stages apply in the order above)
+
+fault-tolerance flags (streaming infer / validate / translate; any of
+these implies --streaming):
+  --on-error fail|skip|collect   record-error policy (default fail).
+                                 skip drops bad records and keeps going;
+                                 collect additionally retains every
+                                 diagnostic (bounded by --max-errors,
+                                 default 1000)
+  --max-errors N                 abort once more than N records reject
+  --quarantine FILE              write one JSON diagnostic per rejected
+                                 record (with the raw line) to FILE
+  --max-depth N                  reject records nested deeper than N
+                                 (default 128)
+  --max-line-bytes N             reject records longer than N bytes
 
 FILE is newline-delimited JSON; '-' or absent reads stdin.";
 
@@ -111,7 +130,7 @@ struct Opts {
 }
 
 /// Flags that take a value.
-const VALUED: [&str; 11] = [
+const VALUED: [&str; 16] = [
     "--equiv",
     "--workers",
     "--schema",
@@ -123,6 +142,22 @@ const VALUED: [&str; 11] = [
     "--expand",
     "--project",
     "--top",
+    "--on-error",
+    "--max-errors",
+    "--quarantine",
+    "--max-depth",
+    "--max-line-bytes",
+];
+
+/// The fault-tolerance flags shared by the streaming commands; any of
+/// them routes the run through the guarded pipeline (and implies
+/// `--streaming`).
+const FAULT_FLAGS: [&str; 5] = [
+    "on-error",
+    "max-errors",
+    "quarantine",
+    "max-depth",
+    "max-line-bytes",
 ];
 
 fn parse_opts(args: &[String], allow_schema_value: bool, known: &[&str]) -> Result<Opts, String> {
@@ -171,6 +206,62 @@ impl Opts {
     }
 }
 
+/// Builds [`FaultOptions`] from the shared fault-tolerance flags, or
+/// `None` when none were given (legacy fail-fast paths).
+fn fault_options(opts: &Opts) -> Result<Option<FaultOptions>, String> {
+    if !FAULT_FLAGS.iter().any(|f| opts.has(f)) {
+        return Ok(None);
+    }
+    let max_errors: Option<usize> = opts
+        .get("max-errors")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad --max-errors: {e}"))?;
+    let policy = match opts.get("on-error").unwrap_or("fail") {
+        "fail" => ErrorPolicy::FailFast,
+        "skip" => ErrorPolicy::Skip { max_errors },
+        "collect" => ErrorPolicy::Collect {
+            max_errors: max_errors.unwrap_or(1000),
+        },
+        other => {
+            return Err(format!(
+                "unknown --on-error policy '{other}' (use fail, skip or collect)"
+            ))
+        }
+    };
+    let mut limits = ParseLimits::new();
+    if let Some(depth) = opts.get("max-depth") {
+        limits = limits.with_max_depth(depth.parse().map_err(|e| format!("bad --max-depth: {e}"))?);
+    }
+    if let Some(bytes) = opts.get("max-line-bytes") {
+        limits = limits.with_max_input_bytes(
+            bytes
+                .parse()
+                .map_err(|e| format!("bad --max-line-bytes: {e}"))?,
+        );
+    }
+    Ok(Some(FaultOptions {
+        policy,
+        keep_rejects: opts.has("quarantine"),
+        limits,
+    }))
+}
+
+/// Post-run bookkeeping for a guarded streaming command: writes the
+/// quarantine sidecar when requested, surfaces poisoned shards on
+/// stderr, and returns the `, N rejected` suffix for the summary line.
+fn finish_guarded_run(opts: &Opts, report: &RunReport) -> Result<String, String> {
+    if let Some(path) = opts.get("quarantine") {
+        let n = write_quarantine_file(std::path::Path::new(path), report)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("» {n} diagnostics quarantined to {path}");
+    }
+    for p in &report.poisoned {
+        eprintln!("» warning: {p}");
+    }
+    Ok(format!(", {} rejected", report.errors.total))
+}
+
 fn read_text(file: Option<&str>) -> Result<String, String> {
     match file {
         None | Some("-") => {
@@ -200,6 +291,11 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
             "streaming",
             "workers",
             "validate",
+            "on-error",
+            "max-errors",
+            "quarantine",
+            "max-depth",
+            "max-line-bytes",
         ],
     )?;
     let equiv = match opts.get("equiv").unwrap_or("K") {
@@ -212,8 +308,24 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         .map(str::parse)
         .transpose()
         .map_err(|e| format!("bad --workers: {e}"))?;
+    let fault = fault_options(&opts)?;
     if let Some(schema_path) = opts.get("validate") {
-        return infer_validate_cli(&opts, equiv, schema_path, workers.unwrap_or(0));
+        return infer_validate_cli(&opts, equiv, schema_path, workers.unwrap_or(0), fault);
+    }
+    if let Some(fault) = fault {
+        let text = read_text(opts.file.as_deref())?;
+        let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));
+        let (ty, report) =
+            infer_streaming_guarded(&text, equiv, sopts, fault).map_err(|e| e.to_string())?;
+        let suffix = finish_guarded_run(&opts, &report)?;
+        print_inferred_type(&opts, &ty);
+        eprintln!(
+            "» {} documents (streaming), equivalence {}, type size {} nodes{suffix}",
+            report.records - report.errors.total,
+            equiv.name(),
+            jsonx::core::type_size(&ty)
+        );
+        return Ok(());
     }
     let (ty, n_docs, mode) = if opts.has("streaming") || workers.is_some() {
         let text = read_text(opts.file.as_deref())?;
@@ -260,6 +372,7 @@ fn infer_validate_cli(
     equiv: Equivalence,
     schema_path: &str,
     workers: usize,
+    fault: Option<FaultOptions>,
 ) -> Result<(), String> {
     let schema_text =
         std::fs::read_to_string(schema_path).map_err(|e| format!("reading {schema_path}: {e}"))?;
@@ -267,19 +380,23 @@ fn infer_validate_cli(
     let schema = CompiledSchema::compile(&schema_doc).map_err(|e| e.to_string())?;
     let vopts = ValidatorOptions::default();
     let text = read_text(opts.file.as_deref())?;
-    let outcome = infer_validate_streaming_parallel(
-        &text,
-        equiv,
-        &schema,
-        vopts,
-        StreamingOptions::with_workers(workers),
-    );
-    let ty = outcome
-        .ty
-        .map_err(|(line, e)| format!("line {}: {e}", line + 1))?;
+    let sopts = StreamingOptions::with_workers(workers);
+    let (ty, verdicts, suffix) = if let Some(fault) = fault {
+        let ((ty, verdicts), report) =
+            infer_validate_streaming_guarded(&text, equiv, &schema, vopts, sopts, fault)
+                .map_err(|e| e.to_string())?;
+        let suffix = finish_guarded_run(opts, &report)?;
+        (ty, verdicts, suffix)
+    } else {
+        let outcome = infer_validate_streaming_parallel(&text, equiv, &schema, vopts, sopts);
+        let ty = outcome
+            .ty
+            .map_err(|(line, e)| format!("line {}: {e}", line + 1))?;
+        (ty, outcome.verdicts, String::new())
+    };
     let lines: Vec<&str> = text.lines().collect();
     let mut invalid = 0usize;
-    for (line_no, verdict) in &outcome.verdicts {
+    for (line_no, verdict) in &verdicts {
         if matches!(verdict, LineVerdict::Invalid) {
             invalid += 1;
             let doc = parse(lines[*line_no]).expect("combined pass parsed this line");
@@ -292,9 +409,9 @@ fn infer_validate_cli(
     }
     print_inferred_type(opts, &ty);
     eprintln!(
-        "» {}/{} documents valid (combined pass), equivalence {}, type size {} nodes",
-        outcome.verdicts.len() - invalid,
-        outcome.verdicts.len(),
+        "» {}/{} documents valid (combined pass), equivalence {}, type size {} nodes{suffix}",
+        verdicts.len() - invalid,
+        verdicts.len(),
         equiv.name(),
         jsonx::core::type_size(&ty)
     );
@@ -302,7 +419,21 @@ fn infer_validate_cli(
 }
 
 fn cmd_validate(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args, true, &["schema", "formats", "streaming", "workers"])?;
+    let opts = parse_opts(
+        args,
+        true,
+        &[
+            "schema",
+            "formats",
+            "streaming",
+            "workers",
+            "on-error",
+            "max-errors",
+            "quarantine",
+            "max-depth",
+            "max-line-bytes",
+        ],
+    )?;
     let schema_path = opts
         .get("schema")
         .ok_or("validate needs --schema SCHEMA.json")?;
@@ -318,8 +449,9 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         .map(str::parse)
         .transpose()
         .map_err(|e| format!("bad --workers: {e}"))?;
-    if opts.has("streaming") || workers.is_some() {
-        return validate_streaming_cli(&schema, vopts, workers.unwrap_or(0), opts.file.as_deref());
+    let fault = fault_options(&opts)?;
+    if opts.has("streaming") || workers.is_some() || fault.is_some() {
+        return validate_streaming_cli(&opts, &schema, vopts, workers.unwrap_or(0), fault);
     }
     let docs = read_collection(opts.file.as_deref())?;
     let mut invalid = 0usize;
@@ -342,18 +474,25 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
 /// then the error-collecting interpreter re-runs on *just* the invalid
 /// lines so diagnostics match the DOM path exactly.
 fn validate_streaming_cli(
+    opts: &Opts,
     schema: &CompiledSchema,
     vopts: ValidatorOptions,
     workers: usize,
-    file: Option<&str>,
+    fault: Option<FaultOptions>,
 ) -> Result<(), String> {
-    let text = read_text(file)?;
-    let verdicts = validate_streaming_parallel(
-        &text,
-        schema,
-        vopts,
-        StreamingOptions::with_workers(workers),
-    );
+    let text = read_text(opts.file.as_deref())?;
+    let sopts = StreamingOptions::with_workers(workers);
+    let (verdicts, suffix) = if let Some(fault) = fault {
+        let (verdicts, report) = validate_streaming_guarded(&text, schema, vopts, sopts, fault)
+            .map_err(|e| e.to_string())?;
+        let suffix = finish_guarded_run(opts, &report)?;
+        (verdicts, suffix)
+    } else {
+        (
+            validate_streaming_parallel(&text, schema, vopts, sopts),
+            String::new(),
+        )
+    };
     let lines: Vec<&str> = text.lines().collect();
     let mut invalid = 0usize;
     for (line_no, verdict) in &verdicts {
@@ -372,7 +511,7 @@ fn validate_streaming_cli(
         }
     }
     eprintln!(
-        "» {}/{} documents valid (streaming)",
+        "» {}/{} documents valid (streaming){suffix}",
         verdicts.len() - invalid,
         verdicts.len()
     );
@@ -459,14 +598,28 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
 /// whole collection ever exists. Other targets fall back to the DOM path
 /// shared with `convert`.
 fn cmd_translate(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args, false, &["to", "streaming", "workers"])?;
+    let opts = parse_opts(
+        args,
+        false,
+        &[
+            "to",
+            "streaming",
+            "workers",
+            "on-error",
+            "max-errors",
+            "quarantine",
+            "max-depth",
+            "max-line-bytes",
+        ],
+    )?;
     let target = opts.get("to").unwrap_or("columnar");
     let workers: Option<usize> = opts
         .get("workers")
         .map(str::parse)
         .transpose()
         .map_err(|e| format!("bad --workers: {e}"))?;
-    let streaming = opts.has("streaming") || workers.is_some();
+    let fault = fault_options(&opts)?;
+    let streaming = opts.has("streaming") || workers.is_some() || fault.is_some();
     if streaming && target != "columnar" {
         return Err(format!(
             "--streaming supports only columnar, not '{target}'"
@@ -478,6 +631,24 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
     }
     let text = read_text(opts.file.as_deref())?;
     let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));
+    if let Some(fault) = fault {
+        // Both passes run under the same policy: a record the typer
+        // rejected is rejected again (and quarantined) by the shredding
+        // pass, so the sidecar reflects what the batch actually dropped.
+        let (ty, _) = infer_streaming_guarded(&text, Equivalence::Kind, sopts, fault)
+            .map_err(|e| e.to_string())?;
+        let shredder = Shredder::from_type(&ty);
+        let (batch, report) = translate_streaming_guarded(&text, &shredder, sopts, fault)
+            .map_err(|e| e.to_string())?;
+        let suffix = finish_guarded_run(&opts, &report)?;
+        println!("{}", batch.schema_string());
+        eprintln!(
+            "» {} columns x {} rows (streaming){suffix}",
+            batch.columns.len(),
+            batch.rows
+        );
+        return Ok(());
+    }
     let ty = infer_streaming_parallel(&text, Equivalence::Kind, sopts)
         .map_err(|(line, e)| format!("line {}: {e}", line + 1))?;
     let shredder = Shredder::from_type(&ty);

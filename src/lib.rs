@@ -29,6 +29,7 @@
 //!   Avro-like binary row format.
 //! * [`gen`] — seeded synthetic dataset generators with heterogeneity dials.
 
+pub mod quarantine;
 pub mod streaming;
 
 pub use jsonx_baselines as baselines;
@@ -48,9 +49,14 @@ pub use jsonx_typelang as typelang;
 
 pub use jsonx_data::{json, Kind, Number, Object, Pointer, Value};
 pub use jsonx_pipeline as pipeline;
+pub use jsonx_pipeline::{ErrorPolicy, ErrorSummary, RecordDiagnostic, RunReport, ShardPanic};
+pub use jsonx_syntax::ParseLimits;
+pub use quarantine::{write_quarantine, write_quarantine_file};
 pub use streaming::{
-    infer_document_events, infer_streaming, infer_streaming_parallel, infer_validate_streaming,
-    infer_validate_streaming_parallel, translate_streaming, translate_streaming_parallel,
-    validate_streaming, validate_streaming_parallel, InferValidateOutcome, LineVerdict,
-    StreamTyper, StreamingOptions, TranslateLineError,
+    infer_document_events, infer_streaming, infer_streaming_guarded, infer_streaming_parallel,
+    infer_validate_streaming, infer_validate_streaming_guarded, infer_validate_streaming_parallel,
+    translate_streaming, translate_streaming_guarded, translate_streaming_parallel,
+    validate_streaming, validate_streaming_guarded, validate_streaming_parallel, FaultOptions,
+    InferValidateOutcome, LineVerdict, RecordIssue, StreamError, StreamTyper, StreamingOptions,
+    TranslateLineError,
 };

@@ -1,0 +1,121 @@
+//! The record quarantine sink: rejected raw lines plus structured
+//! diagnostics, written as sidecar NDJSON.
+//!
+//! Under [`ErrorPolicy::Skip`](jsonx_pipeline::ErrorPolicy::Skip) /
+//! [`Collect`](jsonx_pipeline::ErrorPolicy::Collect) with
+//! [`FaultOptions::keep_rejects`](crate::FaultOptions) set, the
+//! [`RunReport`] retains one [`RecordDiagnostic`] — including the raw
+//! line — per rejected record. This module serialises them, one JSON
+//! object per line, so a dirty corpus splits cleanly into "what the
+//! pipeline consumed" and "what it refused, and why":
+//!
+//! ```json
+//! {"line": 7, "offset": 4, "kind": "unexpected-eof", "error": "unexpected end of input at line 1, column 5 (byte 4)", "raw": "{\"a\""}
+//! ```
+//!
+//! `line` is 1-based (matching error messages and editors); `kind` is the
+//! stable label of [`ParseErrorKind::label`](jsonx_syntax::ParseErrorKind::label)
+//! (plus `"not-a-record"` from the translation stage); `raw` is the
+//! rejected line verbatim, or `null` when the run did not retain raw
+//! lines.
+
+use jsonx_data::{json, Value};
+use jsonx_pipeline::{RecordDiagnostic, RunReport};
+use jsonx_syntax::to_string;
+use std::io::Write;
+use std::path::Path;
+
+/// Serialises one reject as its quarantine diagnostic line.
+fn diagnostic_line(diag: &RecordDiagnostic) -> String {
+    let raw = match &diag.raw {
+        Some(raw) => Value::Str(raw.clone()),
+        None => Value::Null,
+    };
+    to_string(&json!({
+        "line": (diag.record as i64 + 1),
+        "offset": (diag.offset as i64),
+        "kind": diag.kind,
+        "error": diag.message.clone(),
+        "raw": raw,
+    }))
+}
+
+/// Writes the report's retained rejects to `out`, one diagnostic JSON
+/// object per line, in record order. Returns how many were written.
+pub fn write_quarantine<W: Write>(out: &mut W, report: &RunReport) -> std::io::Result<usize> {
+    for diag in &report.errors.rejects {
+        writeln!(out, "{}", diagnostic_line(diag))?;
+    }
+    Ok(report.errors.rejects.len())
+}
+
+/// Writes the report's retained rejects to the file at `path` (created or
+/// truncated). Returns how many diagnostics were written.
+pub fn write_quarantine_file(path: &Path, report: &RunReport) -> std::io::Result<usize> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let n = write_quarantine(&mut file, report)?;
+    file.flush()?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonx_pipeline::ErrorSummary;
+
+    fn report_with(rejects: Vec<RecordDiagnostic>) -> RunReport {
+        let mut errors = ErrorSummary::new();
+        for d in rejects {
+            errors.push(d, usize::MAX);
+        }
+        RunReport {
+            records: 10,
+            shards: 1,
+            errors,
+            poisoned: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn diagnostics_round_trip_as_json() {
+        let report = report_with(vec![
+            RecordDiagnostic {
+                record: 6,
+                offset: 4,
+                kind: "unexpected-eof",
+                message: "unexpected end of input".into(),
+                raw: Some("{\"a\"".into()),
+            },
+            RecordDiagnostic {
+                record: 9,
+                offset: 0,
+                kind: "not-a-record",
+                message: "not a JSON object".into(),
+                raw: None,
+            },
+        ]);
+        let mut buf = Vec::new();
+        assert_eq!(write_quarantine(&mut buf, &report).unwrap(), 2);
+        let text = String::from_utf8(buf).unwrap();
+        let docs = jsonx_syntax::parse_ndjson(&text).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].get("line").unwrap().as_i64(), Some(7));
+        assert_eq!(
+            docs[0].get("kind").unwrap().as_str(),
+            Some("unexpected-eof")
+        );
+        assert_eq!(docs[0].get("raw").unwrap().as_str(), Some("{\"a\""));
+        assert_eq!(docs[1].get("line").unwrap().as_i64(), Some(10));
+        assert_eq!(docs[1].get("raw"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn empty_report_writes_nothing() {
+        let mut buf = Vec::new();
+        assert_eq!(
+            write_quarantine(&mut buf, &report_with(Vec::new())).unwrap(),
+            0
+        );
+        assert!(buf.is_empty());
+    }
+}

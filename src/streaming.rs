@@ -41,9 +41,14 @@
 use jsonx_core::{fuse, Equivalence, JType};
 use jsonx_core::{ArrayType, FieldName, FieldType, RecordType};
 use jsonx_data::{Object, Value};
-use jsonx_pipeline::{merge_line_results, run_lines, ShardFold};
+use jsonx_pipeline::{
+    merge_line_results, run_lines, run_lines_caught, ErrorPolicy, ErrorSummary, RecordDiagnostic,
+    RunReport, ShardFold, ShardPanic,
+};
 use jsonx_schema::{CompiledSchema, FastValidator, ValidatorOptions};
-use jsonx_syntax::{ParseError, RawEvent, RawEventParser};
+use jsonx_syntax::{
+    ParseError, ParseErrorKind, ParseLimits, ParserOptions, RawEvent, RawEventParser, RecordLimit,
+};
 use jsonx_translate::{ColumnarBatch, ShredError, ShredStream, Shredder};
 use std::collections::HashSet;
 
@@ -59,6 +64,7 @@ pub use jsonx_pipeline::PipelineOptions as StreamingOptions;
 /// calls. Workers in [`infer_streaming_parallel`] each own one.
 pub struct StreamTyper {
     equiv: Equivalence,
+    limits: ParseLimits,
     stack: Vec<Frame>,
     interner: HashSet<FieldName>,
 }
@@ -132,9 +138,17 @@ impl StreamTyper {
     pub fn new(equiv: Equivalence) -> Self {
         StreamTyper {
             equiv,
+            limits: ParseLimits::default(),
             stack: Vec::new(),
             interner: HashSet::new(),
         }
+    }
+
+    /// Replaces the per-record resource limits enforced on the event
+    /// parser underneath (depth, record bytes, string bytes).
+    pub fn with_limits(mut self, limits: ParseLimits) -> Self {
+        self.limits = limits;
+        self
     }
 
     /// Returns the interned name for `key`, allocating only on first sight.
@@ -169,7 +183,7 @@ impl StreamTyper {
     /// [`type_and_build`](Self::type_and_build); `NullSink` monomorphises
     /// back to the pure typing loop.
     fn drive<S: EventSink>(&mut self, input: &[u8], sink: &mut S) -> Result<JType, ParseError> {
-        let mut parser = RawEventParser::new(input);
+        let mut parser = RawEventParser::new(input).with_limits(self.limits);
         self.stack.clear();
         let mut result: Option<JType> = None;
 
@@ -278,51 +292,353 @@ impl Frame {
 }
 
 // ---------------------------------------------------------------------------
+// Fault-tolerant execution layer
+// ---------------------------------------------------------------------------
+
+/// Why one record was rejected by a streaming stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordIssue {
+    /// The record is not well-formed JSON, or tripped a [`ParseLimits`]
+    /// guard.
+    Parse(ParseError),
+    /// The record parsed but is not a JSON object (translation shreds
+    /// records only).
+    NotARecord,
+}
+
+impl RecordIssue {
+    /// Stable machine-readable label, the grouping key of
+    /// [`ErrorSummary::by_kind`] and the `"kind"` field of quarantine
+    /// diagnostics.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            RecordIssue::Parse(e) => e.kind.label(),
+            RecordIssue::NotARecord => "not-a-record",
+        }
+    }
+
+    /// Byte offset of the error within the record (0 for shape errors).
+    pub fn offset(&self) -> usize {
+        match self {
+            RecordIssue::Parse(e) => e.offset,
+            RecordIssue::NotARecord => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for RecordIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordIssue::Parse(e) => write!(f, "{e}"),
+            RecordIssue::NotARecord => write!(f, "not a JSON object"),
+        }
+    }
+}
+
+/// How a guarded streaming run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// Under [`ErrorPolicy::FailFast`]: the first rejected record.
+    Record {
+        /// Zero-based record (line) index.
+        record: usize,
+        /// Why it was rejected.
+        issue: RecordIssue,
+    },
+    /// Under a tolerant policy: the rejection count exceeded the policy's
+    /// `max_errors` bound.
+    TooManyErrors {
+        /// The configured bound.
+        limit: usize,
+        /// Rejections seen before the run gave up (at least `limit + 1`;
+        /// shards stop counting once the bound trips, so this is a lower
+        /// bound on the corpus total).
+        seen: usize,
+    },
+    /// Under [`ErrorPolicy::FailFast`]: a worker panicked, with shard
+    /// provenance.
+    ShardPanicked(ShardPanic),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Record { record, issue } => write!(f, "line {}: {issue}", record + 1),
+            StreamError::TooManyErrors { limit, seen } => {
+                write!(f, "too many rejected records: {seen} seen, limit {limit}")
+            }
+            StreamError::ShardPanicked(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Fault-tolerance settings for the guarded streaming entry points,
+/// orthogonal to the sharding knobs in [`StreamingOptions`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultOptions {
+    /// What to do with rejected records.
+    pub policy: ErrorPolicy,
+    /// Retain **every** reject's diagnostic *and raw line* in the report —
+    /// required when a quarantine sink will write them back out.
+    pub keep_rejects: bool,
+    /// Per-record resource limits (depth, record bytes, string bytes).
+    pub limits: ParseLimits,
+}
+
+impl Default for FaultOptions {
+    fn default() -> Self {
+        FaultOptions {
+            policy: ErrorPolicy::FailFast,
+            keep_rejects: false,
+            limits: ParseLimits::default(),
+        }
+    }
+}
+
+impl FaultOptions {
+    fn sample_cap(&self) -> usize {
+        if self.keep_rejects {
+            usize::MAX
+        } else {
+            self.policy.sample_cap()
+        }
+    }
+}
+
+/// One streaming stage's record-level logic, with the error handling
+/// factored out: [`FaultFold`] supplies blank-line skipping, the central
+/// record-size guard, policy bookkeeping, and shard merging, so a stage
+/// only says what to do with one record and how to fuse shard outputs.
+trait RecordStage: Sync {
+    /// Per-worker scratch state.
+    type State;
+    /// Per-shard result.
+    type Out: Send;
+
+    fn init(&self) -> Self::State;
+    /// Processes one non-blank record; `Err` rejects it (the state must be
+    /// left reusable for the next record).
+    fn record(&self, state: &mut Self::State, line: &str, record: usize)
+        -> Result<(), RecordIssue>;
+    fn finish(&self, state: Self::State) -> Self::Out;
+    fn merge(&self, left: Self::Out, right: Self::Out) -> Self::Out;
+}
+
+/// Why a shard stopped feeding records early.
+#[derive(Debug, Clone, PartialEq)]
+enum Halt {
+    /// Fail-fast: the shard's first rejected record.
+    Fault { record: usize, issue: RecordIssue },
+    /// Tolerant: the shard alone exceeded the rejection bound.
+    TooMany,
+}
+
+/// What one shard yields: the stage output plus the fault account.
+struct ShardYield<T> {
+    out: T,
+    records: usize,
+    errors: ErrorSummary,
+    halt: Option<Halt>,
+}
+
+struct FaultState<T> {
+    inner: T,
+    records: usize,
+    errors: ErrorSummary,
+    halt: Option<Halt>,
+}
+
+/// The adapter that runs a [`RecordStage`] under an error policy on the
+/// sharded engine.
+struct FaultFold<'s, S> {
+    stage: &'s S,
+    fault: FaultOptions,
+}
+
+impl<'s, S: RecordStage> ShardFold<str> for FaultFold<'s, S> {
+    type State = FaultState<S::State>;
+    type Out = ShardYield<S::Out>;
+
+    fn init(&self) -> Self::State {
+        FaultState {
+            inner: self.stage.init(),
+            records: 0,
+            errors: ErrorSummary::new(),
+            halt: None,
+        }
+    }
+
+    fn feed(&self, state: &mut Self::State, line: &str, record: usize) {
+        if state.halt.is_some() || line.trim().is_empty() {
+            return;
+        }
+        state.records += 1;
+        // The record-size guard runs centrally so every stage gets it —
+        // including the DOM-parsing ones whose parser has no byte limits —
+        // and an oversized line is rejected before any parsing starts.
+        let issue = match self.fault.limits.max_input_bytes {
+            Some(limit) if line.len() > limit => Some(RecordIssue::Parse(ParseError::at(
+                ParseErrorKind::LimitExceeded(RecordLimit::InputBytes),
+                line.as_bytes(),
+                limit,
+            ))),
+            _ => self.stage.record(&mut state.inner, line, record).err(),
+        };
+        let Some(issue) = issue else { return };
+        if !self.fault.policy.tolerates() {
+            state.halt = Some(Halt::Fault { record, issue });
+            return;
+        }
+        let diag = RecordDiagnostic {
+            record,
+            offset: issue.offset(),
+            kind: issue.kind_label(),
+            message: issue.to_string(),
+            raw: self.fault.keep_rejects.then(|| line.to_string()),
+        };
+        state.errors.push(diag, self.fault.sample_cap());
+        if let Some(max) = self.fault.policy.max_errors() {
+            // Shard-local short-circuit: if this shard alone is over the
+            // bound the merged total is too, so stop paying for the rest.
+            if state.errors.total > max {
+                state.halt = Some(Halt::TooMany);
+            }
+        }
+    }
+
+    fn finish(&self, state: Self::State) -> Self::Out {
+        ShardYield {
+            out: self.stage.finish(state.inner),
+            records: state.records,
+            errors: state.errors,
+            halt: state.halt,
+        }
+    }
+
+    fn merge(&self, mut left: Self::Out, right: Self::Out) -> Self::Out {
+        // Lowest-record fault wins across shards — the error a sequential
+        // scan would have hit first (TooMany only meets TooMany, because a
+        // policy is uniform across one run).
+        let halt = match (left.halt, right.halt) {
+            (None, h) | (h, None) => h,
+            (Some(Halt::Fault { record: a, issue }), Some(Halt::Fault { record: b, .. }))
+                if a <= b =>
+            {
+                Some(Halt::Fault { record: a, issue })
+            }
+            (Some(_), Some(h)) => Some(h),
+        };
+        left.errors.merge(right.errors, self.fault.sample_cap());
+        ShardYield {
+            out: self.stage.merge(left.out, right.out),
+            records: left.records + right.records,
+            errors: left.errors,
+            halt,
+        }
+    }
+}
+
+/// Runs a stage under the fault layer and folds the outcome into the
+/// `(result, report)` / [`StreamError`] contract every guarded entry point
+/// shares.
+fn run_stage<S: RecordStage>(
+    ndjson: &str,
+    stage: &S,
+    opts: StreamingOptions,
+    fault: FaultOptions,
+) -> Result<(S::Out, RunReport), StreamError> {
+    let fold = FaultFold { stage, fault };
+    let outcome = run_lines_caught(ndjson, &fold, opts);
+    let yielded = outcome.out;
+    let mut report = RunReport {
+        records: yielded.records,
+        shards: outcome.shards,
+        errors: yielded.errors,
+        poisoned: outcome.poisoned,
+    };
+    if !fault.policy.tolerates() && !report.poisoned.is_empty() {
+        return Err(StreamError::ShardPanicked(report.poisoned.remove(0)));
+    }
+    match yielded.halt {
+        Some(Halt::Fault { record, issue }) => Err(StreamError::Record { record, issue }),
+        Some(Halt::TooMany) => Err(StreamError::TooManyErrors {
+            limit: fault.policy.max_errors().unwrap_or(0),
+            seen: report.errors.total,
+        }),
+        None => match fault.policy.max_errors() {
+            // The authoritative bound check is on the *merged* total: each
+            // shard may be under the limit while the run is over it.
+            Some(max) if report.errors.total > max => Err(StreamError::TooManyErrors {
+                limit: max,
+                seen: report.errors.total,
+            }),
+            _ => Ok((yielded.out, report)),
+        },
+    }
+}
+
+/// Maps a fail-fast [`StreamError`] back onto the historical
+/// `(line, ParseError)` shape, panicking (with shard provenance) on a
+/// poisoned shard — the legacy entry points cannot carry a panic in their
+/// signatures.
+fn legacy_parse_error<T>(
+    result: Result<(T, RunReport), StreamError>,
+) -> Result<T, (usize, ParseError)> {
+    match result {
+        Ok((out, _report)) => Ok(out),
+        Err(StreamError::Record {
+            record,
+            issue: RecordIssue::Parse(e),
+        }) => Err((record, e)),
+        Err(StreamError::ShardPanicked(p)) => panic!("pipeline {p}"),
+        Err(e) => unreachable!("fail-fast parse stage produced {e:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Inference stage
 // ---------------------------------------------------------------------------
 
-/// The inference stage: one [`StreamTyper`] per worker, first-error-line
-/// selection across shards.
-struct InferFold {
+/// The inference stage: one [`StreamTyper`] per worker, types fused with
+/// the §4.1 monoid.
+struct InferStage {
     equiv: Equivalence,
+    limits: ParseLimits,
 }
 
-struct InferState {
-    typer: StreamTyper,
-    acc: Result<JType, (usize, ParseError)>,
-}
+impl RecordStage for InferStage {
+    type State = (StreamTyper, JType);
+    type Out = JType;
 
-impl ShardFold<str> for InferFold {
-    type State = InferState;
-    type Out = Result<JType, (usize, ParseError)>;
-
-    fn init(&self) -> InferState {
-        InferState {
-            typer: StreamTyper::new(self.equiv),
-            acc: Ok(JType::Bottom),
-        }
+    fn init(&self) -> Self::State {
+        (
+            StreamTyper::new(self.equiv).with_limits(self.limits),
+            JType::Bottom,
+        )
     }
 
-    fn feed(&self, state: &mut InferState, line: &str, line_no: usize) {
-        let Ok(acc) = &mut state.acc else { return };
-        if line.trim().is_empty() {
-            return;
-        }
-        match state.typer.type_document(line.as_bytes()) {
-            Ok(ty) => {
-                let current = std::mem::replace(acc, JType::Bottom);
-                *acc = fuse(current, ty, self.equiv);
-            }
-            Err(e) => state.acc = Err((line_no, e)),
-        }
+    fn record(
+        &self,
+        (typer, acc): &mut Self::State,
+        line: &str,
+        _record: usize,
+    ) -> Result<(), RecordIssue> {
+        let ty = typer
+            .type_document(line.as_bytes())
+            .map_err(RecordIssue::Parse)?;
+        let current = std::mem::replace(acc, JType::Bottom);
+        *acc = fuse(current, ty, self.equiv);
+        Ok(())
     }
 
-    fn finish(&self, state: InferState) -> Self::Out {
-        state.acc
+    fn finish(&self, (_, acc): Self::State) -> JType {
+        acc
     }
 
-    fn merge(&self, left: Self::Out, right: Self::Out) -> Self::Out {
-        merge_line_results(left, right, |a, b| fuse(a, b, self.equiv))
+    fn merge(&self, left: JType, right: JType) -> JType {
+        fuse(left, right, self.equiv)
     }
 }
 
@@ -333,11 +649,7 @@ impl ShardFold<str> for InferFold {
 /// `tests/streaming_inference.rs` — but allocation stays proportional to
 /// nesting depth. Errors carry the zero-based line index.
 pub fn infer_streaming(ndjson: &str, equiv: Equivalence) -> Result<JType, (usize, ParseError)> {
-    run_lines(
-        ndjson,
-        &InferFold { equiv },
-        StreamingOptions::with_workers(1),
-    )
+    infer_streaming_parallel(ndjson, equiv, StreamingOptions::with_workers(1))
 }
 
 /// Types one document from its event stream.
@@ -359,7 +671,32 @@ pub fn infer_streaming_parallel(
     equiv: Equivalence,
     opts: StreamingOptions,
 ) -> Result<JType, (usize, ParseError)> {
-    run_lines(ndjson, &InferFold { equiv }, opts)
+    let stage = InferStage {
+        equiv,
+        limits: ParseLimits::default(),
+    };
+    legacy_parse_error(run_stage(ndjson, &stage, opts, FaultOptions::default()))
+}
+
+/// Streaming inference under an explicit [error policy](FaultOptions).
+///
+/// Under [`ErrorPolicy::FailFast`] this is [`infer_streaming_parallel`]
+/// returning its [`RunReport`]; under `Skip`/`Collect` rejected records
+/// (malformed JSON, limit violations) are skipped and accounted in the
+/// report, and the inferred type equals what `FailFast` infers on the same
+/// corpus with the rejected lines removed — pinned by
+/// `tests/fault_tolerance.rs` at every worker count.
+pub fn infer_streaming_guarded(
+    ndjson: &str,
+    equiv: Equivalence,
+    opts: StreamingOptions,
+    fault: FaultOptions,
+) -> Result<(JType, RunReport), StreamError> {
+    let stage = InferStage {
+        equiv,
+        limits: fault.limits,
+    };
+    run_stage(ndjson, &stage, opts, fault)
 }
 
 // ---------------------------------------------------------------------------
@@ -386,46 +723,62 @@ impl LineVerdict {
 
 /// The validation stage: one fail-fast [`FastValidator`] per worker,
 /// verdict vectors concatenated in shard order.
-struct ValidateFold<'s> {
+///
+/// Two faces share this stage. The historical one (`malformed_verdicts`)
+/// records malformed lines as inline [`LineVerdict::Malformed`] entries
+/// and never rejects a record; the guarded one rejects malformed lines to
+/// the fault layer, so the verdict vector covers exactly the records that
+/// parsed.
+struct ValidateStage<'s> {
     schema: &'s CompiledSchema,
     options: ValidatorOptions,
+    limits: ParseLimits,
+    malformed_verdicts: bool,
 }
 
-struct ValidateState<'s> {
-    validator: FastValidator<'s>,
-    verdicts: Vec<(usize, LineVerdict)>,
-}
-
-impl<'s> ShardFold<str> for ValidateFold<'s> {
-    type State = ValidateState<'s>;
-    type Out = Vec<(usize, LineVerdict)>;
-
-    fn init(&self) -> ValidateState<'s> {
-        ValidateState {
-            validator: self.schema.fast_validator_with(self.options),
-            verdicts: Vec::new(),
+impl<'s> ValidateStage<'s> {
+    fn parser_options(&self) -> ParserOptions {
+        ParserOptions {
+            max_depth: self.limits.max_depth,
+            allow_trailing: false,
         }
     }
+}
 
-    fn feed(&self, state: &mut ValidateState<'s>, line: &str, line_no: usize) {
-        if line.trim().is_empty() {
-            return;
-        }
-        let verdict = match jsonx_syntax::parse(line) {
+impl<'s> RecordStage for ValidateStage<'s> {
+    type State = (FastValidator<'s>, Vec<(usize, LineVerdict)>);
+    type Out = Vec<(usize, LineVerdict)>;
+
+    fn init(&self) -> Self::State {
+        (self.schema.fast_validator_with(self.options), Vec::new())
+    }
+
+    fn record(
+        &self,
+        (validator, verdicts): &mut Self::State,
+        line: &str,
+        record: usize,
+    ) -> Result<(), RecordIssue> {
+        match jsonx_syntax::parse_with(line.as_bytes(), self.parser_options()) {
             Ok(doc) => {
-                if state.validator.is_valid(&doc) {
+                let verdict = if validator.is_valid(&doc) {
                     LineVerdict::Valid
                 } else {
                     LineVerdict::Invalid
-                }
+                };
+                verdicts.push((record, verdict));
+                Ok(())
             }
-            Err(e) => LineVerdict::Malformed(e),
-        };
-        state.verdicts.push((line_no, verdict));
+            Err(e) if self.malformed_verdicts => {
+                verdicts.push((record, LineVerdict::Malformed(e)));
+                Ok(())
+            }
+            Err(e) => Err(RecordIssue::Parse(e)),
+        }
     }
 
-    fn finish(&self, state: ValidateState<'s>) -> Self::Out {
-        state.verdicts
+    fn finish(&self, (_, verdicts): Self::State) -> Self::Out {
+        verdicts
     }
 
     fn merge(&self, mut left: Self::Out, right: Self::Out) -> Self::Out {
@@ -447,11 +800,7 @@ pub fn validate_streaming(
     schema: &CompiledSchema,
     options: ValidatorOptions,
 ) -> Vec<(usize, LineVerdict)> {
-    run_lines(
-        ndjson,
-        &ValidateFold { schema, options },
-        StreamingOptions::with_workers(1),
-    )
+    validate_streaming_parallel(ndjson, schema, options, StreamingOptions::with_workers(1))
 }
 
 /// Validates an NDJSON collection on parallel workers.
@@ -469,7 +818,43 @@ pub fn validate_streaming_parallel(
     options: ValidatorOptions,
     opts: StreamingOptions,
 ) -> Vec<(usize, LineVerdict)> {
-    run_lines(ndjson, &ValidateFold { schema, options }, opts)
+    let stage = ValidateStage {
+        schema,
+        options,
+        limits: ParseLimits::default(),
+        malformed_verdicts: true,
+    };
+    // With malformed lines recorded as inline verdicts, the stage rejects
+    // nothing, so the fail-fast run can only fail on a poisoned shard.
+    match run_stage(ndjson, &stage, opts, FaultOptions::default()) {
+        Ok((verdicts, _report)) => verdicts,
+        Err(StreamError::ShardPanicked(p)) => panic!("pipeline {p}"),
+        Err(e) => unreachable!("verdict-only validation produced {e:?}"),
+    }
+}
+
+/// Streaming validation under an explicit [error policy](FaultOptions).
+///
+/// Unlike [`validate_streaming_parallel`] — which records malformed lines
+/// as inline [`LineVerdict::Malformed`] entries — the guarded face hands
+/// malformed records (and limit violations) to the fault layer: under
+/// `FailFast` the first one aborts the run, under `Skip`/`Collect` they
+/// are accounted in the [`RunReport`] (and quarantinable), and the verdict
+/// vector covers exactly the records that parsed.
+pub fn validate_streaming_guarded(
+    ndjson: &str,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+    opts: StreamingOptions,
+    fault: FaultOptions,
+) -> Result<(Vec<(usize, LineVerdict)>, RunReport), StreamError> {
+    let stage = ValidateStage {
+        schema,
+        options,
+        limits: fault.limits,
+        malformed_verdicts: false,
+    };
+    run_stage(ndjson, &stage, opts, fault)
 }
 
 // ---------------------------------------------------------------------------
@@ -573,13 +958,11 @@ pub fn infer_validate_streaming(
     schema: &CompiledSchema,
     options: ValidatorOptions,
 ) -> InferValidateOutcome {
-    run_lines(
+    infer_validate_streaming_parallel(
         ndjson,
-        &InferValidateFold {
-            equiv,
-            schema,
-            options,
-        },
+        equiv,
+        schema,
+        options,
         StreamingOptions::with_workers(1),
     )
 }
@@ -594,15 +977,102 @@ pub fn infer_validate_streaming_parallel(
     options: ValidatorOptions,
     opts: StreamingOptions,
 ) -> InferValidateOutcome {
-    run_lines(
-        ndjson,
-        &InferValidateFold {
-            equiv,
-            schema,
-            options,
-        },
-        opts,
-    )
+    let fold = InferValidateFold {
+        equiv,
+        schema,
+        options,
+    };
+    match run_lines(ndjson, &fold, opts) {
+        Ok(outcome) => outcome,
+        Err(p) => panic!("pipeline {p}"),
+    }
+}
+
+/// The combined single-pass stage under a tolerant policy: one
+/// tokenisation per accepted record feeds both the typer and the compiled
+/// validator; rejected records appear in neither the type nor the verdict
+/// vector (unlike the legacy combined pass, which records malformed lines
+/// as inline verdicts).
+struct InferValidateStage<'s> {
+    equiv: Equivalence,
+    schema: &'s CompiledSchema,
+    options: ValidatorOptions,
+    limits: ParseLimits,
+}
+
+impl<'s> RecordStage for InferValidateStage<'s> {
+    type State = (
+        StreamTyper,
+        FastValidator<'s>,
+        JType,
+        Vec<(usize, LineVerdict)>,
+    );
+    type Out = (JType, Vec<(usize, LineVerdict)>);
+
+    fn init(&self) -> Self::State {
+        (
+            StreamTyper::new(self.equiv).with_limits(self.limits),
+            self.schema.fast_validator_with(self.options),
+            JType::Bottom,
+            Vec::new(),
+        )
+    }
+
+    fn record(
+        &self,
+        (typer, validator, acc, verdicts): &mut Self::State,
+        line: &str,
+        record: usize,
+    ) -> Result<(), RecordIssue> {
+        let (ty, doc) = typer
+            .type_and_build(line.as_bytes())
+            .map_err(RecordIssue::Parse)?;
+        let current = std::mem::replace(acc, JType::Bottom);
+        *acc = fuse(current, ty, self.equiv);
+        let verdict = if validator.is_valid(&doc) {
+            LineVerdict::Valid
+        } else {
+            LineVerdict::Invalid
+        };
+        verdicts.push((record, verdict));
+        Ok(())
+    }
+
+    fn finish(&self, (_, _, acc, verdicts): Self::State) -> Self::Out {
+        (acc, verdicts)
+    }
+
+    fn merge(&self, left: Self::Out, right: Self::Out) -> Self::Out {
+        let (lty, mut lverdicts) = left;
+        let (rty, rverdicts) = right;
+        lverdicts.extend(rverdicts);
+        (fuse(lty, rty, self.equiv), lverdicts)
+    }
+}
+
+/// What a successful guarded combined pass yields: the fused collection
+/// type next to the per-record verdicts (original record indices).
+pub type TypedVerdicts = (JType, Vec<(usize, LineVerdict)>);
+
+/// The combined single-pass stage under an explicit
+/// [error policy](FaultOptions): the inferred type and the verdicts both
+/// cover exactly the accepted records, with rejects accounted in the
+/// [`RunReport`].
+pub fn infer_validate_streaming_guarded(
+    ndjson: &str,
+    equiv: Equivalence,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+    opts: StreamingOptions,
+    fault: FaultOptions,
+) -> Result<(TypedVerdicts, RunReport), StreamError> {
+    let stage = InferValidateStage {
+        equiv,
+        schema,
+        options,
+        limits: fault.limits,
+    };
+    run_stage(ndjson, &stage, opts, fault)
 }
 
 // ---------------------------------------------------------------------------
@@ -631,52 +1101,43 @@ impl std::fmt::Display for TranslateLineError {
 
 /// The translation stage: one [`ShredStream`] per worker over a shared
 /// fixed layout, per-shard batches concatenated in shard order.
-struct TranslateFold<'t> {
+struct TranslateStage<'t> {
     shredder: &'t Shredder,
+    limits: ParseLimits,
 }
 
-struct TranslateState<'t> {
-    stream: ShredStream<'t>,
-    err: Option<(usize, TranslateLineError)>,
-}
+impl<'t> RecordStage for TranslateStage<'t> {
+    type State = ShredStream<'t>;
+    type Out = ColumnarBatch;
 
-impl<'t> ShardFold<str> for TranslateFold<'t> {
-    type State = TranslateState<'t>;
-    type Out = Result<ColumnarBatch, (usize, TranslateLineError)>;
+    fn init(&self) -> Self::State {
+        self.shredder.stream()
+    }
 
-    fn init(&self) -> TranslateState<'t> {
-        TranslateState {
-            stream: self.shredder.stream(),
-            err: None,
+    fn record(
+        &self,
+        stream: &mut Self::State,
+        line: &str,
+        _record: usize,
+    ) -> Result<(), RecordIssue> {
+        let opts = ParserOptions {
+            max_depth: self.limits.max_depth,
+            allow_trailing: false,
+        };
+        let doc = jsonx_syntax::parse_with(line.as_bytes(), opts).map_err(RecordIssue::Parse)?;
+        match stream.push(&doc) {
+            Err(ShredError::NotARecord { .. }) => Err(RecordIssue::NotARecord),
+            _ => Ok(()),
         }
     }
 
-    fn feed(&self, state: &mut TranslateState<'t>, line: &str, line_no: usize) {
-        if state.err.is_some() || line.trim().is_empty() {
-            return;
-        }
-        match jsonx_syntax::parse(line) {
-            Ok(doc) => {
-                if let Err(ShredError::NotARecord { .. }) = state.stream.push(&doc) {
-                    state.err = Some((line_no, TranslateLineError::NotARecord));
-                }
-            }
-            Err(e) => state.err = Some((line_no, TranslateLineError::Malformed(e))),
-        }
+    fn finish(&self, stream: Self::State) -> ColumnarBatch {
+        stream.finish()
     }
 
-    fn finish(&self, state: TranslateState<'t>) -> Self::Out {
-        match state.err {
-            Some(e) => Err(e),
-            None => Ok(state.stream.finish()),
-        }
-    }
-
-    fn merge(&self, left: Self::Out, right: Self::Out) -> Self::Out {
-        merge_line_results(left, right, |mut a, b| {
-            a.append(b);
-            a
-        })
+    fn merge(&self, mut left: ColumnarBatch, right: ColumnarBatch) -> ColumnarBatch {
+        left.append(right);
+        left
     }
 }
 
@@ -693,11 +1154,7 @@ pub fn translate_streaming(
     ndjson: &str,
     shredder: &Shredder,
 ) -> Result<ColumnarBatch, (usize, TranslateLineError)> {
-    run_lines(
-        ndjson,
-        &TranslateFold { shredder },
-        StreamingOptions::with_workers(1),
-    )
+    translate_streaming_parallel(ndjson, shredder, StreamingOptions::with_workers(1))
 }
 
 /// Streaming schema-driven translation on parallel workers.
@@ -711,7 +1168,40 @@ pub fn translate_streaming_parallel(
     shredder: &Shredder,
     opts: StreamingOptions,
 ) -> Result<ColumnarBatch, (usize, TranslateLineError)> {
-    run_lines(ndjson, &TranslateFold { shredder }, opts)
+    let stage = TranslateStage {
+        shredder,
+        limits: ParseLimits::default(),
+    };
+    match run_stage(ndjson, &stage, opts, FaultOptions::default()) {
+        Ok((batch, _report)) => Ok(batch),
+        Err(StreamError::Record { record, issue }) => Err((
+            record,
+            match issue {
+                RecordIssue::Parse(e) => TranslateLineError::Malformed(e),
+                RecordIssue::NotARecord => TranslateLineError::NotARecord,
+            },
+        )),
+        Err(StreamError::ShardPanicked(p)) => panic!("pipeline {p}"),
+        Err(e) => unreachable!("fail-fast translation produced {e:?}"),
+    }
+}
+
+/// Streaming schema-driven translation under an explicit
+/// [error policy](FaultOptions): under `Skip`/`Collect` rejected records
+/// (malformed JSON, non-record lines, limit violations) simply contribute
+/// no row, and the batch equals what `FailFast` builds on the same corpus
+/// with the rejected lines removed.
+pub fn translate_streaming_guarded(
+    ndjson: &str,
+    shredder: &Shredder,
+    opts: StreamingOptions,
+    fault: FaultOptions,
+) -> Result<(ColumnarBatch, RunReport), StreamError> {
+    let stage = TranslateStage {
+        shredder,
+        limits: fault.limits,
+    };
+    run_stage(ndjson, &stage, opts, fault)
 }
 
 #[cfg(test)]
@@ -959,6 +1449,300 @@ mod tests {
                 "workers={workers}"
             );
         }
+    }
+
+    fn skip_fault(policy: ErrorPolicy) -> FaultOptions {
+        FaultOptions {
+            policy,
+            keep_rejects: true,
+            limits: ParseLimits::default(),
+        }
+    }
+
+    #[test]
+    fn skip_policy_infers_type_of_surviving_lines() {
+        let mut lines: Vec<String> = corpus_ndjson(100).lines().map(str::to_string).collect();
+        lines[13] = "{broken".into();
+        lines[55] = "[1, 2".into();
+        let dirty = lines.join("\n") + "\n";
+        // Reference: blank the bad lines (preserving indices) and fail-fast.
+        let mut clean_lines = lines.clone();
+        clean_lines[13].clear();
+        clean_lines[55].clear();
+        let clean = clean_lines.join("\n") + "\n";
+        let reference = infer_streaming(&clean, Equivalence::Kind).unwrap();
+        for workers in [1, 2, 4] {
+            let (ty, report) = infer_streaming_guarded(
+                &dirty,
+                Equivalence::Kind,
+                StreamingOptions {
+                    workers,
+                    min_shard_bytes: 64,
+                },
+                skip_fault(ErrorPolicy::Skip { max_errors: None }),
+            )
+            .unwrap();
+            assert_eq!(ty, reference, "workers={workers}");
+            assert_eq!(report.errors.total, 2);
+            let rejected: Vec<usize> = report.errors.rejects.iter().map(|d| d.record).collect();
+            assert_eq!(rejected, vec![13, 55]);
+            assert_eq!(report.errors.rejects[0].raw.as_deref(), Some("{broken"));
+            assert_eq!(report.records, 100, "rejected lines still count as records");
+        }
+    }
+
+    #[test]
+    fn failfast_guarded_matches_legacy_error() {
+        let mut lines: Vec<String> = corpus_ndjson(50).lines().map(str::to_string).collect();
+        lines[20] = "{oops".into();
+        let ndjson = lines.join("\n") + "\n";
+        let legacy = infer_streaming(&ndjson, Equivalence::Kind).unwrap_err();
+        let guarded = infer_streaming_guarded(
+            &ndjson,
+            Equivalence::Kind,
+            StreamingOptions::with_workers(1),
+            FaultOptions::default(),
+        )
+        .unwrap_err();
+        match guarded {
+            StreamError::Record {
+                record,
+                issue: RecordIssue::Parse(e),
+            } => {
+                assert_eq!(record, legacy.0);
+                assert_eq!(e, legacy.1);
+            }
+            other => panic!("expected record fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_errors_bound_trips_deterministically() {
+        let mut lines: Vec<String> = corpus_ndjson(60).lines().map(str::to_string).collect();
+        for i in [5, 15, 25, 35] {
+            lines[i] = "{bad".into();
+        }
+        let ndjson = lines.join("\n") + "\n";
+        for workers in [1, 3] {
+            let opts = StreamingOptions {
+                workers,
+                min_shard_bytes: 32,
+            };
+            // Bound above the rejection count: run succeeds.
+            let (_, report) = infer_streaming_guarded(
+                &ndjson,
+                Equivalence::Kind,
+                opts,
+                skip_fault(ErrorPolicy::Skip {
+                    max_errors: Some(4),
+                }),
+            )
+            .unwrap();
+            assert_eq!(report.errors.total, 4, "workers={workers}");
+            // Bound below: the run fails with TooManyErrors.
+            let err = infer_streaming_guarded(
+                &ndjson,
+                Equivalence::Kind,
+                opts,
+                skip_fault(ErrorPolicy::Skip {
+                    max_errors: Some(3),
+                }),
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, StreamError::TooManyErrors { limit: 3, .. }),
+                "workers={workers}, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn collect_policy_retains_all_diagnostics_up_to_bound() {
+        let mut lines: Vec<String> = corpus_ndjson(40).lines().map(str::to_string).collect();
+        for i in [3, 9, 21] {
+            lines[i] = "nope!".into();
+        }
+        let ndjson = lines.join("\n") + "\n";
+        let (_, report) = infer_streaming_guarded(
+            &ndjson,
+            Equivalence::Kind,
+            StreamingOptions::with_workers(1),
+            FaultOptions {
+                policy: ErrorPolicy::Collect { max_errors: 100 },
+                keep_rejects: false,
+                limits: ParseLimits::default(),
+            },
+        )
+        .unwrap();
+        assert_eq!(report.errors.rejects.len(), 3);
+        assert_eq!(report.errors.dropped, 0);
+        // Without keep_rejects the raw lines are not retained.
+        assert!(report.errors.rejects.iter().all(|d| d.raw.is_none()));
+    }
+
+    #[test]
+    fn resource_limits_reject_pathological_records() {
+        let bomb = "[".repeat(200) + &"]".repeat(200);
+        let huge = format!("[{}1]", "1, ".repeat(600));
+        let ndjson = format!("{{\"ok\": 1}}\n{bomb}\n{huge}\n{{\"ok\": 2}}\n");
+        let fault = FaultOptions {
+            policy: ErrorPolicy::Skip { max_errors: None },
+            keep_rejects: false,
+            limits: ParseLimits::new()
+                .with_max_depth(128)
+                .with_max_input_bytes(1024)
+                .with_max_string_bytes(64),
+        };
+        let (ty, report) = infer_streaming_guarded(
+            &ndjson,
+            Equivalence::Kind,
+            StreamingOptions::with_workers(1),
+            fault,
+        )
+        .unwrap();
+        assert_eq!(report.errors.total, 2);
+        assert_eq!(report.errors.by_kind["too-deep"], 1);
+        assert_eq!(report.errors.by_kind["limit-exceeded-input-bytes"], 1);
+        // Only the two {"ok": n} records contribute to the type.
+        assert_eq!(ty.count(), 2);
+    }
+
+    #[test]
+    fn string_limit_rejects_on_event_path() {
+        let ndjson = format!("{{\"k\": \"{}\"}}\n{{\"k\": \"s\"}}\n", "y".repeat(100));
+        let fault = FaultOptions {
+            policy: ErrorPolicy::Skip { max_errors: None },
+            keep_rejects: false,
+            limits: ParseLimits::new().with_max_string_bytes(16),
+        };
+        let (_, report) = infer_streaming_guarded(
+            &ndjson,
+            Equivalence::Kind,
+            StreamingOptions::with_workers(1),
+            fault,
+        )
+        .unwrap();
+        assert_eq!(report.errors.by_kind["limit-exceeded-string-bytes"], 1);
+        assert_eq!(report.errors.total, 1);
+    }
+
+    #[test]
+    fn guarded_validation_rejects_malformed_instead_of_verdicts() {
+        let schema = CompiledSchema::compile(&json!({"type": "object"})).unwrap();
+        let ndjson = "{\"a\": 1}\n{oops\n[1, 2]\n";
+        let (verdicts, report) = validate_streaming_guarded(
+            ndjson,
+            &schema,
+            ValidatorOptions::default(),
+            StreamingOptions::with_workers(1),
+            skip_fault(ErrorPolicy::Skip { max_errors: None }),
+        )
+        .unwrap();
+        assert_eq!(
+            verdicts,
+            vec![(0, LineVerdict::Valid), (2, LineVerdict::Invalid)]
+        );
+        assert_eq!(report.errors.total, 1);
+        assert_eq!(report.errors.rejects[0].record, 1);
+    }
+
+    #[test]
+    fn guarded_translation_skips_non_records() {
+        let ndjson = corpus_ndjson(30);
+        let docs = parse_ndjson(&ndjson).unwrap();
+        let ty = infer_collection(&docs, Equivalence::Kind);
+        let shredder = Shredder::from_type(&ty);
+        let mut lines: Vec<String> = ndjson.lines().map(str::to_string).collect();
+        lines[10] = "[1, 2]".into();
+        lines[17] = "{nope".into();
+        let dirty = lines.join("\n") + "\n";
+        let mut clean = lines.clone();
+        clean[10].clear();
+        clean[17].clear();
+        let clean = clean.join("\n") + "\n";
+        let reference = translate_streaming(&clean, &shredder).unwrap();
+        let (batch, report) = translate_streaming_guarded(
+            &dirty,
+            &shredder,
+            StreamingOptions::with_workers(1),
+            skip_fault(ErrorPolicy::Skip { max_errors: None }),
+        )
+        .unwrap();
+        assert_eq!(batch, reference);
+        assert_eq!(report.errors.total, 2);
+        assert_eq!(report.errors.by_kind["not-a-record"], 1);
+    }
+
+    /// A stage that panics on a trigger line — the facade-level face of
+    /// the engine's panic isolation.
+    struct PanicStage;
+
+    impl RecordStage for PanicStage {
+        type State = usize;
+        type Out = usize;
+
+        fn init(&self) -> usize {
+            0
+        }
+
+        fn record(&self, seen: &mut usize, line: &str, _record: usize) -> Result<(), RecordIssue> {
+            assert!(!line.contains("boom"), "injected stage panic");
+            *seen += 1;
+            Ok(())
+        }
+
+        fn finish(&self, seen: usize) -> usize {
+            seen
+        }
+
+        fn merge(&self, a: usize, b: usize) -> usize {
+            a + b
+        }
+    }
+
+    #[test]
+    fn panicked_shard_fails_cleanly_under_failfast() {
+        let mut lines: Vec<String> = (0..80).map(|i| format!("{{\"i\": {i}}}")).collect();
+        lines[60] = "{\"i\": \"boom\"}".into();
+        let ndjson = lines.join("\n") + "\n";
+        let err = run_stage(
+            &ndjson,
+            &PanicStage,
+            StreamingOptions {
+                workers: 4,
+                min_shard_bytes: 32,
+            },
+            FaultOptions::default(),
+        )
+        .unwrap_err();
+        match err {
+            StreamError::ShardPanicked(p) => {
+                assert!(p.message.contains("injected stage panic"));
+            }
+            other => panic!("expected shard panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicked_shard_degrades_gracefully_under_skip() {
+        let mut lines: Vec<String> = (0..80).map(|i| format!("{{\"i\": {i}}}")).collect();
+        lines[60] = "{\"i\": \"boom\"}".into();
+        let ndjson = lines.join("\n") + "\n";
+        let (seen, report) = run_stage(
+            &ndjson,
+            &PanicStage,
+            StreamingOptions {
+                workers: 4,
+                min_shard_bytes: 32,
+            },
+            skip_fault(ErrorPolicy::Skip { max_errors: None }),
+        )
+        .unwrap();
+        assert_eq!(report.poisoned.len(), 1, "one shard poisoned");
+        assert!(report.poisoned[0].message.contains("injected stage panic"));
+        assert!(report.shards > 1);
+        // The surviving shards' records merged.
+        assert!(seen > 0 && seen < 80, "got {seen}");
     }
 
     #[test]

@@ -238,3 +238,155 @@ fn query_pipeline_with_static_typing() {
     assert!(!ok);
     assert!(err.contains("bad --top"));
 }
+
+/// The dirty fixture shipped in `examples/`, and its fail-fast reference:
+/// the same lines with the three corrupt ones blanked.
+const DIRTY_FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/dirty.ndjson");
+
+fn dirty_fixture_cleaned() -> String {
+    let text = std::fs::read_to_string(DIRTY_FIXTURE).expect("read examples/dirty.ndjson");
+    text.lines()
+        .map(|l| {
+            if jsonx::syntax::parse(l).is_ok() {
+                l
+            } else {
+                ""
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+#[test]
+fn infer_skip_policy_quarantines_and_matches_prefiltered_type() {
+    let quarantine = std::env::temp_dir().join("jsonx_cli_test_quarantine.ndjson");
+    let q = quarantine.to_str().unwrap();
+    // Fail-fast on the dirty fixture names its first bad line.
+    let (_, err, ok) = run(&["infer", "--streaming", DIRTY_FIXTURE], "");
+    assert!(!ok);
+    assert!(err.contains("line 3"), "{err}");
+    // Skip + quarantine succeeds and reports the rejects.
+    let (out, err, ok) = run(
+        &[
+            "infer",
+            "--streaming",
+            "--on-error",
+            "skip",
+            "--quarantine",
+            q,
+            DIRTY_FIXTURE,
+        ],
+        "",
+    );
+    assert!(ok, "stderr: {err}");
+    assert!(err.contains("5 documents (streaming)"), "{err}");
+    assert!(err.contains("3 rejected"), "{err}");
+    // The inferred type equals fail-fast inference over the fixture with
+    // the bad lines removed.
+    let (ref_out, ref_err, ok) = run(&["infer", "--streaming", "-"], &dirty_fixture_cleaned());
+    assert!(ok, "stderr: {ref_err}");
+    assert_eq!(out, ref_out);
+    // One diagnostic per rejected line, each with the raw line retained.
+    let qtext = std::fs::read_to_string(&quarantine).expect("quarantine written");
+    let _ = std::fs::remove_file(&quarantine);
+    let diags = jsonx::syntax::parse_ndjson(&qtext).expect("quarantine is valid NDJSON");
+    assert_eq!(diags.len(), 3);
+    let lines: Vec<i64> = diags
+        .iter()
+        .map(|d| d.get("line").unwrap().as_i64().unwrap())
+        .collect();
+    assert_eq!(lines, vec![3, 6, 8]);
+    assert!(diags
+        .iter()
+        .all(|d| d.get("raw").unwrap().as_str().is_some()));
+    assert!(diags
+        .iter()
+        .all(|d| d.get("kind").unwrap().as_str().is_some()));
+}
+
+#[test]
+fn validate_and_translate_honour_error_policies() {
+    let text = std::fs::read_to_string(DIRTY_FIXTURE).unwrap();
+    // Tolerant validation: every surviving record is an object, so the
+    // run passes and reports the rejects.
+    let (_, err, ok) = run(
+        &[
+            "validate",
+            "--schema",
+            "/dev/stdin",
+            "--streaming",
+            "--on-error",
+            "skip",
+            DIRTY_FIXTURE,
+        ],
+        "{\"type\": \"object\"}",
+    );
+    // /dev/stdin may be unavailable; fall back to a temp schema file.
+    let (err, ok) = if ok {
+        (err, ok)
+    } else {
+        let schema = std::env::temp_dir().join("jsonx_cli_test_schema.json");
+        std::fs::write(&schema, "{\"type\": \"object\"}").unwrap();
+        let (_, err, ok) = run(
+            &[
+                "validate",
+                "--schema",
+                schema.to_str().unwrap(),
+                "--on-error",
+                "skip",
+                DIRTY_FIXTURE,
+            ],
+            "",
+        );
+        let _ = std::fs::remove_file(&schema);
+        (err, ok)
+    };
+    assert!(ok, "stderr: {err}");
+    assert!(err.contains("3 rejected"), "{err}");
+    // Tolerant translation drops the same records from the batch.
+    let (out, err, ok) = run(&["translate", "--on-error", "skip", DIRTY_FIXTURE], "");
+    assert!(ok, "stderr: {err}");
+    assert!(err.contains("3 rejected"), "{err}");
+    assert!(out.contains("id"), "{out}");
+    // A strict error bound turns the same run into a failure.
+    let (_, err, ok) = run(
+        &[
+            "infer",
+            "--on-error",
+            "skip",
+            "--max-errors",
+            "2",
+            DIRTY_FIXTURE,
+        ],
+        "",
+    );
+    assert!(!ok);
+    assert!(err.contains("too many"), "{err}");
+    let _ = text;
+}
+
+#[test]
+fn resource_guard_flags_reject_pathological_lines() {
+    let deep = format!("{}1{}", "[".repeat(40), "]".repeat(40));
+    let input = format!("{{\"a\": 1}}\n{deep}\n{{\"a\": 2}}\n");
+    // Fail-fast: the depth guard kills the run.
+    let (_, err, ok) = run(&["infer", "--max-depth", "8", "-"], &input);
+    assert!(!ok);
+    assert!(err.contains("line 2"), "{err}");
+    // Skip: the run survives and rejects exactly the bomb.
+    let (_, err, ok) = run(
+        &["infer", "--max-depth", "8", "--on-error", "skip", "-"],
+        &input,
+    );
+    assert!(ok, "stderr: {err}");
+    assert!(err.contains("2 documents (streaming)"), "{err}");
+    assert!(err.contains("1 rejected"), "{err}");
+    // Byte guard.
+    let (_, err, ok) = run(
+        &["infer", "--max-line-bytes", "10", "--on-error", "skip", "-"],
+        "{\"a\": 1}\n{\"a\": \"0123456789abcdef\"}\n",
+    );
+    assert!(ok, "stderr: {err}");
+    assert!(err.contains("1 rejected"), "{err}");
+}
