@@ -71,6 +71,16 @@ fn main() {
         ndjson.len() as f64 / (1024.0 * 1024.0)
     );
 
+    // Warm up both paths before timing anything: the first pass over a
+    // ~40 MiB corpus pays page faults and cache population that have
+    // nothing to do with the policy layer, and charging them to whichever
+    // variant happens to run first inflated its "overhead" by ~20 points.
+    black_box(infer_streaming_parallel(&ndjson, Equivalence::Kind, opts).expect("clean"));
+    black_box(
+        infer_streaming_guarded(&ndjson, Equivalence::Kind, opts, FaultOptions::default())
+            .expect("clean"),
+    );
+
     let t = Instant::now();
     let legacy_ty = infer_streaming_parallel(&ndjson, Equivalence::Kind, opts).expect("clean");
     let legacy_time = t.elapsed();

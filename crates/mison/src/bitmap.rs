@@ -1,432 +1,9 @@
-//! Word-parallel structural bitmaps.
+//! Structural bitmaps — promoted to [`jsonx_syntax::structural`].
 //!
-//! Stage 1 of the Mison pipeline. Each `u64` word covers 64 input bytes,
-//! bit *i* of word *w* describing byte `w*64 + i`. The construction
-//! mirrors the paper:
-//!
-//! * per-character bitmaps by 64-lane comparison,
-//! * unescaped-quote detection via backslash-run parity,
-//! * the **string mask** via a prefix-XOR within each word (the software
-//!   equivalent of the paper's carry-less multiplication by all-ones) with
-//!   a carry bit propagated across words,
-//! * structural bitmaps masked to positions *outside* string literals.
+//! The word-parallel bitmap builder originally developed here now lives
+//! in `jsonx-syntax`, where the streaming pipeline's fast parse path uses
+//! it without a crate cycle. This module re-exports it so the research
+//! testbed (leveled index, projection, speculation experiments, and the
+//! `prop_bitmaps` differential suite) keeps its original paths.
 
-/// Structural bitmaps for one JSON document.
-#[derive(Debug, Clone)]
-pub struct Bitmaps {
-    /// Input length in bytes.
-    pub len: usize,
-    /// Unescaped quotes.
-    pub quote: Vec<u64>,
-    /// `:` outside strings.
-    pub colon: Vec<u64>,
-    /// `,` outside strings.
-    pub comma: Vec<u64>,
-    /// `{` outside strings.
-    pub lbrace: Vec<u64>,
-    /// `}` outside strings.
-    pub rbrace: Vec<u64>,
-    /// `[` outside strings.
-    pub lbracket: Vec<u64>,
-    /// `]` outside strings.
-    pub rbracket: Vec<u64>,
-    /// 1 = byte is inside a string literal (between quotes).
-    pub string_mask: Vec<u64>,
-}
-
-/// Prefix XOR within a word: bit i of the result is the XOR of bits 0..=i
-/// of the input — the software stand-in for `PCLMULQDQ(m, ~0)`.
-#[inline]
-fn prefix_xor(m: u64) -> u64 {
-    let mut x = m;
-    x ^= x << 1;
-    x ^= x << 2;
-    x ^= x << 4;
-    x ^= x << 8;
-    x ^= x << 16;
-    x ^= x << 32;
-    x
-}
-
-/// SWAR byte-equality: returns a mask with `0x80` at every byte of
-/// `word` equal to `byte` (the classic carry-borrow trick — 8 lanes per
-/// operation, the portable stand-in for `_mm256_cmpeq_epi8`).
-#[inline]
-fn eq_mask(word: u64, byte: u8) -> u64 {
-    const LOW: u64 = 0x0101_0101_0101_0101;
-    const LOW7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
-    const HIGH: u64 = 0x8080_8080_8080_8080;
-    // Exact zero-byte detection: per-byte `(b & 0x7f) + 0x7f` sets bit 7
-    // iff the low bits are non-zero and never carries across bytes (the
-    // `(x - LOW) & !x` variant false-positives on 0x01 bytes trailing a
-    // match — caught by the prop_bitmaps oracle tests).
-    let x = word ^ (LOW * u64::from(byte));
-    let t = (x & LOW7) + LOW7;
-    !(t | x) & HIGH
-}
-
-/// Compresses an `eq_mask` result into 8 low bits, byte *i* → bit *i*
-/// (the portable `movemask`). Collision-free by construction: term
-/// positions `8i + 7j + 7` are distinct for all byte/multiplier pairs.
-#[inline]
-fn movemask(m: u64) -> u64 {
-    (m >> 7).wrapping_mul(0x0102_0408_1020_4080) >> 56
-}
-
-/// Builds one character's bitmap word from a 64-byte chunk.
-#[inline]
-fn chunk_mask(chunk: &[u8; 64], byte: u8) -> u64 {
-    let mut out = 0u64;
-    for (k, sub) in chunk.chunks_exact(8).enumerate() {
-        let w = u64::from_le_bytes(sub.try_into().expect("8-byte subword"));
-        out |= movemask(eq_mask(w, byte)) << (k * 8);
-    }
-    out
-}
-
-/// Builds all bitmaps for `input` using 64-lane word-parallel scanning.
-///
-/// The fast path assumes no backslashes in a chunk (overwhelmingly the
-/// common case); chunks containing backslashes fall back to the scalar
-/// escape-parity scan for their quote bits. `build_scalar` is the
-/// byte-at-a-time reference implementation the property tests compare
-/// against.
-pub fn build(input: &[u8]) -> Bitmaps {
-    let words = input.len().div_ceil(64);
-    let mut quote = vec![0u64; words];
-    let mut colon = vec![0u64; words];
-    let mut comma = vec![0u64; words];
-    let mut lbrace = vec![0u64; words];
-    let mut rbrace = vec![0u64; words];
-    let mut lbracket = vec![0u64; words];
-    let mut rbracket = vec![0u64; words];
-
-    // Parity of the backslash run carried into the current chunk.
-    let mut carry_run_odd = false;
-    let mut w = 0usize;
-    let mut chunks = input.chunks_exact(64);
-    for chunk in &mut chunks {
-        let chunk: &[u8; 64] = chunk.try_into().expect("exact chunk");
-        colon[w] = chunk_mask(chunk, b':');
-        comma[w] = chunk_mask(chunk, b',');
-        lbrace[w] = chunk_mask(chunk, b'{');
-        rbrace[w] = chunk_mask(chunk, b'}');
-        lbracket[w] = chunk_mask(chunk, b'[');
-        rbracket[w] = chunk_mask(chunk, b']');
-        let bs = chunk_mask(chunk, b'\\');
-        let mut q = chunk_mask(chunk, b'"');
-        if bs == 0 {
-            // Fast path: only the first byte can be escaped (by a run
-            // ending in the previous chunk).
-            if carry_run_odd {
-                q &= !1u64;
-            }
-            carry_run_odd = false;
-        } else {
-            // Slow path: scalar escape-parity over this chunk.
-            q = quote_bits_scalar(chunk, &mut carry_run_odd);
-        }
-        quote[w] = q;
-        w += 1;
-    }
-    // Tail (< 64 bytes): scalar.
-    let rem = chunks.remainder();
-    if !rem.is_empty() {
-        let base = w * 64;
-        let mut run_odd = carry_run_odd;
-        for (i, &b) in rem.iter().enumerate() {
-            let bit = 1u64 << ((base + i) % 64);
-            match b {
-                b'\\' => {
-                    run_odd = !run_odd;
-                    continue;
-                }
-                b'"' if !run_odd => quote[w] |= bit,
-                b':' => colon[w] |= bit,
-                b',' => comma[w] |= bit,
-                b'{' => lbrace[w] |= bit,
-                b'}' => rbrace[w] |= bit,
-                b'[' => lbracket[w] |= bit,
-                b']' => rbracket[w] |= bit,
-                _ => {}
-            }
-            run_odd = false;
-        }
-    }
-
-    // String mask: prefix-XOR per word with cross-word carry.
-    let mut string_mask = vec![0u64; words];
-    let mut carry = 0u64; // all-ones when a string spans into this word
-    for w in 0..words {
-        let m = prefix_xor(quote[w]) ^ carry;
-        string_mask[w] = m;
-        // Carry flips when the word holds an odd number of quotes.
-        if quote[w].count_ones() % 2 == 1 {
-            carry = !carry;
-        }
-    }
-
-    // Mask structural characters that sit inside strings. The closing
-    // quote's own bit is *set* in the prefix-XOR mask while the opening
-    // one is not; neither is a structural character, so the off-by-one at
-    // the quotes themselves is harmless.
-    for w in 0..words {
-        let outside = !string_mask[w];
-        colon[w] &= outside;
-        comma[w] &= outside;
-        lbrace[w] &= outside;
-        rbrace[w] &= outside;
-        lbracket[w] &= outside;
-        rbracket[w] &= outside;
-    }
-
-    Bitmaps {
-        len: input.len(),
-        quote,
-        colon,
-        comma,
-        lbrace,
-        rbrace,
-        lbracket,
-        rbracket,
-        string_mask,
-    }
-}
-
-/// Scalar quote-bit extraction for one chunk, tracking backslash-run
-/// parity across chunk boundaries.
-fn quote_bits_scalar(chunk: &[u8; 64], carry_run_odd: &mut bool) -> u64 {
-    let mut q = 0u64;
-    let mut run_odd = *carry_run_odd;
-    for (i, &b) in chunk.iter().enumerate() {
-        match b {
-            b'\\' => {
-                run_odd = !run_odd;
-                continue;
-            }
-            b'"' if !run_odd => q |= 1 << i,
-            _ => {}
-        }
-        run_odd = false;
-    }
-    *carry_run_odd = run_odd;
-    q
-}
-
-/// Byte-at-a-time reference builder (the oracle for the word-parallel
-/// fast path; also what the A1 ablation benchmarks against).
-pub fn build_scalar(input: &[u8]) -> Bitmaps {
-    let words = input.len().div_ceil(64);
-    let mut quote = vec![0u64; words];
-    let mut colon = vec![0u64; words];
-    let mut comma = vec![0u64; words];
-    let mut lbrace = vec![0u64; words];
-    let mut rbrace = vec![0u64; words];
-    let mut lbracket = vec![0u64; words];
-    let mut rbracket = vec![0u64; words];
-    let mut backslash_run = 0usize;
-    for (i, &b) in input.iter().enumerate() {
-        let (w, bit) = (i / 64, 1u64 << (i % 64));
-        match b {
-            b'\\' => {
-                backslash_run += 1;
-                continue;
-            }
-            b'"' if backslash_run.is_multiple_of(2) => quote[w] |= bit,
-            b':' => colon[w] |= bit,
-            b',' => comma[w] |= bit,
-            b'{' => lbrace[w] |= bit,
-            b'}' => rbrace[w] |= bit,
-            b'[' => lbracket[w] |= bit,
-            b']' => rbracket[w] |= bit,
-            _ => {}
-        }
-        backslash_run = 0;
-    }
-    let mut string_mask = vec![0u64; words];
-    let mut carry = 0u64;
-    for w in 0..words {
-        string_mask[w] = prefix_xor(quote[w]) ^ carry;
-        if quote[w].count_ones() % 2 == 1 {
-            carry = !carry;
-        }
-    }
-    for w in 0..words {
-        let outside = !string_mask[w];
-        colon[w] &= outside;
-        comma[w] &= outside;
-        lbrace[w] &= outside;
-        rbrace[w] &= outside;
-        lbracket[w] &= outside;
-        rbracket[w] &= outside;
-    }
-    Bitmaps {
-        len: input.len(),
-        quote,
-        colon,
-        comma,
-        lbrace,
-        rbrace,
-        lbracket,
-        rbracket,
-        string_mask,
-    }
-}
-
-impl Bitmaps {
-    /// Iterates the set-bit positions of one bitmap.
-    pub fn positions(bitmap: &[u64]) -> impl Iterator<Item = usize> + '_ {
-        bitmap
-            .iter()
-            .enumerate()
-            .flat_map(|(w, &word)| BitIter { word }.map(move |bit| w * 64 + bit))
-    }
-
-    /// True when the byte at `pos` lies inside a string literal.
-    pub fn in_string(&self, pos: usize) -> bool {
-        self.string_mask
-            .get(pos / 64)
-            .is_some_and(|w| w & (1 << (pos % 64)) != 0)
-    }
-}
-
-struct BitIter {
-    word: u64,
-}
-
-impl Iterator for BitIter {
-    type Item = usize;
-
-    fn next(&mut self) -> Option<usize> {
-        if self.word == 0 {
-            return None;
-        }
-        let bit = self.word.trailing_zeros() as usize;
-        self.word &= self.word - 1;
-        Some(bit)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn colon_positions(s: &str) -> Vec<usize> {
-        let b = build(s.as_bytes());
-        Bitmaps::positions(&b.colon).collect()
-    }
-
-    #[test]
-    fn prefix_xor_basics() {
-        assert_eq!(prefix_xor(0), 0);
-        // Single bit at 0 → all bits from 0 upward set.
-        assert_eq!(prefix_xor(1), u64::MAX);
-        // Bits at 1 and 3 → mask covers bits 1 and 2 (the [1,3) span).
-        assert_eq!(prefix_xor(0b1010), 0b0110);
-    }
-
-    #[test]
-    fn structural_positions() {
-        let s = r#"{"a": 1, "b": [2, 3]}"#;
-        assert_eq!(colon_positions(s), vec![4, 12]);
-        let b = build(s.as_bytes());
-        assert_eq!(
-            Bitmaps::positions(&b.comma).collect::<Vec<_>>(),
-            vec![7, 16]
-        );
-        assert_eq!(Bitmaps::positions(&b.lbrace).collect::<Vec<_>>(), vec![0]);
-        assert_eq!(
-            Bitmaps::positions(&b.lbracket).collect::<Vec<_>>(),
-            vec![14]
-        );
-    }
-
-    #[test]
-    fn colons_inside_strings_are_masked() {
-        let s = r#"{"time": "12:30:00", "x": 1}"#;
-        // Only the two key colons survive.
-        assert_eq!(colon_positions(s).len(), 2);
-    }
-
-    #[test]
-    fn escaped_quotes_do_not_toggle_strings() {
-        let s = r#"{"k\"ey": "va\\\"l:ue", "x": 1}"#;
-        // The only structural colons are after "k\"ey" and "x".
-        let cols = colon_positions(s);
-        assert_eq!(cols.len(), 2);
-        // Braces inside the values stay masked.
-        let b = build(s.as_bytes());
-        assert_eq!(Bitmaps::positions(&b.lbrace).count(), 1);
-    }
-
-    #[test]
-    fn escaped_backslash_before_quote() {
-        // "a\\" — the quote after two backslashes IS a real closing quote.
-        let s = r#"{"a": "b\\", "c": 1}"#;
-        assert_eq!(colon_positions(s).len(), 2);
-    }
-
-    #[test]
-    fn string_mask_spans_words() {
-        // A string longer than 64 bytes must keep the mask set across the
-        // word boundary.
-        let long = format!(r#"{{"k": "{}", "x": 1}}"#, "a:".repeat(64));
-        let cols = colon_positions(&long);
-        assert_eq!(
-            cols.len(),
-            2,
-            "colons inside the long string must be masked"
-        );
-    }
-
-    #[test]
-    fn in_string_probe() {
-        let s = r#"{"a": "x:y"}"#;
-        let b = build(s.as_bytes());
-        let colon_in_string = s.find(":y").unwrap();
-        assert!(b.in_string(colon_in_string));
-        assert!(!b.in_string(4)); // the structural colon
-    }
-
-    #[test]
-    fn swar_primitives() {
-        let word = u64::from_le_bytes(*b"a:b::cd\"");
-        let m = eq_mask(word, b':');
-        assert_eq!(movemask(m), 0b0011010);
-        assert_eq!(movemask(eq_mask(word, b'"')), 0b10000000);
-        assert_eq!(movemask(eq_mask(word, b'x')), 0);
-    }
-
-    #[test]
-    fn word_parallel_matches_scalar_reference() {
-        let samples: Vec<String> = vec![
-            r#"{"a": 1, "b": [true, "x:y"], "c\\": "d\""}"#.to_string(),
-            "x".repeat(200),
-            format!(r#"{{"long": "{}"}}"#, "ab\\\"c".repeat(40)),
-            format!("{}{}", "\\".repeat(63), '"'),
-            format!("{}{}", "\\".repeat(64), '"'),
-            String::new(),
-        ];
-        for text in samples {
-            let fast = build(text.as_bytes());
-            let slow = build_scalar(text.as_bytes());
-            assert_eq!(fast.quote, slow.quote, "quotes differ on {text:?}");
-            assert_eq!(fast.colon, slow.colon, "colons differ on {text:?}");
-            assert_eq!(
-                fast.string_mask, slow.string_mask,
-                "mask differs on {text:?}"
-            );
-            assert_eq!(fast.lbrace, slow.lbrace);
-            assert_eq!(fast.comma, slow.comma);
-        }
-    }
-
-    #[test]
-    fn empty_and_tiny_inputs() {
-        let b = build(b"");
-        assert_eq!(b.len, 0);
-        assert_eq!(Bitmaps::positions(&b.colon).count(), 0);
-        let b = build(b"1");
-        assert_eq!(b.len, 1);
-    }
-}
+pub use jsonx_syntax::structural::{build, build_scalar, Bitmaps};

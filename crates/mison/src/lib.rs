@@ -5,14 +5,28 @@
 //! decoder (Bonetta & Brantner, PVLDB 2017) — the two §4.2 parsing systems
 //! the tutorial surveys.
 //!
+//! ## Role in the workspace
+//!
+//! This crate is the **research testbed** where the paper's pipeline is
+//! reproduced stage by stage and each stage can be measured in
+//! isolation. The *production* fast path — the fused structural scanner +
+//! projection pushdown the streaming CLI uses under `--fast-parse` —
+//! lives in [`jsonx_syntax::structural`], where stage 1 (the bitmap
+//! builder) was promoted; [`bitmap`] re-exports it so the experiments and
+//! differential tests here keep running against the same bits. The
+//! leveled index, dotted-path projection, and pattern-tree speculation
+//! stages remain here as reference implementations: the fused scanner
+//! deliberately absorbs their *ideas* (skip-scanning, verified
+//! speculation) rather than their code.
+//!
 //! The Mison pipeline, reproduced stage by stage:
 //!
-//! 1. **Word-parallel bitmap construction** ([`bitmap`]): one `u64` lane
-//!    per 64 input bytes; quote/colon/comma/brace bitmaps, backslash-aware
-//!    unescaped-quote detection, and the carry-propagating prefix-XOR
-//!    string mask. (The paper uses AVX + PCLMULQDQ; the identical
-//!    algorithms run here on portable 64-bit words — same structure,
-//!    64 lanes per operation.)
+//! 1. **Word-parallel bitmap construction** ([`bitmap`], promoted to
+//!    `jsonx_syntax::structural`): one `u64` lane per 64 input bytes;
+//!    quote/colon/comma/brace bitmaps, backslash-aware unescaped-quote
+//!    detection, and the carry-propagating prefix-XOR string mask. (The
+//!    paper uses AVX + PCLMULQDQ; the identical algorithms run here on
+//!    portable 64-bit words — same structure, 64 lanes per operation.)
 //! 2. **Leveled structural index** ([`index`]): colon and comma positions
 //!    bucketed by nesting level, built only to the depth the query needs.
 //! 3. **Projection pushdown** ([`project`]): parse *only* the requested

@@ -160,6 +160,76 @@ fn subsumed_bits(declared: Kind) -> u8 {
     }
 }
 
+impl Ir {
+    /// Follows `Ref` chains from `idx` to a non-reference node, with a
+    /// hop cap so reference cycles terminate (the node returned is then
+    /// still a `Ref`, which callers treat conservatively).
+    fn deref(&self, mut idx: u32) -> &IrNode {
+        let mut hops = 0usize;
+        loop {
+            match &self.nodes[idx as usize] {
+                IrNode::Ref { target } if hops <= self.nodes.len() => {
+                    idx = *target;
+                    hops += 1;
+                }
+                node => return node,
+            }
+        }
+    }
+
+    /// The root-level field names the fail-fast validator's verdict can
+    /// depend on — the projection-pushdown source for the streaming fast
+    /// path.
+    ///
+    /// Returns `Some(names)` only when validating an **object** document
+    /// provably reads nothing but the named fields: the root (after
+    /// `$ref`s) is `Any`/`Never`, or a keyword node with no enum/const,
+    /// no combinators or conditional schemas, no pattern/name/count/
+    /// dependency constraints over properties, and whose
+    /// `additionalProperties` is absent or accepts everything. The names
+    /// are the declared `properties` plus `required` (membership in
+    /// `required` must remain observable). `None` means the fast path
+    /// must hand whole records to the full parser + validator.
+    pub(crate) fn root_projection(&self) -> Option<Vec<String>> {
+        match self.deref(self.root) {
+            // The verdict ignores document content entirely; every field
+            // can be skipped.
+            IrNode::Any | IrNode::Never => Some(Vec::new()),
+            IrNode::Ref { .. } | IrNode::BadRef => None,
+            IrNode::Node(n) => {
+                let clean = n.enumeration.is_none()
+                    && n.const_value.is_none()
+                    && n.all_of.is_empty()
+                    && n.any_of.is_empty()
+                    && n.one_of.is_empty()
+                    && n.not.is_none()
+                    && n.if_schema.is_none()
+                    && n.then_schema.is_none()
+                    && n.else_schema.is_none()
+                    && n.pattern_properties.is_empty()
+                    && n.property_names.is_none()
+                    && n.dependencies.is_empty()
+                    && n.min_properties.is_none()
+                    && n.max_properties.is_none();
+                if !clean {
+                    return None;
+                }
+                if let Some(extra) = n.additional_properties {
+                    if !matches!(self.deref(extra), IrNode::Any) {
+                        return None;
+                    }
+                }
+                let mut names: Vec<String> =
+                    n.properties.iter().map(|(name, _)| name.clone()).collect();
+                names.extend(n.required.iter().cloned());
+                names.sort();
+                names.dedup();
+                Some(names)
+            }
+        }
+    }
+}
+
 /// Lowers a compiled AST into the IR, resolving every reachable `$ref`
 /// against `source` exactly once. Returns the arena plus the table of
 /// resolved (or failed) reference targets, which

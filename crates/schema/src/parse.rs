@@ -60,6 +60,19 @@ impl CompiledSchema {
         &self.ir
     }
 
+    /// The root-level field names the fail-fast verdict of this schema
+    /// can depend on when the document is an object, or `None` when the
+    /// schema inspects objects in ways projection cannot preserve
+    /// (combinators, enum/const, `patternProperties`, property counts,
+    /// constraining `additionalProperties`, …).
+    ///
+    /// This is the validation side of projection pushdown: a streaming
+    /// driver may skip-parse every root field outside the returned set
+    /// and still produce verdicts identical to validating full documents.
+    pub fn root_projection(&self) -> Option<Vec<String>> {
+        self.ir.root_projection()
+    }
+
     /// Resolves and compiles a `$ref` target. `reference` must be an
     /// intra-document fragment: `#` or `#/<json-pointer>`.
     ///

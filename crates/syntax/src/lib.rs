@@ -9,7 +9,10 @@
 //! relative to a conventional eager DOM parser — this is that conventional
 //! parser, implemented carefully per RFC 8259: full string escapes with
 //! surrogate pairs, the exact number grammar, configurable nesting limits,
-//! and byte-precise error positions.
+//! and byte-precise error positions. The [`structural`] module carries the
+//! word-parallel counterpart: SWAR structural bitmaps and a projecting
+//! skip-scanner that the streaming pipeline uses as its fast path, with
+//! this parser as the verified fallback.
 //!
 //! ```
 //! use jsonx_syntax::{parse, to_string_pretty};
@@ -27,6 +30,7 @@ pub mod limits;
 pub mod ndjson;
 pub mod parser;
 pub mod serializer;
+pub mod structural;
 
 pub use error::{ParseError, ParseErrorKind, RecordLimit};
 pub use event::{Event, EventParser, RawEvent, RawEventParser};
@@ -38,3 +42,4 @@ pub use serializer::{
     append_compact, to_string, to_string_pretty, write_ndjson_to, write_value, write_value_to,
     SerializeOptions,
 };
+pub use structural::{Bitmaps, FieldSet, ProjectedField, ScanOptions, StructuralScanner};

@@ -165,6 +165,11 @@ pub struct Shredder {
     descend_paths: std::collections::HashSet<String>,
     /// Schema-blind mode grows/retypes the layout on the fly.
     discovering: bool,
+    /// Top-level field names of the planned record type — the projection
+    /// a streaming fast path may push down. `None` when the plan was not
+    /// built from a record type (or is discovering), i.e. when every
+    /// record must be parsed in full.
+    root_fields: Option<Vec<String>>,
 }
 
 /// Collects every proper dotted prefix of the layout paths.
@@ -195,11 +200,16 @@ impl Shredder {
             .map(|(i, (p, _))| (p.clone(), i))
             .collect();
         let descend_paths = parent_prefixes(&layout);
+        let root_fields = match ty {
+            JType::Record(rt) => Some(rt.fields.iter().map(|(name, _)| name.to_string()).collect()),
+            _ => None,
+        };
         Shredder {
             layout,
             by_path,
             descend_paths,
             discovering: false,
+            root_fields,
         }
     }
 
@@ -210,12 +220,24 @@ impl Shredder {
             by_path: HashMap::new(),
             descend_paths: std::collections::HashSet::new(),
             discovering: true,
+            root_fields: None,
         }
     }
 
     /// Number of planned columns.
     pub fn column_count(&self) -> usize {
         self.layout.len()
+    }
+
+    /// The top-level field names this plan reads from each record, or
+    /// `None` when the plan requires whole records (non-record types,
+    /// discovering mode). Every column path's first dotted segment is one
+    /// of these names, so a driver that parses only these fields shreds
+    /// identically — provided skipped records with literal dotted root
+    /// keys are routed to the full parser (they could alias a nested
+    /// column path).
+    pub fn root_fields(&self) -> Option<&[String]> {
+        self.root_fields.as_deref()
     }
 
     /// Shreds a collection into one batch.

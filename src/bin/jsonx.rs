@@ -3,12 +3,14 @@
 //! ```text
 //! jsonx infer     [--equiv K|L] [--counts] [--schema] [--streaming] [--workers N]
 //!                 [--validate SCHEMA.json] [FILE]
-//! jsonx validate  --schema SCHEMA.json [--formats] [--streaming] [--workers N] [FILE]
+//! jsonx validate  --schema SCHEMA.json [--formats] [--streaming] [--workers N]
+//!                 [--no-fast-parse] [FILE]
 //! jsonx profile   [FILE]
 //! jsonx skeleton  [--coverage 0.9] [FILE]
 //! jsonx project   --fields a,b.c [FILE]
 //! jsonx convert   --to avro|columnar|relational [FILE]
-//! jsonx translate [--to avro|columnar|relational] [--streaming] [--workers N] [FILE]
+//! jsonx translate [--to avro|columnar|relational] [--streaming] [--workers N]
+//!                 [--no-fast-parse] [FILE]
 //! jsonx query     [--where-exists p] [--expand p] [--project a,b.c] [--top n] [FILE]
 //! ```
 //!
@@ -24,9 +26,11 @@ use jsonx::translate::{normalize, AvroCodec, AvroSchema, Shredder};
 use jsonx::Value;
 use jsonx::{
     infer_streaming_guarded, infer_streaming_parallel, infer_validate_streaming_guarded,
-    infer_validate_streaming_parallel, translate_streaming_guarded, translate_streaming_parallel,
-    validate_streaming_guarded, validate_streaming_parallel, write_quarantine_file, ErrorPolicy,
-    FaultOptions, LineVerdict, ParseLimits, RunReport, StreamingOptions,
+    infer_validate_streaming_parallel, translate_streaming_guarded,
+    translate_streaming_guarded_fast, translate_streaming_parallel,
+    translate_streaming_parallel_fast, validate_streaming_guarded, validate_streaming_guarded_fast,
+    validate_streaming_parallel, validate_streaming_parallel_fast, write_quarantine_file,
+    ErrorPolicy, FaultOptions, LineVerdict, ParseLimits, RunReport, StreamingOptions,
 };
 use std::io::Read;
 use std::process::ExitCode;
@@ -51,6 +55,9 @@ commands:
               --streaming     fail-fast per line, diagnostics on demand
               --workers N     shard across N threads (implies --streaming;
                               0 = one per CPU)
+              --fast-parse    SWAR structural fast path with projection
+                              pushdown (default on for --streaming);
+                              --no-fast-parse forces the full parser
             (plus the fault-tolerance flags below)
   profile   mongodb-schema-style streaming field profile
   skeleton  mine the frequent-structure skeleton
@@ -66,6 +73,9 @@ commands:
                               (columnar only)
               --workers N     shard across N threads (implies --streaming;
                               0 = one per CPU)
+              --fast-parse    SWAR structural fast path projected to the
+                              shred plan (default on for --streaming);
+                              --no-fast-parse forces the full parser
             (plus the fault-tolerance flags below)
   query     run a Jaql-style pipeline and show its inferred output schema
               --where-exists P   keep documents where path P is non-null
@@ -208,6 +218,13 @@ impl Opts {
 
 /// Builds [`FaultOptions`] from the shared fault-tolerance flags, or
 /// `None` when none were given (legacy fail-fast paths).
+/// Whether the streaming runs should try the SWAR projecting fast path
+/// first. On by default; `--no-fast-parse` is the escape hatch (and wins
+/// over an explicit `--fast-parse`).
+fn fast_parse_enabled(opts: &Opts) -> bool {
+    !opts.has("no-fast-parse")
+}
+
 fn fault_options(opts: &Opts) -> Result<Option<FaultOptions>, String> {
     if !FAULT_FLAGS.iter().any(|f| opts.has(f)) {
         return Ok(None);
@@ -427,6 +444,8 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
             "formats",
             "streaming",
             "workers",
+            "fast-parse",
+            "no-fast-parse",
             "on-error",
             "max-errors",
             "quarantine",
@@ -482,16 +501,23 @@ fn validate_streaming_cli(
 ) -> Result<(), String> {
     let text = read_text(opts.file.as_deref())?;
     let sopts = StreamingOptions::with_workers(workers);
+    let fast = fast_parse_enabled(opts);
     let (verdicts, suffix) = if let Some(fault) = fault {
-        let (verdicts, report) = validate_streaming_guarded(&text, schema, vopts, sopts, fault)
-            .map_err(|e| e.to_string())?;
+        let (verdicts, report) = if fast {
+            validate_streaming_guarded_fast(&text, schema, vopts, sopts, fault)
+        } else {
+            validate_streaming_guarded(&text, schema, vopts, sopts, fault)
+        }
+        .map_err(|e| e.to_string())?;
         let suffix = finish_guarded_run(opts, &report)?;
         (verdicts, suffix)
     } else {
-        (
-            validate_streaming_parallel(&text, schema, vopts, sopts),
-            String::new(),
-        )
+        let verdicts = if fast {
+            validate_streaming_parallel_fast(&text, schema, vopts, sopts)
+        } else {
+            validate_streaming_parallel(&text, schema, vopts, sopts)
+        };
+        (verdicts, String::new())
     };
     let lines: Vec<&str> = text.lines().collect();
     let mut invalid = 0usize;
@@ -605,6 +631,8 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
             "to",
             "streaming",
             "workers",
+            "fast-parse",
+            "no-fast-parse",
             "on-error",
             "max-errors",
             "quarantine",
@@ -638,8 +666,12 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
         let (ty, _) = infer_streaming_guarded(&text, Equivalence::Kind, sopts, fault)
             .map_err(|e| e.to_string())?;
         let shredder = Shredder::from_type(&ty);
-        let (batch, report) = translate_streaming_guarded(&text, &shredder, sopts, fault)
-            .map_err(|e| e.to_string())?;
+        let (batch, report) = if fast_parse_enabled(&opts) {
+            translate_streaming_guarded_fast(&text, &shredder, sopts, fault)
+        } else {
+            translate_streaming_guarded(&text, &shredder, sopts, fault)
+        }
+        .map_err(|e| e.to_string())?;
         let suffix = finish_guarded_run(&opts, &report)?;
         println!("{}", batch.schema_string());
         eprintln!(
@@ -652,8 +684,12 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
     let ty = infer_streaming_parallel(&text, Equivalence::Kind, sopts)
         .map_err(|(line, e)| format!("line {}: {e}", line + 1))?;
     let shredder = Shredder::from_type(&ty);
-    let batch = translate_streaming_parallel(&text, &shredder, sopts)
-        .map_err(|(line, e)| format!("line {}: {e}", line + 1))?;
+    let batch = if fast_parse_enabled(&opts) {
+        translate_streaming_parallel_fast(&text, &shredder, sopts)
+    } else {
+        translate_streaming_parallel(&text, &shredder, sopts)
+    }
+    .map_err(|(line, e)| format!("line {}: {e}", line + 1))?;
     println!("{}", batch.schema_string());
     eprintln!(
         "» {} columns x {} rows (streaming)",

@@ -29,6 +29,7 @@
 //!   Avro-like binary row format.
 //! * [`gen`] — seeded synthetic dataset generators with heterogeneity dials.
 
+pub(crate) mod fastpath;
 pub mod quarantine;
 pub mod streaming;
 
@@ -55,8 +56,9 @@ pub use quarantine::{write_quarantine, write_quarantine_file};
 pub use streaming::{
     infer_document_events, infer_streaming, infer_streaming_guarded, infer_streaming_parallel,
     infer_validate_streaming, infer_validate_streaming_guarded, infer_validate_streaming_parallel,
-    translate_streaming, translate_streaming_guarded, translate_streaming_parallel,
-    validate_streaming, validate_streaming_guarded, validate_streaming_parallel, FaultOptions,
-    InferValidateOutcome, LineVerdict, RecordIssue, StreamError, StreamTyper, StreamingOptions,
-    TranslateLineError,
+    translate_streaming, translate_streaming_guarded, translate_streaming_guarded_fast,
+    translate_streaming_parallel, translate_streaming_parallel_fast, validate_streaming,
+    validate_streaming_guarded, validate_streaming_guarded_fast, validate_streaming_parallel,
+    validate_streaming_parallel_fast, FaultOptions, InferValidateOutcome, LineVerdict, RecordIssue,
+    StreamError, StreamTyper, StreamingOptions, TranslateLineError,
 };

@@ -38,6 +38,7 @@
 //! - the container frame stack is reused across documents, so steady-state
 //!   typing of uniform documents performs no stack (re)allocation at all.
 
+use crate::fastpath::{FastPlan, FastRecordParser};
 use jsonx_core::{fuse, Equivalence, JType};
 use jsonx_core::{ArrayType, FieldName, FieldType, RecordType};
 use jsonx_data::{Object, Value};
@@ -452,9 +453,31 @@ struct FaultState<T> {
 
 /// The adapter that runs a [`RecordStage`] under an error policy on the
 /// sharded engine.
+///
+/// The policy-derived values every record consults (`input_cap`,
+/// `tolerates`, `sample_cap`, `max_errors`) are hoisted out of the inner
+/// loop at construction: they are constant for a run, and deriving them
+/// per record put measurable per-record overhead on the guarded paths.
 struct FaultFold<'s, S> {
     stage: &'s S,
     fault: FaultOptions,
+    input_cap: Option<usize>,
+    tolerates: bool,
+    sample_cap: usize,
+    max_errors: Option<usize>,
+}
+
+impl<'s, S> FaultFold<'s, S> {
+    fn new(stage: &'s S, fault: FaultOptions) -> Self {
+        FaultFold {
+            stage,
+            input_cap: fault.limits.max_input_bytes,
+            tolerates: fault.policy.tolerates(),
+            sample_cap: fault.sample_cap(),
+            max_errors: fault.policy.max_errors(),
+            fault,
+        }
+    }
 }
 
 impl<'s, S: RecordStage> ShardFold<str> for FaultFold<'s, S> {
@@ -478,7 +501,7 @@ impl<'s, S: RecordStage> ShardFold<str> for FaultFold<'s, S> {
         // The record-size guard runs centrally so every stage gets it —
         // including the DOM-parsing ones whose parser has no byte limits —
         // and an oversized line is rejected before any parsing starts.
-        let issue = match self.fault.limits.max_input_bytes {
+        let issue = match self.input_cap {
             Some(limit) if line.len() > limit => Some(RecordIssue::Parse(ParseError::at(
                 ParseErrorKind::LimitExceeded(RecordLimit::InputBytes),
                 line.as_bytes(),
@@ -487,7 +510,7 @@ impl<'s, S: RecordStage> ShardFold<str> for FaultFold<'s, S> {
             _ => self.stage.record(&mut state.inner, line, record).err(),
         };
         let Some(issue) = issue else { return };
-        if !self.fault.policy.tolerates() {
+        if !self.tolerates {
             state.halt = Some(Halt::Fault { record, issue });
             return;
         }
@@ -498,8 +521,8 @@ impl<'s, S: RecordStage> ShardFold<str> for FaultFold<'s, S> {
             message: issue.to_string(),
             raw: self.fault.keep_rejects.then(|| line.to_string()),
         };
-        state.errors.push(diag, self.fault.sample_cap());
-        if let Some(max) = self.fault.policy.max_errors() {
+        state.errors.push(diag, self.sample_cap);
+        if let Some(max) = self.max_errors {
             // Shard-local short-circuit: if this shard alone is over the
             // bound the merged total is too, so stop paying for the rest.
             if state.errors.total > max {
@@ -530,7 +553,7 @@ impl<'s, S: RecordStage> ShardFold<str> for FaultFold<'s, S> {
             }
             (Some(_), Some(h)) => Some(h),
         };
-        left.errors.merge(right.errors, self.fault.sample_cap());
+        left.errors.merge(right.errors, self.sample_cap);
         ShardYield {
             out: self.stage.merge(left.out, right.out),
             records: left.records + right.records,
@@ -549,7 +572,7 @@ fn run_stage<S: RecordStage>(
     opts: StreamingOptions,
     fault: FaultOptions,
 ) -> Result<(S::Out, RunReport), StreamError> {
-    let fold = FaultFold { stage, fault };
+    let fold = FaultFold::new(stage, fault);
     let outcome = run_lines_caught(ndjson, &fold, opts);
     let yielded = outcome.out;
     let mut report = RunReport {
@@ -734,6 +757,11 @@ struct ValidateStage<'s> {
     options: ValidatorOptions,
     limits: ParseLimits,
     malformed_verdicts: bool,
+    /// When present, records are first tried on the SWAR projecting
+    /// fast path; any record it declines takes the full parser below,
+    /// so verdicts are identical either way (the scanner never accepts
+    /// a record the parser rejects).
+    fast: Option<FastPlan>,
 }
 
 impl<'s> ValidateStage<'s> {
@@ -746,19 +774,38 @@ impl<'s> ValidateStage<'s> {
 }
 
 impl<'s> RecordStage for ValidateStage<'s> {
-    type State = (FastValidator<'s>, Vec<(usize, LineVerdict)>);
+    type State = (
+        FastValidator<'s>,
+        Vec<(usize, LineVerdict)>,
+        FastRecordParser,
+    );
     type Out = Vec<(usize, LineVerdict)>;
 
     fn init(&self) -> Self::State {
-        (self.schema.fast_validator_with(self.options), Vec::new())
+        (
+            self.schema.fast_validator_with(self.options),
+            Vec::new(),
+            FastRecordParser::new(),
+        )
     }
 
     fn record(
         &self,
-        (validator, verdicts): &mut Self::State,
+        (validator, verdicts, fast_parser): &mut Self::State,
         line: &str,
         record: usize,
     ) -> Result<(), RecordIssue> {
+        if let Some(plan) = &self.fast {
+            if let Some(doc) = fast_parser.parse_record(line.as_bytes(), plan) {
+                let verdict = if validator.is_valid(&doc) {
+                    LineVerdict::Valid
+                } else {
+                    LineVerdict::Invalid
+                };
+                verdicts.push((record, verdict));
+                return Ok(());
+            }
+        }
         match jsonx_syntax::parse_with(line.as_bytes(), self.parser_options()) {
             Ok(doc) => {
                 let verdict = if validator.is_valid(&doc) {
@@ -777,7 +824,7 @@ impl<'s> RecordStage for ValidateStage<'s> {
         }
     }
 
-    fn finish(&self, (_, verdicts): Self::State) -> Self::Out {
+    fn finish(&self, (_, verdicts, _): Self::State) -> Self::Out {
         verdicts
     }
 
@@ -818,11 +865,41 @@ pub fn validate_streaming_parallel(
     options: ValidatorOptions,
     opts: StreamingOptions,
 ) -> Vec<(usize, LineVerdict)> {
+    validate_parallel_impl(ndjson, schema, options, opts, None)
+}
+
+/// [`validate_streaming_parallel`] with the fused SWAR fast path enabled.
+///
+/// When the compiled schema is projectable
+/// ([`CompiledSchema::root_projection`]), each worker first runs the
+/// word-parallel structural scanner, validating only the fields the
+/// schema can observe; records the scanner declines — and every record of
+/// a non-projectable schema — take the full parser, so the verdict vector
+/// is **identical** to [`validate_streaming_parallel`] at every worker
+/// count (pinned by `tests/parsing_fastpath.rs`).
+pub fn validate_streaming_parallel_fast(
+    ndjson: &str,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+    opts: StreamingOptions,
+) -> Vec<(usize, LineVerdict)> {
+    let fast = FastPlan::for_validation(schema, &ParseLimits::default());
+    validate_parallel_impl(ndjson, schema, options, opts, fast)
+}
+
+fn validate_parallel_impl(
+    ndjson: &str,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+    opts: StreamingOptions,
+    fast: Option<FastPlan>,
+) -> Vec<(usize, LineVerdict)> {
     let stage = ValidateStage {
         schema,
         options,
         limits: ParseLimits::default(),
         malformed_verdicts: true,
+        fast,
     };
     // With malformed lines recorded as inline verdicts, the stage rejects
     // nothing, so the fail-fast run can only fail on a poisoned shard.
@@ -848,11 +925,41 @@ pub fn validate_streaming_guarded(
     opts: StreamingOptions,
     fault: FaultOptions,
 ) -> Result<(Vec<(usize, LineVerdict)>, RunReport), StreamError> {
+    validate_guarded_impl(ndjson, schema, options, opts, fault, None)
+}
+
+/// [`validate_streaming_guarded`] with the fused SWAR fast path enabled.
+///
+/// Fast-path acceptance implies well-formedness, so a scanner-accepted
+/// record can never reach the fault layer as a parse reject; declined
+/// records run the full parser whose error kind and offset remain
+/// authoritative. Verdicts, [`RunReport`]s and [`StreamError`]s are
+/// identical to [`validate_streaming_guarded`] under every policy.
+pub fn validate_streaming_guarded_fast(
+    ndjson: &str,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+    opts: StreamingOptions,
+    fault: FaultOptions,
+) -> Result<(Vec<(usize, LineVerdict)>, RunReport), StreamError> {
+    let fast = FastPlan::for_validation(schema, &fault.limits);
+    validate_guarded_impl(ndjson, schema, options, opts, fault, fast)
+}
+
+fn validate_guarded_impl(
+    ndjson: &str,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+    opts: StreamingOptions,
+    fault: FaultOptions,
+    fast: Option<FastPlan>,
+) -> Result<(Vec<(usize, LineVerdict)>, RunReport), StreamError> {
     let stage = ValidateStage {
         schema,
         options,
         limits: fault.limits,
         malformed_verdicts: false,
+        fast,
     };
     run_stage(ndjson, &stage, opts, fault)
 }
@@ -1104,22 +1211,35 @@ impl std::fmt::Display for TranslateLineError {
 struct TranslateStage<'t> {
     shredder: &'t Shredder,
     limits: ParseLimits,
+    /// When present, records are first tried on the SWAR projecting
+    /// fast path (projected to the shred plan's root fields, dotted
+    /// skipped keys rejected so column paths can't alias); declined
+    /// records take the full parser, so batches are row-identical.
+    fast: Option<FastPlan>,
 }
 
 impl<'t> RecordStage for TranslateStage<'t> {
-    type State = ShredStream<'t>;
+    type State = (ShredStream<'t>, FastRecordParser);
     type Out = ColumnarBatch;
 
     fn init(&self) -> Self::State {
-        self.shredder.stream()
+        (self.shredder.stream(), FastRecordParser::new())
     }
 
     fn record(
         &self,
-        stream: &mut Self::State,
+        (stream, fast_parser): &mut Self::State,
         line: &str,
         _record: usize,
     ) -> Result<(), RecordIssue> {
+        if let Some(plan) = &self.fast {
+            if let Some(doc) = fast_parser.parse_record(line.as_bytes(), plan) {
+                return match stream.push(&doc) {
+                    Err(ShredError::NotARecord { .. }) => Err(RecordIssue::NotARecord),
+                    _ => Ok(()),
+                };
+            }
+        }
         let opts = ParserOptions {
             max_depth: self.limits.max_depth,
             allow_trailing: false,
@@ -1131,7 +1251,7 @@ impl<'t> RecordStage for TranslateStage<'t> {
         }
     }
 
-    fn finish(&self, stream: Self::State) -> ColumnarBatch {
+    fn finish(&self, (stream, _): Self::State) -> ColumnarBatch {
         stream.finish()
     }
 
@@ -1168,9 +1288,37 @@ pub fn translate_streaming_parallel(
     shredder: &Shredder,
     opts: StreamingOptions,
 ) -> Result<ColumnarBatch, (usize, TranslateLineError)> {
+    translate_parallel_impl(ndjson, shredder, opts, None)
+}
+
+/// [`translate_streaming_parallel`] with the fused SWAR fast path enabled.
+///
+/// When the shredder carries a fixed record layout
+/// ([`Shredder::root_fields`]), each worker first runs the word-parallel
+/// structural scanner projected to the layout's top-level fields; records
+/// it declines — including any with skipped dotted root keys, which could
+/// alias a nested column path — take the full parser. Batches are
+/// row-identical to [`translate_streaming_parallel`] at every worker
+/// count (pinned by `tests/parsing_fastpath.rs`).
+pub fn translate_streaming_parallel_fast(
+    ndjson: &str,
+    shredder: &Shredder,
+    opts: StreamingOptions,
+) -> Result<ColumnarBatch, (usize, TranslateLineError)> {
+    let fast = FastPlan::for_translation(shredder, &ParseLimits::default());
+    translate_parallel_impl(ndjson, shredder, opts, fast)
+}
+
+fn translate_parallel_impl(
+    ndjson: &str,
+    shredder: &Shredder,
+    opts: StreamingOptions,
+    fast: Option<FastPlan>,
+) -> Result<ColumnarBatch, (usize, TranslateLineError)> {
     let stage = TranslateStage {
         shredder,
         limits: ParseLimits::default(),
+        fast,
     };
     match run_stage(ndjson, &stage, opts, FaultOptions::default()) {
         Ok((batch, _report)) => Ok(batch),
@@ -1197,9 +1345,37 @@ pub fn translate_streaming_guarded(
     opts: StreamingOptions,
     fault: FaultOptions,
 ) -> Result<(ColumnarBatch, RunReport), StreamError> {
+    translate_guarded_impl(ndjson, shredder, opts, fault, None)
+}
+
+/// [`translate_streaming_guarded`] with the fused SWAR fast path enabled.
+///
+/// Scanner-accepted records are well-formed objects, so they can reach
+/// the fault layer only through the central record-size guard (which runs
+/// before either parser) — never as parse or `NotARecord` rejects.
+/// Batches, [`RunReport`]s and [`StreamError`]s are identical to
+/// [`translate_streaming_guarded`] under every policy.
+pub fn translate_streaming_guarded_fast(
+    ndjson: &str,
+    shredder: &Shredder,
+    opts: StreamingOptions,
+    fault: FaultOptions,
+) -> Result<(ColumnarBatch, RunReport), StreamError> {
+    let fast = FastPlan::for_translation(shredder, &fault.limits);
+    translate_guarded_impl(ndjson, shredder, opts, fault, fast)
+}
+
+fn translate_guarded_impl(
+    ndjson: &str,
+    shredder: &Shredder,
+    opts: StreamingOptions,
+    fault: FaultOptions,
+    fast: Option<FastPlan>,
+) -> Result<(ColumnarBatch, RunReport), StreamError> {
     let stage = TranslateStage {
         shredder,
         limits: fault.limits,
+        fast,
     };
     run_stage(ndjson, &stage, opts, fault)
 }

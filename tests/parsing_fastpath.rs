@@ -1,0 +1,387 @@
+//! Differential property tests for the fused SWAR fast path.
+//!
+//! Two layers, matching the two claims the fast path makes:
+//!
+//! 1. **Structural index ≡ lexer.** The word-parallel bitmaps of
+//!    `jsonx_syntax::structural` must agree with the recursive-descent
+//!    lexer about where every structural character sits — on serialized
+//!    arbitrary documents (escapes, multi-byte UTF-8, strings *containing*
+//!    `{`/`:`/`,`/quotes) exactly, and on corrupted inputs for every token
+//!    the lexer still produces before its first error.
+//!
+//! 2. **Fast path ≡ slow path.** `validate_streaming_*_fast` and
+//!    `translate_streaming_*_fast` must be result-identical to their slow
+//!    twins at every worker count: verdict vectors (including `Malformed`
+//!    entries with exact error offsets), columnar batches, `RunReport`s
+//!    and `StreamError`s, on clean and dirty corpora under every error
+//!    policy. The fast path may *decline* records (verified fallback),
+//!    never decide them differently.
+
+use jsonx::gen::{dirty_ndjson, DirtyConfig};
+use jsonx::schema::{CompiledSchema, ValidatorOptions};
+use jsonx::syntax::{to_string, Bitmaps, Lexer, RawToken};
+use jsonx::translate::Shredder;
+use jsonx::{
+    translate_streaming_guarded, translate_streaming_guarded_fast, translate_streaming_parallel,
+    translate_streaming_parallel_fast, validate_streaming_guarded, validate_streaming_guarded_fast,
+    validate_streaming_parallel, validate_streaming_parallel_fast, ErrorPolicy, FaultOptions,
+    StreamingOptions,
+};
+use jsonx_data::{json, Number, Object, Value};
+use proptest::prelude::*;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn sharded(workers: usize) -> StreamingOptions {
+    StreamingOptions {
+        workers,
+        min_shard_bytes: 64,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1: structural index vs lexer token positions
+// ---------------------------------------------------------------------------
+
+/// Structural positions according to the lexer: scan tokens, recording
+/// the byte offset each one starts at (strings also record their closing
+/// quote). Stops at the first lexer error, so on invalid input the result
+/// covers exactly the well-formed prefix.
+#[derive(Debug, Default, PartialEq)]
+struct LexerStructurals {
+    colon: Vec<usize>,
+    comma: Vec<usize>,
+    lbrace: Vec<usize>,
+    rbrace: Vec<usize>,
+    lbracket: Vec<usize>,
+    rbracket: Vec<usize>,
+    quote: Vec<usize>,
+}
+
+fn lexer_structurals(bytes: &[u8]) -> LexerStructurals {
+    let mut lx = Lexer::new(bytes);
+    let mut out = LexerStructurals::default();
+    loop {
+        lx.skip_ws();
+        let at = lx.offset();
+        match lx.next_token_raw() {
+            Ok(RawToken::Eof) | Err(_) => return out,
+            Ok(RawToken::Colon) => out.colon.push(at),
+            Ok(RawToken::Comma) => out.comma.push(at),
+            Ok(RawToken::LBrace) => out.lbrace.push(at),
+            Ok(RawToken::RBrace) => out.rbrace.push(at),
+            Ok(RawToken::LBracket) => out.lbracket.push(at),
+            Ok(RawToken::RBracket) => out.rbracket.push(at),
+            Ok(RawToken::Str(_)) => {
+                // The token spans `at..lx.offset()`; both delimiting quotes
+                // are unescaped by construction.
+                out.quote.push(at);
+                out.quote.push(lx.offset() - 1);
+            }
+            Ok(_) => {}
+        }
+    }
+}
+
+fn bitmap_structurals(bytes: &[u8]) -> LexerStructurals {
+    let bits = jsonx::syntax::structural::build(bytes);
+    LexerStructurals {
+        colon: Bitmaps::positions(&bits.colon).collect(),
+        comma: Bitmaps::positions(&bits.comma).collect(),
+        lbrace: Bitmaps::positions(&bits.lbrace).collect(),
+        rbrace: Bitmaps::positions(&bits.rbrace).collect(),
+        lbracket: Bitmaps::positions(&bits.lbracket).collect(),
+        rbracket: Bitmaps::positions(&bits.rbracket).collect(),
+        quote: Bitmaps::positions(&bits.quote).collect(),
+    }
+}
+
+/// Documents whose serialized form is hostile to a structural scanner:
+/// strings full of braces, colons, commas, quotes-to-be-escaped,
+/// backslashes and multi-byte UTF-8.
+fn arb_doc() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-100_000i64..100_000).prop_map(|i| Value::Num(Number::Int(i))),
+        (-1000.0f64..1000.0).prop_map(|f| Value::Num(Number::from_f64(f).unwrap())),
+        "\\PC{0,12}".prop_map(Value::Str),
+        "[{}:,\u{4e16}\u{e9}a-c]{0,10}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Arr),
+            prop::collection::vec(("\\PC{0,6}", inner), 0..4)
+                .prop_map(|pairs| Value::Obj(pairs.into_iter().collect::<Object>())),
+        ]
+    })
+}
+
+proptest! {
+    /// On valid JSON the bitmap and the lexer must agree exactly, for
+    /// every structural category and both string delimiters.
+    #[test]
+    fn structural_bitmaps_match_lexer_on_valid_json(doc in arb_doc()) {
+        let text = to_string(&doc);
+        let bytes = text.as_bytes();
+        prop_assert_eq!(bitmap_structurals(bytes), lexer_structurals(bytes), "doc {}", text);
+    }
+
+    /// On corrupted input every token the lexer produces before its first
+    /// error must still be present in the bitmaps: the lexer and the
+    /// scanner read the same prefix the same way.
+    #[test]
+    fn structural_bitmaps_cover_lexer_prefix_on_corrupted_json(
+        doc in arb_doc(),
+        cut in 0usize..512,
+        junk in "[@\\{\\}:,\"a-z ]{1,4}",
+    ) {
+        let mut text = to_string(&doc);
+        // Corrupt: truncate at an arbitrary char boundary and append junk.
+        while !text.is_char_boundary(cut.min(text.len())) {
+            text.pop();
+        }
+        text.truncate(cut.min(text.len()));
+        text.push_str(&junk);
+        let bytes = text.as_bytes();
+        let from_lexer = lexer_structurals(bytes);
+        let from_bits = bitmap_structurals(bytes);
+        for (name, lexer, bits) in [
+            ("colon", &from_lexer.colon, &from_bits.colon),
+            ("comma", &from_lexer.comma, &from_bits.comma),
+            ("lbrace", &from_lexer.lbrace, &from_bits.lbrace),
+            ("rbrace", &from_lexer.rbrace, &from_bits.rbrace),
+            ("lbracket", &from_lexer.lbracket, &from_bits.lbracket),
+            ("rbracket", &from_lexer.rbracket, &from_bits.rbracket),
+            ("quote", &from_lexer.quote, &from_bits.quote),
+        ] {
+            for pos in lexer {
+                prop_assert!(
+                    bits.contains(pos),
+                    "{} at {} seen by lexer but not bitmap in {:?}",
+                    name, pos, text
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: fast path vs slow path, clean corpora
+// ---------------------------------------------------------------------------
+
+/// A schema pool straddling the projectability boundary: some members
+/// project (fast path active), some do not (fast path derivation yields
+/// `None`, behavior must still be identical).
+fn schema_pool() -> Vec<Value> {
+    vec![
+        json!({
+            "type": "object",
+            "properties": {"a": {"type": "integer"}, "b": {"type": "string"}},
+            "required": ["a"]
+        }),
+        json!({"properties": {"a": {"minimum": 0}, "geo": {"properties": {"lat": {"type": "number"}}}}}),
+        json!(true),
+        json!({"type": "object"}),
+        // Non-projectable: the verdict can depend on skipped fields.
+        json!({"type": "object", "additionalProperties": {"type": "string"}}),
+        json!({"allOf": [{"required": ["a"]}]}),
+        json!({"type": "object", "minProperties": 2}),
+    ]
+}
+
+/// Record-shaped documents over a small key pool that includes dotted
+/// keys (exercising the translation plan's dotted-skip guard) and the
+/// schema pool's property names.
+fn arb_record() -> impl Strategy<Value = Value> {
+    let key = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("geo".to_string()),
+        Just("geo.lat".to_string()),
+        "[a-d.]{1,4}",
+    ];
+    let scalar = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-100i64..100).prop_map(|i| Value::Num(Number::Int(i))),
+        "\\PC{0,8}".prop_map(Value::Str),
+    ];
+    let value = scalar.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Value::Arr),
+            prop::collection::vec(("[a-d]{1,3}", inner), 0..3)
+                .prop_map(|pairs| Value::Obj(pairs.into_iter().collect::<Object>())),
+        ]
+    });
+    prop::collection::vec((key, value), 0..5)
+        .prop_map(|pairs| Value::Obj(pairs.into_iter().collect::<Object>()))
+}
+
+fn to_ndjson(docs: &[Value]) -> String {
+    let mut out = String::new();
+    for d in docs {
+        out.push_str(&to_string(d));
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fast and slow validation verdicts are identical for projectable
+    /// and non-projectable schemas alike, at every worker count.
+    #[test]
+    fn fast_validation_verdicts_equal_slow(
+        docs in prop::collection::vec(arb_record(), 1..30),
+        schema_idx in 0usize..7,
+    ) {
+        let ndjson = to_ndjson(&docs);
+        let schema = CompiledSchema::compile(&schema_pool()[schema_idx]).unwrap();
+        let vopts = ValidatorOptions::default();
+        for workers in WORKER_COUNTS {
+            let slow = validate_streaming_parallel(&ndjson, &schema, vopts, sharded(workers));
+            let fast = validate_streaming_parallel_fast(&ndjson, &schema, vopts, sharded(workers));
+            prop_assert_eq!(&fast, &slow, "workers {}", workers);
+        }
+    }
+
+    /// Fast and slow translation batches are row-identical at every
+    /// worker count — including corpora with literal dotted root keys,
+    /// which the fast path must route to the full parser rather than
+    /// let them alias nested column paths.
+    #[test]
+    fn fast_translation_batches_equal_slow(
+        docs in prop::collection::vec(arb_record(), 1..30),
+    ) {
+        let ndjson = to_ndjson(&docs);
+        let ty = jsonx::core::infer_collection(&docs, jsonx::core::Equivalence::Kind);
+        let shredder = Shredder::from_type(&ty);
+        for workers in WORKER_COUNTS {
+            let slow = translate_streaming_parallel(&ndjson, &shredder, sharded(workers));
+            let fast = translate_streaming_parallel_fast(&ndjson, &shredder, sharded(workers));
+            prop_assert_eq!(&fast, &slow, "workers {}", workers);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: fast path vs slow path, dirty corpora under every policy
+// ---------------------------------------------------------------------------
+
+fn policies() -> Vec<ErrorPolicy> {
+    vec![
+        ErrorPolicy::FailFast,
+        ErrorPolicy::Skip { max_errors: None },
+        ErrorPolicy::Skip {
+            max_errors: Some(10),
+        },
+        ErrorPolicy::Collect { max_errors: 1000 },
+    ]
+}
+
+fn dirty_corpus() -> jsonx::gen::DirtyNdjson {
+    dirty_ndjson(&DirtyConfig {
+        seed: 0xFA57,
+        docs: 600,
+        corruption_rate: 0.08,
+        blank_rate: 0.02,
+        ..DirtyConfig::default()
+    })
+}
+
+/// On a dirty corpus the legacy parallel face records malformed lines as
+/// inline verdicts: fast and slow must agree on every entry, error kinds
+/// and offsets included (the declined record's diagnostics come from the
+/// same full parser on both paths).
+#[test]
+fn fast_validation_matches_slow_on_dirty_corpus() {
+    let corpus = dirty_corpus();
+    let schema = CompiledSchema::compile(&schema_pool()[0]).unwrap();
+    let vopts = ValidatorOptions::default();
+    for workers in WORKER_COUNTS {
+        let slow = validate_streaming_parallel(&corpus.text, &schema, vopts, sharded(workers));
+        let fast = validate_streaming_parallel_fast(&corpus.text, &schema, vopts, sharded(workers));
+        assert_eq!(fast, slow, "workers {workers}");
+    }
+}
+
+/// Guarded validation: verdicts, RunReports and StreamErrors must be
+/// identical under every policy at every worker count.
+#[test]
+fn fast_guarded_validation_matches_slow_on_dirty_corpus() {
+    let corpus = dirty_corpus();
+    let schema = CompiledSchema::compile(&schema_pool()[0]).unwrap();
+    let vopts = ValidatorOptions::default();
+    for policy in policies() {
+        for keep_rejects in [false, true] {
+            let fault = FaultOptions {
+                policy,
+                keep_rejects,
+                ..FaultOptions::default()
+            };
+            for workers in WORKER_COUNTS {
+                let slow = validate_streaming_guarded(
+                    &corpus.text,
+                    &schema,
+                    vopts,
+                    sharded(workers),
+                    fault,
+                );
+                let fast = validate_streaming_guarded_fast(
+                    &corpus.text,
+                    &schema,
+                    vopts,
+                    sharded(workers),
+                    fault,
+                );
+                assert_eq!(fast, slow, "workers {workers} policy {policy:?}");
+            }
+        }
+    }
+}
+
+/// Guarded translation: batches, RunReports and StreamErrors must be
+/// identical under every policy at every worker count.
+#[test]
+fn fast_guarded_translation_matches_slow_on_dirty_corpus() {
+    let corpus = dirty_corpus();
+    // Plan the layout from the clean twin so the shredder has a real
+    // record type to project to.
+    let docs = jsonx::syntax::parse_ndjson(&corpus.clean_text).unwrap();
+    let ty = jsonx::core::infer_collection(&docs, jsonx::core::Equivalence::Kind);
+    let shredder = Shredder::from_type(&ty);
+    for policy in policies() {
+        let fault = FaultOptions {
+            policy,
+            ..FaultOptions::default()
+        };
+        for workers in WORKER_COUNTS {
+            let slow =
+                translate_streaming_guarded(&corpus.text, &shredder, sharded(workers), fault);
+            let fast =
+                translate_streaming_guarded_fast(&corpus.text, &shredder, sharded(workers), fault);
+            assert_eq!(fast, slow, "workers {workers} policy {policy:?}");
+        }
+    }
+}
+
+/// Fail-fast translation on a dirty corpus must report the same first
+/// error (line and kind) with and without the fast path.
+#[test]
+fn fast_translation_first_error_matches_slow_on_dirty_corpus() {
+    let corpus = dirty_corpus();
+    let docs = jsonx::syntax::parse_ndjson(&corpus.clean_text).unwrap();
+    let ty = jsonx::core::infer_collection(&docs, jsonx::core::Equivalence::Kind);
+    let shredder = Shredder::from_type(&ty);
+    for workers in WORKER_COUNTS {
+        let slow = translate_streaming_parallel(&corpus.text, &shredder, sharded(workers));
+        let fast = translate_streaming_parallel_fast(&corpus.text, &shredder, sharded(workers));
+        assert_eq!(fast, slow, "workers {workers}");
+        assert!(
+            fast.is_err(),
+            "dirty corpus must fail fail-fast translation"
+        );
+    }
+}
