@@ -1,9 +1,33 @@
 //! The fold/merge execution engine.
+//!
+//! Two dispatch strategies share the same [`ShardFold`] contract and the
+//! same sequence-ordered merge:
+//!
+//! - **Static sharding** ([`run_lines_static_caught`]): the input is
+//!   pre-split into one shard per worker and each worker folds exactly
+//!   one shard. Simple, but a straggler shard idles every other worker.
+//! - **Work-stealing chunk dispatch** ([`run_lines_caught`],
+//!   [`run_reader_caught`], [`run_source_caught`]): the input becomes a
+//!   queue of sequence-numbered newline-aligned chunks
+//!   ([`ChunkSource`]) and a fixed pool of workers claims chunks until
+//!   the queue drains, so fast workers steal the share a slow worker
+//!   would have been stuck with. Per-chunk results are extracted with
+//!   [`ShardFold::take`] (worker state survives across the chunks a
+//!   worker claims) and fused **in chunk-sequence order**, which is
+//!   byte-for-byte the static shard order — FailFast first-error-line
+//!   selection and `RunReport` merging are unchanged.
 
+use crate::chunk::{ChunkError, ChunkOptions, ChunkSource, ReaderChunks, SliceChunks};
+use crate::chunk::{CHUNKS_PER_WORKER, DEFAULT_CHUNK_BYTES};
 use crate::options::{PipelineOptions, SliceOptions};
-use crate::report::ShardPanic;
+use crate::report::{ShardPanic, WorkerTiming};
 use crate::shard::shard_lines;
+use std::borrow::Cow;
+use std::io::BufRead;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// A sharded fold: the contract every pipeline stage implements.
 ///
@@ -34,6 +58,22 @@ pub trait ShardFold<Item: ?Sized>: Sync {
     fn finish(&self, state: Self::State) -> Self::Out;
     /// Fuses two shard results, left shard first.
     fn merge(&self, left: Self::Out, right: Self::Out) -> Self::Out;
+
+    /// Extracts the current chunk's result from a worker state **without
+    /// consuming the state**, leaving it ready for the worker's next
+    /// claimed chunk. The work-stealing dispatcher calls this once per
+    /// chunk so expensive per-worker machinery (interners, validators,
+    /// column builders) survives across the chunks a worker claims.
+    ///
+    /// The default resets the whole state to [`init`](Self::init) and
+    /// finishes the old one — always correct. Override it when part of
+    /// the state is reusable machinery that should not be rebuilt per
+    /// chunk; the override must leave the state as if freshly
+    /// initialised with respect to *output* (the taken `Out` plus a
+    /// subsequent `take` must equal two separate folds).
+    fn take(&self, state: &mut Self::State) -> Self::Out {
+        self.finish(std::mem::replace(state, self.init()))
+    }
 }
 
 /// What a caught (panic-isolated) run produced: the fused output of the
@@ -46,12 +86,19 @@ pub trait ShardFold<Item: ?Sized>: Sync {
 pub struct RunOutcome<Out> {
     /// The shard-order fusion of every shard that completed.
     pub out: Out,
-    /// How many shards the input was split into (1 on the sequential
-    /// path).
+    /// How many work units (static shards or claimed chunks) the input
+    /// was split into (1 on the sequential path).
     pub shards: usize,
     /// Shards whose fold panicked, in shard order.
     pub poisoned: Vec<ShardPanic>,
+    /// Per-worker dispatch accounting, populated only when the run asked
+    /// for timing ([`ChunkOptions::timing`]); empty otherwise.
+    pub timings: Vec<WorkerTiming>,
 }
+
+/// One sequence-numbered chunk result: the taken output, or the panic
+/// that poisoned the chunk.
+type SeqResult<Out> = (usize, Result<Out, ShardPanic>);
 
 /// Extracts the human-readable payload of a caught panic.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -64,45 +111,248 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs `fold` over the lines of `input`, sharded at newline boundaries,
-/// isolating worker panics.
+/// Runs the whole fold on the caller's thread as one panic-isolated
+/// shard — the tiny-input / single-worker path.
+fn run_lines_sequential<F: ShardFold<str>>(input: &str, fold: &F) -> RunOutcome<F::Out> {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let mut state = fold.init();
+        for (i, line) in input.lines().enumerate() {
+            fold.feed(&mut state, line, i);
+        }
+        fold.finish(state)
+    }));
+    match caught {
+        Ok(out) => RunOutcome {
+            out,
+            shards: 1,
+            poisoned: Vec::new(),
+            timings: Vec::new(),
+        },
+        Err(payload) => RunOutcome {
+            out: fuse_outs(fold, Vec::new()),
+            shards: 1,
+            poisoned: vec![ShardPanic {
+                shard: 0,
+                first_record: 0,
+                message: panic_message(payload.as_ref()),
+            }],
+            timings: Vec::new(),
+        },
+    }
+}
+
+/// Runs `fold` over the lines of `input`, isolating worker panics.
 ///
 /// Every line — including blank ones — is fed with its global line index,
 /// exactly as a sequential `input.lines().enumerate()` would produce it.
 /// Inputs below the options' shard threshold (or a single worker) run
 /// sequentially on the caller's thread; results are identical either way.
-/// Each shard's fold (the sequential path counts as one shard) runs under
-/// `catch_unwind`: a panic poisons only that shard, and the outcome
+/// Parallel inputs dispatch through the work-stealing chunk queue (see
+/// [`run_lines_stealing`]) with automatic chunk sizing; the fused result
+/// is identical to the historical static-shard dispatch
+/// ([`run_lines_static_caught`]) because chunks merge in sequence order.
+/// Each chunk's fold (the sequential path counts as one chunk) runs under
+/// `catch_unwind`: a panic poisons only that chunk, and the outcome
 /// records it instead of unwinding the caller.
 pub fn run_lines_caught<F: ShardFold<str>>(
     input: &str,
     fold: &F,
     opts: PipelineOptions,
 ) -> RunOutcome<F::Out> {
-    if opts.sequential(input.len()) {
-        let caught = catch_unwind(AssertUnwindSafe(|| {
-            let mut state = fold.init();
-            for (i, line) in input.lines().enumerate() {
-                fold.feed(&mut state, line, i);
-            }
-            fold.finish(state)
-        }));
-        return match caught {
-            Ok(out) => RunOutcome {
-                out,
-                shards: 1,
-                poisoned: Vec::new(),
-            },
-            Err(payload) => RunOutcome {
-                out: fuse_outs(fold, Vec::new()),
-                shards: 1,
-                poisoned: vec![ShardPanic {
-                    shard: 0,
-                    first_record: 0,
-                    message: panic_message(payload.as_ref()),
-                }],
-            },
-        };
+    run_lines_stealing(input, fold, opts, ChunkOptions::default())
+}
+
+/// Work-stealing dispatch over an in-memory input: the input is pre-split
+/// into newline-aligned chunks (roughly [`ChunkOptions::chunk_bytes`]
+/// each, or an automatic size targeting [`CHUNKS_PER_WORKER`] chunks per
+/// worker) and a fixed worker pool claims chunks through a shared atomic
+/// cursor until the queue drains. Results fuse in chunk-sequence order,
+/// so the outcome equals [`run_lines_static_caught`] for every worker
+/// count and chunk size.
+///
+/// Sequential fallback: tiny inputs and single-worker runs fold on the
+/// caller's thread exactly like [`run_lines_caught`] — unless timing was
+/// requested, in which case the run always dispatches through the chunk
+/// queue so the timing account exists.
+pub fn run_lines_stealing<F: ShardFold<str>>(
+    input: &str,
+    fold: &F,
+    opts: PipelineOptions,
+    chunk: ChunkOptions,
+) -> RunOutcome<F::Out> {
+    if !chunk.timing && opts.should_run_sequential(input.len()) {
+        return run_lines_sequential(input, fold);
+    }
+    let workers = opts.effective_workers().max(1);
+    let target = if chunk.chunk_bytes > 0 {
+        chunk.chunk_bytes
+    } else {
+        auto_chunk_bytes(input.len(), workers, opts.min_shard_bytes)
+    };
+    let source = SliceChunks::new(input, target);
+    run_source_caught(&source, fold, workers, chunk.timing)
+        .unwrap_or_else(|_| unreachable!("in-memory chunk sources cannot fail"))
+}
+
+/// Out-of-core dispatch: reads NDJSON incrementally from any [`BufRead`]
+/// through a bounded ring of chunk buffers ([`ReaderChunks`]), so peak
+/// resident memory is `O(workers × chunk_bytes)` regardless of input
+/// size. Same worker pool, sequence-ordered merge, and panic isolation
+/// as [`run_lines_stealing`]; returns `Err` on I/O failure or non-UTF-8
+/// input (partial results are discarded — an unreadable input has no
+/// trustworthy line numbering).
+pub fn run_reader_caught<R: BufRead + Send, F: ShardFold<str>>(
+    reader: R,
+    fold: &F,
+    opts: PipelineOptions,
+    chunk: ChunkOptions,
+) -> Result<RunOutcome<F::Out>, ChunkError> {
+    let workers = opts.effective_workers().max(1);
+    let target = if chunk.chunk_bytes > 0 {
+        chunk.chunk_bytes
+    } else {
+        DEFAULT_CHUNK_BYTES
+    };
+    let ring = if chunk.ring > 0 { chunk.ring } else { workers };
+    let source = ReaderChunks::new(reader, target, ring);
+    run_source_caught(&source, fold, workers, chunk.timing)
+}
+
+/// Automatic chunk sizing for in-memory inputs: aim for
+/// [`CHUNKS_PER_WORKER`] chunks per worker (fine-grained enough that a
+/// straggler redistributes), floored at the options' shard threshold so
+/// chunks stay worth their dispatch overhead, capped at
+/// [`DEFAULT_CHUNK_BYTES`].
+fn auto_chunk_bytes(input_len: usize, workers: usize, min_shard_bytes: usize) -> usize {
+    let floor = min_shard_bytes.max(1);
+    let cap = DEFAULT_CHUNK_BYTES.max(floor);
+    input_len
+        .div_ceil(workers.saturating_mul(CHUNKS_PER_WORKER).max(1))
+        .clamp(floor, cap)
+}
+
+/// The work-stealing dispatcher core: a fixed pool of `workers` threads
+/// claims sequence-numbered chunks from `source` until exhaustion, folds
+/// each chunk under `catch_unwind`, and fuses every chunk's
+/// [`ShardFold::take`]n result in sequence order. A panic poisons only
+/// the chunk being folded (the worker discards its state and re-inits on
+/// its next claim); a source error aborts the run.
+pub fn run_source_caught<S: ChunkSource, F: ShardFold<str>>(
+    source: &S,
+    fold: &F,
+    workers: usize,
+    timing: bool,
+) -> Result<RunOutcome<F::Out>, ChunkError> {
+    let workers = workers.max(1);
+    let failure: Mutex<Option<ChunkError>> = Mutex::new(None);
+    let per_worker: Vec<(Vec<SeqResult<F::Out>>, WorkerTiming)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let failure = &failure;
+                scope.spawn(move || {
+                    let mut state: Option<F::State> = None;
+                    let mut results = Vec::new();
+                    let mut acct = WorkerTiming {
+                        worker,
+                        ..WorkerTiming::default()
+                    };
+                    loop {
+                        let chunk = match source.next_chunk() {
+                            Ok(Some(chunk)) => chunk,
+                            Ok(None) => break,
+                            Err(e) => {
+                                failure.lock().unwrap().get_or_insert(e);
+                                break;
+                            }
+                        };
+                        let seq = chunk.seq;
+                        let first_line = chunk.first_line;
+                        let started = timing.then(Instant::now);
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            let st = state.get_or_insert_with(|| fold.init());
+                            let mut lines = 0usize;
+                            for (i, line) in chunk.text.lines().enumerate() {
+                                fold.feed(st, line, first_line + i);
+                                lines += 1;
+                            }
+                            (fold.take(st), lines)
+                        }));
+                        match caught {
+                            Ok((out, lines)) => {
+                                acct.records += lines;
+                                results.push((seq, Ok(out)));
+                            }
+                            Err(payload) => {
+                                // The state saw a partial chunk; drop
+                                // it so the next claim starts fresh.
+                                state = None;
+                                results.push((
+                                    seq,
+                                    Err(ShardPanic {
+                                        shard: seq,
+                                        first_record: first_line,
+                                        message: panic_message(payload.as_ref()),
+                                    }),
+                                ));
+                            }
+                        }
+                        if let Some(t0) = started {
+                            acct.busy += t0.elapsed();
+                        }
+                        acct.chunks += 1;
+                        acct.bytes += chunk.text.len();
+                        if let Cow::Owned(buf) = chunk.text {
+                            source.recycle(buf);
+                        }
+                    }
+                    (results, acct)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dispatcher worker panicked outside a fold"))
+            .collect()
+    });
+    if let Some(err) = failure.into_inner().unwrap() {
+        return Err(err);
+    }
+    let mut results: Vec<SeqResult<F::Out>> = Vec::new();
+    let mut timings: Vec<WorkerTiming> = Vec::with_capacity(if timing { workers } else { 0 });
+    for (worker_results, acct) in per_worker {
+        results.extend(worker_results);
+        if timing {
+            timings.push(acct);
+        }
+    }
+    // Sequence order *is* shard order: fuse exactly as the static path.
+    results.sort_unstable_by_key(|(seq, _)| *seq);
+    let chunk_count = results.len();
+    let fair_share = chunk_count.div_ceil(workers);
+    for acct in &mut timings {
+        acct.steals = acct.chunks.saturating_sub(fair_share);
+    }
+    let mut outcome = collect_outcome(
+        fold,
+        chunk_count.max(1),
+        results.into_iter().map(|(_, r)| r).collect(),
+    );
+    outcome.timings = timings;
+    Ok(outcome)
+}
+
+/// The historical static-shard dispatch: the input is pre-split into one
+/// shard per worker and each worker folds exactly one shard on its own
+/// scoped thread. Kept (a) as the baseline the work-stealing dispatcher
+/// is benchmarked and differentially tested against, and (b) for callers
+/// that specifically want the one-thread-per-shard shape.
+pub fn run_lines_static_caught<F: ShardFold<str>>(
+    input: &str,
+    fold: &F,
+    opts: PipelineOptions,
+) -> RunOutcome<F::Out> {
+    if opts.should_run_sequential(input.len()) {
+        return run_lines_sequential(input, fold);
     }
     let shards = shard_lines(input, opts.effective_workers());
     let shard_count = shards.len();
@@ -141,17 +391,20 @@ pub fn run_lines_caught<F: ShardFold<str>>(
     collect_outcome(fold, shard_count, results)
 }
 
-/// Runs `fold` over `items`, sharded into contiguous chunks, isolating
-/// worker panics (see [`run_lines_caught`] for the panic contract).
+/// Runs `fold` over `items`, split into contiguous item chunks claimed by
+/// a work-stealing worker pool, isolating worker panics (see
+/// [`run_lines_caught`] for the panic contract).
 ///
-/// The chunking mirrors the historical DOM-inference path: chunks of
-/// `ceil(len / workers)` items, never smaller than `min_chunk`.
+/// Chunks hold roughly `len / (workers × CHUNKS_PER_WORKER)` items (never
+/// fewer than `min_chunk`) and are claimed through a shared atomic
+/// cursor; per-chunk results are [`ShardFold::take`]n and fused in chunk
+/// order, so the outcome matches a static split for every worker count.
 pub fn run_slice_caught<T: Sync, F: ShardFold<T>>(
     items: &[T],
     fold: &F,
     opts: SliceOptions,
 ) -> RunOutcome<F::Out> {
-    if opts.sequential(items.len()) {
+    if opts.should_run_sequential(items.len()) {
         let caught = catch_unwind(AssertUnwindSafe(|| {
             let mut state = fold.init();
             for (i, item) in items.iter().enumerate() {
@@ -164,6 +417,7 @@ pub fn run_slice_caught<T: Sync, F: ShardFold<T>>(
                 out,
                 shards: 1,
                 poisoned: Vec::new(),
+                timings: Vec::new(),
             },
             Err(payload) => RunOutcome {
                 out: fuse_outs(fold, Vec::new()),
@@ -173,44 +427,69 @@ pub fn run_slice_caught<T: Sync, F: ShardFold<T>>(
                     first_record: 0,
                     message: panic_message(payload.as_ref()),
                 }],
+                timings: Vec::new(),
             },
         };
     }
+    let workers = opts.effective_workers().max(1);
     let chunk = items
         .len()
-        .div_ceil(opts.effective_workers())
+        .div_ceil(workers.saturating_mul(CHUNKS_PER_WORKER).max(1))
         .max(opts.min_chunk.max(1));
-    let shard_count = items.len().div_ceil(chunk);
-    let results: Vec<Result<F::Out, ShardPanic>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .enumerate()
-            .map(|(part_no, part)| {
-                let handle = scope.spawn(move || {
-                    catch_unwind(AssertUnwindSafe(|| {
-                        let mut state = fold.init();
-                        for (i, item) in part.iter().enumerate() {
-                            fold.feed(&mut state, item, part_no * chunk + i);
+    let chunk_count = items.len().div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<SeqResult<F::Out>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(chunk_count))
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut state: Option<F::State> = None;
+                    let mut results = Vec::new();
+                    loop {
+                        let part_no = cursor.fetch_add(1, Ordering::Relaxed);
+                        if part_no >= chunk_count {
+                            break;
                         }
-                        fold.finish(state)
-                    }))
-                });
-                (part_no, part_no * chunk, handle)
+                        let start = part_no * chunk;
+                        let part = &items[start..items.len().min(start + chunk)];
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            let st = state.get_or_insert_with(|| fold.init());
+                            for (i, item) in part.iter().enumerate() {
+                                fold.feed(st, item, start + i);
+                            }
+                            fold.take(st)
+                        }));
+                        match caught {
+                            Ok(out) => results.push((part_no, Ok(out))),
+                            Err(payload) => {
+                                state = None;
+                                results.push((
+                                    part_no,
+                                    Err(ShardPanic {
+                                        shard: part_no,
+                                        first_record: start,
+                                        message: panic_message(payload.as_ref()),
+                                    }),
+                                ));
+                            }
+                        }
+                    }
+                    results
+                })
             })
             .collect();
         handles
             .into_iter()
-            .map(|(shard_no, first_record, h)| {
-                let caught = h.join().unwrap_or_else(Err);
-                caught.map_err(|payload| ShardPanic {
-                    shard: shard_no,
-                    first_record,
-                    message: panic_message(payload.as_ref()),
-                })
-            })
+            .map(|h| h.join().expect("dispatcher worker panicked outside a fold"))
             .collect()
     });
-    collect_outcome(fold, shard_count, results)
+    let mut results: Vec<SeqResult<F::Out>> = per_worker.into_iter().flatten().collect();
+    results.sort_unstable_by_key(|(seq, _)| *seq);
+    collect_outcome(
+        fold,
+        chunk_count,
+        results.into_iter().map(|(_, r)| r).collect(),
+    )
 }
 
 /// Splits per-shard results into surviving outputs and panic provenance,
@@ -232,6 +511,7 @@ fn collect_outcome<Item: ?Sized, F: ShardFold<Item>>(
         out: fuse_outs(fold, outs),
         shards,
         poisoned,
+        timings: Vec::new(),
     }
 }
 
@@ -484,6 +764,124 @@ mod tests {
         assert_eq!(outcome.shards, 1);
         assert_eq!(outcome.poisoned.len(), 1);
         assert!(outcome.out.is_empty(), "poisoned shard's output is lost");
+    }
+
+    #[test]
+    fn stealing_matches_static_across_chunk_sizes() {
+        let input: String = (1..=500).map(|i| format!("{i}\n")).collect();
+        let expected = run_lines_static_caught(&input, &SumFold, opts(4)).out;
+        for workers in [1, 2, 3, 8] {
+            for chunk_bytes in [1usize, 64, 4096, 1 << 20] {
+                let outcome = run_lines_stealing(
+                    &input,
+                    &SumFold,
+                    opts(workers),
+                    ChunkOptions::with_chunk_bytes(chunk_bytes),
+                );
+                assert_eq!(
+                    outcome.out, expected,
+                    "workers={workers} chunk_bytes={chunk_bytes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reader_matches_slice_dispatch() {
+        let mut lines: Vec<String> = (1..=300).map(|i| i.to_string()).collect();
+        lines[123] = "bad".into();
+        let input = lines.join("\n");
+        let expected = run_lines_caught(&input, &SumFold, opts(3)).out;
+        let outcome = run_reader_caught(
+            std::io::Cursor::new(input.as_bytes()),
+            &SumFold,
+            opts(3),
+            ChunkOptions::with_chunk_bytes(128),
+        )
+        .unwrap();
+        assert_eq!(outcome.out, expected);
+        assert_eq!(outcome.out.as_ref().unwrap_err().0, 123);
+        assert!(outcome.shards > 1);
+    }
+
+    #[test]
+    fn timing_accounts_for_every_chunk() {
+        let input: String = (1..=400).map(|i| format!("{i}\n")).collect();
+        let chunk = ChunkOptions {
+            chunk_bytes: 64,
+            ring: 0,
+            timing: true,
+        };
+        let outcome = run_lines_stealing(&input, &SumFold, opts(3), chunk);
+        assert_eq!(outcome.out, Ok((1..=400i64).sum()));
+        assert_eq!(outcome.timings.len(), 3);
+        let chunks: usize = outcome.timings.iter().map(|t| t.chunks).sum();
+        assert_eq!(chunks, outcome.shards);
+        let records: usize = outcome.timings.iter().map(|t| t.records).sum();
+        assert_eq!(records, 400);
+        let bytes: usize = outcome.timings.iter().map(|t| t.bytes).sum();
+        assert_eq!(bytes, input.len());
+        // With a single worker every chunk lands on worker 0 and its
+        // fair share is the whole queue: zero steals by definition.
+        let solo = run_lines_stealing(&input, &SumFold, opts(1), chunk);
+        assert_eq!(solo.timings.len(), 1);
+        assert_eq!(solo.timings[0].steals, 0);
+    }
+
+    #[test]
+    fn timing_forces_dispatch_on_tiny_input() {
+        let outcome = run_lines_stealing(
+            "1\n2\n",
+            &SumFold,
+            opts(2),
+            ChunkOptions {
+                timing: true,
+                ..ChunkOptions::default()
+            },
+        );
+        assert_eq!(outcome.out, Ok(3));
+        assert!(!outcome.timings.is_empty());
+    }
+
+    #[test]
+    fn stealing_panic_poisons_only_its_chunk_and_worker_state_recovers() {
+        let mut lines: Vec<String> = (0..200).map(|i| format!("line-{i:04}")).collect();
+        lines[60] = "boom".into();
+        let input = lines.join("\n");
+        // One worker claims every chunk, so the poisoned chunk's state
+        // reset must not leak records from before the panic.
+        let outcome = run_lines_stealing(
+            &input,
+            &PanicOnFold,
+            opts(1),
+            ChunkOptions {
+                chunk_bytes: 256,
+                ring: 0,
+                timing: true,
+            },
+        );
+        assert!(outcome.shards > 1);
+        assert_eq!(outcome.poisoned.len(), 1);
+        assert!(outcome.poisoned[0].first_record <= 60);
+        assert!(!outcome.out.contains(&60));
+        assert!(outcome.out.windows(2).all(|w| w[0] < w[1]));
+        // Records after the poisoned chunk are present: the worker
+        // recovered with a fresh state.
+        assert!(outcome.out.contains(&199));
+    }
+
+    #[test]
+    fn reader_surfaces_input_errors() {
+        let mut bytes = b"1\n2\n".to_vec();
+        bytes.extend_from_slice(&[0xff, 0xfe, b'\n']);
+        let err = run_reader_caught(
+            std::io::Cursor::new(bytes),
+            &SumFold,
+            opts(2),
+            ChunkOptions::with_chunk_bytes(2),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChunkError::NotUtf8 { .. }));
     }
 
     #[test]

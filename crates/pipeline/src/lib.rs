@@ -40,18 +40,32 @@
 //!   fault-tolerance vocabulary tolerant stages fold per shard and merge
 //!   in shard order, so dirty collections degrade into an account of
 //!   rejected records instead of a dead run.
+//! * [`ChunkSource`] / [`run_lines_stealing`] / [`run_reader_caught`] —
+//!   out-of-core chunked input and work-stealing dispatch: the input
+//!   becomes a queue of sequence-numbered newline-aligned chunks (an
+//!   atomic cursor over a pre-split in-memory slice, [`SliceChunks`], or
+//!   a bounded ring of reusable buffers over any `BufRead`,
+//!   [`ReaderChunks`]) claimed by a fixed worker pool, with per-chunk
+//!   results extracted via [`ShardFold::take`] and fused in sequence
+//!   order — identical outcomes to static sharding, without stragglers
+//!   idling workers and without materializing the corpus.
 
+mod chunk;
 mod engine;
 mod options;
 mod report;
 mod shard;
 
+pub use chunk::{
+    Chunk, ChunkError, ChunkOptions, ChunkSource, ReaderChunks, SliceChunks, DEFAULT_CHUNK_BYTES,
+};
 pub use engine::{
-    merge_line_results, run_lines, run_lines_caught, run_slice, run_slice_caught, RunOutcome,
-    ShardFold,
+    merge_line_results, run_lines, run_lines_caught, run_lines_static_caught, run_lines_stealing,
+    run_reader_caught, run_slice, run_slice_caught, run_source_caught, RunOutcome, ShardFold,
 };
 pub use options::{resolve_workers, PipelineOptions, SliceOptions};
 pub use report::{
-    ErrorPolicy, ErrorSummary, RecordDiagnostic, RunReport, ShardPanic, DIAGNOSTIC_SAMPLES,
+    ErrorPolicy, ErrorSummary, RecordDiagnostic, RunReport, ShardPanic, WorkerTiming,
+    DIAGNOSTIC_SAMPLES,
 };
-pub use shard::{shard_lines, Shard};
+pub use shard::{chunk_lines, shard_lines, Shard};

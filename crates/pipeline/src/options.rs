@@ -19,7 +19,11 @@ pub fn resolve_workers(requested: usize) -> usize {
 pub struct PipelineOptions {
     /// Number of worker threads (0 = number of available CPUs).
     pub workers: usize,
-    /// Minimum shard size in bytes; smaller inputs run sequentially.
+    /// Minimum shard size in **bytes** (not lines or items — contrast
+    /// [`SliceOptions::min_chunk`], which counts items). Inputs shorter
+    /// than twice this run sequentially, on both the static-shard and
+    /// the byte-chunked work-stealing dispatch paths (see
+    /// [`should_run_sequential`](Self::should_run_sequential)).
     pub min_shard_bytes: usize,
 }
 
@@ -46,8 +50,13 @@ impl PipelineOptions {
         resolve_workers(self.workers)
     }
 
-    /// Whether `input_len` bytes should run on the sequential path.
-    pub(crate) fn sequential(&self, input_len: usize) -> bool {
+    /// Whether an input of `input_len` **bytes** should run on the
+    /// sequential path: a single worker, or an input too small to be
+    /// worth splitting (under `2 × min_shard_bytes`). Both dispatch
+    /// strategies — static shards and byte-chunked work stealing — use
+    /// this same threshold, so the tiny-input fallback picks the
+    /// sequential path regardless of how the input would be split.
+    pub fn should_run_sequential(&self, input_len: usize) -> bool {
         self.effective_workers().max(1) == 1 || input_len < self.min_shard_bytes.saturating_mul(2)
     }
 }
@@ -58,7 +67,9 @@ impl PipelineOptions {
 pub struct SliceOptions {
     /// Number of worker threads (0 = number of available CPUs).
     pub workers: usize,
-    /// Minimum items per partition; tiny collections run sequentially.
+    /// Minimum **items** per partition (not bytes — contrast
+    /// [`PipelineOptions::min_shard_bytes`]); collections shorter than
+    /// twice this run sequentially.
     pub min_chunk: usize,
 }
 
@@ -85,8 +96,10 @@ impl SliceOptions {
         resolve_workers(self.workers)
     }
 
-    /// Whether `len` items should run on the sequential path.
-    pub(crate) fn sequential(&self, len: usize) -> bool {
+    /// Whether a collection of `len` **items** should run on the
+    /// sequential path: a single worker, or a collection too small to be
+    /// worth splitting (under `2 × min_chunk` items).
+    pub fn should_run_sequential(&self, len: usize) -> bool {
         self.effective_workers().max(1) == 1 || len < self.min_chunk.max(1) * 2
     }
 }
@@ -115,13 +128,13 @@ mod tests {
             workers: 4,
             min_shard_bytes: 100,
         };
-        assert!(p.sequential(199));
-        assert!(!p.sequential(200));
+        assert!(p.should_run_sequential(199));
+        assert!(!p.should_run_sequential(200));
         let s = SliceOptions {
             workers: 4,
             min_chunk: 10,
         };
-        assert!(s.sequential(19));
-        assert!(!s.sequential(20));
+        assert!(s.should_run_sequential(19));
+        assert!(!s.should_run_sequential(20));
     }
 }

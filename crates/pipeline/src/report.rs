@@ -167,20 +167,70 @@ impl fmt::Display for ShardPanic {
 
 impl std::error::Error for ShardPanic {}
 
+/// Per-worker account of a chunked (work-stealing) run, collected only
+/// when timing is requested ([`ChunkOptions::timing`](crate::ChunkOptions)):
+/// how the dynamic dispatcher actually spread the work, and whether any
+/// worker ran ahead of its static share (stole).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerTiming {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Chunks this worker claimed.
+    pub chunks: usize,
+    /// Lines this worker fed through the fold (blank lines included).
+    pub records: usize,
+    /// Bytes of chunk text this worker processed.
+    pub bytes: usize,
+    /// Time spent inside chunk processing (excludes claim waits), summed
+    /// over the worker's chunks. Stored as a [`std::time::Duration`] so
+    /// the report stays `Eq`; derive rates at display time.
+    pub busy: std::time::Duration,
+    /// Chunks claimed beyond this worker's static fair share
+    /// (`chunks - ceil(total_chunks / workers)`, floored at 0) — a direct
+    /// count of work stolen from slower workers' shares.
+    pub steals: usize,
+}
+
+impl WorkerTiming {
+    /// Records per second over this worker's busy time (0 when idle).
+    pub fn records_per_sec(&self) -> f64 {
+        let secs = self.busy.as_secs_f64();
+        if secs > 0.0 {
+            self.records as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Bytes per second over this worker's busy time (0 when idle).
+    pub fn bytes_per_sec(&self) -> f64 {
+        let secs = self.busy.as_secs_f64();
+        if secs > 0.0 {
+            self.bytes as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The account of one tolerant streaming run, returned alongside the
 /// stage result.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunReport {
     /// Number of non-blank records processed (accepted + rejected).
     pub records: usize,
-    /// Number of shards the input was split into (1 on the sequential
-    /// path).
+    /// Number of work units the input was split into: static shards on
+    /// the pre-split path, claimed chunks on the work-stealing path
+    /// (1 on the sequential path).
     pub shards: usize,
     /// The merged rejection account.
     pub errors: ErrorSummary,
     /// Shards whose worker panicked; their partial results are lost but
     /// the remaining shards still merge.
     pub poisoned: Vec<ShardPanic>,
+    /// Per-worker timing, populated only when the run requested it
+    /// (empty otherwise, so untimed reports compare as before).
+    pub timings: Vec<WorkerTiming>,
 }
 
 impl RunReport {

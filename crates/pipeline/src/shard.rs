@@ -1,6 +1,7 @@
-//! Newline-boundary sharding.
+//! Newline-boundary sharding and chunking.
 
-/// One contiguous shard of an NDJSON input.
+/// One contiguous newline-aligned piece of an NDJSON input — a worker's
+/// static shard, or one stealable chunk (see [`crate::chunk`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Shard<'a> {
     /// Zero-based index of the shard's first line in the whole input.
@@ -13,16 +14,17 @@ pub struct Shard<'a> {
     pub text: &'a str,
 }
 
-/// Splits `input` into up to `max_shards` contiguous shards whose
-/// boundaries sit just after a newline, so no document spans two shards.
+/// Splits `input` into contiguous pieces of roughly `target_bytes` each,
+/// every boundary sitting just after a newline so no document spans two
+/// pieces. A line longer than the target yields one oversized piece.
 ///
 /// Line counts are computed in the same scan that finds the boundaries:
 /// each [`Shard`] carries its `first_line` offset and newline count, so
 /// callers never rescan shard bytes to recover line numbering.
-pub fn shard_lines(input: &str, max_shards: usize) -> Vec<Shard<'_>> {
+pub fn chunk_lines(input: &str, target_bytes: usize) -> Vec<Shard<'_>> {
     let bytes = input.as_bytes();
-    let target = input.len().div_ceil(max_shards.max(1)).max(1);
-    let mut shards = Vec::with_capacity(max_shards.min(bytes.len()).max(1));
+    let target = target_bytes.max(1);
+    let mut shards = Vec::with_capacity(input.len().div_ceil(target).clamp(1, 1024));
     let mut start = 0usize;
     let mut first_line = 0usize;
     let mut lines = 0usize;
@@ -31,7 +33,7 @@ pub fn shard_lines(input: &str, max_shards: usize) -> Vec<Shard<'_>> {
             continue;
         }
         lines += 1;
-        // A shard closes at the first newline at or past its byte target.
+        // A piece closes at the first newline at or past its byte target.
         if i + 1 >= start + target {
             shards.push(Shard {
                 first_line,
@@ -51,6 +53,14 @@ pub fn shard_lines(input: &str, max_shards: usize) -> Vec<Shard<'_>> {
         });
     }
     shards
+}
+
+/// Splits `input` into up to `max_shards` contiguous shards whose
+/// boundaries sit just after a newline — the static pre-split used by the
+/// one-shard-per-worker dispatch path. Same scan as [`chunk_lines`], with
+/// the byte target derived from the shard budget.
+pub fn shard_lines(input: &str, max_shards: usize) -> Vec<Shard<'_>> {
+    chunk_lines(input, input.len().div_ceil(max_shards.max(1)))
 }
 
 #[cfg(test)]
@@ -101,5 +111,17 @@ mod tests {
         assert_eq!(shards.len(), 1);
         assert_eq!(shards[0].first_line, 0);
         assert_eq!(shards[0].lines, 1);
+    }
+
+    #[test]
+    fn chunk_lines_honors_byte_target() {
+        let input = corpus(1000);
+        let chunks = chunk_lines(&input, 64);
+        assert!(chunks.len() > 10, "small target must produce many chunks");
+        let rejoined: String = chunks.iter().map(|s| s.text).collect();
+        assert_eq!(rejoined, input);
+        for chunk in &chunks[..chunks.len() - 1] {
+            assert!(chunk.text.len() >= 64, "chunks close at or past the target");
+        }
     }
 }

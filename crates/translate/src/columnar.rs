@@ -474,6 +474,15 @@ impl ShredStream<'_> {
             .collect();
         ColumnarBatch { columns, rows }
     }
+
+    /// Materialises the rows pushed so far and resets the stream to
+    /// empty, keeping it usable for further pushes — the chunked pipeline
+    /// extracts one batch per claimed chunk from a long-lived per-worker
+    /// stream. `take_batch` then pushing more rows is equivalent to two
+    /// separate streams: pushes are per-row independent.
+    pub fn take_batch(&mut self) -> ColumnarBatch {
+        std::mem::replace(self, self.shredder.stream()).finish()
+    }
 }
 
 /// Direct typed column construction for the schema-aware path.

@@ -14,7 +14,11 @@
 //! jsonx query     [--where-exists p] [--expand p] [--project a,b.c] [--top n] [FILE]
 //! ```
 //!
-//! `FILE` is newline-delimited JSON; `-` or no file reads stdin.
+//! `FILE` is newline-delimited JSON; `-` or no file reads stdin. The
+//! streaming commands also accept `--input FILE` to process the corpus
+//! out-of-core (bounded chunk buffers, never materialised), plus
+//! `--chunk-bytes N` and `--report-timing` to tune and observe the
+//! work-stealing dispatch.
 
 use jsonx::baselines::MongoProfiler;
 use jsonx::core::{infer_collection, print_type, to_json_schema, Equivalence, PrintOptions};
@@ -25,14 +29,16 @@ use jsonx::syntax::{parse, parse_ndjson, to_string, to_string_pretty};
 use jsonx::translate::{normalize, AvroCodec, AvroSchema, Shredder};
 use jsonx::Value;
 use jsonx::{
-    infer_streaming_guarded, infer_streaming_parallel, infer_validate_streaming_guarded,
-    infer_validate_streaming_parallel, translate_streaming_guarded,
-    translate_streaming_guarded_fast, translate_streaming_parallel,
-    translate_streaming_parallel_fast, validate_streaming_guarded, validate_streaming_guarded_fast,
-    validate_streaming_parallel, validate_streaming_parallel_fast, write_quarantine_file,
-    ErrorPolicy, FaultOptions, LineVerdict, ParseLimits, RunReport, StreamingOptions,
+    infer_streaming_guarded, infer_streaming_parallel, infer_streaming_source,
+    infer_validate_streaming_guarded, infer_validate_streaming_parallel,
+    infer_validate_streaming_source, translate_streaming_guarded, translate_streaming_guarded_fast,
+    translate_streaming_parallel, translate_streaming_parallel_fast, translate_streaming_source,
+    validate_streaming_guarded, validate_streaming_guarded_fast, validate_streaming_parallel,
+    validate_streaming_parallel_fast, validate_streaming_source, write_quarantine_file,
+    ChunkOptions, ErrorPolicy, FaultOptions, LineVerdict, ParseLimits, RunReport, StreamSource,
+    StreamingOptions,
 };
-use std::io::Read;
+use std::io::{BufRead, Read};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: jsonx <command> [options] [FILE]
@@ -98,6 +104,18 @@ these implies --streaming):
                                  (default 128)
   --max-line-bytes N             reject records longer than N bytes
 
+out-of-core flags (streaming infer / validate / translate; any of
+these implies --streaming and routes through the chunked
+work-stealing engine):
+  --input FILE        stream FILE through a bounded ring of reusable
+                      chunk buffers instead of materialising it
+                      ('-' streams stdin); invalid-document
+                      diagnostics shrink to line numbers
+  --chunk-bytes N     target chunk size in bytes (default: sized
+                      from the input, capped at 1 MiB)
+  --report-timing     print per-worker chunk/record/byte counts,
+                      steal counts and throughput to stderr
+
 FILE is newline-delimited JSON; '-' or absent reads stdin.";
 
 fn main() -> ExitCode {
@@ -140,7 +158,9 @@ struct Opts {
 }
 
 /// Flags that take a value.
-const VALUED: [&str; 16] = [
+const VALUED: [&str; 18] = [
+    "--input",
+    "--chunk-bytes",
     "--equiv",
     "--workers",
     "--schema",
@@ -169,6 +189,70 @@ const FAULT_FLAGS: [&str; 5] = [
     "max-depth",
     "max-line-bytes",
 ];
+
+/// The out-of-core flags shared by the streaming commands; any of them
+/// routes the run through the chunk-source work-stealing engine (and
+/// implies `--streaming`).
+const CHUNK_FLAGS: [&str; 3] = ["input", "chunk-bytes", "report-timing"];
+
+/// Out-of-core run configuration parsed from the chunk flags.
+struct ChunkCli {
+    /// `--input FILE`: stream this file instead of the positional FILE.
+    input: Option<String>,
+    chunk: ChunkOptions,
+}
+
+/// Builds the out-of-core configuration, or `None` when no chunk flag
+/// was given (the in-memory paths keep their exact legacy output).
+fn chunk_cli(opts: &Opts) -> Result<Option<ChunkCli>, String> {
+    if !CHUNK_FLAGS.iter().any(|f| opts.has(f)) {
+        return Ok(None);
+    }
+    let chunk_bytes: usize = opts
+        .get("chunk-bytes")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad --chunk-bytes: {e}"))?
+        .unwrap_or(0);
+    Ok(Some(ChunkCli {
+        input: opts.get("input").map(str::to_string),
+        chunk: ChunkOptions {
+            chunk_bytes,
+            timing: opts.has("report-timing"),
+            ..ChunkOptions::default()
+        },
+    }))
+}
+
+/// The reader half of an out-of-core run: `--input FILE` opened for
+/// bounded streaming (`-` streams stdin).
+type BoxedInput = Box<dyn BufRead + Send>;
+
+fn open_input(path: &str) -> Result<BoxedInput, String> {
+    if path == "-" {
+        Ok(Box::new(std::io::BufReader::new(std::io::stdin())))
+    } else {
+        let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+        Ok(Box::new(std::io::BufReader::new(file)))
+    }
+}
+
+/// Opens the corpus for a chunk-dispatched run: `--input` streams a
+/// reader out-of-core; otherwise the positional FILE/stdin text is
+/// loaded into `storage` and chunk-dispatched in place.
+fn open_source<'a>(
+    input: Option<&str>,
+    file: Option<&str>,
+    storage: &'a mut String,
+) -> Result<StreamSource<'a, BoxedInput>, String> {
+    match input {
+        Some(path) => Ok(StreamSource::Reader(open_input(path)?)),
+        None => {
+            *storage = read_text(file)?;
+            Ok(StreamSource::Slice(storage))
+        }
+    }
+}
 
 fn parse_opts(args: &[String], allow_schema_value: bool, known: &[&str]) -> Result<Opts, String> {
     let mut flags = Vec::new();
@@ -276,20 +360,46 @@ fn finish_guarded_run(opts: &Opts, report: &RunReport) -> Result<String, String>
     for p in &report.poisoned {
         eprintln!("» warning: {p}");
     }
+    for t in &report.timings {
+        eprintln!(
+            "» worker {}: {} chunks ({} stolen), {} records, {} bytes, {:.3}s busy ({:.0} rec/s, {:.2} MB/s)",
+            t.worker,
+            t.chunks,
+            t.steals,
+            t.records,
+            t.bytes,
+            t.busy.as_secs_f64(),
+            t.records_per_sec(),
+            t.bytes_per_sec() / 1e6,
+        );
+    }
     Ok(format!(", {} rejected", report.errors.total))
 }
 
+/// Loads the whole corpus into memory — the in-memory path shared by
+/// every command (`--input` is the out-of-core alternative). Raw bytes
+/// are read first so non-UTF-8 input gets a clean diagnostic naming the
+/// offending byte offset instead of a generic io error.
 fn read_text(file: Option<&str>) -> Result<String, String> {
-    match file {
+    let (bytes, name) = match file {
         None | Some("-") => {
-            let mut buf = String::new();
+            let mut buf = Vec::new();
             std::io::stdin()
-                .read_to_string(&mut buf)
+                .read_to_end(&mut buf)
                 .map_err(|e| format!("reading stdin: {e}"))?;
-            Ok(buf)
+            (buf, "stdin")
         }
-        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}")),
-    }
+        Some(path) => (
+            std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?,
+            path,
+        ),
+    };
+    String::from_utf8(bytes).map_err(|e| {
+        format!(
+            "{name}: input is not valid UTF-8 (bad byte at offset {})",
+            e.utf8_error().valid_up_to()
+        )
+    })
 }
 
 fn read_collection(file: Option<&str>) -> Result<Vec<Value>, String> {
@@ -308,6 +418,9 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
             "streaming",
             "workers",
             "validate",
+            "input",
+            "chunk-bytes",
+            "report-timing",
             "on-error",
             "max-errors",
             "quarantine",
@@ -326,8 +439,33 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         .transpose()
         .map_err(|e| format!("bad --workers: {e}"))?;
     let fault = fault_options(&opts)?;
+    let chunked = chunk_cli(&opts)?;
     if let Some(schema_path) = opts.get("validate") {
-        return infer_validate_cli(&opts, equiv, schema_path, workers.unwrap_or(0), fault);
+        return infer_validate_cli(
+            &opts,
+            equiv,
+            schema_path,
+            workers.unwrap_or(0),
+            fault,
+            chunked,
+        );
+    }
+    if let Some(ChunkCli { input, chunk }) = chunked {
+        let fault = fault.unwrap_or_default();
+        let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));
+        let mut storage = String::new();
+        let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
+        let (ty, report) = infer_streaming_source(source, equiv, sopts, chunk, fault)
+            .map_err(|e| e.to_string())?;
+        let suffix = finish_guarded_run(&opts, &report)?;
+        print_inferred_type(&opts, &ty);
+        eprintln!(
+            "» {} documents (streaming), equivalence {}, type size {} nodes{suffix}",
+            report.records - report.errors.total,
+            equiv.name(),
+            jsonx::core::type_size(&ty)
+        );
+        return Ok(());
     }
     if let Some(fault) = fault {
         let text = read_text(opts.file.as_deref())?;
@@ -390,12 +528,42 @@ fn infer_validate_cli(
     schema_path: &str,
     workers: usize,
     fault: Option<FaultOptions>,
+    chunked: Option<ChunkCli>,
 ) -> Result<(), String> {
     let schema_text =
         std::fs::read_to_string(schema_path).map_err(|e| format!("reading {schema_path}: {e}"))?;
     let schema_doc = parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
     let schema = CompiledSchema::compile(&schema_doc).map_err(|e| e.to_string())?;
     let vopts = ValidatorOptions::default();
+    if let Some(ChunkCli { input, chunk }) = chunked {
+        // Chunk-dispatched combined pass. The corpus may never be
+        // materialised, so invalid documents report line numbers only
+        // (re-run in-memory for full interpreter diagnostics).
+        let fault = fault.unwrap_or_default();
+        let sopts = StreamingOptions::with_workers(workers);
+        let mut storage = String::new();
+        let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
+        let ((ty, verdicts), report) =
+            infer_validate_streaming_source(source, equiv, &schema, vopts, sopts, chunk, fault)
+                .map_err(|e| e.to_string())?;
+        let suffix = finish_guarded_run(opts, &report)?;
+        let mut invalid = 0usize;
+        for (line_no, verdict) in &verdicts {
+            if matches!(verdict, LineVerdict::Invalid) {
+                invalid += 1;
+                println!("doc {line_no}: invalid");
+            }
+        }
+        print_inferred_type(opts, &ty);
+        eprintln!(
+            "» {}/{} documents valid (combined pass), equivalence {}, type size {} nodes{suffix}",
+            verdicts.len() - invalid,
+            verdicts.len(),
+            equiv.name(),
+            jsonx::core::type_size(&ty)
+        );
+        return Ok(());
+    }
     let text = read_text(opts.file.as_deref())?;
     let sopts = StreamingOptions::with_workers(workers);
     let (ty, verdicts, suffix) = if let Some(fault) = fault {
@@ -446,6 +614,9 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
             "workers",
             "fast-parse",
             "no-fast-parse",
+            "input",
+            "chunk-bytes",
+            "report-timing",
             "on-error",
             "max-errors",
             "quarantine",
@@ -469,8 +640,9 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         .transpose()
         .map_err(|e| format!("bad --workers: {e}"))?;
     let fault = fault_options(&opts)?;
-    if opts.has("streaming") || workers.is_some() || fault.is_some() {
-        return validate_streaming_cli(&opts, &schema, vopts, workers.unwrap_or(0), fault);
+    let chunked = chunk_cli(&opts)?;
+    if opts.has("streaming") || workers.is_some() || fault.is_some() || chunked.is_some() {
+        return validate_streaming_cli(&opts, &schema, vopts, workers.unwrap_or(0), fault, chunked);
     }
     let docs = read_collection(opts.file.as_deref())?;
     let mut invalid = 0usize;
@@ -498,7 +670,42 @@ fn validate_streaming_cli(
     vopts: ValidatorOptions,
     workers: usize,
     fault: Option<FaultOptions>,
+    chunked: Option<ChunkCli>,
 ) -> Result<(), String> {
+    if let Some(ChunkCli { input, chunk }) = chunked {
+        // Chunk-dispatched path. The corpus may never be materialised,
+        // so invalid documents report line numbers only (re-run
+        // in-memory for full interpreter diagnostics).
+        let fault = fault.unwrap_or_default();
+        let sopts = StreamingOptions::with_workers(workers);
+        let fast = fast_parse_enabled(opts);
+        let mut storage = String::new();
+        let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
+        let (verdicts, report) =
+            validate_streaming_source(source, schema, vopts, sopts, chunk, fault, fast)
+                .map_err(|e| e.to_string())?;
+        let suffix = finish_guarded_run(opts, &report)?;
+        let mut invalid = 0usize;
+        for (line_no, verdict) in &verdicts {
+            match verdict {
+                LineVerdict::Valid => {}
+                LineVerdict::Invalid => {
+                    invalid += 1;
+                    println!("doc {line_no}: invalid");
+                }
+                LineVerdict::Malformed(e) => return Err(format!("line {}: {e}", line_no + 1)),
+            }
+        }
+        eprintln!(
+            "» {}/{} documents valid (streaming){suffix}",
+            verdicts.len() - invalid,
+            verdicts.len()
+        );
+        if invalid > 0 {
+            return Err(format!("{invalid} invalid documents"));
+        }
+        return Ok(());
+    }
     let text = read_text(opts.file.as_deref())?;
     let sopts = StreamingOptions::with_workers(workers);
     let fast = fast_parse_enabled(opts);
@@ -587,16 +794,7 @@ fn cmd_project(args: &[String]) -> Result<(), String> {
     let fields_arg = opts.get("fields").ok_or("project needs --fields a,b.c")?;
     let fields: Vec<&str> = fields_arg.split(',').collect();
     let parser = ProjectedParser::new(&fields).map_err(|e| e.to_string())?;
-    let docs_text = match opts.file.as_deref() {
-        None | Some("-") => {
-            let mut buf = String::new();
-            std::io::stdin()
-                .read_to_string(&mut buf)
-                .map_err(|e| e.to_string())?;
-            buf
-        }
-        Some(path) => std::fs::read_to_string(path).map_err(|e| e.to_string())?,
-    };
+    let docs_text = read_text(opts.file.as_deref())?;
     for line in docs_text.lines().filter(|l| !l.trim().is_empty()) {
         let projected = parser.parse(line.as_bytes()).map_err(|e| {
             let prefix: String = line.chars().take(60).collect();
@@ -633,6 +831,9 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
             "workers",
             "fast-parse",
             "no-fast-parse",
+            "input",
+            "chunk-bytes",
+            "report-timing",
             "on-error",
             "max-errors",
             "quarantine",
@@ -647,7 +848,9 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
         .transpose()
         .map_err(|e| format!("bad --workers: {e}"))?;
     let fault = fault_options(&opts)?;
-    let streaming = opts.has("streaming") || workers.is_some() || fault.is_some();
+    let chunked = chunk_cli(&opts)?;
+    let streaming =
+        opts.has("streaming") || workers.is_some() || fault.is_some() || chunked.is_some();
     if streaming && target != "columnar" {
         return Err(format!(
             "--streaming supports only columnar, not '{target}'"
@@ -656,6 +859,46 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
     if !streaming {
         let docs = read_collection(opts.file.as_deref())?;
         return convert_collection(target, &docs);
+    }
+    if let Some(ChunkCli { input, chunk }) = chunked {
+        // Translation is two passes over the corpus (type, then shred);
+        // out-of-core mode re-opens `--input` so neither pass
+        // materialises it. Stdin can't be rewound for the second pass.
+        if input.as_deref() == Some("-") {
+            return Err(
+                "translate needs two passes over the corpus; --input - (stdin) cannot be \
+                 re-read — pass a regular file"
+                    .into(),
+            );
+        }
+        let fault = fault.unwrap_or_default();
+        let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));
+        let mut storage = String::new();
+        let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
+        let (ty, _) = infer_streaming_source(source, Equivalence::Kind, sopts, chunk, fault)
+            .map_err(|e| e.to_string())?;
+        let shredder = Shredder::from_type(&ty);
+        let source = match input.as_deref() {
+            Some(path) => StreamSource::Reader(open_input(path)?),
+            None => StreamSource::Slice(&storage),
+        };
+        let (batch, report) = translate_streaming_source(
+            source,
+            &shredder,
+            sopts,
+            chunk,
+            fault,
+            fast_parse_enabled(&opts),
+        )
+        .map_err(|e| e.to_string())?;
+        let suffix = finish_guarded_run(&opts, &report)?;
+        println!("{}", batch.schema_string());
+        eprintln!(
+            "» {} columns x {} rows (streaming){suffix}",
+            batch.columns.len(),
+            batch.rows
+        );
+        return Ok(());
     }
     let text = read_text(opts.file.as_deref())?;
     let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));

@@ -73,6 +73,7 @@ mod tests {
             shards: 1,
             errors,
             poisoned: Vec::new(),
+            timings: Vec::new(),
         }
     }
 

@@ -43,8 +43,8 @@ use jsonx_core::{fuse, Equivalence, JType};
 use jsonx_core::{ArrayType, FieldName, FieldType, RecordType};
 use jsonx_data::{Object, Value};
 use jsonx_pipeline::{
-    merge_line_results, run_lines, run_lines_caught, ErrorPolicy, ErrorSummary, RecordDiagnostic,
-    RunReport, ShardFold, ShardPanic,
+    merge_line_results, run_lines, run_lines_stealing, run_reader_caught, ChunkOptions,
+    ErrorPolicy, ErrorSummary, RecordDiagnostic, RunReport, ShardFold, ShardPanic,
 };
 use jsonx_schema::{CompiledSchema, FastValidator, ValidatorOptions};
 use jsonx_syntax::{
@@ -359,6 +359,11 @@ pub enum StreamError {
     /// Under [`ErrorPolicy::FailFast`]: a worker panicked, with shard
     /// provenance.
     ShardPanicked(ShardPanic),
+    /// The input itself could not be read (out-of-core mode only): an
+    /// I/O failure or non-UTF-8 bytes. No error policy applies — without
+    /// readable bytes there is no trustworthy record numbering to skip
+    /// past — so any partial results are discarded.
+    Input(String),
 }
 
 impl std::fmt::Display for StreamError {
@@ -369,6 +374,7 @@ impl std::fmt::Display for StreamError {
                 write!(f, "too many rejected records: {seen} seen, limit {limit}")
             }
             StreamError::ShardPanicked(p) => write!(f, "{p}"),
+            StreamError::Input(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -425,6 +431,13 @@ trait RecordStage: Sync {
         -> Result<(), RecordIssue>;
     fn finish(&self, state: Self::State) -> Self::Out;
     fn merge(&self, left: Self::Out, right: Self::Out) -> Self::Out;
+    /// Extracts the current chunk's output, leaving the state ready for
+    /// the worker's next claimed chunk (see [`ShardFold::take`]). Stages
+    /// override this so expensive machinery (interners, validators,
+    /// column builders) survives across chunks.
+    fn take(&self, state: &mut Self::State) -> Self::Out {
+        self.finish(std::mem::replace(state, self.init()))
+    }
 }
 
 /// Why a shard stopped feeding records early.
@@ -540,6 +553,20 @@ impl<'s, S: RecordStage> ShardFold<str> for FaultFold<'s, S> {
         }
     }
 
+    fn take(&self, state: &mut Self::State) -> Self::Out {
+        // Per-chunk extraction on the work-stealing path: the stage's
+        // reusable machinery survives in `inner` while the fault account
+        // resets. A halt moves into the chunk's yield — the halted chunk
+        // already stopped feeding, and the worker's next chunk starts
+        // clean, exactly like a fresh static shard would.
+        ShardYield {
+            out: self.stage.take(&mut state.inner),
+            records: std::mem::take(&mut state.records),
+            errors: std::mem::take(&mut state.errors),
+            halt: state.halt.take(),
+        }
+    }
+
     fn merge(&self, mut left: Self::Out, right: Self::Out) -> Self::Out {
         // Lowest-record fault wins across shards — the error a sequential
         // scan would have hit first (TooMany only meets TooMany, because a
@@ -563,6 +590,30 @@ impl<'s, S: RecordStage> ShardFold<str> for FaultFold<'s, S> {
     }
 }
 
+/// Where a streaming stage reads its NDJSON records from.
+///
+/// `Slice` is the historical in-memory path, dispatched as zero-copy
+/// work-stealing chunks; `Reader` streams out-of-core through a bounded
+/// ring of chunk buffers, so corpora much larger than RAM process with
+/// peak residency around `workers × chunk_bytes`. The type parameter
+/// defaults to [`std::io::Empty`] so slice-only callers can write
+/// `StreamSource::slice(text)` without naming a reader type.
+pub enum StreamSource<'a, R = std::io::Empty> {
+    /// An in-memory NDJSON slice.
+    Slice(&'a str),
+    /// Any buffered reader (file, socket, decompressor).
+    Reader(R),
+}
+
+impl<'a> StreamSource<'a> {
+    /// An in-memory source with the reader type pinned to
+    /// [`std::io::Empty`] — avoids type-annotation noise at call sites
+    /// that never stream.
+    pub fn slice(ndjson: &'a str) -> Self {
+        StreamSource::Slice(ndjson)
+    }
+}
+
 /// Runs a stage under the fault layer and folds the outcome into the
 /// `(result, report)` / [`StreamError`] contract every guarded entry point
 /// shares.
@@ -572,14 +623,38 @@ fn run_stage<S: RecordStage>(
     opts: StreamingOptions,
     fault: FaultOptions,
 ) -> Result<(S::Out, RunReport), StreamError> {
+    run_stage_source(
+        StreamSource::slice(ndjson),
+        stage,
+        opts,
+        ChunkOptions::default(),
+        fault,
+    )
+}
+
+/// [`run_stage`] generalised over input sources and chunk dispatch knobs
+/// — the single execution path every entry point (in-memory or
+/// out-of-core) now funnels through.
+fn run_stage_source<R: std::io::BufRead + Send, S: RecordStage>(
+    source: StreamSource<'_, R>,
+    stage: &S,
+    opts: StreamingOptions,
+    chunk: ChunkOptions,
+    fault: FaultOptions,
+) -> Result<(S::Out, RunReport), StreamError> {
     let fold = FaultFold::new(stage, fault);
-    let outcome = run_lines_caught(ndjson, &fold, opts);
+    let outcome = match source {
+        StreamSource::Slice(ndjson) => run_lines_stealing(ndjson, &fold, opts, chunk),
+        StreamSource::Reader(reader) => run_reader_caught(reader, &fold, opts, chunk)
+            .map_err(|e| StreamError::Input(e.to_string()))?,
+    };
     let yielded = outcome.out;
     let mut report = RunReport {
         records: yielded.records,
         shards: outcome.shards,
         errors: yielded.errors,
         poisoned: outcome.poisoned,
+        timings: outcome.timings,
     };
     if !fault.policy.tolerates() && !report.poisoned.is_empty() {
         return Err(StreamError::ShardPanicked(report.poisoned.remove(0)));
@@ -663,6 +738,12 @@ impl RecordStage for InferStage {
     fn merge(&self, left: JType, right: JType) -> JType {
         fuse(left, right, self.equiv)
     }
+
+    fn take(&self, (_, acc): &mut Self::State) -> JType {
+        // The typer (frame stack + interner) survives across chunks;
+        // only the fused accumulator is the chunk's output.
+        std::mem::replace(acc, JType::Bottom)
+    }
 }
 
 /// Infers the collection type of NDJSON text without building DOMs.
@@ -720,6 +801,24 @@ pub fn infer_streaming_guarded(
         limits: fault.limits,
     };
     run_stage(ndjson, &stage, opts, fault)
+}
+
+/// Streaming inference over any [`StreamSource`]: in-memory slices ride
+/// the work-stealing chunk dispatcher, readers stream out-of-core with
+/// bounded resident memory. Semantics (policy, report, inferred type)
+/// are identical to [`infer_streaming_guarded`] on the same bytes.
+pub fn infer_streaming_source<R: std::io::BufRead + Send>(
+    source: StreamSource<'_, R>,
+    equiv: Equivalence,
+    opts: StreamingOptions,
+    chunk: ChunkOptions,
+    fault: FaultOptions,
+) -> Result<(JType, RunReport), StreamError> {
+    let stage = InferStage {
+        equiv,
+        limits: fault.limits,
+    };
+    run_stage_source(source, &stage, opts, chunk, fault)
 }
 
 // ---------------------------------------------------------------------------
@@ -831,6 +930,12 @@ impl<'s> RecordStage for ValidateStage<'s> {
     fn merge(&self, mut left: Self::Out, right: Self::Out) -> Self::Out {
         left.extend(right);
         left
+    }
+
+    fn take(&self, (_, verdicts, _): &mut Self::State) -> Self::Out {
+        // Validator and fast parser survive across chunks; verdicts are
+        // the chunk's output.
+        std::mem::take(verdicts)
     }
 }
 
@@ -964,6 +1069,35 @@ fn validate_guarded_impl(
     run_stage(ndjson, &stage, opts, fault)
 }
 
+/// Streaming validation over any [`StreamSource`]; `fast` enables the
+/// SWAR projecting fast path when the schema supports it (verdicts are
+/// identical either way). Semantics match
+/// [`validate_streaming_guarded`] / [`validate_streaming_guarded_fast`]
+/// on the same bytes; readers stream out-of-core with bounded resident
+/// memory.
+pub fn validate_streaming_source<R: std::io::BufRead + Send>(
+    source: StreamSource<'_, R>,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+    opts: StreamingOptions,
+    chunk: ChunkOptions,
+    fault: FaultOptions,
+    fast: bool,
+) -> Result<(Vec<(usize, LineVerdict)>, RunReport), StreamError> {
+    let stage = ValidateStage {
+        schema,
+        options,
+        limits: fault.limits,
+        malformed_verdicts: false,
+        fast: if fast {
+            FastPlan::for_validation(schema, &fault.limits)
+        } else {
+            None
+        },
+    };
+    run_stage_source(source, &stage, opts, chunk, fault)
+}
+
 // ---------------------------------------------------------------------------
 // Combined infer + validate stage (single pass)
 // ---------------------------------------------------------------------------
@@ -1046,6 +1180,15 @@ impl<'s> ShardFold<str> for InferValidateFold<'s> {
         InferValidateOutcome {
             ty: merge_line_results(left.ty, right.ty, |a, b| fuse(a, b, self.equiv)),
             verdicts,
+        }
+    }
+
+    fn take(&self, state: &mut InferValidateState<'s>) -> InferValidateOutcome {
+        // Typer and validator survive across chunks; the fused type and
+        // the verdict vector are the chunk's output.
+        InferValidateOutcome {
+            ty: std::mem::replace(&mut state.acc, Ok(JType::Bottom)),
+            verdicts: std::mem::take(&mut state.verdicts),
         }
     }
 }
@@ -1155,6 +1298,13 @@ impl<'s> RecordStage for InferValidateStage<'s> {
         lverdicts.extend(rverdicts);
         (fuse(lty, rty, self.equiv), lverdicts)
     }
+
+    fn take(&self, (_, _, acc, verdicts): &mut Self::State) -> Self::Out {
+        (
+            std::mem::replace(acc, JType::Bottom),
+            std::mem::take(verdicts),
+        )
+    }
 }
 
 /// What a successful guarded combined pass yields: the fused collection
@@ -1180,6 +1330,27 @@ pub fn infer_validate_streaming_guarded(
         limits: fault.limits,
     };
     run_stage(ndjson, &stage, opts, fault)
+}
+
+/// The combined single-pass stage over any [`StreamSource`]; semantics
+/// match [`infer_validate_streaming_guarded`] on the same bytes, with
+/// readers streamed out-of-core under bounded resident memory.
+pub fn infer_validate_streaming_source<R: std::io::BufRead + Send>(
+    source: StreamSource<'_, R>,
+    equiv: Equivalence,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+    opts: StreamingOptions,
+    chunk: ChunkOptions,
+    fault: FaultOptions,
+) -> Result<(TypedVerdicts, RunReport), StreamError> {
+    let stage = InferValidateStage {
+        equiv,
+        schema,
+        options,
+        limits: fault.limits,
+    };
+    run_stage_source(source, &stage, opts, chunk, fault)
 }
 
 // ---------------------------------------------------------------------------
@@ -1258,6 +1429,12 @@ impl<'t> RecordStage for TranslateStage<'t> {
     fn merge(&self, mut left: ColumnarBatch, right: ColumnarBatch) -> ColumnarBatch {
         left.append(right);
         left
+    }
+
+    fn take(&self, (stream, _): &mut Self::State) -> ColumnarBatch {
+        // Column builders reset inside `take_batch`; the fast parser's
+        // scratch survives across chunks.
+        stream.take_batch()
     }
 }
 
@@ -1378,6 +1555,32 @@ fn translate_guarded_impl(
         fast,
     };
     run_stage(ndjson, &stage, opts, fault)
+}
+
+/// Streaming schema-driven translation over any [`StreamSource`];
+/// `fast` enables the SWAR projecting fast path when the shredder's
+/// layout supports it (batches are row-identical either way). Semantics
+/// match [`translate_streaming_guarded`] /
+/// [`translate_streaming_guarded_fast`] on the same bytes; readers
+/// stream out-of-core with bounded resident memory.
+pub fn translate_streaming_source<R: std::io::BufRead + Send>(
+    source: StreamSource<'_, R>,
+    shredder: &Shredder,
+    opts: StreamingOptions,
+    chunk: ChunkOptions,
+    fault: FaultOptions,
+    fast: bool,
+) -> Result<(ColumnarBatch, RunReport), StreamError> {
+    let stage = TranslateStage {
+        shredder,
+        limits: fault.limits,
+        fast: if fast {
+            FastPlan::for_translation(shredder, &fault.limits)
+        } else {
+            None
+        },
+    };
+    run_stage_source(source, &stage, opts, chunk, fault)
 }
 
 #[cfg(test)]

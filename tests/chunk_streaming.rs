@@ -1,0 +1,325 @@
+//! Cross-layer property tests for the chunked work-stealing dispatch:
+//! at every worker count × chunk size — including chunks far smaller
+//! than a record — the stealing engine must be **outcome-identical** to
+//! static sharding and to the sequential reference, for verdicts,
+//! inferred types, columnar batches, reports and quarantine order, on
+//! clean and dirty corpora, from both in-memory slices and out-of-core
+//! readers.
+
+use jsonx::core::Equivalence;
+use jsonx::schema::{CompiledSchema, ValidatorOptions};
+use jsonx::syntax::parse;
+use jsonx::translate::Shredder;
+use jsonx::{
+    infer_streaming_source, translate_streaming_source, validate_streaming_source, ChunkOptions,
+    ErrorPolicy, FaultOptions, RunReport, StreamSource, StreamingOptions,
+};
+use jsonx_pipeline::{run_lines_static_caught, run_lines_stealing, PipelineOptions, ShardFold};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+const WORKERS: [usize; 4] = [1, 2, 3, 8];
+const CHUNK_SIZES: [usize; 3] = [64, 4096, 1 << 20];
+
+/// One corpus line: mostly small records, a tail of records longer than
+/// the 64-byte chunk target (so byte-chunking must keep them whole),
+/// plus blanks; `dirty` mixes in malformed lines.
+fn clean_line() -> BoxedStrategy<String> {
+    prop_oneof![
+        (0i64..100, "[a-z]{0,6}")
+            .prop_map(|(id, tag)| format!("{{\"id\": {id}, \"tag\": \"{tag}\"}}")),
+        (0i64..100, 40usize..120).prop_map(|(id, n)| format!(
+            "{{\"id\": {id}, \"tag\": \"t\", \"payload\": \"{}\"}}",
+            "x".repeat(n)
+        )),
+        Just(String::new()),
+    ]
+    .boxed()
+}
+
+fn arb_line(dirty: bool) -> BoxedStrategy<String> {
+    if dirty {
+        prop_oneof![
+            clean_line(),
+            clean_line(),
+            clean_line(),
+            prop_oneof![
+                Just("{\"id\":".to_string()),
+                Just("[1, 2".to_string()),
+                Just("not json".to_string()),
+                Just("{\"id\": 1, \"tag\": \"dup\"".to_string()),
+            ],
+        ]
+        .boxed()
+    } else {
+        clean_line()
+    }
+}
+
+/// A corpus that always ends with one record whose bytes outspan the
+/// smallest chunk target, exercising the chunk boundary that would
+/// split a record.
+fn arb_corpus(dirty: bool) -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_line(dirty), 0..40).prop_map(|lines| {
+        let mut out = lines.join("\n");
+        out.push_str("\n{\"id\": 7, \"tag\": \"t\", \"payload\": \"");
+        out.push_str(&"y".repeat(200));
+        out.push_str("\"}\n");
+        out
+    })
+}
+
+/// Forces parallel dispatch even on tiny proptest corpora.
+fn opts(workers: usize) -> StreamingOptions {
+    StreamingOptions {
+        workers,
+        min_shard_bytes: 1,
+    }
+}
+
+fn collect_fault() -> FaultOptions {
+    FaultOptions {
+        policy: ErrorPolicy::Collect { max_errors: 1000 },
+        keep_rejects: true,
+        ..FaultOptions::default()
+    }
+}
+
+/// Drops the dispatch-dependent fields (`shards` counts work units,
+/// `timings` is empty on untimed runs anyway) so reports from different
+/// chunkings compare on outcome alone.
+fn normalize(mut r: RunReport) -> RunReport {
+    r.shards = 0;
+    r.timings.clear();
+    r
+}
+
+fn tag_schema() -> CompiledSchema {
+    let doc = parse(r#"{"type": "object", "required": ["tag"]}"#).unwrap();
+    CompiledSchema::compile(&doc).unwrap()
+}
+
+/// An order-sensitive fold for the engine-level comparison: shard
+/// results concatenate, so any mis-ordered or double-counted chunk
+/// changes the output.
+struct IndexLines;
+
+impl ShardFold<str> for IndexLines {
+    type State = Vec<(usize, String)>;
+    type Out = Vec<(usize, String)>;
+
+    fn init(&self) -> Self::State {
+        Vec::new()
+    }
+
+    fn feed(&self, state: &mut Self::State, item: &str, index: usize) {
+        if !item.trim().is_empty() {
+            state.push((index, item.to_string()));
+        }
+    }
+
+    fn finish(&self, state: Self::State) -> Self::Out {
+        state
+    }
+
+    fn merge(&self, mut left: Self::Out, right: Self::Out) -> Self::Out {
+        left.extend(right);
+        left
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Engine layer: work-stealing ≡ static sharding for an
+    /// order-sensitive fold, at every worker count × chunk size.
+    #[test]
+    fn stealing_matches_static_sharding(ndjson in arb_corpus(true)) {
+        for &w in &WORKERS {
+            let popts = PipelineOptions { workers: w, min_shard_bytes: 1 };
+            let fixed = run_lines_static_caught(&ndjson, &IndexLines, popts);
+            for &cb in &CHUNK_SIZES {
+                let stolen = run_lines_stealing(
+                    &ndjson,
+                    &IndexLines,
+                    popts,
+                    ChunkOptions::with_chunk_bytes(cb),
+                );
+                prop_assert_eq!(&stolen.out, &fixed.out);
+                prop_assert!(stolen.poisoned.is_empty());
+            }
+        }
+    }
+
+    /// Validation verdicts, reports and quarantine order are invariant
+    /// across dispatch configurations, and the out-of-core reader path
+    /// agrees with the in-memory slice.
+    #[test]
+    fn validation_is_dispatch_invariant(ndjson in arb_corpus(true)) {
+        let schema = tag_schema();
+        let vopts = ValidatorOptions::default();
+        let fault = collect_fault();
+        let (ref_verdicts, ref_report) = validate_streaming_source(
+            StreamSource::slice(&ndjson),
+            &schema,
+            vopts,
+            opts(1),
+            ChunkOptions::default(),
+            fault,
+            true,
+        )
+        .expect("collect policy under the cap cannot fail");
+        // Quarantine order: diagnostics arrive in record order.
+        prop_assert!(ref_report
+            .errors
+            .rejects
+            .windows(2)
+            .all(|w| w[0].record < w[1].record));
+        for &w in &WORKERS[1..] {
+            for &cb in &CHUNK_SIZES {
+                let (v, r) = validate_streaming_source(
+                    StreamSource::slice(&ndjson),
+                    &schema,
+                    vopts,
+                    opts(w),
+                    ChunkOptions::with_chunk_bytes(cb),
+                    fault,
+                    true,
+                )
+                .unwrap();
+                prop_assert_eq!(&v, &ref_verdicts);
+                prop_assert_eq!(normalize(r), normalize(ref_report.clone()));
+            }
+        }
+        let (v, r) = validate_streaming_source(
+            StreamSource::Reader(Cursor::new(ndjson.clone())),
+            &schema,
+            vopts,
+            opts(3),
+            ChunkOptions::with_chunk_bytes(64),
+            fault,
+            true,
+        )
+        .unwrap();
+        prop_assert_eq!(&v, &ref_verdicts);
+        prop_assert_eq!(normalize(r), normalize(ref_report));
+    }
+
+    /// Fail-fast runs agree on the *first* error across dispatch
+    /// configurations (or on the inferred type when the corpus is
+    /// clean).
+    #[test]
+    fn failfast_first_error_is_dispatch_invariant(ndjson in arb_corpus(true)) {
+        let fault = FaultOptions::default();
+        let reference = infer_streaming_source(
+            StreamSource::slice(&ndjson),
+            Equivalence::Kind,
+            opts(1),
+            ChunkOptions::default(),
+            fault,
+        );
+        for &w in &WORKERS[1..] {
+            for &cb in &CHUNK_SIZES {
+                let got = infer_streaming_source(
+                    StreamSource::slice(&ndjson),
+                    Equivalence::Kind,
+                    opts(w),
+                    ChunkOptions::with_chunk_bytes(cb),
+                    fault,
+                );
+                match (&reference, &got) {
+                    (Ok((ty_a, ra)), Ok((ty_b, rb))) => {
+                        prop_assert_eq!(ty_a, ty_b);
+                        prop_assert_eq!(normalize(ra.clone()), normalize(rb.clone()));
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                    _ => prop_assert!(
+                        false,
+                        "dispatch configs disagree on success: workers {} chunk {}",
+                        w,
+                        cb
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Columnar translation produces byte-identical batches across
+    /// dispatch configurations, including from an out-of-core reader.
+    #[test]
+    fn translation_batches_are_dispatch_invariant(ndjson in arb_corpus(false)) {
+        let fault = FaultOptions {
+            policy: ErrorPolicy::Skip { max_errors: None },
+            ..FaultOptions::default()
+        };
+        let (ty, _) = infer_streaming_source(
+            StreamSource::slice(&ndjson),
+            Equivalence::Kind,
+            opts(1),
+            ChunkOptions::default(),
+            fault,
+        )
+        .unwrap();
+        let shredder = Shredder::from_type(&ty);
+        let (ref_batch, ref_report) = translate_streaming_source(
+            StreamSource::slice(&ndjson),
+            &shredder,
+            opts(1),
+            ChunkOptions::default(),
+            fault,
+            true,
+        )
+        .unwrap();
+        for &w in &WORKERS[1..] {
+            for &cb in &CHUNK_SIZES {
+                let (b, r) = translate_streaming_source(
+                    StreamSource::slice(&ndjson),
+                    &shredder,
+                    opts(w),
+                    ChunkOptions::with_chunk_bytes(cb),
+                    fault,
+                    true,
+                )
+                .unwrap();
+                prop_assert_eq!(&b, &ref_batch);
+                prop_assert_eq!(normalize(r), normalize(ref_report.clone()));
+            }
+        }
+        let (b, r) = translate_streaming_source(
+            StreamSource::Reader(Cursor::new(ndjson.clone())),
+            &shredder,
+            opts(8),
+            ChunkOptions::with_chunk_bytes(64),
+            fault,
+            false,
+        )
+        .unwrap();
+        prop_assert_eq!(&b, &ref_batch);
+        prop_assert_eq!(normalize(r), normalize(ref_report));
+    }
+}
+
+/// A chunk target smaller than every record: each record becomes its
+/// own chunk, none is ever split mid-bytes.
+#[test]
+fn record_longer_than_chunk_stays_whole() {
+    let ndjson =
+        "{\"tag\": \"a\"}\n{\"tag\": \"bbbbbbbbbbbbbbbbbbbbbbbbbbbbbb\"}\n{\"tag\": \"c\"}\n";
+    let schema = tag_schema();
+    let (verdicts, report) = validate_streaming_source(
+        StreamSource::slice(ndjson),
+        &schema,
+        ValidatorOptions::default(),
+        opts(2),
+        ChunkOptions::with_chunk_bytes(8),
+        collect_fault(),
+        true,
+    )
+    .unwrap();
+    assert_eq!(verdicts.len(), 3);
+    assert!(verdicts
+        .iter()
+        .all(|(_, v)| matches!(v, jsonx::LineVerdict::Valid)));
+    assert_eq!(report.records, 3);
+    assert!(report.shards >= 3, "each record should get its own chunk");
+}
