@@ -16,6 +16,20 @@
 //!   worker claims) and fused **in chunk-sequence order**, which is
 //!   byte-for-byte the static shard order — FailFast first-error-line
 //!   selection and `RunReport` merging are unchanged.
+//!
+//! ## Record framing contract
+//!
+//! The engine is deliberately **format-blind**: at `ShardFold<str>` its
+//! only syntactic assumption is that *one record is one line* — chunk
+//! boundaries snap to `\n` and each line is fed with its global index
+//! (std `lines()` framing, so a trailing `\r` is stripped and CRLF
+//! sources work unchanged). What the bytes of a line *mean* is decided
+//! entirely above this crate, by a `RecordDecoder` implementation
+//! (`jsonx-syntax`): NDJSON, CSV rows, or any future line-framed source
+//! run on this same engine — stealing, fault policies, out-of-core
+//! chunking included — without it knowing the difference. Formats whose
+//! records may span lines need their own `ChunkSource` framing; they are
+//! out of scope for the line-based entry points.
 
 use crate::chunk::{ChunkError, ChunkOptions, ChunkSource, ReaderChunks, SliceChunks};
 use crate::chunk::{CHUNKS_PER_WORKER, DEFAULT_CHUNK_BYTES};

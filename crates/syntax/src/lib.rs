@@ -23,6 +23,8 @@
 //! assert!(pretty.contains("\"greeting\""));
 //! ```
 
+pub mod csv;
+pub mod decoder;
 pub mod error;
 pub mod event;
 pub mod lexer;
@@ -32,6 +34,8 @@ pub mod parser;
 pub mod serializer;
 pub mod structural;
 
+pub use csv::CsvDecoder;
+pub use decoder::{EventReceiver, JsonDecoder, NullReceiver, RecordDecoder, Tee, ValueBuilder};
 pub use error::{ParseError, ParseErrorKind, RecordLimit};
 pub use event::{Event, EventParser, RawEvent, RawEventParser};
 pub use lexer::{Lexer, RawToken, Token};

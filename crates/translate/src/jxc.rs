@@ -1,0 +1,940 @@
+//! `.jxc` — the workspace's binary columnar file format.
+//!
+//! A `.jxc` file is a [`ColumnarBatch`] on disk: one block per column
+//! (validity bitmap + encoded values), a schema footer describing every
+//! column, and a trailer pointing back at the footer so readers seek
+//! straight to the schema without scanning data. The §5 story of the
+//! paper — schema-driven translation feeding columnar analytics — ends
+//! here instead of at an in-memory struct.
+//!
+//! ## Layout
+//!
+//! ```text
+//! ┌─────────┬───────────────────────┬─────────┬────────────┬─────────┐
+//! │ "JXC1"  │ column blocks …       │ footer  │ footer_off │ "JXC1"  │
+//! │ 4 bytes │ (per-column, in order)│         │ u64 LE     │ 4 bytes │
+//! └─────────┴───────────────────────┴─────────┴────────────┴─────────┘
+//!
+//! footer := rows:u64, ncols:u32,
+//!           ncols × { path_len:u16, path:bytes, type_tag:u8, enc:u8,
+//!                     block_off:u64, block_len:u64, valid_count:u64 }
+//!
+//! block  := validity bitmap (⌈rows/8⌉ bytes, LSB-first), then dense
+//!           values (one entry per *valid* row) under the encoding:
+//!   plain    bool: bit-packed; int64: i64 LE; float64: f64 bits LE
+//!   dict     dict_len:u32, dict_len × {len:u32, bytes}, codes:u32 …
+//!   list-int (n+1):u32 offsets, then Σ items × i64 LE
+//!   list-str (n+1):u32 offsets, dict (as above), then Σ items × u32 codes
+//! ```
+//!
+//! All integers are little-endian. Every string column is
+//! dictionary-encoded (first-appearance order). JSON spill columns are
+//! inspected at write time: when **every** valid cell is an integer
+//! array — or a string array — whose compact serialization matches the
+//! stored text byte for byte, the column is stored as nested-list
+//! offset arrays instead of opaque text, which is what gives `jsonx cat
+//! --flatten` its cross-join semantics (and costs nothing when the data
+//! doesn't fit: the column falls back to a text dictionary). The
+//! round-trip verification makes `read(write(batch)) == batch` exact by
+//! construction, pinned by `tests/prop_jxc.rs`.
+//!
+//! Counts (rows per column, dictionary entries, total list items) are
+//! bounded by `u32::MAX` per column block; the writer panics past that —
+//! a single batch that large should be written as multiple files.
+
+use crate::columnar::{Column, ColumnData, ColumnarBatch};
+use jsonx_data::{Number, Object, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"JXC1";
+
+/// How one column's dense values are encoded on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Fixed-width scalars (bit-packed bools, i64/f64 words).
+    Plain,
+    /// Dictionary: unique strings once, u32 codes per value.
+    Dict,
+    /// Nested integer lists: offset array + flat i64 items.
+    ListInt,
+    /// Nested string lists: offset array + dictionary + flat u32 codes.
+    ListStr,
+}
+
+impl Encoding {
+    /// Stable label used by `jsonx cat` and the footer docs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Encoding::Plain => "plain",
+            Encoding::Dict => "dict",
+            Encoding::ListInt => "list-int",
+            Encoding::ListStr => "list-str",
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            Encoding::Plain => 0,
+            Encoding::Dict => 1,
+            Encoding::ListInt => 2,
+            Encoding::ListStr => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Encoding> {
+        Some(match tag {
+            0 => Encoding::Plain,
+            1 => Encoding::Dict,
+            2 => Encoding::ListInt,
+            3 => Encoding::ListStr,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a `.jxc` file could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JxcError {
+    /// Leading or trailing magic missing — not a `.jxc` file.
+    BadMagic,
+    /// The file ends before a structure it promises.
+    Truncated,
+    /// Structurally impossible content (bad tags, offsets, codes).
+    Corrupt(String),
+    /// The underlying file could not be read.
+    Io(String),
+}
+
+impl fmt::Display for JxcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JxcError::BadMagic => write!(f, "not a .jxc file (bad magic)"),
+            JxcError::Truncated => write!(f, "truncated .jxc file"),
+            JxcError::Corrupt(msg) => write!(f, "corrupt .jxc file: {msg}"),
+            JxcError::Io(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JxcError {}
+
+/// Per-column facts a reader learns from the footer — what `jsonx cat`
+/// prints next to the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JxcColumnInfo {
+    /// Dotted leaf path.
+    pub path: String,
+    /// Storage type name (`bool`, `int64`, `float64`, `utf8`, `json`).
+    pub type_name: &'static str,
+    /// On-disk encoding of the dense values.
+    pub encoding: Encoding,
+    /// The column block's size in bytes (bitmap + values).
+    pub block_bytes: usize,
+    /// Number of valid (non-null) cells.
+    pub valid_count: usize,
+    /// Dictionary entry count, for dictionary-bearing encodings.
+    pub dict_len: Option<usize>,
+    /// Total flattened list items, for list encodings.
+    pub list_items: Option<usize>,
+}
+
+/// A decoded `.jxc` file: the batch plus the footer's per-column facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JxcFile {
+    /// The reconstructed batch — equal to the batch that was written.
+    pub batch: ColumnarBatch,
+    /// Per-column encodings and sizes, in column order.
+    pub columns: Vec<JxcColumnInfo>,
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn as_u32(n: usize, what: &str) -> u32 {
+    u32::try_from(n).unwrap_or_else(|_| panic!(".jxc writer: {what} ({n}) exceeds u32::MAX"))
+}
+
+/// LSB-first bit-pack of a bool sequence.
+fn pack_bits(bits: impl ExactSizeIterator<Item = bool>, out: &mut Vec<u8>) {
+    let n = bits.len();
+    let start = out.len();
+    out.resize(start + n.div_ceil(8), 0);
+    for (i, bit) in bits.enumerate() {
+        if bit {
+            out[start + i / 8] |= 1 << (i % 8);
+        }
+    }
+}
+
+/// The shape a JSON spill column must verify against to earn a list
+/// encoding.
+enum ListShape {
+    Ints(Vec<Vec<i64>>),
+    Strs(Vec<Vec<String>>),
+}
+
+/// Inspects a JSON spill column's texts: `Some(shape)` when every cell
+/// is an integer array (or, failing that, a string array) whose compact
+/// serialization reproduces the stored text exactly. The byte-equality
+/// check is what lets the reader re-serialize lists without keeping the
+/// original text around.
+fn sniff_lists(texts: &[String]) -> Option<ListShape> {
+    let mut ints: Option<Vec<Vec<i64>>> = Some(Vec::with_capacity(texts.len()));
+    let mut strs: Option<Vec<Vec<String>>> = Some(Vec::with_capacity(texts.len()));
+    for text in texts {
+        if ints.is_none() && strs.is_none() {
+            return None;
+        }
+        let Ok(value) = jsonx_syntax::parse(text) else {
+            return None;
+        };
+        let Value::Arr(items) = &value else {
+            return None;
+        };
+        if value.to_json_string() != *text {
+            return None;
+        }
+        if let Some(acc) = &mut ints {
+            let parsed: Option<Vec<i64>> = items
+                .iter()
+                .map(|v| match v {
+                    Value::Num(Number::Int(i)) => Some(*i),
+                    _ => None,
+                })
+                .collect();
+            match parsed {
+                Some(row) => acc.push(row),
+                None => ints = None,
+            }
+        }
+        if let Some(acc) = &mut strs {
+            let parsed: Option<Vec<String>> = items
+                .iter()
+                .map(|v| match v {
+                    Value::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect();
+            match parsed {
+                Some(row) => acc.push(row),
+                None => strs = None,
+            }
+        }
+    }
+    match (ints, strs) {
+        (Some(rows), _) => Some(ListShape::Ints(rows)),
+        (None, Some(rows)) => Some(ListShape::Strs(rows)),
+        (None, None) => None,
+    }
+}
+
+/// Appends a string dictionary (first-appearance order) and returns each
+/// input's code.
+fn write_dict<'a>(values: impl Iterator<Item = &'a str>, out: &mut Vec<u8>) -> Vec<u32> {
+    let mut index: HashMap<&'a str, u32> = HashMap::new();
+    let mut entries: Vec<&'a str> = Vec::new();
+    let codes: Vec<u32> = values
+        .map(|s| {
+            *index.entry(s).or_insert_with(|| {
+                entries.push(s);
+                as_u32(entries.len() - 1, "dictionary size")
+            })
+        })
+        .collect();
+    put_u32(out, as_u32(entries.len(), "dictionary size"));
+    for entry in &entries {
+        put_u32(out, as_u32(entry.len(), "dictionary entry size"));
+        out.extend_from_slice(entry.as_bytes());
+    }
+    codes
+}
+
+/// Encodes one column's block (bitmap + dense values); returns the
+/// chosen encoding.
+fn write_block(col: &Column, out: &mut Vec<u8>) -> Encoding {
+    pack_bits(col.validity.iter().copied(), out);
+    match &col.data {
+        ColumnData::Bools(v) => {
+            pack_bits(v.iter().copied(), out);
+            Encoding::Plain
+        }
+        ColumnData::Ints(v) => {
+            for i in v {
+                put_u64(out, *i as u64);
+            }
+            Encoding::Plain
+        }
+        ColumnData::Floats(v) => {
+            for f in v {
+                put_u64(out, f.to_bits());
+            }
+            Encoding::Plain
+        }
+        ColumnData::Strs(v) => {
+            let codes = write_dict(v.iter().map(String::as_str), out);
+            for code in codes {
+                put_u32(out, code);
+            }
+            Encoding::Dict
+        }
+        ColumnData::Json(texts) => match sniff_lists(texts) {
+            Some(ListShape::Ints(rows)) => {
+                let mut offset = 0u32;
+                put_u32(out, 0);
+                for row in &rows {
+                    offset = offset
+                        .checked_add(as_u32(row.len(), "list length"))
+                        .unwrap_or_else(|| panic!(".jxc writer: list items exceed u32::MAX"));
+                    put_u32(out, offset);
+                }
+                for row in &rows {
+                    for i in row {
+                        put_u64(out, *i as u64);
+                    }
+                }
+                Encoding::ListInt
+            }
+            Some(ListShape::Strs(rows)) => {
+                let mut offset = 0u32;
+                put_u32(out, 0);
+                for row in &rows {
+                    offset = offset
+                        .checked_add(as_u32(row.len(), "list length"))
+                        .unwrap_or_else(|| panic!(".jxc writer: list items exceed u32::MAX"));
+                    put_u32(out, offset);
+                }
+                let codes = write_dict(
+                    rows.iter().flat_map(|row| row.iter().map(String::as_str)),
+                    out,
+                );
+                for code in codes {
+                    put_u32(out, code);
+                }
+                Encoding::ListStr
+            }
+            None => {
+                let codes = write_dict(texts.iter().map(String::as_str), out);
+                for code in codes {
+                    put_u32(out, code);
+                }
+                Encoding::Dict
+            }
+        },
+    }
+}
+
+fn type_tag(data: &ColumnData) -> u8 {
+    match data {
+        ColumnData::Bools(_) => 0,
+        ColumnData::Ints(_) => 1,
+        ColumnData::Floats(_) => 2,
+        ColumnData::Strs(_) => 3,
+        ColumnData::Json(_) => 4,
+    }
+}
+
+/// Serializes a batch to `.jxc` bytes.
+///
+/// # Panics
+///
+/// Panics when a column's validity length disagrees with the batch row
+/// count or its dense data length disagrees with its valid count (layout
+/// invariant violations), or when a per-column count exceeds `u32::MAX`.
+pub fn write_jxc(batch: &ColumnarBatch) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    let mut blocks: Vec<(usize, usize, Encoding, usize)> = Vec::with_capacity(batch.columns.len());
+    for col in &batch.columns {
+        assert_eq!(
+            col.validity.len(),
+            batch.rows,
+            ".jxc writer: validity length mismatch at {}",
+            col.path
+        );
+        let valid_count = col.validity.iter().filter(|v| **v).count();
+        assert_eq!(
+            data_len(&col.data),
+            valid_count,
+            ".jxc writer: dense length mismatch at {}",
+            col.path
+        );
+        let off = out.len();
+        let enc = write_block(col, &mut out);
+        blocks.push((off, out.len() - off, enc, valid_count));
+    }
+    let footer_off = out.len() as u64;
+    put_u64(&mut out, batch.rows as u64);
+    put_u32(&mut out, as_u32(batch.columns.len(), "column count"));
+    for (col, (off, len, enc, valid_count)) in batch.columns.iter().zip(&blocks) {
+        let path = col.path.as_bytes();
+        put_u16(
+            &mut out,
+            u16::try_from(path.len())
+                .unwrap_or_else(|_| panic!(".jxc writer: column path longer than 64 KiB")),
+        );
+        out.extend_from_slice(path);
+        out.push(type_tag(&col.data));
+        out.push(enc.tag());
+        put_u64(&mut out, *off as u64);
+        put_u64(&mut out, *len as u64);
+        put_u64(&mut out, *valid_count as u64);
+    }
+    put_u64(&mut out, footer_off);
+    out.extend_from_slice(MAGIC);
+    out
+}
+
+/// Writes a batch to `path` as `.jxc`; returns the file size in bytes.
+pub fn write_jxc_file(path: &Path, batch: &ColumnarBatch) -> std::io::Result<u64> {
+    let bytes = write_jxc(batch);
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+fn data_len(data: &ColumnData) -> usize {
+    match data {
+        ColumnData::Bools(v) => v.len(),
+        ColumnData::Ints(v) => v.len(),
+        ColumnData::Floats(v) => v.len(),
+        ColumnData::Strs(v) => v.len(),
+        ColumnData::Json(v) => v.len(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian cursor.
+struct Cur<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], JxcError> {
+        let end = self.pos.checked_add(n).ok_or(JxcError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(JxcError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16, JxcError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, JxcError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, JxcError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
+    (0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect()
+}
+
+fn read_dict(cur: &mut Cur<'_>) -> Result<Vec<String>, JxcError> {
+    let len = cur.u32()? as usize;
+    let mut dict = Vec::with_capacity(len.min(1 << 16));
+    for _ in 0..len {
+        let bytes = cur.u32()? as usize;
+        let entry = std::str::from_utf8(cur.take(bytes)?)
+            .map_err(|_| JxcError::Corrupt("non-UTF-8 dictionary entry".into()))?;
+        dict.push(entry.to_owned());
+    }
+    Ok(dict)
+}
+
+fn read_codes(cur: &mut Cur<'_>, n: usize, dict: &[String]) -> Result<Vec<String>, JxcError> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let code = cur.u32()? as usize;
+        let entry = dict
+            .get(code)
+            .ok_or_else(|| JxcError::Corrupt(format!("dictionary code {code} out of range")))?;
+        out.push(entry.clone());
+    }
+    Ok(out)
+}
+
+fn read_offsets(cur: &mut Cur<'_>, n: usize) -> Result<Vec<usize>, JxcError> {
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(cur.u32()? as usize);
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) || offsets[0] != 0 {
+        return Err(JxcError::Corrupt("non-monotone list offsets".into()));
+    }
+    Ok(offsets)
+}
+
+fn read_block(
+    block: &[u8],
+    rows: usize,
+    valid_count: usize,
+    type_tag: u8,
+    enc: Encoding,
+    path: &str,
+) -> Result<(Column, Option<usize>, Option<usize>), JxcError> {
+    let bitmap_bytes = rows.div_ceil(8);
+    let mut cur = Cur {
+        bytes: block,
+        pos: 0,
+    };
+    let validity = unpack_bits(cur.take(bitmap_bytes)?, rows);
+    if validity.iter().filter(|v| **v).count() != valid_count {
+        return Err(JxcError::Corrupt(format!(
+            "validity bitmap of {path} disagrees with its valid count"
+        )));
+    }
+    let mut dict_len = None;
+    let mut list_items = None;
+    let data = match (type_tag, enc) {
+        (0, Encoding::Plain) => {
+            let packed = cur.take(valid_count.div_ceil(8))?;
+            ColumnData::Bools(unpack_bits(packed, valid_count))
+        }
+        (1, Encoding::Plain) => {
+            let mut v = Vec::with_capacity(valid_count);
+            for _ in 0..valid_count {
+                v.push(cur.u64()? as i64);
+            }
+            ColumnData::Ints(v)
+        }
+        (2, Encoding::Plain) => {
+            let mut v = Vec::with_capacity(valid_count);
+            for _ in 0..valid_count {
+                v.push(f64::from_bits(cur.u64()?));
+            }
+            ColumnData::Floats(v)
+        }
+        (3, Encoding::Dict) | (4, Encoding::Dict) => {
+            let dict = read_dict(&mut cur)?;
+            dict_len = Some(dict.len());
+            let values = read_codes(&mut cur, valid_count, &dict)?;
+            if type_tag == 3 {
+                ColumnData::Strs(values)
+            } else {
+                ColumnData::Json(values)
+            }
+        }
+        (4, Encoding::ListInt) => {
+            let offsets = read_offsets(&mut cur, valid_count)?;
+            let total = offsets[valid_count];
+            list_items = Some(total);
+            let mut items = Vec::with_capacity(total);
+            for _ in 0..total {
+                items.push(cur.u64()? as i64);
+            }
+            let texts = offsets
+                .windows(2)
+                .map(|w| {
+                    Value::Arr(
+                        items[w[0]..w[1]]
+                            .iter()
+                            .map(|i| Value::Num(Number::Int(*i)))
+                            .collect(),
+                    )
+                    .to_json_string()
+                })
+                .collect();
+            ColumnData::Json(texts)
+        }
+        (4, Encoding::ListStr) => {
+            let offsets = read_offsets(&mut cur, valid_count)?;
+            let total = offsets[valid_count];
+            list_items = Some(total);
+            let dict = read_dict(&mut cur)?;
+            dict_len = Some(dict.len());
+            let items = read_codes(&mut cur, total, &dict)?;
+            let texts = offsets
+                .windows(2)
+                .map(|w| {
+                    Value::Arr(items[w[0]..w[1]].iter().cloned().map(Value::Str).collect())
+                        .to_json_string()
+                })
+                .collect();
+            ColumnData::Json(texts)
+        }
+        (tag, enc) => {
+            return Err(JxcError::Corrupt(format!(
+                "type tag {tag} cannot carry encoding {}",
+                enc.label()
+            )));
+        }
+    };
+    if cur.pos != block.len() {
+        return Err(JxcError::Corrupt(format!(
+            "column block of {path} has {} trailing bytes",
+            block.len() - cur.pos
+        )));
+    }
+    Ok((
+        Column {
+            path: path.to_owned(),
+            data,
+            validity,
+        },
+        dict_len,
+        list_items,
+    ))
+}
+
+/// Decodes `.jxc` bytes back into the batch that was written.
+pub fn read_jxc(bytes: &[u8]) -> Result<JxcFile, JxcError> {
+    // magic + footer_off + trailing magic is the smallest possible file.
+    if bytes.len() < 4 + 8 + 4 {
+        return Err(JxcError::Truncated);
+    }
+    if &bytes[..4] != MAGIC || &bytes[bytes.len() - 4..] != MAGIC {
+        return Err(JxcError::BadMagic);
+    }
+    let footer_off =
+        u64::from_le_bytes(bytes[bytes.len() - 12..bytes.len() - 4].try_into().unwrap());
+    let footer_off = usize::try_from(footer_off).map_err(|_| JxcError::Truncated)?;
+    if footer_off < 4 || footer_off > bytes.len() - 12 {
+        return Err(JxcError::Corrupt("footer offset out of range".into()));
+    }
+    let mut cur = Cur {
+        bytes: &bytes[..bytes.len() - 12],
+        pos: footer_off,
+    };
+    let rows = usize::try_from(cur.u64()?).map_err(|_| JxcError::Truncated)?;
+    let ncols = cur.u32()? as usize;
+    let mut columns = Vec::with_capacity(ncols.min(1 << 12));
+    let mut infos = Vec::with_capacity(ncols.min(1 << 12));
+    for _ in 0..ncols {
+        let path_len = cur.u16()? as usize;
+        let path = std::str::from_utf8(cur.take(path_len)?)
+            .map_err(|_| JxcError::Corrupt("non-UTF-8 column path".into()))?
+            .to_owned();
+        let type_tag = cur.take(1)?[0];
+        let enc_tag = cur.take(1)?[0];
+        let enc = Encoding::from_tag(enc_tag)
+            .ok_or_else(|| JxcError::Corrupt(format!("unknown encoding tag {enc_tag}")))?;
+        let block_off = usize::try_from(cur.u64()?).map_err(|_| JxcError::Truncated)?;
+        let block_len = usize::try_from(cur.u64()?).map_err(|_| JxcError::Truncated)?;
+        let valid_count = usize::try_from(cur.u64()?).map_err(|_| JxcError::Truncated)?;
+        if valid_count > rows {
+            return Err(JxcError::Corrupt(format!(
+                "column {path} claims more valid cells than rows"
+            )));
+        }
+        let block_end = block_off
+            .checked_add(block_len)
+            .filter(|end| *end <= footer_off && block_off >= 4)
+            .ok_or_else(|| JxcError::Corrupt(format!("column block of {path} out of range")))?;
+        let (column, dict_len, list_items) = read_block(
+            &bytes[block_off..block_end],
+            rows,
+            valid_count,
+            type_tag,
+            enc,
+            &path,
+        )?;
+        infos.push(JxcColumnInfo {
+            path,
+            type_name: match type_tag {
+                0 => "bool",
+                1 => "int64",
+                2 => "float64",
+                3 => "utf8",
+                4 => "json",
+                other => {
+                    return Err(JxcError::Corrupt(format!("unknown type tag {other}")));
+                }
+            },
+            encoding: enc,
+            block_bytes: block_len,
+            valid_count,
+            dict_len,
+            list_items,
+        });
+        columns.push(column);
+    }
+    Ok(JxcFile {
+        batch: ColumnarBatch { columns, rows },
+        columns: infos,
+    })
+}
+
+/// Reads a `.jxc` file from disk.
+pub fn read_jxc_file(path: &Path) -> Result<JxcFile, JxcError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| JxcError::Io(format!("{}: {e}", path.display())))?;
+    read_jxc(&bytes)
+}
+
+// ---------------------------------------------------------------------------
+// Row reconstruction (jsonx cat)
+// ---------------------------------------------------------------------------
+
+/// The value of one cell for display: scalars as themselves, JSON spill
+/// text parsed back into a value (raw text as a string if it somehow
+/// does not parse).
+fn cell_value(data: &ColumnData, dense: usize) -> Value {
+    match data {
+        ColumnData::Bools(v) => Value::Bool(v[dense]),
+        ColumnData::Ints(v) => Value::Num(Number::Int(v[dense])),
+        ColumnData::Floats(v) => Number::from_f64(v[dense])
+            .map(Value::Num)
+            .unwrap_or(Value::Null),
+        ColumnData::Strs(v) => Value::Str(v[dense].clone()),
+        ColumnData::Json(v) => {
+            jsonx_syntax::parse(&v[dense]).unwrap_or_else(|_| Value::Str(v[dense].clone()))
+        }
+    }
+}
+
+/// Reconstructs the first `limit` rows as flat JSON objects (dotted
+/// paths as keys, absent cells omitted) — the inverse view of shredding,
+/// for `jsonx cat`.
+pub fn rows_as_values(batch: &ColumnarBatch, limit: usize) -> Vec<Value> {
+    let n = batch.rows.min(limit);
+    let mut dense = vec![0usize; batch.columns.len()];
+    let mut out = Vec::with_capacity(n);
+    for row in 0..n {
+        let mut obj = Object::new();
+        for (c, col) in batch.columns.iter().enumerate() {
+            if col.validity[row] {
+                obj.insert(col.path.clone(), cell_value(&col.data, dense[c]));
+                dense[c] += 1;
+            }
+        }
+        out.push(Value::Obj(obj));
+    }
+    out
+}
+
+/// Cross-join flattening of list columns, the semantics `jsonx cat
+/// --flatten` exposes: each row expands into the cartesian product of
+/// its list-encoded columns' elements (an empty or absent list
+/// contributes a single null), with every scalar column repeated per
+/// combination — the classic nested-to-flat-rows unnest.
+///
+/// Only columns the file stored list-encoded ([`Encoding::ListInt`] /
+/// [`Encoding::ListStr`]) flatten; opaque JSON spill stays embedded.
+/// Returns the first `limit` flattened rows.
+pub fn flatten_rows(file: &JxcFile, limit: usize) -> Vec<Value> {
+    let list_cols: Vec<usize> = file
+        .columns
+        .iter()
+        .enumerate()
+        .filter(|(_, info)| matches!(info.encoding, Encoding::ListInt | Encoding::ListStr))
+        .map(|(i, _)| i)
+        .collect();
+    let batch = &file.batch;
+    let mut dense = vec![0usize; batch.columns.len()];
+    let mut out = Vec::new();
+    for row in 0..batch.rows {
+        // Base object of non-list cells, plus each list column's variants.
+        let mut base = Object::new();
+        let mut variants: Vec<(String, Vec<Value>)> = Vec::with_capacity(list_cols.len());
+        for (c, col) in batch.columns.iter().enumerate() {
+            let valid = col.validity[row];
+            let value = valid.then(|| cell_value(&col.data, dense[c]));
+            if valid {
+                dense[c] += 1;
+            }
+            if list_cols.contains(&c) {
+                let elems = match value {
+                    Some(Value::Arr(items)) if !items.is_empty() => items,
+                    _ => vec![Value::Null],
+                };
+                variants.push((col.path.clone(), elems));
+            } else if let Some(v) = value {
+                base.insert(col.path.clone(), v);
+            }
+        }
+        // Cartesian product over the list columns' elements.
+        let mut idx = vec![0usize; variants.len()];
+        loop {
+            let mut obj = base.clone();
+            for (slot, (path, elems)) in idx.iter().zip(&variants) {
+                obj.insert(path.clone(), elems[*slot].clone());
+            }
+            out.push(Value::Obj(obj));
+            if out.len() >= limit {
+                return out;
+            }
+            // Odometer increment; done when it wraps (or there are no
+            // list columns at all — one combination per row).
+            let mut carry = true;
+            for (slot, (_, elems)) in idx.iter_mut().zip(&variants).rev() {
+                *slot += 1;
+                if *slot < elems.len() {
+                    carry = false;
+                    break;
+                }
+                *slot = 0;
+            }
+            if carry {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnar::Shredder;
+    use jsonx_core::{infer_collection, Equivalence};
+    use jsonx_syntax::parse_ndjson;
+
+    fn shred(ndjson: &str) -> ColumnarBatch {
+        let docs = parse_ndjson(ndjson).unwrap();
+        let ty = infer_collection(&docs, Equivalence::Kind);
+        Shredder::from_type(&ty).shred(&docs).unwrap()
+    }
+
+    fn round_trip(batch: &ColumnarBatch) -> JxcFile {
+        let bytes = write_jxc(batch);
+        let file = read_jxc(&bytes).expect("read back");
+        assert_eq!(&file.batch, batch);
+        file
+    }
+
+    #[test]
+    fn scalar_columns_round_trip() {
+        let batch = shred(concat!(
+            "{\"id\": 1, \"name\": \"ada\", \"score\": 9.5, \"ok\": true}\n",
+            "{\"id\": 2, \"name\": \"bob\", \"score\": -0.5, \"ok\": false}\n",
+            "{\"id\": 3, \"name\": \"ada\"}\n",
+        ));
+        let file = round_trip(&batch);
+        let by_path: HashMap<&str, &JxcColumnInfo> =
+            file.columns.iter().map(|i| (i.path.as_str(), i)).collect();
+        assert_eq!(by_path["id"].encoding, Encoding::Plain);
+        assert_eq!(by_path["name"].encoding, Encoding::Dict);
+        assert_eq!(by_path["name"].dict_len, Some(2), "ada deduplicates");
+        assert_eq!(by_path["score"].valid_count, 2);
+    }
+
+    #[test]
+    fn int_lists_get_offset_arrays() {
+        let batch = shred("{\"xs\": [1, 2, 3]}\n{\"xs\": []}\n{\"xs\": [-7]}\n");
+        let file = round_trip(&batch);
+        assert_eq!(file.columns[0].encoding, Encoding::ListInt);
+        assert_eq!(file.columns[0].list_items, Some(4));
+    }
+
+    #[test]
+    fn string_lists_get_offsets_plus_dict() {
+        let batch = shred("{\"tags\": [\"a\", \"b\"]}\n{\"tags\": [\"b\"]}\n");
+        let file = round_trip(&batch);
+        assert_eq!(file.columns[0].encoding, Encoding::ListStr);
+        assert_eq!(file.columns[0].dict_len, Some(2));
+        assert_eq!(file.columns[0].list_items, Some(3));
+    }
+
+    #[test]
+    fn mixed_spill_falls_back_to_text_dict() {
+        let batch = shred("{\"v\": [1, \"x\"]}\n{\"v\": {\"k\": 1}}\n");
+        let file = round_trip(&batch);
+        assert_eq!(file.columns[0].encoding, Encoding::Dict);
+    }
+
+    #[test]
+    fn non_canonical_list_text_is_not_list_encoded() {
+        // Spacing differs from the compact serializer: byte equality
+        // fails, so the column must stay opaque text to round-trip.
+        let batch = ColumnarBatch {
+            columns: vec![Column {
+                path: "v".into(),
+                data: ColumnData::Json(vec!["[1,  2]".into()]),
+                validity: vec![true],
+            }],
+            rows: 1,
+        };
+        let file = round_trip(&batch);
+        assert_eq!(file.columns[0].encoding, Encoding::Dict);
+    }
+
+    #[test]
+    fn nulls_and_missing_cells_round_trip() {
+        let batch = shred("{\"a\": 1}\n{\"b\": \"x\"}\n{\"a\": null, \"b\": \"y\"}\n");
+        round_trip(&batch);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let batch = shred("");
+        round_trip(&batch);
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected_not_panicked() {
+        let batch = shred("{\"id\": 1, \"tags\": [\"a\"]}\n");
+        let good = write_jxc(&batch);
+        assert_eq!(read_jxc(b"nope"), Err(JxcError::Truncated));
+        assert_eq!(read_jxc(b"XXXX0123456789AB"), Err(JxcError::BadMagic));
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(read_jxc(&bad), Err(JxcError::BadMagic));
+        // Truncate mid-file: dropping the trailer breaks magic/offsets.
+        for cut in [good.len() - 1, good.len() - 9, 10] {
+            assert!(read_jxc(&good[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rows_reconstruct_shredded_records() {
+        let batch = shred("{\"id\": 1, \"geo\": {\"lat\": 1.5}}\n{\"id\": 2}\n");
+        let rows = rows_as_values(&batch, 10);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].to_json_string(),
+            "{\"geo.lat\":1.5,\"id\":1}".to_string()
+        );
+        assert_eq!(rows[1].to_json_string(), "{\"id\":2}".to_string());
+    }
+
+    #[test]
+    fn flatten_cross_joins_list_columns() {
+        let batch = shred(concat!(
+            "{\"id\": 1, \"xs\": [1, 2], \"tags\": [\"a\", \"b\"]}\n",
+            "{\"id\": 2, \"xs\": [], \"tags\": [\"c\"]}\n",
+        ));
+        let file = round_trip(&batch);
+        let flat = flatten_rows(&file, 100);
+        // Row 1: 2 × 2 combinations; row 2: empty xs → single null × one tag.
+        assert_eq!(flat.len(), 5);
+        assert_eq!(
+            flat[0].to_json_string(),
+            "{\"id\":1,\"tags\":\"a\",\"xs\":1}"
+        );
+        assert_eq!(
+            flat[3].to_json_string(),
+            "{\"id\":1,\"tags\":\"b\",\"xs\":2}"
+        );
+        assert_eq!(
+            flat[4].to_json_string(),
+            "{\"id\":2,\"tags\":\"c\",\"xs\":null}"
+        );
+    }
+}

@@ -21,11 +21,27 @@
 //!   nested documents become flat relations, arrays of records become
 //!   child tables with foreign keys, and functional dependencies split
 //!   out dimension tables.
+//!
+//! Two pieces close the loop from translation to storage:
+//!
+//! * [`jxc`] — `.jxc`, a binary columnar *file* format for
+//!   [`columnar::ColumnarBatch`]: dictionary-encoded strings, validity
+//!   bitmaps, nested-list offset arrays, schema footer.
+//! * [`sink`] — one [`sink::OutputSink`] interface over all three
+//!   targets, so callers dispatch on a target name instead of
+//!   re-implementing per-format plumbing.
 
 pub mod avro;
 pub mod columnar;
+pub mod jxc;
 pub mod relational;
+pub mod sink;
 
 pub use avro::{AvroCodec, AvroError, AvroField, AvroSchema};
 pub use columnar::{ColumnData, ColumnarBatch, ShredError, ShredStream, Shredder};
+pub use jxc::{
+    flatten_rows, read_jxc, read_jxc_file, rows_as_values, write_jxc, write_jxc_file, Encoding,
+    JxcColumnInfo, JxcError, JxcFile,
+};
 pub use relational::{normalize, Relation};
+pub use sink::{OutputSink, SinkReport};

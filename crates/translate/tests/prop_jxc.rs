@@ -1,0 +1,100 @@
+//! Property tests for the `.jxc` binary columnar format and the
+//! chunked shredding path behind it.
+//!
+//! Two contracts are pinned here:
+//!
+//! * `read_jxc(write_jxc(batch))` reproduces the in-memory
+//!   [`ColumnarBatch`] exactly — values, validity bitmaps, dictionary
+//!   decoding, and nested-list offset reconstruction included.
+//! * Chunked streaming (`ShredStream::take_batch`/`finish` +
+//!   `ColumnarBatch::append`) equals one-shot `Shredder::shred`, order
+//!   preserved, for arbitrary split points — the invariant the parallel
+//!   translation engine relies on when it concatenates per-worker
+//!   batches in shard order.
+
+use jsonx_core::{infer_collection, Equivalence};
+use jsonx_data::{Number, Object, Value};
+use jsonx_translate::{read_jxc, write_jxc, ColumnarBatch, Shredder};
+use proptest::prelude::*;
+
+/// Record-shaped documents (top level must be an object for shredding).
+fn arb_record() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(|i| Value::Num(Number::Int(i))),
+        (-9.0f64..9.0).prop_map(|f| Value::Num(Number::from_f64(f).unwrap())),
+        "[a-c]{0,4}".prop_map(Value::Str),
+    ];
+    let value = leaf.prop_recursive(2, 12, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Value::Arr),
+            prop::collection::vec(("[a-d]", inner), 0..3)
+                .prop_map(|pairs| Value::Obj(pairs.into_iter().collect::<Object>())),
+        ]
+    });
+    prop::collection::vec(("[a-d]", value), 0..4)
+        .prop_map(|pairs| Value::Obj(pairs.into_iter().collect::<Object>()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn jxc_write_read_reproduces_the_batch(
+        docs in prop::collection::vec(arb_record(), 0..10)
+    ) {
+        let ty = infer_collection(&docs, Equivalence::Kind);
+        let batch = Shredder::from_type(&ty).shred(&docs).unwrap();
+        let bytes = write_jxc(&batch);
+        let file = read_jxc(&bytes)
+            .unwrap_or_else(|e| panic!("written file failed to read back: {e}"));
+        prop_assert_eq!(&file.batch, &batch, "batch changed across write/read");
+        // The footer's per-column facts agree with the batch itself.
+        prop_assert_eq!(file.columns.len(), batch.columns.len());
+        for (col, info) in batch.columns.iter().zip(&file.columns) {
+            prop_assert_eq!(&info.path, &col.path);
+            prop_assert_eq!(
+                info.valid_count,
+                col.validity.iter().filter(|v| **v).count()
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_stream_take_batch_equals_one_shot_shred(
+        docs in prop::collection::vec(arb_record(), 1..12),
+        raw_splits in prop::collection::vec(0usize..12, 0..4),
+    ) {
+        let ty = infer_collection(&docs, Equivalence::Kind);
+        let one_shot = Shredder::from_type(&ty).shred(&docs).unwrap();
+        // Same documents pushed one at a time, with a batch taken at
+        // every (arbitrary) split point and appended in order.
+        let splits: Vec<usize> = raw_splits.iter().map(|s| s % (docs.len() + 1)).collect();
+        let shredder = Shredder::from_type(&ty);
+        let mut stream = shredder.stream();
+        let mut acc: Option<ColumnarBatch> = None;
+        for (i, doc) in docs.iter().enumerate() {
+            if splits.contains(&i) {
+                let part = stream.take_batch();
+                match &mut acc {
+                    None => acc = Some(part),
+                    Some(batch) => batch.append(part),
+                }
+            }
+            stream.push(doc).unwrap();
+        }
+        let tail = stream.finish();
+        let chunked = match acc {
+            None => tail,
+            Some(mut batch) => {
+                batch.append(tail);
+                batch
+            }
+        };
+        prop_assert_eq!(&chunked, &one_shot, "chunked shredding diverged");
+        // And the equality survives a trip through the file format.
+        let file = read_jxc(&write_jxc(&chunked)).unwrap();
+        prop_assert_eq!(&file.batch, &one_shot);
+    }
+}

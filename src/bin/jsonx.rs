@@ -2,23 +2,29 @@
 //!
 //! ```text
 //! jsonx infer     [--equiv K|L] [--counts] [--schema] [--streaming] [--workers N]
-//!                 [--validate SCHEMA.json] [FILE]
+//!                 [--validate SCHEMA.json] [--format json|csv] [FILE]
 //! jsonx validate  --schema SCHEMA.json [--formats] [--streaming] [--workers N]
-//!                 [--no-fast-parse] [FILE]
+//!                 [--no-fast-parse] [--format json|csv] [FILE]
 //! jsonx profile   [FILE]
 //! jsonx skeleton  [--coverage 0.9] [FILE]
 //! jsonx project   --fields a,b.c [FILE]
-//! jsonx convert   --to avro|columnar|relational [FILE]
-//! jsonx translate [--to avro|columnar|relational] [--streaming] [--workers N]
-//!                 [--no-fast-parse] [FILE]
+//! jsonx convert   --to avro|columnar|relational [--out FILE.jxc] [FILE]
+//! jsonx translate [--to avro|columnar|relational] [--out FILE.jxc] [--streaming]
+//!                 [--workers N] [--no-fast-parse] [--format json|csv] [FILE]
 //! jsonx query     [--where-exists p] [--expand p] [--project a,b.c] [--top n] [FILE]
+//! jsonx cat       FILE.jxc [--head N] [--flatten]
 //! ```
 //!
-//! `FILE` is newline-delimited JSON; `-` or no file reads stdin. The
+//! `FILE` is newline-delimited JSON — or header-led CSV with
+//! `--format csv`, which routes the same corpus through the same typed
+//! pipeline via the CSV record decoder. `-` or no file reads stdin. The
 //! streaming commands also accept `--input FILE` to process the corpus
-//! out-of-core (bounded chunk buffers, never materialised), plus
-//! `--chunk-bytes N` and `--report-timing` to tune and observe the
-//! work-stealing dispatch.
+//! out-of-core, plus `--chunk-bytes N` and `--report-timing` to tune
+//! and observe the work-stealing dispatch.
+//!
+//! Every command's flags live in one [`FlagSpec`] table; `jsonx help`
+//! is generated from those tables, so "implies --streaming" markers and
+//! value placeholders can never drift from what the parser accepts.
 
 use jsonx::baselines::MongoProfiler;
 use jsonx::core::{infer_collection, print_type, to_json_schema, Equivalence, PrintOptions};
@@ -26,97 +32,354 @@ use jsonx::mison::ProjectedParser;
 use jsonx::schema::{CompiledSchema, ValidatorOptions};
 use jsonx::skeleton::Skeleton;
 use jsonx::syntax::{parse, parse_ndjson, to_string, to_string_pretty};
-use jsonx::translate::{normalize, AvroCodec, AvroSchema, Shredder};
+use jsonx::translate::{flatten_rows, read_jxc_file, rows_as_values, OutputSink, Shredder};
 use jsonx::Value;
 use jsonx::{
-    infer_streaming_guarded, infer_streaming_parallel, infer_streaming_source,
-    infer_validate_streaming_guarded, infer_validate_streaming_parallel,
-    infer_validate_streaming_source, translate_streaming_guarded, translate_streaming_guarded_fast,
+    infer_streaming_decoded, infer_streaming_guarded, infer_streaming_parallel,
+    infer_streaming_source, infer_validate_streaming_decoded, infer_validate_streaming_guarded,
+    infer_validate_streaming_parallel, infer_validate_streaming_source,
+    translate_streaming_decoded, translate_streaming_guarded, translate_streaming_guarded_fast,
     translate_streaming_parallel, translate_streaming_parallel_fast, translate_streaming_source,
-    validate_streaming_guarded, validate_streaming_guarded_fast, validate_streaming_parallel,
-    validate_streaming_parallel_fast, validate_streaming_source, write_quarantine_file,
-    ChunkOptions, ErrorPolicy, FaultOptions, LineVerdict, ParseLimits, RunReport, StreamSource,
-    StreamingOptions,
+    validate_streaming_decoded, validate_streaming_guarded, validate_streaming_guarded_fast,
+    validate_streaming_parallel, validate_streaming_parallel_fast, validate_streaming_source,
+    write_quarantine_file, ChunkOptions, CsvDecoder, ErrorPolicy, FaultOptions, LineVerdict,
+    ParseLimits, RunReport, StreamSource, StreamingOptions,
 };
 use std::io::{BufRead, Read};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: jsonx <command> [options] [FILE]
+// ---------------------------------------------------------------------------
+// Flag tables: one source of truth for parsing AND `jsonx help`
+// ---------------------------------------------------------------------------
 
-commands:
-  infer     infer a schema for an NDJSON collection
-              --equiv K|L     equivalence (default K)
-              --counts        show counting annotations
-              --schema        emit JSON Schema instead of type syntax
-              --streaming     type the event stream directly (no DOMs)
-              --workers N     shard across N threads (implies --streaming;
-                              0 = one per CPU)
-              --validate F    also validate against schema F in the same
-                              pass (one tokenisation per line; implies
-                              --streaming)
-            (plus the fault-tolerance flags below)
-  validate  validate documents against a JSON Schema
-              --schema FILE   schema document (required)
-              --formats       enforce the `format` keyword
-              --streaming     fail-fast per line, diagnostics on demand
-              --workers N     shard across N threads (implies --streaming;
-                              0 = one per CPU)
-              --fast-parse    SWAR structural fast path with projection
-                              pushdown (default on for --streaming);
-                              --no-fast-parse forces the full parser
-            (plus the fault-tolerance flags below)
-  profile   mongodb-schema-style streaming field profile
-  skeleton  mine the frequent-structure skeleton
-              --coverage F    coverage threshold in (0,1] (default 0.9)
-  project   parse only selected fields (Mison-style)
-              --fields a,b.c  dotted field paths (required)
-  convert   translate the collection
-              --to TARGET     avro | columnar | relational (required)
-  translate schema-driven translation with a streaming columnar path
-              --to TARGET     avro | columnar | relational
-                              (default columnar)
-              --streaming     shred newline-bounded shards incrementally
-                              (columnar only)
-              --workers N     shard across N threads (implies --streaming;
-                              0 = one per CPU)
-              --fast-parse    SWAR structural fast path projected to the
-                              shred plan (default on for --streaming);
-                              --no-fast-parse forces the full parser
-            (plus the fault-tolerance flags below)
-  query     run a Jaql-style pipeline and show its inferred output schema
-              --where-exists P   keep documents where path P is non-null
-              --expand P         flatten the array at path P
-              --project a,b.c    transform to a record of the given paths
-              --top N            keep the first N results
-            (stages apply in the order above)
+/// One CLI flag: name, optional value placeholder, help text, and
+/// whether its presence routes the run through the streaming engine.
+#[derive(Clone, Copy)]
+struct FlagSpec {
+    name: &'static str,
+    value: Option<&'static str>,
+    help: &'static str,
+    implies_streaming: bool,
+}
 
-fault-tolerance flags (streaming infer / validate / translate; any of
-these implies --streaming):
-  --on-error fail|skip|collect   record-error policy (default fail).
-                                 skip drops bad records and keeps going;
-                                 collect additionally retains every
-                                 diagnostic (bounded by --max-errors,
-                                 default 1000)
-  --max-errors N                 abort once more than N records reject
-  --quarantine FILE              write one JSON diagnostic per rejected
-                                 record (with the raw line) to FILE
-  --max-depth N                  reject records nested deeper than N
-                                 (default 128)
-  --max-line-bytes N             reject records longer than N bytes
+const fn flag(name: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        value: None,
+        help,
+        implies_streaming: false,
+    }
+}
 
-out-of-core flags (streaming infer / validate / translate; any of
-these implies --streaming and routes through the chunked
-work-stealing engine):
-  --input FILE        stream FILE through a bounded ring of reusable
-                      chunk buffers instead of materialising it
-                      ('-' streams stdin); invalid-document
-                      diagnostics shrink to line numbers
-  --chunk-bytes N     target chunk size in bytes (default: sized
-                      from the input, capped at 1 MiB)
-  --report-timing     print per-worker chunk/record/byte counts,
-                      steal counts and throughput to stderr
+const fn valued(name: &'static str, value: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        value: Some(value),
+        help,
+        implies_streaming: false,
+    }
+}
 
-FILE is newline-delimited JSON; '-' or absent reads stdin.";
+/// A flag whose presence implies `--streaming` (the help text gets the
+/// marker appended automatically).
+const fn implies(mut spec: FlagSpec) -> FlagSpec {
+    spec.implies_streaming = true;
+    spec
+}
+
+/// `--format json|csv`, shared by the streaming commands.
+const FORMAT_FLAG: FlagSpec = implies(valued(
+    "format",
+    "json|csv",
+    "input format: csv reads a header-led CSV corpus through the same typed pipeline",
+));
+
+/// The fault-tolerance flags shared by the streaming commands; any of
+/// them routes the run through the guarded pipeline.
+const FAULT_FLAGS: &[FlagSpec] = &[
+    implies(valued(
+        "on-error",
+        "fail|skip|collect",
+        "record-error policy (default fail). skip drops bad records and keeps going; collect additionally retains every diagnostic (bounded by --max-errors, default 1000)",
+    )),
+    implies(valued("max-errors", "N", "abort once more than N records reject")),
+    implies(valued(
+        "quarantine",
+        "FILE",
+        "write one JSON diagnostic per rejected record (with the raw line) to FILE",
+    )),
+    implies(valued(
+        "max-depth",
+        "N",
+        "reject records nested deeper than N (default 128)",
+    )),
+    implies(valued(
+        "max-line-bytes",
+        "N",
+        "reject records longer than N bytes",
+    )),
+];
+
+/// The out-of-core flags shared by the streaming commands; any of them
+/// routes the run through the chunk-source work-stealing engine.
+const CHUNK_FLAGS: &[FlagSpec] = &[
+    implies(valued(
+        "input",
+        "FILE",
+        "stream FILE through a bounded ring of reusable chunk buffers instead of materialising it ('-' streams stdin); invalid-document diagnostics shrink to line numbers",
+    )),
+    implies(valued(
+        "chunk-bytes",
+        "N",
+        "target chunk size in bytes (default: sized from the input, capped at 1 MiB)",
+    )),
+    implies(flag(
+        "report-timing",
+        "print per-worker chunk/record/byte counts, steal counts and throughput to stderr",
+    )),
+];
+
+const INFER_FLAGS: &[FlagSpec] = &[
+    valued("equiv", "K|L", "equivalence (default K)"),
+    flag("counts", "show counting annotations"),
+    flag("schema", "emit JSON Schema instead of type syntax"),
+    flag("streaming", "type the event stream directly (no DOMs)"),
+    implies(valued(
+        "workers",
+        "N",
+        "shard across N threads (0 = one per CPU)",
+    )),
+    implies(valued(
+        "validate",
+        "F",
+        "also validate against schema F in the same pass (one tokenisation per line)",
+    )),
+    FORMAT_FLAG,
+];
+
+const VALIDATE_FLAGS: &[FlagSpec] = &[
+    valued("schema", "FILE", "schema document (required)"),
+    flag("formats", "enforce the `format` keyword"),
+    flag("streaming", "fail-fast per line, diagnostics on demand"),
+    implies(valued(
+        "workers",
+        "N",
+        "shard across N threads (0 = one per CPU)",
+    )),
+    flag(
+        "fast-parse",
+        "SWAR structural fast path with projection pushdown (default on for --streaming); --no-fast-parse forces the full parser",
+    ),
+    flag("no-fast-parse", "force the full parser"),
+    FORMAT_FLAG,
+];
+
+const SKELETON_FLAGS: &[FlagSpec] = &[valued(
+    "coverage",
+    "F",
+    "coverage threshold in (0,1] (default 0.9)",
+)];
+
+const PROJECT_FLAGS: &[FlagSpec] = &[valued("fields", "a,b.c", "dotted field paths (required)")];
+
+const CONVERT_FLAGS: &[FlagSpec] = &[
+    valued("to", "TARGET", "avro | columnar | relational (required)"),
+    valued(
+        "out",
+        "FILE",
+        "persist the batch as a binary .jxc file (columnar only)",
+    ),
+];
+
+const TRANSLATE_FLAGS: &[FlagSpec] = &[
+    valued(
+        "to",
+        "TARGET",
+        "avro | columnar | relational (default columnar)",
+    ),
+    valued(
+        "out",
+        "FILE",
+        "persist the batch as a binary .jxc file (columnar only)",
+    ),
+    flag(
+        "streaming",
+        "shred newline-bounded shards incrementally (columnar only)",
+    ),
+    implies(valued(
+        "workers",
+        "N",
+        "shard across N threads (0 = one per CPU)",
+    )),
+    flag(
+        "fast-parse",
+        "SWAR structural fast path projected to the shred plan (default on for --streaming); --no-fast-parse forces the full parser",
+    ),
+    flag("no-fast-parse", "force the full parser"),
+    FORMAT_FLAG,
+];
+
+const QUERY_FLAGS: &[FlagSpec] = &[
+    valued(
+        "where-exists",
+        "P",
+        "keep documents where path P is non-null",
+    ),
+    valued("expand", "P", "flatten the array at path P"),
+    valued(
+        "project",
+        "a,b.c",
+        "transform to a record of the given paths",
+    ),
+    valued("top", "N", "keep the first N results"),
+];
+
+const CAT_FLAGS: &[FlagSpec] = &[
+    valued("head", "N", "show at most N rows (default 10)"),
+    flag(
+        "flatten",
+        "cross-join list columns into flat rows (unnest semantics)",
+    ),
+];
+
+/// One subcommand: its summary line, flag table, and whether it also
+/// accepts the shared fault-tolerance / out-of-core flag groups.
+struct CommandSpec {
+    name: &'static str,
+    summary: &'static str,
+    flags: &'static [FlagSpec],
+    guarded: bool,
+}
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "infer",
+        summary: "infer a schema for an NDJSON (or CSV) collection",
+        flags: INFER_FLAGS,
+        guarded: true,
+    },
+    CommandSpec {
+        name: "validate",
+        summary: "validate documents against a JSON Schema",
+        flags: VALIDATE_FLAGS,
+        guarded: true,
+    },
+    CommandSpec {
+        name: "profile",
+        summary: "mongodb-schema-style streaming field profile",
+        flags: &[],
+        guarded: false,
+    },
+    CommandSpec {
+        name: "skeleton",
+        summary: "mine the frequent-structure skeleton",
+        flags: SKELETON_FLAGS,
+        guarded: false,
+    },
+    CommandSpec {
+        name: "project",
+        summary: "parse only selected fields (Mison-style)",
+        flags: PROJECT_FLAGS,
+        guarded: false,
+    },
+    CommandSpec {
+        name: "convert",
+        summary: "translate the collection",
+        flags: CONVERT_FLAGS,
+        guarded: false,
+    },
+    CommandSpec {
+        name: "translate",
+        summary: "schema-driven translation with a streaming columnar path",
+        flags: TRANSLATE_FLAGS,
+        guarded: true,
+    },
+    CommandSpec {
+        name: "query",
+        summary: "run a Jaql-style pipeline and show its inferred output schema (stages apply in flag order)",
+        flags: QUERY_FLAGS,
+        guarded: false,
+    },
+    CommandSpec {
+        name: "cat",
+        summary: "inspect a binary .jxc columnar file (schema, rows, encodings)",
+        flags: CAT_FLAGS,
+        guarded: false,
+    },
+];
+
+impl CommandSpec {
+    /// Every flag this command accepts: its own plus the shared groups.
+    fn all_flags(&self) -> impl Iterator<Item = &'static FlagSpec> {
+        self.flags
+            .iter()
+            .chain(self.guarded.then_some(FAULT_FLAGS).into_iter().flatten())
+            .chain(self.guarded.then_some(CHUNK_FLAGS).into_iter().flatten())
+    }
+}
+
+/// Greedy word-wrap for generated help text.
+fn wrap(text: &str, width: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut line = String::new();
+    for word in text.split_whitespace() {
+        if !line.is_empty() && line.len() + 1 + word.len() > width {
+            lines.push(std::mem::take(&mut line));
+        }
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        line.push_str(word);
+    }
+    if !line.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+fn render_flag(out: &mut String, spec: &FlagSpec) {
+    let head = match spec.value {
+        Some(v) => format!("--{} {v}", spec.name),
+        None => format!("--{}", spec.name),
+    };
+    let mut help = spec.help.to_string();
+    if spec.implies_streaming {
+        help.push_str(" (implies --streaming)");
+    }
+    for (i, line) in wrap(&help, 42).into_iter().enumerate() {
+        if i == 0 {
+            out.push_str(&format!("              {head:<19} {line}\n"));
+        } else {
+            out.push_str(&format!("              {:<19} {line}\n", ""));
+        }
+    }
+}
+
+/// The help text, generated from the command and flag tables.
+fn usage() -> String {
+    let mut s = String::from("usage: jsonx <command> [options] [FILE]\n\ncommands:\n");
+    for cmd in COMMANDS {
+        s.push_str(&format!("  {:<9} {}\n", cmd.name, cmd.summary));
+        for spec in cmd.flags {
+            render_flag(&mut s, spec);
+        }
+        if cmd.guarded {
+            s.push_str("            (plus the fault-tolerance and out-of-core flags below)\n");
+        }
+    }
+    s.push_str("\nfault-tolerance flags (streaming infer / validate / translate):\n");
+    for spec in FAULT_FLAGS {
+        render_flag(&mut s, spec);
+    }
+    s.push_str("\nout-of-core flags (route through the chunked work-stealing engine):\n");
+    for spec in CHUNK_FLAGS {
+        render_flag(&mut s, spec);
+    }
+    s.push_str(
+        "\nFILE is newline-delimited JSON (header-led CSV with --format csv);\n'-' or absent reads stdin.",
+    );
+    s
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -131,69 +394,101 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(command) = args.first() else {
-        return Err(format!("missing command\n{USAGE}"));
+        return Err(format!("missing command\n{}", usage()));
     };
     let rest = &args[1..];
-    match command.as_str() {
-        "infer" => cmd_infer(rest),
-        "validate" => cmd_validate(rest),
-        "profile" => cmd_profile(rest),
-        "skeleton" => cmd_skeleton(rest),
-        "project" => cmd_project(rest),
-        "convert" => cmd_convert(rest),
-        "translate" => cmd_translate(rest),
-        "query" => cmd_query(rest),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        println!("{}", usage());
+        return Ok(());
+    }
+    let Some(cmd) = COMMANDS.iter().find(|c| c.name == command.as_str()) else {
+        return Err(format!("unknown command '{command}'\n{}", usage()));
+    };
+    let opts = parse_opts(rest, cmd)?;
+    match cmd.name {
+        "infer" => cmd_infer(&opts),
+        "validate" => cmd_validate(&opts),
+        "profile" => cmd_profile(&opts),
+        "skeleton" => cmd_skeleton(&opts),
+        "project" => cmd_project(&opts),
+        "convert" => cmd_convert(&opts),
+        "translate" => cmd_translate(&opts),
+        "query" => cmd_query(&opts),
+        "cat" => cmd_cat(&opts),
+        _ => unreachable!("command table and dispatch table agree"),
     }
 }
 
-/// Splits flags (with optional values) from the positional FILE argument.
+/// Parsed flags (with optional values) plus the positional FILE argument.
 struct Opts {
     flags: Vec<(String, Option<String>)>,
     file: Option<String>,
+    /// Some present flag's spec implies `--streaming`.
+    streaming_implied: bool,
 }
 
-/// Flags that take a value.
-const VALUED: [&str; 18] = [
-    "--input",
-    "--chunk-bytes",
-    "--equiv",
-    "--workers",
-    "--schema",
-    "--coverage",
-    "--fields",
-    "--to",
-    "--validate",
-    "--where-exists",
-    "--expand",
-    "--project",
-    "--top",
-    "--on-error",
-    "--max-errors",
-    "--quarantine",
-    "--max-depth",
-    "--max-line-bytes",
-];
+/// Splits `args` into flags and the positional FILE according to the
+/// command's flag table — whether a flag takes a value is read off its
+/// spec, so the same name can be boolean in one command and valued in
+/// another (`infer --schema` vs `validate --schema FILE`).
+fn parse_opts(args: &[String], cmd: &CommandSpec) -> Result<Opts, String> {
+    let mut flags = Vec::new();
+    let mut file = None;
+    let mut streaming_implied = false;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let Some(spec) = cmd.all_flags().find(|s| s.name == name) else {
+                return Err(format!("unknown flag --{name} (see `jsonx help`)"));
+            };
+            streaming_implied |= spec.implies_streaming;
+            if spec.value.is_some() {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.push((name.to_string(), Some(v.clone())));
+                i += 2;
+            } else {
+                flags.push((name.to_string(), None));
+                i += 1;
+            }
+        } else {
+            if file.is_some() {
+                return Err(format!("unexpected extra argument '{a}'"));
+            }
+            file = Some(a.clone());
+            i += 1;
+        }
+    }
+    Ok(Opts {
+        flags,
+        file,
+        streaming_implied,
+    })
+}
 
-/// The fault-tolerance flags shared by the streaming commands; any of
-/// them routes the run through the guarded pipeline (and implies
-/// `--streaming`).
-const FAULT_FLAGS: [&str; 5] = [
-    "on-error",
-    "max-errors",
-    "quarantine",
-    "max-depth",
-    "max-line-bytes",
-];
+impl Opts {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
 
-/// The out-of-core flags shared by the streaming commands; any of them
-/// routes the run through the chunk-source work-stealing engine (and
-/// implies `--streaming`).
-const CHUNK_FLAGS: [&str; 3] = ["input", "chunk-bytes", "report-timing"];
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// `--streaming` itself, or any present flag whose spec implies it.
+    fn streaming_requested(&self) -> bool {
+        self.has("streaming") || self.streaming_implied
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared run configuration (fault tolerance, out-of-core, input format)
+// ---------------------------------------------------------------------------
 
 /// Out-of-core run configuration parsed from the chunk flags.
 struct ChunkCli {
@@ -205,7 +500,7 @@ struct ChunkCli {
 /// Builds the out-of-core configuration, or `None` when no chunk flag
 /// was given (the in-memory paths keep their exact legacy output).
 fn chunk_cli(opts: &Opts) -> Result<Option<ChunkCli>, String> {
-    if !CHUNK_FLAGS.iter().any(|f| opts.has(f)) {
+    if !CHUNK_FLAGS.iter().any(|f| opts.has(f.name)) {
         return Ok(None);
     }
     let chunk_bytes: usize = opts
@@ -254,54 +549,48 @@ fn open_source<'a>(
     }
 }
 
-fn parse_opts(args: &[String], allow_schema_value: bool, known: &[&str]) -> Result<Opts, String> {
-    let mut flags = Vec::new();
-    let mut file = None;
-    let mut i = 0;
-    while i < args.len() {
-        let a = &args[i];
-        if let Some(name) = a.strip_prefix("--") {
-            if !known.contains(&name) {
-                return Err(format!("unknown flag --{name} (see `jsonx help`)"));
-            }
-            let takes_value =
-                VALUED.contains(&a.as_str()) && (a != "--schema" || allow_schema_value);
-            if takes_value {
-                let v = args
-                    .get(i + 1)
-                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
-                flags.push((name.to_string(), Some(v.clone())));
-                i += 2;
-            } else {
-                flags.push((name.to_string(), None));
-                i += 1;
-            }
-        } else {
-            if file.is_some() {
-                return Err(format!("unexpected extra argument '{a}'"));
-            }
-            file = Some(a.clone());
-            i += 1;
+/// Whether `--format csv` selected the CSV front-end.
+fn csv_requested(opts: &Opts) -> Result<bool, String> {
+    match opts.get("format") {
+        None | Some("json") => Ok(false),
+        Some("csv") => Ok(true),
+        Some(other) => Err(format!("unknown --format '{other}' (use json or csv)")),
+    }
+}
+
+/// Splits the CSV header row off a source, returning it together with
+/// the remainder (whose record indices then count data rows from 0, as
+/// the decoder expects).
+fn peel_csv_header<R: BufRead + Send>(
+    source: StreamSource<'_, R>,
+) -> Result<(String, StreamSource<'_, R>), String> {
+    let (header, rest) = match source {
+        StreamSource::Slice(text) => match text.find('\n') {
+            Some(i) => (text[..i].to_string(), StreamSource::Slice(&text[i + 1..])),
+            None => (text.to_string(), StreamSource::Slice("")),
+        },
+        StreamSource::Reader(mut reader) => {
+            let mut line = String::new();
+            reader
+                .read_line(&mut line)
+                .map_err(|e| format!("reading csv header: {e}"))?;
+            (line, StreamSource::Reader(reader))
         }
+    };
+    let header = header.trim_end_matches(['\n', '\r']).to_string();
+    if header.trim().is_empty() {
+        return Err("csv input has no header row".into());
     }
-    Ok(Opts { flags, file })
+    Ok((header, rest))
 }
 
-impl Opts {
-    fn get(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
-    }
-
-    fn has(&self, name: &str) -> bool {
-        self.flags.iter().any(|(n, _)| n == name)
-    }
+/// A CSV decoder for the peeled header, carrying the run's parse limits.
+fn csv_decoder(header: &str, fault: &FaultOptions) -> Result<CsvDecoder, String> {
+    CsvDecoder::from_header(header)
+        .map(|d| d.with_limits(fault.limits))
+        .map_err(|e| format!("csv header: {e}"))
 }
 
-/// Builds [`FaultOptions`] from the shared fault-tolerance flags, or
-/// `None` when none were given (legacy fail-fast paths).
 /// Whether the streaming runs should try the SWAR projecting fast path
 /// first. On by default; `--no-fast-parse` is the escape hatch (and wins
 /// over an explicit `--fast-parse`).
@@ -309,8 +598,10 @@ fn fast_parse_enabled(opts: &Opts) -> bool {
     !opts.has("no-fast-parse")
 }
 
+/// Builds [`FaultOptions`] from the shared fault-tolerance flags, or
+/// `None` when none were given (legacy fail-fast paths).
 fn fault_options(opts: &Opts) -> Result<Option<FaultOptions>, String> {
-    if !FAULT_FLAGS.iter().any(|f| opts.has(f)) {
+    if !FAULT_FLAGS.iter().any(|f| opts.has(f.name)) {
         return Ok(None);
     }
     let max_errors: Option<usize> = opts
@@ -407,27 +698,11 @@ fn read_collection(file: Option<&str>) -> Result<Vec<Value>, String> {
     parse_ndjson(&text).map_err(|(line, e)| format!("line {}: {e}", line + 1))
 }
 
-fn cmd_infer(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(
-        args,
-        false,
-        &[
-            "equiv",
-            "counts",
-            "schema",
-            "streaming",
-            "workers",
-            "validate",
-            "input",
-            "chunk-bytes",
-            "report-timing",
-            "on-error",
-            "max-errors",
-            "quarantine",
-            "max-depth",
-            "max-line-bytes",
-        ],
-    )?;
+// ---------------------------------------------------------------------------
+// infer
+// ---------------------------------------------------------------------------
+
+fn cmd_infer(opts: &Opts) -> Result<(), String> {
     let equiv = match opts.get("equiv").unwrap_or("K") {
         "K" | "k" | "kind" => Equivalence::Kind,
         "L" | "l" | "label" => Equivalence::Label,
@@ -438,17 +713,43 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         .map(str::parse)
         .transpose()
         .map_err(|e| format!("bad --workers: {e}"))?;
-    let fault = fault_options(&opts)?;
-    let chunked = chunk_cli(&opts)?;
+    let fault = fault_options(opts)?;
+    let chunked = chunk_cli(opts)?;
+    let csv = csv_requested(opts)?;
     if let Some(schema_path) = opts.get("validate") {
         return infer_validate_cli(
-            &opts,
+            opts,
             equiv,
             schema_path,
             workers.unwrap_or(0),
             fault,
             chunked,
+            csv,
         );
+    }
+    if csv {
+        // CSV front-end: peel the header, then the decoded engine path.
+        let (input, chunk) = match chunked {
+            Some(c) => (c.input, c.chunk),
+            None => (None, ChunkOptions::default()),
+        };
+        let fault = fault.unwrap_or_default();
+        let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));
+        let mut storage = String::new();
+        let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
+        let (header, source) = peel_csv_header(source)?;
+        let decoder = csv_decoder(&header, &fault)?;
+        let (ty, report) = infer_streaming_decoded(source, decoder, equiv, sopts, chunk, fault)
+            .map_err(|e| e.to_string())?;
+        let suffix = finish_guarded_run(opts, &report)?;
+        print_inferred_type(opts, &ty);
+        eprintln!(
+            "» {} documents (streaming csv), equivalence {}, type size {} nodes{suffix}",
+            report.records - report.errors.total,
+            equiv.name(),
+            jsonx::core::type_size(&ty)
+        );
+        return Ok(());
     }
     if let Some(ChunkCli { input, chunk }) = chunked {
         let fault = fault.unwrap_or_default();
@@ -457,8 +758,8 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
         let (ty, report) = infer_streaming_source(source, equiv, sopts, chunk, fault)
             .map_err(|e| e.to_string())?;
-        let suffix = finish_guarded_run(&opts, &report)?;
-        print_inferred_type(&opts, &ty);
+        let suffix = finish_guarded_run(opts, &report)?;
+        print_inferred_type(opts, &ty);
         eprintln!(
             "» {} documents (streaming), equivalence {}, type size {} nodes{suffix}",
             report.records - report.errors.total,
@@ -472,8 +773,8 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));
         let (ty, report) =
             infer_streaming_guarded(&text, equiv, sopts, fault).map_err(|e| e.to_string())?;
-        let suffix = finish_guarded_run(&opts, &report)?;
-        print_inferred_type(&opts, &ty);
+        let suffix = finish_guarded_run(opts, &report)?;
+        print_inferred_type(opts, &ty);
         eprintln!(
             "» {} documents (streaming), equivalence {}, type size {} nodes{suffix}",
             report.records - report.errors.total,
@@ -482,7 +783,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         );
         return Ok(());
     }
-    let (ty, n_docs, mode) = if opts.has("streaming") || workers.is_some() {
+    let (ty, n_docs, mode) = if opts.streaming_requested() {
         let text = read_text(opts.file.as_deref())?;
         let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));
         let ty = infer_streaming_parallel(&text, equiv, sopts)
@@ -495,7 +796,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         let n = docs.len();
         (ty, n, "dom")
     };
-    print_inferred_type(&opts, &ty);
+    print_inferred_type(opts, &ty);
     eprintln!(
         "» {n_docs} documents ({mode}), equivalence {}, type size {} nodes",
         equiv.name(),
@@ -522,6 +823,7 @@ fn print_inferred_type(opts: &Opts, ty: &jsonx::core::JType) {
 /// fail-fast validator, with interpreter diagnostics re-run on just the
 /// invalid lines. Invalid documents are reported but don't fail the run —
 /// the primary output is still the inferred type.
+#[allow(clippy::too_many_arguments)]
 fn infer_validate_cli(
     opts: &Opts,
     equiv: Equivalence,
@@ -529,12 +831,48 @@ fn infer_validate_cli(
     workers: usize,
     fault: Option<FaultOptions>,
     chunked: Option<ChunkCli>,
+    csv: bool,
 ) -> Result<(), String> {
     let schema_text =
         std::fs::read_to_string(schema_path).map_err(|e| format!("reading {schema_path}: {e}"))?;
     let schema_doc = parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
     let schema = CompiledSchema::compile(&schema_doc).map_err(|e| e.to_string())?;
     let vopts = ValidatorOptions::default();
+    if csv {
+        // CSV combined pass: rows are synthesised records, so invalid
+        // documents report line numbers only.
+        let (input, chunk) = match chunked {
+            Some(c) => (c.input, c.chunk),
+            None => (None, ChunkOptions::default()),
+        };
+        let fault = fault.unwrap_or_default();
+        let sopts = StreamingOptions::with_workers(workers);
+        let mut storage = String::new();
+        let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
+        let (header, source) = peel_csv_header(source)?;
+        let decoder = csv_decoder(&header, &fault)?;
+        let ((ty, verdicts), report) = infer_validate_streaming_decoded(
+            source, decoder, equiv, &schema, vopts, sopts, chunk, fault,
+        )
+        .map_err(|e| e.to_string())?;
+        let suffix = finish_guarded_run(opts, &report)?;
+        let mut invalid = 0usize;
+        for (line_no, verdict) in &verdicts {
+            if matches!(verdict, LineVerdict::Invalid) {
+                invalid += 1;
+                println!("doc {line_no}: invalid");
+            }
+        }
+        print_inferred_type(opts, &ty);
+        eprintln!(
+            "» {}/{} documents valid (combined pass, csv), equivalence {}, type size {} nodes{suffix}",
+            verdicts.len() - invalid,
+            verdicts.len(),
+            equiv.name(),
+            jsonx::core::type_size(&ty)
+        );
+        return Ok(());
+    }
     if let Some(ChunkCli { input, chunk }) = chunked {
         // Chunk-dispatched combined pass. The corpus may never be
         // materialised, so invalid documents report line numbers only
@@ -603,27 +941,11 @@ fn infer_validate_cli(
     Ok(())
 }
 
-fn cmd_validate(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(
-        args,
-        true,
-        &[
-            "schema",
-            "formats",
-            "streaming",
-            "workers",
-            "fast-parse",
-            "no-fast-parse",
-            "input",
-            "chunk-bytes",
-            "report-timing",
-            "on-error",
-            "max-errors",
-            "quarantine",
-            "max-depth",
-            "max-line-bytes",
-        ],
-    )?;
+// ---------------------------------------------------------------------------
+// validate
+// ---------------------------------------------------------------------------
+
+fn cmd_validate(opts: &Opts) -> Result<(), String> {
     let schema_path = opts
         .get("schema")
         .ok_or("validate needs --schema SCHEMA.json")?;
@@ -639,10 +961,19 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         .map(str::parse)
         .transpose()
         .map_err(|e| format!("bad --workers: {e}"))?;
-    let fault = fault_options(&opts)?;
-    let chunked = chunk_cli(&opts)?;
-    if opts.has("streaming") || workers.is_some() || fault.is_some() || chunked.is_some() {
-        return validate_streaming_cli(&opts, &schema, vopts, workers.unwrap_or(0), fault, chunked);
+    let fault = fault_options(opts)?;
+    let chunked = chunk_cli(opts)?;
+    let csv = csv_requested(opts)?;
+    if opts.streaming_requested() {
+        return validate_streaming_cli(
+            opts,
+            &schema,
+            vopts,
+            workers.unwrap_or(0),
+            fault,
+            chunked,
+            csv,
+        );
     }
     let docs = read_collection(opts.file.as_deref())?;
     let mut invalid = 0usize;
@@ -664,6 +995,7 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
 /// Streaming validation path: fail-fast probe per line on shared workers,
 /// then the error-collecting interpreter re-runs on *just* the invalid
 /// lines so diagnostics match the DOM path exactly.
+#[allow(clippy::too_many_arguments)]
 fn validate_streaming_cli(
     opts: &Opts,
     schema: &CompiledSchema,
@@ -671,7 +1003,46 @@ fn validate_streaming_cli(
     workers: usize,
     fault: Option<FaultOptions>,
     chunked: Option<ChunkCli>,
+    csv: bool,
 ) -> Result<(), String> {
+    if csv {
+        // CSV rows are synthesised records with no raw JSON line to
+        // re-validate, so invalid documents report line numbers only.
+        let (input, chunk) = match chunked {
+            Some(c) => (c.input, c.chunk),
+            None => (None, ChunkOptions::default()),
+        };
+        let fault = fault.unwrap_or_default();
+        let sopts = StreamingOptions::with_workers(workers);
+        let mut storage = String::new();
+        let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
+        let (header, source) = peel_csv_header(source)?;
+        let decoder = csv_decoder(&header, &fault)?;
+        let (verdicts, report) =
+            validate_streaming_decoded(source, decoder, schema, vopts, sopts, chunk, fault)
+                .map_err(|e| e.to_string())?;
+        let suffix = finish_guarded_run(opts, &report)?;
+        let mut invalid = 0usize;
+        for (line_no, verdict) in &verdicts {
+            match verdict {
+                LineVerdict::Valid => {}
+                LineVerdict::Invalid => {
+                    invalid += 1;
+                    println!("doc {line_no}: invalid");
+                }
+                LineVerdict::Malformed(e) => return Err(format!("line {}: {e}", line_no + 1)),
+            }
+        }
+        eprintln!(
+            "» {}/{} documents valid (streaming csv){suffix}",
+            verdicts.len() - invalid,
+            verdicts.len()
+        );
+        if invalid > 0 {
+            return Err(format!("{invalid} invalid documents"));
+        }
+        return Ok(());
+    }
     if let Some(ChunkCli { input, chunk }) = chunked {
         // Chunk-dispatched path. The corpus may never be materialised,
         // so invalid documents report line numbers only (re-run
@@ -754,8 +1125,11 @@ fn validate_streaming_cli(
     Ok(())
 }
 
-fn cmd_profile(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args, false, &[])?;
+// ---------------------------------------------------------------------------
+// profile / skeleton / project
+// ---------------------------------------------------------------------------
+
+fn cmd_profile(opts: &Opts) -> Result<(), String> {
     let docs = read_collection(opts.file.as_deref())?;
     let mut profiler = MongoProfiler::default();
     for d in &docs {
@@ -766,8 +1140,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_skeleton(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args, false, &["coverage"])?;
+fn cmd_skeleton(opts: &Opts) -> Result<(), String> {
     let coverage: f64 = opts
         .get("coverage")
         .map(str::parse)
@@ -789,8 +1162,7 @@ fn cmd_skeleton(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_project(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args, false, &["fields"])?;
+fn cmd_project(opts: &Opts) -> Result<(), String> {
     let fields_arg = opts.get("fields").ok_or("project needs --fields a,b.c")?;
     let fields: Vec<&str> = fields_arg.split(',').collect();
     let parser = ProjectedParser::new(&fields).map_err(|e| e.to_string())?;
@@ -805,13 +1177,17 @@ fn cmd_project(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_convert(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args, false, &["to"])?;
+// ---------------------------------------------------------------------------
+// convert / translate / cat
+// ---------------------------------------------------------------------------
+
+fn cmd_convert(opts: &Opts) -> Result<(), String> {
     let target = opts
         .get("to")
         .ok_or("convert needs --to avro|columnar|relational")?;
+    let sink = OutputSink::for_target(target, opts.get("out"))?;
     let docs = read_collection(opts.file.as_deref())?;
-    convert_collection(target, &docs)
+    convert_collection(&sink, &docs)
 }
 
 /// Schema-driven translation with a streaming columnar path.
@@ -819,46 +1195,74 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
 /// `--streaming` (or `--workers`) shreds newline-bounded shards into
 /// per-worker columnar batches concatenated in shard order — the type is
 /// inferred from the same text by the streaming typer, so no DOM for the
-/// whole collection ever exists. Other targets fall back to the DOM path
+/// whole collection ever exists. `--format csv` swaps the record decoder
+/// for the CSV front-end on the same engine; `--out FILE` persists the
+/// batch as binary `.jxc`. Other targets fall back to the DOM path
 /// shared with `convert`.
-fn cmd_translate(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(
-        args,
-        false,
-        &[
-            "to",
-            "streaming",
-            "workers",
-            "fast-parse",
-            "no-fast-parse",
-            "input",
-            "chunk-bytes",
-            "report-timing",
-            "on-error",
-            "max-errors",
-            "quarantine",
-            "max-depth",
-            "max-line-bytes",
-        ],
-    )?;
+fn cmd_translate(opts: &Opts) -> Result<(), String> {
     let target = opts.get("to").unwrap_or("columnar");
+    let sink = OutputSink::for_target(target, opts.get("out"))?;
     let workers: Option<usize> = opts
         .get("workers")
         .map(str::parse)
         .transpose()
         .map_err(|e| format!("bad --workers: {e}"))?;
-    let fault = fault_options(&opts)?;
-    let chunked = chunk_cli(&opts)?;
-    let streaming =
-        opts.has("streaming") || workers.is_some() || fault.is_some() || chunked.is_some();
-    if streaming && target != "columnar" {
+    let fault = fault_options(opts)?;
+    let chunked = chunk_cli(opts)?;
+    let csv = csv_requested(opts)?;
+    let streaming = opts.streaming_requested();
+    if streaming && !sink.wants_batch() {
         return Err(format!(
             "--streaming supports only columnar, not '{target}'"
         ));
     }
     if !streaming {
         let docs = read_collection(opts.file.as_deref())?;
-        return convert_collection(target, &docs);
+        return convert_collection(&sink, &docs);
+    }
+    let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));
+    if csv {
+        // CSV translation is two decoded passes (type, then shred) over
+        // the same source; `--input -` can't be rewound for the second.
+        let (input, chunk) = match chunked {
+            Some(c) => (c.input, c.chunk),
+            None => (None, ChunkOptions::default()),
+        };
+        if input.as_deref() == Some("-") {
+            return Err(
+                "translate needs two passes over the corpus; --input - (stdin) cannot be \
+                 re-read — pass a regular file"
+                    .into(),
+            );
+        }
+        let fault = fault.unwrap_or_default();
+        let mut storage = String::new();
+        let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
+        let (header, source) = peel_csv_header(source)?;
+        let decoder = csv_decoder(&header, &fault)?;
+        let (ty, _) = infer_streaming_decoded(
+            source,
+            decoder.clone(),
+            Equivalence::Kind,
+            sopts,
+            chunk,
+            fault,
+        )
+        .map_err(|e| e.to_string())?;
+        let shredder = Shredder::from_type(&ty);
+        let source = match input.as_deref() {
+            Some(path) => StreamSource::Reader(open_input(path)?),
+            None => StreamSource::Slice(&storage),
+        };
+        let (_, source) = peel_csv_header(source)?;
+        let (batch, report) =
+            translate_streaming_decoded(source, decoder, &shredder, sopts, chunk, fault)
+                .map_err(|e| e.to_string())?;
+        let suffix = finish_guarded_run(opts, &report)?;
+        let out = sink.consume_batch(&batch)?;
+        println!("{}", out.body);
+        eprintln!("» {} (streaming csv){suffix}", out.summary);
+        return Ok(());
     }
     if let Some(ChunkCli { input, chunk }) = chunked {
         // Translation is two passes over the corpus (type, then shred);
@@ -872,7 +1276,6 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
             );
         }
         let fault = fault.unwrap_or_default();
-        let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));
         let mut storage = String::new();
         let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
         let (ty, _) = infer_streaming_source(source, Equivalence::Kind, sopts, chunk, fault)
@@ -888,20 +1291,16 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
             sopts,
             chunk,
             fault,
-            fast_parse_enabled(&opts),
+            fast_parse_enabled(opts),
         )
         .map_err(|e| e.to_string())?;
-        let suffix = finish_guarded_run(&opts, &report)?;
-        println!("{}", batch.schema_string());
-        eprintln!(
-            "» {} columns x {} rows (streaming){suffix}",
-            batch.columns.len(),
-            batch.rows
-        );
+        let suffix = finish_guarded_run(opts, &report)?;
+        let out = sink.consume_batch(&batch)?;
+        println!("{}", out.body);
+        eprintln!("» {} (streaming){suffix}", out.summary);
         return Ok(());
     }
     let text = read_text(opts.file.as_deref())?;
-    let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));
     if let Some(fault) = fault {
         // Both passes run under the same policy: a record the typer
         // rejected is rejected again (and quarantined) by the shredding
@@ -909,79 +1308,103 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
         let (ty, _) = infer_streaming_guarded(&text, Equivalence::Kind, sopts, fault)
             .map_err(|e| e.to_string())?;
         let shredder = Shredder::from_type(&ty);
-        let (batch, report) = if fast_parse_enabled(&opts) {
+        let (batch, report) = if fast_parse_enabled(opts) {
             translate_streaming_guarded_fast(&text, &shredder, sopts, fault)
         } else {
             translate_streaming_guarded(&text, &shredder, sopts, fault)
         }
         .map_err(|e| e.to_string())?;
-        let suffix = finish_guarded_run(&opts, &report)?;
-        println!("{}", batch.schema_string());
-        eprintln!(
-            "» {} columns x {} rows (streaming){suffix}",
-            batch.columns.len(),
-            batch.rows
-        );
+        let suffix = finish_guarded_run(opts, &report)?;
+        let out = sink.consume_batch(&batch)?;
+        println!("{}", out.body);
+        eprintln!("» {} (streaming){suffix}", out.summary);
         return Ok(());
     }
     let ty = infer_streaming_parallel(&text, Equivalence::Kind, sopts)
         .map_err(|(line, e)| format!("line {}: {e}", line + 1))?;
     let shredder = Shredder::from_type(&ty);
-    let batch = if fast_parse_enabled(&opts) {
+    let batch = if fast_parse_enabled(opts) {
         translate_streaming_parallel_fast(&text, &shredder, sopts)
     } else {
         translate_streaming_parallel(&text, &shredder, sopts)
     }
     .map_err(|(line, e)| format!("line {}: {e}", line + 1))?;
-    println!("{}", batch.schema_string());
-    eprintln!(
-        "» {} columns x {} rows (streaming)",
-        batch.columns.len(),
-        batch.rows
-    );
+    let out = sink.consume_batch(&batch)?;
+    println!("{}", out.body);
+    eprintln!("» {} (streaming)", out.summary);
     Ok(())
 }
 
-fn convert_collection(target: &str, docs: &[Value]) -> Result<(), String> {
+/// The DOM translation path shared by `convert` and non-streaming
+/// `translate`: infer, hand the collection to the sink, print its report.
+fn convert_collection(sink: &OutputSink, docs: &[Value]) -> Result<(), String> {
     let ty = infer_collection(docs, Equivalence::Kind);
-    match target {
-        "avro" => {
-            let codec = AvroCodec::new(AvroSchema::from_type(&ty));
-            let mut total = 0usize;
-            for doc in docs {
-                total += codec.encode(doc).map_err(|e| e.to_string())?.len();
-            }
-            eprintln!(
-                "» {} documents encoded: {} bytes binary (schema derived from inference)",
-                docs.len(),
-                total
-            );
-        }
-        "columnar" => {
-            let batch = Shredder::from_type(&ty)
-                .shred(docs)
-                .map_err(|e| e.to_string())?;
-            println!("{}", batch.schema_string());
-            eprintln!("» {} columns x {} rows", batch.columns.len(), batch.rows);
-        }
-        "relational" => {
-            for rel in normalize("root", docs) {
-                println!(
-                    "{}({})  -- {} rows",
-                    rel.name,
-                    rel.columns.join(", "),
-                    rel.rows.len()
-                );
-            }
-        }
-        other => return Err(format!("unknown target '{other}'")),
+    let report = sink.consume(&ty, docs)?;
+    if !report.body.is_empty() {
+        println!("{}", report.body);
+    }
+    if !report.summary.is_empty() {
+        eprintln!("» {}", report.summary);
     }
     Ok(())
 }
 
-fn cmd_query(args: &[String]) -> Result<(), String> {
+/// `jsonx cat FILE.jxc`: schema and rows on stdout, per-column encoding
+/// summary on stderr. `--flatten` cross-joins list columns into flat
+/// rows; `--head N` bounds the rows shown.
+fn cmd_cat(opts: &Opts) -> Result<(), String> {
+    let path = opts
+        .file
+        .as_deref()
+        .ok_or("cat needs a FILE.jxc argument")?;
+    let head: usize = opts
+        .get("head")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad --head: {e}"))?
+        .unwrap_or(10);
+    let file = read_jxc_file(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    println!("{}", file.batch.schema_string());
+    let rows = if opts.has("flatten") {
+        flatten_rows(&file, head)
+    } else {
+        rows_as_values(&file.batch, head)
+    };
+    for row in &rows {
+        println!("{}", to_string(row));
+    }
+    for info in &file.columns {
+        let detail = match (info.dict_len, info.list_items) {
+            (Some(d), Some(items)) => format!(" ({items} items, dict {d})"),
+            (Some(d), None) => format!(" (dict {d})"),
+            (None, Some(items)) => format!(" ({items} items)"),
+            (None, None) => String::new(),
+        };
+        eprintln!(
+            "» {}: {} {}{detail}, {}/{} valid, {} bytes",
+            info.path,
+            info.type_name,
+            info.encoding.label(),
+            info.valid_count,
+            file.batch.rows,
+            info.block_bytes
+        );
+    }
+    eprintln!(
+        "» {} columns x {} rows, showing {}",
+        file.columns.len(),
+        file.batch.rows,
+        rows.len()
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// query
+// ---------------------------------------------------------------------------
+
+fn cmd_query(opts: &Opts) -> Result<(), String> {
     use jsonx::jaql::{expr, infer_output_type, Pipeline};
-    let opts = parse_opts(args, false, &["where-exists", "expand", "project", "top"])?;
     let mut q = Pipeline::new();
     if let Some(path) = opts.get("where-exists") {
         q = q.filter(expr::exists(expr::path(path)));

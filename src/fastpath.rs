@@ -25,7 +25,10 @@
 use jsonx_data::{Object, Value};
 use jsonx_schema::CompiledSchema;
 use jsonx_syntax::structural::{FieldSet, ScanOptions, StructuralScanner};
-use jsonx_syntax::{parse_with, ParseLimits, ParserOptions};
+use jsonx_syntax::{
+    parse_with, EventReceiver, ParseError, ParseLimits, ParserOptions, RawEventParser,
+    RecordDecoder,
+};
 use jsonx_translate::Shredder;
 
 /// An immutable projection plan shared by every worker of one streaming
@@ -110,6 +113,66 @@ impl FastRecordParser {
             obj.insert(key, value);
         }
         Some(Value::Obj(obj))
+    }
+}
+
+/// The SWAR fast path as a [`RecordDecoder`]: `decode_value` tries
+/// [`FastRecordParser::parse_record`] when a plan is present and falls
+/// back to the full recursive-descent parser (the Fad.js-style verified
+/// fallback), so with `plan: None` it reproduces the historical slow
+/// path byte for byte — one decoder covers both. This is how the SWAR
+/// scanner slots in behind the same seam every other source uses.
+pub(crate) struct FastJsonDecoder {
+    plan: Option<FastPlan>,
+    limits: ParseLimits,
+}
+
+impl FastJsonDecoder {
+    pub(crate) fn new(plan: Option<FastPlan>, limits: ParseLimits) -> FastJsonDecoder {
+        FastJsonDecoder { plan, limits }
+    }
+
+    fn parser_options(&self) -> ParserOptions {
+        ParserOptions {
+            max_depth: self.limits.max_depth,
+            allow_trailing: false,
+        }
+    }
+}
+
+impl RecordDecoder for FastJsonDecoder {
+    type Scratch = FastRecordParser;
+
+    fn scratch(&self) -> FastRecordParser {
+        FastRecordParser::new()
+    }
+
+    fn decode_events<R: EventReceiver + ?Sized>(
+        &self,
+        _scratch: &mut FastRecordParser,
+        record: &str,
+        recv: &mut R,
+    ) -> Result<(), ParseError> {
+        // Event consumers read every field, so projection cannot help;
+        // stream the full tokenisation under the configured limits.
+        let mut parser = RawEventParser::new(record.as_bytes()).with_limits(self.limits);
+        while let Some(ev) = parser.next_event()? {
+            recv.event(&ev);
+        }
+        Ok(())
+    }
+
+    fn decode_value(
+        &self,
+        scratch: &mut FastRecordParser,
+        record: &str,
+    ) -> Result<Value, ParseError> {
+        if let Some(plan) = &self.plan {
+            if let Some(doc) = scratch.parse_record(record.as_bytes(), plan) {
+                return Ok(doc);
+            }
+        }
+        parse_with(record.as_bytes(), self.parser_options())
     }
 }
 

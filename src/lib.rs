@@ -53,16 +53,19 @@ pub use jsonx_pipeline as pipeline;
 pub use jsonx_pipeline::{
     ChunkOptions, ErrorPolicy, ErrorSummary, RecordDiagnostic, RunReport, ShardPanic, WorkerTiming,
 };
-pub use jsonx_syntax::ParseLimits;
+pub use jsonx_syntax::{
+    CsvDecoder, EventReceiver, JsonDecoder, ParseLimits, RecordDecoder, ValueBuilder,
+};
 pub use quarantine::{write_quarantine, write_quarantine_file};
 pub use streaming::{
-    infer_document_events, infer_streaming, infer_streaming_guarded, infer_streaming_parallel,
-    infer_streaming_source, infer_validate_streaming, infer_validate_streaming_guarded,
+    infer_document_events, infer_streaming, infer_streaming_decoded, infer_streaming_guarded,
+    infer_streaming_parallel, infer_streaming_source, infer_validate_streaming,
+    infer_validate_streaming_decoded, infer_validate_streaming_guarded,
     infer_validate_streaming_parallel, infer_validate_streaming_source, translate_streaming,
-    translate_streaming_guarded, translate_streaming_guarded_fast, translate_streaming_parallel,
-    translate_streaming_parallel_fast, translate_streaming_source, validate_streaming,
-    validate_streaming_guarded, validate_streaming_guarded_fast, validate_streaming_parallel,
-    validate_streaming_parallel_fast, validate_streaming_source, FaultOptions,
-    InferValidateOutcome, LineVerdict, RecordIssue, StreamError, StreamSource, StreamTyper,
-    StreamingOptions, TranslateLineError,
+    translate_streaming_decoded, translate_streaming_guarded, translate_streaming_guarded_fast,
+    translate_streaming_parallel, translate_streaming_parallel_fast, translate_streaming_source,
+    validate_streaming, validate_streaming_decoded, validate_streaming_guarded,
+    validate_streaming_guarded_fast, validate_streaming_parallel, validate_streaming_parallel_fast,
+    validate_streaming_source, FaultOptions, InferValidateOutcome, LineVerdict, RecordIssue,
+    StreamError, StreamSource, StreamTyper, StreamingOptions, TranslateLineError,
 };

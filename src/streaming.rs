@@ -1,10 +1,16 @@
-//! Streaming pipeline stages over NDJSON collections: inference,
+//! Streaming pipeline stages over record collections: inference,
 //! validation, combined infer+validate, and schema-driven translation.
 //!
 //! Every parallel entry point here is a thin [`ShardFold`] adapter over
 //! the generic sharded engine of [`jsonx_pipeline`]: newline-boundary
 //! sharding, scoped worker threads, shard-order fusion, first-error-line
-//! selection. The stages differ only in their per-worker state and merge:
+//! selection. Since the decoder-seam refactor the stages are also
+//! **source-agnostic**: each is generic over a [`RecordDecoder`]
+//! (NDJSON via [`JsonDecoder`], the SWAR fast path via the crate-private
+//! `FastJsonDecoder`, CSV via [`jsonx_syntax::CsvDecoder`], …), so the
+//! engine's work stealing, fault tolerance and out-of-core layers never
+//! assume JSON — the `*_decoded` entry points expose this directly. The
+//! stages differ only in their per-worker state and merge:
 //!
 //! * [`infer_streaming_parallel`] — a [`StreamTyper`] per worker, types
 //!   fused with the §4.1 monoid (commutative + associative, `Bottom`
@@ -38,17 +44,18 @@
 //! - the container frame stack is reused across documents, so steady-state
 //!   typing of uniform documents performs no stack (re)allocation at all.
 
-use crate::fastpath::{FastPlan, FastRecordParser};
+use crate::fastpath::{FastJsonDecoder, FastPlan};
 use jsonx_core::{fuse, Equivalence, JType};
 use jsonx_core::{ArrayType, FieldName, FieldType, RecordType};
-use jsonx_data::{Object, Value};
+use jsonx_data::Value;
 use jsonx_pipeline::{
     merge_line_results, run_lines, run_lines_stealing, run_reader_caught, ChunkOptions,
     ErrorPolicy, ErrorSummary, RecordDiagnostic, RunReport, ShardFold, ShardPanic,
 };
 use jsonx_schema::{CompiledSchema, FastValidator, ValidatorOptions};
 use jsonx_syntax::{
-    ParseError, ParseErrorKind, ParseLimits, ParserOptions, RawEvent, RawEventParser, RecordLimit,
+    EventReceiver, JsonDecoder, ParseError, ParseErrorKind, ParseLimits, RawEvent, RawEventParser,
+    RecordDecoder, RecordLimit, Tee, ValueBuilder,
 };
 use jsonx_translate::{ColumnarBatch, ShredError, ShredStream, Shredder};
 use std::collections::HashSet;
@@ -70,66 +77,99 @@ pub struct StreamTyper {
     interner: HashSet<FieldName>,
 }
 
-/// Observes the raw event stream alongside typing — the hook that lets
-/// [`StreamTyper::type_and_build`] reuse one tokenisation for both the
-/// type and the DOM value.
-trait EventSink {
-    fn event(&mut self, ev: &RawEvent<'_>);
+/// The typing logic as an [`EventReceiver`]: splits mutable borrows of a
+/// [`StreamTyper`]'s frame stack and interner so any
+/// [`RecordDecoder`]'s event stream — JSON, CSV, whatever comes next —
+/// can drive the same §4.1 type fusion. Typing is infallible; decode
+/// errors belong to the decoder, and on error the abandoned sink's frames
+/// are cleared by the typer.
+struct TypeSink<'t> {
+    equiv: Equivalence,
+    stack: &'t mut Vec<Frame>,
+    interner: &'t mut HashSet<FieldName>,
+    result: Option<JType>,
 }
 
-/// The pure-typing sink: compiles to nothing.
-struct NullSink;
-
-impl EventSink for NullSink {
-    #[inline(always)]
-    fn event(&mut self, _ev: &RawEvent<'_>) {}
-}
-
-/// Rebuilds the document [`Value`] from the event stream, mirroring the
-/// DOM parser exactly (insertion order, duplicate keys last-wins in
-/// place).
-#[derive(Default)]
-struct ValueSink {
-    stack: Vec<Value>,
-    keys: Vec<Option<String>>,
-    pending_key: Option<String>,
-    result: Option<Value>,
-}
-
-impl ValueSink {
-    fn attach(&mut self, v: Value) {
-        match self.stack.last_mut() {
-            Some(Value::Arr(items)) => items.push(v),
-            Some(Value::Obj(obj)) => {
-                let key = self.pending_key.take().expect("key precedes value");
-                obj.insert(key, v);
-            }
-            _ => self.result = Some(v),
+impl<'t> TypeSink<'t> {
+    fn new(
+        equiv: Equivalence,
+        stack: &'t mut Vec<Frame>,
+        interner: &'t mut HashSet<FieldName>,
+    ) -> Self {
+        stack.clear();
+        TypeSink {
+            equiv,
+            stack,
+            interner,
+            result: None,
         }
+    }
+
+    /// Returns the interned name for `key`, allocating only on first sight.
+    fn intern(&mut self, key: &str) -> FieldName {
+        match self.interner.get(key) {
+            Some(name) => name.clone(),
+            None => {
+                let name = FieldName::from(key);
+                self.interner.insert(name.clone());
+                name
+            }
+        }
+    }
+
+    fn attach(&mut self, ty: JType) {
+        match self.stack.last_mut() {
+            Some(Frame::Record {
+                fields,
+                pending_key,
+            }) => {
+                let key = pending_key.take().expect("key precedes value");
+                // Duplicate keys resolve in `Frame::finish` (last wins);
+                // appending here keeps attachment O(1) per field.
+                fields.push((key, FieldType { ty, presence: 1 }));
+            }
+            Some(Frame::Array { item, len }) => {
+                let current = std::mem::replace(item, JType::Bottom);
+                *item = fuse(current, ty, self.equiv);
+                *len += 1;
+            }
+            None => self.result = Some(ty),
+        }
+    }
+
+    /// The typed document ([`JType::Bottom`] when no value event arrived).
+    fn finish(self) -> JType {
+        self.result.unwrap_or(JType::Bottom)
     }
 }
 
-impl EventSink for ValueSink {
+impl EventReceiver for TypeSink<'_> {
     fn event(&mut self, ev: &RawEvent<'_>) {
         match ev {
-            RawEvent::StartObject => {
-                self.keys.push(self.pending_key.take());
-                self.stack.push(Value::Obj(Object::new()));
-            }
-            RawEvent::StartArray => {
-                self.keys.push(self.pending_key.take());
-                self.stack.push(Value::Arr(Vec::new()));
-            }
+            RawEvent::StartObject => self.stack.push(Frame::Record {
+                fields: Vec::new(),
+                pending_key: None,
+            }),
+            RawEvent::StartArray => self.stack.push(Frame::Array {
+                item: JType::Bottom,
+                len: 0,
+            }),
             RawEvent::EndObject | RawEvent::EndArray => {
-                let v = self.stack.pop().expect("balanced events");
-                self.pending_key = self.keys.pop().expect("balanced events");
-                self.attach(v);
+                let frame = self.stack.pop().expect("balanced events");
+                let ty = frame.finish();
+                self.attach(ty);
             }
-            RawEvent::Key(k) => self.pending_key = Some(k.as_ref().to_owned()),
-            RawEvent::Null => self.attach(Value::Null),
-            RawEvent::Bool(b) => self.attach(Value::Bool(*b)),
-            RawEvent::Num(n) => self.attach(Value::Num(*n)),
-            RawEvent::Str(s) => self.attach(Value::Str(s.as_ref().to_owned())),
+            RawEvent::Key(k) => {
+                let name = self.intern(k);
+                if let Some(Frame::Record { pending_key, .. }) = self.stack.last_mut() {
+                    *pending_key = Some(name);
+                }
+            }
+            RawEvent::Null => self.attach(JType::Null { count: 1 }),
+            RawEvent::Bool(_) => self.attach(JType::Bool { count: 1 }),
+            RawEvent::Num(n) if n.is_integer() => self.attach(JType::Int { count: 1 }),
+            RawEvent::Num(_) => self.attach(JType::Float { count: 1 }),
+            RawEvent::Str(_) => self.attach(JType::Str { count: 1 }),
         }
     }
 }
@@ -152,21 +192,24 @@ impl StreamTyper {
         self
     }
 
-    /// Returns the interned name for `key`, allocating only on first sight.
-    fn intern(&mut self, key: &str) -> FieldName {
-        match self.interner.get(key) {
-            Some(name) => name.clone(),
-            None => {
-                let name = FieldName::from(key);
-                self.interner.insert(name.clone());
-                name
-            }
-        }
-    }
-
     /// Types one document from its event stream without building a DOM.
     pub fn type_document(&mut self, input: &[u8]) -> Result<JType, ParseError> {
-        self.drive(input, &mut NullSink)
+        let limits = self.limits;
+        let outcome = {
+            let mut sink = TypeSink::new(self.equiv, &mut self.stack, &mut self.interner);
+            let mut parser = RawEventParser::new(input).with_limits(limits);
+            loop {
+                match parser.next_event() {
+                    Ok(Some(ev)) => sink.event(&ev),
+                    Ok(None) => break Ok(sink.finish()),
+                    Err(e) => break Err(e),
+                }
+            }
+        };
+        outcome.inspect_err(|_| {
+            // Leave the typer reusable after malformed input.
+            self.stack.clear();
+        })
     }
 
     /// Types one document **and** rebuilds its [`Value`] from the same
@@ -175,80 +218,74 @@ impl StreamTyper {
     /// which is what lets the combined infer+validate pass probe the
     /// compiled validator without re-parsing.
     pub fn type_and_build(&mut self, input: &[u8]) -> Result<(JType, Value), ParseError> {
-        let mut sink = ValueSink::default();
-        let ty = self.drive(input, &mut sink)?;
-        Ok((ty, sink.result.unwrap_or(Value::Null)))
-    }
-
-    /// The event loop shared by [`type_document`](Self::type_document) and
-    /// [`type_and_build`](Self::type_and_build); `NullSink` monomorphises
-    /// back to the pure typing loop.
-    fn drive<S: EventSink>(&mut self, input: &[u8], sink: &mut S) -> Result<JType, ParseError> {
-        let mut parser = RawEventParser::new(input).with_limits(self.limits);
-        self.stack.clear();
-        let mut result: Option<JType> = None;
-
-        let outcome = loop {
-            let event = match parser.next_event() {
-                Ok(Some(ev)) => ev,
-                Ok(None) => break Ok(()),
-                Err(e) => break Err(e),
-            };
-            sink.event(&event);
-            match event {
-                RawEvent::StartObject => self.stack.push(Frame::Record {
-                    fields: Vec::new(),
-                    pending_key: None,
-                }),
-                RawEvent::StartArray => self.stack.push(Frame::Array {
-                    item: JType::Bottom,
-                    len: 0,
-                }),
-                RawEvent::EndObject | RawEvent::EndArray => {
-                    let frame = self.stack.pop().expect("balanced events");
-                    let ty = frame.finish();
-                    self.attach(&mut result, ty);
-                }
-                RawEvent::Key(k) => {
-                    let name = self.intern(&k);
-                    if let Some(Frame::Record { pending_key, .. }) = self.stack.last_mut() {
-                        *pending_key = Some(name);
+        let limits = self.limits;
+        let mut builder = ValueBuilder::new();
+        let outcome = {
+            let mut sink = TypeSink::new(self.equiv, &mut self.stack, &mut self.interner);
+            let mut parser = RawEventParser::new(input).with_limits(limits);
+            loop {
+                match parser.next_event() {
+                    Ok(Some(ev)) => {
+                        builder.event(&ev);
+                        sink.event(&ev);
                     }
+                    Ok(None) => break Ok(sink.finish()),
+                    Err(e) => break Err(e),
                 }
-                RawEvent::Null => self.attach(&mut result, JType::Null { count: 1 }),
-                RawEvent::Bool(_) => self.attach(&mut result, JType::Bool { count: 1 }),
-                RawEvent::Num(n) if n.is_integer() => {
-                    self.attach(&mut result, JType::Int { count: 1 })
-                }
-                RawEvent::Num(_) => self.attach(&mut result, JType::Float { count: 1 }),
-                RawEvent::Str(_) => self.attach(&mut result, JType::Str { count: 1 }),
             }
         };
-        if let Err(e) = outcome {
-            // Leave the typer reusable after malformed input.
-            self.stack.clear();
-            return Err(e);
+        match outcome {
+            Ok(ty) => Ok((ty, builder.take())),
+            Err(e) => {
+                self.stack.clear();
+                Err(e)
+            }
         }
-        Ok(result.unwrap_or(JType::Bottom))
     }
 
-    fn attach(&mut self, result: &mut Option<JType>, ty: JType) {
-        match self.stack.last_mut() {
-            Some(Frame::Record {
-                fields,
-                pending_key,
-            }) => {
-                let key = pending_key.take().expect("key precedes value");
-                // Duplicate keys resolve in `Frame::finish` (last wins);
-                // appending here keeps attachment O(1) per field.
-                fields.push((key, FieldType { ty, presence: 1 }));
+    /// Types one record through an arbitrary [`RecordDecoder`] — the
+    /// source-agnostic face of [`type_document`](Self::type_document).
+    /// With [`JsonDecoder`] this is event-for-event the JSON path; with
+    /// any other decoder the same fusion runs over whatever events the
+    /// source produces.
+    pub fn type_decoded<D: RecordDecoder>(
+        &mut self,
+        decoder: &D,
+        scratch: &mut D::Scratch,
+        record: &str,
+    ) -> Result<JType, ParseError> {
+        let outcome = {
+            let mut sink = TypeSink::new(self.equiv, &mut self.stack, &mut self.interner);
+            decoder
+                .decode_events(scratch, record, &mut sink)
+                .map(|()| sink.finish())
+        };
+        outcome.inspect_err(|_| {
+            self.stack.clear();
+        })
+    }
+
+    /// [`type_and_build`](Self::type_and_build) through an arbitrary
+    /// [`RecordDecoder`]: one decode feeds the typer and the DOM builder.
+    pub fn type_and_build_decoded<D: RecordDecoder>(
+        &mut self,
+        decoder: &D,
+        scratch: &mut D::Scratch,
+        record: &str,
+    ) -> Result<(JType, Value), ParseError> {
+        let mut builder = ValueBuilder::new();
+        let outcome = {
+            let mut sink = TypeSink::new(self.equiv, &mut self.stack, &mut self.interner);
+            decoder
+                .decode_events(scratch, record, &mut Tee(&mut builder, &mut sink))
+                .map(|()| sink.finish())
+        };
+        match outcome {
+            Ok(ty) => Ok((ty, builder.take())),
+            Err(e) => {
+                self.stack.clear();
+                Err(e)
             }
-            Some(Frame::Array { item, len }) => {
-                let current = std::mem::replace(item, JType::Bottom);
-                *item = fuse(current, ty, self.equiv);
-                *len += 1;
-            }
-            None => *result = Some(ty),
         }
     }
 }
@@ -700,38 +737,40 @@ fn legacy_parse_error<T>(
 // ---------------------------------------------------------------------------
 
 /// The inference stage: one [`StreamTyper`] per worker, types fused with
-/// the §4.1 monoid.
-struct InferStage {
+/// the §4.1 monoid. Generic over the [`RecordDecoder`], so the same
+/// stage types NDJSON, CSV, or any future source.
+struct InferStage<D> {
     equiv: Equivalence,
-    limits: ParseLimits,
+    decoder: D,
 }
 
-impl RecordStage for InferStage {
-    type State = (StreamTyper, JType);
+impl<D: RecordDecoder> RecordStage for InferStage<D> {
+    type State = (StreamTyper, D::Scratch, JType);
     type Out = JType;
 
     fn init(&self) -> Self::State {
         (
-            StreamTyper::new(self.equiv).with_limits(self.limits),
+            StreamTyper::new(self.equiv),
+            self.decoder.scratch(),
             JType::Bottom,
         )
     }
 
     fn record(
         &self,
-        (typer, acc): &mut Self::State,
+        (typer, scratch, acc): &mut Self::State,
         line: &str,
         _record: usize,
     ) -> Result<(), RecordIssue> {
         let ty = typer
-            .type_document(line.as_bytes())
+            .type_decoded(&self.decoder, scratch, line)
             .map_err(RecordIssue::Parse)?;
         let current = std::mem::replace(acc, JType::Bottom);
         *acc = fuse(current, ty, self.equiv);
         Ok(())
     }
 
-    fn finish(&self, (_, acc): Self::State) -> JType {
+    fn finish(&self, (_, _, acc): Self::State) -> JType {
         acc
     }
 
@@ -739,9 +778,9 @@ impl RecordStage for InferStage {
         fuse(left, right, self.equiv)
     }
 
-    fn take(&self, (_, acc): &mut Self::State) -> JType {
-        // The typer (frame stack + interner) survives across chunks;
-        // only the fused accumulator is the chunk's output.
+    fn take(&self, (_, _, acc): &mut Self::State) -> JType {
+        // The typer (frame stack + interner) and decoder scratch survive
+        // across chunks; only the fused accumulator is the chunk's output.
         std::mem::replace(acc, JType::Bottom)
     }
 }
@@ -777,7 +816,7 @@ pub fn infer_streaming_parallel(
 ) -> Result<JType, (usize, ParseError)> {
     let stage = InferStage {
         equiv,
-        limits: ParseLimits::default(),
+        decoder: JsonDecoder::new(),
     };
     legacy_parse_error(run_stage(ndjson, &stage, opts, FaultOptions::default()))
 }
@@ -798,7 +837,7 @@ pub fn infer_streaming_guarded(
 ) -> Result<(JType, RunReport), StreamError> {
     let stage = InferStage {
         equiv,
-        limits: fault.limits,
+        decoder: JsonDecoder::new().with_limits(fault.limits),
     };
     run_stage(ndjson, &stage, opts, fault)
 }
@@ -816,8 +855,26 @@ pub fn infer_streaming_source<R: std::io::BufRead + Send>(
 ) -> Result<(JType, RunReport), StreamError> {
     let stage = InferStage {
         equiv,
-        limits: fault.limits,
+        decoder: JsonDecoder::new().with_limits(fault.limits),
     };
+    run_stage_source(source, &stage, opts, chunk, fault)
+}
+
+/// Streaming inference through an arbitrary [`RecordDecoder`] — the
+/// source-agnostic entry point. [`infer_streaming_source`] is exactly
+/// this with [`JsonDecoder`]; pass a
+/// [`CsvDecoder`](jsonx_syntax::CsvDecoder) (or any other implementation)
+/// and the full engine — work stealing, out-of-core chunking, error
+/// policies, quarantine — runs unchanged over the new source.
+pub fn infer_streaming_decoded<R: std::io::BufRead + Send, D: RecordDecoder>(
+    source: StreamSource<'_, R>,
+    decoder: D,
+    equiv: Equivalence,
+    opts: StreamingOptions,
+    chunk: ChunkOptions,
+    fault: FaultOptions,
+) -> Result<(JType, RunReport), StreamError> {
+    let stage = InferStage { equiv, decoder };
     run_stage_source(source, &stage, opts, chunk, fault)
 }
 
@@ -851,61 +908,38 @@ impl LineVerdict {
 /// and never rejects a record; the guarded one rejects malformed lines to
 /// the fault layer, so the verdict vector covers exactly the records that
 /// parsed.
-struct ValidateStage<'s> {
+struct ValidateStage<'s, D> {
     schema: &'s CompiledSchema,
     options: ValidatorOptions,
-    limits: ParseLimits,
     malformed_verdicts: bool,
-    /// When present, records are first tried on the SWAR projecting
-    /// fast path; any record it declines takes the full parser below,
-    /// so verdicts are identical either way (the scanner never accepts
-    /// a record the parser rejects).
-    fast: Option<FastPlan>,
+    /// How record text becomes a document. The JSON paths pass
+    /// [`FastJsonDecoder`], whose `decode_value` tries the SWAR
+    /// projecting fast path first and falls back to the full parser —
+    /// verdicts are identical either way (the scanner never accepts a
+    /// record the parser rejects). Any other decoder plugs in here
+    /// unchanged.
+    decoder: D,
 }
 
-impl<'s> ValidateStage<'s> {
-    fn parser_options(&self) -> ParserOptions {
-        ParserOptions {
-            max_depth: self.limits.max_depth,
-            allow_trailing: false,
-        }
-    }
-}
-
-impl<'s> RecordStage for ValidateStage<'s> {
-    type State = (
-        FastValidator<'s>,
-        Vec<(usize, LineVerdict)>,
-        FastRecordParser,
-    );
+impl<'s, D: RecordDecoder> RecordStage for ValidateStage<'s, D> {
+    type State = (FastValidator<'s>, Vec<(usize, LineVerdict)>, D::Scratch);
     type Out = Vec<(usize, LineVerdict)>;
 
     fn init(&self) -> Self::State {
         (
             self.schema.fast_validator_with(self.options),
             Vec::new(),
-            FastRecordParser::new(),
+            self.decoder.scratch(),
         )
     }
 
     fn record(
         &self,
-        (validator, verdicts, fast_parser): &mut Self::State,
+        (validator, verdicts, scratch): &mut Self::State,
         line: &str,
         record: usize,
     ) -> Result<(), RecordIssue> {
-        if let Some(plan) = &self.fast {
-            if let Some(doc) = fast_parser.parse_record(line.as_bytes(), plan) {
-                let verdict = if validator.is_valid(&doc) {
-                    LineVerdict::Valid
-                } else {
-                    LineVerdict::Invalid
-                };
-                verdicts.push((record, verdict));
-                return Ok(());
-            }
-        }
-        match jsonx_syntax::parse_with(line.as_bytes(), self.parser_options()) {
+        match self.decoder.decode_value(scratch, line) {
             Ok(doc) => {
                 let verdict = if validator.is_valid(&doc) {
                     LineVerdict::Valid
@@ -933,8 +967,8 @@ impl<'s> RecordStage for ValidateStage<'s> {
     }
 
     fn take(&self, (_, verdicts, _): &mut Self::State) -> Self::Out {
-        // Validator and fast parser survive across chunks; verdicts are
-        // the chunk's output.
+        // Validator and decoder scratch survive across chunks; verdicts
+        // are the chunk's output.
         std::mem::take(verdicts)
     }
 }
@@ -1002,9 +1036,8 @@ fn validate_parallel_impl(
     let stage = ValidateStage {
         schema,
         options,
-        limits: ParseLimits::default(),
         malformed_verdicts: true,
-        fast,
+        decoder: FastJsonDecoder::new(fast, ParseLimits::default()),
     };
     // With malformed lines recorded as inline verdicts, the stage rejects
     // nothing, so the fail-fast run can only fail on a poisoned shard.
@@ -1062,9 +1095,8 @@ fn validate_guarded_impl(
     let stage = ValidateStage {
         schema,
         options,
-        limits: fault.limits,
         malformed_verdicts: false,
-        fast,
+        decoder: FastJsonDecoder::new(fast, fault.limits),
     };
     run_stage(ndjson, &stage, opts, fault)
 }
@@ -1087,13 +1119,38 @@ pub fn validate_streaming_source<R: std::io::BufRead + Send>(
     let stage = ValidateStage {
         schema,
         options,
-        limits: fault.limits,
         malformed_verdicts: false,
-        fast: if fast {
-            FastPlan::for_validation(schema, &fault.limits)
-        } else {
-            None
-        },
+        decoder: FastJsonDecoder::new(
+            if fast {
+                FastPlan::for_validation(schema, &fault.limits)
+            } else {
+                None
+            },
+            fault.limits,
+        ),
+    };
+    run_stage_source(source, &stage, opts, chunk, fault)
+}
+
+/// Streaming validation through an arbitrary [`RecordDecoder`]: decoded
+/// records probe the compiled validator exactly as parsed JSON documents
+/// would, with malformed records handed to the fault layer. This is how
+/// a CSV corpus validates against a JSON Schema without any
+/// format-specific validation code.
+pub fn validate_streaming_decoded<R: std::io::BufRead + Send, D: RecordDecoder>(
+    source: StreamSource<'_, R>,
+    decoder: D,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+    opts: StreamingOptions,
+    chunk: ChunkOptions,
+    fault: FaultOptions,
+) -> Result<(Vec<(usize, LineVerdict)>, RunReport), StreamError> {
+    let stage = ValidateStage {
+        schema,
+        options,
+        malformed_verdicts: false,
+        decoder,
     };
     run_stage_source(source, &stage, opts, chunk, fault)
 }
@@ -1243,17 +1300,18 @@ pub fn infer_validate_streaming_parallel(
 /// validator; rejected records appear in neither the type nor the verdict
 /// vector (unlike the legacy combined pass, which records malformed lines
 /// as inline verdicts).
-struct InferValidateStage<'s> {
+struct InferValidateStage<'s, D: RecordDecoder> {
     equiv: Equivalence,
     schema: &'s CompiledSchema,
     options: ValidatorOptions,
-    limits: ParseLimits,
+    decoder: D,
 }
 
-impl<'s> RecordStage for InferValidateStage<'s> {
+impl<'s, D: RecordDecoder> RecordStage for InferValidateStage<'s, D> {
     type State = (
         StreamTyper,
         FastValidator<'s>,
+        D::Scratch,
         JType,
         Vec<(usize, LineVerdict)>,
     );
@@ -1261,8 +1319,9 @@ impl<'s> RecordStage for InferValidateStage<'s> {
 
     fn init(&self) -> Self::State {
         (
-            StreamTyper::new(self.equiv).with_limits(self.limits),
+            StreamTyper::new(self.equiv),
             self.schema.fast_validator_with(self.options),
+            self.decoder.scratch(),
             JType::Bottom,
             Vec::new(),
         )
@@ -1270,12 +1329,12 @@ impl<'s> RecordStage for InferValidateStage<'s> {
 
     fn record(
         &self,
-        (typer, validator, acc, verdicts): &mut Self::State,
+        (typer, validator, scratch, acc, verdicts): &mut Self::State,
         line: &str,
         record: usize,
     ) -> Result<(), RecordIssue> {
         let (ty, doc) = typer
-            .type_and_build(line.as_bytes())
+            .type_and_build_decoded(&self.decoder, scratch, line)
             .map_err(RecordIssue::Parse)?;
         let current = std::mem::replace(acc, JType::Bottom);
         *acc = fuse(current, ty, self.equiv);
@@ -1288,7 +1347,7 @@ impl<'s> RecordStage for InferValidateStage<'s> {
         Ok(())
     }
 
-    fn finish(&self, (_, _, acc, verdicts): Self::State) -> Self::Out {
+    fn finish(&self, (_, _, _, acc, verdicts): Self::State) -> Self::Out {
         (acc, verdicts)
     }
 
@@ -1299,7 +1358,7 @@ impl<'s> RecordStage for InferValidateStage<'s> {
         (fuse(lty, rty, self.equiv), lverdicts)
     }
 
-    fn take(&self, (_, _, acc, verdicts): &mut Self::State) -> Self::Out {
+    fn take(&self, (_, _, _, acc, verdicts): &mut Self::State) -> Self::Out {
         (
             std::mem::replace(acc, JType::Bottom),
             std::mem::take(verdicts),
@@ -1327,7 +1386,7 @@ pub fn infer_validate_streaming_guarded(
         equiv,
         schema,
         options,
-        limits: fault.limits,
+        decoder: JsonDecoder::new().with_limits(fault.limits),
     };
     run_stage(ndjson, &stage, opts, fault)
 }
@@ -1348,7 +1407,30 @@ pub fn infer_validate_streaming_source<R: std::io::BufRead + Send>(
         equiv,
         schema,
         options,
-        limits: fault.limits,
+        decoder: JsonDecoder::new().with_limits(fault.limits),
+    };
+    run_stage_source(source, &stage, opts, chunk, fault)
+}
+
+/// The combined single-pass stage through an arbitrary
+/// [`RecordDecoder`]: one decode per accepted record feeds both the
+/// typer and the compiled validator, whatever the source format.
+#[allow(clippy::too_many_arguments)]
+pub fn infer_validate_streaming_decoded<R: std::io::BufRead + Send, D: RecordDecoder>(
+    source: StreamSource<'_, R>,
+    decoder: D,
+    equiv: Equivalence,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+    opts: StreamingOptions,
+    chunk: ChunkOptions,
+    fault: FaultOptions,
+) -> Result<(TypedVerdicts, RunReport), StreamError> {
+    let stage = InferValidateStage {
+        equiv,
+        schema,
+        options,
+        decoder,
     };
     run_stage_source(source, &stage, opts, chunk, fault)
 }
@@ -1379,43 +1461,34 @@ impl std::fmt::Display for TranslateLineError {
 
 /// The translation stage: one [`ShredStream`] per worker over a shared
 /// fixed layout, per-shard batches concatenated in shard order.
-struct TranslateStage<'t> {
+struct TranslateStage<'t, D> {
     shredder: &'t Shredder,
-    limits: ParseLimits,
-    /// When present, records are first tried on the SWAR projecting
-    /// fast path (projected to the shred plan's root fields, dotted
-    /// skipped keys rejected so column paths can't alias); declined
-    /// records take the full parser, so batches are row-identical.
-    fast: Option<FastPlan>,
+    /// How record text becomes a document. The JSON paths pass
+    /// [`FastJsonDecoder`] (SWAR projection to the shred plan's root
+    /// fields, dotted skipped keys rejected so column paths can't alias,
+    /// full-parser fallback — batches row-identical either way); any
+    /// other decoder feeds the same shredder unchanged.
+    decoder: D,
 }
 
-impl<'t> RecordStage for TranslateStage<'t> {
-    type State = (ShredStream<'t>, FastRecordParser);
+impl<'t, D: RecordDecoder> RecordStage for TranslateStage<'t, D> {
+    type State = (ShredStream<'t>, D::Scratch);
     type Out = ColumnarBatch;
 
     fn init(&self) -> Self::State {
-        (self.shredder.stream(), FastRecordParser::new())
+        (self.shredder.stream(), self.decoder.scratch())
     }
 
     fn record(
         &self,
-        (stream, fast_parser): &mut Self::State,
+        (stream, scratch): &mut Self::State,
         line: &str,
         _record: usize,
     ) -> Result<(), RecordIssue> {
-        if let Some(plan) = &self.fast {
-            if let Some(doc) = fast_parser.parse_record(line.as_bytes(), plan) {
-                return match stream.push(&doc) {
-                    Err(ShredError::NotARecord { .. }) => Err(RecordIssue::NotARecord),
-                    _ => Ok(()),
-                };
-            }
-        }
-        let opts = ParserOptions {
-            max_depth: self.limits.max_depth,
-            allow_trailing: false,
-        };
-        let doc = jsonx_syntax::parse_with(line.as_bytes(), opts).map_err(RecordIssue::Parse)?;
+        let doc = self
+            .decoder
+            .decode_value(scratch, line)
+            .map_err(RecordIssue::Parse)?;
         match stream.push(&doc) {
             Err(ShredError::NotARecord { .. }) => Err(RecordIssue::NotARecord),
             _ => Ok(()),
@@ -1432,7 +1505,7 @@ impl<'t> RecordStage for TranslateStage<'t> {
     }
 
     fn take(&self, (stream, _): &mut Self::State) -> ColumnarBatch {
-        // Column builders reset inside `take_batch`; the fast parser's
+        // Column builders reset inside `take_batch`; the decoder's
         // scratch survives across chunks.
         stream.take_batch()
     }
@@ -1494,8 +1567,7 @@ fn translate_parallel_impl(
 ) -> Result<ColumnarBatch, (usize, TranslateLineError)> {
     let stage = TranslateStage {
         shredder,
-        limits: ParseLimits::default(),
-        fast,
+        decoder: FastJsonDecoder::new(fast, ParseLimits::default()),
     };
     match run_stage(ndjson, &stage, opts, FaultOptions::default()) {
         Ok((batch, _report)) => Ok(batch),
@@ -1551,8 +1623,7 @@ fn translate_guarded_impl(
 ) -> Result<(ColumnarBatch, RunReport), StreamError> {
     let stage = TranslateStage {
         shredder,
-        limits: fault.limits,
-        fast,
+        decoder: FastJsonDecoder::new(fast, fault.limits),
     };
     run_stage(ndjson, &stage, opts, fault)
 }
@@ -1573,13 +1644,32 @@ pub fn translate_streaming_source<R: std::io::BufRead + Send>(
 ) -> Result<(ColumnarBatch, RunReport), StreamError> {
     let stage = TranslateStage {
         shredder,
-        limits: fault.limits,
-        fast: if fast {
-            FastPlan::for_translation(shredder, &fault.limits)
-        } else {
-            None
-        },
+        decoder: FastJsonDecoder::new(
+            if fast {
+                FastPlan::for_translation(shredder, &fault.limits)
+            } else {
+                None
+            },
+            fault.limits,
+        ),
     };
+    run_stage_source(source, &stage, opts, chunk, fault)
+}
+
+/// Streaming schema-driven translation through an arbitrary
+/// [`RecordDecoder`]: decoded records shred into the fixed columnar
+/// layout exactly as parsed JSON objects would — the path that turns a
+/// CSV corpus into the same [`ColumnarBatch`] (and on-disk `.jxc` file)
+/// as its NDJSON rendering.
+pub fn translate_streaming_decoded<R: std::io::BufRead + Send, D: RecordDecoder>(
+    source: StreamSource<'_, R>,
+    decoder: D,
+    shredder: &Shredder,
+    opts: StreamingOptions,
+    chunk: ChunkOptions,
+    fault: FaultOptions,
+) -> Result<(ColumnarBatch, RunReport), StreamError> {
+    let stage = TranslateStage { shredder, decoder };
     run_stage_source(source, &stage, opts, chunk, fault)
 }
 

@@ -390,3 +390,105 @@ fn resource_guard_flags_reject_pathological_lines() {
     assert!(ok, "stderr: {err}");
     assert!(err.contains("1 rejected"), "{err}");
 }
+
+const CSV_SAMPLE: &str = "id,name,score\n1,ada,9.5\n2,\"bob, jr\",-0.5\n3,ada,7\n";
+
+#[test]
+fn csv_format_flag_routes_through_the_typed_pipeline() {
+    let (out, err, ok) = run(&["infer", "--format", "csv", "-"], CSV_SAMPLE);
+    assert!(ok, "stderr: {err}");
+    assert_eq!(out.trim(), "{id: Int, name: Str, score: (Int + Num)}");
+    assert!(err.contains("3 documents (streaming csv)"), "{err}");
+
+    // Worker counts don't change the inferred type.
+    let (par_out, err, ok) = run(
+        &["infer", "--format", "csv", "--workers", "3", "-"],
+        CSV_SAMPLE,
+    );
+    assert!(ok, "stderr: {err}");
+    assert_eq!(par_out, out);
+
+    // Validation sees the synthesised records.
+    let dir = std::env::temp_dir().join("jsonx-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let schema_path = dir.join("csv-schema.json");
+    std::fs::write(
+        &schema_path,
+        r#"{"type": "object", "required": ["id", "name"]}"#,
+    )
+    .unwrap();
+    let (_, err, ok) = run(
+        &[
+            "validate",
+            "--schema",
+            schema_path.to_str().unwrap(),
+            "--format",
+            "csv",
+            "-",
+        ],
+        CSV_SAMPLE,
+    );
+    assert!(ok, "stderr: {err}");
+    assert!(err.contains("3/3 documents valid (streaming csv)"), "{err}");
+
+    // Translation shreds the same rows into typed columns.
+    let (out, err, ok) = run(&["translate", "--format", "csv", "-"], CSV_SAMPLE);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("id:int64"), "{out}");
+    assert!(out.contains("score:float64"), "{out}");
+    assert!(err.contains("3 rows (streaming csv)"), "{err}");
+
+    // Unknown formats are rejected up front.
+    let (_, err, ok) = run(&["infer", "--format", "tsv", "-"], CSV_SAMPLE);
+    assert!(!ok);
+    assert!(err.contains("--format"), "{err}");
+}
+
+#[test]
+fn translate_out_persists_jxc_and_cat_inspects_it() {
+    let dir = std::env::temp_dir().join("jsonx-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let jxc = dir.join("sample.jxc");
+    let jxc_path = jxc.to_str().unwrap();
+
+    let (out, err, ok) = run(
+        &["translate", "--streaming", "--out", jxc_path, "-"],
+        SAMPLE,
+    );
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("id:"), "{out}");
+    assert!(err.contains(&format!("bytes -> {jxc_path}")), "{err}");
+
+    // cat: schema line, rows, per-column encoding summary.
+    let (out, err, ok) = run(&["cat", jxc_path], "");
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("tags:json"), "{out}");
+    assert!(out.contains("\"id\":1"), "{out}");
+    assert!(
+        err.contains("3 columns x 3 rows") || err.contains("4 columns x 3 rows"),
+        "{err}"
+    );
+    // The tags column stores ["x"] as a nested string list.
+    assert!(err.contains("list-str"), "{err}");
+
+    // --flatten cross-joins the list column; --head bounds the output.
+    let (flat, err, ok) = run(&["cat", jxc_path, "--flatten", "--head", "2"], "");
+    assert!(ok, "stderr: {err}");
+    assert!(flat.contains("\"tags\":\"x\""), "{flat}");
+    assert_eq!(flat.lines().count(), 3, "schema line + 2 rows: {flat}");
+
+    // --out is columnar-only; cat rejects non-.jxc bytes.
+    let (_, err, ok) = run(
+        &["translate", "--to", "avro", "--out", jxc_path, "-"],
+        SAMPLE,
+    );
+    assert!(!ok);
+    assert!(err.contains("--out"), "{err}");
+    let junk = dir.join("junk.jxc");
+    std::fs::write(&junk, b"not a jxc file at all").unwrap();
+    let (_, err, ok) = run(&["cat", junk.to_str().unwrap()], "");
+    assert!(!ok);
+    assert!(err.contains(".jxc"), "{err}");
+    let _ = std::fs::remove_file(&junk);
+    let _ = std::fs::remove_file(&jxc);
+}

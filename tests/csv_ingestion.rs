@@ -1,0 +1,245 @@
+//! End-to-end CSV ingestion through the decoder seam: the CSV front-end
+//! must get inference, validation, translation, error policies and
+//! quarantine diagnostics from the shared engine — and every stage must
+//! be shard/worker-transparent (workers {1, 2, 3, 8} agree with the
+//! single-worker reference, chunk boundaries included).
+
+use jsonx::core::Equivalence;
+use jsonx::schema::{CompiledSchema, ValidatorOptions};
+use jsonx::syntax::parse;
+use jsonx::translate::Shredder;
+use jsonx::{
+    infer_streaming_decoded, infer_validate_streaming_decoded, translate_streaming_decoded,
+    validate_streaming_decoded, ChunkOptions, CsvDecoder, ErrorPolicy, FaultOptions, LineVerdict,
+    StreamSource, StreamingOptions,
+};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// A heterogeneous CSV corpus: typed scalars, quoted fields (with
+/// embedded delimiters and escaped quotes), empty cells, short rows.
+fn corpus() -> String {
+    let mut text = String::from("id,name,score,active,note\n");
+    for i in 0..240 {
+        match i % 6 {
+            0 => text.push_str(&format!("{i},alpha,{}.5,true,plain\n", i % 10)),
+            1 => text.push_str(&format!(
+                "{i},\"beta, quoted\",{},false,\"he said \"\"hi\"\"\"\n",
+                i % 7
+            )),
+            2 => text.push_str(&format!("{i},gamma,,true,\n")),
+            3 => text.push_str(&format!("{i},delta,{}\n", i % 5)),
+            4 => text.push_str(&format!("{i},\"epsilon\",1,false,multi? no\n")),
+            _ => text.push_str(&format!("{i},zeta,-{}.25,true,ok\n", i % 3)),
+        }
+    }
+    text
+}
+
+/// Strips the header and builds the decoder the way the CLI does.
+fn peel(text: &str) -> (CsvDecoder, &str) {
+    let (header, rest) = text.split_once('\n').unwrap();
+    (CsvDecoder::from_header(header).unwrap(), rest)
+}
+
+/// Small chunks so multi-worker runs genuinely cross chunk boundaries.
+fn small_chunks() -> ChunkOptions {
+    ChunkOptions {
+        chunk_bytes: 256,
+        ..ChunkOptions::default()
+    }
+}
+
+#[test]
+fn csv_inference_is_worker_transparent() {
+    let text = corpus();
+    let (decoder, rest) = peel(&text);
+    let reference = infer_streaming_decoded(
+        StreamSource::slice(rest),
+        decoder.clone(),
+        Equivalence::Kind,
+        StreamingOptions::with_workers(1),
+        small_chunks(),
+        FaultOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(reference.1.records, 240);
+    assert!(reference.1.is_clean());
+    for workers in WORKER_COUNTS {
+        let (ty, report) = infer_streaming_decoded(
+            StreamSource::slice(rest),
+            decoder.clone(),
+            Equivalence::Kind,
+            StreamingOptions::with_workers(workers),
+            small_chunks(),
+            FaultOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(ty, reference.0, "inference diverged at {workers} workers");
+        assert_eq!(report.records, reference.1.records);
+    }
+}
+
+#[test]
+fn csv_validation_is_worker_transparent() {
+    let text = corpus();
+    let (decoder, rest) = peel(&text);
+    // `score` is sometimes absent/null, so only `id` and `name` are
+    // required; `active` must be boolean when present.
+    let schema_doc = parse(
+        r#"{"type": "object", "required": ["id", "name"],
+            "properties": {"active": {"type": "boolean"}, "id": {"type": "integer"}}}"#,
+    )
+    .unwrap();
+    let schema = CompiledSchema::compile(&schema_doc).unwrap();
+    let mut reference: Option<Vec<(usize, LineVerdict)>> = None;
+    for workers in WORKER_COUNTS {
+        let (verdicts, report) = validate_streaming_decoded(
+            StreamSource::slice(rest),
+            decoder.clone(),
+            &schema,
+            ValidatorOptions::default(),
+            StreamingOptions::with_workers(workers),
+            small_chunks(),
+            FaultOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.records, 240);
+        assert!(
+            verdicts
+                .iter()
+                .all(|(_, v)| matches!(v, LineVerdict::Valid)),
+            "synthesised CSV records should satisfy the schema"
+        );
+        match &reference {
+            None => reference = Some(verdicts),
+            Some(r) => assert_eq!(&verdicts, r, "verdicts diverged at {workers} workers"),
+        }
+    }
+}
+
+#[test]
+fn csv_combined_infer_validate_matches_separate_passes() {
+    let text = corpus();
+    let (decoder, rest) = peel(&text);
+    let schema_doc = parse(r#"{"type": "object", "required": ["id"]}"#).unwrap();
+    let schema = CompiledSchema::compile(&schema_doc).unwrap();
+    let (ty_alone, _) = infer_streaming_decoded(
+        StreamSource::slice(rest),
+        decoder.clone(),
+        Equivalence::Kind,
+        StreamingOptions::with_workers(2),
+        small_chunks(),
+        FaultOptions::default(),
+    )
+    .unwrap();
+    for workers in WORKER_COUNTS {
+        let ((ty, verdicts), _) = infer_validate_streaming_decoded(
+            StreamSource::slice(rest),
+            decoder.clone(),
+            Equivalence::Kind,
+            &schema,
+            ValidatorOptions::default(),
+            StreamingOptions::with_workers(workers),
+            small_chunks(),
+            FaultOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            ty, ty_alone,
+            "combined-pass type diverged at {workers} workers"
+        );
+        assert!(verdicts
+            .iter()
+            .all(|(_, v)| matches!(v, LineVerdict::Valid)));
+    }
+}
+
+#[test]
+fn csv_translation_is_worker_transparent() {
+    let text = corpus();
+    let (decoder, rest) = peel(&text);
+    let (ty, _) = infer_streaming_decoded(
+        StreamSource::slice(rest),
+        decoder.clone(),
+        Equivalence::Kind,
+        StreamingOptions::with_workers(1),
+        small_chunks(),
+        FaultOptions::default(),
+    )
+    .unwrap();
+    let shredder = Shredder::from_type(&ty);
+    let mut reference = None;
+    for workers in WORKER_COUNTS {
+        let (batch, report) = translate_streaming_decoded(
+            StreamSource::slice(rest),
+            decoder.clone(),
+            &shredder,
+            StreamingOptions::with_workers(workers),
+            small_chunks(),
+            FaultOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(batch.rows, 240);
+        assert_eq!(report.records, 240);
+        match &reference {
+            None => reference = Some(batch),
+            Some(r) => assert_eq!(&batch, r, "batch diverged at {workers} workers"),
+        }
+    }
+}
+
+/// Rows with trailing extra cells are malformed under the header-driven
+/// dialect; the shared error policies must treat them like any other
+/// rejected record, quarantine diagnostics included.
+#[test]
+fn csv_error_policies_and_quarantine_diagnostics() {
+    let mut text = String::from("id,name\n");
+    for i in 0..30 {
+        if i % 10 == 3 {
+            text.push_str(&format!("{i},x,EXTRA,CELLS\n"));
+        } else {
+            text.push_str(&format!("{i},x\n"));
+        }
+    }
+    let (decoder, rest) = peel(&text);
+    // Fail-fast: the first extra-cell row kills the run.
+    let failed = infer_streaming_decoded(
+        StreamSource::slice(rest),
+        decoder.clone(),
+        Equivalence::Kind,
+        StreamingOptions::with_workers(2),
+        small_chunks(),
+        FaultOptions::default(),
+    );
+    assert!(failed.is_err(), "extra cells must reject under fail-fast");
+    // Collect: the run survives, counts the three bad rows, and retains
+    // quarantine-ready diagnostics with the raw line and a stable kind.
+    let fault = FaultOptions {
+        policy: ErrorPolicy::Collect { max_errors: 100 },
+        keep_rejects: true,
+        ..FaultOptions::default()
+    };
+    for workers in WORKER_COUNTS {
+        let (ty, report) = infer_streaming_decoded(
+            StreamSource::slice(rest),
+            decoder.clone(),
+            Equivalence::Kind,
+            StreamingOptions::with_workers(workers),
+            small_chunks(),
+            fault,
+        )
+        .unwrap();
+        assert_eq!(report.records, 30);
+        assert_eq!(report.errors.total, 3, "at {workers} workers");
+        let rejected: Vec<usize> = report.errors.rejects.iter().map(|d| d.record).collect();
+        assert_eq!(rejected, vec![3, 13, 23], "at {workers} workers");
+        assert!(report
+            .errors
+            .rejects
+            .iter()
+            .all(|d| d.kind == "trailing-data" && d.raw.as_deref().is_some()));
+        // The surviving type only saw the clean rows.
+        assert!(jsonx::core::type_size(&ty) > 0);
+    }
+}
