@@ -21,12 +21,16 @@
 //!   workloads.
 //! * [`dirty`] — dirty NDJSON corpora (seeded corruption with ground
 //!   truth) for the fault-tolerance suites.
+//! * [`fault_client`] — deliberately misbehaving line-protocol clients
+//!   (slow-loris writers, mid-frame disconnects, pipelined bursts) for
+//!   the resident service's fault-injection harness.
 //!
 //! Everything is seeded: the same configuration always yields the same
 //! collection, byte for byte.
 
 pub mod corpus;
 pub mod dirty;
+pub mod fault_client;
 pub mod github;
 pub mod nytimes;
 pub mod opendata;

@@ -225,6 +225,25 @@ impl<R: BufRead> ReaderChunks<R> {
     }
 }
 
+/// `read_line` with `ErrorKind::Interrupted` retried instead of surfaced.
+///
+/// A signal landing mid-read (`EINTR`) is a transient condition, not data
+/// loss: `read_line` appends nothing for the interrupted call, so retrying
+/// resumes exactly where the read left off. Std's default `read_until`
+/// already swallows `Interrupted` internally, but `BufRead` implementors
+/// may override `read_line` (network streams, test doubles, instrumented
+/// readers), so the engine guards here rather than trusting every `R` —
+/// without this, one stray signal would poison the whole run as a fatal
+/// [`ChunkError::Io`].
+fn read_line_retrying<R: BufRead>(reader: &mut R, buf: &mut String) -> std::io::Result<usize> {
+    loop {
+        match reader.read_line(buf) {
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            other => return other,
+        }
+    }
+}
+
 impl<R: BufRead + Send> ChunkSource for ReaderChunks<R> {
     fn next_chunk(&self) -> Result<Option<Chunk<'_>>, ChunkError> {
         let mut st = self.inner.lock().unwrap();
@@ -239,7 +258,7 @@ impl<R: BufRead + Send> ChunkSource for ReaderChunks<R> {
             // `read_line` appends up to and including the next newline and
             // validates UTF-8, so the chunk stays newline-aligned and a
             // bad byte sequence surfaces as a clean diagnostic.
-            match st.reader.read_line(&mut buf) {
+            match read_line_retrying(&mut st.reader, &mut buf) {
                 Ok(0) => {
                     st.done = true;
                     break;
@@ -378,6 +397,77 @@ mod tests {
             other => panic!("expected NotUtf8, got {other:?}"),
         }
         // After an error the source reports exhaustion, not a hang.
+        assert!(matches!(reader.next_chunk(), Ok(None)));
+    }
+
+    /// A reader whose `read_line` fails with `Interrupted` on every other
+    /// call — the EINTR shape `read_line_retrying` must absorb.
+    struct FlakyReader {
+        inner: Cursor<Vec<u8>>,
+        calls: usize,
+    }
+
+    impl std::io::Read for FlakyReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.inner.read(buf)
+        }
+    }
+
+    impl BufRead for FlakyReader {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            self.inner.fill_buf()
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.inner.consume(amt)
+        }
+
+        fn read_line(&mut self, buf: &mut String) -> std::io::Result<usize> {
+            self.calls += 1;
+            if self.calls % 2 == 1 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "signal landed mid-read",
+                ));
+            }
+            self.inner.read_line(buf)
+        }
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried_not_fatal() {
+        let input = corpus(50);
+        for target in [1usize, 16, 1 << 20] {
+            let flaky = FlakyReader {
+                inner: Cursor::new(input.clone().into_bytes()),
+                calls: 0,
+            };
+            let reader = ReaderChunks::new(flaky, target, 2);
+            let chunks = drain(&reader);
+            let rejoined: String = chunks.iter().map(|(_, _, t)| t.as_str()).collect();
+            assert_eq!(rejoined, input, "target={target}");
+        }
+    }
+
+    #[test]
+    fn non_interrupted_errors_still_surface() {
+        struct BrokenReader;
+        impl std::io::Read for BrokenReader {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        impl BufRead for BrokenReader {
+            fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn consume(&mut self, _amt: usize) {}
+        }
+        let reader = ReaderChunks::new(BrokenReader, 8, 1);
+        match reader.next_chunk() {
+            Err(ChunkError::Io { chunk, .. }) => assert_eq!(chunk, 0),
+            other => panic!("expected Io error, got {other:?}"),
+        }
         assert!(matches!(reader.next_chunk(), Ok(None)));
     }
 

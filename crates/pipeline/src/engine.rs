@@ -115,7 +115,10 @@ pub struct RunOutcome<Out> {
 type SeqResult<Out> = (usize, Result<Out, ShardPanic>);
 
 /// Extracts the human-readable payload of a caught panic.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+///
+/// Public so other `catch_unwind` layers (e.g. the resident service's
+/// per-request isolation) report panics in the same shape the engine does.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -60,8 +60,9 @@ pub use chunk::{
     Chunk, ChunkError, ChunkOptions, ChunkSource, ReaderChunks, SliceChunks, DEFAULT_CHUNK_BYTES,
 };
 pub use engine::{
-    merge_line_results, run_lines, run_lines_caught, run_lines_static_caught, run_lines_stealing,
-    run_reader_caught, run_slice, run_slice_caught, run_source_caught, RunOutcome, ShardFold,
+    merge_line_results, panic_message, run_lines, run_lines_caught, run_lines_static_caught,
+    run_lines_stealing, run_reader_caught, run_slice, run_slice_caught, run_source_caught,
+    RunOutcome, ShardFold,
 };
 pub use options::{resolve_workers, PipelineOptions, SliceOptions};
 pub use report::{

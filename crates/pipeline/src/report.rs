@@ -238,6 +238,18 @@ impl RunReport {
     pub fn is_clean(&self) -> bool {
         self.errors.is_empty() && self.poisoned.is_empty()
     }
+
+    /// Merges `right` (the later run) into `self`, so long-lived services
+    /// can aggregate many per-request or per-connection reports into one
+    /// final account. Error samples re-apply `cap` exactly like
+    /// [`ErrorSummary::merge`]; panic provenance and timings concatenate.
+    pub fn merge(&mut self, right: RunReport, cap: usize) {
+        self.records += right.records;
+        self.shards += right.shards;
+        self.errors.merge(right.errors, cap);
+        self.poisoned.extend(right.poisoned);
+        self.timings.extend(right.timings);
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +295,36 @@ mod tests {
         assert_eq!(left.dropped, 1);
         assert_eq!(left.by_kind["a"], 2);
         assert_eq!(left.by_kind["b"], 3);
+    }
+
+    #[test]
+    fn run_report_merge_aggregates_and_recaps() {
+        let mut left = RunReport {
+            records: 3,
+            shards: 1,
+            ..RunReport::default()
+        };
+        left.errors.push(diag(0, "a"), 2);
+        let mut right = RunReport {
+            records: 5,
+            shards: 2,
+            ..RunReport::default()
+        };
+        right.errors.push(diag(4, "b"), 2);
+        right.errors.push(diag(6, "b"), 2);
+        right.poisoned.push(ShardPanic {
+            shard: 1,
+            first_record: 4,
+            message: "boom".into(),
+        });
+        left.merge(right, 2);
+        assert_eq!(left.records, 8);
+        assert_eq!(left.shards, 3);
+        assert_eq!(left.errors.total, 3);
+        assert_eq!(left.errors.rejects.len(), 2, "cap re-applied on merge");
+        assert_eq!(left.errors.dropped, 1);
+        assert_eq!(left.poisoned.len(), 1);
+        assert!(!left.is_clean());
     }
 
     #[test]

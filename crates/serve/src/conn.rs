@@ -1,0 +1,311 @@
+//! Per-connection handling: the defensive framer and the request loop.
+//!
+//! Each connection gets one thread and one [`Framer`] — a newline framer
+//! that polls with a short read timeout so it can notice the shutdown
+//! latch, caps the frame size (oversized frames are rejected before
+//! buffering grows without bound), and enforces a completion budget on
+//! partially received frames (the slow-loris guard: a client trickling
+//! one byte at a time gets `slow-frame` and the socket back, not a
+//! parked thread forever).
+//!
+//! Admin verbs (`PING`, `STATS`, `RELOAD`, `SHUTDOWN`) are answered on
+//! the connection thread — they must keep working while the data queue
+//! is saturated. Data verbs go through the bounded queue with `try_send`:
+//! a full queue answers `busy` immediately (explicit load-shedding), and
+//! the connection then blocks on its rendezvous reply channel, so
+//! responses stay in request order per connection.
+
+use crate::cache::handle_reload;
+use crate::engine::{Job, Work};
+use crate::protocol::{
+    parse_request, Request, Response, KIND_BAD_FRAME, KIND_BUSY, KIND_RELOAD_FAILED,
+    KIND_SHUTTING_DOWN, KIND_SLOW_FRAME,
+};
+use crate::Shared;
+use jsonx_syntax::{ParseErrorKind, RecordLimit};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::time::{Duration, Instant};
+
+/// Read-timeout granularity: how often a blocked read re-checks the
+/// shutdown latch and the frame budget.
+const POLL: Duration = Duration::from_millis(25);
+
+/// What one call to [`Framer::next`] produced.
+pub(crate) enum FrameEvent {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// A complete line that was not valid UTF-8.
+    BadUtf8,
+    /// The frame grew past the cap without a newline.
+    Oversized,
+    /// The frame's first byte arrived but the rest didn't within budget.
+    Slow,
+    /// The peer closed (EOF). `mid_frame` is true when bytes of an
+    /// unterminated frame were pending — a mid-request disconnect.
+    Closed { mid_frame: bool },
+    /// The daemon is draining and this connection is idle.
+    ShuttingDown,
+    /// The socket failed.
+    Io,
+}
+
+/// Newline framer over a polled, capped, budgeted socket read loop.
+pub(crate) struct Framer {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    cap: usize,
+    budget: Duration,
+}
+
+impl Framer {
+    pub(crate) fn new(stream: TcpStream, cap: usize, budget: Duration) -> std::io::Result<Framer> {
+        stream.set_read_timeout(Some(POLL))?;
+        // A peer that stops reading its responses shouldn't park the
+        // handler forever either.
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        Ok(Framer {
+            stream,
+            buf: Vec::new(),
+            cap,
+            budget,
+        })
+    }
+
+    /// Blocks until one frame completes (or fails to). Pipelined frames
+    /// already buffered are returned without touching the socket.
+    pub(crate) fn next(&mut self, shutdown: &AtomicBool) -> FrameEvent {
+        let mut started: Option<Instant> = (!self.buf.is_empty()).then(Instant::now);
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                return match String::from_utf8(line) {
+                    Ok(text) => FrameEvent::Line(text),
+                    Err(_) => FrameEvent::BadUtf8,
+                };
+            }
+            if self.buf.len() > self.cap {
+                return FrameEvent::Oversized;
+            }
+            if let Some(t0) = started {
+                if t0.elapsed() > self.budget {
+                    return FrameEvent::Slow;
+                }
+            }
+            let mut tmp = [0u8; 4096];
+            match self.stream.read(&mut tmp) {
+                Ok(0) => {
+                    return FrameEvent::Closed {
+                        mid_frame: !self.buf.is_empty(),
+                    }
+                }
+                Ok(n) => {
+                    if started.is_none() {
+                        started = Some(Instant::now());
+                    }
+                    self.buf.extend_from_slice(&tmp[..n]);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if shutdown.load(Ordering::SeqCst) && self.buf.is_empty() {
+                        return FrameEvent::ShuttingDown;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return FrameEvent::Io,
+            }
+        }
+    }
+
+    /// Writes one response line. A failed write (peer gone) is reported
+    /// so the handler can stop, but never panics the connection.
+    pub(crate) fn send(&mut self, response: &Response) -> bool {
+        let mut line = response.line.clone().into_bytes();
+        line.push(b'\n');
+        self.stream.write_all(&line).is_ok()
+    }
+}
+
+/// Answers one over-cap connection with a structured `busy` line.
+pub(crate) fn refuse(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let resp = Response::err(KIND_BUSY, "connection limit reached");
+    let _ = stream.write_all(format!("{}\n", resp.line).as_bytes());
+}
+
+/// The per-connection request loop. Returns when the peer closes, a
+/// frame-level fault closes the connection, or the daemon drains.
+pub(crate) fn handle_conn(
+    shared: &std::sync::Arc<Shared>,
+    tx: &SyncSender<Job>,
+    stream: TcpStream,
+    conn_id: usize,
+) {
+    let config = &shared.config;
+    let mut framer = match Framer::new(stream, config.frame_cap(), config.frame_budget) {
+        Ok(framer) => framer,
+        Err(_) => return,
+    };
+    loop {
+        let event = framer.next(&shared.shutdown);
+        let line = match event {
+            FrameEvent::Line(line) => line,
+            FrameEvent::BadUtf8 => {
+                shared.stats.lock().unwrap().bad_frames += 1;
+                framer.send(&Response::err_close(KIND_BAD_FRAME, "frame is not UTF-8"));
+                return;
+            }
+            FrameEvent::Oversized => {
+                shared.stats.lock().unwrap().oversized_frames += 1;
+                // Same stable label an oversized record gets in the batch
+                // pipeline, so clients see one vocabulary.
+                let kind = ParseErrorKind::LimitExceeded(RecordLimit::InputBytes).label();
+                framer.send(&Response::err_close(
+                    kind,
+                    &format!("frame exceeds {} bytes", config.frame_cap()),
+                ));
+                return;
+            }
+            FrameEvent::Slow => {
+                shared.stats.lock().unwrap().slow_frames += 1;
+                framer.send(&Response::err_close(
+                    KIND_SLOW_FRAME,
+                    &format!(
+                        "frame did not complete within {} ms",
+                        config.frame_budget.as_millis()
+                    ),
+                ));
+                return;
+            }
+            FrameEvent::Closed { mid_frame } => {
+                if mid_frame {
+                    shared.stats.lock().unwrap().disconnects += 1;
+                }
+                return;
+            }
+            FrameEvent::ShuttingDown | FrameEvent::Io => return,
+        };
+        shared.stats.lock().unwrap().frames += 1;
+        let request = match parse_request(&line, config.debug_faults) {
+            Ok(request) => request,
+            Err(resp) => {
+                shared.stats.lock().unwrap().malformed_requests += 1;
+                if !framer.send(&resp) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let work = match request {
+            Request::Ping => {
+                let epoch = shared.cache.snapshot().epoch;
+                if !framer.send(&Response::ok_ping(epoch)) {
+                    return;
+                }
+                continue;
+            }
+            Request::Stats => {
+                let resp = {
+                    let stats = shared.stats.lock().unwrap();
+                    crate::stats::stats_response(&stats, shared.cache.snapshot().epoch)
+                };
+                if !framer.send(&resp) {
+                    return;
+                }
+                continue;
+            }
+            Request::Reload => {
+                let resp = match handle_reload(shared) {
+                    Ok(epoch) => Response::ok_reload(epoch),
+                    Err(message) => Response::err(KIND_RELOAD_FAILED, &message),
+                };
+                if !framer.send(&resp) {
+                    return;
+                }
+                continue;
+            }
+            Request::Shutdown => {
+                framer.send(&Response::ok_shutdown());
+                shared.begin_shutdown();
+                return;
+            }
+            Request::Boom => Work::Boom,
+            Request::Sleep(ms) => Work::Sleep(ms),
+            Request::Data { op, payload } => {
+                let work = Work::Data(op);
+                if !enqueue(shared, tx, &mut framer, work, payload, conn_id) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if !enqueue(shared, tx, &mut framer, work, String::new(), conn_id) {
+            return;
+        }
+    }
+}
+
+/// Admits one request to the bounded queue and relays its reply. Returns
+/// false when the connection must close (write failure or a poisoned
+/// request).
+fn enqueue(
+    shared: &std::sync::Arc<Shared>,
+    tx: &SyncSender<Job>,
+    framer: &mut Framer,
+    work: Work,
+    payload: String,
+    conn_id: usize,
+) -> bool {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        framer.send(&Response::err_close(
+            KIND_SHUTTING_DOWN,
+            "daemon is draining",
+        ));
+        return false;
+    }
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let job = Job {
+        work,
+        payload,
+        seq: shared.next_seq(),
+        conn: conn_id,
+        enqueued: Instant::now(),
+        reply: reply_tx,
+    };
+    match tx.try_send(job) {
+        Ok(()) => {
+            shared.stats.lock().unwrap().enqueued += 1;
+            // The worker's catch_unwind guarantees exactly one reply per
+            // enqueued job; a dropped sender (impossible today) degrades
+            // to a panic response rather than a hang.
+            let response = reply_rx.recv().unwrap_or_else(|_| {
+                Response::err_close(crate::protocol::KIND_PANIC, "reply channel lost")
+            });
+            let close = response.close;
+            framer.send(&response) && !close
+        }
+        Err(TrySendError::Full(_)) => {
+            shared.stats.lock().unwrap().shed += 1;
+            framer.send(&Response::err(
+                KIND_BUSY,
+                &format!(
+                    "request queue full (depth {})",
+                    shared.config.effective_queue_depth()
+                ),
+            ))
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            framer.send(&Response::err_close(
+                KIND_SHUTTING_DOWN,
+                "daemon is draining",
+            ));
+            false
+        }
+    }
+}

@@ -183,6 +183,7 @@ impl JsonDecoder {
         ParserOptions {
             max_depth: self.limits.max_depth,
             allow_trailing: false,
+            max_string_bytes: self.limits.max_string_bytes,
         }
     }
 }

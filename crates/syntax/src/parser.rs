@@ -13,6 +13,12 @@ pub struct ParserOptions {
     pub max_depth: usize,
     /// When `false` (default), non-whitespace after the value is an error.
     pub allow_trailing: bool,
+    /// Cap on one string literal's content bytes; `None` disables the
+    /// guard. Mirrors [`ParseLimits::max_string_bytes`] so the DOM path
+    /// enforces the same bound as the event path.
+    ///
+    /// [`ParseLimits::max_string_bytes`]: crate::ParseLimits::max_string_bytes
+    pub max_string_bytes: Option<usize>,
 }
 
 impl Default for ParserOptions {
@@ -20,6 +26,7 @@ impl Default for ParserOptions {
         ParserOptions {
             max_depth: DEFAULT_MAX_DEPTH,
             allow_trailing: false,
+            max_string_bytes: None,
         }
     }
 }
@@ -41,6 +48,7 @@ pub fn parse_with(bytes: &[u8], opts: ParserOptions) -> Result<Value, ParseError
         lexer: Lexer::new(bytes),
         opts,
     };
+    p.lexer.set_max_string_bytes(opts.max_string_bytes);
     let tok = p.lexer.next_token()?;
     let value = p.parse_value(tok, 0)?;
     if !opts.allow_trailing {
@@ -136,6 +144,7 @@ impl<'a> Parser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::RecordLimit;
     use jsonx_data::json;
 
     #[test]
@@ -194,6 +203,23 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(parse_with(b"1 2", opts).unwrap(), Value::from(1));
+    }
+
+    #[test]
+    fn string_byte_limit_enforced_on_dom_path() {
+        let opts = ParserOptions {
+            max_string_bytes: Some(4),
+            ..Default::default()
+        };
+        // Exactly at the cap parses; one over is rejected — in values
+        // and in object keys alike.
+        assert!(parse_with(br#"{"k": "abcd"}"#, opts).is_ok());
+        let err = parse_with(br#"{"k": "abcde"}"#, opts).unwrap_err();
+        assert_eq!(
+            err.kind,
+            ParseErrorKind::LimitExceeded(RecordLimit::StringBytes)
+        );
+        assert!(parse_with(br#"{"abcde": 1}"#, opts).is_err());
     }
 
     #[test]

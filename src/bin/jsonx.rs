@@ -13,6 +13,8 @@
 //!                 [--workers N] [--no-fast-parse] [--format json|csv] [FILE]
 //! jsonx query     [--where-exists p] [--expand p] [--project a,b.c] [--top n] [FILE]
 //! jsonx cat       FILE.jxc [--head N] [--flatten]
+//! jsonx serve     [--listen ADDR] [--schema FILE] [--queue-depth N] [--deadline-ms N]
+//!                 [--max-conns N] [--workers N] [--max-depth N] [--max-line-bytes N]
 //! ```
 //!
 //! `FILE` is newline-delimited JSON — or header-led CSV with
@@ -242,6 +244,54 @@ const CAT_FLAGS: &[FlagSpec] = &[
     ),
 ];
 
+const SERVE_FLAGS: &[FlagSpec] = &[
+    valued(
+        "listen",
+        "ADDR",
+        "listen address (default 127.0.0.1:7077; port 0 picks a free port, printed on stdout)",
+    ),
+    valued(
+        "schema",
+        "FILE",
+        "schema to compile once and serve; the RELOAD verb recompiles it and swaps epochs without interrupting in-flight requests",
+    ),
+    valued(
+        "queue-depth",
+        "N",
+        "bounded request-queue depth; a full queue sheds load with a structured busy response instead of buffering (default 64)",
+    ),
+    valued(
+        "deadline-ms",
+        "N",
+        "answer deadline-exceeded when a request waited in the queue longer than N ms",
+    ),
+    valued(
+        "max-conns",
+        "N",
+        "concurrent-connection cap; excess connections get one busy line and are closed (default 64)",
+    ),
+    valued("workers", "N", "worker threads (0 = one per CPU)"),
+    valued(
+        "max-depth",
+        "N",
+        "reject payloads nested deeper than N (default 128)",
+    ),
+    valued(
+        "max-line-bytes",
+        "N",
+        "reject payloads longer than N bytes (also caps the frame buffer)",
+    ),
+    valued(
+        "frame-budget-ms",
+        "N",
+        "cut off frames that do not finish arriving within N ms — the slow-loris guard (default 2000)",
+    ),
+    flag(
+        "debug-faults",
+        "enable the deterministic fault verbs (BOOM, SLEEP) the fault-injection harness drives",
+    ),
+];
+
 /// One subcommand: its summary line, flag table, and whether it also
 /// accepts the shared fault-tolerance / out-of-core flag groups.
 struct CommandSpec {
@@ -304,6 +354,12 @@ const COMMANDS: &[CommandSpec] = &[
         name: "cat",
         summary: "inspect a binary .jxc columnar file (schema, rows, encodings)",
         flags: CAT_FLAGS,
+        guarded: false,
+    },
+    CommandSpec {
+        name: "serve",
+        summary: "run the resident schema service (validate/infer/translate over a line protocol)",
+        flags: SERVE_FLAGS,
         guarded: false,
     },
 ];
@@ -415,6 +471,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "translate" => cmd_translate(&opts),
         "query" => cmd_query(&opts),
         "cat" => cmd_cat(&opts),
+        "serve" => cmd_serve(&opts),
         _ => unreachable!("command table and dispatch table agree"),
     }
 }
@@ -1397,6 +1454,71 @@ fn cmd_cat(opts: &Opts) -> Result<(), String> {
         rows.len()
     );
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------------
+
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    use jsonx::serve::{ServeConfig, Server};
+    if opts.file.is_some() {
+        return Err("serve takes no FILE argument (payloads arrive over the socket)".to_string());
+    }
+    fn parsed<T: std::str::FromStr>(opts: &Opts, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        opts.get(name)
+            .map(str::parse)
+            .transpose()
+            .map_err(|e| format!("bad --{name}: {e}"))
+    }
+    let mut limits = ParseLimits::new();
+    if let Some(depth) = parsed(opts, "max-depth")? {
+        limits = limits.with_max_depth(depth);
+    }
+    if let Some(bytes) = parsed(opts, "max-line-bytes")? {
+        limits = limits.with_max_input_bytes(bytes);
+    }
+    let mut config = ServeConfig {
+        listen: opts.get("listen").unwrap_or("127.0.0.1:7077").to_string(),
+        schema_path: opts.get("schema").map(std::path::PathBuf::from),
+        limits,
+        debug_faults: opts.has("debug-faults"),
+        ..ServeConfig::default()
+    };
+    if let Some(depth) = parsed(opts, "queue-depth")? {
+        config.queue_depth = depth;
+    }
+    if let Some(ms) = parsed::<u64>(opts, "deadline-ms")? {
+        config.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = parsed(opts, "max-conns")? {
+        config.max_conns = n;
+    }
+    if let Some(n) = parsed(opts, "workers")? {
+        config.workers = n;
+    }
+    if let Some(ms) = parsed::<u64>(opts, "frame-budget-ms")? {
+        config.frame_budget = std::time::Duration::from_millis(ms);
+    }
+    let server = Server::bind(config).map_err(|e| e.to_string())?;
+    let addr = server
+        .local_addr()
+        .ok_or("could not determine listen address")?;
+    // The harness and the CI gate scrape this line, so flush it past any
+    // pipe buffering before blocking in the accept loop.
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let report = server.run();
+    eprintln!("{}", report.to_json_line());
+    if report.reconciled() {
+        Ok(())
+    } else {
+        Err("final report failed reconciliation".to_string())
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -48,6 +48,12 @@ impl FastPlan {
         schema: &CompiledSchema,
         limits: &ParseLimits,
     ) -> Option<FastPlan> {
+        // A string cap must see every literal, but the scanner never
+        // parses skipped spans — an oversized string hiding in one would
+        // slip through. Decline; the full parser enforces the cap.
+        if limits.max_string_bytes.is_some() {
+            return None;
+        }
         let names = schema.root_projection()?;
         Some(FastPlan {
             set: FieldSet::new(names),
@@ -63,6 +69,11 @@ impl FastPlan {
     /// The translation-side plan: project to the shred plan's top-level
     /// field names. `None` for non-record layouts and discovering mode.
     pub(crate) fn for_translation(shredder: &Shredder, limits: &ParseLimits) -> Option<FastPlan> {
+        // Same reasoning as `for_validation`: a configured string cap
+        // requires the full parser's eyes on every literal.
+        if limits.max_string_bytes.is_some() {
+            return None;
+        }
         let names = shredder.root_fields()?;
         Some(FastPlan {
             set: FieldSet::new(names.iter().cloned()),
@@ -102,6 +113,10 @@ impl FastRecordParser {
         let popts = ParserOptions {
             max_depth: plan.opts.max_depth,
             allow_trailing: false,
+            // Plans are declined whenever a string cap is configured (a
+            // skipped span could hide an oversized literal the full
+            // parser would reject), so no cap applies here.
+            max_string_bytes: None,
         };
         let mut obj = Object::with_capacity(self.scanner.fields().len());
         for field in self.scanner.fields() {
@@ -136,6 +151,7 @@ impl FastJsonDecoder {
         ParserOptions {
             max_depth: self.limits.max_depth,
             allow_trailing: false,
+            max_string_bytes: self.limits.max_string_bytes,
         }
     }
 }

@@ -28,6 +28,8 @@
 //! * [`translate`] — schema-driven translation to columnar batches and an
 //!   Avro-like binary row format.
 //! * [`gen`] — seeded synthetic dataset generators with heterogeneity dials.
+//! * [`serve`] — the resident schema service: validate/infer/translate over
+//!   a line protocol with bounded queues, deadlines, and hot reload.
 
 pub(crate) mod fastpath;
 pub mod quarantine;
@@ -43,6 +45,7 @@ pub use jsonx_jsound as jsound;
 pub use jsonx_mison as mison;
 pub use jsonx_regex as regex;
 pub use jsonx_schema as schema;
+pub use jsonx_serve as serve;
 pub use jsonx_skeleton as skeleton;
 pub use jsonx_syntax as syntax;
 pub use jsonx_translate as translate;
