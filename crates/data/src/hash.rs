@@ -1,0 +1,90 @@
+//! CRC-32 (IEEE 802.3, the zlib/gzip polynomial) over byte slices.
+//!
+//! The workspace's durability features — the run journal's per-record
+//! frames and the `.jxc` per-block checksums — need one shared, stable
+//! checksum so a reader can tell "this record/block arrived intact" from
+//! "the process died mid-write". CRC-32 is the right tool for that
+//! threat model: it detects torn writes and bit rot, not adversaries.
+//! The implementation is the classic reflected table-driven one,
+//! generated at compile time so the crate stays dependency-free.
+
+/// The reflected IEEE polynomial (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` with the conventional `0xFFFF_FFFF` pre/post
+/// conditioning — the same value `crc32(1)` in zlib or `zlib.crc32` in
+/// Python would produce.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// Folds `bytes` into a running (pre-conditioned) CRC state. Start from
+/// `0xFFFF_FFFF`, fold each fragment, and finish with `^ 0xFFFF_FFFF`
+/// to checksum data that arrives in pieces.
+pub fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values from the canonical IEEE CRC-32 ("check" value
+        // for "123456789" is 0xCBF43926).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"chunk-commit journal record payload";
+        for split in 0..data.len() {
+            let mut state = 0xFFFF_FFFF;
+            state = crc32_update(state, &data[..split]);
+            state = crc32_update(state, &data[split..]);
+            assert_eq!(state ^ 0xFFFF_FFFF, crc32(data));
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"some record";
+        let good = crc32(data);
+        let mut copy = data.to_vec();
+        for i in 0..copy.len() * 8 {
+            copy[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&copy), good, "flip at bit {i} undetected");
+            copy[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

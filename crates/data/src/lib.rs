@@ -16,9 +16,12 @@
 //!   schema tools for deduplication and set semantics (`uniqueItems`,
 //!   `enum`),
 //! * [`metrics`] — structural size/depth/path statistics used by the
-//!   schema-size experiments (E7, E8).
+//!   schema-size experiments (E7, E8),
+//! * [`hash::crc32`] — the CRC-32 checksum shared by the run journal's
+//!   record frames and the `.jxc` per-block integrity checks.
 
 pub mod cmp;
+pub mod hash;
 pub mod kind;
 pub mod metrics;
 pub mod number;
@@ -30,6 +33,7 @@ pub mod value;
 mod macros;
 
 pub use cmp::{all_unique, canonical_cmp, canonical_dedup, canonical_eq};
+pub use hash::{crc32, crc32_update};
 pub use kind::Kind;
 pub use metrics::{label_paths, max_depth, node_count, text_size, LabelPath, LabelStep};
 pub use number::Number;

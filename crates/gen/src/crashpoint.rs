@@ -1,0 +1,99 @@
+//! Deterministic crash/stop injection for the kill-and-resume harness.
+//!
+//! Real crashes (SIGKILL, power loss) strike at arbitrary moments, which
+//! makes "resumed output equals uninterrupted output" impossible to pin
+//! in a test matrix. A *crashpoint* substitutes a deterministic strike:
+//! the `JSONX_CRASHPOINT` environment variable names exactly when to die
+//! (or to stop gracefully), keyed to the journal's commit count — the
+//! only clock that matters for resumability, because everything before
+//! commit `N` is durable by construction and everything after it never
+//! happened.
+//!
+//! Syntax: `commits:N` aborts the process (no unwinding, no buffer
+//! flushing — the closest stand-in for SIGKILL that stays in-process)
+//! after the `N`th committed chunk; `stop:N` trips the graceful-stop
+//! latch instead, exercising the signal path without a signal.
+
+/// When — and how — an injected crash strikes, parsed from
+/// `JSONX_CRASHPOINT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Crashpoint {
+    /// `commits:N` — call [`std::process::abort`] once `N` chunks have
+    /// committed. Durable state at that instant is exactly the journal's
+    /// first `N` records.
+    Abort {
+        /// Commit count that triggers the abort.
+        after: u64,
+    },
+    /// `stop:N` — trip the run's graceful-stop latch once `N` chunks
+    /// have committed: workers drain in-flight chunks and the run exits
+    /// as interrupted-resumable.
+    Stop {
+        /// Commit count that triggers the stop.
+        after: u64,
+    },
+}
+
+impl Crashpoint {
+    /// Parses a crashpoint spec (`commits:N` or `stop:N`).
+    pub fn parse(spec: &str) -> Option<Crashpoint> {
+        let (kind, count) = spec.split_once(':')?;
+        let after: u64 = count.trim().parse().ok()?;
+        match kind.trim() {
+            "commits" => Some(Crashpoint::Abort { after }),
+            "stop" => Some(Crashpoint::Stop { after }),
+            _ => None,
+        }
+    }
+
+    /// Reads `JSONX_CRASHPOINT` from the environment; `None` when unset
+    /// or malformed (a typo'd spec must not silently run un-instrumented
+    /// in the harness, but the library cannot abort here — callers that
+    /// care should `parse` explicitly).
+    pub fn from_env() -> Option<Crashpoint> {
+        Crashpoint::parse(&std::env::var("JSONX_CRASHPOINT").ok()?)
+    }
+
+    /// Called with the running commit count; strikes when the configured
+    /// threshold is reached. `Abort` does not return.
+    pub fn observe_commit(&self, committed: u64, stop_latch: &std::sync::atomic::AtomicBool) {
+        match *self {
+            Crashpoint::Abort { after } if committed >= after => std::process::abort(),
+            Crashpoint::Stop { after } if committed >= after => {
+                stop_latch.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn parses_both_kinds() {
+        assert_eq!(
+            Crashpoint::parse("commits:3"),
+            Some(Crashpoint::Abort { after: 3 })
+        );
+        assert_eq!(
+            Crashpoint::parse("stop:12"),
+            Some(Crashpoint::Stop { after: 12 })
+        );
+        assert_eq!(Crashpoint::parse("commits"), None);
+        assert_eq!(Crashpoint::parse("kill:1"), None);
+        assert_eq!(Crashpoint::parse("commits:x"), None);
+    }
+
+    #[test]
+    fn stop_trips_latch_only_at_threshold() {
+        let latch = AtomicBool::new(false);
+        let cp = Crashpoint::Stop { after: 2 };
+        cp.observe_commit(1, &latch);
+        assert!(!latch.load(Ordering::SeqCst));
+        cp.observe_commit(2, &latch);
+        assert!(latch.load(Ordering::SeqCst));
+    }
+}

@@ -29,6 +29,7 @@
 //! collection, byte for byte.
 
 pub mod corpus;
+pub mod crashpoint;
 pub mod dirty;
 pub mod fault_client;
 pub mod github;
@@ -38,5 +39,6 @@ pub mod param;
 pub mod twitter;
 
 pub use corpus::Corpus;
+pub use crashpoint::Crashpoint;
 pub use dirty::{dirty_ndjson, DirtyConfig, DirtyNdjson};
 pub use param::{DialedGenerator, GeneratorConfig};

@@ -211,12 +211,29 @@ impl<R: BufRead> ReaderChunks<R> {
     /// Wraps `reader`, targeting `chunk_bytes` per chunk and retaining at
     /// most `ring` recycled buffers (both floored at sane minimums).
     pub fn new(reader: R, chunk_bytes: usize, ring: usize) -> Self {
+        Self::with_offset(reader, chunk_bytes, ring, 0, 0)
+    }
+
+    /// Like [`new`](Self::new) but starting the chunk sequence at
+    /// `first_seq` and the global line numbering at `first_line` — the
+    /// resume constructor. The caller must have positioned `reader` at
+    /// the byte offset where chunk `first_seq` begins (the sum of the
+    /// committed chunks' byte lengths); chunk boundaries depend only on
+    /// the byte stream and `chunk_bytes`, never the worker count, so the
+    /// resumed sequence reproduces the original run's chunks exactly.
+    pub fn with_offset(
+        reader: R,
+        chunk_bytes: usize,
+        ring: usize,
+        first_seq: usize,
+        first_line: usize,
+    ) -> Self {
         ReaderChunks {
             inner: Mutex::new(ReaderState {
                 reader,
                 pool: Vec::new(),
-                seq: 0,
-                next_line: 0,
+                seq: first_seq,
+                next_line: first_line,
                 done: false,
             }),
             chunk_bytes: chunk_bytes.max(1),

@@ -31,6 +31,7 @@
 //! records may span lines need their own `ChunkSource` framing; they are
 //! out of scope for the line-based entry points.
 
+use crate::checkpoint::{CheckpointSink, ChunkMeta};
 use crate::chunk::{ChunkError, ChunkOptions, ChunkSource, ReaderChunks, SliceChunks};
 use crate::chunk::{CHUNKS_PER_WORKER, DEFAULT_CHUNK_BYTES};
 use crate::options::{PipelineOptions, SliceOptions};
@@ -39,7 +40,7 @@ use crate::shard::shard_lines;
 use std::borrow::Cow;
 use std::io::BufRead;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -108,7 +109,42 @@ pub struct RunOutcome<Out> {
     /// Per-worker dispatch accounting, populated only when the run asked
     /// for timing ([`ChunkOptions::timing`]); empty otherwise.
     pub timings: Vec<WorkerTiming>,
+    /// Whether a graceful-stop latch ([`RunControl::stop`]) was observed
+    /// during the run: workers stopped claiming chunks and drained their
+    /// in-flight work, so `out` covers a committed prefix of the input,
+    /// not all of it. Always `false` on uncontrolled runs.
+    pub interrupted: bool,
 }
+
+/// External control for a dispatched run: an optional per-chunk commit
+/// hook and an optional graceful-stop latch. The default (no sink, no
+/// latch) is the plain [`run_source_caught`] behaviour.
+pub struct RunControl<'a, Out> {
+    /// Called once per successfully folded chunk with its [`ChunkMeta`]
+    /// and result, before the result is fused (see [`CheckpointSink`]).
+    pub sink: Option<&'a dyn CheckpointSink<Out>>,
+    /// When set to `true` (by a signal handler, a crashpoint, an
+    /// operator), workers stop claiming new chunks, finish what they
+    /// hold, and the outcome reports `interrupted`.
+    pub stop: Option<&'a AtomicBool>,
+}
+
+impl<Out> Default for RunControl<'_, Out> {
+    fn default() -> Self {
+        RunControl {
+            sink: None,
+            stop: None,
+        }
+    }
+}
+
+impl<Out> Clone for RunControl<'_, Out> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<Out> Copy for RunControl<'_, Out> {}
 
 /// One sequence-numbered chunk result: the taken output, or the panic
 /// that poisoned the chunk.
@@ -144,6 +180,7 @@ fn run_lines_sequential<F: ShardFold<str>>(input: &str, fold: &F) -> RunOutcome<
             shards: 1,
             poisoned: Vec::new(),
             timings: Vec::new(),
+            interrupted: false,
         },
         Err(payload) => RunOutcome {
             out: fuse_outs(fold, Vec::new()),
@@ -154,6 +191,7 @@ fn run_lines_sequential<F: ShardFold<str>>(input: &str, fold: &F) -> RunOutcome<
                 message: panic_message(payload.as_ref()),
             }],
             timings: Vec::new(),
+            interrupted: false,
         },
     }
 }
@@ -260,6 +298,24 @@ pub fn run_source_caught<S: ChunkSource, F: ShardFold<str>>(
     workers: usize,
     timing: bool,
 ) -> Result<RunOutcome<F::Out>, ChunkError> {
+    run_source_controlled(source, fold, workers, timing, RunControl::default())
+}
+
+/// [`run_source_caught`] with external [`RunControl`]: the same
+/// work-stealing dispatch, plus a per-chunk commit hook (fired on the
+/// claiming worker, after the chunk's fold succeeds and before its
+/// result is fused) and a graceful-stop latch checked before every
+/// claim. When the latch trips, workers finish the chunks they hold and
+/// stop; the outcome carries `interrupted: true` and the fused prefix of
+/// results — which, combined with a [`CheckpointSink`] journal, is what
+/// makes an interrupted run resumable.
+pub fn run_source_controlled<S: ChunkSource, F: ShardFold<str>>(
+    source: &S,
+    fold: &F,
+    workers: usize,
+    timing: bool,
+    control: RunControl<'_, F::Out>,
+) -> Result<RunOutcome<F::Out>, ChunkError> {
     let workers = workers.max(1);
     let failure: Mutex<Option<ChunkError>> = Mutex::new(None);
     let per_worker: Vec<(Vec<SeqResult<F::Out>>, WorkerTiming)> = std::thread::scope(|scope| {
@@ -274,6 +330,9 @@ pub fn run_source_caught<S: ChunkSource, F: ShardFold<str>>(
                         ..WorkerTiming::default()
                     };
                     loop {
+                        if control.stop.is_some_and(|s| s.load(Ordering::SeqCst)) {
+                            break;
+                        }
                         let chunk = match source.next_chunk() {
                             Ok(Some(chunk)) => chunk,
                             Ok(None) => break,
@@ -296,6 +355,17 @@ pub fn run_source_caught<S: ChunkSource, F: ShardFold<str>>(
                         }));
                         match caught {
                             Ok((out, lines)) => {
+                                if let Some(sink) = control.sink {
+                                    sink.chunk_done(
+                                        &ChunkMeta {
+                                            seq,
+                                            first_line,
+                                            lines,
+                                            bytes: chunk.text.len(),
+                                        },
+                                        &out,
+                                    );
+                                }
                                 acct.records += lines;
                                 results.push((seq, Ok(out)));
                             }
@@ -355,6 +425,7 @@ pub fn run_source_caught<S: ChunkSource, F: ShardFold<str>>(
         results.into_iter().map(|(_, r)| r).collect(),
     );
     outcome.timings = timings;
+    outcome.interrupted = control.stop.is_some_and(|s| s.load(Ordering::SeqCst));
     Ok(outcome)
 }
 
@@ -435,6 +506,7 @@ pub fn run_slice_caught<T: Sync, F: ShardFold<T>>(
                 shards: 1,
                 poisoned: Vec::new(),
                 timings: Vec::new(),
+                interrupted: false,
             },
             Err(payload) => RunOutcome {
                 out: fuse_outs(fold, Vec::new()),
@@ -445,6 +517,7 @@ pub fn run_slice_caught<T: Sync, F: ShardFold<T>>(
                     message: panic_message(payload.as_ref()),
                 }],
                 timings: Vec::new(),
+                interrupted: false,
             },
         };
     }
@@ -529,6 +602,7 @@ fn collect_outcome<Item: ?Sized, F: ShardFold<Item>>(
         shards,
         poisoned,
         timings: Vec::new(),
+        interrupted: false,
     }
 }
 

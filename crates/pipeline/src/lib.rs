@@ -50,19 +50,23 @@
 //!   order — identical outcomes to static sharding, without stragglers
 //!   idling workers and without materializing the corpus.
 
+mod checkpoint;
 mod chunk;
 mod engine;
 mod options;
 mod report;
 mod shard;
 
+pub use checkpoint::{
+    read_journal, CheckpointSink, ChunkJournal, ChunkMeta, JournalRead, JournalWriter,
+};
 pub use chunk::{
     Chunk, ChunkError, ChunkOptions, ChunkSource, ReaderChunks, SliceChunks, DEFAULT_CHUNK_BYTES,
 };
 pub use engine::{
     merge_line_results, panic_message, run_lines, run_lines_caught, run_lines_static_caught,
     run_lines_stealing, run_reader_caught, run_slice, run_slice_caught, run_source_caught,
-    RunOutcome, ShardFold,
+    run_source_controlled, RunControl, RunOutcome, ShardFold,
 };
 pub use options::{resolve_workers, PipelineOptions, SliceOptions};
 pub use report::{

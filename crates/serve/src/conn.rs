@@ -213,7 +213,11 @@ pub(crate) fn handle_conn(
             Request::Stats => {
                 let resp = {
                     let stats = shared.stats.lock().unwrap();
-                    crate::stats::stats_response(&stats, shared.cache.snapshot().epoch)
+                    crate::stats::stats_response(
+                        &stats,
+                        shared.cache.snapshot().epoch,
+                        shared.config.effective_queue_depth(),
+                    )
                 };
                 if !framer.send(&resp) {
                     return;

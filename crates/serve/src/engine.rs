@@ -57,6 +57,7 @@ pub(crate) fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) 
             Ok(job) => job,
             Err(_) => return,
         };
+        shared.stats.lock().unwrap().dequeued += 1;
         if let Some(deadline) = shared.config.deadline {
             if job.enqueued.elapsed() > deadline {
                 shared.stats.lock().unwrap().expired += 1;

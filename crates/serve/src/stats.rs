@@ -27,6 +27,9 @@ pub(crate) struct Counters {
     pub malformed_requests: usize,
     /// Data requests admitted to the queue.
     pub enqueued: usize,
+    /// Data requests a worker has pulled off the queue (including ones
+    /// that then expired); `enqueued - dequeued` is the live queue depth.
+    pub dequeued: usize,
     /// Data requests a worker finished (accepted + rejected).
     pub processed: usize,
     /// `VALIDATE` verdicts.
@@ -175,8 +178,11 @@ impl FinalReport {
     }
 }
 
-/// The `STATS` verb's inline snapshot.
-pub(crate) fn stats_response(c: &Counters, epoch: u64) -> crate::Response {
+/// The `STATS` verb's inline snapshot: live queue occupancy next to the
+/// shed/expired/poisoned counters and the serving schema epoch, so an
+/// operator can tell back-pressure (depth near capacity, shed rising)
+/// from a stall (depth pinned, processed flat) without restarting.
+pub(crate) fn stats_response(c: &Counters, epoch: u64, queue_capacity: usize) -> crate::Response {
     let line = jsonx_syntax::to_string(&jsonx_data::json!({
         "ok": true,
         "op": "stats",
@@ -184,6 +190,8 @@ pub(crate) fn stats_response(c: &Counters, epoch: u64) -> crate::Response {
         "frames": (c.frames as i64),
         "enqueued": (c.enqueued as i64),
         "processed": (c.processed as i64),
+        "queue_depth": (c.enqueued.saturating_sub(c.dequeued) as i64),
+        "queue_capacity": (queue_capacity as i64),
         "valid": (c.valid as i64),
         "invalid": (c.invalid as i64),
         "rejected": (c.rejected as i64),

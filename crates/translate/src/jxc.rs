@@ -10,14 +10,15 @@
 //! ## Layout
 //!
 //! ```text
-//! ┌─────────┬───────────────────────┬─────────┬────────────┬─────────┐
-//! │ "JXC1"  │ column blocks …       │ footer  │ footer_off │ "JXC1"  │
-//! │ 4 bytes │ (per-column, in order)│         │ u64 LE     │ 4 bytes │
-//! └─────────┴───────────────────────┴─────────┴────────────┴─────────┘
+//! ┌─────────┬───────────────────────┬─────────┬──────────┬────────────┬─────────┐
+//! │ "JXC1"  │ column blocks …       │ footer  │ ftr_crc  │ footer_off │ "JXC1"  │
+//! │ 4 bytes │ (per-column, in order)│         │ u32 LE   │ u64 LE     │ 4 bytes │
+//! └─────────┴───────────────────────┴─────────┴──────────┴────────────┴─────────┘
 //!
 //! footer := rows:u64, ncols:u32,
 //!           ncols × { path_len:u16, path:bytes, type_tag:u8, enc:u8,
-//!                     block_off:u64, block_len:u64, valid_count:u64 }
+//!                     block_off:u64, block_len:u64, valid_count:u64,
+//!                     block_crc:u32 }
 //!
 //! block  := validity bitmap (⌈rows/8⌉ bytes, LSB-first), then dense
 //!           values (one entry per *valid* row) under the encoding:
@@ -41,9 +42,26 @@
 //! Counts (rows per column, dictionary entries, total list items) are
 //! bounded by `u32::MAX` per column block; the writer panics past that —
 //! a single batch that large should be written as multiple files.
+//!
+//! ## Integrity and crash semantics
+//!
+//! Every column block and the footer carry a CRC-32
+//! ([`jsonx_data::crc32`]), and the trailing magic doubles as a
+//! **finalize marker**: it is the last thing written, so its absence
+//! means the writer died mid-file. The reader therefore distinguishes
+//! two failure worlds:
+//!
+//! * [`JxcError::Truncated`] — the leading magic is present but the
+//!   trailer (checksum + footer offset + finalize marker) is not, or the
+//!   file ends before a structure it promises: the classic
+//!   crash-mid-write shape. The run that produced it can be re-finalized
+//!   with `--resume`.
+//! * [`JxcError::Corrupt`] — the file *claims* to be complete but a
+//!   checksum or structural invariant fails: bit rot or foul play, not
+//!   an interrupted write. Resuming cannot help; the file is bad.
 
 use crate::columnar::{Column, ColumnData, ColumnarBatch};
-use jsonx_data::{Number, Object, Value};
+use jsonx_data::{crc32, Number, Object, Value};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::Write as _;
@@ -98,11 +116,14 @@ impl Encoding {
 /// Why a `.jxc` file could not be read.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JxcError {
-    /// Leading or trailing magic missing — not a `.jxc` file.
+    /// The leading magic is missing — not a `.jxc` file at all.
     BadMagic,
-    /// The file ends before a structure it promises.
+    /// The file starts as `.jxc` but ends before a structure it
+    /// promises — including a missing finalize marker, the signature of
+    /// a writer killed mid-write. The producing run is resumable.
     Truncated,
-    /// Structurally impossible content (bad tags, offsets, codes).
+    /// The file claims completeness but fails a checksum or structural
+    /// invariant (bad tags, offsets, codes, CRC mismatches).
     Corrupt(String),
     /// The underlying file could not be read.
     Io(String),
@@ -112,7 +133,10 @@ impl fmt::Display for JxcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JxcError::BadMagic => write!(f, "not a .jxc file (bad magic)"),
-            JxcError::Truncated => write!(f, "truncated .jxc file"),
+            JxcError::Truncated => write!(
+                f,
+                ".jxc file is truncated (likely interrupted mid-write; the producing run is resumable)"
+            ),
             JxcError::Corrupt(msg) => write!(f, "corrupt .jxc file: {msg}"),
             JxcError::Io(msg) => write!(f, "{msg}"),
         }
@@ -378,10 +402,11 @@ pub fn write_jxc(batch: &ColumnarBatch) -> Vec<u8> {
         let enc = write_block(col, &mut out);
         blocks.push((off, out.len() - off, enc, valid_count));
     }
-    let footer_off = out.len() as u64;
+    let footer_off = out.len();
     put_u64(&mut out, batch.rows as u64);
     put_u32(&mut out, as_u32(batch.columns.len(), "column count"));
     for (col, (off, len, enc, valid_count)) in batch.columns.iter().zip(&blocks) {
+        let block_crc = crc32(&out[*off..*off + *len]);
         let path = col.path.as_bytes();
         put_u16(
             &mut out,
@@ -394,8 +419,13 @@ pub fn write_jxc(batch: &ColumnarBatch) -> Vec<u8> {
         put_u64(&mut out, *off as u64);
         put_u64(&mut out, *len as u64);
         put_u64(&mut out, *valid_count as u64);
+        put_u32(&mut out, block_crc);
     }
-    put_u64(&mut out, footer_off);
+    let footer_crc = crc32(&out[footer_off..]);
+    put_u32(&mut out, footer_crc);
+    put_u64(&mut out, footer_off as u64);
+    // The trailing magic is the finalize marker: written last, so its
+    // presence certifies the file was completely written.
     out.extend_from_slice(MAGIC);
     out
 }
@@ -604,22 +634,38 @@ fn read_block(
 }
 
 /// Decodes `.jxc` bytes back into the batch that was written.
+///
+/// Failure taxonomy: no leading magic → [`JxcError::BadMagic`] (not our
+/// file); leading magic but no complete trailer (footer CRC + offset +
+/// finalize marker) → [`JxcError::Truncated`] (killed mid-write); a
+/// complete trailer whose checksums or structure disagree →
+/// [`JxcError::Corrupt`].
 pub fn read_jxc(bytes: &[u8]) -> Result<JxcFile, JxcError> {
-    // magic + footer_off + trailing magic is the smallest possible file.
-    if bytes.len() < 4 + 8 + 4 {
-        return Err(JxcError::Truncated);
-    }
-    if &bytes[..4] != MAGIC || &bytes[bytes.len() - 4..] != MAGIC {
+    if bytes.len() < 4 || &bytes[..4] != MAGIC {
         return Err(JxcError::BadMagic);
+    }
+    // The trailer is footer_crc:u32 + footer_off:u64 + finalize magic;
+    // anything shorter — or a missing finalize marker — is a file whose
+    // writer never got to the end.
+    if bytes.len() < 4 + 4 + 8 + 4 || &bytes[bytes.len() - 4..] != MAGIC {
+        return Err(JxcError::Truncated);
     }
     let footer_off =
         u64::from_le_bytes(bytes[bytes.len() - 12..bytes.len() - 4].try_into().unwrap());
     let footer_off = usize::try_from(footer_off).map_err(|_| JxcError::Truncated)?;
-    if footer_off < 4 || footer_off > bytes.len() - 12 {
+    if footer_off < 4 || footer_off > bytes.len() - 16 {
         return Err(JxcError::Corrupt("footer offset out of range".into()));
     }
+    let footer_crc = u32::from_le_bytes(
+        bytes[bytes.len() - 16..bytes.len() - 12]
+            .try_into()
+            .unwrap(),
+    );
+    if crc32(&bytes[footer_off..bytes.len() - 16]) != footer_crc {
+        return Err(JxcError::Corrupt("footer checksum mismatch".into()));
+    }
     let mut cur = Cur {
-        bytes: &bytes[..bytes.len() - 12],
+        bytes: &bytes[..bytes.len() - 16],
         pos: footer_off,
     };
     let rows = usize::try_from(cur.u64()?).map_err(|_| JxcError::Truncated)?;
@@ -638,6 +684,7 @@ pub fn read_jxc(bytes: &[u8]) -> Result<JxcFile, JxcError> {
         let block_off = usize::try_from(cur.u64()?).map_err(|_| JxcError::Truncated)?;
         let block_len = usize::try_from(cur.u64()?).map_err(|_| JxcError::Truncated)?;
         let valid_count = usize::try_from(cur.u64()?).map_err(|_| JxcError::Truncated)?;
+        let block_crc = cur.u32()?;
         if valid_count > rows {
             return Err(JxcError::Corrupt(format!(
                 "column {path} claims more valid cells than rows"
@@ -647,6 +694,11 @@ pub fn read_jxc(bytes: &[u8]) -> Result<JxcFile, JxcError> {
             .checked_add(block_len)
             .filter(|end| *end <= footer_off && block_off >= 4)
             .ok_or_else(|| JxcError::Corrupt(format!("column block of {path} out of range")))?;
+        if crc32(&bytes[block_off..block_end]) != block_crc {
+            return Err(JxcError::Corrupt(format!(
+                "column block of {path} fails its checksum"
+            )));
+        }
         let (column, dict_len, list_items) = read_block(
             &bytes[block_off..block_end],
             rows,
@@ -891,14 +943,40 @@ mod tests {
     fn corrupt_files_are_rejected_not_panicked() {
         let batch = shred("{\"id\": 1, \"tags\": [\"a\"]}\n");
         let good = write_jxc(&batch);
-        assert_eq!(read_jxc(b"nope"), Err(JxcError::Truncated));
+        assert_eq!(read_jxc(b"nope"), Err(JxcError::BadMagic));
         assert_eq!(read_jxc(b"XXXX0123456789AB"), Err(JxcError::BadMagic));
         let mut bad = good.clone();
         bad[0] = b'X';
         assert_eq!(read_jxc(&bad), Err(JxcError::BadMagic));
-        // Truncate mid-file: dropping the trailer breaks magic/offsets.
         for cut in [good.len() - 1, good.len() - 9, 10] {
             assert!(read_jxc(&good[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_distinguished_from_corruption() {
+        let batch = shred("{\"id\": 1, \"name\": \"ada\"}\n{\"id\": 2}\n");
+        let good = write_jxc(&batch);
+        // Any prefix that keeps the leading magic but loses the finalize
+        // marker reads as Truncated — the crash-mid-write shape.
+        for cut in [4, 5, good.len() / 2, good.len() - 1] {
+            assert_eq!(
+                read_jxc(&good[..cut]),
+                Err(JxcError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        // A complete file with a flipped bit in a column block or the
+        // footer reads as Corrupt — checksums catch what structural
+        // validation alone would miss.
+        for pos in [6, good.len() - 20] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x01;
+            assert!(
+                matches!(read_jxc(&bad), Err(JxcError::Corrupt(_))),
+                "flip at {pos}: {:?}",
+                read_jxc(&bad)
+            );
         }
     }
 

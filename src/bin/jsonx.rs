@@ -22,11 +22,18 @@
 //! pipeline via the CSV record decoder. `-` or no file reads stdin. The
 //! streaming commands also accept `--input FILE` to process the corpus
 //! out-of-core, plus `--chunk-bytes N` and `--report-timing` to tune
-//! and observe the work-stealing dispatch.
+//! and observe the work-stealing dispatch, and `--checkpoint FILE` /
+//! `--resume` to journal chunk commits durably and continue an
+//! interrupted run.
 //!
 //! Every command's flags live in one [`FlagSpec`] table; `jsonx help`
 //! is generated from those tables, so "implies --streaming" markers and
 //! value placeholders can never drift from what the parser accepts.
+//!
+//! Exit codes are uniform across subcommands (see README):
+//! `0` success, `1` invalid data (malformed input or failed validation
+//! verdicts), `2` usage error, `3` I/O error, `4` interrupted with a
+//! resumable checkpoint.
 
 use jsonx::baselines::MongoProfiler;
 use jsonx::core::{infer_collection, print_type, to_json_schema, Equivalence, PrintOptions};
@@ -37,17 +44,18 @@ use jsonx::syntax::{parse, parse_ndjson, to_string, to_string_pretty};
 use jsonx::translate::{flatten_rows, read_jxc_file, rows_as_values, OutputSink, Shredder};
 use jsonx::Value;
 use jsonx::{
-    infer_streaming_decoded, infer_streaming_guarded, infer_streaming_parallel,
-    infer_streaming_source, infer_validate_streaming_decoded, infer_validate_streaming_guarded,
-    infer_validate_streaming_parallel, infer_validate_streaming_source,
-    translate_streaming_decoded, translate_streaming_guarded, translate_streaming_guarded_fast,
-    translate_streaming_parallel, translate_streaming_parallel_fast, translate_streaming_source,
-    validate_streaming_decoded, validate_streaming_guarded, validate_streaming_guarded_fast,
+    infer_streaming_decoded, infer_streaming_guarded, infer_streaming_journaled,
+    infer_streaming_parallel, infer_streaming_source, infer_validate_streaming_decoded,
+    infer_validate_streaming_guarded, infer_validate_streaming_parallel,
+    infer_validate_streaming_source, translate_streaming_decoded, translate_streaming_guarded,
+    translate_streaming_guarded_fast, translate_streaming_journaled, translate_streaming_parallel,
+    translate_streaming_parallel_fast, translate_streaming_source, validate_streaming_decoded,
+    validate_streaming_guarded, validate_streaming_guarded_fast, validate_streaming_journaled,
     validate_streaming_parallel, validate_streaming_parallel_fast, validate_streaming_source,
-    write_quarantine_file, ChunkOptions, CsvDecoder, ErrorPolicy, FaultOptions, LineVerdict,
-    ParseLimits, RunReport, StreamSource, StreamingOptions,
+    write_quarantine_file, ChunkOptions, CsvDecoder, ErrorPolicy, FaultOptions, JournalControl,
+    LineVerdict, ParseLimits, RunReport, StreamError, StreamSource, StreamingOptions,
 };
-use std::io::{BufRead, Read};
+use std::io::{BufRead, Read, Write as _};
 use std::process::ExitCode;
 
 // ---------------------------------------------------------------------------
@@ -138,6 +146,15 @@ const CHUNK_FLAGS: &[FlagSpec] = &[
     implies(flag(
         "report-timing",
         "print per-worker chunk/record/byte counts, steal counts and throughput to stderr",
+    )),
+    implies(valued(
+        "checkpoint",
+        "FILE",
+        "journal every committed chunk to FILE (fsync'd, CRC-framed, committed in input order) so a crashed or interrupted run can be resumed; needs --input with a regular file",
+    )),
+    implies(flag(
+        "resume",
+        "continue from the last committed chunk in the --checkpoint journal instead of starting over; the final output is byte-identical to an uninterrupted run",
     )),
 ];
 
@@ -437,20 +454,137 @@ fn usage() -> String {
     s
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("jsonx: {msg}");
-            ExitCode::FAILURE
+/// A classified CLI failure. Every subcommand exits through one of
+/// these, so exit codes are uniform across the tool: `0` success,
+/// `1` invalid data, `2` usage, `3` I/O, `4` interrupted-resumable.
+/// Plain `String` errors (the bulk of the data-shaped failures) convert
+/// to [`CliError::Data`].
+#[derive(Debug)]
+enum CliError {
+    /// Bad flags, bad flag values, wrong command shape — exit 2.
+    Usage(String),
+    /// The input is malformed or failed its validation verdicts — exit 1.
+    Data(String),
+    /// A file or stream could not be read or written — exit 3.
+    Io(String),
+    /// Stopped gracefully with a resumable checkpoint journal — exit 4.
+    Interrupted(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+
+    fn data(msg: impl Into<String>) -> CliError {
+        CliError::Data(msg.into())
+    }
+
+    fn io(msg: impl Into<String>) -> CliError {
+        CliError::Io(msg.into())
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Data(m) | CliError::Io(m) | CliError::Interrupted(m) => {
+                m
+            }
+        }
+    }
+
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Data(_) => 1,
+            CliError::Io(_) => 3,
+            CliError::Interrupted(_) => 4,
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Data(msg)
+    }
+}
+
+/// Classifies a streaming-run failure: input problems are I/O, a
+/// graceful stop is interrupted-resumable, everything else is bad data.
+fn stream_err(e: StreamError) -> CliError {
+    match e {
+        StreamError::Interrupted => CliError::Interrupted(format!(
+            "{e} — rerun with --resume to continue from the last committed chunk"
+        )),
+        StreamError::Input(msg) => CliError::Io(msg),
+        other => CliError::Data(other.to_string()),
+    }
+}
+
+/// Parses `--name VALUE` through `FromStr`, reporting failures as usage
+/// errors (exit 2) naming the flag.
+fn parse_flag<T: std::str::FromStr>(opts: &Opts, name: &str) -> Result<Option<T>, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    opts.get(name)
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| CliError::usage(format!("bad --{name}: {e}")))
+}
+
+/// SIGINT/SIGTERM handling for journaled runs: the handler only trips a
+/// latch; workers drain their in-flight chunks and the run exits as
+/// interrupted-resumable. Installed only when a checkpoint is active —
+/// unjournaled runs keep the default die-on-signal behaviour, because
+/// without a journal there is nothing graceful to save.
+mod sig {
+    use std::sync::atomic::AtomicBool;
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    pub fn stop_flag() -> &'static AtomicBool {
+        &STOP
+    }
+
+    #[cfg(unix)]
+    pub fn install() {
+        // Declared locally instead of pulling in a libc dependency;
+        // glibc's `signal` installs BSD semantics (SA_RESTART), so
+        // blocked reads resume after the handler runs and the stop
+        // latch is observed at the next chunk-claim boundary.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        extern "C" fn on_signal(_sig: i32) {
+            STOP.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("jsonx: {}", err.message());
+            ExitCode::from(err.code())
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
-        return Err(format!("missing command\n{}", usage()));
+        return Err(CliError::usage(format!("missing command\n{}", usage())));
     };
     let rest = &args[1..];
     if matches!(command.as_str(), "help" | "--help" | "-h") {
@@ -458,7 +592,10 @@ fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let Some(cmd) = COMMANDS.iter().find(|c| c.name == command.as_str()) else {
-        return Err(format!("unknown command '{command}'\n{}", usage()));
+        return Err(CliError::usage(format!(
+            "unknown command '{command}'\n{}",
+            usage()
+        )));
     };
     let opts = parse_opts(rest, cmd)?;
     match cmd.name {
@@ -488,7 +625,7 @@ struct Opts {
 /// command's flag table — whether a flag takes a value is read off its
 /// spec, so the same name can be boolean in one command and valued in
 /// another (`infer --schema` vs `validate --schema FILE`).
-fn parse_opts(args: &[String], cmd: &CommandSpec) -> Result<Opts, String> {
+fn parse_opts(args: &[String], cmd: &CommandSpec) -> Result<Opts, CliError> {
     let mut flags = Vec::new();
     let mut file = None;
     let mut streaming_implied = false;
@@ -497,13 +634,15 @@ fn parse_opts(args: &[String], cmd: &CommandSpec) -> Result<Opts, String> {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             let Some(spec) = cmd.all_flags().find(|s| s.name == name) else {
-                return Err(format!("unknown flag --{name} (see `jsonx help`)"));
+                return Err(CliError::usage(format!(
+                    "unknown flag --{name} (see `jsonx help`)"
+                )));
             };
             streaming_implied |= spec.implies_streaming;
             if spec.value.is_some() {
                 let v = args
                     .get(i + 1)
-                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    .ok_or_else(|| CliError::usage(format!("flag --{name} needs a value")))?;
                 flags.push((name.to_string(), Some(v.clone())));
                 i += 2;
             } else {
@@ -512,7 +651,7 @@ fn parse_opts(args: &[String], cmd: &CommandSpec) -> Result<Opts, String> {
             }
         } else {
             if file.is_some() {
-                return Err(format!("unexpected extra argument '{a}'"));
+                return Err(CliError::usage(format!("unexpected extra argument '{a}'")));
             }
             file = Some(a.clone());
             i += 1;
@@ -556,16 +695,11 @@ struct ChunkCli {
 
 /// Builds the out-of-core configuration, or `None` when no chunk flag
 /// was given (the in-memory paths keep their exact legacy output).
-fn chunk_cli(opts: &Opts) -> Result<Option<ChunkCli>, String> {
+fn chunk_cli(opts: &Opts) -> Result<Option<ChunkCli>, CliError> {
     if !CHUNK_FLAGS.iter().any(|f| opts.has(f.name)) {
         return Ok(None);
     }
-    let chunk_bytes: usize = opts
-        .get("chunk-bytes")
-        .map(str::parse)
-        .transpose()
-        .map_err(|e| format!("bad --chunk-bytes: {e}"))?
-        .unwrap_or(0);
+    let chunk_bytes: usize = parse_flag(opts, "chunk-bytes")?.unwrap_or(0);
     Ok(Some(ChunkCli {
         input: opts.get("input").map(str::to_string),
         chunk: ChunkOptions {
@@ -580,11 +714,12 @@ fn chunk_cli(opts: &Opts) -> Result<Option<ChunkCli>, String> {
 /// bounded streaming (`-` streams stdin).
 type BoxedInput = Box<dyn BufRead + Send>;
 
-fn open_input(path: &str) -> Result<BoxedInput, String> {
+fn open_input(path: &str) -> Result<BoxedInput, CliError> {
     if path == "-" {
         Ok(Box::new(std::io::BufReader::new(std::io::stdin())))
     } else {
-        let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let file =
+            std::fs::File::open(path).map_err(|e| CliError::io(format!("reading {path}: {e}")))?;
         Ok(Box::new(std::io::BufReader::new(file)))
     }
 }
@@ -596,7 +731,7 @@ fn open_source<'a>(
     input: Option<&str>,
     file: Option<&str>,
     storage: &'a mut String,
-) -> Result<StreamSource<'a, BoxedInput>, String> {
+) -> Result<StreamSource<'a, BoxedInput>, CliError> {
     match input {
         Some(path) => Ok(StreamSource::Reader(open_input(path)?)),
         None => {
@@ -607,11 +742,13 @@ fn open_source<'a>(
 }
 
 /// Whether `--format csv` selected the CSV front-end.
-fn csv_requested(opts: &Opts) -> Result<bool, String> {
+fn csv_requested(opts: &Opts) -> Result<bool, CliError> {
     match opts.get("format") {
         None | Some("json") => Ok(false),
         Some("csv") => Ok(true),
-        Some(other) => Err(format!("unknown --format '{other}' (use json or csv)")),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown --format '{other}' (use json or csv)"
+        ))),
     }
 }
 
@@ -620,7 +757,7 @@ fn csv_requested(opts: &Opts) -> Result<bool, String> {
 /// the decoder expects).
 fn peel_csv_header<R: BufRead + Send>(
     source: StreamSource<'_, R>,
-) -> Result<(String, StreamSource<'_, R>), String> {
+) -> Result<(String, StreamSource<'_, R>), CliError> {
     let (header, rest) = match source {
         StreamSource::Slice(text) => match text.find('\n') {
             Some(i) => (text[..i].to_string(), StreamSource::Slice(&text[i + 1..])),
@@ -630,13 +767,13 @@ fn peel_csv_header<R: BufRead + Send>(
             let mut line = String::new();
             reader
                 .read_line(&mut line)
-                .map_err(|e| format!("reading csv header: {e}"))?;
+                .map_err(|e| CliError::io(format!("reading csv header: {e}")))?;
             (line, StreamSource::Reader(reader))
         }
     };
     let header = header.trim_end_matches(['\n', '\r']).to_string();
     if header.trim().is_empty() {
-        return Err("csv input has no header row".into());
+        return Err(CliError::data("csv input has no header row"));
     }
     Ok((header, rest))
 }
@@ -657,15 +794,11 @@ fn fast_parse_enabled(opts: &Opts) -> bool {
 
 /// Builds [`FaultOptions`] from the shared fault-tolerance flags, or
 /// `None` when none were given (legacy fail-fast paths).
-fn fault_options(opts: &Opts) -> Result<Option<FaultOptions>, String> {
+fn fault_options(opts: &Opts) -> Result<Option<FaultOptions>, CliError> {
     if !FAULT_FLAGS.iter().any(|f| opts.has(f.name)) {
         return Ok(None);
     }
-    let max_errors: Option<usize> = opts
-        .get("max-errors")
-        .map(str::parse)
-        .transpose()
-        .map_err(|e| format!("bad --max-errors: {e}"))?;
+    let max_errors: Option<usize> = parse_flag(opts, "max-errors")?;
     let policy = match opts.get("on-error").unwrap_or("fail") {
         "fail" => ErrorPolicy::FailFast,
         "skip" => ErrorPolicy::Skip { max_errors },
@@ -673,21 +806,17 @@ fn fault_options(opts: &Opts) -> Result<Option<FaultOptions>, String> {
             max_errors: max_errors.unwrap_or(1000),
         },
         other => {
-            return Err(format!(
+            return Err(CliError::usage(format!(
                 "unknown --on-error policy '{other}' (use fail, skip or collect)"
-            ))
+            )))
         }
     };
     let mut limits = ParseLimits::new();
-    if let Some(depth) = opts.get("max-depth") {
-        limits = limits.with_max_depth(depth.parse().map_err(|e| format!("bad --max-depth: {e}"))?);
+    if let Some(depth) = parse_flag(opts, "max-depth")? {
+        limits = limits.with_max_depth(depth);
     }
-    if let Some(bytes) = opts.get("max-line-bytes") {
-        limits = limits.with_max_input_bytes(
-            bytes
-                .parse()
-                .map_err(|e| format!("bad --max-line-bytes: {e}"))?,
-        );
+    if let Some(bytes) = parse_flag(opts, "max-line-bytes")? {
+        limits = limits.with_max_input_bytes(bytes);
     }
     Ok(Some(FaultOptions {
         policy,
@@ -699,10 +828,10 @@ fn fault_options(opts: &Opts) -> Result<Option<FaultOptions>, String> {
 /// Post-run bookkeeping for a guarded streaming command: writes the
 /// quarantine sidecar when requested, surfaces poisoned shards on
 /// stderr, and returns the `, N rejected` suffix for the summary line.
-fn finish_guarded_run(opts: &Opts, report: &RunReport) -> Result<String, String> {
+fn finish_guarded_run(opts: &Opts, report: &RunReport) -> Result<String, CliError> {
     if let Some(path) = opts.get("quarantine") {
         let n = write_quarantine_file(std::path::Path::new(path), report)
-            .map_err(|e| format!("writing {path}: {e}"))?;
+            .map_err(|e| CliError::io(format!("writing {path}: {e}")))?;
         eprintln!("» {n} diagnostics quarantined to {path}");
     }
     for p in &report.poisoned {
@@ -728,52 +857,167 @@ fn finish_guarded_run(opts: &Opts, report: &RunReport) -> Result<String, String>
 /// every command (`--input` is the out-of-core alternative). Raw bytes
 /// are read first so non-UTF-8 input gets a clean diagnostic naming the
 /// offending byte offset instead of a generic io error.
-fn read_text(file: Option<&str>) -> Result<String, String> {
+fn read_text(file: Option<&str>) -> Result<String, CliError> {
     let (bytes, name) = match file {
         None | Some("-") => {
             let mut buf = Vec::new();
             std::io::stdin()
                 .read_to_end(&mut buf)
-                .map_err(|e| format!("reading stdin: {e}"))?;
+                .map_err(|e| CliError::io(format!("reading stdin: {e}")))?;
             (buf, "stdin")
         }
         Some(path) => (
-            std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?,
+            std::fs::read(path).map_err(|e| CliError::io(format!("reading {path}: {e}")))?,
             path,
         ),
     };
     String::from_utf8(bytes).map_err(|e| {
-        format!(
+        CliError::data(format!(
             "{name}: input is not valid UTF-8 (bad byte at offset {})",
             e.utf8_error().valid_up_to()
-        )
+        ))
     })
 }
 
-fn read_collection(file: Option<&str>) -> Result<Vec<Value>, String> {
+fn read_collection(file: Option<&str>) -> Result<Vec<Value>, CliError> {
     let text = read_text(file)?;
-    parse_ndjson(&text).map_err(|(line, e)| format!("line {}: {e}", line + 1))
+    parse_ndjson(&text).map_err(|(line, e)| CliError::data(format!("line {}: {e}", line + 1)))
+}
+
+/// Stdout wrapped for pipeline use (`jsonx cat big.jxc | head`): a
+/// broken pipe quietly stops output instead of failing the run, so the
+/// process still exits 0 — verdict loops keep counting, they just stop
+/// printing. Any other write failure is a real I/O error (exit 3).
+struct PipeOut {
+    out: std::io::BufWriter<std::io::Stdout>,
+    open: bool,
+}
+
+impl PipeOut {
+    fn new() -> PipeOut {
+        PipeOut {
+            out: std::io::BufWriter::new(std::io::stdout()),
+            open: true,
+        }
+    }
+
+    /// Writes one line; returns `false` once the reader has gone away.
+    /// Print-only callers may stop early on `false`; counting callers
+    /// carry on and every later call is a cheap no-op.
+    fn line(&mut self, text: &str) -> Result<bool, CliError> {
+        if !self.open {
+            return Ok(false);
+        }
+        match writeln!(self.out, "{text}") {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {
+                self.open = false;
+                Ok(false)
+            }
+            Err(e) => Err(CliError::io(format!("writing stdout: {e}"))),
+        }
+    }
+
+    fn finish(mut self) -> Result<(), CliError> {
+        match self.out.flush() {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+            Err(e) => Err(CliError::io(format!("writing stdout: {e}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume wiring
+// ---------------------------------------------------------------------------
+
+/// Parses and validates `--checkpoint FILE` / `--resume`. Resume seeks
+/// the input by committed byte offset, so the journal requires `--input`
+/// with a regular file (stdin cannot be re-read); the CSV front-end is
+/// refused because its row identity hangs off a peeled header line the
+/// journal's byte accounting does not cover.
+fn checkpoint_cli(
+    opts: &Opts,
+    chunked: &Option<ChunkCli>,
+    csv: bool,
+) -> Result<Option<(String, bool)>, CliError> {
+    let resume = opts.has("resume");
+    let Some(journal) = opts.get("checkpoint") else {
+        if resume {
+            return Err(CliError::usage("--resume needs --checkpoint FILE"));
+        }
+        return Ok(None);
+    };
+    if csv {
+        return Err(CliError::usage(
+            "--checkpoint does not support --format csv",
+        ));
+    }
+    let Some(input) = chunked.as_ref().and_then(|c| c.input.as_deref()) else {
+        return Err(CliError::usage(
+            "--checkpoint needs --input FILE (resume seeks the input by byte offset)",
+        ));
+    };
+    if input == "-" {
+        return Err(CliError::usage(
+            "--checkpoint cannot journal stdin; pass --input with a regular file",
+        ));
+    }
+    if let Ok(meta) = std::fs::metadata(input) {
+        if !meta.is_file() {
+            return Err(CliError::usage(format!(
+                "--checkpoint needs --input with a regular file, but {input} is not one"
+            )));
+        }
+    }
+    Ok(Some((journal.to_string(), resume)))
+}
+
+/// Builds the [`JournalControl`] for a journaled run: installs the
+/// SIGINT/SIGTERM stop latch and wires the deterministic crash injector
+/// (`JSONX_CRASHPOINT`) the kill-and-resume harness drives. The injector
+/// counts commits across the whole run — translate's two phases share
+/// one counter — so `commits:N` always means the Nth journal record.
+fn journal_control(journal: &std::path::Path, resume: bool) -> JournalControl<'_> {
+    sig::install();
+    let mut ctrl = JournalControl::new(journal);
+    ctrl.resume = resume;
+    ctrl.stop = Some(sig::stop_flag());
+    if let Some(cp) = jsonx::gen::Crashpoint::from_env() {
+        let total = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        ctrl.after_commit = Some(std::sync::Arc::new(move |_phase_commits| {
+            let n = total.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+            cp.observe_commit(n, sig::stop_flag());
+        }));
+    }
+    ctrl
 }
 
 // ---------------------------------------------------------------------------
 // infer
 // ---------------------------------------------------------------------------
 
-fn cmd_infer(opts: &Opts) -> Result<(), String> {
+fn cmd_infer(opts: &Opts) -> Result<(), CliError> {
     let equiv = match opts.get("equiv").unwrap_or("K") {
         "K" | "k" | "kind" => Equivalence::Kind,
         "L" | "l" | "label" => Equivalence::Label,
-        other => return Err(format!("unknown equivalence '{other}' (use K or L)")),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown equivalence '{other}' (use K or L)"
+            )))
+        }
     };
-    let workers: Option<usize> = opts
-        .get("workers")
-        .map(str::parse)
-        .transpose()
-        .map_err(|e| format!("bad --workers: {e}"))?;
+    let workers: Option<usize> = parse_flag(opts, "workers")?;
     let fault = fault_options(opts)?;
     let chunked = chunk_cli(opts)?;
     let csv = csv_requested(opts)?;
+    let checkpoint = checkpoint_cli(opts, &chunked, csv)?;
     if let Some(schema_path) = opts.get("validate") {
+        if checkpoint.is_some() {
+            return Err(CliError::usage(
+                "--checkpoint does not support infer --validate (journal one pass at a time)",
+            ));
+        }
         return infer_validate_cli(
             opts,
             equiv,
@@ -797,9 +1041,9 @@ fn cmd_infer(opts: &Opts) -> Result<(), String> {
         let (header, source) = peel_csv_header(source)?;
         let decoder = csv_decoder(&header, &fault)?;
         let (ty, report) = infer_streaming_decoded(source, decoder, equiv, sopts, chunk, fault)
-            .map_err(|e| e.to_string())?;
+            .map_err(stream_err)?;
         let suffix = finish_guarded_run(opts, &report)?;
-        print_inferred_type(opts, &ty);
+        print_inferred_type(opts, &ty)?;
         eprintln!(
             "» {} documents (streaming csv), equivalence {}, type size {} nodes{suffix}",
             report.records - report.errors.total,
@@ -811,12 +1055,25 @@ fn cmd_infer(opts: &Opts) -> Result<(), String> {
     if let Some(ChunkCli { input, chunk }) = chunked {
         let fault = fault.unwrap_or_default();
         let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));
-        let mut storage = String::new();
-        let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
-        let (ty, report) = infer_streaming_source(source, equiv, sopts, chunk, fault)
-            .map_err(|e| e.to_string())?;
+        let (ty, report) = if let Some((journal, resume)) = &checkpoint {
+            let input = input.as_deref().expect("checkpoint_cli verified --input");
+            let ctrl = journal_control(std::path::Path::new(journal), *resume);
+            infer_streaming_journaled(
+                std::path::Path::new(input),
+                equiv,
+                sopts,
+                chunk,
+                fault,
+                &ctrl,
+            )
+            .map_err(stream_err)?
+        } else {
+            let mut storage = String::new();
+            let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
+            infer_streaming_source(source, equiv, sopts, chunk, fault).map_err(stream_err)?
+        };
         let suffix = finish_guarded_run(opts, &report)?;
-        print_inferred_type(opts, &ty);
+        print_inferred_type(opts, &ty)?;
         eprintln!(
             "» {} documents (streaming), equivalence {}, type size {} nodes{suffix}",
             report.records - report.errors.total,
@@ -829,9 +1086,9 @@ fn cmd_infer(opts: &Opts) -> Result<(), String> {
         let text = read_text(opts.file.as_deref())?;
         let sopts = StreamingOptions::with_workers(workers.unwrap_or(0));
         let (ty, report) =
-            infer_streaming_guarded(&text, equiv, sopts, fault).map_err(|e| e.to_string())?;
+            infer_streaming_guarded(&text, equiv, sopts, fault).map_err(stream_err)?;
         let suffix = finish_guarded_run(opts, &report)?;
-        print_inferred_type(opts, &ty);
+        print_inferred_type(opts, &ty)?;
         eprintln!(
             "» {} documents (streaming), equivalence {}, type size {} nodes{suffix}",
             report.records - report.errors.total,
@@ -853,7 +1110,7 @@ fn cmd_infer(opts: &Opts) -> Result<(), String> {
         let n = docs.len();
         (ty, n, "dom")
     };
-    print_inferred_type(opts, &ty);
+    print_inferred_type(opts, &ty)?;
     eprintln!(
         "» {n_docs} documents ({mode}), equivalence {}, type size {} nodes",
         equiv.name(),
@@ -862,17 +1119,24 @@ fn cmd_infer(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn print_inferred_type(opts: &Opts, ty: &jsonx::core::JType) {
-    if opts.has("schema") {
-        println!("{}", to_string_pretty(&to_json_schema(ty)));
+fn print_inferred_type(opts: &Opts, ty: &jsonx::core::JType) -> Result<(), CliError> {
+    let text = if opts.has("schema") {
+        to_string_pretty(&to_json_schema(ty))
     } else {
         let popts = if opts.has("counts") {
             PrintOptions::with_counts()
         } else {
             PrintOptions::plain()
         };
-        println!("{}", print_type(ty, popts));
+        print_type(ty, popts)
+    };
+    let mut out = PipeOut::new();
+    for line in text.lines() {
+        if !out.line(line)? {
+            break;
+        }
     }
+    out.finish()
 }
 
 /// The combined single-pass path behind `infer --validate SCHEMA.json`:
@@ -889,10 +1153,11 @@ fn infer_validate_cli(
     fault: Option<FaultOptions>,
     chunked: Option<ChunkCli>,
     csv: bool,
-) -> Result<(), String> {
-    let schema_text =
-        std::fs::read_to_string(schema_path).map_err(|e| format!("reading {schema_path}: {e}"))?;
-    let schema_doc = parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
+) -> Result<(), CliError> {
+    let schema_text = std::fs::read_to_string(schema_path)
+        .map_err(|e| CliError::io(format!("reading {schema_path}: {e}")))?;
+    let schema_doc =
+        parse(&schema_text).map_err(|e| CliError::data(format!("{schema_path}: {e}")))?;
     let schema = CompiledSchema::compile(&schema_doc).map_err(|e| e.to_string())?;
     let vopts = ValidatorOptions::default();
     if csv {
@@ -911,16 +1176,18 @@ fn infer_validate_cli(
         let ((ty, verdicts), report) = infer_validate_streaming_decoded(
             source, decoder, equiv, &schema, vopts, sopts, chunk, fault,
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(stream_err)?;
         let suffix = finish_guarded_run(opts, &report)?;
+        let mut out = PipeOut::new();
         let mut invalid = 0usize;
         for (line_no, verdict) in &verdicts {
             if matches!(verdict, LineVerdict::Invalid) {
                 invalid += 1;
-                println!("doc {line_no}: invalid");
+                out.line(&format!("doc {line_no}: invalid"))?;
             }
         }
-        print_inferred_type(opts, &ty);
+        out.finish()?;
+        print_inferred_type(opts, &ty)?;
         eprintln!(
             "» {}/{} documents valid (combined pass, csv), equivalence {}, type size {} nodes{suffix}",
             verdicts.len() - invalid,
@@ -940,16 +1207,18 @@ fn infer_validate_cli(
         let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
         let ((ty, verdicts), report) =
             infer_validate_streaming_source(source, equiv, &schema, vopts, sopts, chunk, fault)
-                .map_err(|e| e.to_string())?;
+                .map_err(stream_err)?;
         let suffix = finish_guarded_run(opts, &report)?;
+        let mut out = PipeOut::new();
         let mut invalid = 0usize;
         for (line_no, verdict) in &verdicts {
             if matches!(verdict, LineVerdict::Invalid) {
                 invalid += 1;
-                println!("doc {line_no}: invalid");
+                out.line(&format!("doc {line_no}: invalid"))?;
             }
         }
-        print_inferred_type(opts, &ty);
+        out.finish()?;
+        print_inferred_type(opts, &ty)?;
         eprintln!(
             "» {}/{} documents valid (combined pass), equivalence {}, type size {} nodes{suffix}",
             verdicts.len() - invalid,
@@ -964,7 +1233,7 @@ fn infer_validate_cli(
     let (ty, verdicts, suffix) = if let Some(fault) = fault {
         let ((ty, verdicts), report) =
             infer_validate_streaming_guarded(&text, equiv, &schema, vopts, sopts, fault)
-                .map_err(|e| e.to_string())?;
+                .map_err(stream_err)?;
         let suffix = finish_guarded_run(opts, &report)?;
         (ty, verdicts, suffix)
     } else {
@@ -975,6 +1244,7 @@ fn infer_validate_cli(
         (ty, outcome.verdicts, String::new())
     };
     let lines: Vec<&str> = text.lines().collect();
+    let mut out = PipeOut::new();
     let mut invalid = 0usize;
     for (line_no, verdict) in &verdicts {
         if matches!(verdict, LineVerdict::Invalid) {
@@ -982,12 +1252,13 @@ fn infer_validate_cli(
             let doc = parse(lines[*line_no]).expect("combined pass parsed this line");
             if let Err(errors) = schema.validate_with(&doc, vopts) {
                 for e in errors {
-                    println!("doc {line_no}: {e}");
+                    out.line(&format!("doc {line_no}: {e}"))?;
                 }
             }
         }
     }
-    print_inferred_type(opts, &ty);
+    out.finish()?;
+    print_inferred_type(opts, &ty)?;
     eprintln!(
         "» {}/{} documents valid (combined pass), equivalence {}, type size {} nodes{suffix}",
         verdicts.len() - invalid,
@@ -1002,22 +1273,23 @@ fn infer_validate_cli(
 // validate
 // ---------------------------------------------------------------------------
 
-fn cmd_validate(opts: &Opts) -> Result<(), String> {
+fn cmd_validate(opts: &Opts) -> Result<(), CliError> {
     let schema_path = opts
         .get("schema")
-        .ok_or("validate needs --schema SCHEMA.json")?;
-    let schema_text =
-        std::fs::read_to_string(schema_path).map_err(|e| format!("reading {schema_path}: {e}"))?;
-    let schema_doc = parse(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
+        .ok_or_else(|| CliError::usage("validate needs --schema SCHEMA.json"))?;
+    let schema_text = std::fs::read_to_string(schema_path)
+        .map_err(|e| CliError::io(format!("reading {schema_path}: {e}")))?;
+    let schema_doc =
+        parse(&schema_text).map_err(|e| CliError::data(format!("{schema_path}: {e}")))?;
     let schema = CompiledSchema::compile(&schema_doc).map_err(|e| e.to_string())?;
+    // Identifies the schema in a checkpoint journal's header, so a
+    // resume with a different schema is refused instead of mixing
+    // verdicts from two schemas in one output.
+    let schema_tag = jsonx::data::crc32(schema_text.as_bytes());
     let vopts = ValidatorOptions {
         enforce_formats: opts.has("formats"),
     };
-    let workers: Option<usize> = opts
-        .get("workers")
-        .map(str::parse)
-        .transpose()
-        .map_err(|e| format!("bad --workers: {e}"))?;
+    let workers: Option<usize> = parse_flag(opts, "workers")?;
     let fault = fault_options(opts)?;
     let chunked = chunk_cli(opts)?;
     let csv = csv_requested(opts)?;
@@ -1030,21 +1302,24 @@ fn cmd_validate(opts: &Opts) -> Result<(), String> {
             fault,
             chunked,
             csv,
+            schema_tag,
         );
     }
     let docs = read_collection(opts.file.as_deref())?;
+    let mut out = PipeOut::new();
     let mut invalid = 0usize;
     for (i, doc) in docs.iter().enumerate() {
         if let Err(errors) = schema.validate_with(doc, vopts) {
             invalid += 1;
             for e in errors {
-                println!("doc {i}: {e}");
+                out.line(&format!("doc {i}: {e}"))?;
             }
         }
     }
+    out.finish()?;
     eprintln!("» {}/{} documents valid", docs.len() - invalid, docs.len());
     if invalid > 0 {
-        return Err(format!("{invalid} invalid documents"));
+        return Err(CliError::data(format!("{invalid} invalid documents")));
     }
     Ok(())
 }
@@ -1061,7 +1336,9 @@ fn validate_streaming_cli(
     fault: Option<FaultOptions>,
     chunked: Option<ChunkCli>,
     csv: bool,
-) -> Result<(), String> {
+    schema_tag: u32,
+) -> Result<(), CliError> {
+    let checkpoint = checkpoint_cli(opts, &chunked, csv)?;
     if csv {
         // CSV rows are synthesised records with no raw JSON line to
         // re-validate, so invalid documents report line numbers only.
@@ -1077,26 +1354,30 @@ fn validate_streaming_cli(
         let decoder = csv_decoder(&header, &fault)?;
         let (verdicts, report) =
             validate_streaming_decoded(source, decoder, schema, vopts, sopts, chunk, fault)
-                .map_err(|e| e.to_string())?;
+                .map_err(stream_err)?;
         let suffix = finish_guarded_run(opts, &report)?;
+        let mut out = PipeOut::new();
         let mut invalid = 0usize;
         for (line_no, verdict) in &verdicts {
             match verdict {
                 LineVerdict::Valid => {}
                 LineVerdict::Invalid => {
                     invalid += 1;
-                    println!("doc {line_no}: invalid");
+                    out.line(&format!("doc {line_no}: invalid"))?;
                 }
-                LineVerdict::Malformed(e) => return Err(format!("line {}: {e}", line_no + 1)),
+                LineVerdict::Malformed(e) => {
+                    return Err(CliError::data(format!("line {}: {e}", line_no + 1)))
+                }
             }
         }
+        out.finish()?;
         eprintln!(
             "» {}/{} documents valid (streaming csv){suffix}",
             verdicts.len() - invalid,
             verdicts.len()
         );
         if invalid > 0 {
-            return Err(format!("{invalid} invalid documents"));
+            return Err(CliError::data(format!("{invalid} invalid documents")));
         }
         return Ok(());
     }
@@ -1107,30 +1388,50 @@ fn validate_streaming_cli(
         let fault = fault.unwrap_or_default();
         let sopts = StreamingOptions::with_workers(workers);
         let fast = fast_parse_enabled(opts);
-        let mut storage = String::new();
-        let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
-        let (verdicts, report) =
+        let (verdicts, report) = if let Some((journal, resume)) = &checkpoint {
+            let input = input.as_deref().expect("checkpoint_cli verified --input");
+            let ctrl = journal_control(std::path::Path::new(journal), *resume);
+            validate_streaming_journaled(
+                std::path::Path::new(input),
+                schema,
+                vopts,
+                sopts,
+                chunk,
+                fault,
+                fast,
+                schema_tag,
+                &ctrl,
+            )
+            .map_err(stream_err)?
+        } else {
+            let mut storage = String::new();
+            let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
             validate_streaming_source(source, schema, vopts, sopts, chunk, fault, fast)
-                .map_err(|e| e.to_string())?;
+                .map_err(stream_err)?
+        };
         let suffix = finish_guarded_run(opts, &report)?;
+        let mut out = PipeOut::new();
         let mut invalid = 0usize;
         for (line_no, verdict) in &verdicts {
             match verdict {
                 LineVerdict::Valid => {}
                 LineVerdict::Invalid => {
                     invalid += 1;
-                    println!("doc {line_no}: invalid");
+                    out.line(&format!("doc {line_no}: invalid"))?;
                 }
-                LineVerdict::Malformed(e) => return Err(format!("line {}: {e}", line_no + 1)),
+                LineVerdict::Malformed(e) => {
+                    return Err(CliError::data(format!("line {}: {e}", line_no + 1)))
+                }
             }
         }
+        out.finish()?;
         eprintln!(
             "» {}/{} documents valid (streaming){suffix}",
             verdicts.len() - invalid,
             verdicts.len()
         );
         if invalid > 0 {
-            return Err(format!("{invalid} invalid documents"));
+            return Err(CliError::data(format!("{invalid} invalid documents")));
         }
         return Ok(());
     }
@@ -1143,7 +1444,7 @@ fn validate_streaming_cli(
         } else {
             validate_streaming_guarded(&text, schema, vopts, sopts, fault)
         }
-        .map_err(|e| e.to_string())?;
+        .map_err(stream_err)?;
         let suffix = finish_guarded_run(opts, &report)?;
         (verdicts, suffix)
     } else {
@@ -1155,6 +1456,7 @@ fn validate_streaming_cli(
         (verdicts, String::new())
     };
     let lines: Vec<&str> = text.lines().collect();
+    let mut out = PipeOut::new();
     let mut invalid = 0usize;
     for (line_no, verdict) in &verdicts {
         match verdict {
@@ -1164,20 +1466,23 @@ fn validate_streaming_cli(
                 let doc = parse(lines[*line_no]).expect("fail-fast path parsed this line");
                 if let Err(errors) = schema.validate_with(&doc, vopts) {
                     for e in errors {
-                        println!("doc {line_no}: {e}");
+                        out.line(&format!("doc {line_no}: {e}"))?;
                     }
                 }
             }
-            LineVerdict::Malformed(e) => return Err(format!("line {}: {e}", line_no + 1)),
+            LineVerdict::Malformed(e) => {
+                return Err(CliError::data(format!("line {}: {e}", line_no + 1)))
+            }
         }
     }
+    out.finish()?;
     eprintln!(
         "» {}/{} documents valid (streaming){suffix}",
         verdicts.len() - invalid,
         verdicts.len()
     );
     if invalid > 0 {
-        return Err(format!("{invalid} invalid documents"));
+        return Err(CliError::data(format!("{invalid} invalid documents")));
     }
     Ok(())
 }
@@ -1186,29 +1491,34 @@ fn validate_streaming_cli(
 // profile / skeleton / project
 // ---------------------------------------------------------------------------
 
-fn cmd_profile(opts: &Opts) -> Result<(), String> {
+fn cmd_profile(opts: &Opts) -> Result<(), CliError> {
     let docs = read_collection(opts.file.as_deref())?;
     let mut profiler = MongoProfiler::default();
     for d in &docs {
         profiler.observe(d);
     }
-    print!("{}", profiler.report());
+    let mut out = PipeOut::new();
+    for line in profiler.report().lines() {
+        if !out.line(line)? {
+            break;
+        }
+    }
+    out.finish()?;
     eprintln!("» {} documents, {} paths", docs.len(), profiler.size());
     Ok(())
 }
 
-fn cmd_skeleton(opts: &Opts) -> Result<(), String> {
-    let coverage: f64 = opts
-        .get("coverage")
-        .map(str::parse)
-        .transpose()
-        .map_err(|e| format!("bad --coverage: {e}"))?
-        .unwrap_or(0.9);
+fn cmd_skeleton(opts: &Opts) -> Result<(), CliError> {
+    let coverage: f64 = parse_flag(opts, "coverage")?.unwrap_or(0.9);
     let docs = read_collection(opts.file.as_deref())?;
     let sk = Skeleton::mine(&docs, coverage);
+    let mut out = PipeOut::new();
     for (tree, count) in &sk.structures {
-        println!("{count:>8}  {tree}");
+        if !out.line(&format!("{count:>8}  {tree}"))? {
+            break;
+        }
     }
+    out.finish()?;
     let stats = sk.stats();
     eprintln!(
         "» {} structures, {:.1}% coverage, {} queryable paths",
@@ -1219,30 +1529,35 @@ fn cmd_skeleton(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_project(opts: &Opts) -> Result<(), String> {
-    let fields_arg = opts.get("fields").ok_or("project needs --fields a,b.c")?;
+fn cmd_project(opts: &Opts) -> Result<(), CliError> {
+    let fields_arg = opts
+        .get("fields")
+        .ok_or_else(|| CliError::usage("project needs --fields a,b.c"))?;
     let fields: Vec<&str> = fields_arg.split(',').collect();
     let parser = ProjectedParser::new(&fields).map_err(|e| e.to_string())?;
     let docs_text = read_text(opts.file.as_deref())?;
+    let mut out = PipeOut::new();
     for line in docs_text.lines().filter(|l| !l.trim().is_empty()) {
         let projected = parser.parse(line.as_bytes()).map_err(|e| {
             let prefix: String = line.chars().take(60).collect();
             format!("{e} in document starting {prefix}...")
         })?;
-        println!("{}", to_string(&Value::Obj(projected)));
+        if !out.line(&to_string(&Value::Obj(projected)))? {
+            break;
+        }
     }
-    Ok(())
+    out.finish()
 }
 
 // ---------------------------------------------------------------------------
 // convert / translate / cat
 // ---------------------------------------------------------------------------
 
-fn cmd_convert(opts: &Opts) -> Result<(), String> {
+fn cmd_convert(opts: &Opts) -> Result<(), CliError> {
     let target = opts
         .get("to")
-        .ok_or("convert needs --to avro|columnar|relational")?;
-    let sink = OutputSink::for_target(target, opts.get("out"))?;
+        .ok_or_else(|| CliError::usage("convert needs --to avro|columnar|relational"))?;
+    let sink = OutputSink::for_target(target, opts.get("out")).map_err(CliError::Usage)?;
     let docs = read_collection(opts.file.as_deref())?;
     convert_collection(&sink, &docs)
 }
@@ -1256,22 +1571,19 @@ fn cmd_convert(opts: &Opts) -> Result<(), String> {
 /// for the CSV front-end on the same engine; `--out FILE` persists the
 /// batch as binary `.jxc`. Other targets fall back to the DOM path
 /// shared with `convert`.
-fn cmd_translate(opts: &Opts) -> Result<(), String> {
+fn cmd_translate(opts: &Opts) -> Result<(), CliError> {
     let target = opts.get("to").unwrap_or("columnar");
-    let sink = OutputSink::for_target(target, opts.get("out"))?;
-    let workers: Option<usize> = opts
-        .get("workers")
-        .map(str::parse)
-        .transpose()
-        .map_err(|e| format!("bad --workers: {e}"))?;
+    let sink = OutputSink::for_target(target, opts.get("out")).map_err(CliError::Usage)?;
+    let workers: Option<usize> = parse_flag(opts, "workers")?;
     let fault = fault_options(opts)?;
     let chunked = chunk_cli(opts)?;
     let csv = csv_requested(opts)?;
+    let checkpoint = checkpoint_cli(opts, &chunked, csv)?;
     let streaming = opts.streaming_requested();
     if streaming && !sink.wants_batch() {
-        return Err(format!(
+        return Err(CliError::usage(format!(
             "--streaming supports only columnar, not '{target}'"
-        ));
+        )));
     }
     if !streaming {
         let docs = read_collection(opts.file.as_deref())?;
@@ -1286,11 +1598,10 @@ fn cmd_translate(opts: &Opts) -> Result<(), String> {
             None => (None, ChunkOptions::default()),
         };
         if input.as_deref() == Some("-") {
-            return Err(
+            return Err(CliError::usage(
                 "translate needs two passes over the corpus; --input - (stdin) cannot be \
-                 re-read — pass a regular file"
-                    .into(),
-            );
+                 re-read — pass a regular file",
+            ));
         }
         let fault = fault.unwrap_or_default();
         let mut storage = String::new();
@@ -1305,7 +1616,7 @@ fn cmd_translate(opts: &Opts) -> Result<(), String> {
             chunk,
             fault,
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(stream_err)?;
         let shredder = Shredder::from_type(&ty);
         let source = match input.as_deref() {
             Some(path) => StreamSource::Reader(open_input(path)?),
@@ -1314,7 +1625,7 @@ fn cmd_translate(opts: &Opts) -> Result<(), String> {
         let (_, source) = peel_csv_header(source)?;
         let (batch, report) =
             translate_streaming_decoded(source, decoder, &shredder, sopts, chunk, fault)
-                .map_err(|e| e.to_string())?;
+                .map_err(stream_err)?;
         let suffix = finish_guarded_run(opts, &report)?;
         let out = sink.consume_batch(&batch)?;
         println!("{}", out.body);
@@ -1326,17 +1637,39 @@ fn cmd_translate(opts: &Opts) -> Result<(), String> {
         // out-of-core mode re-opens `--input` so neither pass
         // materialises it. Stdin can't be rewound for the second pass.
         if input.as_deref() == Some("-") {
-            return Err(
+            return Err(CliError::usage(
                 "translate needs two passes over the corpus; --input - (stdin) cannot be \
-                 re-read — pass a regular file"
-                    .into(),
-            );
+                 re-read — pass a regular file",
+            ));
+        }
+        if let Some((journal, resume)) = &checkpoint {
+            // Journaled translation: both passes commit into one journal
+            // (the inferred type is sealed between them), so a resume
+            // lands in whichever phase the run died in.
+            let input = input.as_deref().expect("checkpoint_cli verified --input");
+            let fault = fault.unwrap_or_default();
+            let ctrl = journal_control(std::path::Path::new(journal), *resume);
+            let (_ty, batch, report) = translate_streaming_journaled(
+                std::path::Path::new(input),
+                Equivalence::Kind,
+                sopts,
+                chunk,
+                fault,
+                fast_parse_enabled(opts),
+                &ctrl,
+            )
+            .map_err(stream_err)?;
+            let suffix = finish_guarded_run(opts, &report)?;
+            let out = sink.consume_batch(&batch)?;
+            println!("{}", out.body);
+            eprintln!("» {} (streaming){suffix}", out.summary);
+            return Ok(());
         }
         let fault = fault.unwrap_or_default();
         let mut storage = String::new();
         let source = open_source(input.as_deref(), opts.file.as_deref(), &mut storage)?;
         let (ty, _) = infer_streaming_source(source, Equivalence::Kind, sopts, chunk, fault)
-            .map_err(|e| e.to_string())?;
+            .map_err(stream_err)?;
         let shredder = Shredder::from_type(&ty);
         let source = match input.as_deref() {
             Some(path) => StreamSource::Reader(open_input(path)?),
@@ -1350,7 +1683,7 @@ fn cmd_translate(opts: &Opts) -> Result<(), String> {
             fault,
             fast_parse_enabled(opts),
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(stream_err)?;
         let suffix = finish_guarded_run(opts, &report)?;
         let out = sink.consume_batch(&batch)?;
         println!("{}", out.body);
@@ -1362,15 +1695,15 @@ fn cmd_translate(opts: &Opts) -> Result<(), String> {
         // Both passes run under the same policy: a record the typer
         // rejected is rejected again (and quarantined) by the shredding
         // pass, so the sidecar reflects what the batch actually dropped.
-        let (ty, _) = infer_streaming_guarded(&text, Equivalence::Kind, sopts, fault)
-            .map_err(|e| e.to_string())?;
+        let (ty, _) =
+            infer_streaming_guarded(&text, Equivalence::Kind, sopts, fault).map_err(stream_err)?;
         let shredder = Shredder::from_type(&ty);
         let (batch, report) = if fast_parse_enabled(opts) {
             translate_streaming_guarded_fast(&text, &shredder, sopts, fault)
         } else {
             translate_streaming_guarded(&text, &shredder, sopts, fault)
         }
-        .map_err(|e| e.to_string())?;
+        .map_err(stream_err)?;
         let suffix = finish_guarded_run(opts, &report)?;
         let out = sink.consume_batch(&batch)?;
         println!("{}", out.body);
@@ -1394,7 +1727,7 @@ fn cmd_translate(opts: &Opts) -> Result<(), String> {
 
 /// The DOM translation path shared by `convert` and non-streaming
 /// `translate`: infer, hand the collection to the sink, print its report.
-fn convert_collection(sink: &OutputSink, docs: &[Value]) -> Result<(), String> {
+fn convert_collection(sink: &OutputSink, docs: &[Value]) -> Result<(), CliError> {
     let ty = infer_collection(docs, Equivalence::Kind);
     let report = sink.consume(&ty, docs)?;
     if !report.body.is_empty() {
@@ -1409,27 +1742,30 @@ fn convert_collection(sink: &OutputSink, docs: &[Value]) -> Result<(), String> {
 /// `jsonx cat FILE.jxc`: schema and rows on stdout, per-column encoding
 /// summary on stderr. `--flatten` cross-joins list columns into flat
 /// rows; `--head N` bounds the rows shown.
-fn cmd_cat(opts: &Opts) -> Result<(), String> {
+fn cmd_cat(opts: &Opts) -> Result<(), CliError> {
+    use jsonx::translate::JxcError;
     let path = opts
         .file
         .as_deref()
-        .ok_or("cat needs a FILE.jxc argument")?;
-    let head: usize = opts
-        .get("head")
-        .map(str::parse)
-        .transpose()
-        .map_err(|e| format!("bad --head: {e}"))?
-        .unwrap_or(10);
-    let file = read_jxc_file(std::path::Path::new(path)).map_err(|e| e.to_string())?;
-    println!("{}", file.batch.schema_string());
+        .ok_or_else(|| CliError::usage("cat needs a FILE.jxc argument"))?;
+    let head: usize = parse_flag(opts, "head")?.unwrap_or(10);
+    let file = read_jxc_file(std::path::Path::new(path)).map_err(|e| match e {
+        JxcError::Io(_) => CliError::io(e.to_string()),
+        _ => CliError::data(e.to_string()),
+    })?;
+    let mut out = PipeOut::new();
+    out.line(&file.batch.schema_string())?;
     let rows = if opts.has("flatten") {
         flatten_rows(&file, head)
     } else {
         rows_as_values(&file.batch, head)
     };
     for row in &rows {
-        println!("{}", to_string(row));
+        if !out.line(&to_string(row))? {
+            break;
+        }
     }
+    out.finish()?;
     for info in &file.columns {
         let detail = match (info.dict_len, info.list_items) {
             (Some(d), Some(items)) => format!(" ({items} items, dict {d})"),
@@ -1460,25 +1796,18 @@ fn cmd_cat(opts: &Opts) -> Result<(), String> {
 // serve
 // ---------------------------------------------------------------------------
 
-fn cmd_serve(opts: &Opts) -> Result<(), String> {
+fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
     use jsonx::serve::{ServeConfig, Server};
     if opts.file.is_some() {
-        return Err("serve takes no FILE argument (payloads arrive over the socket)".to_string());
-    }
-    fn parsed<T: std::str::FromStr>(opts: &Opts, name: &str) -> Result<Option<T>, String>
-    where
-        T::Err: std::fmt::Display,
-    {
-        opts.get(name)
-            .map(str::parse)
-            .transpose()
-            .map_err(|e| format!("bad --{name}: {e}"))
+        return Err(CliError::usage(
+            "serve takes no FILE argument (payloads arrive over the socket)",
+        ));
     }
     let mut limits = ParseLimits::new();
-    if let Some(depth) = parsed(opts, "max-depth")? {
+    if let Some(depth) = parse_flag(opts, "max-depth")? {
         limits = limits.with_max_depth(depth);
     }
-    if let Some(bytes) = parsed(opts, "max-line-bytes")? {
+    if let Some(bytes) = parse_flag(opts, "max-line-bytes")? {
         limits = limits.with_max_input_bytes(bytes);
     }
     let mut config = ServeConfig {
@@ -1488,36 +1817,35 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         debug_faults: opts.has("debug-faults"),
         ..ServeConfig::default()
     };
-    if let Some(depth) = parsed(opts, "queue-depth")? {
+    if let Some(depth) = parse_flag(opts, "queue-depth")? {
         config.queue_depth = depth;
     }
-    if let Some(ms) = parsed::<u64>(opts, "deadline-ms")? {
+    if let Some(ms) = parse_flag::<u64>(opts, "deadline-ms")? {
         config.deadline = Some(std::time::Duration::from_millis(ms));
     }
-    if let Some(n) = parsed(opts, "max-conns")? {
+    if let Some(n) = parse_flag(opts, "max-conns")? {
         config.max_conns = n;
     }
-    if let Some(n) = parsed(opts, "workers")? {
+    if let Some(n) = parse_flag(opts, "workers")? {
         config.workers = n;
     }
-    if let Some(ms) = parsed::<u64>(opts, "frame-budget-ms")? {
+    if let Some(ms) = parse_flag::<u64>(opts, "frame-budget-ms")? {
         config.frame_budget = std::time::Duration::from_millis(ms);
     }
-    let server = Server::bind(config).map_err(|e| e.to_string())?;
+    let server = Server::bind(config).map_err(|e| CliError::io(e.to_string()))?;
     let addr = server
         .local_addr()
-        .ok_or("could not determine listen address")?;
+        .ok_or_else(|| CliError::io("could not determine listen address"))?;
     // The harness and the CI gate scrape this line, so flush it past any
     // pipe buffering before blocking in the accept loop.
     println!("listening on {addr}");
-    use std::io::Write as _;
     let _ = std::io::stdout().flush();
     let report = server.run();
     eprintln!("{}", report.to_json_line());
     if report.reconciled() {
         Ok(())
     } else {
-        Err("final report failed reconciliation".to_string())
+        Err(CliError::data("final report failed reconciliation"))
     }
 }
 
@@ -1525,7 +1853,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
 // query
 // ---------------------------------------------------------------------------
 
-fn cmd_query(opts: &Opts) -> Result<(), String> {
+fn cmd_query(opts: &Opts) -> Result<(), CliError> {
     use jsonx::jaql::{expr, infer_output_type, Pipeline};
     let mut q = Pipeline::new();
     if let Some(path) = opts.get("where-exists") {
@@ -1544,8 +1872,7 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
             .collect();
         q = q.transform(expr::record(fields));
     }
-    if let Some(n) = opts.get("top") {
-        let n: usize = n.parse().map_err(|e| format!("bad --top: {e}"))?;
+    if let Some(n) = parse_flag::<usize>(opts, "top")? {
         q = q.top(n);
     }
     let docs = read_collection(opts.file.as_deref())?;
@@ -1557,8 +1884,11 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         "» inferred output type: {}",
         print_type(&output_ty, PrintOptions::plain())
     );
+    let mut out = PipeOut::new();
     for row in q.eval(&docs) {
-        println!("{}", to_string(&row));
+        if !out.line(&to_string(&row))? {
+            break;
+        }
     }
-    Ok(())
+    out.finish()
 }

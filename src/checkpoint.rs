@@ -1,0 +1,1092 @@
+//! Crash-safe journaled runs: durable chunk-commit journals and
+//! `--resume` for the out-of-core streaming stages.
+//!
+//! A journaled run writes one CRC-framed, fsync'd record per committed
+//! chunk to a [journal](jsonx_pipeline::JournalWriter) *before* the
+//! chunk's result is fused — and chunks commit strictly in input order
+//! (see [`ChunkJournal`]). Because chunk boundaries depend only on the
+//! byte stream and the chunk-size target (never on worker count or
+//! scheduling), the journal is a durable, deterministic prefix of the
+//! run: after a crash, a signal, or an operator stop, rerunning with the
+//! same journal skips every committed chunk, seeks the input to the
+//! first uncommitted byte, and merges fresh tail results onto the
+//! decoded prefix. The final output is byte-identical to an
+//! uninterrupted run at any worker count.
+//!
+//! What goes in a journal record is the chunk's **entire observable
+//! effect**: the stage output (an inferred [`JType`], a verdict vector,
+//! a columnar batch), the record count, and the full rejection account
+//! (including raw quarantined lines when the run keeps them). Final
+//! artifacts — stdout verdicts, the quarantine sidecar, the `.jxc` file
+//! — are only written at end-of-run, exactly like an unjournaled run,
+//! so the journal is the *only* durable state a resume needs.
+//!
+//! Torn tails are expected, not fatal: [`read_journal`] stops at the
+//! first incomplete or CRC-failing record, and the resume path truncates
+//! the file back to the intact prefix before appending
+//! ([`JournalWriter::resume`]). A record damaged *before* the tail — or
+//! a header that does not match the current invocation — means the
+//! journal belongs to a different run (input replaced, options changed,
+//! incompatible version) and the resume refuses instead of guessing.
+//!
+//! Translation journals both of its passes into one file, phase-tagged,
+//! with a `type` marker record sealing phase 1 — so a kill during either
+//! pass resumes precisely, and the shred layout is reconstructed from
+//! the journal rather than re-inferred.
+
+use crate::fastpath::{FastJsonDecoder, FastPlan};
+use crate::streaming::{
+    seal_stage_outcome, FaultFold, FaultOptions, InferStage, LineVerdict, RecordStage, ShardYield,
+    StreamError, StreamingOptions, TranslateStage, ValidateStage,
+};
+use jsonx_core::{parse_type, print_type, Equivalence, JType, PrintOptions};
+use jsonx_data::{Number, Object, Value};
+use jsonx_pipeline::{
+    read_journal, run_source_controlled, ChunkJournal, ChunkMeta, ChunkOptions, ErrorSummary,
+    JournalWriter, ReaderChunks, RecordDiagnostic, RunControl, RunReport, DEFAULT_CHUNK_BYTES,
+};
+use jsonx_schema::{CompiledSchema, ValidatorOptions};
+use jsonx_syntax::parse;
+use jsonx_translate::{read_jxc, write_jxc, ColumnarBatch, Shredder};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufReader, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Journal format version — bumped whenever record shapes change, so a
+/// stale journal refuses cleanly instead of decoding garbage.
+const JOURNAL_VERSION: i64 = 1;
+
+/// How a journaled entry point finds its journal and reacts to stop
+/// requests.
+pub struct JournalControl<'a> {
+    /// Path of the journal file.
+    pub journal: &'a Path,
+    /// `false` starts a fresh run (truncating any prior journal); `true`
+    /// resumes from the journal's committed prefix.
+    pub resume: bool,
+    /// Graceful-stop latch: when set (signal handler, operator), workers
+    /// stop claiming chunks, drain in-flight work, and the run returns
+    /// [`StreamError::Interrupted`] with everything committed so far
+    /// durable in the journal.
+    pub stop: Option<&'a AtomicBool>,
+    /// Called after each journal commit with the running commit count —
+    /// the crash/stop injection hook the kill-and-resume harness uses.
+    pub after_commit: Option<Arc<dyn Fn(u64) + Send + Sync>>,
+}
+
+impl<'a> JournalControl<'a> {
+    /// A control with just a journal path: fresh run, no stop latch.
+    pub fn new(journal: &'a Path) -> Self {
+        JournalControl {
+            journal,
+            resume: false,
+            stop: None,
+            after_commit: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON codec plumbing
+// ---------------------------------------------------------------------------
+
+fn s(text: impl Into<String>) -> Value {
+    Value::Str(text.into())
+}
+
+fn num(n: usize) -> Value {
+    Value::Num(Number::Int(n as i64))
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    let mut o = Object::new();
+    for (k, v) in entries {
+        o.insert(k, v);
+    }
+    Value::Obj(o)
+}
+
+fn get_usize(v: &Value, key: &str) -> Option<usize> {
+    let n = v.get(key)?.as_i64()?;
+    usize::try_from(n).ok()
+}
+
+fn get_str<'v>(v: &'v Value, key: &str) -> Option<&'v str> {
+    v.get(key)?.as_str()
+}
+
+/// Re-interns a diagnostic kind label read back from a journal.
+///
+/// [`RecordDiagnostic::kind`] is `&'static str` in memory; labels are a
+/// small closed set (one per error kind), so leaking each distinct label
+/// once on resume is bounded and keeps the report types unchanged.
+fn intern_kind(kind: &str) -> &'static str {
+    static CACHE: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap();
+    if let Some(interned) = cache.get(kind) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(kind.to_string().into_boxed_str());
+    cache.insert(kind.to_string(), leaked);
+    leaked
+}
+
+fn encode_errors(e: &ErrorSummary) -> Value {
+    let kinds = e
+        .by_kind
+        .iter()
+        .map(|(k, n)| Value::Arr(vec![s(*k), num(*n)]))
+        .collect();
+    let rejects = e
+        .rejects
+        .iter()
+        .map(|d| {
+            obj(vec![
+                ("record", num(d.record)),
+                ("offset", num(d.offset)),
+                ("kind", s(d.kind)),
+                ("message", s(d.message.clone())),
+                ("raw", d.raw.clone().map(Value::Str).unwrap_or(Value::Null)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("total", num(e.total)),
+        ("dropped", num(e.dropped)),
+        ("kinds", Value::Arr(kinds)),
+        ("rejects", Value::Arr(rejects)),
+    ])
+}
+
+fn decode_errors(v: &Value) -> Option<ErrorSummary> {
+    let mut by_kind = BTreeMap::new();
+    for pair in v.get("kinds")?.as_array()? {
+        let kind = pair.get_index(0)?.as_str()?;
+        let n = usize::try_from(pair.get_index(1)?.as_i64()?).ok()?;
+        by_kind.insert(intern_kind(kind), n);
+    }
+    let mut rejects = Vec::new();
+    for d in v.get("rejects")?.as_array()? {
+        rejects.push(RecordDiagnostic {
+            record: get_usize(d, "record")?,
+            offset: get_usize(d, "offset")?,
+            kind: intern_kind(get_str(d, "kind")?),
+            message: get_str(d, "message")?.to_string(),
+            raw: match d.get("raw")? {
+                Value::Null => None,
+                raw => Some(raw.as_str()?.to_string()),
+            },
+        });
+    }
+    Some(ErrorSummary {
+        total: get_usize(v, "total")?,
+        by_kind,
+        rejects,
+        dropped: get_usize(v, "dropped")?,
+    })
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Option<Vec<u8>> {
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(text.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+/// How one stage output round-trips through a journal record. Plain
+/// function pointers so the commit closure handed to [`ChunkJournal`]
+/// stays `'static` without capturing borrowed stage state.
+struct OutCodec<T> {
+    encode: fn(&T) -> Option<Value>,
+    decode: fn(&Value) -> Option<T>,
+}
+
+fn infer_codec() -> OutCodec<JType> {
+    OutCodec {
+        // The counting printer/parser round-trip is exact (pinned by
+        // `counting_round_trip_exact`), so the journaled prefix fuses to
+        // the same type the live run computed.
+        encode: |ty| Some(s(print_type(ty, PrintOptions::with_counts()))),
+        decode: |v| parse_type(v.as_str()?).ok(),
+    }
+}
+
+fn validate_codec() -> OutCodec<Vec<(usize, LineVerdict)>> {
+    OutCodec {
+        encode: |verdicts| {
+            let mut rows = Vec::with_capacity(verdicts.len());
+            for (record, verdict) in verdicts {
+                let flag = match verdict {
+                    LineVerdict::Valid => 1,
+                    LineVerdict::Invalid => 0,
+                    // Guarded source runs reject malformed lines to the
+                    // fault layer instead of recording inline verdicts,
+                    // so this arm is unreachable on the journaled path —
+                    // refuse to commit rather than journal a lie.
+                    LineVerdict::Malformed(_) => return None,
+                };
+                rows.push(Value::Arr(vec![num(*record), num(flag)]));
+            }
+            Some(Value::Arr(rows))
+        },
+        decode: |v| {
+            let mut verdicts = Vec::new();
+            for row in v.as_array()? {
+                let record = usize::try_from(row.get_index(0)?.as_i64()?).ok()?;
+                let verdict = match row.get_index(1)?.as_i64()? {
+                    1 => LineVerdict::Valid,
+                    0 => LineVerdict::Invalid,
+                    _ => return None,
+                };
+                verdicts.push((record, verdict));
+            }
+            Some(verdicts)
+        },
+    }
+}
+
+fn translate_codec() -> OutCodec<ColumnarBatch> {
+    OutCodec {
+        // A chunk's batch is journaled as its checksummed `.jxc` image;
+        // decoding reconstructs the identical batch (layout included),
+        // and batches append in seq order exactly like live merging.
+        encode: |batch| Some(s(hex_encode(&write_jxc(batch)))),
+        decode: |v| {
+            let bytes = hex_decode(v.as_str()?)?;
+            read_jxc(&bytes).ok().map(|file| file.batch)
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal session: header validation, prefix decoding
+// ---------------------------------------------------------------------------
+
+fn header_record(stage: &str, chunk_bytes: usize, input_bytes: u64, config: &str) -> Value {
+    obj(vec![
+        ("kind", s("header")),
+        ("v", Value::Num(Number::Int(JOURNAL_VERSION))),
+        ("stage", s(stage)),
+        ("chunk_bytes", num(chunk_bytes)),
+        ("input_bytes", num(input_bytes as usize)),
+        ("config", s(config)),
+    ])
+}
+
+fn input_err(e: impl std::fmt::Display) -> StreamError {
+    StreamError::Input(e.to_string())
+}
+
+fn journal_err(context: &str, e: impl std::fmt::Display) -> StreamError {
+    StreamError::Input(format!("checkpoint journal: {context}: {e}"))
+}
+
+/// Opens the journal for this run: fresh runs truncate and write the
+/// header; resumes read the intact prefix back, verify the header
+/// matches this invocation, cut any torn tail, and return the committed
+/// records for replay.
+fn open_session(
+    ctrl: &JournalControl<'_>,
+    header: Value,
+) -> Result<(JournalWriter, Vec<Value>), StreamError> {
+    let path = ctrl.journal;
+    if !ctrl.resume {
+        let mut writer =
+            JournalWriter::create(path).map_err(|e| journal_err(&path.display().to_string(), e))?;
+        writer
+            .append(&header.to_json_string())
+            .map_err(|e| journal_err("writing header", e))?;
+        return Ok((writer, Vec::new()));
+    }
+    let read = read_journal(path).map_err(|e| {
+        StreamError::Input(format!(
+            "--resume: cannot read checkpoint journal {}: {e}",
+            path.display()
+        ))
+    })?;
+    let mut records = Vec::with_capacity(read.records.len());
+    for (idx, line) in read.records.iter().enumerate() {
+        let value = parse(line).map_err(|e| {
+            journal_err(
+                &format!("record {idx} is framed correctly but is not JSON"),
+                e,
+            )
+        })?;
+        records.push(value);
+    }
+    let mut writer = JournalWriter::resume(path, read.valid_bytes)
+        .map_err(|e| journal_err("truncating torn tail", e))?;
+    match records.first() {
+        // A journal that died before its header committed holds no
+        // progress; restart it as a fresh run.
+        None => {
+            writer
+                .append(&header.to_json_string())
+                .map_err(|e| journal_err("writing header", e))?;
+            Ok((writer, Vec::new()))
+        }
+        Some(found) if *found == header => {
+            records.remove(0);
+            Ok((writer, records))
+        }
+        Some(found) => Err(StreamError::Input(format!(
+            "--resume: checkpoint journal {} was written by a different run \
+             (expected header {header}, found {found}); \
+             pass a fresh --checkpoint path or drop --resume",
+            path.display()
+        ))),
+    }
+}
+
+fn phase_chunks(records: &[Value], phase: usize) -> Vec<&Value> {
+    records
+        .iter()
+        .filter(|r| {
+            r.get("kind").and_then(Value::as_str) == Some("chunk")
+                && r.get("phase").and_then(Value::as_i64) == Some(phase as i64)
+        })
+        .collect()
+}
+
+fn type_marker(records: &[Value]) -> Option<&str> {
+    records
+        .iter()
+        .find(|r| r.get("kind").and_then(Value::as_str) == Some("type"))
+        .and_then(|r| r.get("type"))
+        .and_then(Value::as_str)
+}
+
+fn encode_chunk_record<T>(
+    phase: usize,
+    encode: fn(&T) -> Option<Value>,
+    meta: &ChunkMeta,
+    y: &ShardYield<T>,
+) -> Option<String> {
+    // A halted chunk stopped feeding mid-way; its partial output must
+    // never become durable. Returning `None` latches the committer, so
+    // nothing after this chunk commits either.
+    if y.halt.is_some() {
+        return None;
+    }
+    let out = encode(&y.out)?;
+    Some(
+        obj(vec![
+            ("kind", s("chunk")),
+            ("phase", num(phase)),
+            ("seq", num(meta.seq)),
+            ("first", num(meta.first_line)),
+            ("lines", num(meta.lines)),
+            ("bytes", num(meta.bytes)),
+            ("records", num(y.records)),
+            ("errors", encode_errors(&y.errors)),
+            ("out", out),
+        ])
+        .to_json_string(),
+    )
+}
+
+struct DecodedChunk<T> {
+    seq: usize,
+    first_line: usize,
+    lines: usize,
+    bytes: usize,
+    records: usize,
+    errors: ErrorSummary,
+    out: T,
+}
+
+fn decode_chunk_record<T>(
+    value: &Value,
+    decode: fn(&Value) -> Option<T>,
+) -> Option<DecodedChunk<T>> {
+    Some(DecodedChunk {
+        seq: get_usize(value, "seq")?,
+        first_line: get_usize(value, "first")?,
+        lines: get_usize(value, "lines")?,
+        bytes: get_usize(value, "bytes")?,
+        records: get_usize(value, "records")?,
+        errors: decode_errors(value.get("errors")?)?,
+        out: decode(value.get("out")?)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The journaled runner
+// ---------------------------------------------------------------------------
+
+fn effective_chunk_bytes(chunk: &ChunkOptions) -> usize {
+    if chunk.chunk_bytes > 0 {
+        chunk.chunk_bytes
+    } else {
+        DEFAULT_CHUNK_BYTES
+    }
+}
+
+fn input_len(input: &Path) -> Result<u64, StreamError> {
+    std::fs::metadata(input)
+        .map(|m| m.len())
+        .map_err(|e| StreamError::Input(format!("{}: {e}", input.display())))
+}
+
+/// Runs one stage pass with chunk commits journaled: decodes the
+/// committed prefix, seeks the input past it, streams the tail through
+/// the engine with the journal as commit sink, and fuses prefix + tail
+/// into the same `(out, report)` contract the unjournaled entry points
+/// return. Interruption surfaces as [`StreamError::Interrupted`] *after*
+/// data-level failures, which a resume would deterministically re-hit.
+#[allow(clippy::too_many_arguments)]
+fn run_phase<S: RecordStage>(
+    input: &Path,
+    stage: &S,
+    opts: StreamingOptions,
+    chunk: ChunkOptions,
+    fault: FaultOptions,
+    codec: OutCodec<S::Out>,
+    phase: usize,
+    committed: &[&Value],
+    writer: JournalWriter,
+    ctrl: &JournalControl<'_>,
+) -> Result<(S::Out, RunReport, JournalWriter), StreamError>
+where
+    S::Out: 'static,
+{
+    let fold = FaultFold::new(stage, fault);
+    let cap = fold.retention_cap();
+
+    // Replay the committed prefix: fold chunk outputs in seq order with
+    // the stage's own merge — the same fusion the live run applied.
+    let mut prefix_out: Option<S::Out> = None;
+    let mut bytes = 0u64;
+    let mut lines = 0usize;
+    let mut records = 0usize;
+    let mut errors = ErrorSummary::new();
+    for (idx, rec) in committed.iter().enumerate() {
+        let c = decode_chunk_record(rec, codec.decode).ok_or_else(|| {
+            StreamError::Input(format!(
+                "checkpoint journal: committed chunk record {idx} cannot be decoded \
+                 (incompatible journal version?)"
+            ))
+        })?;
+        if c.seq != idx || c.first_line != lines {
+            return Err(StreamError::Input(format!(
+                "checkpoint journal: committed chunks are not contiguous at record {idx}"
+            )));
+        }
+        bytes += c.bytes as u64;
+        lines += c.lines;
+        records += c.records;
+        errors.merge(c.errors, cap);
+        prefix_out = Some(match prefix_out.take() {
+            Some(acc) => stage.merge(acc, c.out),
+            None => c.out,
+        });
+    }
+    let resumed_chunks = committed.len();
+
+    // Chunk boundaries depend only on bytes and the chunk target, so
+    // seeking to the committed byte total lands exactly on the first
+    // uncommitted chunk's first byte.
+    let mut file =
+        File::open(input).map_err(|e| StreamError::Input(format!("{}: {e}", input.display())))?;
+    if bytes > 0 {
+        file.seek(SeekFrom::Start(bytes)).map_err(input_err)?;
+    }
+    let workers = opts.effective_workers().max(1);
+    let target = effective_chunk_bytes(&chunk);
+    let ring = if chunk.ring > 0 { chunk.ring } else { workers };
+    let source =
+        ReaderChunks::with_offset(BufReader::new(file), target, ring, resumed_chunks, lines);
+
+    let enc = codec.encode;
+    let journal = ChunkJournal::new(writer, resumed_chunks, move |meta: &ChunkMeta, y| {
+        encode_chunk_record(phase, enc, meta, y)
+    });
+    let journal = match &ctrl.after_commit {
+        Some(hook) => {
+            let hook = hook.clone();
+            journal.with_after_commit(move |n| hook(n))
+        }
+        None => journal,
+    };
+    let control = RunControl {
+        sink: Some(&journal),
+        stop: ctrl.stop,
+    };
+    let outcome =
+        run_source_controlled(&source, &fold, workers, chunk.timing, control).map_err(input_err)?;
+    let (writer, _committed_now) = journal
+        .finish()
+        .map_err(|e| journal_err("commit failed", e))?;
+
+    let tail = outcome.out;
+    errors.merge(tail.errors, cap);
+    let out = match prefix_out {
+        Some(prefix) => stage.merge(prefix, tail.out),
+        None => tail.out,
+    };
+    let report = RunReport {
+        records: records + tail.records,
+        shards: resumed_chunks + outcome.shards,
+        errors,
+        poisoned: outcome.poisoned,
+        timings: outcome.timings,
+    };
+    let (out, report) = seal_stage_outcome(out, tail.halt, report, fault)?;
+    if outcome.interrupted {
+        return Err(StreamError::Interrupted);
+    }
+    Ok((out, report, writer))
+}
+
+// ---------------------------------------------------------------------------
+// Public journaled entry points
+// ---------------------------------------------------------------------------
+
+/// Journaled out-of-core streaming inference over an NDJSON file.
+///
+/// Semantics (type, report, errors) are identical to
+/// [`infer_streaming_source`](crate::infer_streaming_source) on the same
+/// file; additionally every committed chunk is durable in
+/// `ctrl.journal`, and with `ctrl.resume` the run continues from the
+/// last committed chunk instead of starting over.
+pub fn infer_streaming_journaled(
+    input: &Path,
+    equiv: Equivalence,
+    opts: StreamingOptions,
+    chunk: ChunkOptions,
+    fault: FaultOptions,
+    ctrl: &JournalControl<'_>,
+) -> Result<(JType, RunReport), StreamError> {
+    let header = header_record(
+        "infer",
+        effective_chunk_bytes(&chunk),
+        input_len(input)?,
+        &format!("equiv={equiv:?} fault={fault:?}"),
+    );
+    let (writer, committed) = open_session(ctrl, header)?;
+    let stage = InferStage {
+        equiv,
+        decoder: jsonx_syntax::JsonDecoder::new().with_limits(fault.limits),
+    };
+    let prefix = phase_chunks(&committed, 1);
+    let (ty, report, _writer) = run_phase(
+        input,
+        &stage,
+        opts,
+        chunk,
+        fault,
+        infer_codec(),
+        1,
+        &prefix,
+        writer,
+        ctrl,
+    )?;
+    Ok((ty, report))
+}
+
+/// Journaled out-of-core streaming validation over an NDJSON file.
+///
+/// Verdicts, reports and errors are identical to
+/// [`validate_streaming_source`](crate::validate_streaming_source) on
+/// the same file (malformed records go to the fault layer, never into
+/// the verdict vector); commits and resume behave as in
+/// [`infer_streaming_journaled`]. `schema_tag` is a caller-computed
+/// fingerprint of the schema text, baked into the journal header so a
+/// resume against a different schema refuses.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_streaming_journaled(
+    input: &Path,
+    schema: &CompiledSchema,
+    options: ValidatorOptions,
+    opts: StreamingOptions,
+    chunk: ChunkOptions,
+    fault: FaultOptions,
+    fast: bool,
+    schema_tag: u32,
+    ctrl: &JournalControl<'_>,
+) -> Result<(Vec<(usize, LineVerdict)>, RunReport), StreamError> {
+    let header = header_record(
+        "validate",
+        effective_chunk_bytes(&chunk),
+        input_len(input)?,
+        // `fast` is deliberately absent: the fast path is
+        // verdict-identical, so a resume may toggle it freely.
+        &format!("schema={schema_tag:08x} options={options:?} fault={fault:?}"),
+    );
+    let (writer, committed) = open_session(ctrl, header)?;
+    let stage = ValidateStage {
+        schema,
+        options,
+        malformed_verdicts: false,
+        decoder: FastJsonDecoder::new(
+            if fast {
+                FastPlan::for_validation(schema, &fault.limits)
+            } else {
+                None
+            },
+            fault.limits,
+        ),
+    };
+    let prefix = phase_chunks(&committed, 1);
+    let (verdicts, report, _writer) = run_phase(
+        input,
+        &stage,
+        opts,
+        chunk,
+        fault,
+        validate_codec(),
+        1,
+        &prefix,
+        writer,
+        ctrl,
+    )?;
+    Ok((verdicts, report))
+}
+
+/// Journaled out-of-core translation over an NDJSON file: the inference
+/// pass and the shredding pass journal into **one** file, phase-tagged,
+/// with a `type` marker sealing phase 1.
+///
+/// A kill during inference resumes inference; a kill during shredding
+/// reconstructs the layout from the marker (no re-inference) and
+/// resumes shredding. The returned report covers the translate pass,
+/// matching the unjournaled CLI behaviour.
+pub fn translate_streaming_journaled(
+    input: &Path,
+    equiv: Equivalence,
+    opts: StreamingOptions,
+    chunk: ChunkOptions,
+    fault: FaultOptions,
+    fast: bool,
+    ctrl: &JournalControl<'_>,
+) -> Result<(JType, ColumnarBatch, RunReport), StreamError> {
+    let header = header_record(
+        "translate",
+        effective_chunk_bytes(&chunk),
+        input_len(input)?,
+        &format!("equiv={equiv:?} fault={fault:?}"),
+    );
+    let (mut writer, committed) = open_session(ctrl, header)?;
+
+    let ty = match type_marker(&committed) {
+        Some(printed) => parse_type(printed)
+            .map_err(|e| journal_err("type marker does not parse", format!("{e:?}")))?,
+        None => {
+            let stage = InferStage {
+                equiv,
+                decoder: jsonx_syntax::JsonDecoder::new().with_limits(fault.limits),
+            };
+            let prefix = phase_chunks(&committed, 1);
+            let (ty, _report, w) = run_phase(
+                input,
+                &stage,
+                opts,
+                chunk,
+                fault,
+                infer_codec(),
+                1,
+                &prefix,
+                writer,
+                ctrl,
+            )?;
+            writer = w;
+            // Seal phase 1: once this marker is durable, a resume never
+            // re-infers — the layout is pinned for phase 2 forever.
+            let marker = obj(vec![
+                ("kind", s("type")),
+                ("type", s(print_type(&ty, PrintOptions::with_counts()))),
+            ]);
+            writer
+                .append(&marker.to_json_string())
+                .map_err(|e| journal_err("writing type marker", e))?;
+            ty
+        }
+    };
+
+    let shredder = Shredder::from_type(&ty);
+    let stage = TranslateStage {
+        shredder: &shredder,
+        decoder: FastJsonDecoder::new(
+            if fast {
+                FastPlan::for_translation(&shredder, &fault.limits)
+            } else {
+                None
+            },
+            fault.limits,
+        ),
+    };
+    let prefix = phase_chunks(&committed, 2);
+    let (batch, report, _writer) = run_phase(
+        input,
+        &stage,
+        opts,
+        chunk,
+        fault,
+        translate_codec(),
+        2,
+        &prefix,
+        writer,
+        ctrl,
+    )?;
+    Ok((ty, batch, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streaming::{infer_streaming_source, translate_streaming_source, StreamSource};
+    use jsonx_pipeline::ErrorPolicy;
+    use std::io::Write as _;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!("jsonx-ckpt-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+
+        fn path(&self, name: &str) -> std::path::PathBuf {
+            self.0.join(name)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn corpus(lines: usize) -> String {
+        let mut text = String::new();
+        for i in 0..lines {
+            text.push_str(&format!(
+                "{{\"id\":{i},\"name\":\"row {i}\",\"flag\":{}}}\n",
+                i % 2 == 0
+            ));
+        }
+        text
+    }
+
+    fn write_input(dir: &TempDir, name: &str, text: &str) -> std::path::PathBuf {
+        let path = dir.path(name);
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(text.as_bytes())
+            .unwrap();
+        path
+    }
+
+    fn small_chunks() -> ChunkOptions {
+        ChunkOptions {
+            chunk_bytes: 64,
+            ..ChunkOptions::default()
+        }
+    }
+
+    #[test]
+    fn journaled_infer_matches_plain_run() {
+        let dir = TempDir::new("infer-plain");
+        let text = corpus(40);
+        let input = write_input(&dir, "in.ndjson", &text);
+        let journal = dir.path("run.journal");
+        let opts = StreamingOptions::with_workers(3);
+        let fault = FaultOptions::default();
+
+        let (ty, report) = infer_streaming_journaled(
+            &input,
+            Equivalence::Kind,
+            opts,
+            small_chunks(),
+            fault,
+            &JournalControl::new(&journal),
+        )
+        .unwrap();
+        let (want_ty, want_report) = infer_streaming_source(
+            StreamSource::slice(&text),
+            Equivalence::Kind,
+            opts,
+            small_chunks(),
+            fault,
+        )
+        .unwrap();
+        assert_eq!(ty, want_ty);
+        assert_eq!(report.records, want_report.records);
+        assert!(journal.exists());
+    }
+
+    #[test]
+    fn interrupted_run_resumes_to_identical_result() {
+        let dir = TempDir::new("stop-resume");
+        let text = corpus(60);
+        let input = write_input(&dir, "in.ndjson", &text);
+        let journal = dir.path("run.journal");
+        let opts = StreamingOptions::with_workers(2);
+        let fault = FaultOptions {
+            policy: ErrorPolicy::Skip { max_errors: None },
+            ..FaultOptions::default()
+        };
+
+        // Stop after 3 committed chunks. The flag is leaked so the
+        // 'static commit hook can store to it — the same wiring the CLI
+        // uses for `JSONX_CRASHPOINT=stop:N`.
+        let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let commits = Arc::new(AtomicU64::new(0));
+        let err = {
+            let commits = commits.clone();
+            let ctrl = JournalControl {
+                journal: &journal,
+                resume: false,
+                stop: Some(stop),
+                after_commit: Some(Arc::new(move |_| {
+                    if commits.fetch_add(1, Ordering::SeqCst) + 1 >= 3 {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                })),
+            };
+            infer_streaming_journaled(
+                &input,
+                Equivalence::Kind,
+                opts,
+                small_chunks(),
+                fault,
+                &ctrl,
+            )
+            .unwrap_err()
+        };
+        assert_eq!(err, StreamError::Interrupted);
+        assert!(commits.load(Ordering::SeqCst) >= 3);
+
+        let ctrl = JournalControl {
+            journal: &journal,
+            resume: true,
+            stop: None,
+            after_commit: None,
+        };
+        let (ty, report) = infer_streaming_journaled(
+            &input,
+            Equivalence::Kind,
+            opts,
+            small_chunks(),
+            fault,
+            &ctrl,
+        )
+        .unwrap();
+        let (want_ty, want_report) = infer_streaming_source(
+            StreamSource::slice(&text),
+            Equivalence::Kind,
+            opts,
+            small_chunks(),
+            fault,
+        )
+        .unwrap();
+        assert_eq!(ty, want_ty, "resumed type identical to uninterrupted run");
+        assert_eq!(report.records, want_report.records);
+    }
+
+    #[test]
+    fn resume_with_torn_tail_continues_from_last_valid_record() {
+        let dir = TempDir::new("torn-tail");
+        let text = corpus(50);
+        let input = write_input(&dir, "in.ndjson", &text);
+        let journal = dir.path("run.journal");
+        let opts = StreamingOptions::with_workers(2);
+        let fault = FaultOptions::default();
+
+        // Interrupt after 2 commits, then tear the journal's tail.
+        let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let ctrl = JournalControl {
+            journal: &journal,
+            resume: false,
+            stop: Some(stop),
+            after_commit: Some(Arc::new(move |n| {
+                if n >= 2 {
+                    stop.store(true, Ordering::SeqCst);
+                }
+            })),
+        };
+        let err = infer_streaming_journaled(
+            &input,
+            Equivalence::Kind,
+            opts,
+            small_chunks(),
+            fault,
+            &ctrl,
+        )
+        .unwrap_err();
+        assert_eq!(err, StreamError::Interrupted);
+        let mut file = std::fs::File::options()
+            .append(true)
+            .open(&journal)
+            .unwrap();
+        file.write_all(b"00000000 {\"kind\":\"chunk\",\"torn")
+            .unwrap();
+
+        let ctrl = JournalControl {
+            journal: &journal,
+            resume: true,
+            stop: None,
+            after_commit: None,
+        };
+        let (ty, _report) = infer_streaming_journaled(
+            &input,
+            Equivalence::Kind,
+            opts,
+            small_chunks(),
+            fault,
+            &ctrl,
+        )
+        .unwrap();
+        let (want_ty, _) = infer_streaming_source(
+            StreamSource::slice(&text),
+            Equivalence::Kind,
+            opts,
+            small_chunks(),
+            fault,
+        )
+        .unwrap();
+        assert_eq!(ty, want_ty);
+    }
+
+    #[test]
+    fn resume_refuses_mismatched_header() {
+        let dir = TempDir::new("bad-header");
+        let text = corpus(10);
+        let input = write_input(&dir, "in.ndjson", &text);
+        let journal = dir.path("run.journal");
+        let fault = FaultOptions::default();
+
+        infer_streaming_journaled(
+            &input,
+            Equivalence::Kind,
+            StreamingOptions::with_workers(1),
+            small_chunks(),
+            fault,
+            &JournalControl::new(&journal),
+        )
+        .unwrap();
+
+        // Same journal, different equivalence: the header no longer
+        // matches, so the resume must refuse.
+        let ctrl = JournalControl {
+            journal: &journal,
+            resume: true,
+            stop: None,
+            after_commit: None,
+        };
+        let err = infer_streaming_journaled(
+            &input,
+            Equivalence::Label,
+            StreamingOptions::with_workers(1),
+            small_chunks(),
+            fault,
+            &ctrl,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, StreamError::Input(msg) if msg.contains("different run")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn journaled_translate_two_phase_resume_is_batch_identical() {
+        let dir = TempDir::new("translate");
+        let text = corpus(60);
+        let input = write_input(&dir, "in.ndjson", &text);
+        let journal = dir.path("run.journal");
+        let opts = StreamingOptions::with_workers(2);
+        let fault = FaultOptions::default();
+
+        // Stop during phase 2: phase 1 commits ~13 chunks of 64B, so a
+        // threshold past that lands the interruption mid-shred.
+        let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let commits = Arc::new(AtomicU64::new(0));
+        let commits_hook = commits.clone();
+        let ctrl = JournalControl {
+            journal: &journal,
+            resume: false,
+            stop: Some(stop),
+            after_commit: Some(Arc::new(move |_| {
+                // The counter spans both phases, mirroring the CLI hook.
+                if commits_hook.fetch_add(1, Ordering::SeqCst) + 1 >= 40 {
+                    stop.store(true, Ordering::SeqCst);
+                }
+            })),
+        };
+        let err = translate_streaming_journaled(
+            &input,
+            Equivalence::Kind,
+            opts,
+            small_chunks(),
+            fault,
+            true,
+            &ctrl,
+        )
+        .unwrap_err();
+        assert_eq!(err, StreamError::Interrupted);
+
+        let ctrl = JournalControl {
+            journal: &journal,
+            resume: true,
+            stop: None,
+            after_commit: None,
+        };
+        let (ty, batch, report) = translate_streaming_journaled(
+            &input,
+            Equivalence::Kind,
+            opts,
+            small_chunks(),
+            fault,
+            true,
+            &ctrl,
+        )
+        .unwrap();
+
+        let (want_ty, _) = infer_streaming_source(
+            StreamSource::slice(&text),
+            Equivalence::Kind,
+            opts,
+            small_chunks(),
+            fault,
+        )
+        .unwrap();
+        let shredder = Shredder::from_type(&want_ty);
+        let (want_batch, want_report) = translate_streaming_source(
+            StreamSource::slice(&text),
+            &shredder,
+            opts,
+            small_chunks(),
+            fault,
+            true,
+        )
+        .unwrap();
+        assert_eq!(ty, want_ty);
+        assert_eq!(report.records, want_report.records);
+        assert_eq!(
+            write_jxc(&batch),
+            write_jxc(&want_batch),
+            "resumed .jxc bytes identical to uninterrupted run"
+        );
+    }
+}

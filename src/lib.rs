@@ -31,6 +31,7 @@
 //! * [`serve`] — the resident schema service: validate/infer/translate over
 //!   a line protocol with bounded queues, deadlines, and hot reload.
 
+pub mod checkpoint;
 pub(crate) mod fastpath;
 pub mod quarantine;
 pub mod streaming;
@@ -51,6 +52,10 @@ pub use jsonx_syntax as syntax;
 pub use jsonx_translate as translate;
 pub use jsonx_typelang as typelang;
 
+pub use checkpoint::{
+    infer_streaming_journaled, translate_streaming_journaled, validate_streaming_journaled,
+    JournalControl,
+};
 pub use jsonx_data::{json, Kind, Number, Object, Pointer, Value};
 pub use jsonx_pipeline as pipeline;
 pub use jsonx_pipeline::{

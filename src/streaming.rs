@@ -401,6 +401,11 @@ pub enum StreamError {
     /// readable bytes there is no trustworthy record numbering to skip
     /// past — so any partial results are discarded.
     Input(String),
+    /// A journaled run was stopped gracefully (signal, operator) after
+    /// committing a resumable prefix to its checkpoint journal. Not an
+    /// input fault: rerunning with `--resume` continues from the last
+    /// committed chunk.
+    Interrupted,
 }
 
 impl std::fmt::Display for StreamError {
@@ -412,6 +417,9 @@ impl std::fmt::Display for StreamError {
             }
             StreamError::ShardPanicked(p) => write!(f, "{p}"),
             StreamError::Input(msg) => write!(f, "{msg}"),
+            StreamError::Interrupted => {
+                write!(f, "interrupted; committed progress is resumable")
+            }
         }
     }
 }
@@ -455,7 +463,7 @@ impl FaultOptions {
 /// factored out: [`FaultFold`] supplies blank-line skipping, the central
 /// record-size guard, policy bookkeeping, and shard merging, so a stage
 /// only says what to do with one record and how to fuse shard outputs.
-trait RecordStage: Sync {
+pub(crate) trait RecordStage: Sync {
     /// Per-worker scratch state.
     type State;
     /// Per-shard result.
@@ -479,7 +487,7 @@ trait RecordStage: Sync {
 
 /// Why a shard stopped feeding records early.
 #[derive(Debug, Clone, PartialEq)]
-enum Halt {
+pub(crate) enum Halt {
     /// Fail-fast: the shard's first rejected record.
     Fault { record: usize, issue: RecordIssue },
     /// Tolerant: the shard alone exceeded the rejection bound.
@@ -487,14 +495,14 @@ enum Halt {
 }
 
 /// What one shard yields: the stage output plus the fault account.
-struct ShardYield<T> {
-    out: T,
-    records: usize,
-    errors: ErrorSummary,
-    halt: Option<Halt>,
+pub(crate) struct ShardYield<T> {
+    pub(crate) out: T,
+    pub(crate) records: usize,
+    pub(crate) errors: ErrorSummary,
+    pub(crate) halt: Option<Halt>,
 }
 
-struct FaultState<T> {
+pub(crate) struct FaultState<T> {
     inner: T,
     records: usize,
     errors: ErrorSummary,
@@ -508,7 +516,7 @@ struct FaultState<T> {
 /// `tolerates`, `sample_cap`, `max_errors`) are hoisted out of the inner
 /// loop at construction: they are constant for a run, and deriving them
 /// per record put measurable per-record overhead on the guarded paths.
-struct FaultFold<'s, S> {
+pub(crate) struct FaultFold<'s, S> {
     stage: &'s S,
     fault: FaultOptions,
     input_cap: Option<usize>,
@@ -518,7 +526,7 @@ struct FaultFold<'s, S> {
 }
 
 impl<'s, S> FaultFold<'s, S> {
-    fn new(stage: &'s S, fault: FaultOptions) -> Self {
+    pub(crate) fn new(stage: &'s S, fault: FaultOptions) -> Self {
         FaultFold {
             stage,
             input_cap: fault.limits.max_input_bytes,
@@ -527,6 +535,13 @@ impl<'s, S> FaultFold<'s, S> {
             max_errors: fault.policy.max_errors(),
             fault,
         }
+    }
+
+    /// The diagnostic-retention cap this fold applies when merging
+    /// [`ErrorSummary`]s — journaled runs re-apply it when fusing a
+    /// resumed prefix with fresh tail results.
+    pub(crate) fn retention_cap(&self) -> usize {
+        self.sample_cap
     }
 }
 
@@ -686,17 +701,30 @@ fn run_stage_source<R: std::io::BufRead + Send, S: RecordStage>(
             .map_err(|e| StreamError::Input(e.to_string()))?,
     };
     let yielded = outcome.out;
-    let mut report = RunReport {
+    let report = RunReport {
         records: yielded.records,
         shards: outcome.shards,
         errors: yielded.errors,
         poisoned: outcome.poisoned,
         timings: outcome.timings,
     };
+    seal_stage_outcome(yielded.out, yielded.halt, report, fault)
+}
+
+/// Folds a finished run's halt state and report into the
+/// `(result, report)` / [`StreamError`] contract — shared by the plain
+/// funnel above and the journaled runs in [`crate::checkpoint`], which
+/// build their reports from a resumed prefix plus fresh tail chunks.
+pub(crate) fn seal_stage_outcome<T>(
+    out: T,
+    halt: Option<Halt>,
+    mut report: RunReport,
+    fault: FaultOptions,
+) -> Result<(T, RunReport), StreamError> {
     if !fault.policy.tolerates() && !report.poisoned.is_empty() {
         return Err(StreamError::ShardPanicked(report.poisoned.remove(0)));
     }
-    match yielded.halt {
+    match halt {
         Some(Halt::Fault { record, issue }) => Err(StreamError::Record { record, issue }),
         Some(Halt::TooMany) => Err(StreamError::TooManyErrors {
             limit: fault.policy.max_errors().unwrap_or(0),
@@ -709,7 +737,7 @@ fn run_stage_source<R: std::io::BufRead + Send, S: RecordStage>(
                 limit: max,
                 seen: report.errors.total,
             }),
-            _ => Ok((yielded.out, report)),
+            _ => Ok((out, report)),
         },
     }
 }
@@ -739,9 +767,9 @@ fn legacy_parse_error<T>(
 /// The inference stage: one [`StreamTyper`] per worker, types fused with
 /// the §4.1 monoid. Generic over the [`RecordDecoder`], so the same
 /// stage types NDJSON, CSV, or any future source.
-struct InferStage<D> {
-    equiv: Equivalence,
-    decoder: D,
+pub(crate) struct InferStage<D> {
+    pub(crate) equiv: Equivalence,
+    pub(crate) decoder: D,
 }
 
 impl<D: RecordDecoder> RecordStage for InferStage<D> {
@@ -908,17 +936,17 @@ impl LineVerdict {
 /// and never rejects a record; the guarded one rejects malformed lines to
 /// the fault layer, so the verdict vector covers exactly the records that
 /// parsed.
-struct ValidateStage<'s, D> {
-    schema: &'s CompiledSchema,
-    options: ValidatorOptions,
-    malformed_verdicts: bool,
+pub(crate) struct ValidateStage<'s, D> {
+    pub(crate) schema: &'s CompiledSchema,
+    pub(crate) options: ValidatorOptions,
+    pub(crate) malformed_verdicts: bool,
     /// How record text becomes a document. The JSON paths pass
     /// [`FastJsonDecoder`], whose `decode_value` tries the SWAR
     /// projecting fast path first and falls back to the full parser —
     /// verdicts are identical either way (the scanner never accepts a
     /// record the parser rejects). Any other decoder plugs in here
     /// unchanged.
-    decoder: D,
+    pub(crate) decoder: D,
 }
 
 impl<'s, D: RecordDecoder> RecordStage for ValidateStage<'s, D> {
@@ -1461,14 +1489,14 @@ impl std::fmt::Display for TranslateLineError {
 
 /// The translation stage: one [`ShredStream`] per worker over a shared
 /// fixed layout, per-shard batches concatenated in shard order.
-struct TranslateStage<'t, D> {
-    shredder: &'t Shredder,
+pub(crate) struct TranslateStage<'t, D> {
+    pub(crate) shredder: &'t Shredder,
     /// How record text becomes a document. The JSON paths pass
     /// [`FastJsonDecoder`] (SWAR projection to the shred plan's root
     /// fields, dotted skipped keys rejected so column paths can't alias,
     /// full-parser fallback — batches row-identical either way); any
     /// other decoder feeds the same shredder unchanged.
-    decoder: D,
+    pub(crate) decoder: D,
 }
 
 impl<'t, D: RecordDecoder> RecordStage for TranslateStage<'t, D> {
